@@ -1,0 +1,147 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the per-experiment index), plus a
+   Bechamel wall-clock microbenchmark of the core operations.
+
+     dune exec bench/main.exe                 # everything, small scale
+     dune exec bench/main.exe -- fig3 tab1    # selected experiments
+     dune exec bench/main.exe -- --scale 2    # larger runs
+     dune exec bench/main.exe -- --list       # available ids *)
+
+let list_experiments () =
+  Printf.printf "available experiments:\n";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-8s %s\n" e.Harness.Experiments.id
+        e.Harness.Experiments.what)
+    Harness.Experiments.all
+
+(* Wall-clock microbenchmark of the real code paths (one Bechamel test per
+   core operation).  The simulator's modeled numbers come from the
+   experiments; this measures what the OCaml implementation itself costs. *)
+let bechamel_micro () =
+  let open Bechamel in
+  let dev =
+    Pmem.Device.create
+      ~config:(Pmem.Config.default ~size:(64 * 1024 * 1024) ())
+      ()
+  in
+  let t = Ccl_btree.Tree.create dev in
+  let n = 50_000 in
+  Array.iter
+    (fun k -> Ccl_btree.Tree.upsert t k 1L)
+    (Workload.Keygen.shuffled_range ~seed:1 n);
+  let rng = Random.State.make [| 7 |] in
+  let next () = Int64.of_int (1 + Random.State.int rng n) in
+  (* competitor indexes, for wall-clock comparison of the implementations *)
+  let baseline_tests =
+    List.map
+      (fun spec ->
+        let bdev =
+          Pmem.Device.create
+            ~config:(Pmem.Config.default ~size:(64 * 1024 * 1024) ())
+            ()
+        in
+        let drv = Harness.Runner.build spec bdev in
+        Array.iter
+          (fun k -> drv.Baselines.Index_intf.upsert k 1L)
+          (Workload.Keygen.shuffled_range ~seed:1 n);
+        Test.make
+          ~name:(Harness.Runner.name spec ^ "/upsert")
+          (Staged.stage (fun () ->
+               drv.Baselines.Index_intf.upsert (next ()) 2L)))
+      [ Harness.Runner.Fastfair; Harness.Runner.Fptree; Harness.Runner.Flatstore ]
+  in
+  let tests =
+    Test.make_grouped ~name:"wall-clock"
+      ([
+         Test.make ~name:"CCL-BTree/upsert"
+           (Staged.stage (fun () -> Ccl_btree.Tree.upsert t (next ()) 2L));
+         Test.make ~name:"CCL-BTree/search"
+           (Staged.stage (fun () ->
+                ignore (Ccl_btree.Tree.search t (next ()))));
+         Test.make ~name:"CCL-BTree/scan-100"
+           (Staged.stage (fun () ->
+                ignore (Ccl_btree.Tree.scan t ~start:(next ()) 100)));
+         Test.make ~name:"CCL-BTree/delete+reinsert"
+           (Staged.stage (fun () ->
+                let k = next () in
+                Ccl_btree.Tree.delete t k;
+                Ccl_btree.Tree.upsert t k 3L));
+       ]
+      @ baseline_tests)
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Harness.Report.section "Bechamel: wall-clock cost of the implementation";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+        rows := [ name; Printf.sprintf "%.0f" est ] :: !rows
+      | _ -> ())
+    results;
+  Harness.Report.table
+    ~header:[ "operation"; "ns/op (host)" ]
+    (List.sort compare !rows)
+
+let run_ids ids scale_level bech =
+  let scale = Harness.Scale.of_level scale_level in
+  let selected =
+    match ids with
+    | [] -> Harness.Experiments.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Harness.Experiments.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S (try --list)\n" id;
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      e.Harness.Experiments.run scale;
+      Printf.printf "  [%s done in %.1fs]\n%!" e.Harness.Experiments.id
+        (Unix.gettimeofday () -. t0))
+    selected;
+  if bech then bechamel_micro ()
+
+open Cmdliner
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"LEVEL" ~doc:"Workload scale level (1-3).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let no_bechamel_arg =
+  Arg.(
+    value & flag
+    & info [ "no-bechamel" ] ~doc:"Skip the wall-clock microbenchmark.")
+
+let cmd =
+  let doc = "Regenerate the CCL-BTree paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "ccl-bench" ~doc)
+    Term.(
+      const (fun list ids scale no_bech ->
+          if list then list_experiments ()
+          else run_ids ids scale ((ids = []) && not no_bech))
+      $ list_arg $ ids_arg $ scale_arg $ no_bechamel_arg)
+
+let () = exit (Cmd.eval cmd)

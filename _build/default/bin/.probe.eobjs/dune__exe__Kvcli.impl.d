@@ -1,0 +1,1 @@
+bin/kvcli.ml: Arg Array Ccl_btree Cmd Cmdliner Format Pmem Printf Sys Term

@@ -1,0 +1,1 @@
+bin/probe.ml: Array Ccl_btree Pmalloc Pmem Printf Workload

@@ -1,0 +1,1 @@
+bin/ycsb.ml: Arg Baselines Cmd Cmdliner Harness List Pmalloc Pmem Printf Term Workload

@@ -1,0 +1,48 @@
+(* Traffic attribution probe for development: where do CCL-BTree's
+   flushes and media writes come from under the Fig 3 workload? *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module T = Ccl_btree.Tree
+module Ts = Ccl_btree.Tree_stats
+module K = Workload.Keygen
+
+let () =
+  let dev =
+    D.create ~config:(Pmem.Config.default ~size:(96 * 1024 * 1024) ()) ()
+  in
+  let t = T.create dev in
+  D.set_classifier dev (Some (Pmalloc.Alloc.classify (T.allocator t)));
+  let warmup = 20_000 in
+  Array.iter (fun k -> T.upsert t k 1L) (K.shuffled_range ~seed:1 warmup);
+  let gen = K.uniform ~seed:9 ~space:(2 * warmup) in
+  let before = D.snapshot dev in
+  let st = T.stats t in
+  let s0 =
+    (st.Ts.log_appends, st.Ts.log_skips, st.Ts.batch_flushes, st.Ts.splits,
+     st.Ts.gc_runs, st.Ts.gc_copied)
+  in
+  let ops = 20_000 in
+  for _ = 1 to ops do
+    T.upsert t (K.next gen) 2L
+  done;
+  T.flush_all t;
+  D.drain dev;
+  let d = S.diff ~after:(D.snapshot dev) ~before in
+  let l1, k1, b1, sp1, g1, c1 = s0 in
+  Printf.printf "ops %d\n" ops;
+  Printf.printf "log_appends %d  skips %d\n" (st.Ts.log_appends - l1) (st.Ts.log_skips - k1);
+  Printf.printf "batch_flushes %d  splits %d\n" (st.Ts.batch_flushes - b1) (st.Ts.splits - sp1);
+  Printf.printf "gc_runs %d  gc_copied %d\n" (st.Ts.gc_runs - g1) (st.Ts.gc_copied - c1);
+  Printf.printf "clwb %d (%.2f/op)  sfence %d\n" d.S.clwb_count
+    (float_of_int d.S.clwb_count /. float_of_int ops)
+    d.S.sfence_count;
+  Printf.printf "media write lines %d (%.2f/op)\n" d.S.media_write_lines
+    (float_of_int d.S.media_write_lines /. float_of_int ops);
+  Printf.printf "media by class: meta %d leaf %d log %d extent %d\n"
+    d.S.media_write_bytes_by_class.(0) d.S.media_write_bytes_by_class.(1)
+    d.S.media_write_bytes_by_class.(2) d.S.media_write_bytes_by_class.(3);
+  Printf.printf "CLI %.2f XBI %.2f\n" (S.cli_amplification d) (S.xbi_amplification d);
+  Printf.printf "nodes %d  leaf_bytes %d  log_live %d  log_peak %d  dram %d pm %d\n"
+    (T.buffer_node_count t) (T.leaf_bytes t) (T.log_live_bytes t)
+    (T.log_peak_bytes t) (T.dram_bytes t) (T.pm_bytes t)

@@ -1,0 +1,92 @@
+(* ccl-ycsb: run a YCSB-style workload against any of the compared
+   indexes and report throughput, amplification and traffic.
+
+     dune exec bin/ycsb.exe -- --index ccl --mix insert-only \
+       --warmup 50000 --ops 50000 --threads 48
+
+   Indexes: ccl fastfair fptree lbtree utree dptree pactree flatstore lsm
+   Mixes:   insert-only insert-intensive read-intensive read-only
+            scan-insert *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module Y = Workload.Ycsb
+module K = Workload.Keygen
+
+let spec_of = function
+  | "ccl" -> Harness.Runner.ccl_default
+  | "fastfair" -> Harness.Runner.Fastfair
+  | "fptree" -> Harness.Runner.Fptree
+  | "lbtree" -> Harness.Runner.Lbtree
+  | "utree" -> Harness.Runner.Utree
+  | "dptree" -> Harness.Runner.Dptree
+  | "pactree" -> Harness.Runner.Pactree
+  | "flatstore" -> Harness.Runner.Flatstore
+  | "lsm" -> Harness.Runner.Lsm
+  | s ->
+    Printf.eprintf "unknown index %s\n" s;
+    exit 2
+
+let mix_of = function
+  | "insert-only" -> Y.Insert_only
+  | "insert-intensive" -> Y.Insert_intensive
+  | "read-intensive" -> Y.Read_intensive
+  | "read-only" -> Y.Read_only
+  | "scan-insert" -> Y.Scan_insert
+  | s ->
+    Printf.eprintf "unknown mix %s\n" s;
+    exit 2
+
+open Cmdliner
+
+let run index mix warmup ops threads scan_len =
+  let spec = spec_of index in
+  let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
+  let drv = Harness.Runner.build spec dev in
+  D.set_classifier dev
+    (Some
+       (Pmalloc.Alloc.classify (drv.Baselines.Index_intf.allocator ())));
+  Printf.printf "loading %d keys into %s...\n%!" warmup
+    (Harness.Runner.name spec);
+  Harness.Runner.warmup drv ~keys:(K.shuffled_range ~seed:1 warmup);
+  let stream =
+    Y.generate (mix_of mix) ~seed:7 ~space:(2 * warmup) ~scan_len ops
+  in
+  Printf.printf "running %d x %s ops...\n%!" ops mix;
+  let m =
+    Harness.Exp_common.run_ops dev drv spec stream
+  in
+  let st = m.Harness.Runner.delta in
+  Printf.printf "\n%-26s %s\n" "index" (Harness.Runner.name spec);
+  Printf.printf "%-26s %s\n" "mix" mix;
+  Printf.printf "%-26s %.2f\n" "CLI-amplification" (S.cli_amplification st);
+  Printf.printf "%-26s %.2f\n" "XBI-amplification" (S.xbi_amplification st);
+  Printf.printf "%-26s %d B (%d XPLines)\n" "media writes"
+    st.S.media_write_bytes st.S.media_write_lines;
+  Printf.printf "%-26s %d B\n" "media reads" st.S.media_read_bytes;
+  Printf.printf "%-26s %.0f ns\n" "modeled ns/op (1 thread)"
+    m.Harness.Runner.avg_ns;
+  List.iter
+    (fun n ->
+      Printf.printf "%-26s %.2f Mop/s\n"
+        (Printf.sprintf "modeled @%d threads" n)
+        (Harness.Runner.mops m ~threads:n))
+    (List.sort_uniq compare [ 1; threads ]);
+  0
+
+let cmd =
+  let index =
+    Arg.(value & opt string "ccl" & info [ "index" ] ~docv:"INDEX")
+  in
+  let mix =
+    Arg.(value & opt string "insert-only" & info [ "mix" ] ~docv:"MIX")
+  in
+  let warmup = Arg.(value & opt int 20_000 & info [ "warmup" ]) in
+  let ops = Arg.(value & opt int 20_000 & info [ "ops" ]) in
+  let threads = Arg.(value & opt int 48 & info [ "threads" ]) in
+  let scan_len = Arg.(value & opt int 100 & info [ "scan-len" ]) in
+  Cmd.v
+    (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
+    Term.(const run $ index $ mix $ warmup $ ops $ threads $ scan_len)
+
+let () = exit (Cmd.eval' cmd)

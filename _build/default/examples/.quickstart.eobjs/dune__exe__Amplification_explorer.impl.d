@@ -1,0 +1,1 @@
+examples/amplification_explorer.ml: Arg Array Baselines Float Harness Int64 Pmalloc Pmem Printf Workload

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Arg Ccl_btree Hashtbl Int64 Pmem Printf Random Workload

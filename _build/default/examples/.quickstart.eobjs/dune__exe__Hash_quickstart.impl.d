@@ -1,0 +1,1 @@
+examples/hash_quickstart.ml: Ccl_hash Int64 Pmem Printf

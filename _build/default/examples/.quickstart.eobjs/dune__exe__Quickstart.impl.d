@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ccl_btree Int64 List Option Pmem Printf String

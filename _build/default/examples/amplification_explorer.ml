@@ -1,0 +1,84 @@
+(* Amplification explorer: compare any two indexes' PM traffic on a
+   chosen workload — the paper's §2 motivation as an interactive tool.
+
+     dune exec examples/amplification_explorer.exe -- \
+       --left ccl --right fastfair --dist zipfian --ops 20000
+
+   Indexes: ccl fastfair fptree lbtree utree dptree pactree flatstore lsm
+   Distributions: uniform zipfian sequential *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module I = Baselines.Index_intf
+module K = Workload.Keygen
+
+let spec_of = function
+  | "ccl" -> Harness.Runner.ccl_default
+  | "fastfair" -> Harness.Runner.Fastfair
+  | "fptree" -> Harness.Runner.Fptree
+  | "lbtree" -> Harness.Runner.Lbtree
+  | "utree" -> Harness.Runner.Utree
+  | "dptree" -> Harness.Runner.Dptree
+  | "pactree" -> Harness.Runner.Pactree
+  | "flatstore" -> Harness.Runner.Flatstore
+  | "lsm" -> Harness.Runner.Lsm
+  | s -> raise (Arg.Bad ("unknown index " ^ s))
+
+let gen_of dist ~space =
+  match dist with
+  | "uniform" -> K.uniform ~seed:5 ~space
+  | "zipfian" -> K.zipfian ~seed:5 ~space ~theta:0.9
+  | "sequential" -> K.sequential ~space
+  | s -> raise (Arg.Bad ("unknown distribution " ^ s))
+
+let measure spec ~dist ~warmup ~ops =
+  let dev = Harness.Runner.device ~mb:96 () in
+  let drv = Harness.Runner.build spec dev in
+  D.set_classifier dev
+    (Some (Pmalloc.Alloc.classify (drv.I.allocator ())));
+  Array.iter
+    (fun k -> drv.I.upsert k 1L)
+    (K.shuffled_range ~seed:1 warmup);
+  let gen = gen_of dist ~space:(2 * warmup) in
+  let before = D.snapshot dev in
+  for i = 1 to ops do
+    drv.I.upsert (K.next gen) (Int64.of_int i)
+  done;
+  drv.I.flush_all ();
+  D.drain dev;
+  S.diff ~after:(D.snapshot dev) ~before
+
+let report name (d : S.t) =
+  Printf.printf "%s\n" name;
+  Printf.printf "  user bytes        %d\n" d.S.user_bytes;
+  Printf.printf "  cacheline flushes %d\n" d.S.clwb_count;
+  Printf.printf "  XPBuffer writes   %d B\n" d.S.xpbuffer_write_bytes;
+  Printf.printf "  media writes      %d B in %d XPLines\n" d.S.media_write_bytes
+    d.S.media_write_lines;
+  Printf.printf "    leaf/node data  %d B\n" d.S.media_write_bytes_by_class.(1);
+  Printf.printf "    log data        %d B\n" d.S.media_write_bytes_by_class.(2);
+  Printf.printf "  CLI-amplification %.2f\n" (S.cli_amplification d);
+  Printf.printf "  XBI-amplification %.2f\n" (S.xbi_amplification d)
+
+let () =
+  let left = ref "ccl" and right = ref "fastfair" in
+  let dist = ref "uniform" and ops = ref 20_000 in
+  Arg.parse
+    [
+      ("--left", Arg.Set_string left, "left index");
+      ("--right", Arg.Set_string right, "right index");
+      ("--dist", Arg.Set_string dist, "uniform | zipfian | sequential");
+      ("--ops", Arg.Set_int ops, "measured operations");
+    ]
+    (fun _ -> ())
+    "amplification_explorer";
+  let warmup = !ops in
+  let dl = measure (spec_of !left) ~dist:!dist ~warmup ~ops:!ops in
+  let dr = measure (spec_of !right) ~dist:!dist ~warmup ~ops:!ops in
+  report !left dl;
+  report !right dr;
+  let ratio =
+    S.xbi_amplification dr /. Float.max 0.01 (S.xbi_amplification dl)
+  in
+  Printf.printf "\n%s writes %.2fx %s media bytes per user byte (%s keys)\n"
+    !right ratio !left !dist

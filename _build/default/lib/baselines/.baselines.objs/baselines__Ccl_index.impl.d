@@ -1,0 +1,1 @@
+lib/baselines/ccl_index.ml: Ccl_btree Index_intf

@@ -1,0 +1,1 @@
+lib/baselines/ccl_index.mli: Ccl_btree Index_intf Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/dptree.ml: Array Fptree_core Hashtbl Int64 List Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/dptree.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/fastfair.ml: Array Int64 List Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/fastfair.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/flatstore.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/fptree.ml: Fptree_core

@@ -1,0 +1,1 @@
+lib/baselines/fptree.mli: Pmalloc Pmem

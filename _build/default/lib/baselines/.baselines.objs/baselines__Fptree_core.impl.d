@@ -1,0 +1,1 @@
+lib/baselines/fptree_core.ml: Array Ccl_btree Int64 List Pmalloc Pmem

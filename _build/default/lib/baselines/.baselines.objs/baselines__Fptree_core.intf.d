@@ -1,0 +1,1 @@
+lib/baselines/fptree_core.mli: Pmalloc Pmem

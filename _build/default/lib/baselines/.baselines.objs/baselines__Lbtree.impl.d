@@ -1,0 +1,1 @@
+lib/baselines/lbtree.ml: Fptree_core

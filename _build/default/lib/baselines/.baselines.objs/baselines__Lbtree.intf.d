@@ -1,0 +1,1 @@
+lib/baselines/lbtree.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/baselines/lsm.ml: Array Hashtbl Int64 List Map Pmalloc Pmem

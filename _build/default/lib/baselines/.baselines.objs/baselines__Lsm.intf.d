@@ -1,0 +1,1 @@
+lib/baselines/lsm.mli: Pmalloc Pmem

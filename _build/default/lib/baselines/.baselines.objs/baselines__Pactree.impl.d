@@ -1,0 +1,1 @@
+lib/baselines/pactree.ml: Array Ccl_btree Fastfair Int64 List Pmalloc Pmem

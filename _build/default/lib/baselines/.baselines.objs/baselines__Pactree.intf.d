@@ -1,0 +1,1 @@
+lib/baselines/pactree.mli: Pmalloc Pmem

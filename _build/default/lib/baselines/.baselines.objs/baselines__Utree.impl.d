@@ -1,0 +1,1 @@
+lib/baselines/utree.ml: Array Int64 List Map Pmalloc Pmem

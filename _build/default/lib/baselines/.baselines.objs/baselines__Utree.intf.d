@@ -1,0 +1,1 @@
+lib/baselines/utree.mli: Pmalloc Pmem

@@ -1,0 +1,42 @@
+(* CCL-BTree behind the common {!Index_intf.S} interface, so the harness
+   and benches treat it uniformly with the baselines.  Ablation variants
+   (Base / +BNode / +WLog, naive GC) come from configuration flags. *)
+
+module Tree = Ccl_btree.Tree
+module Config = Ccl_btree.Config
+
+type t = Tree.t
+
+let name = "CCL-BTree"
+let create dev = Tree.create dev
+let upsert = Tree.upsert
+let search = Tree.search
+let delete = Tree.delete
+let scan t ~start n = Tree.scan t ~start n
+let flush_all = Tree.flush_all
+let dram_bytes = Tree.dram_bytes
+let pm_bytes = Tree.pm_bytes
+let allocator = Tree.allocator
+
+(* Drivers for the ablation study (Fig 13). *)
+
+let driver_with ?(name = "CCL-BTree") cfg dev =
+  let t = Tree.create ~cfg dev in
+  {
+    Index_intf.name;
+    upsert = Tree.upsert t;
+    search = Tree.search t;
+    delete = Tree.delete t;
+    scan = (fun ~start n -> Tree.scan t ~start n);
+    flush_all = (fun () -> Tree.flush_all t);
+    dram_bytes = (fun () -> Tree.dram_bytes t);
+    pm_bytes = (fun () -> Tree.pm_bytes t);
+    allocator = (fun () -> Tree.allocator t);
+  }
+
+let base_cfg = { Config.default with Config.buffering = false }
+
+let bnode_cfg =
+  { Config.default with Config.conservative_logging = false }
+
+let wlog_cfg = Config.default

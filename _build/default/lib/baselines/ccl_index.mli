@@ -1,0 +1,29 @@
+(** CCL-BTree behind the common {!Index_intf.S} interface, plus the
+    configurations of the paper's Fig 13 ablation study. *)
+
+type t = Ccl_btree.Tree.t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t
+
+val driver_with :
+  ?name:string -> Ccl_btree.Config.t -> Pmem.Device.t -> Index_intf.driver
+(** Build a driver for an arbitrary configuration (ablations, GC
+    strategies, N_batch sweeps). *)
+
+val base_cfg : Ccl_btree.Config.t
+(** Fig 13 "Base": write-through, no buffering, no logging. *)
+
+val bnode_cfg : Ccl_btree.Config.t
+(** Fig 13 "+BNode": buffering with naive (log-everything) WAL. *)
+
+val wlog_cfg : Ccl_btree.Config.t
+(** Fig 13 "+WLog": buffering with write-conservative logging. *)

@@ -1,0 +1,22 @@
+(** DPTree (Zhou et al., VLDB '19): differential indexing with a global
+    DRAM buffer and sequential PM log in front of a base tree.  When the
+    buffer fills it merges wholesale into the base — random leaf writes
+    across the key space (the global-buffering pitfall of paper §3.2)
+    and a foreground stall visible in the latency tail (Fig 12). *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+
+val flush_all : t -> unit
+(** Forces a merge of the buffered delta. *)
+
+val merge_count : t -> int
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

@@ -1,0 +1,244 @@
+(* FAST&FAIR (Hwang et al., FAST '18) reimplementation on the simulated
+   device: the entire tree (inner nodes and leaves) lives in PM with
+   sorted 256 B nodes.  Inserts shift entries with 8 B stores and flush
+   every touched cacheline; failure atomicity comes from tolerating
+   transient duplicates, so no logging is needed.  This gives it low
+   CLI-amplification but every insert dirties a random leaf's cachelines,
+   hence high XBI-amplification — the paper's primary baseline. *)
+
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+
+let name = "FAST&FAIR"
+let node_size = 256
+let capacity = 15 (* 16 B header + 15 x 16 B entries *)
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  slab : Slab.t;
+  mutable root : int;
+  mutable height : int;
+}
+
+(* header: [0] nkeys, [1] is_leaf, [8..15] sibling (leaf) / leftmost child
+   (inner) *)
+let nkeys t node = D.load_u8 t.dev node
+let set_nkeys t node n = D.store_u8 t.dev node n
+let is_leaf t node = D.load_u8 t.dev (node + 1) = 1
+let aux t node = Int64.to_int (D.load_u64 t.dev (node + 8))
+let set_aux t node v = D.store_u64 t.dev (node + 8) (Int64.of_int v)
+let entry_addr node i = node + 16 + (i * 16)
+let key_at t node i = D.load_u64 t.dev (entry_addr node i)
+let payload_at t node i = D.load_u64 t.dev (entry_addr node i + 8)
+
+let store_entry t node i ~key ~payload =
+  D.store_u64 t.dev (entry_addr node i) key;
+  D.store_u64 t.dev (entry_addr node i + 8) payload
+
+let alloc_node t ~leaf =
+  let node = Slab.alloc t.slab in
+  D.fill t.dev node node_size '\000';
+  D.store_u8 t.dev (node + 1) (if leaf then 1 else 0);
+  D.persist t.dev node node_size;
+  node
+
+(* Build on an existing allocator (lets PACTree embed a FAST&FAIR-style
+   PM search layer next to its own data layer). *)
+let create_on alloc =
+  let dev = Alloc.device alloc in
+  let slab = Slab.create alloc Alloc.Leaf ~obj_size:node_size in
+  let t = { dev; alloc; slab; root = 0; height = 1 } in
+  t.root <- alloc_node t ~leaf:true;
+  t
+
+let create dev = create_on (Alloc.format dev ~chunk_size:(64 * 1024))
+
+(* position of the first entry with key >= [key] *)
+let lower_bound t node key =
+  let n = nkeys t node in
+  let rec go i =
+    if i >= n then n
+    else if Int64.compare (key_at t node i) key >= 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let child_for t node key =
+  let n = nkeys t node in
+  let rec go i =
+    if i >= n then if n = 0 then aux t node else Int64.to_int (payload_at t node (n - 1))
+    else if Int64.compare key (key_at t node i) < 0 then
+      if i = 0 then aux t node else Int64.to_int (payload_at t node (i - 1))
+    else go (i + 1)
+  in
+  go 0
+
+let rec find_leaf t node key =
+  if is_leaf t node then node else find_leaf t (child_for t node key) key
+
+let flush_entry_range t node lo hi =
+  (* flush cachelines covering entries lo..hi plus the header *)
+  if hi >= lo then
+    D.flush_range t.dev (entry_addr node lo) ((hi - lo + 1) * 16);
+  D.clwb t.dev node;
+  D.sfence t.dev
+
+(* FAST insert: shift entries right one by one with 8 B stores, flushing
+   the touched cachelines, then publish by bumping nkeys. *)
+let insert_into_node t node ~key ~payload =
+  let n = nkeys t node in
+  assert (n < capacity);
+  let pos = lower_bound t node key in
+  for i = n - 1 downto pos do
+    store_entry t node (i + 1) ~key:(key_at t node i)
+      ~payload:(payload_at t node i)
+  done;
+  store_entry t node pos ~key ~payload;
+  set_nkeys t node (n + 1);
+  flush_entry_range t node pos n
+
+(* split [node], returning (separator, right sibling address) *)
+let split_node t node =
+  let n = nkeys t node in
+  let leaf = is_leaf t node in
+  let mid = n / 2 in
+  let right = alloc_node t ~leaf in
+  if leaf then begin
+    for i = mid to n - 1 do
+      store_entry t right (i - mid) ~key:(key_at t node i)
+        ~payload:(payload_at t node i)
+    done;
+    set_nkeys t right (n - mid);
+    set_aux t right (aux t node);
+    D.persist t.dev right node_size;
+    set_aux t node right;
+    set_nkeys t node mid;
+    D.persist t.dev node 16;
+    (key_at t right 0, right)
+  end
+  else begin
+    (* entry [mid] moves up; right gets entries mid+1..n-1 with leftmost
+       child = payload of entry mid *)
+    for i = mid + 1 to n - 1 do
+      store_entry t right (i - mid - 1) ~key:(key_at t node i)
+        ~payload:(payload_at t node i)
+    done;
+    set_nkeys t right (n - mid - 1);
+    set_aux t right (Int64.to_int (payload_at t node mid));
+    D.persist t.dev right node_size;
+    set_nkeys t node mid;
+    D.persist t.dev node 16;
+    (key_at t node mid, right)
+  end
+
+let rec insert_rec t node key payload =
+  if is_leaf t node then begin
+    match lower_bound t node key with
+    | pos when pos < nkeys t node && Int64.equal (key_at t node pos) key ->
+      (* in-place update: one 8 B store, one flush *)
+      D.store_u64 t.dev (entry_addr node pos + 8) payload;
+      D.persist t.dev (entry_addr node pos + 8) 8;
+      None
+    | _ ->
+      if nkeys t node < capacity then begin
+        insert_into_node t node ~key ~payload;
+        None
+      end
+      else begin
+        let sep, right = split_node t node in
+        let target = if Int64.compare key sep >= 0 then right else node in
+        insert_into_node t target ~key ~payload;
+        Some (sep, right)
+      end
+  end
+  else begin
+    let child = child_for t node key in
+    match insert_rec t child key payload with
+    | None -> None
+    | Some (sep, right) ->
+      if nkeys t node < capacity then begin
+        insert_into_node t node ~key:sep ~payload:(Int64.of_int right);
+        None
+      end
+      else begin
+        let sep2, right2 = split_node t node in
+        let target = if Int64.compare sep sep2 >= 0 then right2 else node in
+        insert_into_node t target ~key:sep ~payload:(Int64.of_int right);
+        Some (sep2, right2)
+      end
+  end
+
+let upsert t key value =
+  D.add_user_bytes t.dev 16;
+  match insert_rec t t.root key value with
+  | None -> ()
+  | Some (sep, right) ->
+    let new_root = alloc_node t ~leaf:false in
+    set_aux t new_root t.root;
+    store_entry t new_root 0 ~key:sep ~payload:(Int64.of_int right);
+    set_nkeys t new_root 1;
+    D.persist t.dev new_root node_size;
+    t.root <- new_root;
+    t.height <- t.height + 1
+
+let search t key =
+  let leaf = find_leaf t t.root key in
+  let pos = lower_bound t leaf key in
+  if pos < nkeys t leaf && Int64.equal (key_at t leaf pos) key then
+    Some (payload_at t leaf pos)
+  else None
+
+(* Greatest entry with key <= the argument.  Because separators are always
+   keys still present in their right leaf, the target entry (when it
+   exists) is in the leaf the traversal lands on. *)
+let find_le t key =
+  let leaf = find_leaf t t.root key in
+  let n = nkeys t leaf in
+  let rec go i best =
+    if i >= n then best
+    else if Int64.compare (key_at t leaf i) key <= 0 then
+      go (i + 1) (Some (key_at t leaf i, payload_at t leaf i))
+    else best
+  in
+  go 0 None
+
+(* FAIR-style lazy delete: shift left within the leaf, no rebalancing. *)
+let delete t key =
+  D.add_user_bytes t.dev 16;
+  let leaf = find_leaf t t.root key in
+  let pos = lower_bound t leaf key in
+  let n = nkeys t leaf in
+  if pos < n && Int64.equal (key_at t leaf pos) key then begin
+    for i = pos to n - 2 do
+      store_entry t leaf i ~key:(key_at t leaf (i + 1))
+        ~payload:(payload_at t leaf (i + 1))
+    done;
+    set_nkeys t leaf (n - 1);
+    flush_entry_range t leaf pos (n - 1)
+  end
+
+let scan t ~start n =
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk node =
+    if node <> 0 && !count < n then begin
+      let nk = nkeys t node in
+      let pos = lower_bound t node start in
+      for i = pos to nk - 1 do
+        if !count < n then begin
+          acc := (key_at t node i, payload_at t node i) :: !acc;
+          incr count
+        end
+      done;
+      if !count < n then walk (aux t node)
+    end
+  in
+  walk (find_leaf t t.root start);
+  Array.of_list (List.rev !acc)
+
+let flush_all _ = ()
+let dram_bytes _ = 16 (* just the root pointer; the tree is pure PM *)
+let pm_bytes t = Slab.used_bytes t.slab
+let allocator t = t.alloc

@@ -1,0 +1,32 @@
+(** FAST&FAIR (Hwang et al., FAST '18): failure-atomic shift-based
+    B+-tree living entirely in PM.  Sorted 256 B nodes; inserts shift
+    entries with 8 B stores and flush the touched cachelines — low
+    CLI-amplification, but each insert dirties a random XPLine (high
+    XBI), and traversals pay PM reads for the inner nodes.  The paper's
+    primary baseline. *)
+
+type t
+
+val name : string
+
+val create : Pmem.Device.t -> t
+(** Format the device and build an empty tree. *)
+
+val create_on : Pmalloc.Alloc.t -> t
+(** Build on an existing allocator (PACTree embeds one as its PM search
+    layer). *)
+
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+
+val find_le : t -> int64 -> (int64 * int64) option
+(** Greatest entry with key ≤ the argument (used by PACTree routing). *)
+
+val delete : t -> int64 -> unit
+(** FAIR-style lazy delete: shift left within the leaf, no rebalancing. *)
+
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

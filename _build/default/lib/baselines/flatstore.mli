@@ -1,0 +1,18 @@
+(** FlatStore (Chen et al., ASPLOS '20) reimplementation (the original
+    is closed source; the paper's authors also reimplemented it): a
+    volatile index over a sequential PM log.  Minimal CLI and XBI
+    amplification — and the paper's counterexample: chronological layout
+    makes every range-query entry a random XPLine read (Fig 5). *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

@@ -1,0 +1,15 @@
+(* FPTree: hybrid SCM-DRAM B+-tree with fingerprinting (Oukid et al.,
+   SIGMOD '16).  See {!Fptree_core} for the shared implementation. *)
+
+type t = Fptree_core.t
+
+let name = "FPTree"
+let create dev = Fptree_core.make ~single_line_commit:false dev
+let upsert = Fptree_core.upsert
+let search = Fptree_core.search
+let delete = Fptree_core.delete
+let scan = Fptree_core.scan
+let flush_all = Fptree_core.flush_all
+let dram_bytes = Fptree_core.dram_bytes
+let pm_bytes = Fptree_core.pm_bytes
+let allocator = Fptree_core.allocator

@@ -1,0 +1,17 @@
+(** FPTree (Oukid et al., SIGMOD '16): hybrid SCM-DRAM B+-tree with
+    fingerprinting.  Volatile inner nodes; persistent unsorted leaves
+    committed via a bitmap word; an insert costs two flush+fence rounds
+    (KV slot, then metadata), both to the same random XPLine. *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

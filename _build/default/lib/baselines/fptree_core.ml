@@ -1,0 +1,165 @@
+(* Shared implementation of FPTree (Oukid et al., SIGMOD '16) and
+   LB+-Tree (Liu et al., VLDB '20): volatile inner nodes, persistent
+   256 B unsorted leaves with a bitmap and per-slot fingerprints.
+
+   The two differ in their flush discipline: FPTree persists the KV slot
+   and then the metadata in two flush+fence rounds; LB+-Tree packs
+   metadata and data into the first cacheline and prefers free slots
+   there, committing an insert with a single flush+fence in the common
+   case.  Both reduce cacheline flushes (CLI) but still dirty one random
+   XPLine per insert (XBI), which is the paper's point. *)
+
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+module L = Ccl_btree.Leaf_node
+module Idx = Ccl_btree.Inner_index
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  slab : Slab.t;
+  index : int Idx.t;  (* lower fence key -> leaf address *)
+  single_line_commit : bool;  (* LB+-Tree mode *)
+}
+
+let make_on ~single_line_commit alloc =
+  let dev = Alloc.device alloc in
+  let slab = Slab.create alloc Alloc.Leaf ~obj_size:L.size in
+  let head = Slab.alloc slab in
+  L.init dev head ~next:0;
+  let index = Idx.create () in
+  Idx.add index Int64.min_int head;
+  { dev; alloc; slab; index; single_line_commit }
+
+let make ~single_line_commit dev =
+  make_on ~single_line_commit (Alloc.format dev ~chunk_size:(64 * 1024))
+
+let allocator t = t.alloc
+
+let target_leaf t key =
+  match Idx.find_le t.index key with Some l -> l | None -> assert false
+
+(* Insert a fresh key into a leaf that has at least one free slot. *)
+let insert_free_slot t leaf ~key ~value =
+  let free = L.free_slots t.dev leaf in
+  let slot =
+    if t.single_line_commit then
+      (* prefer a slot in the first cacheline (slots 0 and 1) *)
+      match List.filter (fun i -> i < 2) free with
+      | i :: _ -> i
+      | [] -> List.hd free
+    else List.hd free
+  in
+  L.store_slot t.dev leaf slot ~key ~value;
+  let commit () =
+    L.store_fingerprint t.dev leaf slot key;
+    L.store_meta_word t.dev leaf
+      ~bitmap:(L.bitmap t.dev leaf lor (1 lsl slot))
+      ~next:(L.next t.dev leaf)
+  in
+  if t.single_line_commit && slot < 2 then begin
+    (* data and metadata share the first cacheline: one flush, one fence *)
+    commit ();
+    D.persist t.dev leaf 64
+  end
+  else begin
+    D.persist t.dev (L.slot_addr leaf slot) 16;
+    commit ();
+    D.persist t.dev leaf 32
+  end
+
+(* Split a full leaf, returning the leaf that should host [key]. *)
+let split_leaf t leaf key =
+  let entries =
+    List.sort (fun (a, _) (b, _) -> Int64.compare a b) (L.entries t.dev leaf)
+  in
+  let n = List.length entries in
+  let mid = n / 2 in
+  let right = List.filteri (fun i _ -> i >= mid) entries in
+  let right_low = fst (List.hd right) in
+  let new_leaf = Slab.alloc t.slab in
+  let bits = ref 0 in
+  List.iteri
+    (fun i (k, v) ->
+      L.store_slot t.dev new_leaf i ~key:k ~value:v;
+      L.store_fingerprint t.dev new_leaf i k;
+      bits := !bits lor (1 lsl i))
+    right;
+  L.store_meta_word t.dev new_leaf ~bitmap:!bits ~next:(L.next t.dev leaf);
+  D.persist t.dev new_leaf L.size;
+  (* atomic commit on the old leaf: drop moved slots, link the new leaf *)
+  let keep = ref 0 in
+  let bm = L.bitmap t.dev leaf in
+  for i = 0 to L.slots - 1 do
+    if bm land (1 lsl i) <> 0 then
+      if Int64.compare (L.key_at t.dev leaf i) right_low < 0 then
+        keep := !keep lor (1 lsl i)
+  done;
+  L.store_meta_word t.dev leaf ~bitmap:!keep ~next:new_leaf;
+  D.persist t.dev leaf 8;
+  Idx.add t.index right_low new_leaf;
+  if Int64.compare key right_low >= 0 then new_leaf else leaf
+
+let rec upsert t key value =
+  let leaf = target_leaf t key in
+  match L.find t.dev leaf key with
+  | Some i ->
+    (* in-place 8 B value update, one flush *)
+    D.store_u64 t.dev (L.slot_addr leaf i + 8) value;
+    D.persist t.dev (L.slot_addr leaf i + 8) 8
+  | None ->
+    if L.free_slots t.dev leaf = [] then begin
+      ignore (split_leaf t leaf key);
+      upsert t key value
+    end
+    else insert_free_slot t leaf ~key ~value
+
+let upsert t key value =
+  D.add_user_bytes t.dev 16;
+  upsert t key value
+
+let search t key =
+  let leaf = target_leaf t key in
+  match L.find t.dev leaf key with
+  | Some i -> Some (L.value_at t.dev leaf i)
+  | None -> None
+
+let delete t key =
+  D.add_user_bytes t.dev 16;
+  let leaf = target_leaf t key in
+  match L.find t.dev leaf key with
+  | Some i ->
+    L.store_meta_word t.dev leaf
+      ~bitmap:(L.bitmap t.dev leaf land lnot (1 lsl i))
+      ~next:(L.next t.dev leaf);
+    D.persist t.dev leaf 8
+  | None -> ()
+
+let scan t ~start n =
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk leaf =
+    if leaf <> 0 && !count < n then begin
+      let entries =
+        List.sort compare
+          (List.filter
+             (fun (k, _) -> Int64.compare k start >= 0)
+             (L.entries t.dev leaf))
+      in
+      List.iter
+        (fun e ->
+          if !count < n then begin
+            acc := e :: !acc;
+            incr count
+          end)
+        entries;
+      if !count < n then walk (L.next t.dev leaf)
+    end
+  in
+  walk (target_leaf t start);
+  Array.of_list (List.rev !acc)
+
+let flush_all _ = ()
+let dram_bytes t = Idx.dram_bytes t.index
+let pm_bytes t = Slab.used_bytes t.slab

@@ -1,0 +1,17 @@
+(** Shared implementation of FPTree and LB+-Tree: volatile inner nodes
+    over persistent 256 B unsorted leaves with bitmap + fingerprints.
+    [single_line_commit] selects LB+-Tree's first-cacheline packing
+    (metadata and a KV slot persisted with one flush+fence). *)
+
+type t
+
+val make : single_line_commit:bool -> Pmem.Device.t -> t
+val make_on : single_line_commit:bool -> Pmalloc.Alloc.t -> t
+val allocator : t -> Pmalloc.Alloc.t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int

@@ -1,0 +1,53 @@
+(** Common interface of every persistent index compared in the paper's
+    evaluation (CCL-BTree itself and the seven baselines).
+
+    All indexes operate on the same simulated device so their CLI/XBI
+    amplification and media traffic are directly comparable.  Value [0L]
+    is reserved (tombstone convention shared with CCL-BTree). *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Pmem.Device.t -> t
+  val upsert : t -> int64 -> int64 -> unit
+  val search : t -> int64 -> int64 option
+  val delete : t -> int64 -> unit
+  val scan : t -> start:int64 -> int -> (int64 * int64) array
+  val flush_all : t -> unit
+  (** Push any volatile buffered state to PM (end-of-run accounting). *)
+
+  val dram_bytes : t -> int
+  val pm_bytes : t -> int
+
+  val allocator : t -> Pmalloc.Alloc.t
+  (** The index's chunk allocator; experiments use it for uniform PM space
+      accounting and for out-of-band variable-size value heaps. *)
+end
+
+(** First-class driver record, letting the harness and benches iterate over
+    heterogeneous index instances uniformly. *)
+type driver = {
+  name : string;
+  upsert : int64 -> int64 -> unit;
+  search : int64 -> int64 option;
+  delete : int64 -> unit;
+  scan : start:int64 -> int -> (int64 * int64) array;
+  flush_all : unit -> unit;
+  dram_bytes : unit -> int;
+  pm_bytes : unit -> int;
+  allocator : unit -> Pmalloc.Alloc.t;
+}
+
+let driver (type a) (module M : S with type t = a) (t : a) =
+  {
+    name = M.name;
+    upsert = M.upsert t;
+    search = M.search t;
+    delete = M.delete t;
+    scan = (fun ~start n -> M.scan t ~start n);
+    flush_all = (fun () -> M.flush_all t);
+    dram_bytes = (fun () -> M.dram_bytes t);
+    pm_bytes = (fun () -> M.pm_bytes t);
+    allocator = (fun () -> M.allocator t);
+  }

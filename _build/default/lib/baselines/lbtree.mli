@@ -1,0 +1,18 @@
+(** LB+-Tree (Liu et al., VLDB '20): FPTree-style hybrid tree whose
+    leaves pack metadata and the first KV slots into one cacheline, so
+    the common insert commits with a single flush+fence (lowest
+    CLI-amplification of the tree baselines; XBI unchanged — the flush
+    still hits a random XPLine, which is the paper's point). *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

@@ -1,0 +1,198 @@
+(* PMEM-RocksDB stand-in: a two-level LSM tree on PM.  Inserts hit a DRAM
+   memtable fronted by a sequential WAL; full memtables flush to sorted
+   L0 runs; when enough L0 runs accumulate they are compacted with the L1
+   run into a fresh L1 run.  Compaction re-reads and rewrites all live
+   data — the write amplification that makes RocksDB an order of
+   magnitude slower than the PM-native indexes in the paper's Table 3 —
+   and both point and range queries must consult multiple sorted runs. *)
+
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module M = Map.Make (Int64)
+
+let name = "RocksDB-PM"
+let memtable_limit = 1024
+let l0_limit = 4
+
+type run = { chunks : int array; count : int }
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  mutable memtable : int64 M.t;
+  mutable wal_chunks : int list;
+  mutable wal_off : int;
+  mutable l0 : run list;  (* newest first *)
+  mutable l1 : run option;
+  mutable compactions : int;
+  per_chunk : int;
+}
+
+let create dev =
+  let alloc = Alloc.format dev ~chunk_size:(64 * 1024) in
+  {
+    dev;
+    alloc;
+    memtable = M.empty;
+    wal_chunks = [];
+    wal_off = 0;
+    l0 = [];
+    l1 = None;
+    compactions = 0;
+    per_chunk = Alloc.chunk_size alloc / 16;
+  }
+
+let entry_addr t run i =
+  run.chunks.(i / t.per_chunk) + (i mod t.per_chunk * 16)
+
+let run_key t run i = D.load_u64 t.dev (entry_addr t run i)
+let run_value t run i = D.load_u64 t.dev (entry_addr t run i + 8)
+
+(* Write a sorted entry list as a fresh run: sequential PM writes. *)
+let write_run t entries =
+  let count = List.length entries in
+  let nchunks = (count + t.per_chunk - 1) / t.per_chunk in
+  let chunks =
+    Array.init (max nchunks 1) (fun _ -> Alloc.alloc_chunk t.alloc Alloc.Extent)
+  in
+  let run = { chunks; count } in
+  List.iteri
+    (fun i (k, v) ->
+      let a = entry_addr t run i in
+      D.store_u64 t.dev a k;
+      D.store_u64 t.dev (a + 8) v)
+    entries;
+  Array.iter
+    (fun c -> D.flush_range t.dev c (Alloc.chunk_size t.alloc))
+    chunks;
+  D.sfence t.dev;
+  run
+
+let free_run t run = Array.iter (Alloc.free_chunk t.alloc) run.chunks
+
+let run_entries t run =
+  List.init run.count (fun i -> (run_key t run i, run_value t run i))
+
+(* Merge newest-first sources; earlier sources win on duplicate keys. *)
+let merge_sources sources ~drop_tombstones =
+  let tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun entries ->
+      List.iter
+        (fun (k, v) ->
+          if not (Hashtbl.mem tbl k) then Hashtbl.replace tbl k v)
+        entries)
+    sources;
+  Hashtbl.fold
+    (fun k v acc ->
+      if drop_tombstones && Int64.equal v 0L then acc else (k, v) :: acc)
+    tbl []
+  |> List.sort compare
+
+let compact t =
+  let l1_entries = match t.l1 with Some r -> run_entries t r | None -> [] in
+  let sources = List.map (run_entries t) t.l0 @ [ l1_entries ] in
+  let merged = merge_sources sources ~drop_tombstones:true in
+  let new_l1 = write_run t merged in
+  List.iter (free_run t) t.l0;
+  (match t.l1 with Some r -> free_run t r | None -> ());
+  t.l0 <- [];
+  t.l1 <- Some new_l1;
+  t.compactions <- t.compactions + 1
+
+let flush_memtable t =
+  if not (M.is_empty t.memtable) then begin
+    let entries = M.bindings t.memtable in
+    t.l0 <- write_run t entries :: t.l0;
+    t.memtable <- M.empty;
+    List.iter (Alloc.free_chunk t.alloc) t.wal_chunks;
+    t.wal_chunks <- [];
+    t.wal_off <- 0;
+    if List.length t.l0 >= l0_limit then compact t
+  end
+
+let wal_append t key value =
+  let cs = Alloc.chunk_size t.alloc in
+  (if t.wal_chunks = [] || t.wal_off + 16 > cs then begin
+     t.wal_chunks <- Alloc.alloc_chunk t.alloc Alloc.Log :: t.wal_chunks;
+     t.wal_off <- 0
+   end);
+  let addr = List.hd t.wal_chunks + t.wal_off in
+  D.store_u64 t.dev addr key;
+  D.store_u64 t.dev (addr + 8) value;
+  D.persist t.dev addr 16;
+  t.wal_off <- t.wal_off + 16
+
+let upsert_raw t key value =
+  D.add_user_bytes t.dev 16;
+  wal_append t key value;
+  t.memtable <- M.add key value t.memtable;
+  if M.cardinal t.memtable >= memtable_limit then flush_memtable t
+
+let upsert t key value = upsert_raw t key value
+let delete t key = upsert_raw t key 0L
+
+let find_in_run t run key =
+  (* binary search over the sorted run: ~log2(count) random PM reads *)
+  let rec go lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let k = run_key t run mid in
+      let c = Int64.compare key k in
+      if c = 0 then Some (run_value t run mid)
+      else if c < 0 then go lo mid
+      else go (mid + 1) hi
+    end
+  in
+  go 0 run.count
+
+let search t key =
+  let result =
+    match M.find_opt key t.memtable with
+    | Some v -> Some v
+    | None -> (
+      let rec through_runs = function
+        | [] -> ( match t.l1 with Some r -> find_in_run t r key | None -> None)
+        | r :: rest -> (
+          match find_in_run t r key with
+          | Some v -> Some v
+          | None -> through_runs rest)
+      in
+      through_runs t.l0)
+  in
+  match result with Some v when Int64.equal v 0L -> None | r -> r
+
+(* Range queries seek and sort-merge entries from every level. *)
+let scan t ~start n =
+  let clip entries =
+    List.filter (fun (k, _) -> Int64.compare k start >= 0) entries
+  in
+  let sources =
+    clip (M.bindings t.memtable)
+    :: List.map (fun r -> clip (run_entries t r)) t.l0
+    @ [ (match t.l1 with Some r -> clip (run_entries t r) | None -> []) ]
+  in
+  let merged = merge_sources sources ~drop_tombstones:true in
+  let rec take i = function
+    | [] -> []
+    | _ when i = 0 -> []
+    | x :: rest -> x :: take (i - 1) rest
+  in
+  Array.of_list (take n merged)
+
+let flush_all t = flush_memtable t
+let compaction_count t = t.compactions
+
+let dram_bytes t = M.cardinal t.memtable * 48
+
+let pm_bytes t =
+  let run_bytes = function
+    | Some r -> Array.length r.chunks * Alloc.chunk_size t.alloc
+    | None -> 0
+  in
+  List.fold_left (fun acc r -> acc + run_bytes (Some r)) 0 t.l0
+  + run_bytes t.l1
+  + (List.length t.wal_chunks * Alloc.chunk_size t.alloc)
+
+let allocator t = t.alloc

@@ -1,0 +1,21 @@
+(** PMEM-RocksDB stand-in: a two-level LSM tree on PM (memtable + WAL,
+    L0 runs, compacted L1).  Compaction re-reads and rewrites live data
+    (high write amplification) and queries consult multiple sorted runs —
+    why RocksDB trails every PM-native index in the paper's Table 3. *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+
+val flush_all : t -> unit
+(** Flush the memtable to an L0 run (may trigger compaction). *)
+
+val compaction_count : t -> int
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

@@ -1,0 +1,140 @@
+(* PACTree (Kim et al., SOSP '21) stand-in: a persistent range index whose
+   search layer and data layer both live in PM (the paper groups it with
+   FAST&FAIR as a "pure PM index" whose traversals cost PM reads).  We
+   model it as a PM-resident search layer (a FAST&FAIR-style B+-tree over
+   anchor keys, updated only on data-node splits — PACTree updates its
+   search layer asynchronously and rarely) over unsorted 256 B data nodes
+   with fingerprints (PACTree data nodes use permutation/fingerprint
+   metadata).  Point writes therefore cost a couple of flushes to a
+   random data node, searches cost several PM reads, scans ride the
+   data-node chain. *)
+
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+module L = Ccl_btree.Leaf_node
+
+let name = "PACTree"
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  slab : Slab.t;  (* data-layer nodes *)
+  anchors : Fastfair.t;  (* PM search layer: anchor key -> data node *)
+  head : int;
+}
+
+let create dev =
+  let alloc = Alloc.format dev ~chunk_size:(64 * 1024) in
+  let slab = Slab.create alloc Alloc.Leaf ~obj_size:L.size in
+  let anchors = Fastfair.create_on alloc in
+  let head = Slab.alloc slab in
+  L.init dev head ~next:0;
+  Fastfair.upsert anchors Int64.min_int (Int64.of_int head);
+  { dev; alloc; slab; anchors; head }
+
+(* Route through the PM search layer: greatest anchor <= key. *)
+let target_node t key =
+  match Fastfair.find_le t.anchors key with
+  | Some (_, v) -> Int64.to_int v
+  | None -> t.head
+
+let split_node t node key =
+  let entries =
+    List.sort compare (L.entries t.dev node)
+  in
+  let n = List.length entries in
+  let right = List.filteri (fun i _ -> i >= n / 2) entries in
+  let right_low = fst (List.hd right) in
+  let new_node = Slab.alloc t.slab in
+  let bits = ref 0 in
+  List.iteri
+    (fun i (k, v) ->
+      L.store_slot t.dev new_node i ~key:k ~value:v;
+      L.store_fingerprint t.dev new_node i k;
+      bits := !bits lor (1 lsl i))
+    right;
+  L.store_meta_word t.dev new_node ~bitmap:!bits ~next:(L.next t.dev node);
+  D.persist t.dev new_node L.size;
+  let keep = ref 0 in
+  let bm = L.bitmap t.dev node in
+  for i = 0 to L.slots - 1 do
+    if bm land (1 lsl i) <> 0 then
+      if Int64.compare (L.key_at t.dev node i) right_low < 0 then
+        keep := !keep lor (1 lsl i)
+  done;
+  L.store_meta_word t.dev node ~bitmap:!keep ~next:new_node;
+  D.persist t.dev node 8;
+  (* asynchronous search-layer update, modeled synchronously *)
+  Fastfair.upsert t.anchors right_low (Int64.of_int new_node);
+  if Int64.compare key right_low >= 0 then new_node else node
+
+let rec upsert_in t key value =
+  let node = target_node t key in
+  match L.find t.dev node key with
+  | Some i ->
+    D.store_u64 t.dev (L.slot_addr node i + 8) value;
+    D.persist t.dev (L.slot_addr node i + 8) 8
+  | None -> (
+    match L.free_slots t.dev node with
+    | [] ->
+      ignore (split_node t node key);
+      upsert_in t key value
+    | slot :: _ ->
+      L.store_slot t.dev node slot ~key ~value;
+      D.persist t.dev (L.slot_addr node slot) 16;
+      L.store_fingerprint t.dev node slot key;
+      L.store_meta_word t.dev node
+        ~bitmap:(L.bitmap t.dev node lor (1 lsl slot))
+        ~next:(L.next t.dev node);
+      D.persist t.dev node 32)
+
+let upsert t key value =
+  D.add_user_bytes t.dev 16;
+  upsert_in t key value
+
+let search t key =
+  let node = target_node t key in
+  match L.find t.dev node key with
+  | Some i -> Some (L.value_at t.dev node i)
+  | None -> None
+
+let delete t key =
+  D.add_user_bytes t.dev 16;
+  let node = target_node t key in
+  match L.find t.dev node key with
+  | Some i ->
+    L.store_meta_word t.dev node
+      ~bitmap:(L.bitmap t.dev node land lnot (1 lsl i))
+      ~next:(L.next t.dev node);
+    D.persist t.dev node 8
+  | None -> ()
+
+let scan t ~start n =
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk node =
+    if node <> 0 && !count < n then begin
+      let entries =
+        List.sort compare
+          (List.filter
+             (fun (k, _) -> Int64.compare k start >= 0)
+             (L.entries t.dev node))
+      in
+      List.iter
+        (fun e ->
+          if !count < n then begin
+            acc := e :: !acc;
+            incr count
+          end)
+        entries;
+      if !count < n then walk (L.next t.dev node)
+    end
+  in
+  walk (target_node t start);
+  Array.of_list (List.rev !acc)
+
+let flush_all _ = ()
+let dram_bytes _ = 16
+let pm_bytes t = Slab.used_bytes t.slab + Fastfair.pm_bytes t.anchors
+let allocator t = t.alloc

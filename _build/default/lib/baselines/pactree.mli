@@ -1,0 +1,18 @@
+(** PACTree (Kim et al., SOSP '21) stand-in: a pure-PM range index — a
+    FAST&FAIR-style search layer over unsorted fingerprinted data nodes,
+    with the search layer updated only on splits (PACTree updates it
+    asynchronously).  NUMA-aware in the performance model, per the PAC
+    guidelines. *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

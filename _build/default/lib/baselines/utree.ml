@@ -1,0 +1,100 @@
+(* uTree (Chen et al., VLDB '20): a B+-tree layer in DRAM whose leaf layer
+   is a persistent singly-linked list with one KV per 32 B list node.
+   Structural refinements (splits/merges) happen entirely in DRAM, which
+   gives low tail latency, but every insert writes two random PM lines
+   (the new node and its predecessor's next pointer) and scans chase
+   pointers through random XPLines. *)
+
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+module M = Map.Make (Int64)
+
+let name = "uTree"
+let node_size = 32
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  slab : Slab.t;
+  mutable map : int M.t;  (* DRAM index: key -> PM list node *)
+  head : int;  (* PM sentinel node *)
+}
+
+(* list node: [0..7] key, [8..15] value, [16..23] next *)
+let node_key t a = D.load_u64 t.dev a
+let node_value t a = D.load_u64 t.dev (a + 8)
+let node_next t a = Int64.to_int (D.load_u64 t.dev (a + 16))
+
+let create dev =
+  let alloc = Alloc.format dev ~chunk_size:(64 * 1024) in
+  let slab = Slab.create alloc Alloc.Leaf ~obj_size:node_size in
+  let head = Slab.alloc slab in
+  D.fill dev head node_size '\000';
+  D.store_u64 dev head Int64.min_int;
+  D.persist dev head node_size;
+  { dev; alloc; slab; map = M.empty; head }
+
+let pred_node t key =
+  match M.find_last_opt (fun k -> Int64.compare k key < 0) t.map with
+  | Some (_, a) -> a
+  | None -> t.head
+
+let upsert t key value =
+  D.add_user_bytes t.dev 16;
+  match M.find_opt key t.map with
+  | Some a ->
+    (* in-place update of the PM list node *)
+    D.store_u64 t.dev (a + 8) value;
+    D.persist t.dev (a + 8) 8
+  | None ->
+    let pred = pred_node t key in
+    let a = Slab.alloc t.slab in
+    D.store_u64 t.dev a key;
+    D.store_u64 t.dev (a + 8) value;
+    D.store_u64 t.dev (a + 16) (Int64.of_int (node_next t pred));
+    D.persist t.dev a 24;
+    (* second random PM write: predecessor link (8 B atomic) *)
+    D.store_u64 t.dev (pred + 16) (Int64.of_int a);
+    D.persist t.dev (pred + 16) 8;
+    t.map <- M.add key a t.map
+
+let search t key =
+  match M.find_opt key t.map with
+  | Some a -> Some (node_value t a)
+  | None -> None
+
+let delete t key =
+  D.add_user_bytes t.dev 16;
+  match M.find_opt key t.map with
+  | Some a ->
+    let pred = pred_node t key in
+    D.store_u64 t.dev (pred + 16) (Int64.of_int (node_next t a));
+    D.persist t.dev (pred + 16) 8;
+    Slab.free t.slab a;
+    t.map <- M.remove key t.map
+  | None -> ()
+
+(* Scans chase the PM linked list: one random XPLine read per entry. *)
+let scan t ~start n =
+  let first =
+    match M.find_first_opt (fun k -> Int64.compare k start >= 0) t.map with
+    | Some (_, a) -> a
+    | None -> 0
+  in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk a =
+    if a <> 0 && !count < n then begin
+      acc := (node_key t a, node_value t a) :: !acc;
+      incr count;
+      walk (node_next t a)
+    end
+  in
+  walk first;
+  Array.of_list (List.rev !acc)
+
+let flush_all _ = ()
+let dram_bytes t = M.cardinal t.map * 48
+let pm_bytes t = Slab.used_bytes t.slab
+let allocator t = t.alloc

@@ -1,0 +1,18 @@
+(** uTree (Chen et al., VLDB '20): DRAM index over a persistent
+    singly-linked list with one KV per 32 B node.  Structural operations
+    stay in DRAM (low tail latency), but each insert writes two random
+    PM lines (node + predecessor link) and scans chase pointers through
+    random XPLines — the worst scan throughput in the paper's Fig 10(e). *)
+
+type t
+
+val name : string
+val create : Pmem.Device.t -> t
+val upsert : t -> int64 -> int64 -> unit
+val search : t -> int64 -> int64 option
+val delete : t -> int64 -> unit
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+val flush_all : t -> unit
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val allocator : t -> Pmalloc.Alloc.t

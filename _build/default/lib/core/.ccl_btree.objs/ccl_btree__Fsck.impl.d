@@ -1,0 +1,1 @@
+lib/core/fsck.ml: Fmt Hashtbl Int64 Leaf_node List Option Pmalloc Pmem String Walog

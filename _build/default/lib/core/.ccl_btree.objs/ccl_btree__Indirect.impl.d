@@ -1,0 +1,1 @@
+lib/core/indirect.ml: Bytes Char Int64 Pmalloc Pmem String

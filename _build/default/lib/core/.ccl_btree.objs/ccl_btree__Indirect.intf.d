@@ -1,0 +1,1 @@
+lib/core/indirect.mli: Pmalloc Pmem

@@ -1,0 +1,1 @@
+lib/core/inner_index.ml: Int64 Map

@@ -1,0 +1,1 @@
+lib/core/inner_index.mli:

@@ -1,0 +1,1 @@
+lib/core/leaf_node.mli: Pmem

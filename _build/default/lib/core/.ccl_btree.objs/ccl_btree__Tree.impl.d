@@ -1,0 +1,1 @@
+lib/core/tree.ml: Array Buffer_node Config Fmt Hashtbl Indirect Inner_index Int64 Leaf_node List Option Pmalloc Pmem String Tree_stats Walog

@@ -1,0 +1,1 @@
+lib/core/tree.mli: Config Pmalloc Pmem Tree_stats

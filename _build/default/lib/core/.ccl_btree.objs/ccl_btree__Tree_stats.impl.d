@@ -1,0 +1,1 @@
+lib/core/tree_stats.ml: Fmt

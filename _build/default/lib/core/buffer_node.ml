@@ -1,0 +1,106 @@
+type t = {
+  mutable leaf : int;
+  mutable version : int;
+  mutable low : int64;
+  mutable next : t option;
+  mutable prev : t option;
+  keys : int64 array;
+  vals : int64 array;
+  tss : int64 array;
+  mutable valid : int;
+  mutable unflushed : int;
+  mutable epoch : int;
+}
+
+let create ~nbatch ~leaf ~low =
+  {
+    leaf;
+    version = 0;
+    low;
+    next = None;
+    prev = None;
+    keys = Array.make nbatch 0L;
+    vals = Array.make nbatch 0L;
+    tss = Array.make nbatch 0L;
+    valid = 0;
+    unflushed = 0;
+    epoch = 0;
+  }
+
+let nbatch t = Array.length t.keys
+
+let find t key =
+  let n = nbatch t in
+  let rec scan i =
+    if i >= n then None
+    else if t.valid land (1 lsl i) <> 0 && Int64.equal t.keys.(i) key then
+      Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let popcount b =
+  let rec go n b = if b = 0 then n else go (n + (b land 1)) (b lsr 1) in
+  go 0 b
+
+let unflushed_count t = popcount t.unflushed
+
+let cached_slots t =
+  let n = nbatch t in
+  let rec collect i acc =
+    if i < 0 then acc
+    else if t.valid land (1 lsl i) <> 0 && t.unflushed land (1 lsl i) = 0 then
+      collect (i - 1) (i :: acc)
+    else collect (i - 1) acc
+  in
+  collect (n - 1) []
+
+let free_slot t =
+  let n = nbatch t in
+  let rec scan i =
+    if i >= n then None
+    else if t.valid land (1 lsl i) = 0 then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let unflushed_entries t =
+  let n = nbatch t in
+  let rec collect i acc =
+    if i < 0 then acc
+    else if t.unflushed land (1 lsl i) <> 0 then
+      collect (i - 1) ((t.keys.(i), t.vals.(i), t.tss.(i)) :: acc)
+    else collect (i - 1) acc
+  in
+  collect (n - 1) []
+
+let set_slot t i ~key ~value ~ts ~epoch =
+  t.keys.(i) <- key;
+  t.vals.(i) <- value;
+  t.tss.(i) <- ts;
+  t.valid <- t.valid lor (1 lsl i);
+  t.unflushed <- t.unflushed lor (1 lsl i);
+  if epoch <> 0 then t.epoch <- t.epoch lor (1 lsl i)
+  else t.epoch <- t.epoch land lnot (1 lsl i)
+
+let mark_all_flushed t = t.unflushed <- 0
+
+let clear t =
+  t.valid <- 0;
+  t.unflushed <- 0;
+  t.epoch <- 0
+
+let lock t =
+  assert (t.version land 1 = 0);
+  t.version <- t.version + 1
+
+let unlock t =
+  assert (t.version land 1 = 1);
+  t.version <- t.version + 1
+
+let is_locked t = t.version land 1 = 1
+
+let dram_bytes ~nbatch =
+  (* 8 B compressed header (leaf ptr / lock / epoch bitmap / position in
+     the paper's packing) + N_batch 16 B slots, plus chain pointers. *)
+  8 + (nbatch * 16) + 24

@@ -1,0 +1,54 @@
+(** Volatile buffer nodes (paper Fig 7(a), §3.2).
+
+    One buffer node fronts each persistent leaf.  It holds up to N_batch
+    KVs: *unflushed* entries waiting to be written to the leaf in one
+    XPLine write, and *cached* entries that were already flushed but are
+    retained to serve reads from DRAM.  Per-slot epoch bits drive the
+    locality-aware GC; the version counter implements the optimistic
+    version-lock protocol of §4.4 (odd = write-locked). *)
+
+type t = {
+  mutable leaf : int;  (** PM address of the backing leaf node. *)
+  mutable version : int;
+  mutable low : int64;  (** Lower fence key (inclusive). *)
+  mutable next : t option;  (** Leaf-order chain. *)
+  mutable prev : t option;
+  keys : int64 array;
+  vals : int64 array;
+  tss : int64 array;  (** Log timestamp of each unflushed entry. *)
+  mutable valid : int;  (** Bitmask: slot holds a meaningful KV. *)
+  mutable unflushed : int;  (** Subset of [valid] not yet in the leaf. *)
+  mutable epoch : int;  (** Per-slot epoch bits (GC, §3.4). *)
+}
+
+val create : nbatch:int -> leaf:int -> low:int64 -> t
+val nbatch : t -> int
+val find : t -> int64 -> int option  (** Slot of [key] among valid slots. *)
+
+val unflushed_count : t -> int
+
+val cached_slots : t -> int list
+(** Valid but already flushed. *)
+
+val free_slot : t -> int option
+(** An invalid slot, if any. *)
+
+val unflushed_entries : t -> (int64 * int64 * int64) list
+(** (key, value, ts) of every unflushed slot. *)
+
+val set_slot :
+  t -> int -> key:int64 -> value:int64 -> ts:int64 -> epoch:int -> unit
+(** Fill a slot and mark it valid + unflushed with the given epoch bit. *)
+
+val mark_all_flushed : t -> unit
+val clear : t -> unit
+
+(** {1 Version lock} *)
+
+val lock : t -> unit
+val unlock : t -> unit
+val is_locked : t -> bool
+
+val dram_bytes : nbatch:int -> int
+(** Approximate DRAM footprint of one buffer node (memory accounting,
+    Table 1 / Fig 18). *)

@@ -1,0 +1,37 @@
+(** Tunables of CCL-BTree, mirroring the paper's parameters. *)
+
+type gc_strategy =
+  | Locality_aware  (** §3.4: copy survivors B-log → I-log, never flush. *)
+  | Naive  (** Stop-the-world: flush all buffers to leaves, reclaim logs. *)
+  | Disabled  (** Never reclaim (baseline for Fig 14's "w/o GC"). *)
+
+type t = {
+  nbatch : int;  (** Buffer-node slots, N_batch (default 2, Table 1). *)
+  th_log : float;
+      (** GC trigger: live log bytes / leaf bytes threshold (default 0.20,
+          Table 2). *)
+  gc_strategy : gc_strategy;
+  gc_step_nodes : int;
+      (** Buffer nodes the (simulated) background GC thread scans per
+          foreground operation while a GC is active. *)
+  threads : int;  (** Number of per-thread WALs. *)
+  conservative_logging : bool;
+      (** §3.3: skip the log append for trigger writes.  [false] gives the
+          +BNode ablation of Fig 13. *)
+  buffering : bool;
+      (** [false] disables buffer nodes entirely (writes go straight to the
+          leaf): the Base ablation of Fig 13. *)
+  chunk_size : int;  (** Allocator chunk size (4 MB in the paper; scaled). *)
+}
+
+let default =
+  {
+    nbatch = 2;
+    th_log = 0.20;
+    gc_strategy = Locality_aware;
+    gc_step_nodes = 8;
+    threads = 1;
+    conservative_logging = true;
+    buffering = true;
+    chunk_size = 64 * 1024;
+  }

@@ -1,0 +1,117 @@
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module L = Leaf_node
+
+type report = {
+  leaves : int;
+  entries : int;
+  chain_ordered : bool;
+  fingerprint_mismatches : int;
+  orphan_leaf_slots : int;
+  log_chunks : int;
+  log_entries : int;
+  log_bytes : int;
+  errors : string list;
+}
+
+let tree_magic = 0x43434C2D42545245L (* must match Tree.tree_magic *)
+
+let check dev =
+  let alloc = Alloc.attach dev in
+  let sb = Alloc.superblock alloc in
+  if D.load_u64 dev sb <> tree_magic then
+    invalid_arg "Fsck.check: no CCL-BTree on this device";
+  let head = Int64.to_int (D.load_u64 dev (sb + 8)) in
+  let errors = ref [] in
+  let error fmt = Fmt.kstr (fun m -> errors := m :: !errors) fmt in
+  (* walk the leaf chain *)
+  let reachable = Hashtbl.create 1024 in
+  let leaves = ref 0 in
+  let entries = ref 0 in
+  let fp_bad = ref 0 in
+  let ordered = ref true in
+  let prev_max = ref None in
+  let rec walk addr =
+    if addr <> 0 then begin
+      if Hashtbl.mem reachable addr then
+        error "leaf chain cycle at %#x" addr
+      else begin
+        Hashtbl.replace reachable addr ();
+        incr leaves;
+        let bm = L.bitmap dev addr in
+        let keys = ref [] in
+        for i = 0 to L.slots - 1 do
+          if bm land (1 lsl i) <> 0 then begin
+            incr entries;
+            let k = L.key_at dev addr i in
+            keys := k :: !keys;
+            if D.load_u8 dev (addr + 16 + i) <> L.fingerprint k then begin
+              incr fp_bad;
+              error "fingerprint mismatch: leaf %#x slot %d" addr i
+            end
+          end
+        done;
+        (match (!prev_max, !keys) with
+        | Some pm, _ :: _ ->
+          let mn = List.fold_left min (List.hd !keys) !keys in
+          if Int64.compare pm mn >= 0 then begin
+            ordered := false;
+            error "chain order violated before leaf %#x" addr
+          end
+        | _ -> ());
+        (match !keys with
+        | [] -> ()
+        | k0 :: rest ->
+          prev_max :=
+            Some
+              (List.fold_left max
+                 (Option.value !prev_max ~default:k0)
+                 (k0 :: rest)));
+        walk (L.next dev addr)
+      end
+    end
+  in
+  walk head;
+  (* count leaf-tagged slots not reachable from the chain *)
+  let orphans = ref 0 in
+  Alloc.iter_chunks alloc Alloc.Leaf (fun chunk ->
+      let per = Alloc.chunk_size alloc / L.size in
+      for i = 0 to per - 1 do
+        let addr = chunk + (i * L.size) in
+        if (not (Hashtbl.mem reachable addr)) && L.bitmap dev addr <> 0 then
+          incr orphans
+      done);
+  (* log statistics via a replay scan *)
+  let log_entries = ref 0 in
+  ignore
+    (Walog.Wal.replay alloc ~f:(fun ~key:_ ~value:_ ~ts:_ -> incr log_entries));
+  let log_chunks = ref 0 in
+  Alloc.iter_chunks alloc Alloc.Log (fun _ -> incr log_chunks);
+  {
+    leaves = !leaves;
+    entries = !entries;
+    chain_ordered = !ordered;
+    fingerprint_mismatches = !fp_bad;
+    orphan_leaf_slots = !orphans;
+    log_chunks = !log_chunks;
+    log_entries = !log_entries;
+    log_bytes = !log_entries * Walog.Wal.entry_size;
+    errors = List.rev !errors;
+  }
+
+let is_healthy r = r.errors = []
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>leaves                 %d@,\
+     entries                %d@,\
+     chain ordered          %b@,\
+     fingerprint mismatches %d@,\
+     orphan leaf slots      %d@,\
+     log chunks             %d@,\
+     log entries            %d (%d B)@,\
+     status                 %s@]"
+    r.leaves r.entries r.chain_ordered r.fingerprint_mismatches
+    r.orphan_leaf_slots r.log_chunks r.log_entries r.log_bytes
+    (if is_healthy r then "HEALTHY"
+     else String.concat "; " r.errors)

@@ -1,0 +1,31 @@
+(** Offline consistency checker for CCL-BTree persistent images (the
+    [pmempool check] analog).
+
+    Walks the persistent structures directly — superblock, chunk table,
+    leaf chain, write-ahead logs — without constructing a tree, and
+    reports both integrity violations and a structural summary.  Useful
+    after a crash, on a loaded image file, or as a debugging aid. *)
+
+type report = {
+  leaves : int;
+  entries : int;
+  chain_ordered : bool;  (** Keys strictly increase across the chain. *)
+  fingerprint_mismatches : int;
+  orphan_leaf_slots : int;
+      (** Leaf-tagged slab slots not reachable from the chain (reclaimed
+          automatically by recovery; non-zero is normal after a crash
+          that interrupted a split). *)
+  log_chunks : int;
+  log_entries : int;  (** Valid (replayable) WAL entries. *)
+  log_bytes : int;
+  errors : string list;  (** Human-readable integrity violations. *)
+}
+
+val check : Pmem.Device.t -> report
+(** @raise Invalid_argument when the device holds no CCL-BTree. *)
+
+val pp : Format.formatter -> report -> unit
+
+val is_healthy : report -> bool
+(** No integrity violations (orphans alone do not make an image
+    unhealthy). *)

@@ -1,0 +1,78 @@
+module D = Pmem.Device
+
+let pointer_bit = Int64.shift_left 1L 63
+let is_pointer v = Int64.logand v pointer_bit <> 0L
+let pointer_addr v = Int64.to_int (Int64.logand v 0xFFFF_FFFF_FFFFL)
+
+let inline_max = 6
+
+let encode_inline s =
+  let len = String.length s in
+  assert (len <= inline_max);
+  let v = ref (Int64.of_int (len + 1)) in
+  (* tag byte [len+1] sits in bits 48..55; data fills bits 0..47 *)
+  v := Int64.shift_left !v 48;
+  String.iteri
+    (fun i c -> v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code c)) (8 * i)))
+    s;
+  !v
+
+let decode_inline v =
+  let len = Int64.to_int (Int64.shift_right_logical v 48) - 1 in
+  String.init len (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+
+let pointer_len dev v =
+  let addr = pointer_addr v in
+  let len = Int64.to_int (Int64.logand (D.load_u64 dev addr) 0xFFFF_FFFFL) in
+  len + 4
+
+let encode_value dev extent s =
+  let len = String.length s in
+  if len <= inline_max then encode_inline s
+  else begin
+    let addr = Pmalloc.Extent.alloc extent (len + 4) in
+    D.store_u64 dev addr (Int64.of_int len);
+    (* the u64 store covers the 4-byte header plus padding; the payload
+       follows at +4 *)
+    D.store_string dev (addr + 4) s;
+    D.persist dev addr (len + 4);
+    Int64.logor pointer_bit (Int64.of_int addr)
+  end
+
+let decode_value dev v =
+  if is_pointer v then begin
+    let addr = pointer_addr v in
+    let len = Int64.to_int (Int64.logand (D.load_u64 dev addr) 0xFFFF_FFFFL) in
+    Bytes.to_string (D.load dev (addr + 4) len)
+  end
+  else decode_inline v
+
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let encode_key s =
+  let len = String.length s in
+  if len <= 8 then begin
+    (* big-endian pack preserves order for ASCII keys *)
+    let v = ref 0L in
+    for i = 0 to 7 do
+      let byte = if i < len then Char.code s.[i] else 0 in
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+    done;
+    !v
+  end
+  else
+    (* clear the sign bit so hashed keys stay in the positive range *)
+    Int64.logand (fnv1a s) Int64.max_int
+
+let mark_used dev extent v =
+  if is_pointer v then
+    Pmalloc.Extent.mark_used extent ~addr:(pointer_addr v)
+      ~len:(pointer_len dev v)

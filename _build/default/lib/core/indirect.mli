@@ -1,0 +1,32 @@
+(** Indirection pointers for variable-size keys and values (paper
+    Optimization #3, §4.4).
+
+    An 8 B word in the tree is either inline data or a pointer to an
+    out-of-band extent, distinguished by the most significant bit:
+
+    - values of at most 6 bytes are stored inline
+      ([0x00 | len+1 | data]), so the tombstone [0L] never collides with a
+      real value;
+    - larger values live in an {!Pmalloc.Extent} region prefixed by a
+      32-bit length, and the tree stores [0x80<<56 | address].
+
+    Keys up to 8 bytes are packed inline big-endian, which preserves
+    lexicographic order under signed [Int64] comparison for ASCII keys;
+    longer keys are mapped through a 64-bit FNV-1a hash (range scans over
+    hashed keys are not order-meaningful; the paper's variable-size
+    experiments, Fig 15(b)(c), only measure point operations). *)
+
+val is_pointer : int64 -> bool
+val pointer_addr : int64 -> int
+val pointer_len : Pmem.Device.t -> int64 -> int
+(** Total extent length (header included) of a pointer word, for recovery
+    watermark accounting. *)
+
+val encode_value : Pmem.Device.t -> Pmalloc.Extent.t -> string -> int64
+(** Persist the value (if out-of-band) and return the tree word.  The
+    extent write is durable before the word is returned. *)
+
+val decode_value : Pmem.Device.t -> int64 -> string
+val encode_key : string -> int64
+val mark_used : Pmem.Device.t -> Pmalloc.Extent.t -> int64 -> unit
+(** Recovery: re-account the extent referenced by a pointer word. *)

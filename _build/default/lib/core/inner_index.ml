@@ -1,0 +1,19 @@
+module M = Map.Make (Int64)
+
+type 'a t = { mutable map : 'a M.t }
+
+let create () = { map = M.empty }
+let add t k v = t.map <- M.add k v t.map
+let remove t k = t.map <- M.remove k t.map
+
+let find_le t k =
+  match M.find_last_opt (fun k' -> Int64.compare k' k <= 0) t.map with
+  | Some (_, v) -> Some v
+  | None -> None
+
+let iter t f = M.iter f t.map
+let cardinal t = M.cardinal t.map
+
+let dram_bytes t =
+  (* a fence key, a pointer and balanced-tree overhead per entry *)
+  M.cardinal t.map * 48

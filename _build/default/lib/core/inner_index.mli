@@ -1,0 +1,20 @@
+(** Volatile inner-node layer.
+
+    The paper reuses FAST&FAIR's inner nodes placed in DRAM (§4.1) and
+    notes they "can be easily replaced by other existing index structure
+    implementations"; since the inner layer is volatile and rebuilt on
+    recovery, we use a balanced ordered map keyed by each buffer node's
+    lower fence key.  Routing = greatest fence key ≤ search key. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> int64 -> 'a -> unit
+val remove : 'a t -> int64 -> unit
+val find_le : 'a t -> int64 -> 'a option
+(** The value with the greatest fence key ≤ the argument. *)
+
+val iter : 'a t -> (int64 -> 'a -> unit) -> unit
+val cardinal : 'a t -> int
+val dram_bytes : 'a t -> int
+(** Approximate DRAM footprint (inner-node memory accounting). *)

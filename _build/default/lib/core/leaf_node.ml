@@ -1,0 +1,81 @@
+module D = Pmem.Device
+
+type addr = int
+
+let size = 256
+let slots = 14
+let bitmap_mask = (1 lsl slots) - 1
+
+let fingerprint key =
+  let h = Int64.mul key 0x9E3779B97F4A7C15L in
+  Int64.to_int (Int64.shift_right_logical h 56) land 0xff
+
+let meta_word dev addr = D.load_u64 dev addr
+
+let bitmap dev addr = Int64.to_int (meta_word dev addr) land bitmap_mask
+
+let next dev addr =
+  Int64.to_int (Int64.shift_right_logical (meta_word dev addr) 16)
+
+let store_meta_word dev addr ~bitmap ~next =
+  assert (bitmap land lnot bitmap_mask = 0);
+  let w = Int64.logor (Int64.of_int bitmap)
+      (Int64.shift_left (Int64.of_int next) 16)
+  in
+  D.store_u64 dev addr w
+
+let timestamp dev addr = D.load_u64 dev (addr + 8)
+let store_timestamp dev addr ts = D.store_u64 dev (addr + 8) ts
+
+let store_fingerprint dev addr i key =
+  D.store_u8 dev (addr + 16 + i) (fingerprint key)
+
+let slot_addr addr i = addr + 32 + (i * 16)
+let key_at dev addr i = D.load_u64 dev (slot_addr addr i)
+let value_at dev addr i = D.load_u64 dev (slot_addr addr i + 8)
+
+let store_slot dev addr i ~key ~value =
+  D.store_u64 dev (slot_addr addr i) key;
+  D.store_u64 dev (slot_addr addr i + 8) value
+
+let valid_count dev addr =
+  let rec pop n b = if b = 0 then n else pop (n + (b land 1)) (b lsr 1) in
+  pop 0 (bitmap dev addr)
+
+let find dev addr key =
+  let bm = bitmap dev addr in
+  let fp = fingerprint key in
+  let rec scan i =
+    if i >= slots then None
+    else if
+      bm land (1 lsl i) <> 0
+      && D.load_u8 dev (addr + 16 + i) = fp
+      && key_at dev addr i = key
+    then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let entries dev addr =
+  let bm = bitmap dev addr in
+  let rec collect i acc =
+    if i < 0 then acc
+    else if bm land (1 lsl i) <> 0 then
+      collect (i - 1) ((key_at dev addr i, value_at dev addr i) :: acc)
+    else collect (i - 1) acc
+  in
+  collect (slots - 1) []
+
+let free_slots dev addr =
+  let bm = bitmap dev addr in
+  let rec collect i acc =
+    if i < 0 then acc
+    else if bm land (1 lsl i) = 0 then collect (i - 1) (i :: acc)
+    else collect (i - 1) acc
+  in
+  collect (slots - 1) []
+
+let init dev addr ~next =
+  D.fill dev addr size '\000';
+  store_meta_word dev addr ~bitmap:0 ~next;
+  D.persist dev addr size

@@ -1,0 +1,59 @@
+(** 256 B persistent leaf nodes (paper Fig 7(b), §4.1).
+
+    One leaf node fills exactly one XPLine so a batch insertion is a single
+    XPLine write.  Layout:
+
+    {v
+      0  .. 7    bitmap(14 bits) | next-leaf address << 16   (8 B atomic)
+      8  .. 15   timestamp of the last batch flush
+      16 .. 29   one-byte fingerprints for the 14 slots
+      30 .. 31   padding
+      32 .. 255  14 slots of 16 B: key u64, value u64 (unsorted)
+    v}
+
+    Packing bitmap and next pointer into one word lets split and merge
+    commit with a single atomic 8 B persist (logless split, §4.2).  Keys
+    are unsorted within the leaf; order is maintained only {e between}
+    adjacent leaves. *)
+
+type addr = int
+
+val size : int  (** 256 *)
+
+val slots : int  (** 14 *)
+
+val fingerprint : int64 -> int
+(** One-byte hash used to prefilter slots on search (as in FPTree). *)
+
+(** {1 Metadata accessors}  All loads/stores go through the simulated
+    device and are accounted.  Stores do not flush; callers own the
+    persistence protocol. *)
+
+val bitmap : Pmem.Device.t -> addr -> int
+val next : Pmem.Device.t -> addr -> addr  (** 0 = end of chain. *)
+
+val store_meta_word : Pmem.Device.t -> addr -> bitmap:int -> next:addr -> unit
+val timestamp : Pmem.Device.t -> addr -> int64
+val store_timestamp : Pmem.Device.t -> addr -> int64 -> unit
+val store_fingerprint : Pmem.Device.t -> addr -> int -> int64 -> unit
+
+(** {1 Slots} *)
+
+val key_at : Pmem.Device.t -> addr -> int -> int64
+val value_at : Pmem.Device.t -> addr -> int -> int64
+val store_slot : Pmem.Device.t -> addr -> int -> key:int64 -> value:int64 -> unit
+val slot_addr : addr -> int -> int
+
+val valid_count : Pmem.Device.t -> addr -> int
+
+val find : Pmem.Device.t -> addr -> int64 -> int option
+(** Slot index holding the key, filtered through fingerprints. *)
+
+val entries : Pmem.Device.t -> addr -> (int64 * int64) list
+(** Valid (key, value) pairs, unsorted. *)
+
+val free_slots : Pmem.Device.t -> addr -> int list
+(** Indices of invalid slots. *)
+
+val init : Pmem.Device.t -> addr -> next:addr -> unit
+(** Zero a freshly allocated leaf and persist it (empty bitmap). *)

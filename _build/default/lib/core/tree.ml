@@ -1,0 +1,883 @@
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+module Extent = Pmalloc.Extent
+module Wal = Walog.Wal
+module Clock = Walog.Clock
+module B = Buffer_node
+module L = Leaf_node
+
+let tree_magic = 0x43434C2D42545245L (* "CCL-BTRE" *)
+
+type gc_state = { mutable cursor : B.t option; old_epoch : int }
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  slab : Slab.t;
+  extent : Extent.t;
+  mutable wal : Wal.t;
+  clock : Clock.t;
+  cfg : Config.t;
+  index : B.t Inner_index.t;
+  mutable head : B.t;
+  mutable global_epoch : int;
+  mutable gc : gc_state option;
+  mutable gc_floor : int;
+      (* live log bytes right after the last reclaim: entries still
+         buffered cannot be reclaimed, so re-triggering before the log has
+         grown well past this floor would make GC spin *)
+  stats : Tree_stats.t;
+  mutable rr_thread : int;
+}
+
+let device t = t.dev
+let allocator t = t.alloc
+let stats t = t.stats
+let config t = t.cfg
+let gc_active t = t.gc <> None
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(cfg = Config.default) dev =
+  assert (cfg.Config.nbatch >= 1 && cfg.Config.nbatch <= 12);
+  let alloc = Alloc.format dev ~chunk_size:cfg.Config.chunk_size in
+  let slab = Slab.create alloc Alloc.Leaf ~obj_size:L.size in
+  let extent = Extent.create alloc in
+  let clock = Clock.create () in
+  let wal = Wal.create alloc clock ~threads:cfg.Config.threads in
+  let head_leaf = Slab.alloc slab in
+  L.init dev head_leaf ~next:0;
+  let sb = Alloc.superblock alloc in
+  D.store_u64 dev sb tree_magic;
+  D.store_u64 dev (sb + 8) (Int64.of_int head_leaf);
+  D.persist dev sb 16;
+  let head = B.create ~nbatch:cfg.Config.nbatch ~leaf:head_leaf ~low:Int64.min_int in
+  let index = Inner_index.create () in
+  Inner_index.add index Int64.min_int head;
+  {
+    dev;
+    alloc;
+    slab;
+    extent;
+    wal;
+    clock;
+    cfg;
+    index;
+    head;
+    global_epoch = 0;
+    gc = None;
+    gc_floor = 0;
+    stats = Tree_stats.create ();
+    rr_thread = 0;
+  }
+
+let target_node t key =
+  match Inner_index.find_le t.index key with
+  | Some b -> b
+  | None -> t.head
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let log_append t ~key ~value ~ts =
+  let thread = t.rr_thread in
+  t.rr_thread <- (t.rr_thread + 1) mod t.cfg.Config.threads;
+  Wal.append t.wal ~thread ~epoch:t.global_epoch ~key ~value ~ts;
+  t.stats.Tree_stats.log_appends <- t.stats.Tree_stats.log_appends + 1
+
+(* ------------------------------------------------------------------ *)
+(* Batch insertion into leaves (§4.2)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let flush_touched t touched =
+  Hashtbl.iter (fun line () -> D.clwb t.dev line) touched;
+  D.sfence t.dev
+
+let touch touched addr len =
+  List.iter
+    (fun line -> Hashtbl.replace touched line ())
+    (Pmem.Geometry.lines_in_range addr len)
+
+let max_ts pending =
+  List.fold_left
+    (fun acc (_, _, ts) -> if Int64.compare ts acc > 0 then ts else acc)
+    0L pending
+
+(* Apply [pending] (unique keys; value 0 = tombstone) to the leaf behind
+   [b], splitting when it overflows.  Persistence protocol per §4.2:
+   data-region stores, flush, fence; then one metadata commit (bitmap and
+   next pointer share an atomic 8 B word), flush, fence. *)
+let rec leaf_apply ?(allow_merge = true) t b ~pending =
+  let dev = t.dev in
+  let leaf = b.B.leaf in
+  let ts = max_ts pending in
+  let bm = L.bitmap dev leaf in
+  let removed = ref 0 in
+  let updates = ref [] in
+  let added = ref [] in
+  List.iter
+    (fun (k, v, _) ->
+      match L.find dev leaf k with
+      | Some i ->
+        if Int64.equal v 0L then removed := !removed lor (1 lsl i)
+        else updates := (i, v) :: !updates
+      | None -> if not (Int64.equal v 0L) then added := (k, v) :: !added)
+    pending;
+  let free = L.free_slots dev leaf in
+  let n_removed =
+    let rec pop n b = if b = 0 then n else pop (n + (b land 1)) (b lsr 1) in
+    pop 0 !removed
+  in
+  if
+    List.length !added > List.length free
+    && List.length !added <= List.length free + n_removed
+  then begin
+    (* Tombstones free enough slots, but a freed slot is only reusable
+       after its removal is committed: apply removals/updates first, then
+       run the additions as a second normal batch. *)
+    let tombstones, additions =
+      List.partition (fun (_, v, _) -> Int64.equal v 0L) pending
+    in
+    let upd, adds =
+      List.partition (fun (k, _, _) -> L.find dev leaf k <> None) additions
+    in
+    leaf_apply ~allow_merge:false t b ~pending:(tombstones @ upd);
+    if adds <> [] then leaf_apply ~allow_merge t b ~pending:adds
+  end
+  else if List.length !added <= List.length free then begin
+    (* normal batch insertion *)
+    let touched = Hashtbl.create 8 in
+    List.iter
+      (fun (i, v) ->
+        D.store_u64 dev (L.slot_addr leaf i + 8) v;
+        touch touched (L.slot_addr leaf i + 8) 8)
+      !updates;
+    let added_bits = ref 0 in
+    let fps = ref [] in
+    List.iteri
+      (fun j (k, v) ->
+        let i = List.nth free j in
+        L.store_slot dev leaf i ~key:k ~value:v;
+        touch touched (L.slot_addr leaf i) 16;
+        added_bits := !added_bits lor (1 lsl i);
+        fps := (i, k) :: !fps)
+      !added;
+    flush_touched t touched;
+    List.iter (fun (i, k) -> L.store_fingerprint dev leaf i k) !fps;
+    L.store_timestamp dev leaf ts;
+    let new_bm = bm land lnot !removed lor !added_bits in
+    L.store_meta_word dev leaf ~bitmap:new_bm ~next:(L.next dev leaf);
+    D.persist dev leaf 32;
+    t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1;
+    if allow_merge && L.valid_count dev leaf < L.slots / 2 then try_merge t b
+  end
+  else split_apply t b ~pending ~ts
+
+(* Logless split (§4.2): the fully written new right leaf becomes visible
+   through a single atomic metadata commit on the old leaf. *)
+and split_apply t b ~pending ~ts =
+  let dev = t.dev in
+  let leaf = b.B.leaf in
+  (* final content = existing entries with pending applied *)
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (L.entries dev leaf);
+  List.iter
+    (fun (k, v, _) ->
+      if Int64.equal v 0L then Hashtbl.remove tbl k
+      else Hashtbl.replace tbl k v)
+    pending;
+  let union =
+    List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let n = List.length union in
+  assert (n > L.slots && n <= 2 * L.slots);
+  let left_n = n / 2 in
+  let rec split_at i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split_at (i - 1) (x :: acc) rest
+  in
+  let left, right = split_at left_n [] union in
+  let split_key = fst (List.nth left (left_n - 1)) in
+  let right_low = fst (List.hd right) in
+  (* 1. write the complete new right leaf and persist it *)
+  let new_leaf = Slab.alloc t.slab in
+  let right_bits = ref 0 in
+  List.iteri
+    (fun i (k, v) ->
+      L.store_slot dev new_leaf i ~key:k ~value:v;
+      L.store_fingerprint dev new_leaf i k;
+      right_bits := !right_bits lor (1 lsl i))
+    right;
+  L.store_timestamp dev new_leaf ts;
+  L.store_meta_word dev new_leaf ~bitmap:!right_bits ~next:(L.next dev leaf);
+  D.persist dev new_leaf L.size;
+  (* 2. in-place value updates for keys staying left *)
+  let touched = Hashtbl.create 8 in
+  let keep_bits = ref 0 in
+  let bm = L.bitmap dev leaf in
+  for i = 0 to L.slots - 1 do
+    if bm land (1 lsl i) <> 0 then begin
+      let k = L.key_at dev leaf i in
+      if Int64.compare k split_key <= 0 then begin
+        match List.assoc_opt k union with
+        | Some v ->
+          keep_bits := !keep_bits lor (1 lsl i);
+          if not (Int64.equal v (L.value_at dev leaf i)) then begin
+            D.store_u64 dev (L.slot_addr leaf i + 8) v;
+            touch touched (L.slot_addr leaf i + 8) 8
+          end
+        | None -> () (* deleted by a tombstone in pending *)
+      end
+    end
+  done;
+  flush_touched t touched;
+  (* 3. atomic metadata commit: drop moved slots, link the new leaf *)
+  L.store_timestamp dev leaf ts;
+  L.store_meta_word dev leaf ~bitmap:!keep_bits ~next:new_leaf;
+  D.persist dev leaf 32;
+  t.stats.Tree_stats.splits <- t.stats.Tree_stats.splits + 1;
+  t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1;
+  (* 4. DRAM bookkeeping: new buffer node, chain link, index entry *)
+  let rb = B.create ~nbatch:t.cfg.Config.nbatch ~leaf:new_leaf ~low:right_low in
+  rb.B.next <- b.B.next;
+  rb.B.prev <- Some b;
+  (match b.B.next with Some nx -> nx.B.prev <- Some rb | None -> ());
+  b.B.next <- Some rb;
+  Inner_index.add t.index right_low rb;
+  (* prune buffered slots whose keys moved right *)
+  for i = 0 to B.nbatch b - 1 do
+    if
+      b.B.valid land (1 lsl i) <> 0
+      && Int64.compare b.B.keys.(i) split_key > 0
+    then begin
+      b.B.valid <- b.B.valid land lnot (1 lsl i);
+      b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+      b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+    end
+  done;
+  (* 5. pending additions left of the split point go through a normal
+     batch insertion (they are covered by the WAL if they were logged) *)
+  let added_left =
+    List.filter
+      (fun (k, v, _) ->
+        Int64.compare k split_key <= 0
+        && (not (Int64.equal v 0L))
+        && L.find dev leaf k = None)
+      pending
+  in
+  if added_left <> [] then leaf_apply t b ~pending:added_left
+
+(* Merge an underutilized leaf into its left sibling (§4.2). *)
+and try_merge t b =
+  match b.B.prev with
+  | None -> ()
+  | Some p ->
+    let dev = t.dev in
+    let cnt = L.valid_count dev b.B.leaf in
+    let free_p = List.length (L.free_slots dev p.B.leaf) in
+    if cnt > free_p then ()
+    else begin
+      B.lock p;
+      let entries = L.entries dev b.B.leaf in
+      let touched = Hashtbl.create 8 in
+      let bits = ref 0 in
+      let fps = ref [] in
+      let free = L.free_slots dev p.B.leaf in
+      List.iteri
+        (fun j (k, v) ->
+          let i = List.nth free j in
+          L.store_slot dev p.B.leaf i ~key:k ~value:v;
+          touch touched (L.slot_addr p.B.leaf i) 16;
+          bits := !bits lor (1 lsl i);
+          fps := (i, k) :: !fps)
+        entries;
+      flush_touched t touched;
+      List.iter (fun (i, k) -> L.store_fingerprint dev p.B.leaf i k) !fps;
+      (* Do NOT raise p's flush timestamp to b's: p may still hold
+         buffered entries whose log records carry timestamps between the
+         two, and recovery skips log entries older than the leaf
+         timestamp.  Replaying b's already-applied records into p is
+         merely idempotent. *)
+      L.store_meta_word dev p.B.leaf
+        ~bitmap:(L.bitmap dev p.B.leaf lor !bits)
+        ~next:(L.next dev b.B.leaf);
+      D.persist dev p.B.leaf 32;
+      Slab.free t.slab b.B.leaf;
+      p.B.next <- b.B.next;
+      (match b.B.next with Some nx -> nx.B.prev <- Some p | None -> ());
+      Inner_index.remove t.index b.B.low;
+      t.stats.Tree_stats.merges <- t.stats.Tree_stats.merges + 1;
+      B.unlock p
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection (§3.4)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gc_start t =
+  let old_epoch = t.global_epoch in
+  t.global_epoch <- 1 - t.global_epoch;
+  t.gc <- Some { cursor = Some t.head; old_epoch }
+
+(* Scan up to [n] buffer nodes, copying entries that are still unflushed
+   and were logged before the epoch flip into the I-log.  Entries flushed
+   to leaves or (re)written during this GC round are skipped. *)
+let gc_step t n =
+  match t.gc with
+  | None -> ()
+  | Some gc ->
+    let rec go n =
+      if n > 0 then begin
+        match gc.cursor with
+        | None ->
+          Wal.reclaim_epoch t.wal ~epoch:gc.old_epoch;
+          t.gc <- None;
+          t.gc_floor <- Wal.live_bytes t.wal;
+          t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1
+        | Some b ->
+          B.lock b;
+          for i = 0 to B.nbatch b - 1 do
+            let bit = 1 lsl i in
+            if b.B.unflushed land bit <> 0 then begin
+              let slot_epoch = if b.B.epoch land bit <> 0 then 1 else 0 in
+              if slot_epoch = gc.old_epoch then begin
+                let ts = Clock.next t.clock in
+                log_append t ~key:b.B.keys.(i) ~value:b.B.vals.(i) ~ts;
+                b.B.tss.(i) <- ts;
+                if t.global_epoch <> 0 then b.B.epoch <- b.B.epoch lor bit
+                else b.B.epoch <- b.B.epoch land lnot bit;
+                t.stats.Tree_stats.gc_copied <-
+                  t.stats.Tree_stats.gc_copied + 1
+              end
+              else
+                t.stats.Tree_stats.gc_skipped <-
+                  t.stats.Tree_stats.gc_skipped + 1
+            end
+          done;
+          B.unlock b;
+          gc.cursor <- b.B.next;
+          go (n - 1)
+      end
+    in
+    go n
+
+let gc_finish t =
+  while t.gc <> None do
+    gc_step t max_int
+  done
+
+(* Stop-the-world strategy (Fig 9(a)): flush every buffer node to its
+   leaf — random XPLine writes — then reclaim all logs. *)
+let gc_naive t =
+  let rec walk = function
+    | None -> ()
+    | Some b ->
+      let nx = b.B.next in
+      (if b.B.unflushed <> 0 then begin
+         B.lock b;
+         leaf_apply t b ~pending:(B.unflushed_entries b);
+         B.mark_all_flushed b;
+         B.unlock b
+       end);
+      walk nx
+  in
+  walk (Some t.head);
+  Wal.reclaim_epoch t.wal ~epoch:0;
+  Wal.reclaim_epoch t.wal ~epoch:1;
+  t.gc_floor <- 0;
+  t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1
+
+let gc_trigger_reached t =
+  let leaf_bytes = Slab.used_bytes t.slab in
+  let live = Wal.live_bytes t.wal in
+  leaf_bytes > 0
+  && float_of_int live > t.cfg.Config.th_log *. float_of_int leaf_bytes
+  (* entries still buffered survive a GC cycle; wait until the log has
+     grown meaningfully past what the previous cycle could reclaim *)
+  && live > t.gc_floor + (t.gc_floor / 2)
+
+let maybe_gc t =
+  match t.cfg.Config.gc_strategy with
+  | Config.Disabled -> ()
+  | Config.Naive -> if gc_trigger_reached t then gc_naive t
+  | Config.Locality_aware ->
+    if t.gc <> None then gc_step t t.cfg.Config.gc_step_nodes
+    else if gc_trigger_reached t then gc_start t
+
+(* ------------------------------------------------------------------ *)
+(* Insert / delete (§3.2, §3.3)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let oldest_slot b =
+  let best = ref 0 and best_ts = ref Int64.max_int in
+  for i = 0 to B.nbatch b - 1 do
+    if Int64.compare b.B.tss.(i) !best_ts < 0 then begin
+      best := i;
+      best_ts := b.B.tss.(i)
+    end
+  done;
+  !best
+
+let upsert_raw t key value =
+  D.add_user_bytes t.dev 16;
+  let b = target_node t key in
+  B.lock b;
+  let ts = Clock.next t.clock in
+  (if not t.cfg.Config.buffering then
+     (* Base ablation: write-through, one (random) leaf write per upsert *)
+     leaf_apply t b ~pending:[ (key, value, ts) ]
+   else begin
+     match B.find b key with
+     | Some i ->
+       (* in-buffer update, in place (keys stay unique per buffer node) *)
+       log_append t ~key ~value ~ts;
+       B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+     | None -> (
+       match B.free_slot b with
+       | Some i ->
+         log_append t ~key ~value ~ts;
+         B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+       | None -> (
+         match B.cached_slots b with
+         | i :: _ ->
+           (* evict a read-cache entry *)
+           log_append t ~key ~value ~ts;
+           B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+         | [] ->
+           (* Trigger write: flush the whole buffer plus the incoming KV
+              in one XPLine write; conservative logging skips the WAL.
+              Tombstones are logged even here: recovery rebuilds fence
+              keys from leaf minima, so a key can re-route to a sibling
+              leaf after a crash, and only the log can then prove the
+              delete happened (an unlogged trigger-delete could let a
+              stale logged version resurrect). *)
+           if t.cfg.Config.conservative_logging && not (Int64.equal value 0L)
+           then
+             t.stats.Tree_stats.log_skips <-
+               t.stats.Tree_stats.log_skips + 1
+           else log_append t ~key ~value ~ts;
+           let pending = (key, value, ts) :: B.unflushed_entries b in
+           leaf_apply t b ~pending;
+           B.mark_all_flushed b;
+           (* retain the incoming KV as a cached entry, evicting the
+              stalest slot — unless a split moved its key out of this
+              node's fence interval *)
+           let within_fence =
+             match b.B.next with
+             | Some nx -> Int64.compare key nx.B.low < 0
+             | None -> true
+           in
+           if within_fence then begin
+             let i = oldest_slot b in
+             b.B.keys.(i) <- key;
+             b.B.vals.(i) <- value;
+             b.B.tss.(i) <- ts;
+             b.B.valid <- b.B.valid lor (1 lsl i);
+             b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+             b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+           end))
+   end);
+  B.unlock b;
+  maybe_gc t
+
+let upsert t key value =
+  if Int64.equal value 0L then
+    invalid_arg "Tree.upsert: value 0 is reserved (tombstone)";
+  t.stats.Tree_stats.inserts <- t.stats.Tree_stats.inserts + 1;
+  upsert_raw t key value
+
+let delete t key =
+  t.stats.Tree_stats.deletes <- t.stats.Tree_stats.deletes + 1;
+  upsert_raw t key 0L
+
+(* ------------------------------------------------------------------ *)
+(* Queries (§4.3)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let search t key =
+  t.stats.Tree_stats.searches <- t.stats.Tree_stats.searches + 1;
+  let b = target_node t key in
+  match B.find b key with
+  | Some i ->
+    t.stats.Tree_stats.dram_hits <- t.stats.Tree_stats.dram_hits + 1;
+    let v = b.B.vals.(i) in
+    if Int64.equal v 0L then None else Some v
+  | None -> (
+    t.stats.Tree_stats.leaf_reads <- t.stats.Tree_stats.leaf_reads + 1;
+    match L.find t.dev b.B.leaf key with
+    | Some i -> Some (L.value_at t.dev b.B.leaf i)
+    | None -> None)
+
+(* Entries of one node: leaf entries overridden by buffered entries
+   (buffer nodes always hold the latest versions); tombstones hide. *)
+let node_entries t b =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace tbl k v)
+    (L.entries t.dev b.B.leaf);
+  for i = 0 to B.nbatch b - 1 do
+    if b.B.valid land (1 lsl i) <> 0 then
+      Hashtbl.replace tbl b.B.keys.(i) b.B.vals.(i)
+  done;
+  let items =
+    Hashtbl.fold
+      (fun k v acc -> if Int64.equal v 0L then acc else (k, v) :: acc)
+      tbl []
+  in
+  List.sort (fun (a, _) (b, _) -> Int64.compare a b) items
+
+let scan t ~start n =
+  t.stats.Tree_stats.scans <- t.stats.Tree_stats.scans + 1;
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec walk = function
+    | None -> ()
+    | Some b when !count >= n -> ignore b
+    | Some b ->
+      List.iter
+        (fun (k, v) ->
+          if !count < n && Int64.compare k start >= 0 then begin
+            acc := (k, v) :: !acc;
+            incr count
+          end)
+        (node_entries t b);
+      if !count < n then walk b.B.next
+  in
+  walk (Some (target_node t start));
+  Array.of_list (List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Variable-size KV API (§4.4 Optimization #3)                          *)
+(* ------------------------------------------------------------------ *)
+
+let upsert_str t key value =
+  D.add_user_bytes t.dev (String.length key + String.length value - 16);
+  (* the fixed-size path adds 16 below; account the true payload size *)
+  let k = Indirect.encode_key key in
+  let v = Indirect.encode_value t.dev t.extent value in
+  t.stats.Tree_stats.inserts <- t.stats.Tree_stats.inserts + 1;
+  upsert_raw t k v
+
+let search_str t key =
+  Option.map
+    (Indirect.decode_value t.dev)
+    (search t (Indirect.encode_key key))
+
+let delete_str t key = delete t (Indirect.encode_key key)
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some b ->
+      List.iter (fun (k, v) -> f k v) (node_entries t b);
+      walk b.B.next
+  in
+  walk (Some t.head)
+
+(* Bottom-up bulk load of a sorted key/value array into an empty tree:
+   leaves are written sequentially at [fill] occupancy (one XPLine write
+   each — ideal locality), the chain is linked left to right, and the
+   volatile layers are built as we go.  The final state is identical to
+   what inserts would produce, at a fraction of the PM traffic. *)
+let bulk_load ?(fill = 0.8) t entries =
+  let empty =
+    t.head.B.next = None
+    && t.head.B.valid = 0
+    && L.bitmap t.dev t.head.B.leaf = 0
+  in
+  if not empty then invalid_arg "Tree.bulk_load: tree is not empty";
+  let n = Array.length entries in
+  if n > 0 then begin
+    let dev = t.dev in
+    let per_leaf = max 1 (min L.slots (int_of_float (fill *. float_of_int L.slots))) in
+    Array.iteri
+      (fun i (k, v) ->
+        if Int64.equal v 0L then
+          invalid_arg "Tree.bulk_load: value 0 is reserved";
+        if i > 0 && Int64.compare (fst entries.(i - 1)) k >= 0 then
+          invalid_arg "Tree.bulk_load: entries must be strictly sorted")
+      entries;
+    let ts = Clock.next t.clock in
+    let rec build i prev_node =
+      if i < n then begin
+        let count = min per_leaf (n - i) in
+        let leaf, node =
+          if i = 0 then (t.head.B.leaf, t.head)
+          else begin
+            let leaf = Slab.alloc t.slab in
+            let node =
+              B.create ~nbatch:t.cfg.Config.nbatch ~leaf
+                ~low:(fst entries.(i))
+            in
+            node.B.prev <- Some prev_node;
+            prev_node.B.next <- Some node;
+            Inner_index.add t.index node.B.low node;
+            (leaf, node)
+          end
+        in
+        let bits = ref 0 in
+        for j = 0 to count - 1 do
+          let k, v = entries.(i + j) in
+          L.store_slot dev leaf j ~key:k ~value:v;
+          L.store_fingerprint dev leaf j k;
+          bits := !bits lor (1 lsl j)
+        done;
+        L.store_timestamp dev leaf ts;
+        L.store_meta_word dev leaf ~bitmap:!bits ~next:0;
+        (* link the previous leaf to this one with its final metadata *)
+        if i > 0 then begin
+          L.store_meta_word dev prev_node.B.leaf
+            ~bitmap:(L.bitmap dev prev_node.B.leaf)
+            ~next:leaf;
+          D.persist dev prev_node.B.leaf L.size
+        end;
+        build (i + count) node
+      end
+      else D.persist dev prev_node.B.leaf L.size
+    in
+    build 0 t.head;
+    D.add_user_bytes dev (16 * n);
+    t.stats.Tree_stats.inserts <- t.stats.Tree_stats.inserts + n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance and accounting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flush_all t =
+  let rec walk = function
+    | None -> ()
+    | Some b ->
+      let nx = b.B.next in
+      if b.B.unflushed <> 0 then begin
+        B.lock b;
+        leaf_apply t b ~pending:(B.unflushed_entries b);
+        B.mark_all_flushed b;
+        B.unlock b
+      end;
+      walk nx
+  in
+  walk (Some t.head)
+
+let buffer_node_count t =
+  let rec go n = function None -> n | Some b -> go (n + 1) b.B.next in
+  go 0 (Some t.head)
+
+let dram_bytes t =
+  Inner_index.dram_bytes t.index
+  + (buffer_node_count t * B.dram_bytes ~nbatch:t.cfg.Config.nbatch)
+
+let pm_bytes t = Alloc.allocated_bytes t.alloc
+let leaf_bytes t = Slab.used_bytes t.slab
+let log_live_bytes t = Wal.live_bytes t.wal
+let log_peak_bytes t = Wal.peak_live_bytes t.wal
+
+let count_entries t =
+  let rec go n = function
+    | None -> n
+    | Some b -> go (n + List.length (node_entries t b)) b.B.next
+  in
+  go 0 (Some t.head)
+
+(* Structural invariants, used by the test-suite:
+   - adjacent leaves are key-ordered (all keys left < all keys right),
+   - fingerprints match the keys of valid slots,
+   - buffered keys fall inside their node's fence interval,
+   - the index routes every node's low fence to that node. *)
+let check_invariants t =
+  let dev = t.dev in
+  let fail fmt = Fmt.kstr failwith fmt in
+  let rec walk prev_max = function
+    | None -> ()
+    | Some b ->
+      let leaf = b.B.leaf in
+      let entries = L.entries dev leaf in
+      let keys = List.map fst entries in
+      (match (prev_max, keys) with
+      | Some pm, _ :: _ ->
+        let mn = List.fold_left min (List.hd keys) keys in
+        if Int64.compare pm mn >= 0 then
+          fail "leaf order violated: %Ld >= %Ld" pm mn
+      | _ -> ());
+      let bm = L.bitmap dev leaf in
+      for i = 0 to L.slots - 1 do
+        if bm land (1 lsl i) <> 0 then begin
+          let k = L.key_at dev leaf i in
+          if D.load_u8 dev (leaf + 16 + i) <> L.fingerprint k then
+            fail "fingerprint mismatch at slot %d" i
+        end
+      done;
+      let hi =
+        match b.B.next with Some nx -> Some nx.B.low | None -> None
+      in
+      for i = 0 to B.nbatch b - 1 do
+        if b.B.valid land (1 lsl i) <> 0 then begin
+          let k = b.B.keys.(i) in
+          if Int64.compare k b.B.low < 0 then
+            fail "buffered key %Ld below fence %Ld" k b.B.low;
+          match hi with
+          | Some h when Int64.compare k h >= 0 ->
+            fail "buffered key %Ld beyond next fence %Ld" k h
+          | _ -> ()
+        end
+      done;
+      (match Inner_index.find_le t.index b.B.low with
+      | Some b' when b' == b -> ()
+      | _ ->
+        if keys <> [] || b == t.head then
+          fail "index does not route fence %Ld to its node" b.B.low);
+      let max_here =
+        List.fold_left
+          (fun acc k -> if Int64.compare k acc > 0 then k else acc)
+          (Option.value prev_max ~default:Int64.min_int)
+          keys
+      in
+      walk (Some max_here) b.B.next
+  in
+  walk None (Some t.head)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (§3.3)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let recover ?(cfg = Config.default) dev =
+  let alloc = Alloc.attach dev in
+  let slab = Slab.attach alloc Alloc.Leaf ~obj_size:L.size in
+  let extent = Extent.attach alloc in
+  let clock = Clock.create () in
+  let sb = Alloc.superblock alloc in
+  if D.load_u64 dev sb <> tree_magic then
+    invalid_arg "Tree.recover: no CCL-BTree on this device";
+  let head_leaf = Int64.to_int (D.load_u64 dev (sb + 8)) in
+  let index = Inner_index.create () in
+  let stats = Tree_stats.create () in
+  (* 1. rebuild the volatile layers by walking the persistent leaf chain *)
+  let max_leaf_ts = ref 0L in
+  let head = B.create ~nbatch:cfg.Config.nbatch ~leaf:head_leaf ~low:Int64.min_int in
+  Inner_index.add index Int64.min_int head;
+  let rec walk node =
+    Slab.mark_used slab node.B.leaf;
+    let lts = L.timestamp dev node.B.leaf in
+    if Int64.unsigned_compare lts !max_leaf_ts > 0 then max_leaf_ts := lts;
+    List.iter
+      (fun (k, v) ->
+        ignore k;
+        Indirect.mark_used dev extent v)
+      (L.entries dev node.B.leaf);
+    let nx = L.next dev node.B.leaf in
+    if nx <> 0 then begin
+      let low =
+        match L.entries dev nx with
+        | [] -> None
+        | (k0, _) :: rest ->
+          Some (List.fold_left (fun a (k, _) -> min a k) k0 rest)
+      in
+      match low with
+      | Some low ->
+        let nb = B.create ~nbatch:cfg.Config.nbatch ~leaf:nx ~low in
+        nb.B.prev <- Some node;
+        node.B.next <- Some nb;
+        Inner_index.add index low nb;
+        walk nb
+      | None ->
+        (* empty leaf: keep it in the chain (scans pass through), no
+           index entry needed since it can serve no key *)
+        let nb =
+          B.create ~nbatch:cfg.Config.nbatch ~leaf:nx ~low:Int64.max_int
+        in
+        nb.B.prev <- Some node;
+        node.B.next <- Some nb;
+        walk nb
+    end
+  in
+  walk head;
+  let t =
+    {
+      dev;
+      alloc;
+      slab;
+      extent;
+      wal = Wal.create alloc clock ~threads:cfg.Config.threads;
+      clock;
+      cfg;
+      index;
+      head;
+      global_epoch = 0;
+      gc = None;
+      gc_floor = 0;
+      stats;
+      rr_thread = 0;
+    }
+  in
+  (* 2. replay both epochs' logs in timestamp order.
+
+     An entry is already covered by its leaf when the key is present and
+     the entry predates the leaf's last flush (every flush includes all
+     unflushed buffered entries, and the flush timestamp dominates their
+     log timestamps).  When the key is ABSENT from the routed leaf the
+     entry must be applied regardless of timestamps: recovered fences are
+     leaf minima, which can differ from the pre-crash fences after the
+     minimum key was deleted, re-routing the key to a sibling whose flush
+     history never covered it.  Once a key is replay-managed, all its
+     later entries apply in order so its final value is the newest logged
+     version (tombstones are always logged, see the trigger-write path).
+
+     Timestamps are compared against a pre-replay snapshot: applying an
+     entry rewrites its leaf's timestamp, which must not influence the
+     coverage decision for other keys. *)
+  let entries = ref [] in
+  let max_log_ts =
+    Wal.replay alloc ~f:(fun ~key ~value ~ts ->
+        Indirect.mark_used dev extent value;
+        entries := (ts, key, value) :: !entries)
+  in
+  Clock.advance_to clock
+    (if Int64.unsigned_compare max_log_ts !max_leaf_ts > 0 then max_log_ts
+     else !max_leaf_ts);
+  let ts0 = Hashtbl.create 256 in
+  let rec snap = function
+    | None -> ()
+    | Some b ->
+      Hashtbl.replace ts0 b.B.leaf (L.timestamp dev b.B.leaf);
+      snap b.B.next
+  in
+  snap (Some head);
+  let flush_ts0 leaf =
+    match Hashtbl.find_opt ts0 leaf with Some ts -> ts | None -> 0L
+  in
+  let replayed = Hashtbl.create 256 in
+  let sorted = List.sort compare !entries in
+  List.iter
+    (fun (ts, key, value) ->
+      let b = target_node t key in
+      let apply =
+        Hashtbl.mem replayed key
+        || L.find dev b.B.leaf key = None
+        || Int64.unsigned_compare ts (flush_ts0 b.B.leaf) > 0
+      in
+      if apply then begin
+        Hashtbl.replace replayed key ();
+        B.lock b;
+        leaf_apply t b ~pending:[ (key, value, ts) ];
+        B.unlock b
+      end)
+    sorted;
+  (* 3. recycle all log chunks and reset leaf timestamps *)
+  let log_chunks = ref [] in
+  Alloc.iter_chunks alloc Alloc.Log (fun c -> log_chunks := c :: !log_chunks);
+  List.iter (Alloc.free_chunk alloc) !log_chunks;
+  let rec reset = function
+    | None -> ()
+    | Some b ->
+      L.store_timestamp dev b.B.leaf 0L;
+      D.persist dev (b.B.leaf + 8) 8;
+      reset b.B.next
+  in
+  reset (Some t.head);
+  t

@@ -1,0 +1,84 @@
+(** CCL-BTree: a crash-consistent locality-aware B+-tree (the paper's
+    contribution).
+
+    The tree keeps inner nodes and per-leaf buffer nodes in DRAM and 256 B
+    leaf nodes in (simulated) persistent memory.  Writes are absorbed by
+    the buffer nodes and flushed N_batch+1 at a time into a single XPLine
+    write (leaf-node-centric buffering, §3.2); buffered entries are covered
+    by per-thread write-ahead logs except for the trigger writes that are
+    immediately persisted anyway (write-conservative logging, §3.3); log
+    space is reclaimed by an incremental garbage collector that only ever
+    appends (locality-aware GC, §3.4).
+
+    Durability contract: when [upsert]/[delete] returns, the operation
+    survives any crash — except that a {e trigger write} interrupted
+    before its leaf commit may be lost while all previously buffered
+    entries are recovered from the WAL (§3.3, paper-specified).
+
+    Keys are [int64] (non-negative for the fixed-size API); value [0L] is
+    reserved as the tombstone.  Variable-size keys/values go through the
+    [_str] API (§4.4 Optimization #3). *)
+
+type t
+
+val create : ?cfg:Config.t -> Pmem.Device.t -> t
+(** Format the device and build an empty tree. *)
+
+val recover : ?cfg:Config.t -> Pmem.Device.t -> t
+(** Rebuild the volatile layers from the persistent leaf chain and replay
+    the write-ahead logs (§3.3 failure recovery). *)
+
+(** {1 Operations} *)
+
+val upsert : t -> int64 -> int64 -> unit
+val delete : t -> int64 -> unit
+val search : t -> int64 -> int64 option
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+(** [scan t ~start n] returns up to [n] key-ordered entries with
+    key ≥ [start]. *)
+
+val iter : t -> (int64 -> int64 -> unit) -> unit
+(** Visit every live entry in key order (latest buffered versions win). *)
+
+val bulk_load : ?fill:float -> t -> (int64 * int64) array -> unit
+(** Bottom-up load of strictly sorted entries into an empty tree: leaves
+    are written sequentially at [fill] occupancy (default 0.8), one
+    XPLine write each — far cheaper than repeated inserts.
+    @raise Invalid_argument on an unsorted array, a zero value, or a
+    non-empty tree. *)
+
+(** {1 Variable-size KV} *)
+
+val upsert_str : t -> string -> string -> unit
+val search_str : t -> string -> string option
+val delete_str : t -> string -> unit
+
+(** {1 GC control (exposed for experiments and tests)} *)
+
+val gc_active : t -> bool
+val gc_start : t -> unit
+val gc_step : t -> int -> unit
+val gc_finish : t -> unit
+val gc_naive : t -> unit
+
+(** {1 Maintenance, accounting, introspection} *)
+
+val flush_all : t -> unit
+(** Flush every buffer node (clean shutdown / fair end-of-run traffic). *)
+
+val device : t -> Pmem.Device.t
+val allocator : t -> Pmalloc.Alloc.t
+val stats : t -> Tree_stats.t
+val config : t -> Config.t
+val dram_bytes : t -> int
+val pm_bytes : t -> int
+val leaf_bytes : t -> int
+val log_live_bytes : t -> int
+val log_peak_bytes : t -> int
+val buffer_node_count : t -> int
+val count_entries : t -> int
+
+val check_invariants : t -> unit
+(** Raises [Failure] when a structural invariant is violated (leaf-chain
+    key order, fingerprint consistency, fence containment, index
+    routing).  Test-suite hook. *)

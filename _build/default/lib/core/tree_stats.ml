@@ -1,0 +1,48 @@
+(** Operation counters of the index itself (the device-level traffic
+    counters live in {!Pmem.Stats}). *)
+
+type t = {
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable searches : int;
+  mutable scans : int;
+  mutable dram_hits : int;  (** Reads served from buffer nodes (Table 1). *)
+  mutable leaf_reads : int;  (** Reads that had to touch the PM leaf. *)
+  mutable log_appends : int;
+  mutable log_skips : int;  (** Trigger writes not logged (§3.3). *)
+  mutable batch_flushes : int;
+  mutable splits : int;
+  mutable merges : int;
+  mutable gc_runs : int;
+  mutable gc_copied : int;  (** Entries moved B-log -> I-log. *)
+  mutable gc_skipped : int;  (** Entries the GC did not need to copy. *)
+}
+
+let create () =
+  {
+    inserts = 0;
+    deletes = 0;
+    searches = 0;
+    scans = 0;
+    dram_hits = 0;
+    leaf_reads = 0;
+    log_appends = 0;
+    log_skips = 0;
+    batch_flushes = 0;
+    splits = 0;
+    merges = 0;
+    gc_runs = 0;
+    gc_copied = 0;
+    gc_skipped = 0;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>inserts %d deletes %d searches %d scans %d@,\
+     dram hits %d leaf reads %d@,\
+     log appends %d skips %d@,\
+     batch flushes %d splits %d merges %d@,\
+     gc runs %d copied %d skipped %d@]"
+    t.inserts t.deletes t.searches t.scans t.dram_hits t.leaf_reads
+    t.log_appends t.log_skips t.batch_flushes t.splits t.merges t.gc_runs
+    t.gc_copied t.gc_skipped

@@ -1,0 +1,1 @@
+lib/harness/exp_amp.ml: Array Baselines Exp_common List Pmem Report Runner Scale Workload

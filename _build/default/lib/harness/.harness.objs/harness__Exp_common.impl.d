@@ -1,0 +1,1 @@
+lib/harness/exp_common.ml: Array Baselines Int64 List Perfmodel Pmalloc Pmem Runner Scale Workload

@@ -1,0 +1,1 @@
+lib/harness/exp_ext.ml: Array Ccl_btree Ccl_hash Int64 List Perfmodel Pmem Report Runner Scale Workload

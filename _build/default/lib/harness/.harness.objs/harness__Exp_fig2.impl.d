@@ -1,0 +1,1 @@
+lib/harness/exp_fig2.ml: List Perfmodel Pmem Printf Random Report Runner Scale

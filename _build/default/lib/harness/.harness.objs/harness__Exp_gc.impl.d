@@ -1,0 +1,1 @@
+lib/harness/exp_gc.ml: Array Ccl_btree Int64 List Perfmodel Pmem Printf Report Runner Scale Workload

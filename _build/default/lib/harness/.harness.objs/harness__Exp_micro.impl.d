@@ -1,0 +1,1 @@
+lib/harness/exp_micro.ml: Ccl_btree Exp_common List Perfmodel Printf Report Runner Scale Workload

@@ -1,0 +1,1 @@
+lib/harness/exp_sens.ml: Array Baselines Ccl_btree Char Exp_common Float Int64 List Perfmodel Pmalloc Pmem Printf Random Report Runner Scale String Workload

@@ -1,0 +1,1 @@
+lib/harness/exp_ycsb.ml: Exp_common List Printf Report Runner Scale Workload

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Exp_amp Exp_ext Exp_fig2 Exp_gc Exp_micro Exp_sens Exp_ycsb List Scale

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Baselines Ccl_btree Int64 Perfmodel Pmem

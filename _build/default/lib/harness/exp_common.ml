@@ -1,0 +1,118 @@
+(** Shared plumbing for the paper's experiments. *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module I = Baselines.Index_intf
+module Y = Workload.Ycsb
+module K = Workload.Keygen
+
+let fresh ?(eadr = false) ?cache_lines spec (scale : Scale.t) =
+  (* Under eADR the CPU cache size relative to the dataset governs the
+     eviction traffic; keep the paper's cache/dataset proportion (~36 MB
+     vs 1.6 GB) at the simulator's scale. *)
+  let cache_lines =
+    match (cache_lines, eadr) with
+    | (Some _, _) -> cache_lines
+    | (None, true) ->
+      Some (max 256 (scale.Scale.warmup * 2 * 16 / 44 / 64))
+    | (None, false) -> None
+  in
+  let dev = Runner.device ~mb:scale.Scale.device_mb ~eadr ?cache_lines () in
+  let drv = Runner.build spec dev in
+  (dev, drv)
+
+(* Build the index and load [warmup] keys in random order, with the
+   device classifier installed for traffic attribution. *)
+let warmed ?eadr ?cache_lines ?(warmup_factor = 1.0) spec (scale : Scale.t) =
+  let dev, drv = fresh ?eadr ?cache_lines spec scale in
+  D.set_classifier dev
+    (Some (Pmalloc.Alloc.classify (drv.I.allocator ())));
+  let n =
+    int_of_float (float_of_int scale.Scale.warmup *. warmup_factor)
+  in
+  Runner.warmup drv ~keys:(K.shuffled_range ~seed:1 n);
+  (dev, drv)
+
+(* --- op stream builders ------------------------------------------------ *)
+
+let v i = Int64.of_int (i + 1)
+
+(* Fresh keys beyond the warmed range, inserted in random order. *)
+let inserts_fresh (scale : Scale.t) =
+  let keys = K.shuffled_range ~seed:2 scale.Scale.ops in
+  Array.mapi
+    (fun i k ->
+      Y.Insert (Int64.add k (Int64.of_int scale.Scale.warmup), v i))
+    keys
+
+(* Upserts drawn from a key generator (covers both updates and inserts,
+   as in the paper's warm-then-upsert protocol). *)
+let upserts gen n = Array.init n (fun i -> Y.Insert (K.next gen, v i))
+
+let updates (scale : Scale.t) =
+  upserts (K.uniform ~seed:3 ~space:scale.Scale.warmup) scale.Scale.ops
+
+(* Deletes of distinct existing keys (tombstone convention: value 0 is
+   produced by the driver's delete; here we upsert value 0 via Insert —
+   the runner maps Insert with value 0 to delete). *)
+let deletes (scale : Scale.t) =
+  let n = min scale.Scale.ops scale.Scale.warmup in
+  let keys = K.shuffled_range ~seed:4 scale.Scale.warmup in
+  Array.init n (fun i -> Y.Insert (keys.(i), 0L))
+
+let searches (scale : Scale.t) =
+  let gen = K.uniform ~seed:5 ~space:scale.Scale.warmup in
+  Array.init scale.Scale.ops (fun _ -> Y.Read (K.next gen))
+
+let scans ?(len = 100) (scale : Scale.t) =
+  let gen = K.uniform ~seed:6 ~space:scale.Scale.warmup in
+  let n = max 1 (scale.Scale.ops / 50) in
+  Array.init n (fun _ -> Y.Scan (K.next gen, len))
+
+(* --- measurement ------------------------------------------------------- *)
+
+let run_ops dev (drv : I.driver) spec ops =
+  (* Insert with value 0 encodes a delete (tombstone convention). *)
+  let mapped =
+    Array.map
+      (function
+        | Y.Insert (k, z) when Int64.equal z 0L -> `Del k
+        | op -> `Op op)
+      ops
+  in
+  let before = D.snapshot dev in
+  let samples = ref [] in
+  Array.iter
+    (fun op ->
+      let snap = D.snapshot dev in
+      (match op with
+      | `Del k -> drv.I.delete k
+      | `Op (Y.Insert (k, value)) -> drv.I.upsert k value
+      | `Op (Y.Read k) -> ignore (drv.I.search k)
+      | `Op (Y.Scan (k, len)) -> ignore (drv.I.scan ~start:k len));
+      samples :=
+        Runner.op_cost_ns (S.diff ~after:(D.snapshot dev) ~before:snap)
+        :: !samples)
+    mapped;
+  let delta = S.diff ~after:(D.snapshot dev) ~before in
+  let n = max 1 (Array.length ops) in
+  {
+    Runner.ops = Array.length ops;
+    delta;
+    avg_ns =
+      Perfmodel.Constants.base_op_ns
+      +. (Runner.events_cost_ns delta /. float_of_int n);
+    samples = Array.of_list (List.rev !samples);
+    numa_aware = Runner.numa_aware spec;
+  }
+
+(* run a phase and settle the device so media counters are final *)
+let measure_settled dev (drv : I.driver) spec ops =
+  let before = D.snapshot dev in
+  let m = run_ops dev drv spec ops in
+  drv.I.flush_all ();
+  D.drain dev;
+  let delta = S.diff ~after:(D.snapshot dev) ~before in
+  { m with Runner.delta }
+
+let mops_at m ~threads = Runner.mops m ~threads

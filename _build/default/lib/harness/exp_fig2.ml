@@ -1,0 +1,101 @@
+(** Figure 2: the motivating microbenchmark.
+
+    (a) fixes the XPLine count and varies cacheline flushes per request:
+    each request writes and flushes N cachelines of one random XPLine.
+    (b) fixes the cacheline count and varies XPLine flushes: each request
+    writes one cacheline in each of N random XPLines.
+
+    The paper's observation: execution time is insensitive to (a) once
+    threads saturate PM (the flushes coalesce in the XPBuffer) but grows
+    linearly with (b) — XBI-amplification, not CLI-amplification, is what
+    the media bandwidth pays for. *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+
+let requests = 20_000
+let thread_counts = [ 1; 12; 24; 36; 48 ]
+
+let run_variant ~mb ~variant ~n =
+  let dev = Runner.device ~mb () in
+  let rng = Random.State.make [| 100 + n |] in
+  let xplines = mb * 1024 * 1024 / 256 in
+  let before = D.snapshot dev in
+  for _ = 1 to requests do
+    (match variant with
+    | `Cachelines_one_xpline ->
+      let xp = Random.State.int rng xplines * 256 in
+      for c = 0 to n - 1 do
+        D.store_u64 dev (xp + (c * 64)) 1L;
+        D.clwb dev (xp + (c * 64))
+      done;
+      D.sfence dev
+    | `Xplines_four_cachelines ->
+      for _ = 1 to n do
+        let xp = Random.State.int rng xplines * 256 in
+        for c = 0 to 3 do
+          D.store_u64 dev (xp + (c * 64)) 1L;
+          D.clwb dev (xp + (c * 64))
+        done
+      done;
+      D.sfence dev);
+    D.add_user_bytes dev 8
+  done;
+  D.drain dev;
+  let delta = S.diff ~after:(D.snapshot dev) ~before in
+  let avg_ns =
+    Perfmodel.Constants.base_op_ns
+    +. (Runner.events_cost_ns delta /. float_of_int requests)
+  in
+  let profile =
+    {
+      Perfmodel.Thread_model.t_cpu_ns = avg_ns;
+      write_bytes = float_of_int delta.S.media_write_bytes /. float_of_int requests;
+      read_bytes = float_of_int delta.S.media_read_bytes /. float_of_int requests;
+      numa_aware = true;
+    }
+  in
+  (* execution time normalized to the paper's 5M requests per thread *)
+  List.map
+    (fun threads ->
+      let tput = Perfmodel.Thread_model.throughput ~threads profile in
+      5e6 *. float_of_int threads /. tput)
+    thread_counts
+
+let run (scale : Scale.t) =
+  let mb = scale.Scale.device_mb in
+  Report.section "Fig 2(a): N cacheline flushes into one XPLine";
+  let header =
+    "# threads" :: List.map (fun n -> Printf.sprintf "N=%d (s)" n) [ 1; 2; 3; 4 ]
+  in
+  let times_a =
+    List.map (fun n -> run_variant ~mb ~variant:`Cachelines_one_xpline ~n)
+      [ 1; 2; 3; 4 ]
+  in
+  let rows_a =
+    List.mapi
+      (fun ti threads ->
+        string_of_int threads
+        :: List.map (fun series -> Report.f2 (List.nth series ti)) times_a)
+      thread_counts
+  in
+  Report.table ~header rows_a;
+  Report.note
+    "paper: curves converge as threads grow - extra cacheline flushes \
+     coalesce in the XPBuffer";
+  Report.section "Fig 2(b): 4 cacheline flushes into N XPLines";
+  let times_b =
+    List.map (fun n -> run_variant ~mb ~variant:`Xplines_four_cachelines ~n)
+      [ 1; 2; 3; 4 ]
+  in
+  let rows_b =
+    List.mapi
+      (fun ti threads ->
+        string_of_int threads
+        :: List.map (fun series -> Report.f2 (List.nth series ti)) times_b)
+      thread_counts
+  in
+  Report.table ~header rows_b;
+  Report.note
+    "paper: execution time grows ~linearly with the number of XPLine \
+     flushes"

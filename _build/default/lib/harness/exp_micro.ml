@@ -1,0 +1,136 @@
+(** Figures 10, 5 and 12: micro-benchmark throughput, range queries and
+    latency percentiles across the seven tree indexes. *)
+
+module K = Workload.Keygen
+module Y = Workload.Ycsb
+
+let thread_header threads =
+  "index" :: List.map (fun t -> Printf.sprintf "%dt" t) threads
+
+(* one measured run per index, throughput modeled per thread count *)
+let sweep ~mk (scale : Scale.t) specs =
+  List.map
+    (fun spec ->
+      let dev, drv = Exp_common.warmed spec scale in
+      let m = Exp_common.run_ops dev drv spec (mk scale) in
+      ( spec,
+        m,
+        List.map (fun threads -> Runner.mops m ~threads) scale.Scale.threads ))
+    specs
+
+let print_sweep ~title ~mk scale =
+  Report.section title;
+  let results = sweep ~mk scale Runner.paper_indexes in
+  let rows =
+    List.map
+      (fun (spec, _, tputs) ->
+        Runner.name spec :: List.map Report.mops tputs)
+      results
+  in
+  Report.table ~header:(thread_header scale.Scale.threads) rows;
+  results
+
+let run_fig10 (scale : Scale.t) =
+  ignore
+    (print_sweep
+       ~title:"Fig 10(a): Insert throughput vs threads (Mop/s)"
+       ~mk:Exp_common.inserts_fresh scale);
+  ignore
+    (print_sweep
+       ~title:"Fig 10(b): Update throughput vs threads (Mop/s)"
+       ~mk:Exp_common.updates scale);
+  ignore
+    (print_sweep
+       ~title:"Fig 10(c): Delete throughput vs threads (Mop/s)"
+       ~mk:Exp_common.deletes scale);
+  ignore
+    (print_sweep
+       ~title:"Fig 10(d): Search throughput vs threads (Mop/s)"
+       ~mk:Exp_common.searches scale);
+  ignore
+    (print_sweep
+       ~title:"Fig 10(e): Scan throughput vs threads (Mop/s)"
+       ~mk:(Exp_common.scans ~len:scale.Scale.scan_len)
+       scale);
+  Report.note
+    "paper: CCL-BTree scales to 96 threads (insert 1.97x-9.35x over \
+     others); scan within ~10% of LB+-Tree; uTree worst scan"
+
+(* --- Fig 5: range query vs scan size ----------------------------------- *)
+
+let run_fig5 (scale : Scale.t) =
+  Report.section "Fig 5: range query throughput vs #KVs (48 threads, Mop/s)";
+  let sizes = [ 50; 100; 200; 400 ] in
+  let specs = Runner.paper_indexes @ [ Runner.Flatstore ] in
+  let rows =
+    List.map
+      (fun spec ->
+        let dev, drv = Exp_common.warmed spec scale in
+        Runner.name spec
+        :: List.map
+             (fun len ->
+               let m =
+                 Exp_common.run_ops dev drv spec (Exp_common.scans ~len scale)
+               in
+               Report.mops (Runner.mops m ~threads:48))
+             sizes)
+      specs
+  in
+  Report.table
+    ~header:("index" :: List.map (fun s -> Printf.sprintf "%d KVs" s) sizes)
+    rows;
+  Report.note
+    "paper: FlatStore up to 5.59x slower than the B+-trees at 400 KVs"
+
+(* --- Fig 12: latency percentiles ---------------------------------------- *)
+
+let run_fig12 (scale : Scale.t) =
+  (* GC runs on a background thread in the paper; keep its work off the
+     sampled foreground latencies *)
+  let specs =
+    List.map
+      (function
+        | Runner.Ccl (cfg, name) ->
+          Runner.Ccl
+            ({ cfg with Ccl_btree.Config.th_log = 1e12 }, name)
+        | spec -> spec)
+      Runner.paper_indexes
+  in
+  let print_latency ~title ~mk =
+    Report.section title;
+    let results = sweep ~mk scale specs in
+    let rows =
+      List.map
+        (fun (spec, m, _) ->
+          let profile = Runner.profile m in
+          let u =
+            Perfmodel.Thread_model.utilization ~threads:48 profile
+          in
+          let rate =
+            Perfmodel.Thread_model.bottleneck_rate ~threads:48 profile
+          in
+          let ps =
+            Perfmodel.Latency.percentiles ~utilization:u ~service_rate:rate
+              m.Runner.samples
+          in
+          Runner.name spec
+          :: List.map (fun ns -> Report.f2 (ns /. 1000.0)) ps)
+        results
+    in
+    Report.table ~header:("index" :: Perfmodel.Latency.point_names) rows
+  in
+  print_latency
+    ~title:"Fig 12(a): Insert latency percentiles at 48 threads (us)"
+    ~mk:Exp_common.inserts_fresh;
+  print_latency
+    ~title:"Fig 12(b): Search latency percentiles at 48 threads (us)"
+    ~mk:Exp_common.searches;
+  Report.note
+    "paper: CCL-BTree 1.37x-6.83x lower 99.9th insert latency; DPTree's \
+     merge stalls blow up its tail; CCL searches fastest below the 20th \
+     percentile (buffer-node hits)"
+
+let run scale =
+  run_fig10 scale;
+  run_fig5 scale;
+  run_fig12 scale

@@ -1,0 +1,34 @@
+(** Figure 11: the five YCSB mixes versus thread count. *)
+
+module Y = Workload.Ycsb
+
+let run (scale : Scale.t) =
+  List.iter
+    (fun mix ->
+      Report.section
+        (Printf.sprintf "Fig 11 (%s): throughput vs threads (Mop/s)"
+           (Y.mix_name mix));
+      let rows =
+        List.map
+          (fun spec ->
+            let dev, drv = Exp_common.warmed spec scale in
+            let ops =
+              Y.generate mix ~seed:21 ~space:(2 * scale.Scale.warmup)
+                ~scan_len:scale.Scale.scan_len scale.Scale.ops
+            in
+            let m = Exp_common.run_ops dev drv spec ops in
+            Runner.name spec
+            :: List.map
+                 (fun threads -> Report.mops (Runner.mops m ~threads))
+                 scale.Scale.threads)
+          Runner.paper_indexes
+      in
+      Report.table
+        ~header:
+          ("index"
+          :: List.map (fun t -> Printf.sprintf "%dt" t) scale.Scale.threads)
+        rows)
+    Y.all_mixes;
+  Report.note
+    "paper: CCL-BTree at least 1.67x better on insert-heavy mixes at 96 \
+     threads and best or tied on read-only / scan-insert"

@@ -1,0 +1,36 @@
+(** Registry of all reproduced experiments (see DESIGN.md §3 for the
+    per-experiment index). *)
+
+type t = {
+  id : string;
+  what : string;
+  run : Scale.t -> unit;
+}
+
+let all =
+  [
+    { id = "fig2"; what = "CLI vs XBI microbenchmark"; run = Exp_fig2.run };
+    { id = "fig3"; what = "amplification + time, uniform"; run = Exp_amp.run_fig3 };
+    { id = "fig4"; what = "amplification + time, Zipfian"; run = Exp_amp.run_fig4 };
+    { id = "fig5"; what = "range query vs scan size"; run = Exp_micro.run_fig5 };
+    { id = "fig10"; what = "micro ops vs threads"; run = Exp_micro.run_fig10 };
+    { id = "fig11"; what = "YCSB mixes vs threads"; run = Exp_ycsb.run };
+    { id = "fig12"; what = "latency percentiles"; run = Exp_micro.run_fig12 };
+    { id = "fig13"; what = "ablation Base/+BNode/+WLog"; run = Exp_amp.run_fig13 };
+    { id = "fig14"; what = "GC strategy timeline"; run = Exp_gc.run_fig14 };
+    { id = "tab1"; what = "N_batch sensitivity"; run = Exp_gc.run_tab1 };
+    { id = "tab2"; what = "TH_log sensitivity"; run = Exp_gc.run_tab2 };
+    { id = "fig15a"; what = "skewness sweep"; run = Exp_sens.run_fig15a };
+    { id = "fig15b"; what = "variable-size KVs"; run = Exp_sens.run_fig15b };
+    { id = "fig15c"; what = "large values"; run = Exp_sens.run_fig15c };
+    { id = "fig15d"; what = "dataset-size sweep"; run = Exp_sens.run_fig15d };
+    { id = "fig16"; what = "eADR mode"; run = Exp_sens.run_fig16 };
+    { id = "fig17"; what = "recovery time"; run = Exp_sens.run_fig17 };
+    { id = "fig18"; what = "memory consumption"; run = Exp_sens.run_fig18 };
+    { id = "fig19"; what = "realistic datasets"; run = Exp_sens.run_fig19 };
+    { id = "tab3"; what = "vs log-structured stores"; run = Exp_sens.run_tab3 };
+    { id = "ext"; what = "CCL techniques on a hash table (§6)"; run = Exp_ext.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

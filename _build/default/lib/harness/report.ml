@@ -1,0 +1,34 @@
+(** Plain-text tables in the shape of the paper's figures and tables. *)
+
+let out = ref Format.std_formatter
+
+let section title =
+  Format.fprintf !out "@.=== %s ===@." title
+
+let note s = Format.fprintf !out "  %s@." s
+
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    Format.fprintf !out "  ";
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Format.fprintf !out "%-*s" w cell
+        else Format.fprintf !out "  %*s" w cell)
+      row;
+    Format.fprintf !out "@."
+  in
+  line header;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter line rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let mops v = Printf.sprintf "%.2f" v
+let mb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1048576.0)

@@ -1,0 +1,92 @@
+module D = Pmem.Device
+module S = Pmem.Stats
+module I = Baselines.Index_intf
+module C = Perfmodel.Constants
+
+type spec =
+  | Fastfair
+  | Fptree
+  | Lbtree
+  | Utree
+  | Dptree
+  | Pactree
+  | Flatstore
+  | Lsm
+  | Ccl of Ccl_btree.Config.t * string
+
+let name = function
+  | Fastfair -> Baselines.Fastfair.name
+  | Fptree -> Baselines.Fptree.name
+  | Lbtree -> Baselines.Lbtree.name
+  | Utree -> Baselines.Utree.name
+  | Dptree -> Baselines.Dptree.name
+  | Pactree -> Baselines.Pactree.name
+  | Flatstore -> Baselines.Flatstore.name
+  | Lsm -> Baselines.Lsm.name
+  | Ccl (_, n) -> n
+
+(* CCL-BTree (buffering + per-thread local logs + DRAM-only GC scans) and
+   PACTree (PAC guidelines) are the NUMA-aware designs (§4.4 Opt. #1). *)
+let numa_aware = function
+  | Ccl _ | Pactree -> true
+  | Fastfair | Fptree | Lbtree | Utree | Dptree | Flatstore | Lsm -> false
+
+let ccl_default = Ccl (Ccl_btree.Config.default, "CCL-BTree")
+
+let paper_indexes =
+  [ Fptree; Fastfair; Dptree; Utree; Lbtree; Pactree; ccl_default ]
+
+let device ?(mb = 96) ?(eadr = false) ?cache_lines () =
+  let base = Pmem.Config.default ~size:(mb * 1024 * 1024) () in
+  let cpu_cache_lines =
+    match cache_lines with Some n -> n | None -> base.Pmem.Config.cpu_cache_lines
+  in
+  D.create ~config:{ base with eadr; cpu_cache_lines } ()
+
+let build spec dev =
+  match spec with
+  | Fastfair -> I.driver (module Baselines.Fastfair) (Baselines.Fastfair.create dev)
+  | Fptree -> I.driver (module Baselines.Fptree) (Baselines.Fptree.create dev)
+  | Lbtree -> I.driver (module Baselines.Lbtree) (Baselines.Lbtree.create dev)
+  | Utree -> I.driver (module Baselines.Utree) (Baselines.Utree.create dev)
+  | Dptree -> I.driver (module Baselines.Dptree) (Baselines.Dptree.create dev)
+  | Pactree -> I.driver (module Baselines.Pactree) (Baselines.Pactree.create dev)
+  | Flatstore ->
+    I.driver (module Baselines.Flatstore) (Baselines.Flatstore.create dev)
+  | Lsm -> I.driver (module Baselines.Lsm) (Baselines.Lsm.create dev)
+  | Ccl (cfg, name) -> Baselines.Ccl_index.driver_with ~name cfg dev
+
+type measurement = {
+  ops : int;
+  delta : S.t;
+  avg_ns : float;
+  samples : float array;
+  numa_aware : bool;
+}
+
+(* Price the hardware events of a counter delta (no per-op base cost). *)
+let events_cost_ns (d : S.t) =
+  float_of_int d.S.media_read_lines *. C.pm_read_ns
+  +. (float_of_int d.S.clwb_count *. C.clwb_ns)
+  +. (float_of_int d.S.sfence_count *. C.sfence_ns)
+
+(* Full cost of one operation's delta. *)
+let op_cost_ns d = C.base_op_ns +. events_cost_ns d
+
+let warmup (driver : I.driver) ~keys =
+  Array.iteri (fun i k -> driver.I.upsert k (Int64.of_int (i + 1))) keys
+
+let profile m =
+  let n = float_of_int (max 1 m.ops) in
+  {
+    Perfmodel.Thread_model.t_cpu_ns = m.avg_ns;
+    write_bytes = float_of_int m.delta.S.media_write_bytes /. n;
+    read_bytes = float_of_int m.delta.S.media_read_bytes /. n;
+    numa_aware = m.numa_aware;
+  }
+
+let mops m ~threads =
+  Perfmodel.Thread_model.mops ~threads (profile m)
+
+let cli_amp m = S.cli_amplification m.delta
+let xbi_amp m = S.xbi_amplification m.delta

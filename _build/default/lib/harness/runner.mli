@@ -1,0 +1,52 @@
+(** Experiment runner: builds any of the compared indexes on a fresh
+    simulated device, drives an operation stream over it, and prices the
+    run with the {!Perfmodel} cost model. *)
+
+type spec =
+  | Fastfair
+  | Fptree
+  | Lbtree
+  | Utree
+  | Dptree
+  | Pactree
+  | Flatstore
+  | Lsm
+  | Ccl of Ccl_btree.Config.t * string
+
+val name : spec -> string
+val numa_aware : spec -> bool
+val ccl_default : spec
+
+val paper_indexes : spec list
+(** The seven indexes of the line figures (Figs 5, 10, 11, 12, 15):
+    FPTree, FAST&FAIR, DPTree, uTree, LB+-Tree, PACTree, CCL-BTree. *)
+
+val device :
+  ?mb:int -> ?eadr:bool -> ?cache_lines:int -> unit -> Pmem.Device.t
+val build : spec -> Pmem.Device.t -> Baselines.Index_intf.driver
+
+type measurement = {
+  ops : int;
+  delta : Pmem.Stats.t;  (** Device counters over the measured phase. *)
+  avg_ns : float;  (** Modeled single-thread ns per op. *)
+  samples : float array;  (** Per-op modeled ns (subsampled). *)
+  numa_aware : bool;
+}
+
+val op_cost_ns : Pmem.Stats.t -> float
+(** Price one operation's counter delta with {!Perfmodel.Constants}
+    (base cost plus hardware events). *)
+
+val events_cost_ns : Pmem.Stats.t -> float
+(** Hardware-event cost only; callers amortizing over [n] ops add the
+    per-op base cost themselves. *)
+
+val warmup :
+  Baselines.Index_intf.driver -> keys:int64 array -> unit
+
+val profile : measurement -> Perfmodel.Thread_model.profile
+val mops : measurement -> threads:int -> float
+(** Modeled throughput of the measured op mix at [threads] threads. *)
+
+val cli_amp : measurement -> float
+val xbi_amp : measurement -> float

@@ -1,0 +1,44 @@
+(** Experiment scaling.
+
+    The paper warms indexes with 50 M KVs and runs 50 M operations; in
+    the simulator the default scale keeps every run in seconds while the
+    amplification ratios and relative throughputs stay representative
+    (the XPBuffer, whose capacity drives locality effects, is modeled at
+    full size, and the tree always far exceeds it).  Pass [--scale 2] or
+    [--scale 3] to the bench binary for larger runs. *)
+
+type t = {
+  warmup : int;  (** Keys loaded before measuring. *)
+  ops : int;  (** Measured operations. *)
+  device_mb : int;
+  scan_len : int;  (** Default range-query length (paper: 100). *)
+  threads : int list;  (** Thread counts for the scaling figures. *)
+}
+
+let of_level = function
+  | 1 ->
+    {
+      warmup = 20_000;
+      ops = 20_000;
+      device_mb = 96;
+      scan_len = 100;
+      threads = [ 1; 24; 48; 72; 96 ];
+    }
+  | 2 ->
+    {
+      warmup = 100_000;
+      ops = 100_000;
+      device_mb = 256;
+      scan_len = 100;
+      threads = [ 1; 24; 48; 72; 96 ];
+    }
+  | _ ->
+    {
+      warmup = 500_000;
+      ops = 500_000;
+      device_mb = 1024;
+      scan_len = 100;
+      threads = [ 1; 24; 48; 72; 96 ];
+    }
+
+let default = of_level 1

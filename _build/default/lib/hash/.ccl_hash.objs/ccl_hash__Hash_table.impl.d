@@ -1,0 +1,1 @@
+lib/hash/hash_table.ml: Array Ccl_btree Fmt Hashtbl Int64 List Pmalloc Pmem Walog

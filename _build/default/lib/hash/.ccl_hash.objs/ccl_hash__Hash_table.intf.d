@@ -1,0 +1,1 @@
+lib/hash/hash_table.mli: Ccl_btree Pmem

@@ -1,0 +1,494 @@
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+module Extent = Pmalloc.Extent
+module Wal = Walog.Wal
+module Clock = Walog.Clock
+module Config = Ccl_btree.Config
+module Tree_stats = Ccl_btree.Tree_stats
+module B = Ccl_btree.Buffer_node
+module L = Ccl_btree.Leaf_node
+(* A bucket reuses the leaf-node layout: packed bitmap|overflow-pointer
+   word (8 B atomic), flush timestamp, fingerprints, 14 slots. *)
+
+let hash_magic = 0x43434C2D48415348L (* "CCL-HASH" *)
+
+type gc_state = { mutable cursor : int; old_epoch : int }
+
+type t = {
+  dev : D.t;
+  alloc : Alloc.t;
+  slab : Slab.t;
+  wal : Wal.t;
+  clock : Clock.t;
+  cfg : Config.t;
+  mask : int;
+  buffers : B.t array;  (* one buffer node per directory bucket *)
+  mutable global_epoch : int;
+  mutable gc : gc_state option;
+  mutable gc_floor : int;
+  stats : Tree_stats.t;
+  mutable rr_thread : int;
+}
+
+let device t = t.dev
+let stats t = t.stats
+let gc_active t = t.gc <> None
+
+let bucket_of_key t key =
+  let h = Int64.mul key 0xFF51AFD7ED558CCDL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  Int64.to_int (Int64.logand h (Int64.of_int t.mask))
+
+(* ------------------------------------------------------------------ *)
+(* Construction and recovery                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(cfg = Config.default) ~buckets dev =
+  assert (buckets > 0 && buckets land (buckets - 1) = 0);
+  let alloc = Alloc.format dev ~chunk_size:cfg.Config.chunk_size in
+  let slab = Slab.create alloc Alloc.Leaf ~obj_size:L.size in
+  let clock = Clock.create () in
+  let wal = Wal.create alloc clock ~threads:cfg.Config.threads in
+  (* persist the directory of bucket addresses in an extent *)
+  let extent = Extent.create alloc in
+  let dir = Extent.alloc extent (8 * buckets) in
+  let buffers =
+    Array.init buckets (fun i ->
+        let addr = Slab.alloc slab in
+        L.init dev addr ~next:0;
+        D.store_u64 dev (dir + (8 * i)) (Int64.of_int addr);
+        B.create ~nbatch:cfg.Config.nbatch ~leaf:addr ~low:0L)
+  in
+  D.persist dev dir (8 * buckets);
+  let sb = Alloc.superblock alloc in
+  D.store_u64 dev sb hash_magic;
+  D.store_u64 dev (sb + 8) (Int64.of_int dir);
+  D.store_u64 dev (sb + 16) (Int64.of_int buckets);
+  D.persist dev sb 24;
+  {
+    dev;
+    alloc;
+    slab;
+    wal;
+    clock;
+    cfg;
+    mask = buckets - 1;
+    buffers;
+    global_epoch = 0;
+    gc = None;
+    gc_floor = 0;
+    stats = Tree_stats.create ();
+    rr_thread = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bucket chains                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec chain_find t bucket key =
+  if bucket = 0 then None
+  else begin
+    match L.find t.dev bucket key with
+    | Some i -> Some (bucket, i)
+    | None -> chain_find t (L.next t.dev bucket) key
+  end
+
+let rec chain_tail t bucket =
+  let nx = L.next t.dev bucket in
+  if nx = 0 then bucket else chain_tail t nx
+
+(* Apply a pending batch (unique keys; value 0 = tombstone) to the bucket
+   chain headed at [head]: data-region writes, flush, fence; then one
+   metadata commit per touched bucket, flush, fence (same protocol as the
+   tree's batch insertion). *)
+let bucket_apply t head ~pending =
+  let dev = t.dev in
+  let ts =
+    List.fold_left
+      (fun acc (_, _, x) -> if Int64.compare x acc > 0 then x else acc)
+      0L pending
+  in
+  let touched_data = Hashtbl.create 8 in
+  let touch addr len =
+    List.iter
+      (fun l -> Hashtbl.replace touched_data l ())
+      (Pmem.Geometry.lines_in_range addr len)
+  in
+  (* meta mutations per bucket: (new bits to set, bits to clear, fps) *)
+  let meta = Hashtbl.create 4 in
+  let meta_of bucket =
+    match Hashtbl.find_opt meta bucket with
+    | Some m -> m
+    | None ->
+      let m = (ref 0, ref 0, ref []) in
+      Hashtbl.replace meta bucket m;
+      m
+  in
+  (* occupancy for placement: bits already valid plus slots taken earlier
+     in this batch.  Slots freed by this batch's tombstones are NOT
+     reusable before the metadata commit: writing fresh data under a
+     still-set valid bit would be visible after a crash in between. *)
+  let effective_bitmap bucket =
+    let base = L.bitmap dev bucket in
+    match Hashtbl.find_opt meta bucket with
+    | Some (set, _, _) -> base lor !set
+    | None -> base
+  in
+  let rec free_slot_in_chain bucket =
+    if bucket = 0 then None
+    else begin
+      let bm = effective_bitmap bucket in
+      let rec scan i =
+        if i >= L.slots then free_slot_in_chain (L.next dev bucket)
+        else if bm land (1 lsl i) = 0 then Some (bucket, i)
+        else scan (i + 1)
+      in
+      scan 0
+    end
+  in
+  List.iter
+    (fun (k, v, _) ->
+      match chain_find t head k with
+      | Some (bucket, i) ->
+        if Int64.equal v 0L then begin
+          let _, clear, _ = meta_of bucket in
+          clear := !clear lor (1 lsl i)
+        end
+        else begin
+          D.store_u64 dev (L.slot_addr bucket i + 8) v;
+          touch (L.slot_addr bucket i + 8) 8
+        end
+      | None ->
+        if not (Int64.equal v 0L) then begin
+          let bucket, i =
+            match free_slot_in_chain head with
+            | Some s -> s
+            | None ->
+              (* logless overflow: write the new bucket fully, persist,
+                 then link it with one atomic 8 B meta commit *)
+              let nb = Slab.alloc t.slab in
+              L.init dev nb ~next:0;
+              let tail = chain_tail t head in
+              L.store_meta_word dev tail ~bitmap:(L.bitmap dev tail) ~next:nb;
+              D.persist dev tail 8;
+              (nb, 0)
+          in
+          L.store_slot dev bucket i ~key:k ~value:v;
+          touch (L.slot_addr bucket i) 16;
+          let set, _, fps = meta_of bucket in
+          set := !set lor (1 lsl i);
+          fps := (i, k) :: !fps
+        end)
+    pending;
+  Hashtbl.iter (fun line () -> D.clwb dev line) touched_data;
+  D.sfence dev;
+  Hashtbl.iter
+    (fun bucket (set, clear, fps) ->
+      List.iter (fun (i, k) -> L.store_fingerprint dev bucket i k) !fps;
+      L.store_meta_word dev bucket
+        ~bitmap:(L.bitmap dev bucket land lnot !clear lor !set)
+        ~next:(L.next dev bucket);
+      D.flush_range dev bucket 32)
+    meta;
+  L.store_timestamp dev head ts;
+  D.flush_range dev (head + 8) 8;
+  D.sfence dev;
+  t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1
+
+(* ------------------------------------------------------------------ *)
+(* Logging and GC (§3.3, §3.4 transplanted)                            *)
+(* ------------------------------------------------------------------ *)
+
+let log_append t ~key ~value ~ts =
+  let thread = t.rr_thread in
+  t.rr_thread <- (t.rr_thread + 1) mod t.cfg.Config.threads;
+  Wal.append t.wal ~thread ~epoch:t.global_epoch ~key ~value ~ts;
+  t.stats.Tree_stats.log_appends <- t.stats.Tree_stats.log_appends + 1
+
+let gc_step t n =
+  match t.gc with
+  | None -> ()
+  | Some gc ->
+    let rec go n =
+      if n > 0 then begin
+        if gc.cursor >= Array.length t.buffers then begin
+          Wal.reclaim_epoch t.wal ~epoch:gc.old_epoch;
+          t.gc <- None;
+          t.gc_floor <- Wal.live_bytes t.wal;
+          t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1
+        end
+        else begin
+          let b = t.buffers.(gc.cursor) in
+          B.lock b;
+          for i = 0 to B.nbatch b - 1 do
+            let bit = 1 lsl i in
+            if b.B.unflushed land bit <> 0 then begin
+              let slot_epoch = if b.B.epoch land bit <> 0 then 1 else 0 in
+              if slot_epoch = gc.old_epoch then begin
+                let ts = Clock.next t.clock in
+                log_append t ~key:b.B.keys.(i) ~value:b.B.vals.(i) ~ts;
+                b.B.tss.(i) <- ts;
+                if t.global_epoch <> 0 then b.B.epoch <- b.B.epoch lor bit
+                else b.B.epoch <- b.B.epoch land lnot bit;
+                t.stats.Tree_stats.gc_copied <-
+                  t.stats.Tree_stats.gc_copied + 1
+              end
+              else
+                t.stats.Tree_stats.gc_skipped <-
+                  t.stats.Tree_stats.gc_skipped + 1
+            end
+          done;
+          B.unlock b;
+          gc.cursor <- gc.cursor + 1;
+          go (n - 1)
+        end
+      end
+    in
+    go n
+
+let maybe_gc t =
+  match t.cfg.Config.gc_strategy with
+  | Config.Disabled | Config.Naive -> ()
+  | Config.Locality_aware ->
+    if t.gc <> None then gc_step t t.cfg.Config.gc_step_nodes
+    else begin
+      let pm = Slab.used_bytes t.slab in
+      let live = Wal.live_bytes t.wal in
+      if
+        pm > 0
+        && float_of_int live > t.cfg.Config.th_log *. float_of_int pm
+        && live > t.gc_floor + (t.gc_floor / 2)
+      then begin
+        let old_epoch = t.global_epoch in
+        t.global_epoch <- 1 - t.global_epoch;
+        t.gc <- Some { cursor = 0; old_epoch }
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let oldest_slot b =
+  let best = ref 0 and best_ts = ref Int64.max_int in
+  for i = 0 to B.nbatch b - 1 do
+    if Int64.compare b.B.tss.(i) !best_ts < 0 then begin
+      best := i;
+      best_ts := b.B.tss.(i)
+    end
+  done;
+  !best
+
+let upsert_raw t key value =
+  D.add_user_bytes t.dev 16;
+  let b = t.buffers.(bucket_of_key t key) in
+  B.lock b;
+  let ts = Clock.next t.clock in
+  (if not t.cfg.Config.buffering then
+     bucket_apply t b.B.leaf ~pending:[ (key, value, ts) ]
+   else begin
+     match B.find b key with
+     | Some i ->
+       log_append t ~key ~value ~ts;
+       B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+     | None -> (
+       match B.free_slot b with
+       | Some i ->
+         log_append t ~key ~value ~ts;
+         B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+       | None -> (
+         match B.cached_slots b with
+         | i :: _ ->
+           log_append t ~key ~value ~ts;
+           B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+         | [] ->
+           (* trigger write: tombstones stay logged (recovery of deletes
+              must never depend on an unlogged write) *)
+           if t.cfg.Config.conservative_logging && not (Int64.equal value 0L)
+           then
+             t.stats.Tree_stats.log_skips <- t.stats.Tree_stats.log_skips + 1
+           else log_append t ~key ~value ~ts;
+           bucket_apply t b.B.leaf
+             ~pending:((key, value, ts) :: B.unflushed_entries b);
+           B.mark_all_flushed b;
+           let i = oldest_slot b in
+           b.B.keys.(i) <- key;
+           b.B.vals.(i) <- value;
+           b.B.tss.(i) <- ts;
+           b.B.valid <- b.B.valid lor (1 lsl i);
+           b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+           b.B.epoch <- b.B.epoch land lnot (1 lsl i)))
+   end);
+  B.unlock b;
+  maybe_gc t
+
+let upsert t key value =
+  if Int64.equal value 0L then
+    invalid_arg "Hash_table.upsert: value 0 is reserved (tombstone)";
+  t.stats.Tree_stats.inserts <- t.stats.Tree_stats.inserts + 1;
+  upsert_raw t key value
+
+let delete t key =
+  t.stats.Tree_stats.deletes <- t.stats.Tree_stats.deletes + 1;
+  upsert_raw t key 0L
+
+let search t key =
+  t.stats.Tree_stats.searches <- t.stats.Tree_stats.searches + 1;
+  let b = t.buffers.(bucket_of_key t key) in
+  match B.find b key with
+  | Some i ->
+    t.stats.Tree_stats.dram_hits <- t.stats.Tree_stats.dram_hits + 1;
+    let v = b.B.vals.(i) in
+    if Int64.equal v 0L then None else Some v
+  | None -> (
+    t.stats.Tree_stats.leaf_reads <- t.stats.Tree_stats.leaf_reads + 1;
+    match chain_find t b.B.leaf key with
+    | Some (bucket, i) -> Some (L.value_at t.dev bucket i)
+    | None -> None)
+
+let iter t f =
+  Array.iter
+    (fun b ->
+      let seen = Hashtbl.create 8 in
+      for i = 0 to B.nbatch b - 1 do
+        if b.B.valid land (1 lsl i) <> 0 then begin
+          Hashtbl.replace seen b.B.keys.(i) ();
+          if not (Int64.equal b.B.vals.(i) 0L) then f b.B.keys.(i) b.B.vals.(i)
+        end
+      done;
+      let rec walk bucket =
+        if bucket <> 0 then begin
+          List.iter
+            (fun (k, v) -> if not (Hashtbl.mem seen k) then f k v)
+            (L.entries t.dev bucket);
+          walk (L.next t.dev bucket)
+        end
+      in
+      walk b.B.leaf)
+    t.buffers
+
+let count_entries t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+let flush_all t =
+  Array.iter
+    (fun b ->
+      if b.B.unflushed <> 0 then begin
+        B.lock b;
+        bucket_apply t b.B.leaf ~pending:(B.unflushed_entries b);
+        B.mark_all_flushed b;
+        B.unlock b
+      end)
+    t.buffers
+
+let dram_bytes t =
+  Array.length t.buffers * B.dram_bytes ~nbatch:t.cfg.Config.nbatch
+
+let pm_bytes t = Alloc.allocated_bytes t.alloc
+
+let check_invariants t =
+  let fail fmt = Fmt.kstr failwith fmt in
+  Array.iteri
+    (fun idx b ->
+      let rec walk bucket =
+        if bucket <> 0 then begin
+          let bm = L.bitmap t.dev bucket in
+          for i = 0 to L.slots - 1 do
+            if bm land (1 lsl i) <> 0 then begin
+              let k = L.key_at t.dev bucket i in
+              if bucket_of_key t k <> idx then
+                fail "key %Ld stored in bucket %d, hashes to %d" k idx
+                  (bucket_of_key t k);
+              if D.load_u8 t.dev (bucket + 16 + i) <> L.fingerprint k then
+                fail "fingerprint mismatch in bucket %d" idx
+            end
+          done;
+          walk (L.next t.dev bucket)
+        end
+      in
+      walk b.B.leaf)
+    t.buffers
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let recover ?(cfg = Config.default) dev =
+  let alloc = Alloc.attach dev in
+  let slab = Slab.attach alloc Alloc.Leaf ~obj_size:L.size in
+  let clock = Clock.create () in
+  let sb = Alloc.superblock alloc in
+  if D.load_u64 dev sb <> hash_magic then
+    invalid_arg "Hash_table.recover: no CCL-Hash on this device";
+  let dir = Int64.to_int (D.load_u64 dev (sb + 8)) in
+  let buckets = Int64.to_int (D.load_u64 dev (sb + 16)) in
+  let max_ts = ref 0L in
+  let buffers =
+    Array.init buckets (fun i ->
+        let head = Int64.to_int (D.load_u64 dev (dir + (8 * i))) in
+        let rec mark bucket =
+          if bucket <> 0 then begin
+            Slab.mark_used slab bucket;
+            mark (L.next dev bucket)
+          end
+        in
+        mark head;
+        let ts = L.timestamp dev head in
+        if Int64.unsigned_compare ts !max_ts > 0 then max_ts := ts;
+        B.create ~nbatch:cfg.Config.nbatch ~leaf:head ~low:0L)
+  in
+  let t =
+    {
+      dev;
+      alloc;
+      slab;
+      wal = Wal.create alloc clock ~threads:cfg.Config.threads;
+      clock;
+      cfg;
+      mask = buckets - 1;
+      buffers;
+      global_epoch = 0;
+      gc = None;
+      gc_floor = 0;
+      stats = Tree_stats.create ();
+      rr_thread = 0;
+    }
+  in
+  (* replay, with the same coverage rule as the tree (here routing is a
+     pure hash, so only the timestamp and key-absence checks matter) *)
+  let entries = ref [] in
+  let max_log_ts =
+    Wal.replay alloc ~f:(fun ~key ~value ~ts ->
+        entries := (ts, key, value) :: !entries)
+  in
+  Clock.advance_to clock
+    (if Int64.unsigned_compare max_log_ts !max_ts > 0 then max_log_ts
+     else !max_ts);
+  let ts0 = Array.map (fun b -> L.timestamp dev b.B.leaf) buffers in
+  let replayed = Hashtbl.create 256 in
+  List.iter
+    (fun (ts, key, value) ->
+      let idx = bucket_of_key t key in
+      let b = t.buffers.(idx) in
+      let apply =
+        Hashtbl.mem replayed key
+        || chain_find t b.B.leaf key = None
+        || Int64.unsigned_compare ts ts0.(idx) > 0
+      in
+      if apply then begin
+        Hashtbl.replace replayed key ();
+        bucket_apply t b.B.leaf ~pending:[ (key, value, ts) ]
+      end)
+    (List.sort compare !entries);
+  let chunks = ref [] in
+  Alloc.iter_chunks alloc Alloc.Log (fun c -> chunks := c :: !chunks);
+  List.iter (Alloc.free_chunk alloc) !chunks;
+  Array.iter
+    (fun b ->
+      L.store_timestamp dev b.B.leaf 0L;
+      D.persist dev (b.B.leaf + 8) 8)
+    t.buffers;
+  t

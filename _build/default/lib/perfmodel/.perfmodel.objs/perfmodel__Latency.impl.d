@@ -1,0 +1,1 @@
+lib/perfmodel/latency.ml: Array Float List

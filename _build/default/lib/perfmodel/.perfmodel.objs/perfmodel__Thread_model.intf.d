@@ -1,0 +1,1 @@
+lib/perfmodel/thread_model.mli: Constants

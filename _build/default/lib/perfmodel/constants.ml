@@ -1,0 +1,48 @@
+(** Cost constants of the modeled platform.
+
+    Latency and bandwidth figures follow the published characterizations
+    of Intel Optane DCPMM (Yang et al., FAST '20; Wang et al., MICRO '20)
+    and the paper's own testbed (two Xeon Gold 5318Y sockets, four 128 GB
+    DCPMM 200-series DIMMs per socket):
+
+    - random PM read latency ~300-350 ns per XPLine,
+    - [clwb] issue cost tens of ns (posted, the store buffer drains
+      asynchronously), [sfence] ~100 ns when flushes are outstanding,
+    - sustained per-socket write bandwidth a few GB/s and highly sensitive
+      to access locality — which is exactly the resource whose exhaustion
+      the paper's §2.2 experiment demonstrates. *)
+
+let base_op_ns = 150.0
+(** DRAM-side work per operation: inner-node traversal, buffer-node scan,
+    bookkeeping. *)
+
+let pm_read_ns = 320.0  (** Media read, per XPLine touched. *)
+
+let clwb_ns = 60.0
+let sfence_ns = 100.0
+let dram_hit_bonus_ns = -80.0
+(** Reads served entirely from buffer nodes skip the PM access. *)
+
+type machine = {
+  sockets : int;
+  cores_per_socket : int;
+  pm_write_bw : float;  (** Per-socket media write bandwidth, B/s. *)
+  pm_read_bw : float;  (** Per-socket media read bandwidth, B/s. *)
+  numa_bw_efficiency : float;
+      (** Fraction of aggregate PM bandwidth a NUMA-oblivious index
+          retains once threads span sockets (coherence + remote access
+          overhead, cf. paper Optimization #1 and PACTree's PAC
+          guidelines). *)
+  numa_latency_penalty : float;
+      (** Latency multiplier on remote PM accesses. *)
+}
+
+let default_machine =
+  {
+    sockets = 2;
+    cores_per_socket = 48;
+    pm_write_bw = 3.6e9;
+    pm_read_bw = 8.0e9;
+    numa_bw_efficiency = 0.55;
+    numa_latency_penalty = 1.6;
+  }

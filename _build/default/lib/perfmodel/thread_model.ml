@@ -1,0 +1,62 @@
+type profile = {
+  t_cpu_ns : float;
+  write_bytes : float;
+  read_bytes : float;
+  numa_aware : bool;
+}
+
+let bounds ?(machine = Constants.default_machine) ~threads p =
+  let open Constants in
+  (* sockets engage gradually as threads spill over (smooth curves, like
+     the measured figures) *)
+  let sockets_used =
+    Float.min
+      (float_of_int machine.sockets)
+      (Float.max 1.0
+         (float_of_int threads /. float_of_int machine.cores_per_socket))
+  in
+  (* fraction of accesses that cross sockets for a NUMA-oblivious index *)
+  let remote_frac =
+    if p.numa_aware then 0.0
+    else (sockets_used -. 1.0) /. float_of_int (max 1 (machine.sockets - 1))
+  in
+  let latency_factor =
+    1.0 +. ((machine.numa_latency_penalty -. 1.0) *. 0.5 *. remote_frac)
+  in
+  let bw_eff = 1.0 -. ((1.0 -. machine.numa_bw_efficiency) *. remote_frac) in
+  let compute =
+    float_of_int threads *. 1e9 /. (p.t_cpu_ns *. latency_factor)
+  in
+  let write_cap =
+    if p.write_bytes <= 0.0 then infinity
+    else sockets_used *. machine.pm_write_bw *. bw_eff /. p.write_bytes
+  in
+  let read_cap =
+    if p.read_bytes <= 0.0 then infinity
+    else sockets_used *. machine.pm_read_bw *. bw_eff /. p.read_bytes
+  in
+  (compute, write_cap, read_cap)
+
+(* smooth minimum (p-norm) so the saturation knee is rounded like
+   measured curves rather than piecewise-linear *)
+let softmin3 a b c =
+  let p = 4.0 in
+  let inv x = if x = infinity then 0.0 else Float.pow (1.0 /. x) p in
+  let s = inv a +. inv b +. inv c in
+  if s <= 0.0 then infinity else Float.pow s (-1.0 /. p)
+
+let throughput ?machine ~threads p =
+  let compute, w, r = bounds ?machine ~threads p in
+  softmin3 compute w r
+
+let mops ?machine ~threads p = throughput ?machine ~threads p /. 1e6
+
+let utilization ?machine ~threads p =
+  let compute, w, r = bounds ?machine ~threads p in
+  let t = softmin3 compute w r in
+  let cap = Float.min w r in
+  if cap = infinity then 0.0 else Float.min 0.97 (t /. cap)
+
+let bottleneck_rate ?machine ~threads p =
+  let _, w, r = bounds ?machine ~threads p in
+  Float.min w r

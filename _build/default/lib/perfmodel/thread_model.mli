@@ -1,0 +1,40 @@
+(** Multi-thread throughput model.
+
+    The paper's §2.2 establishes the mechanism: once the PM media
+    bandwidth is exhausted, throughput is determined by media traffic per
+    operation (XBI-amplification), not by CPU work.  Accordingly,
+    throughput at [n] threads is the soft minimum of
+
+    - the compute bound [n / t_cpu],
+    - the media write bound [BW_w / write_bytes_per_op],
+    - the media read bound [BW_r / read_bytes_per_op],
+
+    with NUMA-oblivious indexes paying a latency penalty on remote
+    accesses and retaining only part of the aggregate bandwidth once
+    threads span sockets.  Single-thread costs and per-op traffic come
+    from the simulator's hardware counters, so "who saturates where" is
+    derived, not asserted. *)
+
+type profile = {
+  t_cpu_ns : float;  (** Modeled single-thread latency per op. *)
+  write_bytes : float;  (** Media bytes written per op. *)
+  read_bytes : float;  (** Media bytes read per op. *)
+  numa_aware : bool;
+}
+
+val throughput :
+  ?machine:Constants.machine -> threads:int -> profile -> float
+(** Operations per second. *)
+
+val mops : ?machine:Constants.machine -> threads:int -> profile -> float
+(** Same, in Mop/s. *)
+
+val utilization :
+  ?machine:Constants.machine -> threads:int -> profile -> float
+(** Fraction of the binding bandwidth resource in use (drives queueing
+    delay for latency percentiles). *)
+
+val bottleneck_rate :
+  ?machine:Constants.machine -> threads:int -> profile -> float
+(** Service rate (ops/s) of the binding PM bandwidth resource; [infinity]
+    when the workload writes and reads no media. *)

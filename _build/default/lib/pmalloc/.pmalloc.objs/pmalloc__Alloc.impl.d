@@ -1,0 +1,1 @@
+lib/pmalloc/alloc.ml: Int64 Pmem Queue

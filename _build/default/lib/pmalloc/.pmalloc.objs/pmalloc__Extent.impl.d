@@ -1,0 +1,1 @@
+lib/pmalloc/extent.ml: Alloc Hashtbl

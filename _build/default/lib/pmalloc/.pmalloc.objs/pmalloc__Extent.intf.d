@@ -1,0 +1,1 @@
+lib/pmalloc/extent.mli: Alloc

@@ -1,0 +1,1 @@
+lib/pmalloc/slab.ml: Alloc Bytes Hashtbl Stack

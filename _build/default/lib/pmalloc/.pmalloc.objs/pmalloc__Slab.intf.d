@@ -1,0 +1,1 @@
+lib/pmalloc/slab.mli: Alloc

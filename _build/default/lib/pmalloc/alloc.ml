@@ -1,0 +1,117 @@
+module D = Pmem.Device
+
+type tag = Leaf | Log | Extent
+
+type t = {
+  dev : D.t;
+  chunk_size : int;
+  table_addr : int;
+  data_start : int;
+  num_chunks : int;
+  free : int Queue.t;  (* volatile free list of chunk indexes *)
+  mutable n_free : int;
+}
+
+let magic = 0x504d414c4c4f4331L (* "PMALLOC1" *)
+let superblock_addr = 256
+let table_addr = 4096
+
+let tag_byte = function Leaf -> 1 | Log -> 2 | Extent -> 3
+
+let tag_of_byte = function
+  | 1 -> Some Leaf
+  | 2 -> Some Log
+  | 3 -> Some Extent
+  | _ -> None
+
+let geometry ~size ~chunk_size =
+  assert (chunk_size mod 256 = 0 && chunk_size > 0);
+  let max_chunks = size / chunk_size in
+  let data_start = (table_addr + max_chunks + 255) / 256 * 256 in
+  let num_chunks = (size - data_start) / chunk_size in
+  assert (num_chunks > 0);
+  (data_start, num_chunks)
+
+let build dev ~chunk_size ~data_start ~num_chunks =
+  {
+    dev;
+    chunk_size;
+    table_addr;
+    data_start;
+    num_chunks;
+    free = Queue.create ();
+    n_free = 0;
+  }
+
+let format dev ~chunk_size =
+  let data_start, num_chunks = geometry ~size:(D.size dev) ~chunk_size in
+  let t = build dev ~chunk_size ~data_start ~num_chunks in
+  D.fill dev table_addr num_chunks '\000';
+  D.persist dev table_addr num_chunks;
+  D.store_u64 dev 0 magic;
+  D.store_u64 dev 8 (Int64.of_int chunk_size);
+  D.store_u64 dev 16 (Int64.of_int num_chunks);
+  D.persist dev 0 24;
+  for i = 0 to num_chunks - 1 do
+    Queue.push i t.free
+  done;
+  t.n_free <- num_chunks;
+  t
+
+let attach dev =
+  if D.load_u64 dev 0 <> magic then invalid_arg "Alloc.attach: not formatted";
+  let chunk_size = Int64.to_int (D.load_u64 dev 8) in
+  let data_start, num_chunks = geometry ~size:(D.size dev) ~chunk_size in
+  assert (num_chunks = Int64.to_int (D.load_u64 dev 16));
+  let t = build dev ~chunk_size ~data_start ~num_chunks in
+  for i = 0 to num_chunks - 1 do
+    if tag_of_byte (D.load_u8 dev (table_addr + i)) = None then begin
+      Queue.push i t.free;
+      t.n_free <- t.n_free + 1
+    end
+  done;
+  t
+
+let device t = t.dev
+let chunk_size t = t.chunk_size
+let superblock _ = superblock_addr
+let chunks_total t = t.num_chunks
+let chunks_free t = t.n_free
+let allocated_bytes t = (t.num_chunks - t.n_free) * t.chunk_size
+let addr_of_index t i = t.data_start + (i * t.chunk_size)
+let index_of_addr t addr = (addr - t.data_start) / t.chunk_size
+
+let alloc_chunk t tag =
+  if Queue.is_empty t.free then raise Out_of_memory;
+  let i = Queue.pop t.free in
+  t.n_free <- t.n_free - 1;
+  D.store_u8 t.dev (t.table_addr + i) (tag_byte tag);
+  D.persist t.dev (t.table_addr + i) 1;
+  addr_of_index t i
+
+let free_chunk t addr =
+  let i = index_of_addr t addr in
+  assert (i >= 0 && i < t.num_chunks && addr = addr_of_index t i);
+  D.store_u8 t.dev (t.table_addr + i) 0;
+  D.persist t.dev (t.table_addr + i) 1;
+  Queue.push i t.free;
+  t.n_free <- t.n_free + 1
+
+(* Unaccounted tag lookup usable as a Device write classifier. *)
+let classify t addr =
+  if addr < t.data_start then 0
+  else begin
+    let i = (addr - t.data_start) / t.chunk_size in
+    if i >= t.num_chunks then 0
+    else D.peek_u8 t.dev (t.table_addr + i)
+  end
+
+let chunk_base_of_addr t addr =
+  assert (addr >= t.data_start && addr < t.data_start + (t.num_chunks * t.chunk_size));
+  t.data_start + ((addr - t.data_start) / t.chunk_size * t.chunk_size)
+
+let iter_chunks t tag f =
+  for i = 0 to t.num_chunks - 1 do
+    if tag_of_byte (D.load_u8 t.dev (t.table_addr + i)) = Some tag then
+      f (addr_of_index t i)
+  done

@@ -1,0 +1,53 @@
+(** Chunk-based persistent-memory allocator (paper §4.2).
+
+    The device is carved into fixed-size chunks described by a persistent
+    one-byte-per-chunk tag table.  Allocation writes and persists the tag,
+    so a post-crash scan of the table recovers exactly which chunks belong
+    to which subsystem: there is no persistent free list to corrupt and no
+    chunk can leak.  Objects *within* a chunk are tracked by volatile
+    metadata ({!Slab}, {!Extent}) that owners rebuild during recovery by
+    scanning their own structures; unreferenced objects fall back to the
+    free state automatically. *)
+
+type t
+
+type tag =
+  | Leaf  (** 256 B tree leaf nodes. *)
+  | Log  (** Write-ahead-log chunks. *)
+  | Extent  (** Out-of-band variable-size values. *)
+
+val format : Pmem.Device.t -> chunk_size:int -> t
+(** Initialize a fresh device.  [chunk_size] must be a multiple of 256. *)
+
+val attach : Pmem.Device.t -> t
+(** Recover allocator state from a previously formatted device by scanning
+    the persistent tag table. *)
+
+val device : t -> Pmem.Device.t
+val chunk_size : t -> int
+val superblock : t -> int
+(** Address of a 3.8 KB client metadata area persisted independently of the
+    chunk space (the tree stores its head-leaf pointer there). *)
+
+val alloc_chunk : t -> tag -> int
+(** Allocate a chunk and persist its tag.  @raise Out_of_memory when the
+    device is full. *)
+
+val free_chunk : t -> int -> unit
+(** Return a chunk to the free state (tag persisted before reuse). *)
+
+val chunk_base_of_addr : t -> int -> int
+(** Base address of the chunk containing the given address. *)
+
+val classify : t -> int -> int
+(** Unaccounted chunk-tag lookup (0 free / metadata, 1 leaf, 2 log,
+    3 extent), suitable as a {!Pmem.Device.set_classifier} callback for
+    attributing media writes. *)
+
+val iter_chunks : t -> tag -> (int -> unit) -> unit
+(** Iterate over the addresses of all chunks carrying [tag]. *)
+
+val chunks_total : t -> int
+val chunks_free : t -> int
+val allocated_bytes : t -> int
+(** Bytes held by non-free chunks (PM space accounting, Fig 18). *)

@@ -1,0 +1,46 @@
+type t = {
+  alloc : Alloc.t;
+  watermark : (int, int) Hashtbl.t;  (* chunk base -> bytes used *)
+  mutable current : int option;  (* chunk being bump-allocated *)
+  mutable used : int;
+}
+
+let create alloc = { alloc; watermark = Hashtbl.create 16; current = None; used = 0 }
+
+let attach alloc =
+  let t = create alloc in
+  Alloc.iter_chunks alloc Alloc.Extent (fun base ->
+      Hashtbl.replace t.watermark base 0);
+  t
+
+let align16 n = (n + 15) land lnot 15
+
+let alloc t len =
+  let len = align16 len in
+  let cs = Alloc.chunk_size t.alloc in
+  if len > cs then invalid_arg "Extent.alloc: larger than a chunk";
+  let base =
+    match t.current with
+    | Some base when Hashtbl.find t.watermark base + len <= cs -> base
+    | _ ->
+      let base = Alloc.alloc_chunk t.alloc Alloc.Extent in
+      Hashtbl.replace t.watermark base 0;
+      t.current <- Some base;
+      base
+  in
+  let off = Hashtbl.find t.watermark base in
+  Hashtbl.replace t.watermark base (off + len);
+  t.used <- t.used + len;
+  base + off
+
+let mark_used t ~addr ~len =
+  let len = align16 len in
+  let base = Alloc.chunk_base_of_addr t.alloc addr in
+  let high = addr - base + len in
+  let cur = try Hashtbl.find t.watermark base with Not_found -> 0 in
+  if high > cur then begin
+    t.used <- t.used + (high - cur);
+    Hashtbl.replace t.watermark base high
+  end
+
+let used_bytes t = t.used

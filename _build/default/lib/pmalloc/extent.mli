@@ -1,0 +1,18 @@
+(** Bump allocator for variable-size values (paper Optimization #3).
+
+    Large keys/values live out-of-band in [Extent]-tagged chunks and are
+    referenced through 8 B indirection pointers.  Allocation bumps a
+    volatile per-chunk watermark; recovery replays [mark_used] for every
+    extent still referenced from the tree or logs, re-raising watermarks so
+    live data is never overwritten (unreferenced tails are reclaimed
+    implicitly). *)
+
+type t
+
+val create : Alloc.t -> t
+val attach : Alloc.t -> t
+val alloc : t -> int -> int
+(** [alloc t len] returns the address of a fresh 16 B-aligned extent. *)
+
+val mark_used : t -> addr:int -> len:int -> unit
+val used_bytes : t -> int

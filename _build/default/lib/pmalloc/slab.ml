@@ -1,0 +1,85 @@
+type chunk = { base : int; used : Bytes.t (* one byte per slot *) }
+
+type t = {
+  alloc : Alloc.t;
+  tag : Alloc.tag;
+  obj_size : int;
+  slots_per_chunk : int;
+  chunks : (int, chunk) Hashtbl.t;  (* base -> chunk *)
+  free_slots : int Stack.t;  (* may hold stale entries; validated on pop *)
+  mutable used : int;
+}
+
+let make alloc tag ~obj_size =
+  let cs = Alloc.chunk_size alloc in
+  assert (obj_size > 0 && cs mod obj_size = 0);
+  {
+    alloc;
+    tag;
+    obj_size;
+    slots_per_chunk = cs / obj_size;
+    chunks = Hashtbl.create 64;
+    free_slots = Stack.create ();
+    used = 0;
+  }
+
+let add_chunk t base =
+  let c = { base; used = Bytes.make t.slots_per_chunk '\000' } in
+  Hashtbl.replace t.chunks base c;
+  for i = t.slots_per_chunk - 1 downto 0 do
+    Stack.push (base + (i * t.obj_size)) t.free_slots
+  done
+
+let create alloc tag ~obj_size = make alloc tag ~obj_size
+
+let attach alloc tag ~obj_size =
+  let t = make alloc tag ~obj_size in
+  Alloc.iter_chunks alloc tag (add_chunk t);
+  t
+
+let chunk_of t addr =
+  match Hashtbl.find_opt t.chunks (Alloc.chunk_base_of_addr t.alloc addr) with
+  | Some c -> c
+  | None -> invalid_arg "Slab: address outside any chunk of this slab"
+
+let slot_index t c addr =
+  let off = addr - c.base in
+  assert (off >= 0 && off mod t.obj_size = 0);
+  off / t.obj_size
+
+let rec alloc t =
+  if Stack.is_empty t.free_slots then
+    add_chunk t (Alloc.alloc_chunk t.alloc t.tag);
+  let addr = Stack.pop t.free_slots in
+  let c = chunk_of t addr in
+  let i = slot_index t c addr in
+  if Bytes.get c.used i <> '\000' then alloc t (* stale: taken by mark_used *)
+  else begin
+    Bytes.set c.used i '\001';
+    t.used <- t.used + 1;
+    addr
+  end
+
+let free t addr =
+  let c = chunk_of t addr in
+  let i = slot_index t c addr in
+  if Bytes.get c.used i <> '\000' then begin
+    Bytes.set c.used i '\000';
+    t.used <- t.used - 1;
+    Stack.push addr t.free_slots
+  end
+
+let mark_used t addr =
+  let c = chunk_of t addr in
+  let i = slot_index t c addr in
+  if Bytes.get c.used i = '\000' then begin
+    Bytes.set c.used i '\001';
+    t.used <- t.used + 1
+  end
+
+let is_used t addr =
+  let c = chunk_of t addr in
+  Bytes.get c.used (slot_index t c addr) <> '\000'
+
+let used_count t = t.used
+let used_bytes t = t.used * t.obj_size

@@ -1,0 +1,26 @@
+(** Fixed-size object allocator over tagged chunks.
+
+    Used for 256 B leaf nodes: objects are allocated from chunks carrying a
+    single {!Alloc.tag}; the free bitmap is volatile and is rebuilt during
+    recovery by the owner calling [mark_used] for every object it can still
+    reach (leaf-chain scan), which automatically reclaims orphans from
+    interrupted splits. *)
+
+type t
+
+val create : Alloc.t -> Alloc.tag -> obj_size:int -> t
+(** Fresh slab with no chunks; chunks are claimed from the allocator on
+    demand.  [obj_size] must divide the chunk size. *)
+
+val attach : Alloc.t -> Alloc.tag -> obj_size:int -> t
+(** Recovery: adopt every chunk carrying [tag], with all slots presumed
+    free until [mark_used]. *)
+
+val alloc : t -> int
+val free : t -> int -> unit
+val mark_used : t -> int -> unit
+(** Declare [addr] live during recovery.  Idempotent. *)
+
+val is_used : t -> int -> bool
+val used_count : t -> int
+val used_bytes : t -> int

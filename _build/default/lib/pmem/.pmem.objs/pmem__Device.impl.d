@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Array Bytes Char Config Fun Geometry Hashtbl List Random Stats String

@@ -1,0 +1,33 @@
+(** Device configuration for the simulated DCPMM. *)
+
+type t = {
+  size : int;  (** Capacity in bytes of the simulated DIMM. *)
+  xpbuffer_lines : int;  (** XPLine slots in the write-combining buffer. *)
+  cpu_cache_lines : int;
+      (** Dirty-cacheline capacity of the simulated CPU cache; exceeding it
+          triggers locality-oblivious evictions. *)
+  read_cache_lines : int;
+      (** XPLines retained in a small read cache, coalescing repeated reads
+          of the same XPLine within an operation. *)
+  eadr : bool;
+      (** Extended-ADR mode: CPU caches are in the persistence domain, so a
+          crash loses nothing, but media traffic is driven by eviction
+          order instead of explicit flushes (paper §5.5). *)
+  persist_prob : float;
+      (** Probability that an unflushed (or unfenced) dirty cacheline made
+          it to the persistence domain before a crash. Models the
+          adversarial "any subset of unordered stores may persist"
+          semantics of ADR. *)
+  crash_seed : int;  (** Seed for the adversarial crash coin flips. *)
+}
+
+let default ?(size = 64 * 1024 * 1024) () =
+  {
+    size;
+    xpbuffer_lines = Geometry.xpbuffer_capacity_lines;
+    cpu_cache_lines = 8192;
+    read_cache_lines = 128;
+    eadr = false;
+    persist_prob = 0.5;
+    crash_seed = 0x5eed;
+  }

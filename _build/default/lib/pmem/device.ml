@@ -1,0 +1,431 @@
+let ( .%[] ) = Bytes.get
+let ( .%[]<- ) = Bytes.set
+
+type xpslot = {
+  data : Bytes.t;  (* 256 B staging area *)
+  mutable valid : int;  (* bitmask over the 4 sublines *)
+  mutable lru : int;
+}
+
+(* Growable ring of candidate eviction victims.  Eviction picks a random
+   element among the oldest [jitter] entries: caches evict by set
+   conflict, which preserves temporal order only coarsely — the jitter is
+   what turns a completed sequential write burst into slightly reordered
+   write-backs (the eADR observation of paper §5.5). *)
+module Ring = struct
+  type t = {
+    mutable buf : int array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 1024 0; head = 0; len = 0 }
+
+  let push t v =
+    if t.len = Array.length t.buf then begin
+      let nbuf = Array.make (2 * t.len) 0 in
+      for i = 0 to t.len - 1 do
+        nbuf.(i) <- t.buf.((t.head + i) mod t.len)
+      done;
+      t.buf <- nbuf;
+      t.head <- 0
+    end;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- v;
+    t.len <- t.len + 1
+
+  let pop_jittered t rng ~jitter =
+    if t.len = 0 then None
+    else begin
+      let cap = Array.length t.buf in
+      let r = Random.State.int rng (min jitter t.len) in
+      let i = (t.head + r) mod cap in
+      let v = t.buf.(i) in
+      (* move the head element into the vacated slot, then advance *)
+      t.buf.(i) <- t.buf.(t.head);
+      t.head <- (t.head + 1) mod cap;
+      t.len <- t.len - 1;
+      Some v
+    end
+
+  let clear t =
+    t.head <- 0;
+    t.len <- 0
+end
+
+type t = {
+  cfg : Config.t;
+  work : Bytes.t;  (* logical (volatile) content *)
+  media : Bytes.t;  (* physically persisted content *)
+  dirty : (int, unit) Hashtbl.t;  (* dirty cachelines in the CPU cache *)
+  dirty_fifo : Ring.t;  (* eviction order (may hold stale entries) *)
+  pending : (int, Bytes.t) Hashtbl.t;  (* clwb'd, not yet fenced *)
+  xpbuffer : (int, xpslot) Hashtbl.t;
+  read_cache : (int, int) Hashtbl.t;  (* xpline -> lru stamp *)
+  mutable lru_clock : int;
+  rng : Random.State.t;
+  stats : Stats.t;
+  mutable classifier : (int -> int) option;
+      (* maps an XPLine address to a traffic class for attribution *)
+  mutable fail_after_fences : int option;
+      (* fault injection: power-fail at the n-th upcoming sfence *)
+}
+
+exception Power_failure
+(* raised by [sfence] when a planned failure fires; the fence's staged
+   lines remain un-fenced, i.e. subject to the adversarial crash coin *)
+
+let create ?config () =
+  let cfg = match config with Some c -> c | None -> Config.default () in
+  {
+    cfg;
+    work = Bytes.make cfg.Config.size '\000';
+    media = Bytes.make cfg.Config.size '\000';
+    dirty = Hashtbl.create 4096;
+    dirty_fifo = Ring.create ();
+    pending = Hashtbl.create 64;
+    xpbuffer = Hashtbl.create cfg.Config.xpbuffer_lines;
+    read_cache = Hashtbl.create cfg.Config.read_cache_lines;
+    lru_clock = 0;
+    rng = Random.State.make [| cfg.Config.crash_seed |];
+    stats = Stats.create ();
+    classifier = None;
+    fail_after_fences = None;
+  }
+
+let set_classifier t f = t.classifier <- f
+let plan_failure t ~after_fences = t.fail_after_fences <- Some after_fences
+let cancel_failure t = t.fail_after_fences <- None
+
+let config t = t.cfg
+let size t = t.cfg.Config.size
+let stats t = t.stats
+let snapshot t = Stats.copy t.stats
+let add_user_bytes t n = t.stats.Stats.user_bytes <- t.stats.Stats.user_bytes + n
+let dirty_lines t = Hashtbl.length t.dirty
+let xpbuffer_occupancy t = Hashtbl.length t.xpbuffer
+let media_byte t addr = Char.code t.media.%[addr]
+let peek_u8 t addr = Char.code t.work.%[addr]
+
+let tick t =
+  t.lru_clock <- t.lru_clock + 1;
+  t.lru_clock
+
+let check_range t addr len =
+  assert (addr >= 0 && len >= 0 && addr + len <= t.cfg.Config.size)
+
+(* --- media write-back path ----------------------------------------- *)
+
+let write_back_slot t xp slot =
+  let st = t.stats in
+  if slot.valid <> 0 then begin
+    if slot.valid <> 0b1111 then begin
+      (* partially buffered XPLine: read-modify-write fill from media *)
+      st.Stats.media_read_bytes <-
+        st.Stats.media_read_bytes + Geometry.xpline_size;
+      st.Stats.media_read_lines <- st.Stats.media_read_lines + 1
+    end;
+    for sub = 0 to Geometry.lines_per_xpline - 1 do
+      if slot.valid land (1 lsl sub) <> 0 then
+        Bytes.blit slot.data
+          (sub * Geometry.cacheline_size)
+          t.media
+          (xp + (sub * Geometry.cacheline_size))
+          Geometry.cacheline_size
+    done;
+    st.Stats.media_write_bytes <-
+      st.Stats.media_write_bytes + Geometry.xpline_size;
+    st.Stats.media_write_lines <- st.Stats.media_write_lines + 1;
+    match t.classifier with
+    | Some f ->
+      let c = f xp in
+      if c >= 0 && c < Stats.classes then
+        st.Stats.media_write_bytes_by_class.(c) <-
+          st.Stats.media_write_bytes_by_class.(c) + Geometry.xpline_size
+    | None -> ()
+  end
+
+let evict_lru_xpline t =
+  let victim = ref None in
+  let best = ref max_int in
+  Hashtbl.iter
+    (fun xp slot ->
+      if slot.lru < !best then begin
+        best := slot.lru;
+        victim := Some (xp, slot)
+      end)
+    t.xpbuffer;
+  match !victim with
+  | None -> ()
+  | Some (xp, slot) ->
+    write_back_slot t xp slot;
+    Hashtbl.remove t.xpbuffer xp
+
+(* A 64 B cacheline (snapshotted in [line_data]) arrives at the XPBuffer.
+   This is the persistence boundary: once here, the data survives power
+   failure (ADR domain). *)
+let xpbuffer_insert t line line_data =
+  let st = t.stats in
+  let xp = Geometry.xpline_of line in
+  let sub = Geometry.subline_of line in
+  let slot =
+    match Hashtbl.find_opt t.xpbuffer xp with
+    | Some slot ->
+      st.Stats.xpbuffer_hits <- st.Stats.xpbuffer_hits + 1;
+      slot
+    | None ->
+      st.Stats.xpbuffer_misses <- st.Stats.xpbuffer_misses + 1;
+      if Hashtbl.length t.xpbuffer >= t.cfg.Config.xpbuffer_lines then
+        evict_lru_xpline t;
+      let slot =
+        { data = Bytes.make Geometry.xpline_size '\000'; valid = 0; lru = 0 }
+      in
+      Hashtbl.replace t.xpbuffer xp slot;
+      slot
+  in
+  Bytes.blit line_data 0 slot.data
+    (sub * Geometry.cacheline_size)
+    Geometry.cacheline_size;
+  slot.valid <- slot.valid lor (1 lsl sub);
+  slot.lru <- tick t;
+  st.Stats.xpbuffer_write_bytes <-
+    st.Stats.xpbuffer_write_bytes + Geometry.cacheline_size
+
+let snapshot_line t line =
+  Bytes.sub t.work line Geometry.cacheline_size
+
+(* --- CPU cache (store buffer) path ---------------------------------- *)
+
+(* Capacity eviction of a dirty line: an implicit, locality-oblivious
+   flush straight into the XPBuffer. *)
+let evict_one_dirty t =
+  (* Under eADR nothing is ever explicitly flushed, so the eviction stream
+     carries every thread's lines interleaved: write-backs of one XPLine's
+     cachelines scatter far beyond the XPBuffer's combining window.  With
+     explicit flushes (ADR) capacity evictions are rare and roughly
+     temporal. *)
+  let jitter = if t.cfg.Config.eadr then 2048 else 64 in
+  let rec pop () =
+    match Ring.pop_jittered t.dirty_fifo t.rng ~jitter with
+    | None -> None
+    | Some line -> if Hashtbl.mem t.dirty line then Some line else pop ()
+  in
+  match pop () with
+  | None -> ()
+  | Some line ->
+    Hashtbl.remove t.dirty line;
+    t.stats.Stats.cpu_evictions <- t.stats.Stats.cpu_evictions + 1;
+    xpbuffer_insert t line (snapshot_line t line)
+
+let mark_dirty t line =
+  if not (Hashtbl.mem t.dirty line) then begin
+    Hashtbl.replace t.dirty line ();
+    Ring.push t.dirty_fifo line;
+    if Hashtbl.length t.dirty > t.cfg.Config.cpu_cache_lines then
+      evict_one_dirty t
+  end
+
+let store t addr b =
+  let len = Bytes.length b in
+  check_range t addr len;
+  Bytes.blit b 0 t.work addr len;
+  t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
+  List.iter (mark_dirty t) (Geometry.lines_in_range addr len)
+
+let store_string t addr s =
+  let len = String.length s in
+  check_range t addr len;
+  Bytes.blit_string s 0 t.work addr len;
+  t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
+  List.iter (mark_dirty t) (Geometry.lines_in_range addr len)
+
+let store_u64 t addr v =
+  check_range t addr 8;
+  Bytes.set_int64_le t.work addr v;
+  t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 8;
+  List.iter (mark_dirty t) (Geometry.lines_in_range addr 8)
+
+let store_u8 t addr v =
+  check_range t addr 1;
+  t.work.%[addr] <- Char.chr (v land 0xff);
+  t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 1;
+  mark_dirty t (Geometry.line_of addr)
+
+let fill t addr len c =
+  check_range t addr len;
+  Bytes.fill t.work addr len c;
+  t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
+  List.iter (mark_dirty t) (Geometry.lines_in_range addr len)
+
+(* --- load path ------------------------------------------------------- *)
+
+let read_cache_insert t xp =
+  if Hashtbl.length t.read_cache >= t.cfg.Config.read_cache_lines then begin
+    (* evict the least recently stamped XPLine *)
+    let victim = ref (-1) and best = ref max_int in
+    Hashtbl.iter
+      (fun k stamp ->
+        if stamp < !best then begin
+          best := stamp;
+          victim := k
+        end)
+      t.read_cache;
+    if !victim >= 0 then Hashtbl.remove t.read_cache !victim
+  end;
+  Hashtbl.replace t.read_cache xp (tick t)
+
+(* A load touching an XPLine costs a media read unless that XPLine is in
+   the XPBuffer, in the read cache, or still dirty in the CPU cache. *)
+let account_load t addr len =
+  let cached_in_cpu xp =
+    let rec check sub =
+      if sub >= Geometry.lines_per_xpline then false
+      else begin
+        let line = xp + (sub * Geometry.cacheline_size) in
+        Hashtbl.mem t.dirty line
+        || Hashtbl.mem t.pending line
+        || check (sub + 1)
+      end
+    in
+    check 0
+  in
+  let visit xp =
+    if Hashtbl.mem t.xpbuffer xp then ()
+    else if Hashtbl.mem t.read_cache xp then
+      Hashtbl.replace t.read_cache xp (tick t)
+    else if cached_in_cpu xp then ()
+    else begin
+      t.stats.Stats.media_read_bytes <-
+        t.stats.Stats.media_read_bytes + Geometry.xpline_size;
+      t.stats.Stats.media_read_lines <- t.stats.Stats.media_read_lines + 1;
+      read_cache_insert t xp
+    end
+  in
+  List.iter visit (Geometry.xplines_in_range addr len)
+
+let load t addr len =
+  check_range t addr len;
+  account_load t addr len;
+  Bytes.sub t.work addr len
+
+let load_u64 t addr =
+  check_range t addr 8;
+  account_load t addr 8;
+  Bytes.get_int64_le t.work addr
+
+let load_u8 t addr =
+  check_range t addr 1;
+  account_load t addr 1;
+  Char.code t.work.%[addr]
+
+(* --- persistence primitives ------------------------------------------ *)
+
+(* Under eADR the paper's methodology removes flush instructions entirely
+   (§5.5): caches are persistent, and media traffic is driven by capacity
+   evictions instead of explicit flushes.  We model that by making
+   clwb/sfence free no-ops in eADR mode. *)
+let clwb t addr =
+  if not t.cfg.Config.eadr then begin
+    let line = Geometry.line_of addr in
+    t.stats.Stats.clwb_count <- t.stats.Stats.clwb_count + 1;
+    if Hashtbl.mem t.dirty line then begin
+      Hashtbl.remove t.dirty line;
+      Hashtbl.replace t.pending line (snapshot_line t line)
+    end
+  end
+
+let flush_range t addr len =
+  List.iter (clwb t) (Geometry.lines_in_range addr len)
+
+let sfence t =
+  if not t.cfg.Config.eadr then begin
+    (match t.fail_after_fences with
+    | Some n when n <= 1 ->
+      t.fail_after_fences <- None;
+      (* power fails before this fence completes: its staged lines stay
+         in the volatile domain *)
+      raise Power_failure
+    | Some n -> t.fail_after_fences <- Some (n - 1)
+    | None -> ());
+    t.stats.Stats.sfence_count <- t.stats.Stats.sfence_count + 1;
+    let staged =
+      Hashtbl.fold (fun line b acc -> (line, b) :: acc) t.pending []
+    in
+    Hashtbl.reset t.pending;
+    let ordered = List.sort (fun (a, _) (b, _) -> compare a b) staged in
+    List.iter (fun (line, b) -> xpbuffer_insert t line b) ordered
+  end
+
+let persist t addr len =
+  flush_range t addr len;
+  sfence t
+
+let drain t =
+  Hashtbl.iter (fun line () -> xpbuffer_insert t line (snapshot_line t line))
+    t.dirty;
+  Hashtbl.reset t.dirty;
+  Ring.clear t.dirty_fifo;
+  sfence t;
+  let slots = Hashtbl.fold (fun xp slot acc -> (xp, slot) :: acc) t.xpbuffer [] in
+  Hashtbl.reset t.xpbuffer;
+  let ordered = List.sort (fun (a, _) (b, _) -> compare a b) slots in
+  List.iter (fun (xp, slot) -> write_back_slot t xp slot) ordered
+
+(* --- host-file persistence --------------------------------------------- *)
+
+let image_magic = "PMEMIMG1"
+
+let save_image t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc image_magic;
+      output_binary_int oc (Bytes.length t.media);
+      output_bytes oc t.media)
+
+let load_image ?config path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let magic = really_input_string ic (String.length image_magic) in
+      if magic <> image_magic then
+        invalid_arg "Device.load: not a PM image file";
+      let size = input_binary_int ic in
+      let cfg =
+        match config with Some c -> { c with Config.size } | None -> Config.default ~size ()
+      in
+      let t = create ~config:cfg () in
+      really_input ic t.media 0 size;
+      Bytes.blit t.media 0 t.work 0 size;
+      t)
+
+(* --- crash ------------------------------------------------------------ *)
+
+let crash t =
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  let keep () =
+    t.cfg.Config.eadr
+    || Random.State.float t.rng 1.0 < t.cfg.Config.persist_prob
+  in
+  (* Unfenced flushes and plain dirty lines persist adversarially. *)
+  let pending = Hashtbl.fold (fun l b acc -> (l, b) :: acc) t.pending [] in
+  Hashtbl.reset t.pending;
+  List.iter
+    (fun (line, b) -> if keep () then xpbuffer_insert t line b)
+    (List.sort (fun (a, _) (b, _) -> compare a b) pending)
+  ;
+  let dirty = Hashtbl.fold (fun l () acc -> l :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  Ring.clear t.dirty_fifo;
+  List.iter
+    (fun line -> if keep () then xpbuffer_insert t line (snapshot_line t line))
+    (List.sort compare dirty);
+  (* The ADR domain (WPQ + XPBuffer) always drains to media on power loss. *)
+  let slots = Hashtbl.fold (fun xp slot acc -> (xp, slot) :: acc) t.xpbuffer [] in
+  Hashtbl.reset t.xpbuffer;
+  List.iter (fun (xp, slot) -> write_back_slot t xp slot)
+    (List.sort (fun (a, _) (b, _) -> compare a b) slots);
+  Hashtbl.reset t.read_cache;
+  (* Volatile content is lost: what remains is exactly the media image. *)
+  Bytes.blit t.media 0 t.work 0 (Bytes.length t.media)

@@ -1,0 +1,120 @@
+(** Simulated Intel Optane DCPMM.
+
+    The device models the three layers of Figure 1 of the paper:
+
+    - a CPU cache holding dirty cachelines (volatile under ADR),
+    - a 16 KB on-DIMM write-combining buffer (XPBuffer) of 256 B XPLines
+      (inside the ADR persistence domain),
+    - the 3D-XPoint media, accessed only at XPLine granularity.
+
+    Stores land in the CPU cache; [clwb] stages a cacheline towards the
+    XPBuffer and [sfence] makes staged lines reach it.  A cacheline
+    arriving at the XPBuffer coalesces into an already-buffered XPLine or
+    claims a slot, evicting the least-recently-used XPLine to the media as
+    one 256 B write (plus a 256 B read-modify-write fill when the evicted
+    XPLine is only partially buffered).  All counters needed to compute
+    CLI- and XBI-amplification are recorded in {!Stats}.
+
+    [crash] implements the adversarial persistency semantics of ADR: lines
+    that completed a flush+fence protocol always persist, every other dirty
+    line persists with probability [persist_prob] (seeded, reproducible),
+    and the XPBuffer always drains.  Under eADR everything persists. *)
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+val config : t -> Config.t
+val size : t -> int
+
+(** {1 Stores (into the CPU cache)} *)
+
+val store : t -> int -> bytes -> unit
+val store_string : t -> int -> string -> unit
+val store_u64 : t -> int -> int64 -> unit
+val store_u8 : t -> int -> int -> unit
+val fill : t -> int -> int -> char -> unit
+
+(** {1 Loads} *)
+
+val load : t -> int -> int -> bytes
+val load_u64 : t -> int -> int64
+val load_u8 : t -> int -> int
+
+(** {1 Persistence primitives} *)
+
+val clwb : t -> int -> unit
+(** Flush the cacheline containing the given address.  No-op persistence
+    until the next {!sfence}, exactly as on hardware. *)
+
+val flush_range : t -> int -> int -> unit
+(** [flush_range t addr len] issues [clwb] for every cacheline overlapping
+    the range. *)
+
+val sfence : t -> unit
+
+val persist : t -> int -> int -> unit
+(** [flush_range] followed by [sfence]. *)
+
+val drain : t -> unit
+(** Clean shutdown: push every dirty line and the whole XPBuffer to the
+    media.  Used for fair end-of-run accounting. *)
+
+(** {1 Host-file persistence}
+
+    The media image can be saved to and restored from a host file, so
+    programs built on the simulated device are durable across process
+    restarts (the example KV store uses this). *)
+
+val save_image : t -> string -> unit
+(** Write the media image to a file.  Call {!drain} first if volatile
+    state should be included. *)
+
+val load_image : ?config:Config.t -> string -> t
+(** Restore a device from a saved image.  @raise Invalid_argument on a
+    malformed image file. *)
+
+(** {1 Crash injection} *)
+
+exception Power_failure
+
+val plan_failure : t -> after_fences:int -> unit
+(** Arm fault injection: the n-th upcoming {!sfence} raises
+    {!Power_failure} instead of completing, leaving its staged lines in
+    the volatile domain.  Callers then invoke {!crash} and run recovery —
+    this drives a crash into the *middle* of a persistence protocol
+    (batch flush, logless split, merge), the strongest consistency test
+    the simulator offers. *)
+
+val cancel_failure : t -> unit
+(** Disarm a planned failure (e.g. before running recovery). *)
+
+val crash : t -> unit
+(** Power failure.  After [crash] the device content is exactly what
+    survived: callers must run their recovery procedure. *)
+
+(** {1 Accounting} *)
+
+val add_user_bytes : t -> int -> unit
+(** Declare logical payload bytes (the denominator of amplification). *)
+
+val stats : t -> Stats.t
+(** The live counter record (mutated in place by the device). *)
+
+val snapshot : t -> Stats.t
+
+(** {1 Introspection for tests} *)
+
+val dirty_lines : t -> int
+val xpbuffer_occupancy : t -> int
+val media_byte : t -> int -> int
+(** Read a byte directly from the media image, bypassing cache and
+    accounting; test-only visibility into what has physically persisted. *)
+
+val peek_u8 : t -> int -> int
+(** Unaccounted read of the logical image; used by write classifiers that
+    must not perturb the counters they feed. *)
+
+val set_classifier : t -> (int -> int) option -> unit
+(** Install a map from XPLine address to traffic class (0..3); media
+    writes are then also attributed per class in
+    {!Stats.media_write_bytes_by_class}. *)

@@ -1,0 +1,40 @@
+(** Address geometry of the simulated device.
+
+    The simulated DCPMM mirrors the two granularities that drive the paper's
+    analysis: the 64 B CPU cacheline (unit of [clwb]) and the 256 B XPLine
+    (unit of physical media access behind the XPBuffer). *)
+
+let cacheline_size = 64
+let xpline_size = 256
+let lines_per_xpline = xpline_size / cacheline_size
+
+(** Default XPBuffer capacity: 16 KB on-DIMM write-combining buffer. *)
+let xpbuffer_capacity_lines = 16 * 1024 / xpline_size
+
+let line_of addr = addr land lnot (cacheline_size - 1)
+let xpline_of addr = addr land lnot (xpline_size - 1)
+
+(** Index (0..3) of the cacheline within its XPLine. *)
+let subline_of addr = (addr land (xpline_size - 1)) / cacheline_size
+
+(** All cachelines overlapping [addr, addr+len). *)
+let lines_in_range addr len =
+  if len <= 0 then []
+  else begin
+    let first = line_of addr and last = line_of (addr + len - 1) in
+    let rec collect acc a =
+      if a < first then acc else collect (a :: acc) (a - cacheline_size)
+    in
+    collect [] last
+  end
+
+(** All XPLines overlapping [addr, addr+len). *)
+let xplines_in_range addr len =
+  if len <= 0 then []
+  else begin
+    let first = xpline_of addr and last = xpline_of (addr + len - 1) in
+    let rec collect acc a =
+      if a < first then acc else collect (a :: acc) (a - xpline_size)
+    in
+    collect [] last
+  end

@@ -1,0 +1,104 @@
+type t = {
+  mutable user_bytes : int;
+  mutable store_bytes : int;
+  mutable clwb_count : int;
+  mutable sfence_count : int;
+  mutable xpbuffer_write_bytes : int;
+  mutable xpbuffer_hits : int;
+  mutable xpbuffer_misses : int;
+  mutable media_write_bytes : int;
+  mutable media_write_lines : int;
+  mutable media_read_bytes : int;
+  mutable media_read_lines : int;
+  mutable cpu_evictions : int;
+  mutable crashes : int;
+  media_write_bytes_by_class : int array;
+}
+
+let classes = 4
+
+let create () =
+  {
+    user_bytes = 0;
+    store_bytes = 0;
+    clwb_count = 0;
+    sfence_count = 0;
+    xpbuffer_write_bytes = 0;
+    xpbuffer_hits = 0;
+    xpbuffer_misses = 0;
+    media_write_bytes = 0;
+    media_write_lines = 0;
+    media_read_bytes = 0;
+    media_read_lines = 0;
+    cpu_evictions = 0;
+    crashes = 0;
+    media_write_bytes_by_class = Array.make classes 0;
+  }
+
+let copy t =
+  {
+    t with
+    media_write_bytes_by_class = Array.copy t.media_write_bytes_by_class;
+  }
+
+let reset t =
+  t.user_bytes <- 0;
+  t.store_bytes <- 0;
+  t.clwb_count <- 0;
+  t.sfence_count <- 0;
+  t.xpbuffer_write_bytes <- 0;
+  t.xpbuffer_hits <- 0;
+  t.xpbuffer_misses <- 0;
+  t.media_write_bytes <- 0;
+  t.media_write_lines <- 0;
+  t.media_read_bytes <- 0;
+  t.media_read_lines <- 0;
+  t.cpu_evictions <- 0;
+  t.crashes <- 0;
+  Array.fill t.media_write_bytes_by_class 0 classes 0
+
+let diff ~after ~before =
+  {
+    user_bytes = after.user_bytes - before.user_bytes;
+    store_bytes = after.store_bytes - before.store_bytes;
+    clwb_count = after.clwb_count - before.clwb_count;
+    sfence_count = after.sfence_count - before.sfence_count;
+    xpbuffer_write_bytes =
+      after.xpbuffer_write_bytes - before.xpbuffer_write_bytes;
+    xpbuffer_hits = after.xpbuffer_hits - before.xpbuffer_hits;
+    xpbuffer_misses = after.xpbuffer_misses - before.xpbuffer_misses;
+    media_write_bytes = after.media_write_bytes - before.media_write_bytes;
+    media_write_lines = after.media_write_lines - before.media_write_lines;
+    media_read_bytes = after.media_read_bytes - before.media_read_bytes;
+    media_read_lines = after.media_read_lines - before.media_read_lines;
+    cpu_evictions = after.cpu_evictions - before.cpu_evictions;
+    crashes = after.crashes - before.crashes;
+    media_write_bytes_by_class =
+      Array.init classes (fun i ->
+          after.media_write_bytes_by_class.(i)
+          - before.media_write_bytes_by_class.(i));
+  }
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+let cli_amplification t = ratio t.xpbuffer_write_bytes t.user_bytes
+let xbi_amplification t = ratio t.media_write_bytes t.user_bytes
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>user bytes        %d@,\
+     store bytes       %d@,\
+     clwb              %d@,\
+     sfence            %d@,\
+     xpbuffer writes   %d B (hit %d / miss %d)@,\
+     media writes      %d B (%d XPLines)@,\
+     media reads       %d B (%d XPLines)@,\
+     cpu evictions     %d@,\
+     CLI-amplification %.2f@,\
+     XBI-amplification %.2f@]"
+    t.user_bytes t.store_bytes t.clwb_count t.sfence_count
+    t.xpbuffer_write_bytes t.xpbuffer_hits t.xpbuffer_misses
+    t.media_write_bytes
+    (t.media_write_bytes / Geometry.xpline_size)
+    t.media_read_bytes
+    (t.media_read_bytes / Geometry.xpline_size)
+    t.cpu_evictions (cli_amplification t) (xbi_amplification t)

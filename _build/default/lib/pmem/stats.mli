@@ -1,0 +1,51 @@
+(** Hardware-counter model of the simulated DCPMM.
+
+    Mirrors the metrics the paper collects with [ipmctl] (§2.1): bytes
+    written to the XPBuffer, bytes physically written to / read from the
+    3D-XPoint media, and the derived CLI- and XBI-amplification ratios. *)
+
+type t = {
+  mutable user_bytes : int;
+      (** Logical payload bytes the application declared (denominator of
+          both amplification ratios). *)
+  mutable store_bytes : int;  (** Bytes stored through the CPU cache. *)
+  mutable clwb_count : int;  (** Cacheline flush instructions issued. *)
+  mutable sfence_count : int;  (** Fence instructions issued. *)
+  mutable xpbuffer_write_bytes : int;
+      (** 64 B cacheline arrivals into the write-combining buffer. *)
+  mutable xpbuffer_hits : int;
+      (** Arrivals that coalesced into an XPLine already buffered. *)
+  mutable xpbuffer_misses : int;  (** Arrivals that claimed a new slot. *)
+  mutable media_write_bytes : int;
+      (** Bytes physically written to the 3D-XPoint media (multiples of
+          256 B). *)
+  mutable media_write_lines : int;  (** XPLine writes to the media. *)
+  mutable media_read_bytes : int;  (** Bytes read from the media. *)
+  mutable media_read_lines : int;  (** XPLine reads from the media. *)
+  mutable cpu_evictions : int;
+      (** Dirty cachelines evicted by capacity pressure (implicit,
+          locality-oblivious flushes; dominant in eADR mode). *)
+  mutable crashes : int;  (** Crash injections performed. *)
+  media_write_bytes_by_class : int array;
+      (** Media write bytes attributed by the device's write classifier
+          (e.g. chunk tag: 0 unclassified, 1 leaf, 2 log, 3 extent); used
+          to split XBI-amplification between leaf nodes and WALs as in the
+          paper's Fig 13(b). *)
+}
+
+val classes : int
+
+val create : unit -> t
+val copy : t -> t
+val reset : t -> unit
+
+val diff : after:t -> before:t -> t
+(** Counter deltas between two snapshots; used for per-phase accounting. *)
+
+val cli_amplification : t -> float
+(** [xpbuffer_write_bytes / user_bytes] (paper §2.1). *)
+
+val xbi_amplification : t -> float
+(** [media_write_bytes / user_bytes] (paper §2.1). *)
+
+val pp : Format.formatter -> t -> unit

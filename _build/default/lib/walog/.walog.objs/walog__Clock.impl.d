@@ -1,0 +1,1 @@
+lib/walog/clock.ml: Int64

@@ -1,0 +1,1 @@
+lib/walog/clock.mli:

@@ -1,0 +1,1 @@
+lib/walog/wal.ml: Array Clock Int64 List Pmalloc Pmem Queue

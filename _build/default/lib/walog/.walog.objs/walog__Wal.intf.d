@@ -1,0 +1,1 @@
+lib/walog/wal.mli: Clock Pmalloc

@@ -1,0 +1,20 @@
+(** Monotonic logical timestamp source.
+
+    Stands in for the paper's [rdtsc]+ORDO hardware clock (§3.3): ORDO only
+    compensates cross-socket skew of the physical TSC, which a single
+    logical counter does not exhibit, so ordering guarantees are
+    preserved.  Timestamp 0 is reserved as "never written". *)
+
+type t = { mutable now : int64 }
+
+let create ?(start = 1L) () = { now = start }
+
+let next t =
+  let v = t.now in
+  t.now <- Int64.add t.now 1L;
+  v
+
+let peek t = t.now
+
+let advance_to t ts =
+  if Int64.unsigned_compare ts t.now >= 0 then t.now <- Int64.add ts 1L

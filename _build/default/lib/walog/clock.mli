@@ -1,0 +1,13 @@
+(** Monotonic logical timestamp source (stands in for rdtsc+ORDO, §3.3). *)
+
+type t
+
+val create : ?start:int64 -> unit -> t
+val next : t -> int64
+(** Strictly increasing; never returns 0 (reserved for "never written"). *)
+
+val peek : t -> int64
+(** The next value [next] would return, without consuming it. *)
+
+val advance_to : t -> int64 -> unit
+(** Ensure future timestamps exceed [ts]; used after log replay. *)

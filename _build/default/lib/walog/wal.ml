@@ -1,0 +1,140 @@
+module D = Pmem.Device
+module G = Pmem.Geometry
+module Alloc = Pmalloc.Alloc
+
+let entry_size = 24
+let header_size = 32
+let magic = 0x57414C4F47314243L (* "WALOG1BC" *)
+
+type active = { mutable chunk : int; mutable off : int }
+(* chunk = 0 means no chunk acquired yet (address 0 is the allocator
+   superblock, never a chunk). *)
+
+type t = {
+  alloc : Alloc.t;
+  dev : D.t;
+  clock : Clock.t;
+  threads : int;
+  active : active array array;  (* [epoch 0/1].[thread] *)
+  epoch_chunks : int list ref array;  (* chunks assigned to each epoch *)
+  free : int Queue.t;
+  epoch_data : int array;  (* live log-entry bytes per epoch *)
+  mutable peak : int;
+}
+
+let create alloc clock ~threads =
+  {
+    alloc;
+    dev = Alloc.device alloc;
+    clock;
+    threads;
+    active =
+      Array.init 2 (fun _ ->
+          Array.init threads (fun _ -> { chunk = 0; off = 0 }));
+    epoch_chunks = [| ref []; ref [] |];
+    free = Queue.create ();
+    epoch_data = [| 0; 0 |];
+    peak = 0;
+  }
+
+let live_bytes t = t.epoch_data.(0) + t.epoch_data.(1)
+let peak_live_bytes t = t.peak
+
+let chunk_count t =
+  List.length !(t.epoch_chunks.(0))
+  + List.length !(t.epoch_chunks.(1))
+  + Queue.length t.free
+
+(* Header layout: magic u64, watermark u64, epoch u8, thread u16. *)
+let write_header t addr ~watermark ~epoch ~thread =
+  D.store_u64 t.dev addr magic;
+  D.store_u64 t.dev (addr + 8) watermark;
+  D.store_u8 t.dev (addr + 16) epoch;
+  D.store_u8 t.dev (addr + 17) (thread land 0xff);
+  D.store_u8 t.dev (addr + 18) (thread lsr 8);
+  D.persist t.dev addr header_size
+
+(* Acquire a chunk for an append whose timestamp [ts] is already drawn.
+   The watermark [ts-1] dominates every previously issued timestamp, so
+   stale entries of a recycled chunk can never replay, while all future
+   entries of this chunk remain valid. *)
+let acquire_chunk t ~epoch ~thread ~ts =
+  let addr =
+    if Queue.is_empty t.free then Alloc.alloc_chunk t.alloc Alloc.Log
+    else Queue.pop t.free
+  in
+  write_header t addr ~watermark:(Int64.pred ts) ~epoch ~thread;
+  t.epoch_chunks.(epoch) := addr :: !(t.epoch_chunks.(epoch));
+  addr
+
+let append t ~thread ~epoch ~key ~value ~ts =
+  assert (thread >= 0 && thread < t.threads && (epoch = 0 || epoch = 1));
+  let a = t.active.(epoch).(thread) in
+  let cs = Alloc.chunk_size t.alloc in
+  if a.chunk = 0 || a.off + entry_size > cs then begin
+    a.chunk <- acquire_chunk t ~epoch ~thread ~ts;
+    a.off <- header_size
+  end;
+  let addr = a.chunk + a.off in
+  if G.line_of addr = G.line_of (addr + entry_size - 1) then begin
+    (* Entry fits in one cacheline: single flush+fence. *)
+    D.store_u64 t.dev addr key;
+    D.store_u64 t.dev (addr + 8) value;
+    D.store_u64 t.dev (addr + 16) ts;
+    D.persist t.dev addr entry_size
+  end
+  else begin
+    (* Straddling entry: persist key/value before the timestamp so a torn
+       entry always presents an invalid timestamp. *)
+    D.store_u64 t.dev addr key;
+    D.store_u64 t.dev (addr + 8) value;
+    D.persist t.dev addr 16;
+    D.store_u64 t.dev (addr + 16) ts;
+    D.persist t.dev (addr + 16) 8
+  end;
+  a.off <- a.off + entry_size;
+  t.epoch_data.(epoch) <- t.epoch_data.(epoch) + entry_size;
+  let live = live_bytes t in
+  if live > t.peak then t.peak <- live
+
+let reclaim_epoch t ~epoch =
+  let watermark = Clock.peek t.clock in
+  List.iter
+    (fun addr ->
+      D.store_u64 t.dev (addr + 8) watermark;
+      D.persist t.dev (addr + 8) 8;
+      Queue.push addr t.free)
+    !(t.epoch_chunks.(epoch));
+  t.epoch_chunks.(epoch) := [];
+  t.epoch_data.(epoch) <- 0;
+  Array.iter
+    (fun a ->
+      a.chunk <- 0;
+      a.off <- 0)
+    t.active.(epoch)
+
+let replay alloc ~f =
+  let dev = Alloc.device alloc in
+  let cs = Alloc.chunk_size alloc in
+  let max_ts = ref 0L in
+  Alloc.iter_chunks alloc Alloc.Log (fun base ->
+      if D.load_u64 dev base = magic then begin
+        let watermark = D.load_u64 dev (base + 8) in
+        let rec scan off prev =
+          if off + entry_size <= cs then begin
+            let ts = D.load_u64 dev (base + off + 16) in
+            if
+              Int64.unsigned_compare ts watermark > 0
+              && Int64.unsigned_compare ts prev > 0
+            then begin
+              let key = D.load_u64 dev (base + off) in
+              let value = D.load_u64 dev (base + off + 8) in
+              if Int64.unsigned_compare ts !max_ts > 0 then max_ts := ts;
+              f ~key ~value ~ts;
+              scan (off + entry_size) ts
+            end
+          end
+        in
+        scan header_size watermark
+      end);
+  !max_ts

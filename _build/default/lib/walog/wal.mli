@@ -1,0 +1,56 @@
+(** Per-thread write-ahead logs with B-log / I-log epoch tagging (§3.3–3.4).
+
+    Each thread owns an append-only log made of fixed-size chunks taken
+    from the {!Pmalloc.Alloc} chunk allocator (4 MB in the paper, scaled
+    here via the allocator's chunk size).  A log entry is 24 B: key,
+    value, timestamp — so a 256 B XPLine absorbs ~10.7 sequential entries,
+    which is the whole point of logging (the paper's §3.5 cost model).
+
+    Epochs implement locality-aware GC: entries are appended to the log of
+    the current global epoch (the B-log); during GC survivors and new
+    entries go to the other epoch (the I-log); when the scan finishes the
+    B-log's chunks are reclaimed and roles swap.
+
+    Crash safety of the append protocol: an entry that fits in one
+    cacheline is persisted with a single flush+fence; an entry straddling
+    two cachelines persists key/value first and timestamp second (two
+    fences), so a torn entry always presents an invalid timestamp and
+    replay stops at the first invalid entry.  Recycled chunks re-persist a
+    header whose watermark exceeds every stale timestamp, making leftover
+    entries unreadable without zeroing the chunk. *)
+
+type t
+
+val create :
+  Pmalloc.Alloc.t -> Clock.t -> threads:int -> t
+(** Fresh log set with one (lazy) log per thread and per epoch. *)
+
+val entry_size : int
+
+val append :
+  t -> thread:int -> epoch:int -> key:int64 -> value:int64 -> ts:int64 -> unit
+(** Persist one log entry; durable when [append] returns. *)
+
+val live_bytes : t -> int
+(** Live log-entry bytes across both epochs (drives the TH_log GC
+    trigger). *)
+
+val peak_live_bytes : t -> int
+val reclaim_epoch : t -> epoch:int -> unit
+(** Recycle every chunk of [epoch] onto the internal free list.  The freed
+    chunks' headers are re-stamped so their stale entries can never be
+    replayed. *)
+
+val chunk_count : t -> int
+(** Chunks held (active + free-listed), for PM space accounting. *)
+
+(** {1 Recovery} *)
+
+val replay :
+  Pmalloc.Alloc.t ->
+  f:(key:int64 -> value:int64 -> ts:int64 -> unit) ->
+  int64
+(** Scan every log-tagged chunk on the device and invoke [f] for each valid
+    entry (both epochs, any order across chunks; timestamp order within a
+    chunk).  Returns the maximum timestamp seen, for clock resynchroni-
+    zation.  Static: usable before any {!create}. *)

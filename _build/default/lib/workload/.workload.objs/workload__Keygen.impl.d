@@ -1,0 +1,1 @@
+lib/workload/keygen.ml: Array Float Int64 Random

@@ -1,0 +1,1 @@
+lib/workload/sosd.ml: Array Hashtbl Int64 Random

@@ -1,0 +1,75 @@
+type t =
+  | Uniform of Random.State.t * int
+  | Zipfian of zipf
+  | Sequential of int ref * int
+
+and zipf = {
+  rng : Random.State.t;
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let uniform ~seed ~space = Uniform (Random.State.make [| seed |], space)
+
+let zipfian ~seed ~space ~theta =
+  assert (theta > 0.0 && theta < 1.0);
+  let zetan = zeta space theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int space) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  Zipfian
+    { rng = Random.State.make [| seed |]; n = space; theta; zetan; alpha; eta; zeta2 }
+
+let sequential ~space = Sequential (ref 0, space)
+
+let next_zipf z =
+  let u = Random.State.float z.rng 1.0 in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 1
+  else if uz < 1.0 +. Float.pow 0.5 z.theta then 2
+  else
+    1
+    + int_of_float
+        (float_of_int z.n *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha)
+
+(* As in YCSB, the popularity rank is hash-scrambled so hot keys spread
+   over the key space rather than clustering at its low end. *)
+let scramble n rank =
+  let h = Int64.mul (Int64.of_int rank) 0x9E3779B97F4A7C15L in
+  let h = Int64.shift_right_logical h 17 in
+  1 + Int64.to_int (Int64.rem h (Int64.of_int n))
+
+let next = function
+  | Uniform (rng, space) -> Int64.of_int (1 + Random.State.int rng space)
+  | Zipfian z ->
+    let rank = min z.n (next_zipf z) in
+    Int64.of_int (scramble z.n rank)
+  | Sequential (r, space) ->
+    incr r;
+    if !r > space then r := 1;
+    Int64.of_int !r
+
+let shuffled_range ~seed n =
+  let a = Array.init n (fun i -> Int64.of_int (i + 1)) in
+  let st = Random.State.make [| seed |] in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,19 @@
+(** Key generators for the micro-benchmarks (§5.1).
+
+    Keys are positive [int64]s.  The Zipfian generator follows the YCSB
+    construction (Gray et al.'s method with precomputed zeta), which is
+    what the paper uses for its skewed workloads (coefficient 0.9 in
+    Fig 4, 0.5–0.99 in Fig 15(a)). *)
+
+type t
+
+val uniform : seed:int -> space:int -> t
+val zipfian : seed:int -> space:int -> theta:float -> t
+val sequential : space:int -> t
+(** Wraps around after [space] keys. *)
+
+val next : t -> int64
+(** Next key in [1, space]. *)
+
+val shuffled_range : seed:int -> int -> int64 array
+(** A random permutation of [1..n]: the warm-up load order. *)

@@ -1,0 +1,80 @@
+let dedup_resize ~seed ~regen n keys =
+  (* index keys must be unique: re-draw collisions *)
+  let seen = Hashtbl.create (2 * n) in
+  let rng = Random.State.make [| seed + 77 |] in
+  Array.map
+    (fun k ->
+      let rec fresh k =
+        if Int64.compare k 1L < 0 then fresh (regen rng)
+        else if Hashtbl.mem seen k then fresh (regen rng)
+        else begin
+          Hashtbl.replace seen k ();
+          k
+        end
+      in
+      fresh k)
+    keys
+
+let amzn ~seed n =
+  let rng = Random.State.make [| seed |] in
+  let clusters = max 1 (n / 64) in
+  let keys =
+    Array.init n (fun _ ->
+        let c = Random.State.int rng clusters in
+        let base = Int64.of_int ((c * 1_000_003) + 1) in
+        Int64.add base (Int64.of_int (Random.State.int rng 4096)))
+  in
+  dedup_resize ~seed ~regen:(fun rng ->
+      Int64.of_int (1 + Random.State.int rng 1_000_000_000))
+    n keys
+
+(* interleave the low 31 bits of x and y into a Morton code *)
+let morton x y =
+  let spread v =
+    let rec go acc i =
+      if i >= 31 then acc
+      else begin
+        let bit = (v lsr i) land 1 in
+        go (acc lor (bit lsl (2 * i))) (i + 1)
+      end
+    in
+    go 0 0
+  in
+  Int64.of_int (spread x lor (spread y lsl 1))
+
+let osm ~seed n =
+  let rng = Random.State.make [| seed |] in
+  let keys =
+    Array.init n (fun _ ->
+        morton
+          (Random.State.int rng 0x7FFFFFF)
+          (Random.State.int rng 0x7FFFFFF))
+  in
+  dedup_resize ~seed ~regen:(fun rng ->
+      morton (Random.State.int rng 0x7FFFFFF) (Random.State.int rng 0x7FFFFFF))
+    n keys
+
+let wiki ~seed n =
+  let rng = Random.State.make [| seed |] in
+  let now = ref 1_500_000_000_000L in
+  let keys =
+    Array.init n (fun _ ->
+        let burst = if Random.State.int rng 100 = 0 then 1_000_000 else 0 in
+        now :=
+          Int64.add !now
+            (Int64.of_int (1 + Random.State.int rng 2000 + burst));
+        !now)
+  in
+  dedup_resize ~seed ~regen:(fun rng ->
+      Int64.of_int (1 + Random.State.int rng 1_000_000_000))
+    n keys
+
+let facebook ~seed n =
+  let rng = Random.State.make [| seed |] in
+  let draw rng =
+    Int64.logand (Random.State.int64 rng Int64.max_int) Int64.max_int
+  in
+  dedup_resize ~seed ~regen:draw n (Array.init n (fun _ -> draw rng))
+
+let all =
+  [ ("amzn", amzn); ("osm", osm); ("wiki", wiki); ("facebook", facebook) ]

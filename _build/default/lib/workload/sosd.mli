@@ -1,0 +1,19 @@
+(** Synthetic stand-ins for the four SOSD datasets of Fig 19.
+
+    The real datasets are external downloads; what matters to an index is
+    their key-space locality, which we reproduce:
+
+    - [amzn] (book popularity): dense clustered IDs — many small runs of
+      near-contiguous keys separated by gaps,
+    - [osm] (OpenStreetMap cell IDs): Morton-interleaved coordinates of
+      uniform 2D points — hierarchical clustering at every scale,
+    - [wiki] (edit timestamps): near-monotonic with small jitter and
+      occasional bursts,
+    - [facebook] (sampled user IDs): uniform hashed 63-bit values. *)
+
+val amzn : seed:int -> int -> int64 array
+val osm : seed:int -> int -> int64 array
+val wiki : seed:int -> int -> int64 array
+val facebook : seed:int -> int -> int64 array
+
+val all : (string * (seed:int -> int -> int64 array)) list

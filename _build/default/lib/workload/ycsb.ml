@@ -1,0 +1,36 @@
+type op = Insert of int64 * int64 | Read of int64 | Scan of int64 * int
+
+type mix =
+  | Insert_only
+  | Insert_intensive
+  | Read_intensive
+  | Read_only
+  | Scan_insert
+
+let mix_name = function
+  | Insert_only -> "Insert-Only"
+  | Insert_intensive -> "Insert-Intensive"
+  | Read_intensive -> "Read-Intensive"
+  | Read_only -> "Read-Only"
+  | Scan_insert -> "Scan-Insert"
+
+let all_mixes =
+  [ Insert_only; Insert_intensive; Read_intensive; Read_only; Scan_insert ]
+
+(* (insert %, read %, scan %) *)
+let ratios = function
+  | Insert_only -> (100, 0, 0)
+  | Insert_intensive -> (75, 25, 0)
+  | Read_intensive -> (25, 75, 0)
+  | Read_only -> (0, 100, 0)
+  | Scan_insert -> (5, 0, 95)
+
+let generate mix ~seed ~space ~scan_len n =
+  let rng = Random.State.make [| seed |] in
+  let ins, rd, _ = ratios mix in
+  let key () = Int64.of_int (1 + Random.State.int rng space) in
+  Array.init n (fun i ->
+      let dice = Random.State.int rng 100 in
+      if dice < ins then Insert (key (), Int64.of_int (i + 1))
+      else if dice < ins + rd then Read (key ())
+      else Scan (key (), scan_len))

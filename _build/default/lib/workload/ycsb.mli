@@ -1,0 +1,21 @@
+(** YCSB-style operation mixes (paper §5.2, Fig 11).
+
+    Five uniform workloads with the paper's read/write ratios:
+    insert-only, insert-intensive (75 % insert / 25 % read),
+    read-intensive (25 % / 75 %), read-only, and scan-insert
+    (95 % scan / 5 % insert). *)
+
+type op =
+  | Insert of int64 * int64
+  | Read of int64
+  | Scan of int64 * int  (** start key, length (100 in the paper). *)
+
+type mix = Insert_only | Insert_intensive | Read_intensive | Read_only | Scan_insert
+
+val mix_name : mix -> string
+val all_mixes : mix list
+
+val generate :
+  mix -> seed:int -> space:int -> scan_len:int -> int -> op array
+(** [generate mix ~seed ~space ~scan_len n] draws [n] operations over keys
+    in [1, space] with uniform key choice. *)

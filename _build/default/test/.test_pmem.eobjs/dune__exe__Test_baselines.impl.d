@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Fun Hashtbl Int64 List Pmem Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_ccl.ml: Alcotest Array Ccl_btree Char Fun Hashtbl Int64 List Option Pmalloc Pmem Printf QCheck QCheck_alcotest Random String

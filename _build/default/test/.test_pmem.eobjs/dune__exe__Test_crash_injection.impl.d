@@ -1,0 +1,1 @@
+test/test_crash_injection.ml: Alcotest Ccl_btree Ccl_hash Hashtbl Int64 List Pmalloc Pmem Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Baselines Buffer Float Format Harness List String Workload

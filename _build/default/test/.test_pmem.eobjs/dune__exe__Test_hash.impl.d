@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Ccl_btree Ccl_hash Fun Hashtbl Int64 List Pmem Printf QCheck QCheck_alcotest Random

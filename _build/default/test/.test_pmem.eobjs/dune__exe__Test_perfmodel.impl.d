@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Array Float List Perfmodel Printf

@@ -1,0 +1,1 @@
+test/test_pmalloc.ml: Alcotest List Pmalloc Pmem

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Ccl_btree Int64 List Pmalloc Pmem QCheck QCheck_alcotest String

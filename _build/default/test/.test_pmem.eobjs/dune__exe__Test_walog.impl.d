@@ -1,0 +1,1 @@
+test/test_walog.ml: Alcotest Int64 List Pmalloc Pmem Printf QCheck QCheck_alcotest Walog

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl Int64 List Option Printf Workload

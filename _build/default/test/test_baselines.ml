@@ -1,0 +1,213 @@
+(* Tests for the seven baseline indexes: each must agree with a reference
+   map on arbitrary op sequences, return sorted scans, and exhibit its
+   characteristic PM traffic pattern. *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module I = Baselines.Index_intf
+
+let device ?(size = 16 * 1024 * 1024) () =
+  D.create ~config:(Pmem.Config.default ~size ()) ()
+
+let drivers () :
+    (string * (Pmem.Device.t -> I.driver)) list =
+  [
+    ( "fastfair",
+      fun dev -> I.driver (module Baselines.Fastfair) (Baselines.Fastfair.create dev) );
+    ( "fptree",
+      fun dev -> I.driver (module Baselines.Fptree) (Baselines.Fptree.create dev) );
+    ( "lbtree",
+      fun dev -> I.driver (module Baselines.Lbtree) (Baselines.Lbtree.create dev) );
+    ( "utree",
+      fun dev -> I.driver (module Baselines.Utree) (Baselines.Utree.create dev) );
+    ( "dptree",
+      fun dev -> I.driver (module Baselines.Dptree) (Baselines.Dptree.create dev) );
+    ( "flatstore",
+      fun dev ->
+        I.driver (module Baselines.Flatstore) (Baselines.Flatstore.create dev) );
+    ("lsm", fun dev -> I.driver (module Baselines.Lsm) (Baselines.Lsm.create dev));
+    ( "pactree",
+      fun dev -> I.driver (module Baselines.Pactree) (Baselines.Pactree.create dev) );
+    ( "ccl",
+      fun dev ->
+        I.driver (module Baselines.Ccl_index) (Baselines.Ccl_index.create dev) );
+  ]
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let k = Int64.of_int
+let v i = Int64.of_int (i + 1_000_000)
+
+(* every index passes the same functional battery *)
+let functional_battery make () =
+  let d = make (device ()) in
+  (* inserts and lookups *)
+  for i = 1 to 500 do
+    d.I.upsert (k i) (v i)
+  done;
+  for i = 1 to 500 do
+    if d.I.search (k i) <> Some (v i) then Alcotest.failf "lost key %d" i
+  done;
+  Alcotest.(check (option int64)) "miss" None (d.I.search 100000L);
+  (* updates *)
+  d.I.upsert 7L 777L;
+  Alcotest.(check (option int64)) "update" (Some 777L) (d.I.search 7L);
+  (* deletes *)
+  d.I.delete 7L;
+  Alcotest.(check (option int64)) "delete" None (d.I.search 7L);
+  (* scan: ordered, correct slice *)
+  let r = d.I.scan ~start:100L 20 in
+  check_int "scan length" 20 (Array.length r);
+  Alcotest.(check int64) "scan start" 100L (fst r.(0));
+  for i = 1 to Array.length r - 1 do
+    if Int64.compare (fst r.(i - 1)) (fst r.(i)) >= 0 then
+      Alcotest.fail "scan not sorted"
+  done;
+  (* flush_all then everything still reachable *)
+  d.I.flush_all ();
+  for i = 100 to 120 do
+    if d.I.search (k i) <> Some (v i) then Alcotest.failf "lost %d post-flush" i
+  done
+
+let model_property (name, make) =
+  QCheck.Test.make ~count:25
+    ~name:(name ^ " ≡ reference map")
+    QCheck.(
+      list
+        (tup3 (int_bound 2) (int_bound 300) (int_bound 1000)))
+    (fun ops ->
+      let d = make (device ()) in
+      let model = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun (kind, key, value) ->
+          match kind with
+          | 0 | 1 ->
+            d.I.upsert (k key) (Int64.of_int (value + 1));
+            Hashtbl.replace model key (value + 1)
+          | _ ->
+            d.I.delete (k key);
+            Hashtbl.remove model key)
+        ops;
+      Hashtbl.iter
+        (fun key value ->
+          if d.I.search (k key) <> Some (Int64.of_int value) then ok := false)
+        model;
+      List.iter
+        (fun key ->
+          if (not (Hashtbl.mem model key)) && d.I.search (k key) <> None then
+            ok := false)
+        (List.init 301 Fun.id);
+      !ok)
+
+(* characteristic traffic: sequential-log designs (FlatStore) write far
+   fewer XPLines for random upserts than in-place trees (FAST&FAIR) *)
+let test_traffic_shapes () =
+  let media make =
+    let dev = device () in
+    let d = make dev in
+    for i = 1 to 10_000 do
+      d.I.upsert (k i) 1L
+    done;
+    d.I.flush_all ();
+    D.drain dev;
+    let before = (D.snapshot dev).S.media_write_lines in
+    let st = Random.State.make [| 11 |] in
+    for _ = 1 to 2000 do
+      d.I.upsert (k (1 + Random.State.int st 10_000)) 2L
+    done;
+    d.I.flush_all ();
+    D.drain dev;
+    (D.snapshot dev).S.media_write_lines - before
+  in
+  let ff =
+    media (fun dev -> I.driver (module Baselines.Fastfair) (Baselines.Fastfair.create dev))
+  in
+  let fs =
+    media (fun dev ->
+        I.driver (module Baselines.Flatstore) (Baselines.Flatstore.create dev))
+  in
+  let ccl =
+    media (fun dev ->
+        I.driver (module Baselines.Ccl_index) (Baselines.Ccl_index.create dev))
+  in
+  check_bool
+    (Printf.sprintf "flatstore (%d) << fastfair (%d)" fs ff)
+    true
+    (float_of_int fs < 0.35 *. float_of_int ff);
+  check_bool
+    (Printf.sprintf "ccl (%d) < fastfair (%d)" ccl ff)
+    true
+    (float_of_int ccl < 0.75 *. float_of_int ff)
+
+(* LSM compaction rewrites data: total media writes far exceed user bytes *)
+let test_lsm_compaction_amplifies () =
+  let dev = device () in
+  let t = Baselines.Lsm.create dev in
+  for i = 1 to 20_000 do
+    Baselines.Lsm.upsert t (k i) 1L
+  done;
+  Baselines.Lsm.flush_all t;
+  D.drain dev;
+  check_bool "compactions ran" true (Baselines.Lsm.compaction_count t > 0);
+  let st = D.snapshot dev in
+  check_bool "write amplification high" true
+    (S.xbi_amplification st > 3.0)
+
+(* DPTree merges stall: merge count grows with inserts *)
+let test_dptree_merges () =
+  let dev = device () in
+  let t = Baselines.Dptree.create dev in
+  for i = 1 to 10_000 do
+    Baselines.Dptree.upsert t (k i) 1L
+  done;
+  check_bool "merges happened" true (Baselines.Dptree.merge_count t >= 2);
+  for i = 1 to 10_000 do
+    if Baselines.Dptree.search t (k i) <> Some 1L then
+      Alcotest.failf "dptree lost %d" i
+  done
+
+(* uTree: one KV per node means scans do one random PM read per entry *)
+let test_utree_scan_reads () =
+  let dev = device () in
+  let t = Baselines.Utree.create dev in
+  (* random insertion order scatters list neighbours across XPLines *)
+  let keys = Array.init 2000 (fun i -> i + 1) in
+  let st = Random.State.make [| 23 |] in
+  for i = 1999 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  Array.iter (fun i -> Baselines.Utree.upsert t (k i) 1L) keys;
+  D.drain dev;
+  let before = (D.snapshot dev).S.media_read_lines in
+  ignore (Baselines.Utree.scan t ~start:1L 500);
+  let reads = (D.snapshot dev).S.media_read_lines - before in
+  check_bool
+    (Printf.sprintf "scan causes many media reads (%d)" reads)
+    true (reads > 200)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  let functional =
+    List.map
+      (fun (name, make) ->
+        Alcotest.test_case name `Quick (functional_battery make))
+      (drivers ())
+  in
+  let properties = List.map (fun d -> qt (model_property d)) (drivers ()) in
+  Alcotest.run "baselines"
+    [
+      ("functional", functional);
+      ("model-equivalence", properties);
+      ( "traffic",
+        [
+          Alcotest.test_case "traffic shapes" `Quick test_traffic_shapes;
+          Alcotest.test_case "lsm compaction amplifies" `Quick
+            test_lsm_compaction_amplifies;
+          Alcotest.test_case "dptree merges" `Quick test_dptree_merges;
+          Alcotest.test_case "utree scan reads" `Quick test_utree_scan_reads;
+        ] );
+    ]

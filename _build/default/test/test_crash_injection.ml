@@ -1,0 +1,395 @@
+(* Mid-operation crash testing: power-fail at an exact fence inside the
+   persistence protocols (log append, batch flush, logless split, merge,
+   GC) and verify that recovery yields a consistent tree in which
+
+   - every operation acknowledged BEFORE the interrupted one is durable,
+   - nothing deleted resurrects,
+   - the interrupted operation is atomic: its key reads as either the
+     previous value or the new one, never garbage,
+   - all structural invariants hold.
+
+   This sweeps the failure point across every fence the workload issues,
+   so each branch of each protocol gets hit. *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module T = Ccl_btree.Tree
+module H = Ccl_hash.Hash_table
+module Config = Ccl_btree.Config
+
+let check_bool = Alcotest.(check bool)
+
+type outcome = {
+  fences_total : int;  (* fences the un-failed workload issues *)
+  tested_points : int;
+  violations : string list;
+}
+
+(* run [ops i] for i = 1..n against a fresh tree; returns the op trace *)
+let workload ~seed n =
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun i ->
+      let key = Int64.of_int (1 + Random.State.int rng 300) in
+      if Random.State.int rng 8 = 0 then `Del key
+      else `Ups (key, Int64.of_int (i + 1)))
+
+let fresh_dev ~seed ~persist_prob =
+  D.create
+    ~config:
+      {
+        (Pmem.Config.default ~size:(16 * 1024 * 1024) ()) with
+        persist_prob;
+        crash_seed = seed;
+      }
+    ()
+
+let cfg = { Config.default with Config.chunk_size = 4096; th_log = 0.15 }
+
+(* count the fences a full run issues, to bound the sweep *)
+let count_fences ~seed ops =
+  let dev = fresh_dev ~seed ~persist_prob:1.0 in
+  let t = T.create ~cfg dev in
+  List.iter
+    (function
+      | `Ups (k, v) -> T.upsert t k v
+      | `Del k -> T.delete t k)
+    ops;
+  (D.snapshot dev).S.sfence_count
+
+let run_tree_with_failure ~seed ~persist_prob ops ~fail_at =
+  let dev = fresh_dev ~seed ~persist_prob in
+  let t = T.create ~cfg dev in
+  let model = Hashtbl.create 128 in
+  let in_flight = ref None in
+  D.plan_failure dev ~after_fences:fail_at;
+  let interrupted =
+    try
+      List.iter
+        (fun op ->
+          in_flight := Some op;
+          (match op with
+          | `Ups (k, v) -> T.upsert t k v
+          | `Del k -> T.delete t k);
+          (* acknowledged: record in the model *)
+          (match op with
+          | `Ups (k, v) -> Hashtbl.replace model (Int64.to_int k) v
+          | `Del k -> Hashtbl.remove model (Int64.to_int k));
+          in_flight := None)
+        ops;
+      false
+    with D.Power_failure -> true
+  in
+  D.cancel_failure dev;
+  D.crash dev;
+  let t2 = T.recover ~cfg dev in
+  let errs = ref [] in
+  (try T.check_invariants t2
+   with Failure m -> errs := ("invariants: " ^ m) :: !errs);
+  Hashtbl.iter
+    (fun key v ->
+      (* the in-flight op may legitimately have overwritten this key *)
+      let tolerated =
+        match !in_flight with
+        | Some (`Ups (k, v')) when Int64.to_int k = key ->
+          T.search t2 (Int64.of_int key) = Some v'
+        | Some (`Del k) when Int64.to_int k = key ->
+          T.search t2 (Int64.of_int key) = None
+        | _ -> false
+      in
+      if (not tolerated) && T.search t2 (Int64.of_int key) <> Some v then
+        errs := Printf.sprintf "lost acked key %d" key :: !errs)
+    model;
+  (* atomicity of the interrupted op: old value, new value, or (delete)
+     absent — never anything else *)
+  (match !in_flight with
+  | Some (`Ups (k, v')) ->
+    let prev = Hashtbl.find_opt model (Int64.to_int k) in
+    let got = T.search t2 k in
+    if got <> Some v' && got <> prev then
+      errs :=
+        Printf.sprintf "in-flight upsert of %Ld not atomic" k :: !errs
+  | Some (`Del k) ->
+    let prev = Hashtbl.find_opt model (Int64.to_int k) in
+    let got = T.search t2 k in
+    if got <> None && got <> prev then
+      errs := Printf.sprintf "in-flight delete of %Ld not atomic" k :: !errs
+  | None -> ());
+  (* no resurrection *)
+  for key = 1 to 300 do
+    let shadowed =
+      match !in_flight with
+      | Some (`Ups (k, _)) -> Int64.to_int k = key
+      | _ -> false
+    in
+    if
+      (not (Hashtbl.mem model key))
+      && (not shadowed)
+      && T.search t2 (Int64.of_int key) <> None
+    then errs := Printf.sprintf "resurrected key %d" key :: !errs
+  done;
+  (interrupted, !errs)
+
+let sweep_tree ~seed ~persist_prob ~stride =
+  let ops = workload ~seed 400 in
+  let total = count_fences ~seed ops in
+  let tested = ref 0 in
+  let violations = ref [] in
+  let fail_at = ref 1 in
+  while !fail_at <= total do
+    let interrupted, errs =
+      run_tree_with_failure ~seed ~persist_prob ops ~fail_at:!fail_at
+    in
+    ignore interrupted;
+    incr tested;
+    List.iter
+      (fun e ->
+        violations :=
+          Printf.sprintf "[fence %d] %s" !fail_at e :: !violations)
+      errs;
+    fail_at := !fail_at + stride
+  done;
+  { fences_total = total; tested_points = !tested; violations = !violations }
+
+let test_tree_fence_sweep () =
+  let o = sweep_tree ~seed:101 ~persist_prob:0.4 ~stride:17 in
+  check_bool
+    (Printf.sprintf "tested %d/%d fence points: %s" o.tested_points
+       o.fences_total
+       (String.concat "; " o.violations))
+    true (o.violations = []);
+  check_bool "covered a meaningful number of points" true
+    (o.tested_points > 30)
+
+let test_tree_fence_sweep_all_dropped () =
+  (* persist_prob = 0: the adversary drops every unfenced line *)
+  let o = sweep_tree ~seed:202 ~persist_prob:0.0 ~stride:23 in
+  check_bool
+    (Printf.sprintf "violations: %s" (String.concat "; " o.violations))
+    true (o.violations = [])
+
+let test_tree_fence_sweep_all_kept () =
+  (* persist_prob = 1: every store persists, ordering still arbitrary *)
+  let o = sweep_tree ~seed:303 ~persist_prob:1.0 ~stride:29 in
+  check_bool
+    (Printf.sprintf "violations: %s" (String.concat "; " o.violations))
+    true (o.violations = [])
+
+(* the same sweep for CCL-Hash *)
+let run_hash_with_failure ~seed ~persist_prob ops ~fail_at =
+  let dev = fresh_dev ~seed ~persist_prob in
+  let h = H.create ~cfg ~buckets:16 dev in
+  let model = Hashtbl.create 128 in
+  let in_flight = ref None in
+  D.plan_failure dev ~after_fences:fail_at;
+  (try
+     List.iter
+       (fun op ->
+         in_flight := Some op;
+         (match op with
+         | `Ups (k, v) -> H.upsert h k v
+         | `Del k -> H.delete h k);
+         (match op with
+         | `Ups (k, v) -> Hashtbl.replace model (Int64.to_int k) v
+         | `Del k -> Hashtbl.remove model (Int64.to_int k));
+         in_flight := None)
+       ops
+   with D.Power_failure -> ());
+  D.cancel_failure dev;
+  D.crash dev;
+  let h2 = H.recover ~cfg dev in
+  let errs = ref [] in
+  (try H.check_invariants h2
+   with Failure m -> errs := ("invariants: " ^ m) :: !errs);
+  Hashtbl.iter
+    (fun key v ->
+      let tolerated =
+        match !in_flight with
+        | Some (`Ups (k, v')) when Int64.to_int k = key ->
+          H.search h2 (Int64.of_int key) = Some v'
+        | Some (`Del k) when Int64.to_int k = key ->
+          H.search h2 (Int64.of_int key) = None
+        | _ -> false
+      in
+      if (not tolerated) && H.search h2 (Int64.of_int key) <> Some v then
+        errs := Printf.sprintf "lost acked key %d" key :: !errs)
+    model;
+  !errs
+
+let test_hash_fence_sweep () =
+  let ops = workload ~seed:404 300 in
+  let violations = ref [] in
+  let fail_at = ref 1 in
+  while !fail_at <= 600 do
+    List.iter
+      (fun e ->
+        violations := Printf.sprintf "[fence %d] %s" !fail_at e :: !violations)
+      (run_hash_with_failure ~seed:404 ~persist_prob:0.4 ops ~fail_at:!fail_at);
+    fail_at := !fail_at + 31
+  done;
+  check_bool
+    (Printf.sprintf "violations: %s" (String.concat "; " !violations))
+    true (!violations = [])
+
+(* The sweep again under different tree configurations: larger buffer
+   nodes change which fences carry which protocol step, and an active GC
+   adds epoch-flip and reclaim fences to the schedule. *)
+let sweep_tree_with_cfg ~cfg:c ~seed ~stride =
+  let ops = workload ~seed 350 in
+  let violations = ref [] in
+  let fail_at = ref 1 in
+  while !fail_at <= 900 do
+    let dev = fresh_dev ~seed ~persist_prob:0.4 in
+    let t = T.create ~cfg:c dev in
+    let model = Hashtbl.create 128 in
+    let in_flight = ref None in
+    D.plan_failure dev ~after_fences:!fail_at;
+    (try
+       List.iter
+         (fun op ->
+           in_flight := Some op;
+           (match op with
+           | `Ups (k, v) -> T.upsert t k v
+           | `Del k -> T.delete t k);
+           (match op with
+           | `Ups (k, v) -> Hashtbl.replace model k v
+           | `Del k -> Hashtbl.remove model k);
+           in_flight := None)
+         ops
+     with D.Power_failure -> ());
+    D.cancel_failure dev;
+    D.crash dev;
+    let t2 = T.recover ~cfg:c dev in
+    (try T.check_invariants t2
+     with Failure m ->
+       violations := Printf.sprintf "[fence %d] %s" !fail_at m :: !violations);
+    Hashtbl.iter
+      (fun k v ->
+        let tolerated =
+          match !in_flight with
+          | Some (`Ups (k', v')) when Int64.equal k' k ->
+            T.search t2 k = Some v'
+          | Some (`Del k') when Int64.equal k' k -> T.search t2 k = None
+          | _ -> false
+        in
+        if (not tolerated) && T.search t2 k <> Some v then
+          violations :=
+            Printf.sprintf "[fence %d] lost %Ld" !fail_at k :: !violations)
+      model;
+    fail_at := !fail_at + stride
+  done;
+  !violations
+
+let test_fence_sweep_nbatch_variants () =
+  List.iter
+    (fun nbatch ->
+      let c = { cfg with Config.nbatch } in
+      let v = sweep_tree_with_cfg ~cfg:c ~seed:(600 + nbatch) ~stride:41 in
+      check_bool
+        (Printf.sprintf "nbatch=%d: %s" nbatch (String.concat "; " v))
+        true (v = []))
+    [ 1; 4; 6 ]
+
+let test_fence_sweep_gc_active () =
+  (* a tiny threshold keeps the locality-aware GC running constantly *)
+  let c = { cfg with Config.th_log = 0.01 } in
+  let v = sweep_tree_with_cfg ~cfg:c ~seed:700 ~stride:37 in
+  check_bool (String.concat "; " v) true (v = [])
+
+(* Robustness: random corruption of the log region must never make
+   recovery raise, and the tree must stay structurally consistent
+   (replaying a garbage-but-valid-looking entry is an upsert of a
+   garbage key, which is benign). *)
+let test_recovery_survives_log_corruption () =
+  List.iter
+    (fun seed ->
+      let dev = fresh_dev ~seed ~persist_prob:1.0 in
+      let t = T.create ~cfg dev in
+      List.iter
+        (function
+          | `Ups (k, v) -> T.upsert t k v
+          | `Del k -> T.delete t k)
+        (workload ~seed 400);
+      D.crash dev;
+      (* flip bytes inside log-tagged chunks *)
+      let alloc = Pmalloc.Alloc.attach dev in
+      let rng = Random.State.make [| seed |] in
+      Pmalloc.Alloc.iter_chunks alloc Pmalloc.Alloc.Log (fun chunk ->
+          for _ = 1 to 16 do
+            let off = Random.State.int rng (Pmalloc.Alloc.chunk_size alloc) in
+            D.store_u8 dev (chunk + off) (Random.State.int rng 256)
+          done);
+      D.drain dev;
+      match T.recover ~cfg dev with
+      | t2 -> T.check_invariants t2
+      | exception (D.Power_failure | Invalid_argument _) ->
+        Alcotest.fail "recovery raised on corrupted log")
+    [ 801; 802; 803; 804 ]
+
+(* Crash during recovery: replay writes to leaves and resets timestamps;
+   a power failure in the middle must leave a state from which a second
+   recovery still satisfies the durability contract (idempotence). *)
+let test_crash_during_recovery () =
+  List.iter
+    (fun fail_at ->
+      let seed = 500 + fail_at in
+      let dev = fresh_dev ~seed ~persist_prob:0.4 in
+      let t = T.create ~cfg dev in
+      let model = Hashtbl.create 128 in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Ups (k, v) -> T.upsert t k v
+          | `Del k -> T.delete t k);
+          match op with
+          | `Ups (k, v) -> Hashtbl.replace model k v
+          | `Del k -> Hashtbl.remove model k)
+        (workload ~seed 500);
+      D.crash dev;
+      (* fail inside the first recovery *)
+      D.plan_failure dev ~after_fences:fail_at;
+      (match T.recover ~cfg dev with
+      | _ -> ()
+      | exception D.Power_failure -> ());
+      D.cancel_failure dev;
+      D.crash dev;
+      let t2 = T.recover ~cfg dev in
+      T.check_invariants t2;
+      Hashtbl.iter
+        (fun k v ->
+          if T.search t2 k <> Some v then
+            Alcotest.failf "fail@%d: lost %Ld across recovery crash" fail_at k)
+        model)
+    [ 1; 3; 7; 15; 40; 90 ]
+
+let prop_random_fence_failure =
+  QCheck.Test.make ~count:30 ~name:"random fence failure point (tree)"
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, fail_at) ->
+      let ops = workload ~seed:(seed + 1) 300 in
+      let _, errs =
+        run_tree_with_failure ~seed:(seed + 1) ~persist_prob:0.5 ops ~fail_at
+      in
+      errs = [])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "crash-injection"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "fence sweep (p=0.4)" `Quick test_tree_fence_sweep;
+          Alcotest.test_case "fence sweep (all dropped)" `Quick
+            test_tree_fence_sweep_all_dropped;
+          Alcotest.test_case "fence sweep (all kept)" `Quick
+            test_tree_fence_sweep_all_kept;
+          Alcotest.test_case "crash during recovery" `Quick
+            test_crash_during_recovery;
+          Alcotest.test_case "nbatch variants" `Quick
+            test_fence_sweep_nbatch_variants;
+          Alcotest.test_case "with GC active" `Quick test_fence_sweep_gc_active;
+          Alcotest.test_case "survives log corruption" `Quick
+            test_recovery_survives_log_corruption;
+        ] );
+      ("hash", [ Alcotest.test_case "fence sweep" `Quick test_hash_fence_sweep ]);
+      ("properties", [ qt prop_random_fence_failure ]);
+    ]

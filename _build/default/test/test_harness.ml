@@ -1,0 +1,147 @@
+(* Tests for the experiment harness: the runner builds every index spec,
+   measurements are self-consistent, the experiment registry is complete,
+   and the table formatter aligns columns. *)
+
+module R = Harness.Runner
+module E = Harness.Experiments
+module Scale = Harness.Scale
+module Y = Workload.Ycsb
+module I = Baselines.Index_intf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_specs =
+  [
+    R.Fastfair;
+    R.Fptree;
+    R.Lbtree;
+    R.Utree;
+    R.Dptree;
+    R.Pactree;
+    R.Flatstore;
+    R.Lsm;
+    R.ccl_default;
+  ]
+
+let test_build_every_spec () =
+  List.iter
+    (fun spec ->
+      let dev = R.device ~mb:32 () in
+      let drv = R.build spec dev in
+      drv.I.upsert 1L 10L;
+      Alcotest.(check (option int64))
+        (R.name spec ^ " roundtrip")
+        (Some 10L) (drv.I.search 1L))
+    all_specs
+
+let test_names_distinct () =
+  let names = List.map R.name all_specs in
+  check_int "all names distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_paper_indexes_shape () =
+  check_int "seven line-figure indexes" 7 (List.length R.paper_indexes);
+  check_bool "CCL last" true
+    (R.name (List.nth R.paper_indexes 6) = "CCL-BTree")
+
+let test_numa_awareness_assignment () =
+  check_bool "ccl aware" true (R.numa_aware R.ccl_default);
+  check_bool "pactree aware" true (R.numa_aware R.Pactree);
+  check_bool "fastfair oblivious" true (not (R.numa_aware R.Fastfair));
+  check_bool "flatstore oblivious" true (not (R.numa_aware R.Flatstore))
+
+let test_measurement_consistency () =
+  let scale = Scale.of_level 1 in
+  let scale = { scale with Scale.warmup = 2000; ops = 2000 } in
+  let dev, drv = Harness.Exp_common.warmed R.ccl_default scale in
+  let ops = Harness.Exp_common.inserts_fresh scale in
+  let m = Harness.Exp_common.run_ops dev drv R.ccl_default ops in
+  check_int "op count" 2000 m.R.ops;
+  check_bool "positive per-op cost" true (m.R.avg_ns > 100.0);
+  check_bool "samples collected" true (Array.length m.R.samples = 2000);
+  (* throughput is monotone in threads and finite *)
+  let t1 = R.mops m ~threads:1 and t96 = R.mops m ~threads:96 in
+  check_bool "finite throughput" true (Float.is_finite t1 && Float.is_finite t96);
+  check_bool "more threads help" true (t96 > t1);
+  check_bool "amplification sane" true
+    (R.xbi_amp m > 0.3 && R.xbi_amp m < 100.0)
+
+let test_experiment_registry () =
+  (* every paper table/figure has an entry, ids unique, finder works *)
+  let ids = E.ids () in
+  check_int "21 experiments" 21 (List.length ids);
+  check_int "ids unique" 21 (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      if E.find id = None then Alcotest.failf "registry misses %s" id)
+    [
+      "fig2"; "fig3"; "fig4"; "fig5"; "fig10"; "fig11"; "fig12"; "fig13";
+      "fig14"; "tab1"; "tab2"; "fig15a"; "fig15b"; "fig15c"; "fig15d";
+      "fig16"; "fig17"; "fig18"; "fig19"; "tab3"; "ext";
+    ];
+  check_bool "unknown id rejected" true (E.find "fig99" = None)
+
+let test_scale_levels () =
+  let s1 = Scale.of_level 1 and s2 = Scale.of_level 2 and s3 = Scale.of_level 3 in
+  check_bool "levels grow" true
+    (s1.Scale.warmup < s2.Scale.warmup && s2.Scale.warmup < s3.Scale.warmup);
+  check_bool "device grows" true
+    (s1.Scale.device_mb < s2.Scale.device_mb
+    && s2.Scale.device_mb < s3.Scale.device_mb);
+  check_int "paper thread counts" 5 (List.length s1.Scale.threads)
+
+let test_report_table_alignment () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let saved = !Harness.Report.out in
+  Harness.Report.out := ppf;
+  Harness.Report.table
+    ~header:[ "name"; "value" ]
+    [ [ "a"; "1" ]; [ "longer-name"; "22.5" ] ];
+  Format.pp_print_flush ppf ();
+  Harness.Report.out := saved;
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  check_int "header + rule + 2 rows" 4 (List.length lines);
+  (* all lines equal width (right-padded columns) *)
+  let widths = List.map String.length (List.tl lines) in
+  check_bool "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_ycsb_ops_drive_all_indexes () =
+  (* a mixed stream runs to completion on every index *)
+  let ops = Y.generate Y.Scan_insert ~seed:3 ~space:500 ~scan_len:20 300 in
+  List.iter
+    (fun spec ->
+      let dev = R.device ~mb:32 () in
+      let drv = R.build spec dev in
+      R.warmup drv ~keys:(Workload.Keygen.shuffled_range ~seed:1 500);
+      let m = Harness.Exp_common.run_ops dev drv spec ops in
+      check_int (R.name spec ^ " ops") 300 m.R.ops)
+    all_specs
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "builds every spec" `Quick test_build_every_spec;
+          Alcotest.test_case "names distinct" `Quick test_names_distinct;
+          Alcotest.test_case "paper indexes" `Quick test_paper_indexes_shape;
+          Alcotest.test_case "numa assignment" `Quick
+            test_numa_awareness_assignment;
+          Alcotest.test_case "measurement consistency" `Quick
+            test_measurement_consistency;
+          Alcotest.test_case "ycsb ops drive all indexes" `Quick
+            test_ycsb_ops_drive_all_indexes;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "experiments" `Quick test_experiment_registry;
+          Alcotest.test_case "scale levels" `Quick test_scale_levels;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "table alignment" `Quick test_report_table_alignment ]
+      );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for CCL-Hash (the §6 generality extension): functional
+   correctness against a model, buffering/logging behaviour, overflow
+   chains, GC, and crash recovery. *)
+
+module D = Pmem.Device
+module H = Ccl_hash.Hash_table
+module Config = Ccl_btree.Config
+module Ts = Ccl_btree.Tree_stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cfg ?(nbatch = 2) ?(th_log = 0.20) ?(buffering = true) () =
+  { Config.default with Config.nbatch; th_log; buffering; chunk_size = 4096 }
+
+let table ?cfg:(c = cfg ()) ?(buckets = 64) ?(persist_prob = 0.5) ?(seed = 5)
+    () =
+  let dev =
+    D.create
+      ~config:
+        {
+          (Pmem.Config.default ~size:(8 * 1024 * 1024) ()) with
+          persist_prob;
+          crash_seed = seed;
+        }
+      ()
+  in
+  (dev, H.create ~cfg:c ~buckets dev)
+
+let k = Int64.of_int
+let v i = Int64.of_int (i + 1_000_000)
+
+let test_basic_ops () =
+  let _, h = table () in
+  H.upsert h 1L 10L;
+  H.upsert h 2L 20L;
+  Alcotest.(check (option int64)) "hit" (Some 10L) (H.search h 1L);
+  Alcotest.(check (option int64)) "miss" None (H.search h 3L);
+  H.upsert h 1L 11L;
+  Alcotest.(check (option int64)) "update" (Some 11L) (H.search h 1L);
+  H.delete h 1L;
+  Alcotest.(check (option int64)) "deleted" None (H.search h 1L);
+  check_int "one entry" 1 (H.count_entries h);
+  H.check_invariants h
+
+let test_zero_value_rejected () =
+  let _, h = table () in
+  Alcotest.check_raises "tombstone"
+    (Invalid_argument "Hash_table.upsert: value 0 is reserved (tombstone)")
+    (fun () -> H.upsert h 1L 0L)
+
+let test_many_keys_overflow_chains () =
+  (* 16 buckets x 14 slots = 224 direct slots; 2000 keys force chains *)
+  let _, h = table ~buckets:16 () in
+  for i = 1 to 2000 do
+    H.upsert h (k i) (v i)
+  done;
+  check_int "all present" 2000 (H.count_entries h);
+  for i = 1 to 2000 do
+    if H.search h (k i) <> Some (v i) then Alcotest.failf "lost %d" i
+  done;
+  H.check_invariants h
+
+let test_buffering_batches_writes () =
+  let _, h = table ~cfg:(cfg ~th_log:1e9 ()) ~buckets:1 () in
+  H.upsert h 1L 1L;
+  H.upsert h 2L 2L;
+  check_int "buffered, no flush yet" 0 (H.stats h).Ts.batch_flushes;
+  H.upsert h 3L 3L;
+  check_int "trigger flush" 1 (H.stats h).Ts.batch_flushes;
+  check_int "trigger skipped the log" 1 (H.stats h).Ts.log_skips
+
+let test_write_through_mode () =
+  let _, h = table ~cfg:(cfg ~buffering:false ()) () in
+  for i = 1 to 20 do
+    H.upsert h (k i) (v i)
+  done;
+  check_int "flush per op" 20 (H.stats h).Ts.batch_flushes;
+  check_int "no logging" 0 (H.stats h).Ts.log_appends
+
+let test_xbi_vs_write_through () =
+  let media c =
+    let dev, h = table ~cfg:c ~buckets:512 () in
+    let rng = Random.State.make [| 7 |] in
+    for i = 1 to 10_000 do
+      H.upsert h (k (1 + Random.State.int rng 50_000)) (v i)
+    done;
+    H.flush_all h;
+    D.drain dev;
+    (D.snapshot dev).Pmem.Stats.media_write_lines
+  in
+  let ccl = media (cfg ()) in
+  let naive = media (cfg ~buffering:false ()) in
+  check_bool
+    (Printf.sprintf "buffered hash (%d) < write-through (%d)" ccl naive)
+    true
+    (float_of_int ccl < 0.75 *. float_of_int naive)
+
+let test_gc_runs_and_content_intact () =
+  let _, h = table ~cfg:(cfg ~th_log:0.05 ()) ~buckets:64 () in
+  for i = 1 to 5000 do
+    H.upsert h (k (1 + (i mod 1500))) (v i)
+  done;
+  check_bool "gc ran" true ((H.stats h).Ts.gc_runs > 0);
+  check_bool "not stuck in gc forever" true (H.count_entries h = 1500);
+  H.check_invariants h
+
+let test_iter_sees_latest () =
+  let _, h = table () in
+  H.upsert h 1L 10L;
+  H.upsert h 2L 20L;
+  H.flush_all h;
+  H.upsert h 1L 11L (* buffered update shadows the flushed version *);
+  let acc = ref [] in
+  H.iter h (fun key value -> acc := (key, value) :: !acc);
+  Alcotest.(check (list (pair int64 int64)))
+    "latest versions"
+    [ (1L, 11L); (2L, 20L) ]
+    (List.sort compare !acc)
+
+let test_recovery_clean () =
+  let dev, h = table ~persist_prob:0.0 () in
+  for i = 1 to 500 do
+    H.upsert h (k i) (v i)
+  done;
+  H.flush_all h;
+  D.crash dev;
+  let h2 = H.recover dev in
+  check_int "entries" 500 (H.count_entries h2);
+  H.check_invariants h2
+
+let test_recovery_buffered_and_deleted () =
+  let dev, h = table ~persist_prob:0.0 () in
+  for i = 1 to 100 do
+    H.upsert h (k i) (v i)
+  done;
+  H.delete h 50L;
+  H.upsert h 1L 999L;
+  (* both only in the WAL *)
+  D.crash dev;
+  let h2 = H.recover dev in
+  Alcotest.(check (option int64)) "update replayed" (Some 999L)
+    (H.search h2 1L);
+  Alcotest.(check (option int64)) "delete replayed" None (H.search h2 50L);
+  check_int "entries" 99 (H.count_entries h2)
+
+let test_recovered_usable () =
+  let dev, h = table ~persist_prob:0.0 () in
+  for i = 1 to 200 do
+    H.upsert h (k i) (v i)
+  done;
+  D.crash dev;
+  let h2 = H.recover dev in
+  H.upsert h2 1000L 1L;
+  H.delete h2 10L;
+  Alcotest.(check (option int64)) "insert works" (Some 1L)
+    (H.search h2 1000L);
+  Alcotest.(check (option int64)) "delete works" None (H.search h2 10L)
+
+let prop_model_equivalence =
+  QCheck.Test.make ~count:40 ~name:"hash ≡ reference map"
+    QCheck.(list (tup3 (int_bound 2) (int_bound 300) (int_bound 1000)))
+    (fun ops ->
+      let _, h = table ~buckets:16 ~cfg:(cfg ~th_log:0.1 ()) () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (kind, key, value) ->
+          if kind = 2 then begin
+            H.delete h (k key);
+            Hashtbl.remove model key
+          end
+          else begin
+            H.upsert h (k key) (Int64.of_int (value + 1));
+            Hashtbl.replace model key (value + 1)
+          end)
+        ops;
+      H.check_invariants h;
+      Hashtbl.fold
+        (fun key value ok ->
+          ok && H.search h (k key) = Some (Int64.of_int value))
+        model true
+      && H.count_entries h = Hashtbl.length model)
+
+let prop_crash_recovery =
+  QCheck.Test.make ~count:25 ~name:"hash crash/recover durability"
+    QCheck.(
+      pair small_int (list (tup3 (int_bound 2) (int_bound 300) (int_bound 1000))))
+    (fun (seed, ops) ->
+      let dev, h = table ~buckets:16 ~persist_prob:0.4 ~seed () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (kind, key, value) ->
+          if kind = 2 then begin
+            H.delete h (k key);
+            Hashtbl.remove model key
+          end
+          else begin
+            H.upsert h (k key) (Int64.of_int (value + 1));
+            Hashtbl.replace model key (value + 1)
+          end)
+        ops;
+      D.crash dev;
+      let h2 = H.recover dev in
+      H.check_invariants h2;
+      Hashtbl.fold
+        (fun key value ok ->
+          ok && H.search h2 (k key) = Some (Int64.of_int value))
+        model true
+      && List.for_all
+           (fun key -> Hashtbl.mem model key || H.search h2 (k key) = None)
+           (List.init 301 Fun.id))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ccl_hash"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "ops" `Quick test_basic_ops;
+          Alcotest.test_case "zero value rejected" `Quick
+            test_zero_value_rejected;
+          Alcotest.test_case "overflow chains" `Quick
+            test_many_keys_overflow_chains;
+          Alcotest.test_case "iter sees latest" `Quick test_iter_sees_latest;
+        ] );
+      ( "buffering",
+        [
+          Alcotest.test_case "batches writes" `Quick
+            test_buffering_batches_writes;
+          Alcotest.test_case "write-through mode" `Quick
+            test_write_through_mode;
+          Alcotest.test_case "xbi vs write-through" `Quick
+            test_xbi_vs_write_through;
+          Alcotest.test_case "gc runs" `Quick test_gc_runs_and_content_intact;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "clean" `Quick test_recovery_clean;
+          Alcotest.test_case "buffered and deleted" `Quick
+            test_recovery_buffered_and_deleted;
+          Alcotest.test_case "recovered usable" `Quick test_recovered_usable;
+        ] );
+      ("properties", [ qt prop_model_equivalence; qt prop_crash_recovery ]);
+    ]

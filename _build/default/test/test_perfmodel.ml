@@ -1,0 +1,136 @@
+(* Tests for the performance model: monotonicity, saturation knees, NUMA
+   effects, and latency percentile synthesis. *)
+
+module TM = Perfmodel.Thread_model
+module L = Perfmodel.Latency
+module C = Perfmodel.Constants
+
+let check_bool = Alcotest.(check bool)
+
+let profile ?(t_cpu_ns = 500.0) ?(write_bytes = 200.0) ?(read_bytes = 0.0)
+    ?(numa_aware = false) () =
+  { TM.t_cpu_ns; write_bytes; read_bytes; numa_aware }
+
+let test_throughput_monotone_in_threads () =
+  let p = profile () in
+  let prev = ref 0.0 in
+  List.iter
+    (fun threads ->
+      let t = TM.throughput ~threads p in
+      check_bool
+        (Printf.sprintf "non-decreasing at %d threads" threads)
+        true
+        (t >= !prev -. 1e-6);
+      prev := t)
+    [ 1; 8; 16; 24; 48 ]
+
+let test_compute_bound_scales_linearly () =
+  (* no media traffic: pure compute scaling *)
+  let p = profile ~write_bytes:0.0 () in
+  let t1 = TM.throughput ~threads:1 p in
+  let t8 = TM.throughput ~threads:8 p in
+  check_bool "8 threads ~ 8x" true (t8 /. t1 > 7.5 && t8 /. t1 < 8.5)
+
+let test_bandwidth_saturation () =
+  (* heavy media traffic: throughput plateaus at the bandwidth cap *)
+  let p = profile ~write_bytes:1000.0 () in
+  let t24 = TM.mops ~threads:24 p in
+  let t48 = TM.mops ~threads:48 p in
+  let cap = C.default_machine.C.pm_write_bw /. 1000.0 /. 1e6 in
+  check_bool "saturated by 24 threads" true ((t48 -. t24) /. t24 < 0.1);
+  check_bool "plateau near the cap" true (t48 < cap *. 1.05)
+
+let test_lower_write_bytes_higher_saturated_throughput () =
+  (* the paper's core claim: at saturation, throughput ~ 1/XBI *)
+  let lo = TM.mops ~threads:96 (profile ~write_bytes:160.0 ~numa_aware:true ())
+  and hi = TM.mops ~threads:96 (profile ~write_bytes:640.0 ~numa_aware:true ()) in
+  check_bool "4x fewer media bytes -> ~4x throughput" true
+    (lo /. hi > 3.2 && lo /. hi < 4.8)
+
+let test_numa_awareness_pays_beyond_one_socket () =
+  let aware = profile ~numa_aware:true () in
+  let oblivious = profile ~numa_aware:false () in
+  let at threads p = TM.throughput ~threads p in
+  (* identical within one socket *)
+  check_bool "same at 24 threads" true
+    (Float.abs (at 24 aware -. at 24 oblivious) /. at 24 aware < 0.01);
+  (* aware index gains more from the second socket *)
+  check_bool "aware wins at 96 threads" true (at 96 aware > 1.3 *. at 96 oblivious)
+
+let test_read_bound_workload () =
+  let p = profile ~write_bytes:0.0 ~read_bytes:512.0 () in
+  let t = TM.mops ~threads:96 p in
+  let cap =
+    2.0 *. C.default_machine.C.pm_read_bw
+    *. C.default_machine.C.numa_bw_efficiency /. 512.0 /. 1e6
+  in
+  check_bool "read cap binds" true (t < cap *. 1.05)
+
+let test_utilization_bounds () =
+  let p = profile ~write_bytes:1000.0 () in
+  let u = TM.utilization ~threads:96 p in
+  check_bool "utilization in (0, 0.97]" true (u > 0.5 && u <= 0.97);
+  let idle = TM.utilization ~threads:1 (profile ~write_bytes:0.0 ()) in
+  check_bool "no media traffic -> zero utilization" true (idle = 0.0)
+
+(* --- latency percentiles -------------------------------------------------- *)
+
+let test_percentiles_sorted_and_monotone () =
+  let samples = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  let ps = L.percentiles ~utilization:0.8 ~service_rate:1e7 samples in
+  Alcotest.(check int) "8 points" 8 (List.length ps);
+  let rec mono = function
+    | a :: b :: rest -> a <= b && mono (b :: rest)
+    | _ -> true
+  in
+  check_bool "non-decreasing" true (mono ps)
+
+let test_low_percentiles_see_raw_service () =
+  let samples = Array.make 100 100.0 in
+  let ps = L.percentiles ~utilization:0.5 ~service_rate:1e7 samples in
+  (* min (p=0) waits with probability 0 under rho=0.5 *)
+  Alcotest.(check (float 0.01)) "min is raw" 100.0 (List.hd ps)
+
+let test_tail_inflates_with_utilization () =
+  let samples = Array.make 1000 100.0 in
+  let tail u =
+    List.nth (L.percentiles ~utilization:u ~service_rate:1e7 samples) 7
+  in
+  check_bool "tail grows with utilization" true (tail 0.9 > 2.0 *. tail 0.3)
+
+let test_empty_samples () =
+  Alcotest.(check (list (float 0.0)))
+    "empty -> zeros"
+    [ 0.; 0.; 0.; 0.; 0.; 0.; 0.; 0. ]
+    (L.percentiles [||])
+
+let () =
+  Alcotest.run "perfmodel"
+    [
+      ( "thread-model",
+        [
+          Alcotest.test_case "monotone in threads" `Quick
+            test_throughput_monotone_in_threads;
+          Alcotest.test_case "compute-bound linear" `Quick
+            test_compute_bound_scales_linearly;
+          Alcotest.test_case "bandwidth saturation" `Quick
+            test_bandwidth_saturation;
+          Alcotest.test_case "throughput ~ 1/XBI at saturation" `Quick
+            test_lower_write_bytes_higher_saturated_throughput;
+          Alcotest.test_case "NUMA awareness" `Quick
+            test_numa_awareness_pays_beyond_one_socket;
+          Alcotest.test_case "read-bound cap" `Quick test_read_bound_workload;
+          Alcotest.test_case "utilization bounds" `Quick
+            test_utilization_bounds;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "sorted, monotone points" `Quick
+            test_percentiles_sorted_and_monotone;
+          Alcotest.test_case "low percentiles raw" `Quick
+            test_low_percentiles_see_raw_service;
+          Alcotest.test_case "tail inflates" `Quick
+            test_tail_inflates_with_utilization;
+          Alcotest.test_case "empty samples" `Quick test_empty_samples;
+        ] );
+    ]

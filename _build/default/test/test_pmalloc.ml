@@ -1,0 +1,185 @@
+(* Tests for the chunk allocator, slab and extent sub-allocators:
+   persistence of the tag table, recovery scans, and leak reclamation. *)
+
+module D = Pmem.Device
+module Alloc = Pmalloc.Alloc
+module Slab = Pmalloc.Slab
+module Extent = Pmalloc.Extent
+
+let device () =
+  D.create ~config:(Pmem.Config.default ~size:(1 lsl 20) ()) ()
+
+let formatted ?(chunk_size = 4096) () =
+  let dev = device () in
+  (dev, Alloc.format dev ~chunk_size)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_format_attach () =
+  let dev, a = formatted () in
+  let total = Alloc.chunks_total a in
+  check_bool "has chunks" true (total > 100);
+  check_int "all free" total (Alloc.chunks_free a);
+  let a2 = Alloc.attach dev in
+  check_int "attach sees same space" total (Alloc.chunks_total a2);
+  check_int "attach sees all free" total (Alloc.chunks_free a2)
+
+let test_alloc_free_cycle () =
+  let _, a = formatted () in
+  let c1 = Alloc.alloc_chunk a Alloc.Leaf in
+  let c2 = Alloc.alloc_chunk a Alloc.Log in
+  check_bool "distinct" true (c1 <> c2);
+  check_bool "aligned to 256" true (c1 mod 256 = 0);
+  check_int "two allocated" (Alloc.chunks_total a - 2) (Alloc.chunks_free a);
+  Alloc.free_chunk a c1;
+  check_int "one back" (Alloc.chunks_total a - 1) (Alloc.chunks_free a)
+
+let test_tags_survive_crash () =
+  let dev, a = formatted () in
+  let c1 = Alloc.alloc_chunk a Alloc.Leaf in
+  let c2 = Alloc.alloc_chunk a Alloc.Log in
+  D.crash dev;
+  let a2 = Alloc.attach dev in
+  let leaves = ref [] and logs = ref [] in
+  Alloc.iter_chunks a2 Alloc.Leaf (fun c -> leaves := c :: !leaves);
+  Alloc.iter_chunks a2 Alloc.Log (fun c -> logs := c :: !logs);
+  Alcotest.(check (list int)) "leaf chunk recovered" [ c1 ] !leaves;
+  Alcotest.(check (list int)) "log chunk recovered" [ c2 ] !logs;
+  check_int "free count excludes them"
+    (Alloc.chunks_total a2 - 2)
+    (Alloc.chunks_free a2)
+
+let test_chunk_base_of_addr () =
+  let _, a = formatted ~chunk_size:4096 () in
+  let c = Alloc.alloc_chunk a Alloc.Leaf in
+  check_int "base of base" c (Alloc.chunk_base_of_addr a c);
+  check_int "base of middle" c (Alloc.chunk_base_of_addr a (c + 1000));
+  check_int "base of last byte" c (Alloc.chunk_base_of_addr a (c + 4095))
+
+let test_out_of_memory () =
+  let dev = D.create ~config:(Pmem.Config.default ~size:65536 ()) () in
+  let a = Alloc.format dev ~chunk_size:8192 in
+  let n = Alloc.chunks_free a in
+  for _ = 1 to n do
+    ignore (Alloc.alloc_chunk a Alloc.Extent)
+  done;
+  Alcotest.check_raises "exhausted" Out_of_memory (fun () ->
+      ignore (Alloc.alloc_chunk a Alloc.Extent))
+
+(* --- slab -------------------------------------------------------------- *)
+
+let test_slab_alloc_free () =
+  let _, a = formatted () in
+  let s = Slab.create a Alloc.Leaf ~obj_size:256 in
+  let x = Slab.alloc s in
+  let y = Slab.alloc s in
+  check_bool "distinct objects" true (x <> y);
+  check_bool "256-aligned" true (x mod 256 = 0);
+  check_int "two used" 2 (Slab.used_count s);
+  check_int "bytes" 512 (Slab.used_bytes s);
+  Slab.free s x;
+  check_int "one used" 1 (Slab.used_count s);
+  let z = Slab.alloc s in
+  check_bool "slot reused" true (z = x);
+  check_bool "is_used" true (Slab.is_used s z && Slab.is_used s y)
+
+let test_slab_double_free_ignored () =
+  let _, a = formatted () in
+  let s = Slab.create a Alloc.Leaf ~obj_size:256 in
+  let x = Slab.alloc s in
+  Slab.free s x;
+  Slab.free s x;
+  check_int "count not negative" 0 (Slab.used_count s)
+
+let test_slab_recovery_reclaims_orphans () =
+  let dev, a = formatted ~chunk_size:4096 () in
+  let s = Slab.create a Alloc.Leaf ~obj_size:256 in
+  let live = Slab.alloc s in
+  let orphan = Slab.alloc s in
+  ignore orphan;
+  D.crash dev;
+  let a2 = Alloc.attach dev in
+  let s2 = Slab.attach a2 Alloc.Leaf ~obj_size:256 in
+  (* the owner only re-marks what it can reach *)
+  Slab.mark_used s2 live;
+  check_int "only reachable object used" 1 (Slab.used_count s2);
+  (* the orphan slot is allocatable again *)
+  let reuse = ref false in
+  for _ = 1 to 4096 / 256 do
+    if Slab.alloc s2 = orphan then reuse := true
+  done;
+  check_bool "orphan reclaimed" true !reuse
+
+let test_slab_mark_used_idempotent () =
+  let _, a = formatted () in
+  let s = Slab.create a Alloc.Leaf ~obj_size:256 in
+  let x = Slab.alloc s in
+  Slab.mark_used s x;
+  Slab.mark_used s x;
+  check_int "still one" 1 (Slab.used_count s)
+
+let test_slab_grows_chunks () =
+  let _, a = formatted ~chunk_size:1024 () in
+  let s = Slab.create a Alloc.Leaf ~obj_size:256 in
+  let addrs = List.init 10 (fun _ -> Slab.alloc s) in
+  check_int "all live" 10 (Slab.used_count s);
+  check_int "distinct addresses" 10
+    (List.length (List.sort_uniq compare addrs))
+
+(* --- extent ------------------------------------------------------------ *)
+
+let test_extent_alloc () =
+  let _, a = formatted () in
+  let e = Extent.create a in
+  let x = Extent.alloc e 100 in
+  let y = Extent.alloc e 20 in
+  check_bool "16-aligned" true (x mod 16 = 0 && y mod 16 = 0);
+  check_bool "no overlap" true (y >= x + 112 || y + 32 <= x);
+  check_int "used accounts alignment" (112 + 32) (Extent.used_bytes e)
+
+let test_extent_recovery_watermark () =
+  let dev, a = formatted ~chunk_size:4096 () in
+  let e = Extent.create a in
+  let live = Extent.alloc e 64 in
+  let _orphan = Extent.alloc e 64 in
+  D.crash dev;
+  let a2 = Alloc.attach dev in
+  let e2 = Extent.attach a2 in
+  Extent.mark_used e2 ~addr:live ~len:64;
+  (* new allocations in the same chunk must not overlap the live extent *)
+  let fresh = Extent.alloc e2 64 in
+  check_bool "no overlap with live" true
+    (fresh >= live + 64 || fresh + 64 <= live)
+
+let () =
+  Alcotest.run "pmalloc"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "format/attach" `Quick test_format_attach;
+          Alcotest.test_case "alloc/free cycle" `Quick test_alloc_free_cycle;
+          Alcotest.test_case "tags survive crash" `Quick
+            test_tags_survive_crash;
+          Alcotest.test_case "chunk_base_of_addr" `Quick
+            test_chunk_base_of_addr;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+        ] );
+      ( "slab",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_slab_alloc_free;
+          Alcotest.test_case "double free ignored" `Quick
+            test_slab_double_free_ignored;
+          Alcotest.test_case "recovery reclaims orphans" `Quick
+            test_slab_recovery_reclaims_orphans;
+          Alcotest.test_case "mark_used idempotent" `Quick
+            test_slab_mark_used_idempotent;
+          Alcotest.test_case "grows chunks" `Quick test_slab_grows_chunks;
+        ] );
+      ( "extent",
+        [
+          Alcotest.test_case "alloc" `Quick test_extent_alloc;
+          Alcotest.test_case "recovery watermark" `Quick
+            test_extent_recovery_watermark;
+        ] );
+    ]

@@ -1,0 +1,399 @@
+(* Tests for the simulated DCPMM device: store/flush/fence semantics,
+   XPBuffer coalescing, amplification accounting, and adversarial crash
+   persistency. *)
+
+module G = Pmem.Geometry
+module D = Pmem.Device
+module S = Pmem.Stats
+
+let cfg ?(size = 1 lsl 20) ?(xpbuffer_lines = 64) ?(cpu_cache_lines = 8192)
+    ?(eadr = false) ?(persist_prob = 0.5) ?(crash_seed = 42) () =
+  {
+    (Pmem.Config.default ~size ()) with
+    xpbuffer_lines;
+    cpu_cache_lines;
+    eadr;
+    persist_prob;
+    crash_seed;
+  }
+
+let device ?size ?xpbuffer_lines ?cpu_cache_lines ?eadr ?persist_prob
+    ?crash_seed () =
+  D.create
+    ~config:
+      (cfg ?size ?xpbuffer_lines ?cpu_cache_lines ?eadr ?persist_prob
+         ?crash_seed ())
+    ()
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+(* --- geometry -------------------------------------------------------- *)
+
+let test_geometry () =
+  check_int "line_of" 64 (G.line_of 100);
+  check_int "xpline_of" 256 (G.xpline_of 300);
+  check_int "subline" 1 (G.subline_of 320);
+  check_int "subline of line 2" 2 (G.subline_of 128);
+  check_int "subline within first line" 0 (G.subline_of 44);
+  check_int "lines in range" 2 (List.length (G.lines_in_range 60 10));
+  check_int "xplines in range" 2 (List.length (G.xplines_in_range 250 10));
+  check_int "empty range" 0 (List.length (G.lines_in_range 0 0));
+  check_int "single line" 1 (List.length (G.lines_in_range 0 64));
+  check_int "xpbuffer slots" 64 G.xpbuffer_capacity_lines
+
+(* --- basic store/load ------------------------------------------------ *)
+
+let test_store_load () =
+  let d = device () in
+  D.store_u64 d 128 42L;
+  check_i64 "u64 roundtrip" 42L (D.load_u64 d 128);
+  D.store_string d 512 "hello";
+  Alcotest.(check string) "string" "hello" (Bytes.to_string (D.load d 512 5));
+  D.store_u8 d 1000 0xAB;
+  check_int "u8" 0xAB (D.load_u8 d 1000)
+
+let test_unflushed_not_on_media () =
+  let d = device () in
+  D.store_u64 d 0 7L;
+  check_int "media still zero" 0 (D.media_byte d 0);
+  check_int "one dirty line" 1 (D.dirty_lines d)
+
+let test_persist_reaches_xpbuffer_not_media () =
+  let d = device () in
+  D.store_u64 d 0 7L;
+  D.persist d 0 8;
+  (* In the XPBuffer (persistence domain) but not yet written back. *)
+  check_int "xpbuffer holds it" 1 (D.xpbuffer_occupancy d);
+  check_int "media untouched" 0 (D.media_byte d 0);
+  D.drain d;
+  check_int "media after drain" 7 (D.media_byte d 0)
+
+let test_clwb_without_fence_is_pending () =
+  let d = device () in
+  D.store_u64 d 0 9L;
+  D.flush_range d 0 8;
+  check_int "not yet in xpbuffer" 0 (D.xpbuffer_occupancy d);
+  D.sfence d;
+  check_int "fence moves it" 1 (D.xpbuffer_occupancy d)
+
+(* --- XPBuffer coalescing and media accounting ------------------------ *)
+
+let test_coalescing_same_xpline () =
+  let d = device () in
+  (* Four cachelines of the same XPLine, flushed separately. *)
+  for sub = 0 to 3 do
+    D.store_u64 d (sub * 64) (Int64.of_int sub);
+    D.persist d (sub * 64) 8
+  done;
+  D.drain d;
+  let st = D.stats d in
+  check_int "one media write" 1 st.S.media_write_lines;
+  check_int "no RMW read (full line)" 0 st.S.media_read_lines;
+  check_int "4 x 64B into xpbuffer" 256 st.S.xpbuffer_write_bytes
+
+let test_random_xplines_amplify () =
+  let d = device ~size:(1 lsl 20) () in
+  (* One cacheline in each of 100 distinct XPLines. *)
+  for i = 0 to 99 do
+    D.store_u64 d (i * 256) (Int64.of_int i);
+    D.persist d (i * 256) 8
+  done;
+  D.drain d;
+  let st = D.stats d in
+  check_int "100 media writes" 100 st.S.media_write_lines;
+  check_int "100 RMW reads" 100 st.S.media_read_lines
+
+let test_xpbuffer_capacity_eviction () =
+  let d = device ~xpbuffer_lines:4 () in
+  for i = 0 to 9 do
+    D.store_u64 d (i * 256) 1L;
+    D.persist d (i * 256) 8
+  done;
+  let st = D.stats d in
+  check_bool "evictions happened" true (st.S.media_write_lines >= 6);
+  check_bool "occupancy bounded" true (D.xpbuffer_occupancy d <= 4)
+
+let test_lru_eviction_order () =
+  let d = device ~xpbuffer_lines:2 () in
+  let touch addr =
+    D.store_u64 d addr 1L;
+    D.persist d addr 8
+  in
+  touch 0;
+  touch 256;
+  touch 0;
+  (* XPLine 0 is now most recent *)
+  touch 512;
+  (* evicts XPLine 256, not 0 *)
+  check_int "xpline 256 evicted to media" 1 (D.media_byte d 256);
+  check_int "xpline 0 still buffered" 0 (D.media_byte d 0)
+
+let test_amplification_ratios () =
+  let d = device () in
+  (* 8 user bytes -> one 64 B cacheline flush -> one 256 B media write *)
+  D.store_u64 d 0 5L;
+  D.add_user_bytes d 8;
+  D.persist d 0 8;
+  D.drain d;
+  let st = D.stats d in
+  Alcotest.(check (float 0.01)) "CLI = 8x" 8.0 (S.cli_amplification st);
+  Alcotest.(check (float 0.01)) "XBI = 32x" 32.0 (S.xbi_amplification st)
+
+let test_stats_diff () =
+  let d = device () in
+  D.store_u64 d 0 1L;
+  D.persist d 0 8;
+  let before = D.snapshot d in
+  D.store_u64 d 256 1L;
+  D.persist d 256 8;
+  let delta = S.diff ~after:(D.snapshot d) ~before in
+  check_int "one clwb in delta" 1 delta.S.clwb_count;
+  check_int "one fence in delta" 1 delta.S.sfence_count
+
+(* --- reads ------------------------------------------------------------ *)
+
+let test_read_accounting () =
+  let d = device () in
+  D.store_u64 d 0 1L;
+  D.persist d 0 8;
+  D.drain d;
+  (* force a distinct region out of all caches: read a fresh area *)
+  let before = (D.snapshot d).S.media_read_lines in
+  ignore (D.load_u64 d (512 * 256));
+  let mid = (D.snapshot d).S.media_read_lines in
+  check_int "cold read costs one media read" 1 (mid - before);
+  ignore (D.load_u64 d ((512 * 256) + 8));
+  let after = (D.snapshot d).S.media_read_lines in
+  check_int "same XPLine read is cached" 0 (after - mid)
+
+let test_dirty_read_free () =
+  let d = device () in
+  D.store_u64 d (700 * 256) 3L;
+  let before = (D.snapshot d).S.media_read_lines in
+  ignore (D.load_u64 d (700 * 256));
+  check_int "dirty line read hits CPU cache" before
+    (D.snapshot d).S.media_read_lines
+
+(* --- CPU cache pressure ----------------------------------------------- *)
+
+let test_cpu_eviction_spills () =
+  let d = device ~cpu_cache_lines:8 () in
+  for i = 0 to 63 do
+    D.store_u64 d (i * 64) (Int64.of_int i)
+  done;
+  let st = D.stats d in
+  check_bool "capacity evictions" true (st.S.cpu_evictions >= 50);
+  check_bool "dirty bounded" true (D.dirty_lines d <= 9)
+
+(* --- crash semantics --------------------------------------------------- *)
+
+let test_crash_drops_unflushed () =
+  let d = device ~persist_prob:0.0 () in
+  D.store_u64 d 0 9L;
+  D.crash d;
+  check_i64 "dropped" 0L (D.load_u64 d 0)
+
+let test_crash_keeps_flushed () =
+  let d = device ~persist_prob:0.0 () in
+  D.store_u64 d 0 9L;
+  D.persist d 0 8;
+  D.crash d;
+  check_i64 "persisted" 9L (D.load_u64 d 0)
+
+let test_crash_unfenced_adversarial () =
+  (* With persist_prob 1.0 even unflushed stores survive. *)
+  let d = device ~persist_prob:1.0 () in
+  D.store_u64 d 0 9L;
+  D.crash d;
+  check_i64 "kept at prob=1" 9L (D.load_u64 d 0)
+
+let test_crash_eadr_keeps_everything () =
+  let d = device ~eadr:true ~persist_prob:0.0 () in
+  D.store_u64 d 0 9L;
+  D.store_u64 d 4096 11L;
+  D.crash d;
+  check_i64 "eadr keeps a" 9L (D.load_u64 d 0);
+  check_i64 "eadr keeps b" 11L (D.load_u64 d 4096)
+
+let test_crash_deterministic_with_seed () =
+  let run () =
+    let d = device ~persist_prob:0.5 ~crash_seed:7 () in
+    for i = 0 to 19 do
+      D.store_u64 d (i * 256) (Int64.of_int (i + 1))
+    done;
+    D.crash d;
+    List.init 20 (fun i -> D.load_u64 d (i * 256))
+  in
+  Alcotest.(check (list int64)) "same survivors" (run ()) (run ())
+
+let test_work_equals_media_after_crash () =
+  let d = device ~persist_prob:0.5 () in
+  for i = 0 to 49 do
+    D.store_u64 d (i * 64) (Int64.of_int i);
+    if i mod 3 = 0 then D.persist d (i * 64) 8
+  done;
+  D.crash d;
+  let ok = ref true in
+  for a = 0 to 4095 do
+    if D.media_byte d a <> D.load_u8 d a then ok := false
+  done;
+  check_bool "volatile view = media image" true !ok
+
+(* --- host-file image persistence ---------------------------------------- *)
+
+let test_image_roundtrip () =
+  let d = device ~size:65536 () in
+  D.store_u64 d 1000 77L;
+  D.persist d 1000 8;
+  D.drain d;
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      D.save_image d path;
+      let d2 = D.load_image path in
+      check_int "size restored" 65536 (D.size d2);
+      check_i64 "content restored" 77L (D.load_u64 d2 1000);
+      check_int "media image too" 77 (D.media_byte d2 1000))
+
+let test_image_excludes_undrained () =
+  let d = device ~size:65536 () in
+  D.store_u64 d 0 1L;
+  (* never flushed: the media image must not contain it *)
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      D.save_image d path;
+      let d2 = D.load_image path in
+      check_i64 "unflushed data not saved" 0L (D.load_u64 d2 0))
+
+let test_image_rejects_garbage () =
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not an image";
+      close_out oc;
+      match D.load_image path with
+      | exception Invalid_argument _ -> ()
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+(* --- properties --------------------------------------------------------- *)
+
+(* After drain, the media image equals the logical image: nothing written
+   is lost by the buffering hierarchy. *)
+let prop_drain_preserves_content =
+  QCheck.Test.make ~count:50 ~name:"drain preserves all stores"
+    QCheck.(list (pair (int_bound 4095) (int_bound 255)))
+    (fun writes ->
+      let d = device ~size:8192 ~xpbuffer_lines:4 ~cpu_cache_lines:8 () in
+      List.iter (fun (addr, v) -> D.store_u8 d addr v) writes;
+      D.drain d;
+      List.for_all
+        (fun (addr, _) -> D.media_byte d addr = D.load_u8 d addr)
+        writes)
+
+(* Persist-then-crash always retains the persisted value, whatever the
+   adversarial coin does to everything else. *)
+let prop_persisted_survives_crash =
+  QCheck.Test.make ~count:50 ~name:"flush+fence survives any crash"
+    QCheck.(pair small_int (list (pair (int_bound 63) (int_bound 255))))
+    (fun (seed, writes) ->
+      let d =
+        device ~size:65536 ~persist_prob:0.5 ~crash_seed:seed ()
+      in
+      (* interleave persisted and unpersisted writes into distinct lines *)
+      List.iteri
+        (fun i (slot, v) ->
+          let addr = slot * 1024 in
+          D.store_u8 d addr v;
+          if i mod 2 = 0 then D.persist d addr 1)
+        writes;
+      (* last persisted value per address must survive *)
+      let expected = Hashtbl.create 16 in
+      List.iteri
+        (fun i (slot, v) ->
+          if i mod 2 = 0 then Hashtbl.replace expected (slot * 1024) v)
+        writes;
+      (* a later unpersisted store to the same line may overwrite the
+         persisted one non-deterministically; restrict the check to
+         addresses whose last write was the persisted one *)
+      let last = Hashtbl.create 16 in
+      List.iteri
+        (fun i (slot, v) -> Hashtbl.replace last (slot * 1024) (i, v))
+        writes;
+      D.crash d;
+      Hashtbl.fold
+        (fun addr v ok ->
+          ok
+          &&
+          match Hashtbl.find_opt last addr with
+          | Some (i, v') when i mod 2 = 0 && v = v' -> D.load_u8 d addr = v
+          | _ -> true)
+        expected true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pmem"
+    [
+      ("geometry", [ Alcotest.test_case "address math" `Quick test_geometry ]);
+      ( "store-load",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_load;
+          Alcotest.test_case "unflushed not on media" `Quick
+            test_unflushed_not_on_media;
+          Alcotest.test_case "persist reaches xpbuffer" `Quick
+            test_persist_reaches_xpbuffer_not_media;
+          Alcotest.test_case "clwb needs fence" `Quick
+            test_clwb_without_fence_is_pending;
+        ] );
+      ( "xpbuffer",
+        [
+          Alcotest.test_case "coalesce same xpline" `Quick
+            test_coalescing_same_xpline;
+          Alcotest.test_case "random xplines amplify" `Quick
+            test_random_xplines_amplify;
+          Alcotest.test_case "capacity eviction" `Quick
+            test_xpbuffer_capacity_eviction;
+          Alcotest.test_case "LRU order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "amplification ratios" `Quick
+            test_amplification_ratios;
+          Alcotest.test_case "stats diff" `Quick test_stats_diff;
+        ] );
+      ( "reads",
+        [
+          Alcotest.test_case "read accounting" `Quick test_read_accounting;
+          Alcotest.test_case "dirty read free" `Quick test_dirty_read_free;
+        ] );
+      ( "cpu-cache",
+        [ Alcotest.test_case "capacity spills" `Quick test_cpu_eviction_spills ]
+      );
+      ( "crash",
+        [
+          Alcotest.test_case "drops unflushed" `Quick test_crash_drops_unflushed;
+          Alcotest.test_case "keeps flushed" `Quick test_crash_keeps_flushed;
+          Alcotest.test_case "adversarial unfenced" `Quick
+            test_crash_unfenced_adversarial;
+          Alcotest.test_case "eADR keeps everything" `Quick
+            test_crash_eadr_keeps_everything;
+          Alcotest.test_case "deterministic with seed" `Quick
+            test_crash_deterministic_with_seed;
+          Alcotest.test_case "work = media after crash" `Quick
+            test_work_equals_media_after_crash;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "excludes undrained data" `Quick
+            test_image_excludes_undrained;
+          Alcotest.test_case "rejects garbage" `Quick test_image_rejects_garbage;
+        ] );
+      ( "properties",
+        [ qt prop_drain_preserves_content; qt prop_persisted_survives_crash ]
+      );
+    ]

@@ -1,0 +1,264 @@
+(* Unit tests for the core's small modules: leaf-node layout, buffer
+   nodes, the volatile inner index, and indirection encoding. *)
+
+module D = Pmem.Device
+module L = Ccl_btree.Leaf_node
+module B = Ccl_btree.Buffer_node
+module Idx = Ccl_btree.Inner_index
+module Ind = Ccl_btree.Indirect
+module Extent = Pmalloc.Extent
+module Alloc = Pmalloc.Alloc
+
+let device () = D.create ~config:(Pmem.Config.default ~size:(1 lsl 20) ()) ()
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+(* --- leaf node ----------------------------------------------------------- *)
+
+let leaf () =
+  let dev = device () in
+  L.init dev 4096 ~next:0;
+  (dev, 4096)
+
+let test_leaf_layout_constants () =
+  check_int "size is one XPLine" 256 L.size;
+  check_int "14 slots" 14 L.slots
+
+let test_leaf_meta_word_packing () =
+  let dev, a = leaf () in
+  L.store_meta_word dev a ~bitmap:0b1010_1010_1010_10 ~next:0x1234560;
+  check_int "bitmap" 0b1010_1010_1010_10 (L.bitmap dev a);
+  check_int "next" 0x1234560 (L.next dev a);
+  (* updating one field preserves the other *)
+  L.store_meta_word dev a ~bitmap:0x3 ~next:(L.next dev a);
+  check_int "next preserved" 0x1234560 (L.next dev a)
+
+let test_leaf_slots_roundtrip () =
+  let dev, a = leaf () in
+  for i = 0 to L.slots - 1 do
+    L.store_slot dev a i ~key:(Int64.of_int (i * 7)) ~value:(Int64.of_int i)
+  done;
+  for i = 0 to L.slots - 1 do
+    check_i64 "key" (Int64.of_int (i * 7)) (L.key_at dev a i);
+    check_i64 "value" (Int64.of_int i) (L.value_at dev a i)
+  done
+
+let test_leaf_find_uses_bitmap () =
+  let dev, a = leaf () in
+  L.store_slot dev a 3 ~key:42L ~value:1L;
+  L.store_fingerprint dev a 3 42L;
+  (* slot not yet valid *)
+  Alcotest.(check (option int)) "invisible before bitmap" None (L.find dev a 42L);
+  L.store_meta_word dev a ~bitmap:(1 lsl 3) ~next:0;
+  Alcotest.(check (option int)) "visible after bitmap" (Some 3) (L.find dev a 42L)
+
+let test_leaf_entries_and_free_slots () =
+  let dev, a = leaf () in
+  L.store_slot dev a 0 ~key:1L ~value:10L;
+  L.store_slot dev a 5 ~key:2L ~value:20L;
+  L.store_meta_word dev a ~bitmap:((1 lsl 0) lor (1 lsl 5)) ~next:0;
+  check_int "valid count" 2 (L.valid_count dev a);
+  check_int "entries" 2 (List.length (L.entries dev a));
+  check_int "free slots" 12 (List.length (L.free_slots dev a));
+  check_bool "slot 1 free" true (List.mem 1 (L.free_slots dev a));
+  check_bool "slot 5 used" true (not (List.mem 5 (L.free_slots dev a)))
+
+let test_leaf_timestamp () =
+  let dev, a = leaf () in
+  L.store_timestamp dev a 12345L;
+  check_i64 "timestamp" 12345L (L.timestamp dev a)
+
+let prop_fingerprint_spread =
+  QCheck.Test.make ~count:100 ~name:"fingerprints spread over a byte"
+    QCheck.(list_of_size (QCheck.Gen.return 64) int64)
+    (fun keys ->
+      let fps = List.map L.fingerprint keys in
+      List.for_all (fun f -> f >= 0 && f <= 255) fps
+      && List.length (List.sort_uniq compare fps)
+         > List.length (List.sort_uniq compare keys) / 4)
+
+(* --- buffer node ----------------------------------------------------------- *)
+
+let test_buffer_basic () =
+  let b = B.create ~nbatch:3 ~leaf:4096 ~low:0L in
+  check_int "nbatch" 3 (B.nbatch b);
+  Alcotest.(check (option int)) "empty find" None (B.find b 1L);
+  Alcotest.(check (option int)) "free slot" (Some 0) (B.free_slot b);
+  B.set_slot b 0 ~key:1L ~value:10L ~ts:5L ~epoch:1;
+  Alcotest.(check (option int)) "found" (Some 0) (B.find b 1L);
+  check_int "unflushed" 1 (B.unflushed_count b);
+  check_bool "epoch bit set" true (b.B.epoch land 1 <> 0);
+  B.set_slot b 0 ~key:1L ~value:11L ~ts:6L ~epoch:0;
+  check_bool "epoch bit cleared" true (b.B.epoch land 1 = 0)
+
+let test_buffer_flush_cache_semantics () =
+  let b = B.create ~nbatch:2 ~leaf:4096 ~low:0L in
+  B.set_slot b 0 ~key:1L ~value:10L ~ts:1L ~epoch:0;
+  B.set_slot b 1 ~key:2L ~value:20L ~ts:2L ~epoch:0;
+  check_int "two unflushed" 2 (B.unflushed_count b);
+  Alcotest.(check (list int)) "no cached" [] (B.cached_slots b);
+  B.mark_all_flushed b;
+  check_int "none unflushed" 0 (B.unflushed_count b);
+  Alcotest.(check (list int)) "both cached" [ 0; 1 ] (B.cached_slots b);
+  (* cached entries still serve reads *)
+  Alcotest.(check (option int)) "cache hit" (Some 0) (B.find b 1L)
+
+let test_buffer_unflushed_entries () =
+  let b = B.create ~nbatch:3 ~leaf:4096 ~low:0L in
+  B.set_slot b 0 ~key:1L ~value:10L ~ts:1L ~epoch:0;
+  B.set_slot b 2 ~key:3L ~value:30L ~ts:3L ~epoch:0;
+  Alcotest.(check (list (triple int64 int64 int64)))
+    "entries with ts"
+    [ (1L, 10L, 1L); (3L, 30L, 3L) ]
+    (B.unflushed_entries b)
+
+let test_buffer_version_lock () =
+  let b = B.create ~nbatch:2 ~leaf:4096 ~low:0L in
+  check_bool "unlocked" true (not (B.is_locked b));
+  B.lock b;
+  check_bool "locked (odd version)" true (B.is_locked b);
+  B.unlock b;
+  check_bool "unlocked again" true (not (B.is_locked b));
+  check_int "version advanced twice" 2 b.B.version
+
+(* --- inner index ------------------------------------------------------------ *)
+
+let test_index_find_le () =
+  let idx = Idx.create () in
+  Idx.add idx 10L "a";
+  Idx.add idx 20L "b";
+  Idx.add idx 30L "c";
+  Alcotest.(check (option string)) "exact" (Some "b") (Idx.find_le idx 20L);
+  Alcotest.(check (option string)) "between" (Some "b") (Idx.find_le idx 25L);
+  Alcotest.(check (option string)) "above all" (Some "c") (Idx.find_le idx 99L);
+  Alcotest.(check (option string)) "below all" None (Idx.find_le idx 5L);
+  Idx.remove idx 20L;
+  Alcotest.(check (option string)) "after remove" (Some "a") (Idx.find_le idx 25L);
+  check_int "cardinal" 2 (Idx.cardinal idx)
+
+let prop_index_find_le_vs_list =
+  QCheck.Test.make ~count:100 ~name:"find_le ≡ list maximum ≤ key"
+    QCheck.(pair (list small_int) small_int)
+    (fun (keys, probe) ->
+      let idx = Idx.create () in
+      List.iter (fun k -> Idx.add idx (Int64.of_int k) k) keys;
+      let expect =
+        List.filter (fun k -> k <= probe) (List.sort_uniq compare keys)
+        |> List.rev
+        |> function
+        | [] -> None
+        | k :: _ -> Some k
+      in
+      Idx.find_le idx (Int64.of_int probe) = expect)
+
+(* --- indirection -------------------------------------------------------------- *)
+
+let with_extent f =
+  let dev = device () in
+  let alloc = Alloc.format dev ~chunk_size:4096 in
+  f dev (Extent.create alloc)
+
+let test_indirect_inline_roundtrip () =
+  with_extent (fun dev ext ->
+      List.iter
+        (fun s ->
+          let v = Ind.encode_value dev ext s in
+          check_bool "inline for short" true (not (Ind.is_pointer v));
+          Alcotest.(check string) "roundtrip" s (Ind.decode_value dev v))
+        [ ""; "a"; "abc"; "123456" ])
+
+let test_indirect_pointer_roundtrip () =
+  with_extent (fun dev ext ->
+      List.iter
+        (fun s ->
+          let v = Ind.encode_value dev ext s in
+          check_bool "pointer for long" true (Ind.is_pointer v);
+          Alcotest.(check string) "roundtrip" s (Ind.decode_value dev v))
+        [ "1234567"; String.make 100 'x'; String.make 4000 'y' ])
+
+let test_indirect_no_tombstone_collision () =
+  with_extent (fun dev ext ->
+      let v = Ind.encode_value dev ext "" in
+      check_bool "empty string is not 0L" true (not (Int64.equal v 0L)))
+
+let test_indirect_key_order_preserved () =
+  let ks = [ "a"; "ab"; "abc"; "b"; "ba"; "zz" ] in
+  let encoded = List.map Ind.encode_key ks in
+  let resorted =
+    List.sort Int64.compare encoded
+    |> List.map (fun e -> List.assoc e (List.combine encoded ks))
+  in
+  Alcotest.(check (list string)) "lexicographic order survives" ks resorted
+
+let test_indirect_long_keys_distinct () =
+  let k1 = Ind.encode_key (String.make 50 'a') in
+  let k2 = Ind.encode_key (String.make 50 'b') in
+  check_bool "distinct hashes" true (not (Int64.equal k1 k2));
+  check_bool "positive" true (Int64.compare k1 0L > 0)
+
+let prop_indirect_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"value encode/decode roundtrip"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 600))
+    (fun s ->
+      with_extent (fun dev ext ->
+          Ind.decode_value dev (Ind.encode_value dev ext s) = s))
+
+let test_indirect_extent_survives_crash () =
+  let dev = device () in
+  let alloc = Alloc.format dev ~chunk_size:4096 in
+  let ext = Extent.create alloc in
+  let s = String.make 300 'q' in
+  let v = Ind.encode_value dev ext s in
+  D.crash dev;
+  Alcotest.(check string) "persisted before pointer returned" s
+    (Ind.decode_value dev v)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core-units"
+    [
+      ( "leaf-node",
+        [
+          Alcotest.test_case "layout constants" `Quick
+            test_leaf_layout_constants;
+          Alcotest.test_case "meta word packing" `Quick
+            test_leaf_meta_word_packing;
+          Alcotest.test_case "slots roundtrip" `Quick test_leaf_slots_roundtrip;
+          Alcotest.test_case "find uses bitmap" `Quick test_leaf_find_uses_bitmap;
+          Alcotest.test_case "entries and free slots" `Quick
+            test_leaf_entries_and_free_slots;
+          Alcotest.test_case "timestamp" `Quick test_leaf_timestamp;
+          qt prop_fingerprint_spread;
+        ] );
+      ( "buffer-node",
+        [
+          Alcotest.test_case "basic" `Quick test_buffer_basic;
+          Alcotest.test_case "flush/cache semantics" `Quick
+            test_buffer_flush_cache_semantics;
+          Alcotest.test_case "unflushed entries" `Quick
+            test_buffer_unflushed_entries;
+          Alcotest.test_case "version lock" `Quick test_buffer_version_lock;
+        ] );
+      ( "inner-index",
+        [
+          Alcotest.test_case "find_le" `Quick test_index_find_le;
+          qt prop_index_find_le_vs_list;
+        ] );
+      ( "indirect",
+        [
+          Alcotest.test_case "inline roundtrip" `Quick
+            test_indirect_inline_roundtrip;
+          Alcotest.test_case "pointer roundtrip" `Quick
+            test_indirect_pointer_roundtrip;
+          Alcotest.test_case "no tombstone collision" `Quick
+            test_indirect_no_tombstone_collision;
+          Alcotest.test_case "key order preserved" `Quick
+            test_indirect_key_order_preserved;
+          Alcotest.test_case "long keys distinct" `Quick
+            test_indirect_long_keys_distinct;
+          Alcotest.test_case "extent survives crash" `Quick
+            test_indirect_extent_survives_crash;
+          qt prop_indirect_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the workload generators: distribution statistics (Zipfian
+   skew), YCSB mix ratios, SOSD dataset character. *)
+
+module K = Workload.Keygen
+module Y = Workload.Ycsb
+module S = Workload.Sosd
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- keygens ------------------------------------------------------------ *)
+
+let test_uniform_range_and_spread () =
+  let g = K.uniform ~seed:1 ~space:1000 in
+  let seen = Hashtbl.create 256 in
+  for _ = 1 to 10_000 do
+    let k = Int64.to_int (K.next g) in
+    check_bool "in range" true (k >= 1 && k <= 1000);
+    Hashtbl.replace seen k ()
+  done;
+  check_bool "covers most of the space" true (Hashtbl.length seen > 900)
+
+let test_uniform_deterministic () =
+  let draw () =
+    let g = K.uniform ~seed:9 ~space:1000 in
+    List.init 20 (fun _ -> K.next g)
+  in
+  Alcotest.(check (list int64)) "same seed same stream" (draw ()) (draw ())
+
+let test_sequential_wraps () =
+  let g = K.sequential ~space:3 in
+  let xs = List.init 7 (fun _ -> Int64.to_int (K.next g)) in
+  Alcotest.(check (list int)) "wraps" [ 1; 2; 3; 1; 2; 3; 1 ] xs
+
+let zipf_top_share theta =
+  let space = 10_000 in
+  let g = K.zipfian ~seed:2 ~space ~theta in
+  let counts = Hashtbl.create 1024 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = K.next g in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let sorted =
+    List.sort (fun a b -> compare b a)
+      (Hashtbl.fold (fun _ c acc -> c :: acc) counts [])
+  in
+  let top100 = List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < 100) sorted) in
+  float_of_int top100 /. float_of_int n
+
+let test_zipfian_skew_monotone () =
+  let s05 = zipf_top_share 0.5 in
+  let s09 = zipf_top_share 0.9 in
+  let s099 = zipf_top_share 0.99 in
+  check_bool
+    (Printf.sprintf "skew grows with theta (%.3f < %.3f < %.3f)" s05 s09 s099)
+    true
+    (s05 < s09 && s09 < s099);
+  check_bool "theta=0.99 is heavily skewed" true (s099 > 0.3);
+  check_bool "theta=0.5 is mildly skewed" true (s05 < 0.2)
+
+let test_zipfian_range () =
+  let g = K.zipfian ~seed:3 ~space:500 ~theta:0.9 in
+  for _ = 1 to 5000 do
+    let k = Int64.to_int (K.next g) in
+    if k < 1 || k > 500 then Alcotest.failf "zipfian out of range: %d" k
+  done
+
+let test_shuffled_range_is_permutation () =
+  let a = K.shuffled_range ~seed:4 100 in
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int64))
+    "permutation of 1..100"
+    (Array.init 100 (fun i -> Int64.of_int (i + 1)))
+    sorted;
+  check_bool "actually shuffled" true (a <> sorted)
+
+(* --- YCSB ---------------------------------------------------------------- *)
+
+let mix_counts mix =
+  let ops = Y.generate mix ~seed:5 ~space:1000 ~scan_len:100 10_000 in
+  let ins = ref 0 and rd = ref 0 and sc = ref 0 in
+  Array.iter
+    (function
+      | Y.Insert _ -> incr ins
+      | Y.Read _ -> incr rd
+      | Y.Scan _ -> incr sc)
+    ops;
+  (!ins, !rd, !sc)
+
+let near ~pct got = abs (got - (pct * 100)) < 200
+
+let test_ycsb_ratios () =
+  let ins, rd, sc = mix_counts Y.Insert_intensive in
+  check_bool "75% inserts" true (near ~pct:75 ins);
+  check_bool "25% reads" true (near ~pct:25 rd);
+  check_int "no scans" 0 sc;
+  let ins, rd, sc = mix_counts Y.Scan_insert in
+  check_bool "95% scans" true (near ~pct:95 sc);
+  check_bool "5% inserts" true (near ~pct:5 ins);
+  check_int "no reads" 0 rd;
+  let ins, rd, _ = mix_counts Y.Read_only in
+  check_int "read-only has no inserts" 0 ins;
+  check_int "read-only all reads" 10_000 rd
+
+let test_ycsb_insert_only () =
+  let ins, rd, sc = mix_counts Y.Insert_only in
+  check_int "all inserts" 10_000 ins;
+  check_int "no reads" 0 rd;
+  check_int "no scans" 0 sc
+
+(* --- SOSD ----------------------------------------------------------------- *)
+
+let uniq keys =
+  let t = Hashtbl.create (Array.length keys) in
+  Array.iter (fun k -> Hashtbl.replace t k ()) keys;
+  Hashtbl.length t
+
+let test_sosd_unique_positive () =
+  List.iter
+    (fun (name, gen) ->
+      let keys = gen ~seed:6 5000 in
+      if uniq keys <> 5000 then Alcotest.failf "%s has duplicate keys" name;
+      Array.iter
+        (fun k ->
+          if Int64.compare k 1L < 0 then
+            Alcotest.failf "%s has non-positive key" name)
+        keys)
+    S.all
+
+(* locality character: mean gap between consecutive sorted keys *)
+let sortedness keys =
+  let s = Array.copy keys in
+  Array.sort compare s;
+  (* how often consecutive inserts are also close in key space *)
+  let close = ref 0 in
+  for i = 1 to Array.length keys - 1 do
+    let d = Int64.abs (Int64.sub keys.(i) keys.(i - 1)) in
+    if Int64.compare d 1_000_000L < 0 then incr close
+  done;
+  float_of_int !close /. float_of_int (Array.length keys - 1)
+
+let test_sosd_characters () =
+  let wiki = S.wiki ~seed:7 5000 in
+  let fb = S.facebook ~seed:7 5000 in
+  let amzn = S.amzn ~seed:7 5000 in
+  check_bool "wiki is near-monotonic" true (sortedness wiki > 0.9);
+  check_bool "facebook is scattered" true (sortedness fb < 0.05);
+  check_bool "amzn is clustered but not sorted" true
+    (sortedness amzn > sortedness fb)
+
+let test_sosd_deterministic () =
+  Alcotest.(check (array int64))
+    "same seed, same dataset"
+    (S.osm ~seed:8 1000)
+    (S.osm ~seed:8 1000)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "keygen",
+        [
+          Alcotest.test_case "uniform range/spread" `Quick
+            test_uniform_range_and_spread;
+          Alcotest.test_case "uniform deterministic" `Quick
+            test_uniform_deterministic;
+          Alcotest.test_case "sequential wraps" `Quick test_sequential_wraps;
+          Alcotest.test_case "zipfian skew monotone" `Quick
+            test_zipfian_skew_monotone;
+          Alcotest.test_case "zipfian range" `Quick test_zipfian_range;
+          Alcotest.test_case "shuffled range" `Quick
+            test_shuffled_range_is_permutation;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "mix ratios" `Quick test_ycsb_ratios;
+          Alcotest.test_case "insert only" `Quick test_ycsb_insert_only;
+        ] );
+      ( "sosd",
+        [
+          Alcotest.test_case "unique positive keys" `Quick
+            test_sosd_unique_positive;
+          Alcotest.test_case "dataset characters" `Quick test_sosd_characters;
+          Alcotest.test_case "deterministic" `Quick test_sosd_deterministic;
+        ] );
+    ]
