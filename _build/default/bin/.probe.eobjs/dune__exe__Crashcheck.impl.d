@@ -1,0 +1,1 @@
+bin/crashcheck.ml: Arg Ccl_btree Cmd Cmdliner Crashmc Fmt List Printf Term Unix

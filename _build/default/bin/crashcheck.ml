@@ -1,0 +1,150 @@
+(* crashcheck: exhaustive crash-state model checking of the PM indexes.
+
+     dune exec bin/crashcheck.exe -- --smoke
+     dune exec bin/crashcheck.exe -- --ops 800 --stride 5 --probs 0.0,0.4,1.0
+     dune exec bin/crashcheck.exe -- --index hash --ops 300 --seeds 7,8,9
+
+   For every fence index of the workload (optionally strided), the device
+   is rewound to a post-format checkpoint, power fails at that fence,
+   recovery runs, and a volatile oracle plus the offline fsck validate
+   the surviving state.  Exit status 1 when any crash point violates. *)
+
+module C = Crashmc
+module Config = Ccl_btree.Config
+
+open Cmdliner
+
+let ops_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "ops" ] ~docv:"N" ~doc:"Operations in the scripted workload.")
+
+let key_space_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "key-space" ] ~docv:"K"
+        ~doc:"Key space; smaller than N so upserts revisit keys.")
+
+let wseed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workload-seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+
+let seeds_arg =
+  Arg.(
+    value & opt (list int) [ 1; 2 ]
+    & info [ "seeds" ] ~docv:"S1,S2,..."
+        ~doc:"Adversarial crash seeds (comma separated).")
+
+let probs_arg =
+  Arg.(
+    value & opt (list float) [ 0.0; 0.5; 1.0 ]
+    & info [ "probs" ] ~docv:"P1,P2,..."
+        ~doc:
+          "persist_prob values: probability an unfenced dirty line \
+           survives the crash.")
+
+let stride_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "stride"; "sample" ] ~docv:"N"
+        ~doc:"Test every N-th fence index (1 = every fence).")
+
+let index_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tree", C.Tree); ("hash", C.Hash) ]) C.Tree
+    & info [ "index" ] ~docv:"tree|hash" ~doc:"Index structure under test.")
+
+let buckets_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "buckets" ] ~docv:"B" ~doc:"Hash directory size (hash only).")
+
+let size_arg =
+  Arg.(
+    value
+    & opt int (16 * 1024 * 1024)
+    & info [ "size" ] ~docv:"BYTES" ~doc:"Simulated device capacity.")
+
+let nbatch_arg =
+  Arg.(
+    value & opt int Config.default.Config.nbatch
+    & info [ "nbatch" ] ~docv:"N" ~doc:"Buffer-node slots (N_batch).")
+
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "Smoke preset: a 500-op mixed workload, every fence, crash \
+           seeds 1 and 2, persist_prob 0.4, an 8 MiB device, small chunks \
+           and an active GC.")
+
+let no_minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-minimize" ] ~doc:"Report full traces without minimizing.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
+
+let run ops key_space wseed seeds probs stride index buckets size nbatch smoke
+    no_minimize quiet =
+  if stride < 1 then begin
+    prerr_endline "crashcheck: --stride must be >= 1";
+    exit 2
+  end;
+  if ops < 1 then begin
+    prerr_endline "crashcheck: --ops must be >= 1";
+    exit 2
+  end;
+  if List.exists (fun p -> p < 0.0 || p > 1.0) probs then begin
+    prerr_endline "crashcheck: --probs values must be within [0,1]";
+    exit 2
+  end;
+  let ops, seeds, probs, stride, size =
+    if smoke then (max ops 500, [ 1; 2 ], [ 0.4 ], 1, 8 * 1024 * 1024)
+    else (ops, seeds, probs, stride, size)
+  in
+  let cfg =
+    {
+      Config.default with
+      Config.nbatch;
+      chunk_size = 4096;
+      th_log = 0.15;
+    }
+  in
+  let workload = C.mixed_workload ~seed:wseed ~n:ops ~key_space in
+  let progress =
+    if quiet then None
+    else
+      Some
+        (fun ~tested ~total ->
+          if tested mod 100 = 0 || tested = total then begin
+            Printf.eprintf "\r%d/%d crash points" tested total;
+            if tested = total then prerr_newline ();
+            flush stderr
+          end)
+  in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    C.check ~cfg ~target:index ~buckets ~device_size:size ~stride
+      ~persist_probs:probs ~crash_seeds:seeds ~minimize:(not no_minimize)
+      ?progress workload
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a@." C.pp_report report;
+  Fmt.pr "wall time         %.1f s@." dt;
+  if report.C.violations = [] then 0 else 1
+
+let cmd =
+  Cmd.v
+    (Cmd.info "crashcheck" ~version:"%%VERSION%%"
+       ~doc:"Exhaustive crash-point model checker for the PM indexes")
+    Term.(
+      const run $ ops_arg $ key_space_arg $ wseed_arg $ seeds_arg $ probs_arg
+      $ stride_arg $ index_arg $ buckets_arg $ size_arg $ nbatch_arg
+      $ smoke_arg $ no_minimize_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

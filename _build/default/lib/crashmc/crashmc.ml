@@ -1,0 +1,305 @@
+module D = Pmem.Device
+module S = Pmem.Stats
+module T = Ccl_btree.Tree
+module Fsck = Ccl_btree.Fsck
+module H = Ccl_hash.Hash_table
+
+type op = Ups of int64 * int64 | Del of int64
+type target = Tree | Hash
+
+type violation = {
+  fence : int;
+  crash_seed : int;
+  persist_prob : float;
+  invariant : string;
+  trace : op list;
+}
+
+type report = {
+  fences : int;
+  points_tested : int;
+  crashes_run : int;
+  violations : violation list;
+}
+
+let key_of = function Ups (k, _) -> k | Del k -> k
+
+let mixed_workload ~seed ~n ~key_space =
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun i ->
+      let key = Int64.of_int (1 + Random.State.int rng key_space) in
+      if Random.State.int rng 8 = 0 then Del key
+      else Ups (key, Int64.of_int (i + 1)))
+
+(* A uniform view of the two indexes under test.  [fsck] returns integrity
+   errors of the persistent image (tree only: Fsck walks the leaf chain). *)
+type handle = {
+  upsert : int64 -> int64 -> unit;
+  delete : int64 -> unit;
+  search : int64 -> int64 option;
+  check_invariants : unit -> unit;
+  fsck : unit -> string list;
+}
+
+let attach ~cfg ~target dev =
+  match target with
+  | Tree ->
+    let t = T.recover ~cfg dev in
+    {
+      upsert = T.upsert t;
+      delete = T.delete t;
+      search = T.search t;
+      check_invariants = (fun () -> T.check_invariants t);
+      fsck =
+        (fun () ->
+          match Fsck.check dev with
+          | r -> r.Fsck.errors
+          | exception e -> [ "fsck raised: " ^ Printexc.to_string e ]);
+    }
+  | Hash ->
+    let h = H.recover ~cfg dev in
+    {
+      upsert = H.upsert h;
+      delete = H.delete h;
+      search = H.search h;
+      check_invariants = (fun () -> H.check_invariants h);
+      fsck = (fun () -> []);
+    }
+
+(* One check failure; [key] (when known) feeds trace minimization. *)
+type check_failure = { desc : string; key : int64 option }
+
+(* Replay [ops] from the post-format checkpoint with power failing at the
+   [fence]-th workload fence, then crash, recover and run the oracle.
+   Returns the executed prefix length (acknowledged ops plus the
+   interrupted one) and the list of failed checks. *)
+let run_point ~cfg ~target dev ck ops ~fence =
+  D.restore dev ck;
+  let h = attach ~cfg ~target dev in
+  let model = Hashtbl.create 256 in
+  let in_flight = ref None in
+  let executed = ref 0 in
+  let errs = ref [] in
+  let fail desc key = errs := { desc; key } :: !errs in
+  D.plan_failure dev ~after_fences:fence;
+  (try
+     List.iter
+       (fun op ->
+         in_flight := Some op;
+         incr executed;
+         (match op with
+         | Ups (k, v) -> h.upsert k v
+         | Del k -> h.delete k);
+         (* returned without failing: the op is acknowledged *)
+         (match op with
+         | Ups (k, v) -> Hashtbl.replace model k v
+         | Del k -> Hashtbl.remove model k);
+         in_flight := None)
+       ops
+   with
+  | D.Power_failure -> ()
+  | e -> fail ("workload raised: " ^ Printexc.to_string e) None);
+  D.cancel_failure dev;
+  D.crash dev;
+  (* recovery itself must never raise on a crashed-but-uncorrupted image *)
+  (match attach ~cfg ~target dev with
+  | exception e -> fail ("recovery raised: " ^ Printexc.to_string e) None
+  | h2 ->
+    (* structural invariants of the recovered index *)
+    (try h2.check_invariants ()
+     with Failure m -> fail ("invariants: " ^ m) None);
+    (* offline integrity of the persistent image *)
+    List.iter (fun e -> fail ("fsck: " ^ e) None) (h2.fsck ());
+    (* durability: every acknowledged op is present, unless the in-flight
+       op legitimately superseded it *)
+    Hashtbl.iter
+      (fun key v ->
+        let tolerated =
+          match !in_flight with
+          | Some (Ups (k, v')) when Int64.equal k key ->
+            h2.search key = Some v'
+          | Some (Del k) when Int64.equal k key -> h2.search key = None
+          | _ -> false
+        in
+        if (not tolerated) && h2.search key <> Some v then
+          fail (Printf.sprintf "lost acked key %Ld" key) (Some key))
+      model;
+    (* atomicity of the interrupted op: old value, new value, or (for a
+       delete) absent — never anything else *)
+    (match !in_flight with
+    | Some (Ups (k, v')) ->
+      let prev = Hashtbl.find_opt model k in
+      let got = h2.search k in
+      if got <> Some v' && got <> prev then
+        fail (Printf.sprintf "in-flight upsert of %Ld not atomic" k) (Some k)
+    | Some (Del k) ->
+      let prev = Hashtbl.find_opt model k in
+      let got = h2.search k in
+      if got <> None && got <> prev then
+        fail (Printf.sprintf "in-flight delete of %Ld not atomic" k) (Some k)
+    | None -> ());
+    (* no resurrection: a key touched by the workload but absent from the
+       model must stay absent *)
+    let seen = Hashtbl.create 256 in
+    List.iter
+      (fun op ->
+        let k = key_of op in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          let shadowed =
+            match !in_flight with
+            | Some (Ups (k', _)) -> Int64.equal k' k
+            | _ -> false
+          in
+          if
+            (not (Hashtbl.mem model k))
+            && (not shadowed)
+            && h2.search k <> None
+          then fail (Printf.sprintf "resurrected key %Ld" k) (Some k)
+        end)
+      ops);
+  (!executed, List.rev !errs)
+
+(* Count the fences the un-failed workload issues, entering through the
+   same restore+attach path the failing replays use so the fence schedule
+   is identical. *)
+let count_fences ~cfg ~target dev ck ops =
+  D.restore dev ck;
+  let h = attach ~cfg ~target dev in
+  let f0 = (D.snapshot dev).S.sfence_count in
+  List.iter
+    (fun op ->
+      match op with Ups (k, v) -> h.upsert k v | Del k -> h.delete k)
+    ops;
+  (D.snapshot dev).S.sfence_count - f0
+
+(* Trace minimization: keep only the executed-prefix operations touching
+   an implicated key, then verify the reduced trace still violates at
+   some fence of its own (shorter) schedule.  Falls back to the full
+   executed prefix when the reduction does not reproduce. *)
+let minimize_trace ~cfg ~target dev ck ops ~prefix_len failures =
+  let prefix = List.filteri (fun i _ -> i < prefix_len) ops in
+  let bad_keys =
+    List.filter_map (fun f -> f.key) failures
+    |> List.sort_uniq Int64.compare
+  in
+  if bad_keys = [] then prefix
+  else begin
+    let candidate =
+      List.filter (fun op -> List.mem (key_of op) bad_keys) prefix
+    in
+    if candidate = [] || List.length candidate >= List.length prefix then
+      prefix
+    else begin
+      let total = count_fences ~cfg ~target dev ck candidate in
+      let reproduces = ref false in
+      let k = ref 1 in
+      while (not !reproduces) && !k <= min total 300 do
+        let _, errs = run_point ~cfg ~target dev ck candidate ~fence:!k in
+        if errs <> [] then reproduces := true;
+        incr k
+      done;
+      if !reproduces then candidate else prefix
+    end
+  end
+
+let check ?(cfg = Ccl_btree.Config.default) ?(target = Tree) ?(buckets = 16)
+    ?(device_size = 16 * 1024 * 1024) ?(stride = 1)
+    ?(persist_probs = [ 0.0; 0.5; 1.0 ]) ?(crash_seeds = [ 1; 2 ])
+    ?(minimize = true) ?progress ops =
+  if stride < 1 then invalid_arg "Crashmc.check: stride must be >= 1";
+  let fences = ref 0 in
+  let points = ref 0 and crashes = ref 0 in
+  let violations = ref [] in
+  let combos =
+    List.concat_map
+      (fun seed -> List.map (fun p -> (seed, p)) persist_probs)
+      crash_seeds
+  in
+  (* Pre-plan the total point count for progress reporting: the fence
+     count is the same for every combo (the workload path never consults
+     the crash coin), so one counting run suffices. *)
+  let totals =
+    List.map
+      (fun (seed, prob) ->
+        let config =
+          {
+            (Pmem.Config.default ~size:device_size ()) with
+            Pmem.Config.persist_prob = prob;
+            crash_seed = seed;
+          }
+        in
+        let dev = D.create ~config () in
+        (match target with
+        | Tree -> ignore (T.create ~cfg dev)
+        | Hash -> ignore (H.create ~cfg ~buckets dev));
+        let ck = D.checkpoint dev in
+        let total = count_fences ~cfg ~target dev ck ops in
+        (seed, prob, dev, ck, total))
+      combos
+  in
+  let planned =
+    List.fold_left
+      (fun acc (_, _, _, _, total) -> acc + ((total + stride - 1) / stride))
+      0 totals
+  in
+  List.iter
+    (fun (seed, prob, dev, ck, total) ->
+      fences := max !fences total;
+      let fence = ref 1 in
+      while !fence <= total do
+        let prefix_len, errs = run_point ~cfg ~target dev ck ops ~fence:!fence in
+        incr points;
+        incr crashes;
+        if errs <> [] then begin
+          let trace =
+            if minimize then
+              minimize_trace ~cfg ~target dev ck ops ~prefix_len errs
+            else List.filteri (fun i _ -> i < prefix_len) ops
+          in
+          List.iter
+            (fun f ->
+              violations :=
+                {
+                  fence = !fence;
+                  crash_seed = seed;
+                  persist_prob = prob;
+                  invariant = f.desc;
+                  trace;
+                }
+                :: !violations)
+            errs
+        end;
+        (match progress with
+        | Some f -> f ~tested:!points ~total:planned
+        | None -> ());
+        fence := !fence + stride
+      done)
+    totals;
+  {
+    fences = !fences;
+    points_tested = !points;
+    crashes_run = !crashes;
+    violations = List.rev !violations;
+  }
+
+let pp_op ppf = function
+  | Ups (k, v) -> Fmt.pf ppf "ups %Ld=%Ld" k v
+  | Del k -> Fmt.pf ppf "del %Ld" k
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v2>fence %d (seed %d, p=%.2f): %s@,trace (%d ops): @[<hov>%a@]@]"
+    v.fence v.crash_seed v.persist_prob v.invariant (List.length v.trace)
+    (Fmt.list ~sep:Fmt.sp pp_op)
+    v.trace
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>fences per run    %d@,crash points      %d@,crashes executed  \
+     %d@,violations        %d%a@]"
+    r.fences r.points_tested r.crashes_run
+    (List.length r.violations)
+    (fun ppf -> function
+      | [] -> ()
+      | vs -> Fmt.pf ppf "@,%a" (Fmt.list ~sep:Fmt.cut pp_violation) vs)
+    r.violations

@@ -1,0 +1,73 @@
+(** Exhaustive crash-state model checker for the simulated PM device.
+
+    The paper's headline claim is crash consistency at {e every} fence
+    (§3.4).  Hand-picked failure points miss protocol branches — the
+    lesson of RECIPE (SOSP '19) — so this module enumerates them: it runs
+    a scripted workload once to count the fences it issues, then for every
+    fence index [k] (optionally strided) rewinds the device to a
+    {!Pmem.Device.checkpoint} taken right after formatting, arms
+    [plan_failure ~after_fences:k], replays the workload until the power
+    fails, crashes, recovers, and checks a volatile oracle:
+
+    - every acknowledged operation is present after recovery,
+    - the interrupted operation is atomic — old value, new value, or (for
+      deletes) absent, never anything else,
+    - no deleted key resurrects,
+    - all structural invariants hold ([check_invariants] plus, for the
+      tree, every {!Fsck.check} integrity error).
+
+    Each (fence, crash seed, persist probability) combination is one
+    deterministic execution: the checkpoint restores the adversarial RNG
+    too, so any violation found is replayable bit for bit.  On a
+    violation the checker minimizes the operation trace by filtering the
+    executed prefix down to the operations touching the implicated keys
+    and re-verifying that the reduced trace still fails. *)
+
+type op = Ups of int64 * int64 | Del of int64
+
+type target =
+  | Tree  (** CCL-BTree ({!Ccl_btree.Tree}). *)
+  | Hash  (** CCL-Hash ({!Ccl_hash.Hash_table}). *)
+
+type violation = {
+  fence : int;  (** Fence index (1-based) at which power failed. *)
+  crash_seed : int;
+  persist_prob : float;
+  invariant : string;  (** Human-readable description of the failed check. *)
+  trace : op list;  (** Minimized reproducing operation trace. *)
+}
+
+type report = {
+  fences : int;  (** Fences the un-failed workload issues (per combo). *)
+  points_tested : int;  (** Distinct (fence, seed, prob) points checked. *)
+  crashes_run : int;  (** Crash+recover executions performed. *)
+  violations : violation list;
+}
+
+val mixed_workload : seed:int -> n:int -> key_space:int -> op list
+(** Deterministic mixed workload: ~7/8 upserts (inserts and updates — the
+    key space is smaller than [n], so keys repeat), ~1/8 deletes. *)
+
+val check :
+  ?cfg:Ccl_btree.Config.t ->
+  ?target:target ->
+  ?buckets:int ->
+  ?device_size:int ->
+  ?stride:int ->
+  ?persist_probs:float list ->
+  ?crash_seeds:int list ->
+  ?minimize:bool ->
+  ?progress:(tested:int -> total:int -> unit) ->
+  op list ->
+  report
+(** [check ops] explores every [stride]-th fence index of [ops] under
+    every (crash seed, persist probability) combination.
+
+    Defaults: [target = Tree], [buckets = 16] (hash only),
+    [device_size = 16 MiB], [stride = 1] (every fence),
+    [persist_probs = [0.0; 0.5; 1.0]], [crash_seeds = [1; 2]],
+    [minimize = true].  [progress] is called after each crash point with
+    the running count and the total number of points planned. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

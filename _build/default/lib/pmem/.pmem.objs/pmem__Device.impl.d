@@ -1,1 +1,1 @@
-lib/pmem/device.ml: Array Bytes Char Config Fun Geometry Hashtbl List Random Stats String
+lib/pmem/device.ml: Array Bytes Char Config Fun Geometry Hashtbl List Printf Random Stats String

@@ -62,7 +62,7 @@ type t = {
   xpbuffer : (int, xpslot) Hashtbl.t;
   read_cache : (int, int) Hashtbl.t;  (* xpline -> lru stamp *)
   mutable lru_clock : int;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
   stats : Stats.t;
   mutable classifier : (int -> int) option;
       (* maps an XPLine address to a traffic class for attribution *)
@@ -274,19 +274,16 @@ let read_cache_insert t xp =
   Hashtbl.replace t.read_cache xp (tick t)
 
 (* A load touching an XPLine costs a media read unless that XPLine is in
-   the XPBuffer, in the read cache, or still dirty in the CPU cache. *)
+   the XPBuffer, in the read cache, or still dirty in the CPU cache.  The
+   CPU cache holds 64 B cachelines, not whole XPLines, so only the
+   sublines the load actually covers can be served from it. *)
 let account_load t addr len =
   let cached_in_cpu xp =
-    let rec check sub =
-      if sub >= Geometry.lines_per_xpline then false
-      else begin
-        let line = xp + (sub * Geometry.cacheline_size) in
-        Hashtbl.mem t.dirty line
-        || Hashtbl.mem t.pending line
-        || check (sub + 1)
-      end
-    in
-    check 0
+    let lo = max addr xp in
+    let hi = min (addr + len) (xp + Geometry.xpline_size) in
+    List.for_all
+      (fun line -> Hashtbl.mem t.dirty line || Hashtbl.mem t.pending line)
+      (Geometry.lines_in_range lo (hi - lo))
   in
   let visit xp =
     if Hashtbl.mem t.xpbuffer xp then ()
@@ -360,10 +357,12 @@ let persist t addr len =
   sfence t
 
 let drain t =
-  Hashtbl.iter (fun line () -> xpbuffer_insert t line (snapshot_line t line))
-    t.dirty;
+  let dirty = Hashtbl.fold (fun line () acc -> line :: acc) t.dirty [] in
   Hashtbl.reset t.dirty;
   Ring.clear t.dirty_fifo;
+  List.iter
+    (fun line -> xpbuffer_insert t line (snapshot_line t line))
+    (List.sort compare dirty);
   sfence t;
   let slots = Hashtbl.fold (fun xp slot acc -> (xp, slot) :: acc) t.xpbuffer [] in
   Hashtbl.reset t.xpbuffer;
@@ -388,10 +387,22 @@ let load_image ?config path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let magic = really_input_string ic (String.length image_magic) in
+      let magic, size =
+        try
+          let magic = really_input_string ic (String.length image_magic) in
+          (magic, if magic = image_magic then input_binary_int ic else 0)
+        with End_of_file ->
+          invalid_arg "Device.load_image: truncated image header"
+      in
       if magic <> image_magic then
         invalid_arg "Device.load: not a PM image file";
-      let size = input_binary_int ic in
+      let remaining = in_channel_length ic - pos_in ic in
+      if size < 0 || size > remaining then
+        invalid_arg
+          (Printf.sprintf
+             "Device.load_image: truncated or corrupt image (declares %d \
+              media bytes, file holds %d)"
+             size remaining);
       let cfg =
         match config with Some c -> { c with Config.size } | None -> Config.default ~size ()
       in
@@ -400,10 +411,84 @@ let load_image ?config path =
       Bytes.blit t.media 0 t.work 0 size;
       t)
 
+(* --- checkpoint / restore --------------------------------------------- *)
+
+(* Deep snapshot of the complete device state, including the adversarial
+   RNG and the counters: restoring one and replaying the same operations
+   reproduces the original execution bit for bit.  This is what lets the
+   crash-state model checker re-enter the same workload once per fence
+   index without re-formatting a device each time. *)
+type checkpoint = {
+  ck_work : Bytes.t;
+  ck_media : Bytes.t;
+  ck_dirty : (int, unit) Hashtbl.t;
+  ck_fifo_buf : int array;
+  ck_fifo_head : int;
+  ck_fifo_len : int;
+  ck_pending : (int, Bytes.t) Hashtbl.t;
+  ck_xpbuffer : (int, xpslot) Hashtbl.t;
+  ck_read_cache : (int, int) Hashtbl.t;
+  ck_lru_clock : int;
+  ck_rng : Random.State.t;
+  ck_stats : Stats.t;
+  ck_fail_after_fences : int option;
+}
+
+let copy_slot slot =
+  { data = Bytes.copy slot.data; valid = slot.valid; lru = slot.lru }
+
+let checkpoint t =
+  let pending = Hashtbl.create (max 16 (Hashtbl.length t.pending)) in
+  Hashtbl.iter (fun l b -> Hashtbl.replace pending l (Bytes.copy b)) t.pending;
+  let xpbuffer = Hashtbl.create (max 16 (Hashtbl.length t.xpbuffer)) in
+  Hashtbl.iter (fun xp s -> Hashtbl.replace xpbuffer xp (copy_slot s)) t.xpbuffer;
+  {
+    ck_work = Bytes.copy t.work;
+    ck_media = Bytes.copy t.media;
+    ck_dirty = Hashtbl.copy t.dirty;
+    ck_fifo_buf = Array.copy t.dirty_fifo.Ring.buf;
+    ck_fifo_head = t.dirty_fifo.Ring.head;
+    ck_fifo_len = t.dirty_fifo.Ring.len;
+    ck_pending = pending;
+    ck_xpbuffer = xpbuffer;
+    ck_read_cache = Hashtbl.copy t.read_cache;
+    ck_lru_clock = t.lru_clock;
+    ck_rng = Random.State.copy t.rng;
+    ck_stats = Stats.copy t.stats;
+    ck_fail_after_fences = t.fail_after_fences;
+  }
+
+let restore t ck =
+  if Bytes.length ck.ck_work <> Bytes.length t.work then
+    invalid_arg "Device.restore: checkpoint from a different device size";
+  Bytes.blit ck.ck_work 0 t.work 0 (Bytes.length t.work);
+  Bytes.blit ck.ck_media 0 t.media 0 (Bytes.length t.media);
+  Hashtbl.reset t.dirty;
+  Hashtbl.iter (fun l () -> Hashtbl.replace t.dirty l ()) ck.ck_dirty;
+  t.dirty_fifo.Ring.buf <- Array.copy ck.ck_fifo_buf;
+  t.dirty_fifo.Ring.head <- ck.ck_fifo_head;
+  t.dirty_fifo.Ring.len <- ck.ck_fifo_len;
+  Hashtbl.reset t.pending;
+  Hashtbl.iter (fun l b -> Hashtbl.replace t.pending l (Bytes.copy b))
+    ck.ck_pending;
+  Hashtbl.reset t.xpbuffer;
+  Hashtbl.iter (fun xp s -> Hashtbl.replace t.xpbuffer xp (copy_slot s))
+    ck.ck_xpbuffer;
+  Hashtbl.reset t.read_cache;
+  Hashtbl.iter (fun xp stamp -> Hashtbl.replace t.read_cache xp stamp)
+    ck.ck_read_cache;
+  t.lru_clock <- ck.ck_lru_clock;
+  t.rng <- Random.State.copy ck.ck_rng;
+  Stats.blit ~src:ck.ck_stats ~dst:t.stats;
+  t.fail_after_fences <- ck.ck_fail_after_fences
+
 (* --- crash ------------------------------------------------------------ *)
 
 let crash t =
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  (* a failure plan dies with the power: it must not fire at a fence of
+     the recovery that follows *)
+  t.fail_after_fences <- None;
   let keep () =
     t.cfg.Config.eadr
     || Random.State.float t.rng 1.0 < t.cfg.Config.persist_prob

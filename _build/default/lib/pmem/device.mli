@@ -73,6 +73,29 @@ val load_image : ?config:Config.t -> string -> t
 (** Restore a device from a saved image.  @raise Invalid_argument on a
     malformed image file. *)
 
+(** {1 Checkpoint / restore}
+
+    Deep snapshot of the complete device state: both byte images, the
+    dirty set and its eviction order, unfenced pending lines, the
+    XPBuffer, the read cache, the LRU clock, the adversarial RNG and the
+    {!Stats} counters.  Restoring a checkpoint and replaying the same
+    operation sequence reproduces the original execution exactly —
+    including which lines a later [crash] keeps or drops.  This is the
+    substrate of the crash-state model checker ({!Crashmc}), which
+    re-enters one workload hundreds of times, once per fence index,
+    without paying device re-creation or re-formatting. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the current state.  The checkpoint is immutable and can be
+    restored any number of times. *)
+
+val restore : t -> checkpoint -> unit
+(** Rewind the device to a previously captured state.  @raise
+    Invalid_argument if the checkpoint comes from a device of a different
+    size. *)
+
 (** {1 Crash injection} *)
 
 exception Power_failure
@@ -90,7 +113,8 @@ val cancel_failure : t -> unit
 
 val crash : t -> unit
 (** Power failure.  After [crash] the device content is exactly what
-    survived: callers must run their recovery procedure. *)
+    survived: callers must run their recovery procedure.  Any planned
+    failure is disarmed — a failure plan does not outlive the power. *)
 
 (** {1 Accounting} *)
 

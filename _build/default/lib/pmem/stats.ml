@@ -41,6 +41,39 @@ let copy t =
     media_write_bytes_by_class = Array.copy t.media_write_bytes_by_class;
   }
 
+let blit ~src ~dst =
+  dst.user_bytes <- src.user_bytes;
+  dst.store_bytes <- src.store_bytes;
+  dst.clwb_count <- src.clwb_count;
+  dst.sfence_count <- src.sfence_count;
+  dst.xpbuffer_write_bytes <- src.xpbuffer_write_bytes;
+  dst.xpbuffer_hits <- src.xpbuffer_hits;
+  dst.xpbuffer_misses <- src.xpbuffer_misses;
+  dst.media_write_bytes <- src.media_write_bytes;
+  dst.media_write_lines <- src.media_write_lines;
+  dst.media_read_bytes <- src.media_read_bytes;
+  dst.media_read_lines <- src.media_read_lines;
+  dst.cpu_evictions <- src.cpu_evictions;
+  dst.crashes <- src.crashes;
+  Array.blit src.media_write_bytes_by_class 0 dst.media_write_bytes_by_class 0
+    classes
+
+let equal a b =
+  a.user_bytes = b.user_bytes
+  && a.store_bytes = b.store_bytes
+  && a.clwb_count = b.clwb_count
+  && a.sfence_count = b.sfence_count
+  && a.xpbuffer_write_bytes = b.xpbuffer_write_bytes
+  && a.xpbuffer_hits = b.xpbuffer_hits
+  && a.xpbuffer_misses = b.xpbuffer_misses
+  && a.media_write_bytes = b.media_write_bytes
+  && a.media_write_lines = b.media_write_lines
+  && a.media_read_bytes = b.media_read_bytes
+  && a.media_read_lines = b.media_read_lines
+  && a.cpu_evictions = b.cpu_evictions
+  && a.crashes = b.crashes
+  && a.media_write_bytes_by_class = b.media_write_bytes_by_class
+
 let reset t =
   t.user_bytes <- 0;
   t.store_bytes <- 0;

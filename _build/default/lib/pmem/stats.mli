@@ -39,6 +39,14 @@ val create : unit -> t
 val copy : t -> t
 val reset : t -> unit
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite every counter of [dst] with [src]'s values (used by
+    {!Device.restore} to rewind the live counter record in place). *)
+
+val equal : t -> t -> bool
+(** Structural equality of every counter, including the per-class
+    attribution array. *)
+
 val diff : after:t -> before:t -> t
 (** Counter deltas between two snapshots; used for per-phase accounting. *)
 

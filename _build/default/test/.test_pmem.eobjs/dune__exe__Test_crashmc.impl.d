@@ -1,0 +1,1 @@
+test/test_crashmc.ml: Alcotest Ccl_btree Crashmc Fmt Int64 List

@@ -1,1 +1,1 @@
-test/test_pmem.ml: Alcotest Bytes Filename Fun Hashtbl Int64 List Pmem QCheck QCheck_alcotest Sys
+test/test_pmem.ml: Alcotest Bytes Char Digest Filename Fun Hashtbl In_channel Int64 List Out_channel Pmem QCheck QCheck_alcotest Random String Sys

@@ -1,0 +1,111 @@
+(* Smoke tests for the crash-state model checker: enumerate every fence
+   of a small mixed workload under two adversarial crash seeds, for both
+   the tree and the hash table, and expect zero oracle / fsck violations.
+   The heavyweight configuration (>=500 ops, as in the paper-scale sweep)
+   runs via `crashcheck --smoke`; this keeps `dune runtest` fast while
+   still exercising the full checkpoint-restore-crash-recover loop on
+   every PR. *)
+
+module C = Crashmc
+module Config = Ccl_btree.Config
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg =
+  { Config.default with Config.chunk_size = 4096; th_log = 0.15 }
+
+let device_size = 8 * 1024 * 1024
+
+let show report =
+  Fmt.str "%a" C.pp_report report
+
+let test_tree_every_fence () =
+  let ops = C.mixed_workload ~seed:1 ~n:120 ~key_space:80 in
+  let r =
+    C.check ~cfg ~target:C.Tree ~device_size ~stride:1 ~persist_probs:[ 0.4 ]
+      ~crash_seeds:[ 1; 2 ] ops
+  in
+  check_bool (show r) true (r.C.violations = []);
+  check_bool "enumerated a real fence schedule" true (r.C.fences > 150);
+  check_int "every fence under both seeds" (2 * r.C.fences) r.C.points_tested
+
+let test_tree_extreme_probs () =
+  (* p=0 (drop everything unfenced) and p=1 (keep everything, order still
+     arbitrary) bracket the adversary *)
+  let ops = C.mixed_workload ~seed:2 ~n:60 ~key_space:40 in
+  let r =
+    C.check ~cfg ~target:C.Tree ~device_size ~stride:1
+      ~persist_probs:[ 0.0; 1.0 ] ~crash_seeds:[ 3 ] ops
+  in
+  check_bool (show r) true (r.C.violations = [])
+
+let test_hash_every_fence () =
+  let ops = C.mixed_workload ~seed:3 ~n:100 ~key_space:60 in
+  let r =
+    C.check ~cfg ~target:C.Hash ~buckets:16 ~device_size ~stride:1
+      ~persist_probs:[ 0.5 ] ~crash_seeds:[ 1; 2 ] ops
+  in
+  check_bool (show r) true (r.C.violations = []);
+  check_bool "hash issues fences too" true (r.C.fences > 100)
+
+let test_stride_sampling () =
+  let ops = C.mixed_workload ~seed:4 ~n:80 ~key_space:50 in
+  let r =
+    C.check ~cfg ~target:C.Tree ~device_size ~stride:9 ~persist_probs:[ 0.4 ]
+      ~crash_seeds:[ 5 ] ops
+  in
+  check_bool (show r) true (r.C.violations = []);
+  check_int "stride covers ceil(total/9) points"
+    ((r.C.fences + 8) / 9)
+    r.C.points_tested
+
+let test_workload_generator () =
+  let a = C.mixed_workload ~seed:7 ~n:500 ~key_space:300 in
+  let b = C.mixed_workload ~seed:7 ~n:500 ~key_space:300 in
+  check_bool "deterministic" true (a = b);
+  check_int "length" 500 (List.length a);
+  let dels =
+    List.length (List.filter (function C.Del _ -> true | _ -> false) a)
+  in
+  check_bool "has deletes" true (dels > 20);
+  check_bool "mostly upserts" true (dels < 150);
+  (* key reuse: updates actually happen *)
+  let keys = List.map (function C.Ups (k, _) -> k | C.Del k -> k) a in
+  let distinct = List.sort_uniq Int64.compare keys in
+  check_bool "keys repeat" true (List.length distinct < 301)
+
+let test_progress_reporting () =
+  let ops = C.mixed_workload ~seed:8 ~n:30 ~key_space:20 in
+  let calls = ref 0 and last = ref (0, 0) in
+  let r =
+    C.check ~cfg ~target:C.Tree ~device_size ~stride:4 ~persist_probs:[ 0.4 ]
+      ~crash_seeds:[ 1 ]
+      ~progress:(fun ~tested ~total ->
+        incr calls;
+        last := (tested, total))
+      ops
+  in
+  check_int "one callback per point" r.C.points_tested !calls;
+  check_bool "final callback is complete" true
+    (!last = (r.C.points_tested, r.C.points_tested))
+
+let () =
+  Alcotest.run "crashmc"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "tree, every fence, 2 seeds" `Quick
+            test_tree_every_fence;
+          Alcotest.test_case "tree, extreme persist probs" `Quick
+            test_tree_extreme_probs;
+          Alcotest.test_case "hash, every fence, 2 seeds" `Quick
+            test_hash_every_fence;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "stride sampling" `Quick test_stride_sampling;
+          Alcotest.test_case "workload generator" `Quick test_workload_generator;
+          Alcotest.test_case "progress reporting" `Quick test_progress_reporting;
+        ] );
+    ]

@@ -241,6 +241,164 @@ let test_work_equals_media_after_crash () =
   done;
   check_bool "volatile view = media image" true !ok
 
+let test_load_of_uncached_subline_charged () =
+  (* Subline 0 of an XPLine is dirty in the CPU cache; a load of subline 2
+     cannot be served from it and must cost a media read.  Regression:
+     [account_load] used to treat the whole XPLine as CPU-cached when any
+     of its sublines was dirty. *)
+  let d = device () in
+  let xp = 900 * 256 in
+  D.store_u64 d xp 5L;
+  let before = (D.snapshot d).S.media_read_lines in
+  ignore (D.load_u64 d (xp + 128));
+  check_int "uncached subline costs a media read" (before + 1)
+    (D.snapshot d).S.media_read_lines;
+  (* the dirty subline itself is still free *)
+  let mid = (D.snapshot d).S.media_read_lines in
+  D.store_u64 d ((901 * 256) + 64) 6L;
+  ignore (D.load_u64 d ((901 * 256) + 64));
+  check_int "dirty subline still free" mid (D.snapshot d).S.media_read_lines
+
+let test_load_spanning_dirty_and_clean () =
+  (* A load covering both a dirty and a clean subline needs the media for
+     the clean part. *)
+  let d = device () in
+  let xp = 902 * 256 in
+  D.store_u64 d xp 7L;
+  (* covers sublines 0 (dirty) and 1 (clean) *)
+  let before = (D.snapshot d).S.media_read_lines in
+  ignore (D.load d xp 128);
+  check_int "partially cached load charged" (before + 1)
+    (D.snapshot d).S.media_read_lines
+
+(* --- crash clears the failure plan ------------------------------------- *)
+
+let test_crash_disarms_failure_plan () =
+  (* Regression: a failure planned before the crash used to survive it and
+     fire at an unrelated later fence (e.g. inside recovery). *)
+  let d = device () in
+  D.plan_failure d ~after_fences:3;
+  D.store_u64 d 0 1L;
+  D.persist d 0 8;
+  (* one fence consumed; two left on the plan *)
+  D.crash d;
+  (* post-crash "recovery" work: no stale plan may fire *)
+  (match
+     for i = 0 to 9 do
+       D.store_u64 d (i * 64) 2L;
+       D.persist d (i * 64) 8
+     done
+   with
+  | () -> ()
+  | exception D.Power_failure ->
+    Alcotest.fail "stale failure plan fired after crash")
+
+(* --- drain flushes in address order ------------------------------------ *)
+
+let test_drain_is_address_ordered () =
+  (* Two dirty sublines per XPLine, never flushed, XPBuffer of 2 slots.
+     Address-ordered insertion keeps each pair adjacent, so the second
+     subline always coalesces: exactly one hit per XPLine.  Regression:
+     [drain] used to insert in Hashtbl order, splitting pairs across
+     capacity evictions (hash-order dependent, unreproducible across
+     OCaml versions). *)
+  let d = device ~xpbuffer_lines:2 () in
+  let n = 50 in
+  for i = 0 to n - 1 do
+    D.store_u64 d (i * 256) (Int64.of_int i);
+    D.store_u64 d ((i * 256) + 64) (Int64.of_int i)
+  done;
+  D.drain d;
+  let st = D.stats d in
+  check_int "every second subline coalesces" n st.S.xpbuffer_hits;
+  check_int "one slot claim per xpline" n st.S.xpbuffer_misses
+
+(* --- determinism -------------------------------------------------------- *)
+
+(* Same workload + same crash seed => byte-identical media image and
+   identical counters.  Guards the ordered drain and the checkpoint /
+   restore machinery against hidden dependence on hash iteration order. *)
+let mixed_device_workload d =
+  let rng = Random.State.make [| 99 |] in
+  for i = 0 to 999 do
+    let addr = Random.State.int rng (65536 - 8) in
+    D.store_u64 d addr (Int64.of_int i);
+    if i mod 7 = 0 then D.persist d addr 8;
+    if i mod 13 = 0 then ignore (D.load_u64 d addr)
+  done;
+  D.crash d;
+  for i = 0 to 499 do
+    let addr = Random.State.int rng (65536 - 8) in
+    D.store_u64 d addr (Int64.of_int i)
+  done;
+  D.drain d
+
+let test_deterministic_replay () =
+  let run () =
+    (* small CPU cache: capacity evictions consult the jittered RNG *)
+    let d = device ~size:65536 ~cpu_cache_lines:64 ~crash_seed:11 () in
+    mixed_device_workload d;
+    let img = Bytes.init 65536 (fun i -> Char.chr (D.media_byte d i)) in
+    (Digest.bytes img, D.snapshot d)
+  in
+  let img1, st1 = run () in
+  let img2, st2 = run () in
+  check_bool "media images byte-identical" true (String.equal img1 img2);
+  check_bool "stats identical" true (S.equal st1 st2)
+
+(* --- checkpoint / restore ---------------------------------------------- *)
+
+let test_checkpoint_restore_replays_identically () =
+  let d = device ~size:65536 ~cpu_cache_lines:64 ~crash_seed:23 () in
+  (* some pre-checkpoint state in every layer *)
+  D.store_u64 d 0 1L;
+  D.persist d 0 8;
+  D.store_u64 d 300 2L;
+  D.flush_range d 300 8;
+  (* pending, unfenced *)
+  D.store_u64 d 700 3L;
+  (* dirty *)
+  let ck = D.checkpoint d in
+  let run () =
+    mixed_device_workload d;
+    let img = Bytes.init 65536 (fun i -> Char.chr (D.media_byte d i)) in
+    (Digest.bytes img, D.snapshot d)
+  in
+  let img1, st1 = run () in
+  D.restore d ck;
+  let img2, st2 = run () in
+  check_bool "replay from checkpoint is identical" true
+    (String.equal img1 img2);
+  check_bool "stats replay identical" true (S.equal st1 st2);
+  (* a checkpoint can be restored any number of times *)
+  D.restore d ck;
+  let img3, st3 = run () in
+  check_bool "third replay identical" true (String.equal img1 img3);
+  check_bool "third stats identical" true (S.equal st1 st3)
+
+let test_restore_rewinds_all_layers () =
+  let d = device ~size:65536 () in
+  D.store_u64 d 0 1L;
+  let ck = D.checkpoint d in
+  D.store_u64 d 64 2L;
+  D.persist d 0 128;
+  D.drain d;
+  check_int "media written" 1 (D.media_byte d 0);
+  D.restore d ck;
+  check_int "media rewound" 0 (D.media_byte d 0);
+  check_i64 "work rewound" 1L (D.load_u64 d 0);
+  check_i64 "later store gone" 0L (D.load_u64 d 64);
+  check_int "dirty set rewound" 1 (D.dirty_lines d);
+  check_int "xpbuffer rewound" 0 (D.xpbuffer_occupancy d)
+
+let test_restore_rejects_size_mismatch () =
+  let a = device ~size:65536 () in
+  let b = device ~size:131072 () in
+  let ck = D.checkpoint a in
+  match D.restore b ck with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "size mismatch accepted"
+
 (* --- host-file image persistence ---------------------------------------- *)
 
 let test_image_roundtrip () =
@@ -282,6 +440,44 @@ let test_image_rejects_garbage () =
       | exception Invalid_argument _ -> ()
       | exception End_of_file -> ()
       | _ -> Alcotest.fail "garbage accepted")
+
+let test_image_rejects_truncation () =
+  (* Regression: a truncated image used to surface as a bare End_of_file
+     from [really_input]; it must be a descriptive Invalid_argument. *)
+  let d = device ~size:65536 () in
+  D.store_u64 d 1000 77L;
+  D.persist d 1000 8;
+  D.drain d;
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      D.save_image d path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      (* keep the header and half the media bytes *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (12 + (String.length full - 12) / 2)));
+      let mentions_truncation msg =
+        let re = "truncated" in
+        let n = String.length msg and m = String.length re in
+        let rec scan i = i + m <= n && (String.sub msg i m = re || scan (i + 1)) in
+        scan 0
+      in
+      (match D.load_image path with
+      | exception Invalid_argument msg ->
+        check_bool "message mentions truncation" true (mentions_truncation msg)
+      | exception End_of_file ->
+        Alcotest.fail "truncated image raised bare End_of_file"
+      | _ -> Alcotest.fail "truncated image accepted");
+      (* header-only truncation *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 10));
+      match D.load_image path with
+      | exception Invalid_argument _ -> ()
+      | exception End_of_file ->
+        Alcotest.fail "truncated header raised bare End_of_file"
+      | _ -> Alcotest.fail "truncated header accepted")
 
 (* --- properties --------------------------------------------------------- *)
 
@@ -369,6 +565,10 @@ let () =
         [
           Alcotest.test_case "read accounting" `Quick test_read_accounting;
           Alcotest.test_case "dirty read free" `Quick test_dirty_read_free;
+          Alcotest.test_case "uncached subline charged" `Quick
+            test_load_of_uncached_subline_charged;
+          Alcotest.test_case "dirty+clean span charged" `Quick
+            test_load_spanning_dirty_and_clean;
         ] );
       ( "cpu-cache",
         [ Alcotest.test_case "capacity spills" `Quick test_cpu_eviction_spills ]
@@ -385,6 +585,24 @@ let () =
             test_crash_deterministic_with_seed;
           Alcotest.test_case "work = media after crash" `Quick
             test_work_equals_media_after_crash;
+          Alcotest.test_case "crash disarms failure plan" `Quick
+            test_crash_disarms_failure_plan;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "drain is address-ordered" `Quick
+            test_drain_is_address_ordered;
+          Alcotest.test_case "seeded replay is identical" `Quick
+            test_deterministic_replay;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "replay from checkpoint" `Quick
+            test_checkpoint_restore_replays_identically;
+          Alcotest.test_case "restore rewinds all layers" `Quick
+            test_restore_rewinds_all_layers;
+          Alcotest.test_case "restore rejects size mismatch" `Quick
+            test_restore_rejects_size_mismatch;
         ] );
       ( "image",
         [
@@ -392,6 +610,8 @@ let () =
           Alcotest.test_case "excludes undrained data" `Quick
             test_image_excludes_undrained;
           Alcotest.test_case "rejects garbage" `Quick test_image_rejects_garbage;
+          Alcotest.test_case "rejects truncation" `Quick
+            test_image_rejects_truncation;
         ] );
       ( "properties",
         [ qt prop_drain_preserves_content; qt prop_persisted_survives_crash ]

@@ -1,11 +1,11 @@
 (* ccl-kv: a durable key-value store CLI backed by CCL-BTree on a
    simulated PM device whose media image persists in a host file.
 
-     dune exec bin/kvcli.exe -- --db /tmp/store.pm set lang ocaml
-     dune exec bin/kvcli.exe -- --db /tmp/store.pm get lang
-     dune exec bin/kvcli.exe -- --db /tmp/store.pm scan a 10
-     dune exec bin/kvcli.exe -- --db /tmp/store.pm del lang
-     dune exec bin/kvcli.exe -- --db /tmp/store.pm stats
+     dune exec bin/kvcli.exe -- set --db /tmp/store.pm lang ocaml
+     dune exec bin/kvcli.exe -- get --db /tmp/store.pm lang
+     dune exec bin/kvcli.exe -- scan --db /tmp/store.pm a 10
+     dune exec bin/kvcli.exe -- del --db /tmp/store.pm lang
+     dune exec bin/kvcli.exe -- stats --db /tmp/store.pm
 
    Every invocation runs the real recovery path (leaf-chain scan + WAL
    replay) against the stored image, exercising crash consistency on
