@@ -1,0 +1,72 @@
+(* Deterministic steady-state timing loop for the device hot path, used to
+   validate speedups with less variance than the short Bechamel quota:
+   fixed seeds, fixed op counts, median of repeated rounds.
+
+     dune exec bench/hotloop.exe            # tree upsert/search
+     dune exec bench/hotloop.exe -- device  # raw device primitives *)
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e9
+
+let median a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b.(Array.length b / 2)
+
+let report name ops rounds f =
+  let samples = Array.init rounds (fun _ -> time_ns f /. float_of_int ops) in
+  Printf.printf "  %-24s %8.0f ns/op (median of %d rounds)\n%!" name
+    (median samples) rounds
+
+let tree_bench () =
+  let dev =
+    Pmem.Device.create
+      ~config:(Pmem.Config.default ~size:(64 * 1024 * 1024) ())
+      ()
+  in
+  let t = Ccl_btree.Tree.create dev in
+  let n = 50_000 in
+  Array.iter
+    (fun k -> Ccl_btree.Tree.upsert t k 1L)
+    (Workload.Keygen.shuffled_range ~seed:1 n);
+  let rng = Random.State.make [| 7 |] in
+  let next () = Int64.of_int (1 + Random.State.int rng n) in
+  let ops = 100_000 in
+  report "CCL-BTree/upsert" ops 7 (fun () ->
+      for _ = 1 to ops do
+        Ccl_btree.Tree.upsert t (next ()) 2L
+      done);
+  report "CCL-BTree/search" ops 7 (fun () ->
+      for _ = 1 to ops do
+        ignore (Ccl_btree.Tree.search t (next ()))
+      done)
+
+let device_bench () =
+  let d =
+    Pmem.Device.create
+      ~config:(Pmem.Config.default ~size:(64 * 1024 * 1024) ())
+      ()
+  in
+  let rng = Random.State.make [| 13 |] in
+  let span = (64 * 1024 * 1024) - 64 in
+  let ops = 1_000_000 in
+  report "store_u64" ops 7 (fun () ->
+      for i = 1 to ops do
+        Pmem.Device.store_u64 d (Random.State.int rng span) (Int64.of_int i)
+      done);
+  report "store+persist" (ops / 10) 7 (fun () ->
+      for i = 1 to ops / 10 do
+        let a = Random.State.int rng span in
+        Pmem.Device.store_u64 d a (Int64.of_int i);
+        Pmem.Device.persist d a 8
+      done);
+  report "load_u64" ops 7 (fun () ->
+      for _ = 1 to ops do
+        ignore (Pmem.Device.load_u64 d (Random.State.int rng span))
+      done)
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "device" then device_bench ()
+  else tree_bench ()

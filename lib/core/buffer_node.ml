@@ -55,6 +55,15 @@ let cached_slots t =
   in
   collect (n - 1) []
 
+let cached_slot t =
+  let n = nbatch t in
+  let rec scan i =
+    if i >= n then -1
+    else if t.valid land (1 lsl i) <> 0 && t.unflushed land (1 lsl i) = 0 then i
+    else scan (i + 1)
+  in
+  scan 0
+
 let free_slot t =
   let n = nbatch t in
   let rec scan i =

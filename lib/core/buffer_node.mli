@@ -30,6 +30,11 @@ val unflushed_count : t -> int
 val cached_slots : t -> int list
 (** Valid but already flushed. *)
 
+val cached_slot : t -> int
+(** Lowest valid-but-flushed slot, or -1.  Equals
+    [List.hd (cached_slots t)] when one exists, without building the
+    list — this sits on the per-upsert fast path. *)
+
 val free_slot : t -> int option
 (** An invalid slot, if any. *)
 

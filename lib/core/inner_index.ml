@@ -1,19 +1,65 @@
-module M = Map.Make (Int64)
+(* Sorted parallel arrays keyed by fence key.  [find_le] — the routing
+   step of every tree operation — is a closure-free binary search over a
+   flat array, with none of the pointer chasing or predicate-closure
+   allocation of a balanced map.  Updates shift the tail, which is fine:
+   the index only changes on splits and merges. *)
 
-type 'a t = { mutable map : 'a M.t }
+type 'a t = {
+  mutable keys : int64 array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
 
-let create () = { map = M.empty }
-let add t k v = t.map <- M.add k v t.map
-let remove t k = t.map <- M.remove k t.map
+let create () = { keys = [||]; vals = [||]; len = 0 }
+
+(* Index of the first key > [k] (so the answer to find_le is [pos - 1]). *)
+let upper_bound t k =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Int64.compare t.keys.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let add t k v =
+  let pos = upper_bound t k in
+  if pos > 0 && Int64.equal t.keys.(pos - 1) k then t.vals.(pos - 1) <- v
+  else begin
+    if t.len = Array.length t.keys then begin
+      let ncap = if t.len = 0 then 8 else 2 * t.len in
+      let nkeys = Array.make ncap 0L in
+      let nvals = Array.make ncap v in
+      Array.blit t.keys 0 nkeys 0 t.len;
+      Array.blit t.vals 0 nvals 0 t.len;
+      t.keys <- nkeys;
+      t.vals <- nvals
+    end;
+    Array.blit t.keys pos t.keys (pos + 1) (t.len - pos);
+    Array.blit t.vals pos t.vals (pos + 1) (t.len - pos);
+    t.keys.(pos) <- k;
+    t.vals.(pos) <- v;
+    t.len <- t.len + 1
+  end
+
+let remove t k =
+  let pos = upper_bound t k in
+  if pos > 0 && Int64.equal t.keys.(pos - 1) k then begin
+    Array.blit t.keys pos t.keys (pos - 1) (t.len - pos);
+    Array.blit t.vals pos t.vals (pos - 1) (t.len - pos);
+    t.len <- t.len - 1
+  end
 
 let find_le t k =
-  match M.find_last_opt (fun k' -> Int64.compare k' k <= 0) t.map with
-  | Some (_, v) -> Some v
-  | None -> None
+  let pos = upper_bound t k in
+  if pos = 0 then None else Some t.vals.(pos - 1)
 
-let iter t f = M.iter f t.map
-let cardinal t = M.cardinal t.map
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.keys.(i) t.vals.(i)
+  done
+
+let cardinal t = t.len
 
 let dram_bytes t =
-  (* a fence key, a pointer and balanced-tree overhead per entry *)
-  M.cardinal t.map * 48
+  (* a fence key and a pointer per entry, stored flat *)
+  t.len * 16

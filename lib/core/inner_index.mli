@@ -3,8 +3,9 @@
     The paper reuses FAST&FAIR's inner nodes placed in DRAM (§4.1) and
     notes they "can be easily replaced by other existing index structure
     implementations"; since the inner layer is volatile and rebuilt on
-    recovery, we use a balanced ordered map keyed by each buffer node's
-    lower fence key.  Routing = greatest fence key ≤ search key. *)
+    recovery, we use a flat sorted array keyed by each buffer node's
+    lower fence key (binary-searched, allocation-free routing).
+    Routing = greatest fence key ≤ search key. *)
 
 type 'a t
 

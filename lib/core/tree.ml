@@ -93,14 +93,24 @@ let log_append t ~key ~value ~ts =
 (* Batch insertion into leaves (§4.2)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let flush_touched t touched =
-  Hashtbl.iter (fun line () -> D.clwb t.dev line) touched;
-  D.sfence t.dev
+(* Dirty-cacheline dedup for one batch: every touched address lies inside
+   one 256 B leaf, so a bitmask over cacheline offsets from the leaf's
+   first line replaces the hashtable (same clwb set, allocation-free). *)
+let touch touched ~base addr len =
+  let first = (Pmem.Geometry.line_of addr - base) lsr 6 in
+  let last = (Pmem.Geometry.line_of (addr + len - 1) - base) lsr 6 in
+  for j = first to last do
+    touched := !touched lor (1 lsl j)
+  done
 
-let touch touched addr len =
-  List.iter
-    (fun line -> Hashtbl.replace touched line ())
-    (Pmem.Geometry.lines_in_range addr len)
+let flush_touched t ~base touched =
+  let m = ref touched and j = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then D.clwb t.dev (base + (!j lsl 6));
+    m := !m lsr 1;
+    incr j
+  done;
+  D.sfence t.dev
 
 let max_ts pending =
   List.fold_left
@@ -150,11 +160,12 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
   end
   else if List.length !added <= List.length free then begin
     (* normal batch insertion *)
-    let touched = Hashtbl.create 8 in
+    let base = Pmem.Geometry.line_of leaf in
+    let touched = ref 0 in
     List.iter
       (fun (i, v) ->
         D.store_u64 dev (L.slot_addr leaf i + 8) v;
-        touch touched (L.slot_addr leaf i + 8) 8)
+        touch touched ~base (L.slot_addr leaf i + 8) 8)
       !updates;
     let added_bits = ref 0 in
     let fps = ref [] in
@@ -162,11 +173,11 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
       (fun j (k, v) ->
         let i = List.nth free j in
         L.store_slot dev leaf i ~key:k ~value:v;
-        touch touched (L.slot_addr leaf i) 16;
+        touch touched ~base (L.slot_addr leaf i) 16;
         added_bits := !added_bits lor (1 lsl i);
         fps := (i, k) :: !fps)
       !added;
-    flush_touched t touched;
+    flush_touched t ~base !touched;
     List.iter (fun (i, k) -> L.store_fingerprint dev leaf i k) !fps;
     L.store_timestamp dev leaf ts;
     let new_bm = bm land lnot !removed lor !added_bits in
@@ -218,7 +229,8 @@ and split_apply t b ~pending ~ts =
   L.store_meta_word dev new_leaf ~bitmap:!right_bits ~next:(L.next dev leaf);
   D.persist dev new_leaf L.size;
   (* 2. in-place value updates for keys staying left *)
-  let touched = Hashtbl.create 8 in
+  let base = Pmem.Geometry.line_of leaf in
+  let touched = ref 0 in
   let keep_bits = ref 0 in
   let bm = L.bitmap dev leaf in
   for i = 0 to L.slots - 1 do
@@ -230,13 +242,13 @@ and split_apply t b ~pending ~ts =
           keep_bits := !keep_bits lor (1 lsl i);
           if not (Int64.equal v (L.value_at dev leaf i)) then begin
             D.store_u64 dev (L.slot_addr leaf i + 8) v;
-            touch touched (L.slot_addr leaf i + 8) 8
+            touch touched ~base (L.slot_addr leaf i + 8) 8
           end
         | None -> () (* deleted by a tombstone in pending *)
       end
     end
   done;
-  flush_touched t touched;
+  flush_touched t ~base !touched;
   (* 3. atomic metadata commit: drop moved slots, link the new leaf *)
   L.store_timestamp dev leaf ts;
   L.store_meta_word dev leaf ~bitmap:!keep_bits ~next:new_leaf;
@@ -285,7 +297,8 @@ and try_merge t b =
     else begin
       B.lock p;
       let entries = L.entries dev b.B.leaf in
-      let touched = Hashtbl.create 8 in
+      let base = Pmem.Geometry.line_of p.B.leaf in
+      let touched = ref 0 in
       let bits = ref 0 in
       let fps = ref [] in
       let free = L.free_slots dev p.B.leaf in
@@ -293,11 +306,11 @@ and try_merge t b =
         (fun j (k, v) ->
           let i = List.nth free j in
           L.store_slot dev p.B.leaf i ~key:k ~value:v;
-          touch touched (L.slot_addr p.B.leaf i) 16;
+          touch touched ~base (L.slot_addr p.B.leaf i) 16;
           bits := !bits lor (1 lsl i);
           fps := (i, k) :: !fps)
         entries;
-      flush_touched t touched;
+      flush_touched t ~base !touched;
       List.iter (fun (i, k) -> L.store_fingerprint dev p.B.leaf i k) !fps;
       (* Do NOT raise p's flush timestamp to b's: p may still hold
          buffered entries whose log records carry timestamps between the
@@ -443,13 +456,14 @@ let upsert_raw t key value =
        | Some i ->
          log_append t ~key ~value ~ts;
          B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
-       | None -> (
-         match B.cached_slots b with
-         | i :: _ ->
+       | None ->
+         let ci = B.cached_slot b in
+         if ci >= 0 then begin
            (* evict a read-cache entry *)
            log_append t ~key ~value ~ts;
-           B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
-         | [] ->
+           B.set_slot b ci ~key ~value ~ts ~epoch:t.global_epoch
+         end
+         else begin
            (* Trigger write: flush the whole buffer plus the incoming KV
               in one XPLine write; conservative logging skips the WAL.
               Tombstones are logged even here: recovery rebuilds fence
@@ -481,7 +495,8 @@ let upsert_raw t key value =
              b.B.valid <- b.B.valid lor (1 lsl i);
              b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
              b.B.epoch <- b.B.epoch land lnot (1 lsl i)
-           end))
+           end
+         end)
    end);
   B.unlock b;
   maybe_gc t

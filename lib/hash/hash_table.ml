@@ -111,9 +111,8 @@ let bucket_apply t head ~pending =
   in
   let touched_data = Hashtbl.create 8 in
   let touch addr len =
-    List.iter
-      (fun l -> Hashtbl.replace touched_data l ())
-      (Pmem.Geometry.lines_in_range addr len)
+    Pmem.Geometry.iter_lines addr len (fun l ->
+        Hashtbl.replace touched_data l ())
   in
   (* meta mutations per bucket: (new bits to set, bits to clear, fps) *)
   let meta = Hashtbl.create 4 in

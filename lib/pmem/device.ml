@@ -1,10 +1,60 @@
 let ( .%[] ) = Bytes.get
 let ( .%[]<- ) = Bytes.set
 
+(* The device is on every operation's critical path of every index, so the
+   hot primitives (store / load / clwb / sfence) are written to be
+   allocation-free and O(1) amortized:
+
+   - the dirty set is a direct-mapped bitset over cachelines (plus the
+     jittered eviction ring), not a hashtable;
+   - clwb'd-but-unfenced lines live in a line-sorted array backed by one
+     reusable staging arena, so [sfence] neither allocates nor sorts;
+   - the XPBuffer and the read cache keep their entries on intrusive
+     doubly-linked lists ordered by LRU stamp, so eviction is O(1) instead
+     of a full-table minimum scan, and evicted slots are pooled and
+     reused.
+
+   None of this changes any modeled number: stamps are unique, so the
+   list head is provably the same victim the old minimum-scan chose, and
+   every RNG draw and tick happens in the same order as before.  The
+   golden-stats test in test_pmem.ml pins that equivalence. *)
+
+(* Fixed-capacity bitset over small-integer keys (cacheline indices). *)
+module Bitset = struct
+  type t = Bytes.t
+
+  let create nbits = Bytes.make ((nbits + 7) lsr 3) '\000'
+  let mem (b : t) i = Char.code b.%[i lsr 3] land (1 lsl (i land 7)) <> 0
+
+  let set (b : t) i =
+    let j = i lsr 3 in
+    b.%[j] <- Char.chr (Char.code b.%[j] lor (1 lsl (i land 7)))
+
+  let clear (b : t) i =
+    let j = i lsr 3 in
+    b.%[j] <- Char.chr (Char.code b.%[j] land lnot (1 lsl (i land 7)))
+
+  let reset (b : t) = Bytes.fill b 0 (Bytes.length b) '\000'
+end
+
+(* An XPBuffer slot: 256 B staging area plus intrusive LRU links.  Slots
+   are recycled through a free pool (chained via [next]) instead of being
+   re-allocated on every miss. *)
 type xpslot = {
+  mutable xp : int;  (* XPLine address; -1 on the sentinel *)
   data : Bytes.t;  (* 256 B staging area *)
   mutable valid : int;  (* bitmask over the 4 sublines *)
   mutable lru : int;
+  mutable prev : xpslot;
+  mutable next : xpslot;
+}
+
+(* A read-cache entry: XPLine address and LRU stamp, on an intrusive list. *)
+type rcnode = {
+  mutable rxp : int;
+  mutable stamp : int;
+  mutable rprev : rcnode;
+  mutable rnext : rcnode;
 }
 
 (* Growable ring of candidate eviction victims.  Eviction picks a random
@@ -20,6 +70,7 @@ module Ring = struct
   }
 
   let create () = { buf = Array.make 1024 0; head = 0; len = 0 }
+  let length t = t.len
 
   let push t v =
     if t.len = Array.length t.buf then begin
@@ -33,8 +84,10 @@ module Ring = struct
     t.buf.((t.head + t.len) mod Array.length t.buf) <- v;
     t.len <- t.len + 1
 
-  let pop_jittered t rng ~jitter =
-    if t.len = 0 then None
+  (* [-1] when empty; the eviction path uses this to stay allocation-free
+     (line addresses are non-negative). *)
+  let pop_jittered_raw t rng ~jitter =
+    if t.len = 0 then -1
     else begin
       let cap = Array.length t.buf in
       let r = Random.State.int rng (min jitter t.len) in
@@ -44,8 +97,12 @@ module Ring = struct
       t.buf.(i) <- t.buf.(t.head);
       t.head <- (t.head + 1) mod cap;
       t.len <- t.len - 1;
-      Some v
+      v
     end
+
+  let pop_jittered t rng ~jitter =
+    let v = pop_jittered_raw t rng ~jitter in
+    if v < 0 then None else Some v
 
   let clear t =
     t.head <- 0;
@@ -56,11 +113,30 @@ type t = {
   cfg : Config.t;
   work : Bytes.t;  (* logical (volatile) content *)
   media : Bytes.t;  (* physically persisted content *)
-  dirty : (int, unit) Hashtbl.t;  (* dirty cachelines in the CPU cache *)
+  (* CPU cache: dirty cachelines as a bitset (indexed by line number =
+     address / 64) plus the jittered eviction ring. *)
+  dirty_bits : Bitset.t;
+  mutable dirty_count : int;
   dirty_fifo : Ring.t;  (* eviction order (may hold stale entries) *)
-  pending : (int, Bytes.t) Hashtbl.t;  (* clwb'd, not yet fenced *)
-  xpbuffer : (int, xpslot) Hashtbl.t;
-  read_cache : (int, int) Hashtbl.t;  (* xpline -> lru stamp *)
+  (* clwb'd, not yet fenced: line addresses kept sorted ascending, each
+     with a 64 B snapshot at the same index of the staging arena.  The
+     bitset mirrors membership for O(1) lookups on the load path. *)
+  mutable pending_lines : int array;
+  mutable pending_arena : Bytes.t;
+  mutable pending_len : int;
+  pending_bits : Bitset.t;
+  (* XPBuffer: direct-mapped by XPLine index (slot lookup is one array
+     load, no hashing), threaded on an LRU list whose head
+     (sentinel.next) is always the victim. *)
+  xp_map : xpslot array;  (* xpline index -> slot; sentinel = absent *)
+  mutable xp_count : int;
+  xp_sentinel : xpslot;
+  mutable xp_pool : xpslot;  (* free slots chained via [next] *)
+  (* Read cache: same shape as the XPBuffer, stamps instead of data. *)
+  rc_map : rcnode array;  (* xpline index -> node; sentinel = absent *)
+  mutable rc_count : int;
+  rc_sentinel : rcnode;
+  mutable rc_pool : rcnode;  (* free nodes chained via [rnext] *)
   mutable lru_clock : int;
   mutable rng : Random.State.t;
   stats : Stats.t;
@@ -74,17 +150,46 @@ exception Power_failure
 (* raised by [sfence] when a planned failure fires; the fence's staged
    lines remain un-fenced, i.e. subject to the adversarial crash coin *)
 
+let cl = Geometry.cacheline_size
+
+let make_xp_sentinel () =
+  let rec s =
+    { xp = -1; data = Bytes.create 0; valid = 0; lru = 0; prev = s; next = s }
+  in
+  s
+
+let make_rc_sentinel () =
+  let rec s = { rxp = -1; stamp = 0; rprev = s; rnext = s } in
+  s
+
 let create ?config () =
   let cfg = match config with Some c -> c | None -> Config.default () in
+  let nlines = (cfg.Config.size + cl - 1) / cl in
+  let nxplines =
+    (cfg.Config.size + Geometry.xpline_size - 1) / Geometry.xpline_size
+  in
+  let pending_cap = 64 in
+  let xp_sentinel = make_xp_sentinel () in
+  let rc_sentinel = make_rc_sentinel () in
   {
     cfg;
     work = Bytes.make cfg.Config.size '\000';
     media = Bytes.make cfg.Config.size '\000';
-    dirty = Hashtbl.create 4096;
+    dirty_bits = Bitset.create nlines;
+    dirty_count = 0;
     dirty_fifo = Ring.create ();
-    pending = Hashtbl.create 64;
-    xpbuffer = Hashtbl.create cfg.Config.xpbuffer_lines;
-    read_cache = Hashtbl.create cfg.Config.read_cache_lines;
+    pending_lines = Array.make pending_cap 0;
+    pending_arena = Bytes.make (pending_cap * cl) '\000';
+    pending_len = 0;
+    pending_bits = Bitset.create nlines;
+    xp_map = Array.make nxplines xp_sentinel;
+    xp_count = 0;
+    xp_sentinel;
+    xp_pool = xp_sentinel;
+    rc_map = Array.make nxplines rc_sentinel;
+    rc_count = 0;
+    rc_sentinel;
+    rc_pool = rc_sentinel;
     lru_clock = 0;
     rng = Random.State.make [| cfg.Config.crash_seed |];
     stats = Stats.create ();
@@ -101,8 +206,8 @@ let size t = t.cfg.Config.size
 let stats t = t.stats
 let snapshot t = Stats.copy t.stats
 let add_user_bytes t n = t.stats.Stats.user_bytes <- t.stats.Stats.user_bytes + n
-let dirty_lines t = Hashtbl.length t.dirty
-let xpbuffer_occupancy t = Hashtbl.length t.xpbuffer
+let dirty_lines t = t.dirty_count
+let xpbuffer_occupancy t = t.xp_count
 let media_byte t addr = Char.code t.media.%[addr]
 let peek_u8 t addr = Char.code t.work.%[addr]
 
@@ -112,6 +217,93 @@ let tick t =
 
 let check_range t addr len =
   assert (addr >= 0 && len >= 0 && addr + len <= t.cfg.Config.size)
+
+(* --- dirty-set bitset helpers ---------------------------------------- *)
+
+let dirty_mem t line = Bitset.mem t.dirty_bits (line lsr 6)
+
+let dirty_add t line =
+  Bitset.set t.dirty_bits (line lsr 6);
+  t.dirty_count <- t.dirty_count + 1
+
+let dirty_remove t line =
+  Bitset.clear t.dirty_bits (line lsr 6);
+  t.dirty_count <- t.dirty_count - 1
+
+(* Apply [f] to every dirty line in ascending address order.  O(lines/8)
+   scan; only used on the cold paths (drain, crash). *)
+let iter_dirty_ascending t f =
+  let bits = t.dirty_bits in
+  for j = 0 to Bytes.length bits - 1 do
+    let byte = Char.code (Bytes.unsafe_get bits j) in
+    if byte <> 0 then
+      for k = 0 to 7 do
+        if byte land (1 lsl k) <> 0 then f (((j lsl 3) + k) lsl 6)
+      done
+  done
+
+let dirty_reset t =
+  Bitset.reset t.dirty_bits;
+  t.dirty_count <- 0
+
+(* --- intrusive LRU lists ---------------------------------------------- *)
+
+let slot_unlink s =
+  s.prev.next <- s.next;
+  s.next.prev <- s.prev
+
+(* Append at the MRU end (just before the sentinel): the list stays sorted
+   by ascending [lru] stamp, so the head is always the minimum — exactly
+   the victim the former whole-table minimum scan selected. *)
+let slot_append_mru sentinel s =
+  s.prev <- sentinel.prev;
+  s.next <- sentinel;
+  sentinel.prev.next <- s;
+  sentinel.prev <- s
+
+let slot_pool_take t =
+  let s = t.xp_pool in
+  if s == t.xp_sentinel then
+    {
+      xp = -1;
+      data = Bytes.make Geometry.xpline_size '\000';
+      valid = 0;
+      lru = 0;
+      prev = t.xp_sentinel;
+      next = t.xp_sentinel;
+    }
+  else begin
+    t.xp_pool <- s.next;
+    s
+  end
+
+let slot_pool_put t s =
+  s.valid <- 0;
+  s.next <- t.xp_pool;
+  t.xp_pool <- s
+
+let rc_unlink n =
+  n.rprev.rnext <- n.rnext;
+  n.rnext.rprev <- n.rprev
+
+let rc_append_mru sentinel n =
+  n.rprev <- sentinel.rprev;
+  n.rnext <- sentinel;
+  sentinel.rprev.rnext <- n;
+  sentinel.rprev <- n
+
+let rc_pool_take t =
+  let n = t.rc_pool in
+  if n == t.rc_sentinel then
+    { rxp = -1; stamp = 0; rprev = t.rc_sentinel; rnext = t.rc_sentinel }
+  else begin
+    t.rc_pool <- n.rnext;
+    n
+  end
+
+let rc_pool_put t n =
+  n.rnext <- t.rc_pool;
+  t.rc_pool <- n
 
 (* --- media write-back path ----------------------------------------- *)
 
@@ -145,44 +337,43 @@ let write_back_slot t xp slot =
   end
 
 let evict_lru_xpline t =
-  let victim = ref None in
-  let best = ref max_int in
-  Hashtbl.iter
-    (fun xp slot ->
-      if slot.lru < !best then begin
-        best := slot.lru;
-        victim := Some (xp, slot)
-      end)
-    t.xpbuffer;
-  match !victim with
-  | None -> ()
-  | Some (xp, slot) ->
-    write_back_slot t xp slot;
-    Hashtbl.remove t.xpbuffer xp
+  let victim = t.xp_sentinel.next in
+  if victim != t.xp_sentinel then begin
+    write_back_slot t victim.xp victim;
+    t.xp_map.(victim.xp lsr 8) <- t.xp_sentinel;
+    t.xp_count <- t.xp_count - 1;
+    slot_unlink victim;
+    slot_pool_put t victim
+  end
 
-(* A 64 B cacheline (snapshotted in [line_data]) arrives at the XPBuffer.
-   This is the persistence boundary: once here, the data survives power
-   failure (ADR domain). *)
-let xpbuffer_insert t line line_data =
+(* A 64 B cacheline (its content at [src.(srcoff..)]) arrives at the
+   XPBuffer.  This is the persistence boundary: once here, the data
+   survives power failure (ADR domain). *)
+let xpbuffer_insert t line src srcoff =
   let st = t.stats in
   let xp = Geometry.xpline_of line in
   let sub = Geometry.subline_of line in
   let slot =
-    match Hashtbl.find_opt t.xpbuffer xp with
-    | Some slot ->
+    let found = t.xp_map.(xp lsr 8) in
+    if found != t.xp_sentinel then begin
       st.Stats.xpbuffer_hits <- st.Stats.xpbuffer_hits + 1;
-      slot
-    | None ->
+      slot_unlink found;
+      slot_append_mru t.xp_sentinel found;
+      found
+    end
+    else begin
       st.Stats.xpbuffer_misses <- st.Stats.xpbuffer_misses + 1;
-      if Hashtbl.length t.xpbuffer >= t.cfg.Config.xpbuffer_lines then
-        evict_lru_xpline t;
-      let slot =
-        { data = Bytes.make Geometry.xpline_size '\000'; valid = 0; lru = 0 }
-      in
-      Hashtbl.replace t.xpbuffer xp slot;
+      if t.xp_count >= t.cfg.Config.xpbuffer_lines then evict_lru_xpline t;
+      let slot = slot_pool_take t in
+      slot.xp <- xp;
+      slot.valid <- 0;
+      slot_append_mru t.xp_sentinel slot;
+      t.xp_map.(xp lsr 8) <- slot;
+      t.xp_count <- t.xp_count + 1;
       slot
+    end
   in
-  Bytes.blit line_data 0 slot.data
+  Bytes.blit src srcoff slot.data
     (sub * Geometry.cacheline_size)
     Geometry.cacheline_size;
   slot.valid <- slot.valid lor (1 lsl sub);
@@ -190,8 +381,35 @@ let xpbuffer_insert t line line_data =
   st.Stats.xpbuffer_write_bytes <-
     st.Stats.xpbuffer_write_bytes + Geometry.cacheline_size
 
-let snapshot_line t line =
-  Bytes.sub t.work line Geometry.cacheline_size
+(* Write back the whole XPBuffer in ascending XPLine order (cold path:
+   drain and crash only). *)
+let flush_xpbuffer_ordered t =
+  let slots = ref [] in
+  let s = ref t.xp_sentinel.next in
+  while !s != t.xp_sentinel do
+    slots := !s :: !slots;
+    t.xp_map.((!s).xp lsr 8) <- t.xp_sentinel;
+    s := (!s).next
+  done;
+  t.xp_count <- 0;
+  let ordered = List.sort (fun a b -> compare a.xp b.xp) !slots in
+  List.iter (fun slot -> write_back_slot t slot.xp slot) ordered;
+  t.xp_sentinel.prev <- t.xp_sentinel;
+  t.xp_sentinel.next <- t.xp_sentinel;
+  List.iter (fun slot -> slot_pool_put t slot) ordered
+
+let read_cache_clear t =
+  let s = t.rc_sentinel in
+  let n = ref s.rnext in
+  while !n != s do
+    let nx = !n.rnext in
+    t.rc_map.(!n.rxp lsr 8) <- s;
+    rc_pool_put t !n;
+    n := nx
+  done;
+  s.rprev <- s;
+  s.rnext <- s;
+  t.rc_count <- 0
 
 (* --- CPU cache (store buffer) path ---------------------------------- *)
 
@@ -204,24 +422,32 @@ let evict_one_dirty t =
      explicit flushes (ADR) capacity evictions are rare and roughly
      temporal. *)
   let jitter = if t.cfg.Config.eadr then 2048 else 64 in
-  let rec pop () =
-    match Ring.pop_jittered t.dirty_fifo t.rng ~jitter with
-    | None -> None
-    | Some line -> if Hashtbl.mem t.dirty line then Some line else pop ()
-  in
-  match pop () with
-  | None -> ()
-  | Some line ->
-    Hashtbl.remove t.dirty line;
+  let line = ref (Ring.pop_jittered_raw t.dirty_fifo t.rng ~jitter) in
+  while !line >= 0 && not (dirty_mem t !line) do
+    (* stale ring entry: the line was clwb'd since it was pushed *)
+    line := Ring.pop_jittered_raw t.dirty_fifo t.rng ~jitter
+  done;
+  if !line >= 0 then begin
+    dirty_remove t !line;
     t.stats.Stats.cpu_evictions <- t.stats.Stats.cpu_evictions + 1;
-    xpbuffer_insert t line (snapshot_line t line)
+    xpbuffer_insert t !line t.work !line
+  end
 
 let mark_dirty t line =
-  if not (Hashtbl.mem t.dirty line) then begin
-    Hashtbl.replace t.dirty line ();
+  if not (dirty_mem t line) then begin
+    dirty_add t line;
     Ring.push t.dirty_fifo line;
-    if Hashtbl.length t.dirty > t.cfg.Config.cpu_cache_lines then
-      evict_one_dirty t
+    if t.dirty_count > t.cfg.Config.cpu_cache_lines then evict_one_dirty t
+  end
+
+let mark_dirty_range t addr len =
+  if len > 0 then begin
+    let last = Geometry.line_of (addr + len - 1) in
+    let a = ref (Geometry.line_of addr) in
+    while !a <= last do
+      mark_dirty t !a;
+      a := !a + cl
+    done
   end
 
 let store t addr b =
@@ -229,20 +455,20 @@ let store t addr b =
   check_range t addr len;
   Bytes.blit b 0 t.work addr len;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
-  List.iter (mark_dirty t) (Geometry.lines_in_range addr len)
+  mark_dirty_range t addr len
 
 let store_string t addr s =
   let len = String.length s in
   check_range t addr len;
   Bytes.blit_string s 0 t.work addr len;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
-  List.iter (mark_dirty t) (Geometry.lines_in_range addr len)
+  mark_dirty_range t addr len
 
 let store_u64 t addr v =
   check_range t addr 8;
   Bytes.set_int64_le t.work addr v;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 8;
-  List.iter (mark_dirty t) (Geometry.lines_in_range addr 8)
+  mark_dirty_range t addr 8
 
 let store_u8 t addr v =
   check_range t addr 1;
@@ -254,50 +480,135 @@ let fill t addr len c =
   check_range t addr len;
   Bytes.fill t.work addr len c;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
-  List.iter (mark_dirty t) (Geometry.lines_in_range addr len)
+  mark_dirty_range t addr len
+
+(* --- pending (clwb'd, unfenced) staging ------------------------------- *)
+
+let pending_grow t need =
+  let cap = Array.length t.pending_lines in
+  if need > cap then begin
+    let ncap = max (2 * cap) need in
+    let nlines = Array.make ncap 0 in
+    Array.blit t.pending_lines 0 nlines 0 t.pending_len;
+    let narena = Bytes.make (ncap * cl) '\000' in
+    Bytes.blit t.pending_arena 0 narena 0 (t.pending_len * cl);
+    t.pending_lines <- nlines;
+    t.pending_arena <- narena
+  end
+
+(* Stage (or re-stage) the current content of [line] for the next fence.
+   The array stays sorted by line address — clwb streams are overwhelmingly
+   ascending (flush_range), so the common case is an O(1) append and
+   [sfence] never has to sort. *)
+let pending_put t line =
+  let len = t.pending_len in
+  if len > 0 && t.pending_lines.(len - 1) = line then
+    (* re-flush of the line staged last: refresh its snapshot *)
+    Bytes.blit t.work line t.pending_arena ((len - 1) * cl) cl
+  else if len = 0 || line > t.pending_lines.(len - 1) then begin
+    pending_grow t (len + 1);
+    t.pending_lines.(len) <- line;
+    Bytes.blit t.work line t.pending_arena (len * cl) cl;
+    Bitset.set t.pending_bits (line lsr 6);
+    t.pending_len <- len + 1
+  end
+  else begin
+    (* out-of-order flush: binary-search the slot, shift the tail *)
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if t.pending_lines.(mid) < line then lo := mid + 1 else hi := mid
+    done;
+    let p = !lo in
+    if p < len && t.pending_lines.(p) = line then
+      Bytes.blit t.work line t.pending_arena (p * cl) cl
+    else begin
+      pending_grow t (len + 1);
+      Array.blit t.pending_lines p t.pending_lines (p + 1) (len - p);
+      Bytes.blit t.pending_arena (p * cl) t.pending_arena ((p + 1) * cl)
+        ((len - p) * cl);
+      t.pending_lines.(p) <- line;
+      Bytes.blit t.work line t.pending_arena (p * cl) cl;
+      Bitset.set t.pending_bits (line lsr 6);
+      t.pending_len <- len + 1
+    end
+  end
+
+let pending_mem t line = Bitset.mem t.pending_bits (line lsr 6)
+
+let pending_clear t =
+  for i = 0 to t.pending_len - 1 do
+    Bitset.clear t.pending_bits (t.pending_lines.(i) lsr 6)
+  done;
+  t.pending_len <- 0
 
 (* --- load path ------------------------------------------------------- *)
 
 let read_cache_insert t xp =
-  if Hashtbl.length t.read_cache >= t.cfg.Config.read_cache_lines then begin
-    (* evict the least recently stamped XPLine *)
-    let victim = ref (-1) and best = ref max_int in
-    Hashtbl.iter
-      (fun k stamp ->
-        if stamp < !best then begin
-          best := stamp;
-          victim := k
-        end)
-      t.read_cache;
-    if !victim >= 0 then Hashtbl.remove t.read_cache !victim
+  if t.rc_count >= t.cfg.Config.read_cache_lines then begin
+    (* evict the least recently stamped XPLine: the list head *)
+    let victim = t.rc_sentinel.rnext in
+    if victim != t.rc_sentinel then begin
+      t.rc_map.(victim.rxp lsr 8) <- t.rc_sentinel;
+      t.rc_count <- t.rc_count - 1;
+      rc_unlink victim;
+      rc_pool_put t victim
+    end
   end;
-  Hashtbl.replace t.read_cache xp (tick t)
+  let node = rc_pool_take t in
+  node.rxp <- xp;
+  node.stamp <- tick t;
+  rc_append_mru t.rc_sentinel node;
+  t.rc_map.(xp lsr 8) <- node;
+  t.rc_count <- t.rc_count + 1
 
 (* A load touching an XPLine costs a media read unless that XPLine is in
    the XPBuffer, in the read cache, or still dirty in the CPU cache.  The
    CPU cache holds 64 B cachelines, not whole XPLines, so only the
    sublines the load actually covers can be served from it. *)
+(* Are all the sublines of [xp] covered by [addr, addr+len) held dirty or
+   pending in the CPU cache?  Top-level (not a closure inside
+   [account_load]) so the load fast path allocates nothing. *)
+let cached_in_cpu t addr len xp =
+  let lo = max addr xp in
+  let hi = min (addr + len) (xp + Geometry.xpline_size) in
+  let last = Geometry.line_of (hi - 1) in
+  let a = ref (Geometry.line_of lo) in
+  let ok = ref true in
+  while !ok && !a <= last do
+    if not (dirty_mem t !a || pending_mem t !a) then ok := false;
+    a := !a + cl
+  done;
+  !ok
+
 let account_load t addr len =
-  let cached_in_cpu xp =
-    let lo = max addr xp in
-    let hi = min (addr + len) (xp + Geometry.xpline_size) in
-    List.for_all
-      (fun line -> Hashtbl.mem t.dirty line || Hashtbl.mem t.pending line)
-      (Geometry.lines_in_range lo (hi - lo))
-  in
-  let visit xp =
-    if Hashtbl.mem t.xpbuffer xp then ()
-    else if Hashtbl.mem t.read_cache xp then
-      Hashtbl.replace t.read_cache xp (tick t)
-    else if cached_in_cpu xp then ()
-    else begin
-      t.stats.Stats.media_read_bytes <-
-        t.stats.Stats.media_read_bytes + Geometry.xpline_size;
-      t.stats.Stats.media_read_lines <- t.stats.Stats.media_read_lines + 1;
-      read_cache_insert t xp
-    end
-  in
-  List.iter visit (Geometry.xplines_in_range addr len)
+  if len > 0 then begin
+    let last_xp = Geometry.xpline_of (addr + len - 1) in
+    let xp = ref (Geometry.xpline_of addr) in
+    while !xp <= last_xp do
+      let x = !xp in
+      if t.xp_map.(x lsr 8) != t.xp_sentinel then ()
+      else begin
+        let node = t.rc_map.(x lsr 8) in
+        if node != t.rc_sentinel then begin
+          node.stamp <- tick t;
+          rc_unlink node;
+          rc_append_mru t.rc_sentinel node
+        end
+        else begin
+          if cached_in_cpu t addr len x then ()
+          else begin
+            t.stats.Stats.media_read_bytes <-
+              t.stats.Stats.media_read_bytes + Geometry.xpline_size;
+            t.stats.Stats.media_read_lines <-
+              t.stats.Stats.media_read_lines + 1;
+            read_cache_insert t x
+          end
+        end
+      end;
+      xp := x + Geometry.xpline_size
+    done
+  end
 
 let load t addr len =
   check_range t addr len;
@@ -324,14 +635,21 @@ let clwb t addr =
   if not t.cfg.Config.eadr then begin
     let line = Geometry.line_of addr in
     t.stats.Stats.clwb_count <- t.stats.Stats.clwb_count + 1;
-    if Hashtbl.mem t.dirty line then begin
-      Hashtbl.remove t.dirty line;
-      Hashtbl.replace t.pending line (snapshot_line t line)
+    if dirty_mem t line then begin
+      dirty_remove t line;
+      pending_put t line
     end
   end
 
 let flush_range t addr len =
-  List.iter (clwb t) (Geometry.lines_in_range addr len)
+  if len > 0 then begin
+    let last = Geometry.line_of (addr + len - 1) in
+    let a = ref (Geometry.line_of addr) in
+    while !a <= last do
+      clwb t !a;
+      a := !a + cl
+    done
+  end
 
 let sfence t =
   if not t.cfg.Config.eadr then begin
@@ -344,12 +662,12 @@ let sfence t =
     | Some n -> t.fail_after_fences <- Some (n - 1)
     | None -> ());
     t.stats.Stats.sfence_count <- t.stats.Stats.sfence_count + 1;
-    let staged =
-      Hashtbl.fold (fun line b acc -> (line, b) :: acc) t.pending []
-    in
-    Hashtbl.reset t.pending;
-    let ordered = List.sort (fun (a, _) (b, _) -> compare a b) staged in
-    List.iter (fun (line, b) -> xpbuffer_insert t line b) ordered
+    (* staged lines reach the XPBuffer in ascending address order; the
+       pending array is maintained sorted, so this is a single sweep *)
+    for i = 0 to t.pending_len - 1 do
+      xpbuffer_insert t t.pending_lines.(i) t.pending_arena (i * cl)
+    done;
+    pending_clear t
   end
 
 let persist t addr len =
@@ -357,21 +675,20 @@ let persist t addr len =
   sfence t
 
 let drain t =
-  let dirty = Hashtbl.fold (fun line () acc -> line :: acc) t.dirty [] in
-  Hashtbl.reset t.dirty;
   Ring.clear t.dirty_fifo;
-  List.iter
-    (fun line -> xpbuffer_insert t line (snapshot_line t line))
-    (List.sort compare dirty);
+  iter_dirty_ascending t (fun line -> xpbuffer_insert t line t.work line);
+  dirty_reset t;
   sfence t;
-  let slots = Hashtbl.fold (fun xp slot acc -> (xp, slot) :: acc) t.xpbuffer [] in
-  Hashtbl.reset t.xpbuffer;
-  let ordered = List.sort (fun (a, _) (b, _) -> compare a b) slots in
-  List.iter (fun (xp, slot) -> write_back_slot t xp slot) ordered
+  flush_xpbuffer_ordered t
 
 (* --- host-file persistence --------------------------------------------- *)
 
-let image_magic = "PMEMIMG1"
+(* Image format v2: 8-byte magic, 8-byte big-endian size, media bytes.
+   v1 ("PMEMIMG1") encoded the size with [output_binary_int], which
+   silently truncates to 32 bits — v1 images are still readable, but
+   writing always uses the 64-bit header. *)
+let image_magic = "PMEMIMG2"
+let image_magic_v1 = "PMEMIMG1"
 
 let save_image t path =
   let oc = open_out_bin path in
@@ -379,7 +696,9 @@ let save_image t path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc image_magic;
-      output_binary_int oc (Bytes.length t.media);
+      let hdr = Bytes.create 8 in
+      Bytes.set_int64_be hdr 0 (Int64.of_int (Bytes.length t.media));
+      output_bytes oc hdr;
       output_bytes oc t.media)
 
 let load_image ?config path =
@@ -390,11 +709,22 @@ let load_image ?config path =
       let magic, size =
         try
           let magic = really_input_string ic (String.length image_magic) in
-          (magic, if magic = image_magic then input_binary_int ic else 0)
+          if magic = image_magic then begin
+            let size64 =
+              Bytes.get_int64_be (Bytes.of_string (really_input_string ic 8)) 0
+            in
+            if size64 < 0L || size64 > Int64.of_int max_int then
+              invalid_arg
+                (Printf.sprintf
+                   "Device.load_image: unreasonable media size %Ld" size64);
+            (magic, Int64.to_int size64)
+          end
+          else if magic = image_magic_v1 then (magic, input_binary_int ic)
+          else (magic, 0)
         with End_of_file ->
           invalid_arg "Device.load_image: truncated image header"
       in
-      if magic <> image_magic then
+      if magic <> image_magic && magic <> image_magic_v1 then
         invalid_arg "Device.load: not a PM image file";
       let remaining = in_channel_length ic - pos_in ic in
       if size < 0 || size > remaining then
@@ -417,41 +747,57 @@ let load_image ?config path =
    RNG and the counters: restoring one and replaying the same operations
    reproduces the original execution bit for bit.  This is what lets the
    crash-state model checker re-enter the same workload once per fence
-   index without re-formatting a device each time. *)
+   index without re-formatting a device each time.  The LRU lists are
+   snapshotted in head-to-tail (LRU-to-MRU) order, so rebuilding them by
+   appending preserves every future victim choice. *)
 type checkpoint = {
   ck_work : Bytes.t;
   ck_media : Bytes.t;
-  ck_dirty : (int, unit) Hashtbl.t;
+  ck_dirty_bits : Bytes.t;
+  ck_dirty_count : int;
   ck_fifo_buf : int array;
   ck_fifo_head : int;
   ck_fifo_len : int;
-  ck_pending : (int, Bytes.t) Hashtbl.t;
-  ck_xpbuffer : (int, xpslot) Hashtbl.t;
-  ck_read_cache : (int, int) Hashtbl.t;
+  ck_pending_lines : int array;  (* exactly pending_len entries *)
+  ck_pending_arena : Bytes.t;
+  ck_xpbuffer : (int * Bytes.t * int * int) array;
+      (* (xp, data, valid, lru) in LRU-to-MRU order *)
+  ck_read_cache : (int * int) array;  (* (xp, stamp) in LRU-to-MRU order *)
   ck_lru_clock : int;
   ck_rng : Random.State.t;
   ck_stats : Stats.t;
   ck_fail_after_fences : int option;
 }
 
-let copy_slot slot =
-  { data = Bytes.copy slot.data; valid = slot.valid; lru = slot.lru }
-
 let checkpoint t =
-  let pending = Hashtbl.create (max 16 (Hashtbl.length t.pending)) in
-  Hashtbl.iter (fun l b -> Hashtbl.replace pending l (Bytes.copy b)) t.pending;
-  let xpbuffer = Hashtbl.create (max 16 (Hashtbl.length t.xpbuffer)) in
-  Hashtbl.iter (fun xp s -> Hashtbl.replace xpbuffer xp (copy_slot s)) t.xpbuffer;
+  let ck_xpbuffer = Array.make t.xp_count (0, Bytes.create 0, 0, 0) in
+  let i = ref 0 in
+  let s = ref t.xp_sentinel.next in
+  while !s != t.xp_sentinel do
+    ck_xpbuffer.(!i) <- ((!s).xp, Bytes.copy (!s).data, (!s).valid, (!s).lru);
+    incr i;
+    s := (!s).next
+  done;
+  let ck_read_cache = Array.make t.rc_count (0, 0) in
+  let j = ref 0 in
+  let n = ref t.rc_sentinel.rnext in
+  while !n != t.rc_sentinel do
+    ck_read_cache.(!j) <- ((!n).rxp, (!n).stamp);
+    incr j;
+    n := (!n).rnext
+  done;
   {
     ck_work = Bytes.copy t.work;
     ck_media = Bytes.copy t.media;
-    ck_dirty = Hashtbl.copy t.dirty;
+    ck_dirty_bits = Bytes.copy t.dirty_bits;
+    ck_dirty_count = t.dirty_count;
     ck_fifo_buf = Array.copy t.dirty_fifo.Ring.buf;
     ck_fifo_head = t.dirty_fifo.Ring.head;
     ck_fifo_len = t.dirty_fifo.Ring.len;
-    ck_pending = pending;
-    ck_xpbuffer = xpbuffer;
-    ck_read_cache = Hashtbl.copy t.read_cache;
+    ck_pending_lines = Array.sub t.pending_lines 0 t.pending_len;
+    ck_pending_arena = Bytes.sub t.pending_arena 0 (t.pending_len * cl);
+    ck_xpbuffer;
+    ck_read_cache;
     ck_lru_clock = t.lru_clock;
     ck_rng = Random.State.copy t.rng;
     ck_stats = Stats.copy t.stats;
@@ -463,19 +809,51 @@ let restore t ck =
     invalid_arg "Device.restore: checkpoint from a different device size";
   Bytes.blit ck.ck_work 0 t.work 0 (Bytes.length t.work);
   Bytes.blit ck.ck_media 0 t.media 0 (Bytes.length t.media);
-  Hashtbl.reset t.dirty;
-  Hashtbl.iter (fun l () -> Hashtbl.replace t.dirty l ()) ck.ck_dirty;
+  Bytes.blit ck.ck_dirty_bits 0 t.dirty_bits 0 (Bytes.length t.dirty_bits);
+  t.dirty_count <- ck.ck_dirty_count;
   t.dirty_fifo.Ring.buf <- Array.copy ck.ck_fifo_buf;
   t.dirty_fifo.Ring.head <- ck.ck_fifo_head;
   t.dirty_fifo.Ring.len <- ck.ck_fifo_len;
-  Hashtbl.reset t.pending;
-  Hashtbl.iter (fun l b -> Hashtbl.replace t.pending l (Bytes.copy b))
-    ck.ck_pending;
-  Hashtbl.reset t.xpbuffer;
-  Hashtbl.iter (fun xp s -> Hashtbl.replace t.xpbuffer xp (copy_slot s))
+  pending_clear t;
+  let plen = Array.length ck.ck_pending_lines in
+  pending_grow t plen;
+  Array.blit ck.ck_pending_lines 0 t.pending_lines 0 plen;
+  Bytes.blit ck.ck_pending_arena 0 t.pending_arena 0 (plen * cl);
+  t.pending_len <- plen;
+  for i = 0 to plen - 1 do
+    Bitset.set t.pending_bits (t.pending_lines.(i) lsr 6)
+  done;
+  (* rebuild the XPBuffer LRU list in snapshotted order *)
+  let s = ref t.xp_sentinel.next in
+  while !s != t.xp_sentinel do
+    let nx = (!s).next in
+    t.xp_map.((!s).xp lsr 8) <- t.xp_sentinel;
+    slot_pool_put t !s;
+    s := nx
+  done;
+  t.xp_count <- 0;
+  t.xp_sentinel.prev <- t.xp_sentinel;
+  t.xp_sentinel.next <- t.xp_sentinel;
+  Array.iter
+    (fun (xp, data, valid, lru) ->
+      let slot = slot_pool_take t in
+      slot.xp <- xp;
+      slot.valid <- valid;
+      slot.lru <- lru;
+      Bytes.blit data 0 slot.data 0 Geometry.xpline_size;
+      slot_append_mru t.xp_sentinel slot;
+      t.xp_map.(xp lsr 8) <- slot;
+      t.xp_count <- t.xp_count + 1)
     ck.ck_xpbuffer;
-  Hashtbl.reset t.read_cache;
-  Hashtbl.iter (fun xp stamp -> Hashtbl.replace t.read_cache xp stamp)
+  read_cache_clear t;
+  Array.iter
+    (fun (xp, stamp) ->
+      let node = rc_pool_take t in
+      node.rxp <- xp;
+      node.stamp <- stamp;
+      rc_append_mru t.rc_sentinel node;
+      t.rc_map.(xp lsr 8) <- node;
+      t.rc_count <- t.rc_count + 1)
     ck.ck_read_cache;
   t.lru_clock <- ck.ck_lru_clock;
   t.rng <- Random.State.copy ck.ck_rng;
@@ -493,24 +871,20 @@ let crash t =
     t.cfg.Config.eadr
     || Random.State.float t.rng 1.0 < t.cfg.Config.persist_prob
   in
-  (* Unfenced flushes and plain dirty lines persist adversarially. *)
-  let pending = Hashtbl.fold (fun l b acc -> (l, b) :: acc) t.pending [] in
-  Hashtbl.reset t.pending;
-  List.iter
-    (fun (line, b) -> if keep () then xpbuffer_insert t line b)
-    (List.sort (fun (a, _) (b, _) -> compare a b) pending)
-  ;
-  let dirty = Hashtbl.fold (fun l () acc -> l :: acc) t.dirty [] in
-  Hashtbl.reset t.dirty;
+  (* Unfenced flushes and plain dirty lines persist adversarially, coin
+     flips drawn in ascending line order (the pending array is sorted and
+     the dirty bitset scans in address order). *)
+  for i = 0 to t.pending_len - 1 do
+    if keep () then
+      xpbuffer_insert t t.pending_lines.(i) t.pending_arena (i * cl)
+  done;
+  pending_clear t;
   Ring.clear t.dirty_fifo;
-  List.iter
-    (fun line -> if keep () then xpbuffer_insert t line (snapshot_line t line))
-    (List.sort compare dirty);
+  iter_dirty_ascending t (fun line ->
+      if keep () then xpbuffer_insert t line t.work line);
+  dirty_reset t;
   (* The ADR domain (WPQ + XPBuffer) always drains to media on power loss. *)
-  let slots = Hashtbl.fold (fun xp slot acc -> (xp, slot) :: acc) t.xpbuffer [] in
-  Hashtbl.reset t.xpbuffer;
-  List.iter (fun (xp, slot) -> write_back_slot t xp slot)
-    (List.sort (fun (a, _) (b, _) -> compare a b) slots);
-  Hashtbl.reset t.read_cache;
+  flush_xpbuffer_ordered t;
+  read_cache_clear t;
   (* Volatile content is lost: what remains is exactly the media image. *)
   Bytes.blit t.media 0 t.work 0 (Bytes.length t.media)

@@ -142,3 +142,17 @@ val set_classifier : t -> (int -> int) option -> unit
 (** Install a map from XPLine address to traffic class (0..3); media
     writes are then also attributed per class in
     {!Stats.media_write_bytes_by_class}. *)
+
+(** Growable ring of candidate eviction victims used for the CPU cache's
+    dirty-line FIFO.  [pop_jittered] removes a random element among the
+    oldest [jitter] entries ([jitter:1] is exact FIFO); exposed so tests
+    can pin that contract independently of the device. *)
+module Ring : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val push : t -> int -> unit
+  val pop_jittered : t -> Random.State.t -> jitter:int -> int option
+  val clear : t -> unit
+end

@@ -17,6 +17,31 @@ let xpline_of addr = addr land lnot (xpline_size - 1)
 (** Index (0..3) of the cacheline within its XPLine. *)
 let subline_of addr = (addr land (xpline_size - 1)) / cacheline_size
 
+(** Apply [f] to every cacheline overlapping [addr, addr+len) in ascending
+    address order.  Allocation-free equivalent of {!lines_in_range}; the
+    device hot path (stores, flushes, load accounting) is built on this. *)
+let iter_lines addr len f =
+  if len > 0 then begin
+    let last = line_of (addr + len - 1) in
+    let a = ref (line_of addr) in
+    while !a <= last do
+      f !a;
+      a := !a + cacheline_size
+    done
+  end
+
+(** Apply [f] to every XPLine overlapping [addr, addr+len) in ascending
+    address order.  Allocation-free equivalent of {!xplines_in_range}. *)
+let iter_xplines addr len f =
+  if len > 0 then begin
+    let last = xpline_of (addr + len - 1) in
+    let a = ref (xpline_of addr) in
+    while !a <= last do
+      f !a;
+      a := !a + xpline_size
+    done
+  end
+
 (** All cachelines overlapping [addr, addr+len). *)
 let lines_in_range addr len =
   if len <= 0 then []

@@ -112,6 +112,27 @@ let diff ~after ~before =
           - before.media_write_bytes_by_class.(i));
   }
 
+let to_assoc t =
+  [
+    ("user_bytes", t.user_bytes);
+    ("store_bytes", t.store_bytes);
+    ("clwb_count", t.clwb_count);
+    ("sfence_count", t.sfence_count);
+    ("xpbuffer_write_bytes", t.xpbuffer_write_bytes);
+    ("xpbuffer_hits", t.xpbuffer_hits);
+    ("xpbuffer_misses", t.xpbuffer_misses);
+    ("media_write_bytes", t.media_write_bytes);
+    ("media_write_lines", t.media_write_lines);
+    ("media_read_bytes", t.media_read_bytes);
+    ("media_read_lines", t.media_read_lines);
+    ("cpu_evictions", t.cpu_evictions);
+    ("crashes", t.crashes);
+  ]
+  @ Array.to_list
+      (Array.mapi
+         (fun i v -> (Printf.sprintf "media_write_bytes_class%d" i, v))
+         t.media_write_bytes_by_class)
+
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 let cli_amplification t = ratio t.xpbuffer_write_bytes t.user_bytes
 let xbi_amplification t = ratio t.media_write_bytes t.user_bytes

@@ -50,6 +50,11 @@ val equal : t -> t -> bool
 val diff : after:t -> before:t -> t
 (** Counter deltas between two snapshots; used for per-phase accounting. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as a (name, value) pair, per-class attribution
+    included.  Gives golden/regression tests one stable flat view to
+    compare and print, instead of field-by-field boilerplate. *)
+
 val cli_amplification : t -> float
 (** [xpbuffer_write_bytes / user_bytes] (paper §2.1). *)
 

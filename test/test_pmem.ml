@@ -28,6 +28,7 @@ let device ?size ?xpbuffer_lines ?cpu_cache_lines ?eadr ?persist_prob
 let check_int = Alcotest.(check int)
 let check_i64 = Alcotest.(check int64)
 let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
 
 (* --- geometry -------------------------------------------------------- *)
 
@@ -42,6 +43,67 @@ let test_geometry () =
   check_int "empty range" 0 (List.length (G.lines_in_range 0 0));
   check_int "single line" 1 (List.length (G.lines_in_range 0 64));
   check_int "xpbuffer slots" 64 G.xpbuffer_capacity_lines
+
+(* The allocation-free iterators the device hot path is built on must
+   visit exactly the lines the list versions return, in ascending order,
+   for any (addr, len) — including len = 0 and ranges straddling line and
+   XPLine boundaries. *)
+let test_iter_lines_matches_list () =
+  let collect iter addr len =
+    let acc = ref [] in
+    iter addr len (fun a -> acc := a :: !acc);
+    List.rev !acc
+  in
+  let check_pair addr len =
+    Alcotest.(check (list int))
+      (Printf.sprintf "iter_lines %d+%d" addr len)
+      (G.lines_in_range addr len)
+      (collect G.iter_lines addr len);
+    Alcotest.(check (list int))
+      (Printf.sprintf "iter_xplines %d+%d" addr len)
+      (G.xplines_in_range addr len)
+      (collect G.iter_xplines addr len)
+  in
+  (* edge cases: empty, exact line, line-straddling, XPLine-straddling *)
+  List.iter
+    (fun (addr, len) -> check_pair addr len)
+    [
+      (0, 0); (100, 0); (0, 1); (0, 64); (63, 2); (60, 10); (250, 10);
+      (255, 1); (255, 2); (0, 256); (192, 128); (1000, 3000);
+    ];
+  let rng = Random.State.make [| 0xFEED |] in
+  for _ = 1 to 500 do
+    let addr = Random.State.int rng 8192 in
+    let len = Random.State.int rng 2048 in
+    check_pair addr len
+  done
+
+(* The dirty-line FIFO contract: with jitter 1 the ring is an exact FIFO
+   (no RNG-dependent reordering), which the deterministic drain relies
+   on. *)
+let test_ring_jitter1_is_fifo () =
+  let rng = Random.State.make [| 42 |] in
+  let r = D.Ring.create () in
+  let expect = ref 0 in
+  let pop_one () =
+    match D.Ring.pop_jittered r rng ~jitter:1 with
+    | Some v ->
+      check_int "exact FIFO order" !expect v;
+      incr expect
+    | None -> Alcotest.fail "unexpected empty ring"
+  in
+  (* push enough to force the ring to grow and wrap, interleaving pops so
+     the head moves off zero *)
+  for i = 0 to 2999 do
+    D.Ring.push r i;
+    if i mod 7 = 6 then pop_one ()
+  done;
+  while D.Ring.length r > 0 do
+    pop_one ()
+  done;
+  check_int "all elements popped in order" 3000 !expect;
+  check_bool "empty ring pops None" true
+    (D.Ring.pop_jittered r rng ~jitter:1 = None)
 
 (* --- basic store/load ------------------------------------------------ *)
 
@@ -346,6 +408,119 @@ let test_deterministic_replay () =
   check_bool "media images byte-identical" true (String.equal img1 img2);
   check_bool "stats identical" true (S.equal st1 st2)
 
+(* --- golden determinism -------------------------------------------------- *)
+
+(* A seeded mixed workload covering every primitive (stores of all widths,
+   fills, loads, clwb/sfence, planned power failure, crash, recovery,
+   drain) on a deliberately tiny device so every cache layer overflows.
+   The resulting counters and media image are asserted against a
+   checked-in snapshot: the device's *modeled* numbers are a public
+   contract, and any hot-path rewrite that shifts a victim choice, an RNG
+   draw or an accounting decision must fail this test loudly.  If a
+   change is *supposed* to alter the model, update the snapshot in the
+   same commit and say why. *)
+let golden_size = 1 lsl 18
+
+let golden_config () =
+  {
+    (Pmem.Config.default ~size:golden_size ()) with
+    Pmem.Config.xpbuffer_lines = 8;
+    cpu_cache_lines = 64;
+    read_cache_lines = 16;
+    persist_prob = 0.5;
+    crash_seed = 20240406;
+  }
+
+let golden_workload d =
+  let rng = Random.State.make [| 0x601d; 2024 |] in
+  D.set_classifier d (Some (fun xp -> (xp lsr 8) land 3));
+  let addr () = Random.State.int rng (golden_size - 64) in
+  (* phase 1: mixed stores, widths 1..64, periodic flush/fence/load *)
+  for i = 0 to 2999 do
+    let a = addr () in
+    (match i mod 5 with
+    | 0 -> D.store_u64 d a (Int64.of_int i)
+    | 1 -> D.store_u8 d a (i land 0xff)
+    | 2 -> D.store_string d a "golden!"
+    | 3 -> D.store d a (Bytes.make 48 (Char.chr (i land 0xff)))
+    | _ -> D.fill d a 64 (Char.chr (i land 0xff)));
+    D.add_user_bytes d 8;
+    if i mod 3 = 0 then D.flush_range d a 16;
+    if i mod 7 = 0 then D.sfence d;
+    if i mod 2 = 0 then ignore (D.load d (addr ()) 32);
+    if i mod 13 = 0 then ignore (D.load_u64 d (addr ()));
+    if i mod 17 = 0 then ignore (D.load_u8 d (addr ()))
+  done;
+  (* phase 2: power failure planned into the middle of a persist protocol *)
+  D.plan_failure d ~after_fences:3;
+  (match
+     for i = 0 to 99 do
+       let a = addr () in
+       D.store_u64 d a (Int64.of_int i);
+       D.persist d a 8
+     done
+   with
+  | () -> Alcotest.fail "planned failure did not fire"
+  | exception D.Power_failure -> D.crash d);
+  (* phase 3: recovery-style scan then more traffic, clean shutdown *)
+  for i = 0 to 499 do
+    ignore (D.load d (i * 337 mod (golden_size - 64)) 64);
+    if i mod 4 = 0 then begin
+      let a = addr () in
+      D.store_u64 d a (Int64.of_int i);
+      D.persist d a 8
+    end
+  done;
+  D.drain d
+
+(* Captured from the seed device (PR 1 state) — the reference model. *)
+let golden_expected : (string * int) list =
+  [
+    ("user_bytes", 24000);
+    ("store_bytes", 77824);
+    ("clwb_count", 1366);
+    ("sfence_count", 557);
+    ("xpbuffer_write_bytes", 269440);
+    ("xpbuffer_hits", 200);
+    ("xpbuffer_misses", 4010);
+    ("media_write_bytes", 1026560);
+    ("media_write_lines", 4010);
+    ("media_read_bytes", 1704704);
+    ("media_read_lines", 6659);
+    ("cpu_evictions", 2917);
+    ("crashes", 1);
+    ("media_write_bytes_class0", 256768);
+    ("media_write_bytes_class1", 260352);
+    ("media_write_bytes_class2", 261120);
+    ("media_write_bytes_class3", 248320);
+  ]
+
+let golden_media_digest = "ae990cf572943d70867e35c0a1945a8d"
+
+let test_golden_stats () =
+  let d = D.create ~config:(golden_config ()) () in
+  golden_workload d;
+  let actual = S.to_assoc (D.snapshot d) in
+  let media =
+    Digest.to_hex
+      (Digest.bytes
+         (Bytes.init golden_size (fun i -> Char.chr (D.media_byte d i))))
+  in
+  if
+    List.exists2
+      (fun (_, a) (_, b) -> a <> b)
+      actual golden_expected
+    || media <> golden_media_digest
+  then begin
+    Printf.printf "golden actuals:\n";
+    List.iter (fun (k, v) -> Printf.printf "    (%S, %d);\n" k v) actual;
+    Printf.printf "  media digest: %S\n%!" media
+  end;
+  List.iter2
+    (fun (k, a) (_, e) -> check_int ("golden " ^ k) e a)
+    actual golden_expected;
+  Alcotest.(check string) "golden media digest" golden_media_digest media
+
 (* --- checkpoint / restore ---------------------------------------------- *)
 
 let test_checkpoint_restore_replays_identically () =
@@ -454,10 +629,10 @@ let test_image_rejects_truncation () =
     (fun () ->
       D.save_image d path;
       let full = In_channel.with_open_bin path In_channel.input_all in
-      (* keep the header and half the media bytes *)
+      (* keep the 16 B header (magic + 64-bit size) and half the media *)
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc
-            (String.sub full 0 (12 + (String.length full - 12) / 2)));
+            (String.sub full 0 (16 + (String.length full - 16) / 2)));
       let mentions_truncation msg =
         let re = "truncated" in
         let n = String.length msg and m = String.length re in
@@ -478,6 +653,65 @@ let test_image_rejects_truncation () =
       | exception End_of_file ->
         Alcotest.fail "truncated header raised bare End_of_file"
       | _ -> Alcotest.fail "truncated header accepted")
+
+(* The size field is a full 64-bit big-endian word.  The v1 format wrote
+   it with [output_binary_int] (32-bit), which silently truncated the
+   size of any image >= 2 GiB; pin the on-disk encoding so that cannot
+   regress. *)
+let test_image_size_header_is_64bit () =
+  let d = device ~size:65536 () in
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      D.save_image d path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      check_string "v2 magic" "PMEMIMG2" (String.sub full 0 8);
+      let size64 = Bytes.get_int64_be (Bytes.of_string full) 8 in
+      check_i64 "8-byte big-endian size" 65536L size64;
+      check_int "payload = size" 65536 (String.length full - 16))
+
+(* Legacy v1 images ("PMEMIMG1", 4-byte size) must still load. *)
+let test_image_v1_compat () =
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let size = 65536 in
+      let media = Bytes.make size '\000' in
+      Bytes.set media 1000 (Char.chr 77);
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "PMEMIMG1";
+          output_binary_int oc size;
+          Out_channel.output_bytes oc media);
+      let d = D.load_image path in
+      check_int "v1 size restored" size (D.size d);
+      check_int "v1 content restored" 77 (D.load_u8 d 1000))
+
+(* A v2 header whose size field is absurd (negative, or beyond what an
+   in-memory image could ever be) must be rejected up front, not turned
+   into an allocation attempt. *)
+let test_image_rejects_unreasonable_size () =
+  let path = Filename.temp_file "pmem" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let craft size64 =
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc "PMEMIMG2";
+            let hdr = Bytes.create 8 in
+            Bytes.set_int64_be hdr 0 size64;
+            Out_channel.output_bytes oc hdr;
+            Out_channel.output_string oc "some media bytes")
+      in
+      List.iter
+        (fun size64 ->
+          craft size64;
+          match D.load_image path with
+          | exception Invalid_argument _ -> ()
+          | _ ->
+            Alcotest.failf "size %Ld accepted" size64)
+        [ -1L; Int64.min_int; 0x4000_0000_0000_0000L; Int64.max_int ])
 
 (* --- properties --------------------------------------------------------- *)
 
@@ -590,10 +824,15 @@ let () =
         ] );
       ( "determinism",
         [
+          Alcotest.test_case "iter_lines matches list versions" `Quick
+            test_iter_lines_matches_list;
+          Alcotest.test_case "ring with jitter 1 is exact FIFO" `Quick
+            test_ring_jitter1_is_fifo;
           Alcotest.test_case "drain is address-ordered" `Quick
             test_drain_is_address_ordered;
           Alcotest.test_case "seeded replay is identical" `Quick
             test_deterministic_replay;
+          Alcotest.test_case "golden stats snapshot" `Quick test_golden_stats;
         ] );
       ( "checkpoint",
         [
@@ -612,6 +851,12 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_image_rejects_garbage;
           Alcotest.test_case "rejects truncation" `Quick
             test_image_rejects_truncation;
+          Alcotest.test_case "64-bit size header" `Quick
+            test_image_size_header_is_64bit;
+          Alcotest.test_case "loads legacy v1 images" `Quick
+            test_image_v1_compat;
+          Alcotest.test_case "rejects unreasonable sizes" `Quick
+            test_image_rejects_unreasonable_size;
         ] );
       ( "properties",
         [ qt prop_drain_preserves_content; qt prop_persisted_survives_crash ]
