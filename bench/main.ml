@@ -43,11 +43,130 @@ let write_json path rows =
       output_string oc "]\n");
   Printf.printf "  [microbenchmark results written to %s]\n%!" path
 
+(* Measured domain-parallel scalability: the same YCSB insert-only mix on
+   an N-shard CCL-BTree fleet (one domain + one private device per shard),
+   reported three ways:
+
+   - wall Mop/s: ops / elapsed wall clock.  Scales with domain count only
+     when the host actually has that many cores.
+   - svc Mop/s: ops / max per-shard thread-CPU time — the measured
+     critical path, i.e. what the fleet sustains once every domain has a
+     core.  On a multicore host with idle cores the two agree.
+   - model Mop/s: the Perfmodel.Thread_model analytic curve at the same
+     thread count, printed next to the measurements it used to replace. *)
+let shard_scaling ?json ~scale_level () =
+  let scale = Harness.Scale.of_level scale_level in
+  let warmup = scale.Harness.Scale.warmup and ops_n = 2 * scale.Harness.Scale.ops in
+  Harness.Report.section
+    "Shard: measured domain-parallel throughput, YCSB insert-only (Mop/s)";
+  let spec = Harness.Runner.ccl_default in
+  let rows =
+    List.map
+      (fun domains ->
+        let t = Harness.Runner.make_sharded ~mb:96 spec ~domains () in
+        Shard.run t
+          (Array.mapi
+             (fun i k -> Workload.Ycsb.Insert (k, Int64.of_int (i + 1)))
+             (Workload.Keygen.shuffled_range ~seed:1 warmup));
+        Shard.flush t;
+        Shard.reset_counters t;
+        let stream =
+          Array.mapi
+            (fun i k ->
+              Workload.Ycsb.Insert
+                (Int64.add k (Int64.of_int warmup), Int64.of_int (i + 1)))
+            (Workload.Keygen.shuffled_range ~seed:2 ops_n)
+        in
+        let before = Shard.stats t in
+        let t0 = Shard.Clock.monotonic_ns () in
+        Shard.run t stream;
+        Shard.flush t;
+        let wall_ns =
+          Int64.to_float (Int64.sub (Shard.Clock.monotonic_ns ()) t0)
+        in
+        let delta =
+          Pmem.Stats.diff ~after:(Shard.stats t) ~before
+        in
+        let max_busy =
+          float_of_int (Array.fold_left max 1 (Shard.busy_ns t))
+        in
+        let applied =
+          float_of_int (Array.fold_left ( + ) 0 (Shard.applied t))
+        in
+        Shard.shutdown t;
+        let wall_mops = float_of_int ops_n *. 1e3 /. wall_ns in
+        let svc_mops = applied *. 1e3 /. max_busy in
+        let model_mops =
+          Harness.Runner.mops_modeled
+            {
+              Harness.Runner.ops = ops_n;
+              delta;
+              avg_ns =
+                (Perfmodel.Constants.base_op_ns
+                +. Harness.Runner.events_cost_ns delta /. float_of_int ops_n);
+              wall_ns;
+              samples = [||];
+              numa_aware = Harness.Runner.numa_aware spec;
+            }
+            ~threads:domains
+        in
+        (domains, wall_mops, svc_mops, model_mops,
+         Pmem.Stats.xbi_amplification delta))
+      [ 1; 2; 4; 8 ]
+  in
+  Harness.Report.table
+    ~header:[ "domains"; "wall meas"; "svc meas"; "model"; "XBI-amp" ]
+    (List.map
+       (fun (d, w, s, m, x) ->
+         [
+           string_of_int d;
+           Printf.sprintf "%.2f" w;
+           Printf.sprintf "%.2f" s;
+           Printf.sprintf "%.2f" m;
+           Printf.sprintf "%.2f" x;
+         ])
+       rows);
+  Harness.Report.note
+    (Printf.sprintf
+       "host has %d core(s): wall-clock scaling needs real cores, svc is \
+        the measured per-domain-CPU critical path"
+       (Domain.recommended_domain_count ()));
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "[\n";
+        List.iteri
+          (fun i (d, w, s, m, x) ->
+            Printf.fprintf oc
+              "  {\"suite\": \"shard\", \"mix\": \"insert-only\", \
+               \"domains\": %d, \"wall_mops\": %.3f, \"svc_mops\": %.3f, \
+               \"model_mops\": %.3f, \"xbi_amp\": %.2f}%s\n"
+              d w s m x
+              (if i = List.length rows - 1 then "" else ","))
+          rows;
+        output_string oc "]\n");
+    Printf.printf "  [shard scaling results written to %s]\n%!" path
+
 (* Wall-clock microbenchmark of the real code paths (one Bechamel test per
    core operation).  The simulator's modeled numbers come from the
    experiments; this measures what the OCaml implementation itself costs. *)
-let bechamel_micro ?json () =
+let bechamel_micro ?json ?only ~quota () =
   let open Bechamel in
+  (* [only] restricts to tests whose name contains the substring, so the
+     bench_check gate can measure just the two ops it compares instead of
+     paying preload + quota for the whole suite *)
+  let keep name =
+    match only with
+    | None -> true
+    | Some sub ->
+      let nl = String.length name and sl = String.length sub in
+      let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+      sl = 0 || at 0
+  in
   (* 16 MB per simulated device: ample for the 50 k-key working set, and
      it keeps the four preloaded indexes' images small enough that major
      GC pressure does not drown the per-op signal. *)
@@ -70,6 +189,13 @@ let bechamel_micro ?json () =
   let batch = 64 in
   (* competitor indexes, for wall-clock comparison of the implementations *)
   let baseline_tests =
+    List.filter_map
+      (fun spec ->
+        if not (keep (Harness.Runner.name spec ^ "/upsert")) then None
+        else Some spec)
+      [ Harness.Runner.Fastfair; Harness.Runner.Fptree; Harness.Runner.Flatstore ]
+  in
+  let baseline_tests =
     List.map
       (fun spec ->
         let bdev =
@@ -87,38 +213,45 @@ let bechamel_micro ?json () =
                for _ = 1 to batch do
                  drv.Baselines.Index_intf.upsert (next ()) 2L
                done)))
-      [ Harness.Runner.Fastfair; Harness.Runner.Fptree; Harness.Runner.Flatstore ]
+      baseline_tests
   in
-  let tests =
-    Test.make_grouped ~name:"wall-clock"
-      ([
-         Test.make ~name:"CCL-BTree/upsert"
-           (Staged.stage (fun () ->
-                for _ = 1 to batch do
-                  Ccl_btree.Tree.upsert t (next ()) 2L
-                done));
-         Test.make ~name:"CCL-BTree/search"
-           (Staged.stage (fun () ->
-                for _ = 1 to batch do
-                  ignore (Ccl_btree.Tree.search t (next ()))
-                done));
-         Test.make ~name:"CCL-BTree/scan-100"
-           (Staged.stage (fun () ->
-                for _ = 1 to batch do
-                  ignore (Ccl_btree.Tree.scan t ~start:(next ()) 100)
-                done));
-         Test.make ~name:"CCL-BTree/delete+reinsert"
-           (Staged.stage (fun () ->
-                for _ = 1 to batch do
-                  let k = next () in
-                  Ccl_btree.Tree.delete t k;
-                  Ccl_btree.Tree.upsert t k 3L
-                done));
-       ]
-      @ baseline_tests)
+  let ccl_tests =
+    List.filter_map
+      (fun (name, body) ->
+        if keep name then Some (Test.make ~name (Staged.stage body)) else None)
+      [
+        ( "CCL-BTree/upsert",
+          fun () ->
+            for _ = 1 to batch do
+              Ccl_btree.Tree.upsert t (next ()) 2L
+            done );
+        ( "CCL-BTree/search",
+          fun () ->
+            for _ = 1 to batch do
+              ignore (Ccl_btree.Tree.search t (next ()))
+            done );
+        ( "CCL-BTree/scan-100",
+          fun () ->
+            for _ = 1 to batch do
+              ignore (Ccl_btree.Tree.scan t ~start:(next ()) 100)
+            done );
+        ( "CCL-BTree/delete+reinsert",
+          fun () ->
+            for _ = 1 to batch do
+              let k = next () in
+              Ccl_btree.Tree.delete t k;
+              Ccl_btree.Tree.upsert t k 3L
+            done );
+      ]
   in
+  (match ccl_tests @ baseline_tests with
+  | [] ->
+    Printf.eprintf "bechamel: --only matched no tests\n";
+    exit 2
+  | _ -> ());
+  let tests = Test.make_grouped ~name:"wall-clock" (ccl_tests @ baseline_tests) in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~kde:None ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
   in
   (* settle the heap after the preloads so the first measured test does
      not pay their garbage *)
@@ -143,12 +276,15 @@ let bechamel_micro ?json () =
     (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows);
   match json with None -> () | Some path -> write_json path rows
 
-let run_ids ids scale_level bech json =
+let run_ids ids scale_level bech json quota only =
   let scale = Harness.Scale.of_level scale_level in
+  (* pseudo-ids select the non-registry suites *)
+  let shard = List.mem "shard" ids in
+  let ids = List.filter (fun id -> id <> "shard" && id <> "bechamel") ids in
   let selected =
     match ids with
+    | [] when shard -> []
     | [] -> Harness.Experiments.all
-    | [ "bechamel" ] -> []
     | ids ->
       List.map
         (fun id ->
@@ -166,7 +302,9 @@ let run_ids ids scale_level bech json =
       Printf.printf "  [%s done in %.1fs]\n%!" e.Harness.Experiments.id
         (Unix.gettimeofday () -. t0))
     selected;
-  if bech then bechamel_micro ?json ()
+  if shard then shard_scaling ?json ~scale_level ();
+  (* when the shard suite owns the --json path, don't overwrite it *)
+  if bech then bechamel_micro ?json:(if shard then None else json) ?only ~quota ()
 
 open Cmdliner
 
@@ -176,7 +314,8 @@ let ids_arg =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiment ids to run (default: all).  The pseudo-id $(b,bechamel) \
-           runs only the wall-clock microbenchmark.")
+           runs only the wall-clock microbenchmark; $(b,shard) runs the \
+           measured domain-parallel scaling suite.")
 
 let scale_arg =
   Arg.(
@@ -197,20 +336,38 @@ let json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"PATH"
         ~doc:
-          "Write the wall-clock microbenchmark results (ns/op per \
-           index/operation) to $(docv) as JSON.")
+          "Write the wall-clock microbenchmark (or, with the $(b,shard) \
+           pseudo-id, the measured scaling) results to $(docv) as JSON.")
+
+let quota_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "quota" ] ~docv:"SECONDS"
+        ~doc:
+          "Bechamel time budget per test (shorter budgets for CI smoke \
+           checks, e.g. scripts/bench_check.sh).")
+
+let only_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"SUBSTRING"
+        ~doc:
+          "Run only microbenchmark tests whose name contains $(docv) \
+           (e.g. $(b,CCL-BTree) for the regression gate).")
 
 let cmd =
   let doc = "Regenerate the CCL-BTree paper's tables and figures" in
   Cmd.v
     (Cmd.info "ccl-bench" ~doc)
     Term.(
-      const (fun list ids scale no_bech json ->
+      const (fun list ids scale no_bech json quota only ->
           if list then list_experiments ()
           else
             run_ids ids scale
               ((ids = [] || ids = [ "bechamel" ]) && not no_bech)
-              json)
-      $ list_arg $ ids_arg $ scale_arg $ no_bechamel_arg $ json_arg)
+              json quota only)
+      $ list_arg $ ids_arg $ scale_arg $ no_bechamel_arg $ json_arg
+      $ quota_arg $ only_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,8 +1,12 @@
 (* ccl-ycsb: run a YCSB-style workload against any of the compared
    indexes and report throughput, amplification and traffic.
 
+     # single driver: measured 1-thread wall clock + modeled curve
      dune exec bin/ycsb.exe -- --index ccl --mix insert-only \
-       --warmup 50000 --ops 50000 --threads 48
+       --warmup 50000 --ops 50000 --model-threads 48
+
+     # sharded: real domain-parallel execution, measured (not modeled)
+     dune exec bin/ycsb.exe -- --index ccl --mix insert-only --domains 4
 
    Indexes: ccl fastfair fptree lbtree utree dptree pactree flatstore lsm
    Mixes:   insert-only insert-intensive read-intensive read-only
@@ -37,41 +41,116 @@ let mix_of = function
     Printf.eprintf "unknown mix %s\n" s;
     exit 2
 
-open Cmdliner
+let kv fmt = Printf.printf ("%-26s " ^^ fmt ^^ "\n")
 
-let run index mix warmup ops threads scan_len =
-  let spec = spec_of index in
+let print_traffic st =
+  kv "%.2f" "CLI-amplification" (S.cli_amplification st);
+  kv "%.2f" "XBI-amplification" (S.xbi_amplification st);
+  kv "%d B (%d XPLines)" "media writes" st.S.media_write_bytes
+    st.S.media_write_lines;
+  kv "%d B" "media reads" st.S.media_read_bytes
+
+let print_modeled m model_threads =
+  kv "%.0f ns" "modeled ns/op (1 thread)" m.Harness.Runner.avg_ns;
+  List.iter
+    (fun n ->
+      kv "%.2f Mop/s"
+        (Printf.sprintf "modeled @%d threads" n)
+        (Harness.Runner.mops_modeled m ~threads:n))
+    (List.sort_uniq compare [ 1; model_threads ])
+
+(* --- single-driver path -------------------------------------------------- *)
+
+let run_single spec mix mix_name warmup ops model_threads scan_len =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
   let drv = Harness.Runner.build spec dev in
   D.set_classifier dev
-    (Some
-       (Pmalloc.Alloc.classify (drv.Baselines.Index_intf.allocator ())));
+    (Some (Pmalloc.Alloc.classify (drv.Baselines.Index_intf.allocator ())));
   Printf.printf "loading %d keys into %s...\n%!" warmup
     (Harness.Runner.name spec);
   Harness.Runner.warmup drv ~keys:(K.shuffled_range ~seed:1 warmup);
-  let stream =
-    Y.generate (mix_of mix) ~seed:7 ~space:(2 * warmup) ~scan_len ops
+  let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
+  Printf.printf "running %d x %s ops...\n%!" ops mix_name;
+  let m = Harness.Exp_common.run_ops dev drv spec stream in
+  Printf.printf "\n";
+  kv "%s" "index" (Harness.Runner.name spec);
+  kv "%s" "mix" mix_name;
+  print_traffic m.Harness.Runner.delta;
+  kv "%.2f Mop/s" "measured (1 thread)" (Harness.Runner.mops_measured m);
+  print_modeled m model_threads
+
+(* --- sharded (measured) path --------------------------------------------- *)
+
+let run_sharded spec mix mix_name warmup ops model_threads scan_len domains =
+  let t =
+    Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000)) spec
+      ~domains ()
   in
-  Printf.printf "running %d x %s ops...\n%!" ops mix;
+  Printf.printf "loading %d keys into %d x %s shards...\n%!" warmup domains
+    (Harness.Runner.name spec);
+  Shard.run t
+    (Array.mapi
+       (fun i k -> Y.Insert (k, Int64.of_int (i + 1)))
+       (K.shuffled_range ~seed:1 warmup));
+  Shard.flush t;
+  Shard.reset_counters t;
+  let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
+  Printf.printf "running %d x %s ops over %d domains...\n%!" ops mix_name
+    domains;
+  let before = Shard.stats t in
+  let t0 = Shard.Clock.monotonic_ns () in
+  Shard.run t stream;
+  Shard.flush t;
+  let wall_ns = Int64.to_float (Int64.sub (Shard.Clock.monotonic_ns ()) t0) in
+  let delta = S.diff ~after:(Shard.stats t) ~before in
+  let busy = Shard.busy_ns t in
+  let max_busy = Array.fold_left max 1 busy in
+  let applied = Shard.applied t in
+  let total_applied = Array.fold_left ( + ) 0 applied in
+  Printf.printf "\n";
+  kv "%s" "index" (Harness.Runner.name spec);
+  kv "%s" "mix" mix_name;
+  kv "%d" "domains" domains;
+  print_traffic delta;
+  kv "%.2f Mop/s" "measured wall-clock"
+    (float_of_int ops *. 1e3 /. wall_ns);
+  kv "%.2f Mop/s" "measured service rate"
+    (float_of_int total_applied *. 1e3 /. float_of_int max_busy);
+  kv "%s" "per-shard applied"
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int applied)));
+  (* the analytic curve next to the measurement, for comparison *)
+  let n = max 1 ops in
   let m =
-    Harness.Exp_common.run_ops dev drv spec stream
+    {
+      Harness.Runner.ops;
+      delta;
+      avg_ns =
+        Perfmodel.Constants.base_op_ns
+        +. (Harness.Runner.events_cost_ns delta /. float_of_int n);
+      wall_ns;
+      samples = [||];
+      numa_aware = Harness.Runner.numa_aware spec;
+    }
   in
-  let st = m.Harness.Runner.delta in
-  Printf.printf "\n%-26s %s\n" "index" (Harness.Runner.name spec);
-  Printf.printf "%-26s %s\n" "mix" mix;
-  Printf.printf "%-26s %.2f\n" "CLI-amplification" (S.cli_amplification st);
-  Printf.printf "%-26s %.2f\n" "XBI-amplification" (S.xbi_amplification st);
-  Printf.printf "%-26s %d B (%d XPLines)\n" "media writes"
-    st.S.media_write_bytes st.S.media_write_lines;
-  Printf.printf "%-26s %d B\n" "media reads" st.S.media_read_bytes;
-  Printf.printf "%-26s %.0f ns\n" "modeled ns/op (1 thread)"
-    m.Harness.Runner.avg_ns;
-  List.iter
-    (fun n ->
-      Printf.printf "%-26s %.2f Mop/s\n"
-        (Printf.sprintf "modeled @%d threads" n)
-        (Harness.Runner.mops m ~threads:n))
-    (List.sort_uniq compare [ 1; threads ]);
+  print_modeled m model_threads;
+  Shard.shutdown t
+
+open Cmdliner
+
+let run index mix warmup ops model_threads scan_len domains =
+  if model_threads < 1 then begin
+    Printf.eprintf "--model-threads must be >= 1 (got %d)\n" model_threads;
+    exit 2
+  end;
+  if domains < 0 || domains > 128 then begin
+    Printf.eprintf "--domains must be in 0..128 (got %d)\n" domains;
+    exit 2
+  end;
+  let spec = spec_of index in
+  let m = mix_of mix in
+  if domains = 0 then run_single spec m mix warmup ops model_threads scan_len
+  else run_sharded spec m mix warmup ops model_threads scan_len domains;
   0
 
 let cmd =
@@ -83,10 +162,34 @@ let cmd =
   in
   let warmup = Arg.(value & opt int 20_000 & info [ "warmup" ]) in
   let ops = Arg.(value & opt int 20_000 & info [ "ops" ]) in
-  let threads = Arg.(value & opt int 48 & info [ "threads" ]) in
+  let model_threads =
+    Arg.(
+      value & opt int 48
+      & info
+          [ "model-threads"; "threads" ]
+          ~docv:"N"
+          ~doc:
+            "Thread count for the $(b,modeled) Perfmodel.Thread_model \
+             columns (an analytic curve, not an execution; \
+             $(b,--threads) is the deprecated alias).  For measured \
+             multicore numbers use $(b,--domains).")
+  in
   let scan_len = Arg.(value & opt int 100 & info [ "scan-len" ]) in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run the workload on $(docv) key-partitioned shards, one \
+             OCaml domain and one private PM device each, and report \
+             $(b,measured) throughput (0 = single-driver mode).  \
+             Composes with $(b,--model-threads), which only labels the \
+             modeled comparison columns.")
+  in
   Cmd.v
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
-    Term.(const run $ index $ mix $ warmup $ ops $ threads $ scan_len)
+    Term.(
+      const run $ index $ mix $ warmup $ ops $ model_threads $ scan_len
+      $ domains)
 
 let () = exit (Cmd.eval' cmd)

@@ -31,7 +31,7 @@ let run_distribution ~keygen (scale : Scale.t) =
       let gen = keygen () in
       let ops = Exp_common.upserts gen scale.Scale.ops in
       let m = Exp_common.measure_settled dev drv spec ops in
-      let mops = Runner.mops m ~threads:48 in
+      let mops = Runner.mops_modeled m ~threads:48 in
       (* execution time normalized to the paper's 50M-op run *)
       let time = 50.0 /. mops in
       [
@@ -92,7 +92,7 @@ let run_fig13 (scale : Scale.t) =
             (fun (_, mk) ->
               let dev, drv = Exp_common.warmed spec scale in
               let m = Exp_common.run_ops dev drv spec (mk scale) in
-              Runner.mops m ~threads:48)
+              Runner.mops_modeled m ~threads:48)
             phases ))
       ablations
   in

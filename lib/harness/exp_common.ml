@@ -82,14 +82,20 @@ let run_ops dev (drv : I.driver) spec ops =
   in
   let before = D.snapshot dev in
   let samples = ref [] in
+  (* wall time of the driver calls alone, so the measured column is not
+     polluted by the per-op snapshot/pricing bookkeeping around them *)
+  let wall_ns = ref 0L in
   Array.iter
     (fun op ->
       let snap = D.snapshot dev in
+      let t0 = Shard.Clock.monotonic_ns () in
       (match op with
       | `Del k -> drv.I.delete k
       | `Op (Y.Insert (k, value)) -> drv.I.upsert k value
       | `Op (Y.Read k) -> ignore (drv.I.search k)
       | `Op (Y.Scan (k, len)) -> ignore (drv.I.scan ~start:k len));
+      wall_ns :=
+        Int64.add !wall_ns (Int64.sub (Shard.Clock.monotonic_ns ()) t0);
       samples :=
         Runner.op_cost_ns (S.diff ~after:(D.snapshot dev) ~before:snap)
         :: !samples)
@@ -102,6 +108,7 @@ let run_ops dev (drv : I.driver) spec ops =
     avg_ns =
       Perfmodel.Constants.base_op_ns
       +. (Runner.events_cost_ns delta /. float_of_int n);
+    wall_ns = Int64.to_float !wall_ns;
     samples = Array.of_list (List.rev !samples);
     numa_aware = Runner.numa_aware spec;
   }
@@ -115,4 +122,4 @@ let measure_settled dev (drv : I.driver) spec ops =
   let delta = S.diff ~after:(D.snapshot dev) ~before in
   { m with Runner.delta }
 
-let mops_at m ~threads = Runner.mops m ~threads
+let mops_modeled_at m ~threads = Runner.mops_modeled m ~threads

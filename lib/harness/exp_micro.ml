@@ -15,7 +15,7 @@ let sweep ~mk (scale : Scale.t) specs =
       let m = Exp_common.run_ops dev drv spec (mk scale) in
       ( spec,
         m,
-        List.map (fun threads -> Runner.mops m ~threads) scale.Scale.threads ))
+        List.map (fun threads -> Runner.mops_modeled m ~threads) scale.Scale.threads ))
     specs
 
 let print_sweep ~title ~mk scale =
@@ -72,7 +72,7 @@ let run_fig5 (scale : Scale.t) =
                let m =
                  Exp_common.run_ops dev drv spec (Exp_common.scans ~len scale)
                in
-               Report.mops (Runner.mops m ~threads:48))
+               Report.mops (Runner.mops_modeled m ~threads:48))
              sizes)
       specs
   in

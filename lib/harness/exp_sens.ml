@@ -25,7 +25,7 @@ let htm_abort_factor ~theta ~threads =
 
 let run_fig15a (scale : Scale.t) =
   Report.section
-    "Fig 15(a): 50% lookup / 50% upsert vs Zipfian coefficient (48t, Mop/s)";
+    "Fig 15(a): 50% lookup / 50% upsert vs Zipfian coefficient (48t, modeled Mop/s)";
   let thetas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ] in
   let rows =
     List.map
@@ -44,7 +44,7 @@ let run_fig15a (scale : Scale.t) =
                      else Y.Insert (K.next gen, Int64.of_int (i + 1)))
                in
                let m = Exp_common.run_ops dev drv spec ops in
-               let tput = Runner.mops m ~threads:48 in
+               let tput = Runner.mops_modeled m ~threads:48 in
                let tput =
                  match spec with
                  | Runner.Lbtree -> tput *. htm_abort_factor ~theta ~threads:48
@@ -86,7 +86,7 @@ let rand_string rng lo hi =
 
 let run_fig15b (scale : Scale.t) =
   Report.section
-    "Fig 15(b): variable-size KVs (8-128 B) insert throughput (Mop/s)";
+    "Fig 15(b): variable-size KVs (8-128 B) insert throughput (modeled Mop/s)";
   (* the paper could not run DPTree and PACTree in this test *)
   let specs =
     [
@@ -139,7 +139,7 @@ let run_fig15b (scale : Scale.t) =
   Report.note "paper: CCL-BTree up to 2.47x over the others"
 
 let run_fig15c (scale : Scale.t) =
-  Report.section "Fig 15(c): large values, 96 threads (Mop/s)";
+  Report.section "Fig 15(c): large values, 96 threads (modeled Mop/s)";
   let sizes = [ 64; 128; 256; 512 ] in
   let rows =
     List.map
@@ -178,7 +178,7 @@ let run_fig15c (scale : Scale.t) =
      still 1.2x-3.5x ahead at 512 B"
 
 let run_fig15d (scale : Scale.t) =
-  Report.section "Fig 15(d): dataset-size sweep, insert at 96 threads (Mop/s)";
+  Report.section "Fig 15(d): dataset-size sweep, insert at 96 threads (modeled Mop/s)";
   let factors = [ (1.0, "1x"); (2.0, "2x"); (5.0, "5x"); (10.0, "10x") ] in
   let rows =
     List.map
@@ -204,7 +204,7 @@ let run_fig15d (scale : Scale.t) =
                         | op -> op)
                       (Exp_common.inserts_fresh scale))
                in
-               Report.mops (Runner.mops m ~threads:96))
+               Report.mops (Runner.mops_modeled m ~threads:96))
              factors)
       Runner.paper_indexes
   in
@@ -216,7 +216,7 @@ let run_fig15d (scale : Scale.t) =
 (* --- Fig 16: eADR ------------------------------------------------------- *)
 
 let run_fig16 (scale : Scale.t) =
-  Report.section "Fig 16: insert throughput in eADR mode (Mop/s)";
+  Report.section "Fig 16: insert throughput in eADR mode (modeled Mop/s)";
   let rows =
     List.map
       (fun spec ->
@@ -227,7 +227,7 @@ let run_fig16 (scale : Scale.t) =
         in
         Runner.name spec
         :: List.map
-             (fun threads -> Report.mops (Runner.mops m ~threads))
+             (fun threads -> Report.mops (Runner.mops_modeled m ~threads))
              scale.Scale.threads)
       Runner.paper_indexes
   in
@@ -322,7 +322,7 @@ let run_fig18 (scale : Scale.t) =
 (* --- Fig 19: realistic datasets ------------------------------------------ *)
 
 let run_fig19 (scale : Scale.t) =
-  Report.section "Fig 19: insert throughput on SOSD-like datasets (96t, Mop/s)";
+  Report.section "Fig 19: insert throughput on SOSD-like datasets (96t, modeled Mop/s)";
   let n = scale.Scale.warmup + scale.Scale.ops in
   let datasets =
     List.map (fun (name, gen) -> (name, gen ~seed:61 n)) Workload.Sosd.all
@@ -345,7 +345,7 @@ let run_fig19 (scale : Scale.t) =
                  Array.mapi (fun i k -> Y.Insert (k, Int64.of_int (i + 1))) rest
                in
                let m = Exp_common.run_ops dev drv spec ops in
-               Report.mops (Runner.mops m ~threads:96))
+               Report.mops (Runner.mops_modeled m ~threads:96))
              datasets)
       Runner.paper_indexes
   in
@@ -355,7 +355,8 @@ let run_fig19 (scale : Scale.t) =
 (* --- Table 3: log-structured comparison ----------------------------------- *)
 
 let run_tab3 (scale : Scale.t) =
-  Report.section "Table 3: vs log-structured stores (48 threads, Mop/s)";
+  Report.section
+    "Table 3: vs log-structured stores (measured 1t / modeled 48t, Mop/s)";
   let specs = [ Runner.Lsm; Runner.Flatstore; Runner.ccl_default ] in
   let rows =
     List.map
@@ -373,13 +374,22 @@ let run_tab3 (scale : Scale.t) =
         in
         [
           Runner.name spec;
-          Report.mops (Runner.mops ins ~threads:48);
-          Report.mops (Runner.mops srch ~threads:48);
-          Report.mops (Runner.mops scn ~threads:48);
+          Report.mops (Runner.mops_measured ins);
+          Report.mops (Runner.mops_modeled ins ~threads:48);
+          Report.mops (Runner.mops_measured srch);
+          Report.mops (Runner.mops_modeled srch ~threads:48);
+          Report.mops (Runner.mops_measured scn);
+          Report.mops (Runner.mops_modeled scn ~threads:48);
         ])
       specs
   in
-  Report.table ~header:[ "store"; "Insert"; "Search"; "Scan" ] rows;
+  Report.table
+    ~header:
+      [
+        "store"; "Ins meas"; "Ins 48t"; "Srch meas"; "Srch 48t"; "Scan meas";
+        "Scan 48t";
+      ]
+    rows;
   Report.note
     "paper: FlatStore inserts ~16% faster than CCL-BTree but scans 3.72x \
      slower; RocksDB-PM an order of magnitude behind everywhere"

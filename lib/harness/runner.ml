@@ -60,6 +60,7 @@ type measurement = {
   ops : int;
   delta : S.t;
   avg_ns : float;
+  wall_ns : float;
   samples : float array;
   numa_aware : bool;
 }
@@ -85,8 +86,32 @@ let profile m =
     numa_aware = m.numa_aware;
   }
 
-let mops m ~threads =
+let mops_modeled m ~threads =
   Perfmodel.Thread_model.mops ~threads (profile m)
+
+let mops_measured m =
+  if m.wall_ns <= 0.0 then 0.0
+  else float_of_int m.ops *. 1e3 /. m.wall_ns
 
 let cli_amp m = S.cli_amplification m.delta
 let xbi_amp m = S.xbi_amplification m.delta
+
+(* --- sharded (measured) execution --------------------------------------- *)
+
+let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256) spec
+    ~domains () =
+  let partition =
+    match partition with Some p -> p | None -> Shard.default_config.partition
+  in
+  (* each shard gets its proportional slice of the device budget, so an
+     N-shard fleet and a single tree cover the same total PM capacity *)
+  let shard_mb = max 16 (mb / max 1 domains) in
+  Shard.create
+    ~config:{ Shard.shards = domains; partition; queue_depth; batch }
+    ~make:(fun _i ->
+      let dev = device ~mb:shard_mb () in
+      let drv = build spec dev in
+      D.set_classifier dev
+        (Some (Pmalloc.Alloc.classify (drv.Baselines.Index_intf.allocator ())));
+      (dev, drv))
+    ()

@@ -29,6 +29,10 @@ type measurement = {
   ops : int;
   delta : Pmem.Stats.t;  (** Device counters over the measured phase. *)
   avg_ns : float;  (** Modeled single-thread ns per op. *)
+  wall_ns : float;
+      (** Measured host wall-clock ns over the op phase (driver calls
+          only, harness bookkeeping excluded); [0.] when the phase was
+          not timed. *)
   samples : float array;  (** Per-op modeled ns (subsampled). *)
   numa_aware : bool;
 }
@@ -45,8 +49,29 @@ val warmup :
   Baselines.Index_intf.driver -> keys:int64 array -> unit
 
 val profile : measurement -> Perfmodel.Thread_model.profile
-val mops : measurement -> threads:int -> float
-(** Modeled throughput of the measured op mix at [threads] threads. *)
+
+val mops_modeled : measurement -> threads:int -> float
+(** {e Modeled} throughput of the measured op mix at [threads] threads —
+    the {!Perfmodel.Thread_model} analytic curve, not an execution.  For
+    genuinely parallel measured numbers, see {!make_sharded} and the
+    [shard] bench suite. *)
+
+val mops_measured : measurement -> float
+(** Measured single-driver throughput: [ops / wall_ns], in Mop/s; [0.]
+    when the phase was not timed. *)
 
 val cli_amp : measurement -> float
 val xbi_amp : measurement -> float
+
+val make_sharded :
+  ?mb:int ->
+  ?partition:Shard.partition ->
+  ?queue_depth:int ->
+  ?batch:int ->
+  spec ->
+  domains:int ->
+  unit ->
+  Shard.t
+(** A [domains]-shard fleet of the given index spec, each shard on a
+    private device of [mb/domains] MB (same aggregate capacity as the
+    single-device setup) with the traffic classifier installed. *)

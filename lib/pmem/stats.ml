@@ -112,6 +112,30 @@ let diff ~after ~before =
           - before.media_write_bytes_by_class.(i));
   }
 
+let merge a b =
+  {
+    user_bytes = a.user_bytes + b.user_bytes;
+    store_bytes = a.store_bytes + b.store_bytes;
+    clwb_count = a.clwb_count + b.clwb_count;
+    sfence_count = a.sfence_count + b.sfence_count;
+    xpbuffer_write_bytes = a.xpbuffer_write_bytes + b.xpbuffer_write_bytes;
+    xpbuffer_hits = a.xpbuffer_hits + b.xpbuffer_hits;
+    xpbuffer_misses = a.xpbuffer_misses + b.xpbuffer_misses;
+    media_write_bytes = a.media_write_bytes + b.media_write_bytes;
+    media_write_lines = a.media_write_lines + b.media_write_lines;
+    media_read_bytes = a.media_read_bytes + b.media_read_bytes;
+    media_read_lines = a.media_read_lines + b.media_read_lines;
+    cpu_evictions = a.cpu_evictions + b.cpu_evictions;
+    crashes = a.crashes + b.crashes;
+    media_write_bytes_by_class =
+      Array.init classes (fun i ->
+          a.media_write_bytes_by_class.(i) + b.media_write_bytes_by_class.(i));
+  }
+
+let merge_all = function
+  | [] -> create ()
+  | s :: rest -> List.fold_left merge (copy s) rest
+
 let to_assoc t =
   [
     ("user_bytes", t.user_bytes);

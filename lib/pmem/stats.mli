@@ -50,6 +50,17 @@ val equal : t -> t -> bool
 val diff : after:t -> before:t -> t
 (** Counter deltas between two snapshots; used for per-phase accounting. *)
 
+val merge : t -> t -> t
+(** Counter-wise sum (per-class attribution included).  Commutative and
+    associative with {!create}[ ()] as the neutral element; the sharded
+    execution layer uses it to aggregate per-domain device traffic into
+    one record, and phase deltas on a single device satisfy
+    [merge (diff b a) (diff c b) = diff c a] by construction. *)
+
+val merge_all : t list -> t
+(** Fold of {!merge} over a list (empty list yields zeros).  Never aliases
+    its inputs: mutating the result does not disturb the sources. *)
+
 val to_assoc : t -> (string * int) list
 (** Every counter as a (name, value) pair, per-class attribution
     included.  Gives golden/regression tests one stable flat view to

@@ -1,0 +1,396 @@
+module Clock = Shard_clock
+module Queue = Shard_queue
+module D = Pmem.Device
+module S = Pmem.Stats
+module I = Baselines.Index_intf
+module Y = Workload.Ycsb
+
+type partition = Hash | Range of { lo : int64; hi : int64 }
+
+type config = {
+  shards : int;
+  partition : partition;
+  queue_depth : int;
+  batch : int;
+}
+
+let default_config = { shards = 4; partition = Hash; queue_depth = 64; batch = 256 }
+
+(* --- sync reply cell ---------------------------------------------------- *)
+
+type reply = {
+  rm : Mutex.t;
+  rc : Condition.t;
+  mutable ready : bool;
+  mutable found : int64 option;
+  mutable found_entries : (int64 * int64) array;
+}
+
+let reply () =
+  {
+    rm = Mutex.create ();
+    rc = Condition.create ();
+    ready = false;
+    found = None;
+    found_entries = [||];
+  }
+
+let signal r =
+  Mutex.lock r.rm;
+  r.ready <- true;
+  Condition.signal r.rc;
+  Mutex.unlock r.rm
+
+let await r =
+  Mutex.lock r.rm;
+  while not r.ready do
+    Condition.wait r.rc r.rm
+  done;
+  Mutex.unlock r.rm
+
+(* --- commands ----------------------------------------------------------- *)
+
+type wop =
+  | Upsert of int64 * int64
+  | Delete of int64
+  | Read of int64  (* executed for its traffic; result discarded *)
+  | Scan_share of int64 * int  (* this shard's share of a scattered scan *)
+
+type cmd =
+  | Batch of wop array
+  | Search of int64 * reply
+  | Scan of int64 * int * reply
+  | Barrier of reply
+  | Flush_index of reply
+  | Plan_failure of int
+  | Stop
+
+type worker = {
+  id : int;
+  dev : D.t;
+  mutable drv : I.driver;
+  q : cmd Queue.t;
+  applied : int Atomic.t;
+  busy_ns : int Atomic.t;
+  w_crashed : bool Atomic.t;  (* hit Power_failure; discards mutations *)
+  killed : bool Atomic.t;  (* hard-stop: skip queued work (crash path) *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  cfg : config;
+  workers : worker array;
+  pending : wop array array;  (* router-side per-shard batch buffers *)
+  pend_len : int array;
+  mutable running : bool;
+}
+
+(* --- worker ------------------------------------------------------------- *)
+
+let exec_wop (drv : I.driver) = function
+  | Upsert (k, v) -> drv.I.upsert k v
+  | Delete k -> drv.I.delete k
+  | Read k -> ignore (drv.I.search k : int64 option)
+  | Scan_share (k, n) -> ignore (drv.I.scan ~start:k n : (int64 * int64) array)
+
+let worker_loop w =
+  let continue = ref true in
+  while !continue do
+    let cmd = Queue.pop w.q in
+    let t0 = Clock.thread_cpu_ns () in
+    (match cmd with
+    | Stop -> continue := false
+    | _ when Atomic.get w.killed ->
+      (* power is off: drop work, but never leave a client waiting *)
+      (match cmd with
+      | Search (_, r) | Scan (_, _, r) | Barrier r | Flush_index r -> signal r
+      | _ -> ())
+    | Barrier r -> signal r
+    | Plan_failure n -> D.plan_failure w.dev ~after_fences:n
+    | Flush_index r ->
+      if not (Atomic.get w.w_crashed) then begin
+        try w.drv.I.flush_all ()
+        with D.Power_failure -> Atomic.set w.w_crashed true
+      end;
+      signal r
+    | Batch ops ->
+      if not (Atomic.get w.w_crashed) then begin
+        try
+          Array.iter
+            (fun op ->
+              exec_wop w.drv op;
+              Atomic.incr w.applied)
+            ops
+        with D.Power_failure -> Atomic.set w.w_crashed true
+      end
+    | Search (k, r) ->
+      r.found <- (if Atomic.get w.w_crashed then None else w.drv.I.search k);
+      signal r
+    | Scan (k, n, r) ->
+      r.found_entries <-
+        (if Atomic.get w.w_crashed then [||] else w.drv.I.scan ~start:k n);
+      signal r);
+    (* single-writer counter: plain read-modify-write is safe *)
+    Atomic.set w.busy_ns
+      (Atomic.get w.busy_ns + Int64.to_int (Int64.sub (Clock.thread_cpu_ns ()) t0))
+  done
+
+(* --- partitioning ------------------------------------------------------- *)
+
+(* Fibonacci mixing hash: spreads sequential, shuffled and skewed key
+   streams alike, so no shard becomes the hot one by key-pattern accident. *)
+let hash_shard shards k =
+  let h = Int64.mul k 0x9E3779B97F4A7C15L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 29) in
+  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int shards))
+
+let range_shard ~lo ~hi shards k =
+  if Int64.compare k lo <= 0 then 0
+  else if Int64.compare k hi >= 0 then shards - 1
+  else
+    let f = Int64.to_float (Int64.sub k lo) /. Int64.to_float (Int64.sub hi lo) in
+    min (shards - 1) (int_of_float (f *. float_of_int shards))
+
+let shard_of t k =
+  match t.cfg.partition with
+  | Hash -> hash_shard t.cfg.shards k
+  | Range { lo; hi } -> range_shard ~lo ~hi t.cfg.shards k
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let start t =
+  if not t.running then begin
+    Array.iter
+      (fun w ->
+        Atomic.set w.killed false;
+        w.domain <- Some (Domain.spawn (fun () -> worker_loop w)))
+      t.workers;
+    t.running <- true
+  end
+
+let stop t =
+  if t.running then begin
+    Array.iter (fun w -> Queue.push w.q Stop) t.workers;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+          Domain.join d;
+          w.domain <- None
+        | None -> ())
+      t.workers;
+    t.running <- false
+  end
+
+let create ?(config = default_config) ~make () =
+  if config.shards < 1 then invalid_arg "Shard.create: shards < 1";
+  if config.batch < 1 then invalid_arg "Shard.create: batch < 1";
+  let workers =
+    Array.init config.shards (fun i ->
+        let dev, drv = make i in
+        {
+          id = i;
+          dev;
+          drv;
+          q = Queue.create ~capacity:config.queue_depth;
+          applied = Atomic.make 0;
+          busy_ns = Atomic.make 0;
+          w_crashed = Atomic.make false;
+          killed = Atomic.make false;
+          domain = None;
+        })
+  in
+  let t =
+    {
+      cfg = config;
+      workers;
+      pending = Array.init config.shards (fun _ -> Array.make config.batch (Read 0L));
+      pend_len = Array.make config.shards 0;
+      running = false;
+    }
+  in
+  start t;
+  t
+
+let config t = t.cfg
+let shards t = t.cfg.shards
+
+(* --- router ------------------------------------------------------------- *)
+
+let flush_shard t s =
+  let n = t.pend_len.(s) in
+  if n > 0 then begin
+    t.pend_len.(s) <- 0;
+    Queue.push t.workers.(s).q (Batch (Array.sub t.pending.(s) 0 n))
+  end
+
+let enqueue t s op =
+  let buf = t.pending.(s) in
+  buf.(t.pend_len.(s)) <- op;
+  t.pend_len.(s) <- t.pend_len.(s) + 1;
+  if t.pend_len.(s) = Array.length buf then flush_shard t s
+
+let upsert t k v = enqueue t (shard_of t k) (Upsert (k, v))
+let delete t k = enqueue t (shard_of t k) (Delete k)
+
+let run t ops =
+  let n_shards = t.cfg.shards in
+  Array.iter
+    (fun op ->
+      match op with
+      | Y.Insert (k, v) when Int64.equal v 0L -> delete t k
+      | Y.Insert (k, v) -> upsert t k v
+      | Y.Read k -> enqueue t (shard_of t k) (Read k)
+      | Y.Scan (k, len) ->
+        (* each shard holds ~1/N of any key interval under Hash (and the
+           whole of it under Range when the scan fits one shard): ask every
+           shard for its share, the work a gathering merge would consume *)
+        let share = max 1 (len / n_shards) in
+        for s = 0 to n_shards - 1 do
+          enqueue t s (Scan_share (k, share))
+        done)
+    ops
+
+let barrier_all t =
+  let rs =
+    Array.map
+      (fun w ->
+        let r = reply () in
+        Queue.push w.q (Barrier r);
+        r)
+      t.workers
+  in
+  Array.iter await rs
+
+let flush t =
+  for s = 0 to t.cfg.shards - 1 do
+    flush_shard t s
+  done;
+  barrier_all t
+
+let flush_all t =
+  flush t;
+  let rs =
+    Array.map
+      (fun w ->
+        let r = reply () in
+        Queue.push w.q (Flush_index r);
+        r)
+      t.workers
+  in
+  Array.iter await rs
+
+let drain t =
+  flush_all t;
+  (* quiescent window: workers are parked on empty queues *)
+  Array.iter (fun w -> D.drain w.dev) t.workers
+
+let shutdown t =
+  flush t;
+  stop t
+
+(* --- synchronous reads -------------------------------------------------- *)
+
+let search t k =
+  let s = shard_of t k in
+  flush_shard t s;
+  let r = reply () in
+  Queue.push t.workers.(s).q (Search (k, r));
+  await r;
+  r.found
+
+let by_key (k1, _) (k2, _) = Int64.compare k1 k2
+
+let scan t ~start n =
+  for s = 0 to t.cfg.shards - 1 do
+    flush_shard t s
+  done;
+  let rs =
+    Array.map
+      (fun w ->
+        let r = reply () in
+        Queue.push w.q (Scan (start, n, r));
+        r)
+      t.workers
+  in
+  Array.iter await rs;
+  let all = Array.concat (Array.to_list (Array.map (fun r -> r.found_entries) rs)) in
+  Array.sort by_key all;
+  if Array.length all <= n then all else Array.sub all 0 n
+
+(* Chunked per-shard dump: repeated scans, each resuming past the last
+   key returned, so no single request asks the driver for an unbounded
+   result array. *)
+let dump_chunk = 4096
+
+let shard_entries t s =
+  let w = t.workers.(s) in
+  let rec go start acc =
+    let r = reply () in
+    Queue.push w.q (Scan (start, dump_chunk, r));
+    await r;
+    let chunk = r.found_entries in
+    let acc = chunk :: acc in
+    if Array.length chunk < dump_chunk then List.rev acc
+    else
+      let last, _ = chunk.(Array.length chunk - 1) in
+      if Int64.equal last Int64.max_int then List.rev acc
+      else go (Int64.add last 1L) acc
+  in
+  Array.concat (go Int64.min_int [])
+
+let entries t =
+  flush t;
+  let all =
+    Array.concat (List.init t.cfg.shards (fun s -> shard_entries t s))
+  in
+  Array.sort by_key all;
+  all
+
+let iter t f = Array.iter (fun (k, v) -> f k v) (entries t)
+
+(* --- measurement -------------------------------------------------------- *)
+
+let stats_per_shard t = Array.map (fun w -> D.snapshot w.dev) t.workers
+let stats t = S.merge_all (Array.to_list (stats_per_shard t))
+let applied t = Array.map (fun w -> Atomic.get w.applied) t.workers
+let busy_ns t = Array.map (fun w -> Atomic.get w.busy_ns) t.workers
+
+let reset_counters t =
+  flush t;
+  Array.iter
+    (fun w ->
+      Atomic.set w.applied 0;
+      Atomic.set w.busy_ns 0)
+    t.workers
+
+(* --- crash / recovery --------------------------------------------------- *)
+
+let plan_failure t ~shard ~after_fences =
+  Queue.push t.workers.(shard).q (Plan_failure after_fences)
+
+let crashed t = Array.map (fun w -> Atomic.get w.w_crashed) t.workers
+
+let crash t =
+  (* power failure: nothing pending or queued gets applied *)
+  Array.iter (fun w -> Atomic.set w.killed true) t.workers;
+  Array.fill t.pend_len 0 t.cfg.shards 0;
+  stop t;
+  Array.iter
+    (fun w ->
+      Queue.clear w.q;
+      D.crash w.dev;
+      Atomic.set w.w_crashed true)
+    t.workers
+
+let recover t rebuild =
+  if t.running then invalid_arg "Shard.recover: call crash or shutdown first";
+  Array.iter
+    (fun w ->
+      w.drv <- rebuild w.id w.dev;
+      Atomic.set w.w_crashed false)
+    t.workers;
+  Array.fill t.pend_len 0 t.cfg.shards 0;
+  start t
+
+let device t i = t.workers.(i).dev

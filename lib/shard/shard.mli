@@ -1,0 +1,164 @@
+(** Keyspace-partitioned, domain-parallel execution layer.
+
+    Each of N shards owns a {e private} simulated PM device and index
+    instance, pinned to its own [Domain] and fed by a bounded MPSC batch
+    queue ({!Queue}).  A router on the client side hash- or
+    range-partitions keys and batches operations per shard, so queue
+    traffic is amortized over [config.batch] operations.  This is the
+    shard-per-core structure FPTree and DPTree use to scale PM indexes:
+    no locks on the tree itself, because no two domains ever touch the
+    same device or node.
+
+    {b Ownership discipline (why this is data-race free).}  A shard's
+    device and driver are created by the client (inside [make]), handed to
+    the worker domain at spawn, and from then on mutated {e only} by that
+    worker.  The client touches them again only in quiescent windows —
+    after {!flush}/{!flush_all} (a barrier round-trip through every
+    queue, which establishes happens-before) or after {!crash}/{!shutdown}
+    (a [Domain.join]).  There is no cross-domain [Bytes] aliasing outside
+    those windows.
+
+    {b Acknowledgement contract.}  {!upsert}/{!delete}/{!run} are
+    asynchronous: they return once the operation is routed, not once it is
+    applied.  An operation is {e acknowledged} when a subsequent {!flush}
+    returns (and durable per the underlying index's contract once applied).
+    A {!crash} before the flush may lose routed-but-unapplied operations —
+    exactly the semantics of a power failure taking down server threads
+    with requests still in their inbound queues.
+
+    The router itself ([upsert]/[delete]/[search]/[scan]/[run]/[flush])
+    must be driven by one client domain at a time; the queues below it are
+    MPSC, so additional client domains can be added by giving each its own
+    router (one [t] per client over shared devices is {e not} supported —
+    create one [t] and funnel through it). *)
+
+module Clock = Shard_clock
+module Queue = Shard_queue
+
+type partition =
+  | Hash  (** Mixing hash of the key; balances any stream. *)
+  | Range of { lo : int64; hi : int64 }
+      (** Contiguous key ranges over [\[lo, hi\]]; preserves scan locality
+          (a short scan usually touches one shard). *)
+
+type config = {
+  shards : int;  (** Worker domains (and devices, and index instances). *)
+  partition : partition;
+  queue_depth : int;  (** Bounded queue capacity, in batches. *)
+  batch : int;  (** Router-side operations per batch. *)
+}
+
+val default_config : config
+(** 4 shards, hash partitioning, 64-batch queues, 256-op batches. *)
+
+type t
+
+val create :
+  ?config:config ->
+  make:(int -> Pmem.Device.t * Baselines.Index_intf.driver) ->
+  unit ->
+  t
+(** [create ~make ()] builds [config.shards] shards; [make i] supplies
+    shard [i]'s private device and index driver.  Worker domains start
+    immediately. *)
+
+val config : t -> config
+val shards : t -> int
+
+val shard_of : t -> int64 -> int
+(** The shard a key routes to. *)
+
+(** {1 Asynchronous operations (routed, batched)} *)
+
+val upsert : t -> int64 -> int64 -> unit
+val delete : t -> int64 -> unit
+
+val run : t -> Workload.Ycsb.op array -> unit
+(** Route a YCSB stream: inserts and deletes (value [0L]) go to their
+    shard; reads execute on their shard with the result discarded; scans
+    scatter to every shard for [len/shards] entries each (the per-shard
+    share of a gathered merge).  This is the measured-throughput path —
+    call {!flush} afterwards to quiesce before reading clocks or stats. *)
+
+(** {1 Synchronous operations} *)
+
+val search : t -> int64 -> int64 option
+(** Routed to the owning shard after flushing its pending batch, so every
+    earlier asynchronous operation on the same key is visible. *)
+
+val scan : t -> start:int64 -> int -> (int64 * int64) array
+(** Scatter-gather: every shard returns up to [n] entries [>= start];
+    the client merges them and keeps the [n] smallest. *)
+
+val entries : t -> (int64 * int64) array
+(** Every live entry across all shards, key-sorted (chunked per-shard
+    scans, merged).  Quiesces first. *)
+
+val iter : t -> (int64 -> int64 -> unit) -> unit
+(** [iter t f] applies [f] to {!entries} in key order. *)
+
+(** {1 Quiescing} *)
+
+val flush : t -> unit
+(** Push partial router batches and wait until every shard has applied
+    everything queued (barrier per shard). *)
+
+val flush_all : t -> unit
+(** {!flush}, then the driver's [flush_all] on every shard (end-of-run
+    accounting: volatile buffers reach PM). *)
+
+val drain : t -> unit
+(** {!flush_all}, then {!Pmem.Device.drain} on every shard's device. *)
+
+val shutdown : t -> unit
+(** {!flush} and stop the worker domains.  The structure can be restarted
+    by {!recover} (with a rebuild function) if needed; normal users call
+    this once at the end. *)
+
+(** {1 Measurement} *)
+
+val stats_per_shard : t -> Pmem.Stats.t array
+(** Per-shard device counter snapshots.  Only exact in a quiescent
+    window; callers flush first. *)
+
+val stats : t -> Pmem.Stats.t
+(** {!Pmem.Stats.merge} of all shards' counters. *)
+
+val applied : t -> int array
+(** Operations each worker has applied since the last reset. *)
+
+val busy_ns : t -> int array
+(** Thread-CPU nanoseconds each worker spent processing commands since
+    the last reset ({!Clock.thread_cpu_ns}).  [total_ops /. max busy_ns]
+    is the measured critical-path (service) throughput: what the shard
+    fleet sustains when every domain has a core — see DESIGN.md §8. *)
+
+val reset_counters : t -> unit
+(** Quiesce, then zero {!applied} and {!busy_ns} (start of a measured
+    phase, after warmup). *)
+
+(** {1 Crash injection and recovery} *)
+
+val plan_failure : t -> shard:int -> after_fences:int -> unit
+(** Arm {!Pmem.Device.plan_failure} on one shard, through its queue (the
+    device is worker-owned; the client must not touch it directly).  When
+    the failure fires, that worker discards the rest of its stream and
+    marks itself crashed; other shards keep running. *)
+
+val crashed : t -> bool array
+
+val crash : t -> unit
+(** Power failure across the fleet: stop every worker immediately
+    (queued-but-unapplied batches are dropped — they were never
+    acknowledged), then {!Pmem.Device.crash} every shard's device. *)
+
+val recover : t -> (int -> Pmem.Device.t -> Baselines.Index_intf.driver) -> unit
+(** Rebuild each shard's driver from its (crashed) device — e.g.
+    [Tree.recover] behind the driver interface — clear crash flags,
+    restart the worker domains, and reset the router. *)
+
+(** {1 Worker-owned state, for tests and experiments} *)
+
+val device : t -> int -> Pmem.Device.t
+(** Shard [i]'s device.  Only safe to use in quiescent windows (after
+    {!flush}, {!crash} or {!shutdown}). *)

@@ -1,0 +1,2 @@
+external thread_cpu_ns : unit -> int64 = "ccl_shard_thread_cputime_ns"
+external monotonic_ns : unit -> int64 = "ccl_shard_monotonic_ns"

@@ -1,0 +1,14 @@
+(** Clocks for measured (not modeled) throughput.
+
+    Exposed through {!Shard.Clock}. *)
+
+val thread_cpu_ns : unit -> int64
+(** CPU time consumed by the calling thread (Linux
+    [CLOCK_THREAD_CPUTIME_ID]).  Unlike wall-clock time this excludes the
+    intervals in which the OS ran someone else, so per-shard busy time —
+    and the critical-path throughput derived from it — is accurate even
+    when worker domains outnumber host cores. *)
+
+val monotonic_ns : unit -> int64
+(** Monotonic wall clock ([CLOCK_MONOTONIC]); the basis of the measured
+    wall-clock Mop/s columns. *)

@@ -1,0 +1,37 @@
+/* Per-thread CPU clock for the sharded execution layer.
+
+   CLOCK_THREAD_CPUTIME_ID charges a worker domain only for the cycles it
+   actually executed, so per-shard service time stays meaningful even when
+   the host oversubscribes cores (CI containers, shared machines).  On
+   platforms without it we degrade to CLOCK_MONOTONIC, which is identical
+   whenever each domain has a core to itself. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+static value ns_of(struct timespec ts)
+{
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}
+
+CAMLprim value ccl_shard_thread_cputime_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+#else
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#endif
+  (void)unit;
+  return ns_of(ts);
+}
+
+CAMLprim value ccl_shard_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return ns_of(ts);
+}

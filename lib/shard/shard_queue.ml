@@ -1,0 +1,61 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* index of the next element to pop *)
+  mutable len : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Shard.Queue.create: capacity < 1";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let push t x =
+  Mutex.lock t.m;
+  let cap = Array.length t.buf in
+  while t.len = cap do
+    Condition.wait t.not_full t.m
+  done;
+  t.buf.((t.head + t.len) mod cap) <- Some x;
+  t.len <- t.len + 1;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.m
+
+let pop t =
+  Mutex.lock t.m;
+  while t.len = 0 do
+    Condition.wait t.not_empty t.m
+  done;
+  let x =
+    match t.buf.(t.head) with
+    | Some x -> x
+    | None -> assert false
+  in
+  t.buf.(t.head) <- None;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  Condition.signal t.not_full;
+  Mutex.unlock t.m;
+  x
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.len in
+  Mutex.unlock t.m;
+  n
+
+let clear t =
+  Mutex.lock t.m;
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m

@@ -1,0 +1,23 @@
+(** Bounded blocking MPSC queue (exposed through {!Shard.Queue}).
+
+    Clients (any number of domains) [push] command batches; exactly one
+    worker domain [pop]s them.  Both ends block — a full queue applies
+    back-pressure to producers instead of growing without bound, an empty
+    queue parks the worker.  Batching at the caller keeps the mutex out of
+    the per-operation hot path. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the queue is full. *)
+
+val pop : 'a t -> 'a
+(** Blocks while the queue is empty. *)
+
+val length : 'a t -> int
+val clear : 'a t -> unit
+(** Drop every queued element (crash path: unconsumed batches are exactly
+    the unacknowledged operations a power failure loses). *)

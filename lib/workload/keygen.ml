@@ -73,3 +73,22 @@ let shuffled_range ~seed n =
     a.(j) <- tmp
   done;
   a
+
+let partition ~shards ~shard_of keys =
+  let counts = Array.make shards 0 in
+  let place k =
+    let s = shard_of k in
+    if s < 0 || s >= shards then
+      invalid_arg "Keygen.partition: shard_of out of range";
+    s
+  in
+  Array.iter (fun k -> counts.(place k) <- counts.(place k) + 1) keys;
+  let out = Array.init shards (fun s -> Array.make counts.(s) 0L) in
+  let idx = Array.make shards 0 in
+  Array.iter
+    (fun k ->
+      let s = place k in
+      out.(s).(idx.(s)) <- k;
+      idx.(s) <- idx.(s) + 1)
+    keys;
+  out

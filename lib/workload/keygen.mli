@@ -17,3 +17,10 @@ val next : t -> int64
 
 val shuffled_range : seed:int -> int -> int64 array
 (** A random permutation of [1..n]: the warm-up load order. *)
+
+val partition :
+  shards:int -> shard_of:(int64 -> int) -> int64 array -> int64 array array
+(** Split a key stream into [shards] per-shard streams, preserving each
+    stream's relative order.  [shard_of] is the router's placement
+    function (e.g. [Shard.shard_of]); keys it maps outside
+    [0, shards) raise [Invalid_argument]. *)

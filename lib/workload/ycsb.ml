@@ -25,6 +25,27 @@ let ratios = function
   | Read_only -> (0, 100, 0)
   | Scan_insert -> (5, 0, 95)
 
+let op_key = function Insert (k, _) -> k | Read k -> k | Scan (k, _) -> k
+
+let partition ~shards ~shard_of ops =
+  let counts = Array.make shards 0 in
+  let place op =
+    let s = shard_of (op_key op) in
+    if s < 0 || s >= shards then
+      invalid_arg "Ycsb.partition: shard_of out of range";
+    s
+  in
+  Array.iter (fun op -> counts.(place op) <- counts.(place op) + 1) ops;
+  let out = Array.init shards (fun s -> Array.make counts.(s) (Read 0L)) in
+  let idx = Array.make shards 0 in
+  Array.iter
+    (fun op ->
+      let s = place op in
+      out.(s).(idx.(s)) <- op;
+      idx.(s) <- idx.(s) + 1)
+    ops;
+  out
+
 let generate mix ~seed ~space ~scan_len n =
   let rng = Random.State.make [| seed |] in
   let ins, rd, _ = ratios mix in

@@ -19,3 +19,12 @@ val generate :
   mix -> seed:int -> space:int -> scan_len:int -> int -> op array
 (** [generate mix ~seed ~space ~scan_len n] draws [n] operations over keys
     in [1, space] with uniform key choice. *)
+
+val op_key : op -> int64
+(** The key an operation routes on (a scan routes on its start key). *)
+
+val partition :
+  shards:int -> shard_of:(int64 -> int) -> op array -> op array array
+(** Split a stream into per-shard streams by {!op_key}, preserving each
+    stream's relative order — per-client feeds for a sharded execution
+    layer.  @raise Invalid_argument if [shard_of] leaves [0, shards). *)

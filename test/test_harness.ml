@@ -61,7 +61,7 @@ let test_measurement_consistency () =
   check_bool "positive per-op cost" true (m.R.avg_ns > 100.0);
   check_bool "samples collected" true (Array.length m.R.samples = 2000);
   (* throughput is monotone in threads and finite *)
-  let t1 = R.mops m ~threads:1 and t96 = R.mops m ~threads:96 in
+  let t1 = R.mops_modeled m ~threads:1 and t96 = R.mops_modeled m ~threads:96 in
   check_bool "finite throughput" true (Float.is_finite t1 && Float.is_finite t96);
   check_bool "more threads help" true (t96 > t1);
   check_bool "amplification sane" true

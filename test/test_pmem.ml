@@ -767,6 +767,87 @@ let prop_persisted_survives_crash =
           | _ -> true)
         expected true)
 
+(* --- Stats.merge -------------------------------------------------------- *)
+
+(* Random counter record: every field set independently, including the
+   per-class attribution array. *)
+let arb_stats =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun ints ->
+          match ints with
+          | a :: b :: c :: d :: e :: f :: g :: h :: i :: j :: k :: l :: m :: rest
+            ->
+            let s = S.create () in
+            s.S.user_bytes <- a;
+            s.S.store_bytes <- b;
+            s.S.clwb_count <- c;
+            s.S.sfence_count <- d;
+            s.S.xpbuffer_write_bytes <- e;
+            s.S.xpbuffer_hits <- f;
+            s.S.xpbuffer_misses <- g;
+            s.S.media_write_bytes <- h;
+            s.S.media_write_lines <- i;
+            s.S.media_read_bytes <- j;
+            s.S.media_read_lines <- k;
+            s.S.cpu_evictions <- l;
+            s.S.crashes <- m;
+            List.iteri
+              (fun idx v ->
+                if idx < S.classes then s.S.media_write_bytes_by_class.(idx) <- v)
+              rest;
+            s
+          | _ -> assert false)
+        (list_repeat (13 + S.classes) (int_bound 1_000_000)))
+  in
+  QCheck.make ~print:(fun s -> Format.asprintf "%a" S.pp s) gen
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:100 ~name:"merge commutative"
+    (QCheck.pair arb_stats arb_stats)
+    (fun (a, b) -> S.equal (S.merge a b) (S.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"merge associative"
+    (QCheck.triple arb_stats arb_stats arb_stats)
+    (fun (a, b, c) ->
+      S.equal (S.merge (S.merge a b) c) (S.merge a (S.merge b c)))
+
+let prop_merge_neutral =
+  QCheck.Test.make ~count:100 ~name:"merge neutral element" arb_stats
+    (fun a ->
+      S.equal (S.merge a (S.create ())) a
+      && S.equal (S.merge_all [ a ]) a)
+
+(* Phase accounting on one device is additive: merging the per-phase
+   deltas of a split workload equals the delta of running the
+   concatenation — i.e. merge agrees with the device's own accounting. *)
+let prop_merge_agrees_with_phases =
+  QCheck.Test.make ~count:30 ~name:"merge of phase deltas = total delta"
+    QCheck.(
+      pair (list (pair (int_bound 8191) (int_bound 255))) (int_bound 100))
+    (fun (writes, split_pct) ->
+      let d = device ~size:16384 ~xpbuffer_lines:4 ~cpu_cache_lines:8 () in
+      let run ops =
+        List.iter
+          (fun (addr, v) ->
+            D.store_u8 d addr v;
+            D.persist d addr 1)
+          ops
+      in
+      let cut = List.length writes * split_pct / 100 in
+      let phase1 = List.filteri (fun i _ -> i < cut) writes in
+      let phase2 = List.filteri (fun i _ -> i >= cut) writes in
+      let s0 = D.snapshot d in
+      run phase1;
+      let s1 = D.snapshot d in
+      run phase2;
+      let s2 = D.snapshot d in
+      S.equal
+        (S.merge (S.diff ~after:s1 ~before:s0) (S.diff ~after:s2 ~before:s1))
+        (S.diff ~after:s2 ~before:s0))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "pmem"
@@ -861,4 +942,11 @@ let () =
       ( "properties",
         [ qt prop_drain_preserves_content; qt prop_persisted_survives_crash ]
       );
+      ( "stats-merge",
+        [
+          qt prop_merge_commutative;
+          qt prop_merge_associative;
+          qt prop_merge_neutral;
+          qt prop_merge_agrees_with_phases;
+        ] );
     ]

@@ -1,0 +1,364 @@
+(* Tests for the sharded, domain-parallel execution layer:
+
+   - the bounded MPSC queue's FIFO and blocking contracts,
+   - router partitioning (hash and range) and stream partition helpers,
+   - equivalence: a randomized op stream applied to an N-shard fleet and
+     to one single-device CCL-BTree gives identical search/scan/iter
+     results after quiesce,
+   - crash-at-a-random-fence -> recover -> audit over all shards,
+   - measured counters (applied ops, per-shard busy clocks). *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module T = Ccl_btree.Tree
+module I = Baselines.Index_intf
+module Y = Workload.Ycsb
+module K = Workload.Keygen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_dev () =
+  D.create ~config:(Pmem.Config.default ~size:(8 * 1024 * 1024) ()) ()
+
+(* CCL-BTree shards with the Tree.t handles kept around, so tests can run
+   recovery and invariant checks on the worker-owned trees during
+   quiescent windows. *)
+let ccl_fleet ?(config = Shard.default_config) shards =
+  let trees = Array.make shards None in
+  let t =
+    Shard.create
+      ~config:{ config with Shard.shards }
+      ~make:(fun i ->
+        let dev = small_dev () in
+        let tree = T.create dev in
+        trees.(i) <- Some tree;
+        (dev, I.driver (module Baselines.Ccl_index) tree))
+      ()
+  in
+  (t, trees)
+
+let tree_of trees i =
+  match trees.(i) with Some t -> t | None -> Alcotest.fail "no tree"
+
+(* --- queue -------------------------------------------------------------- *)
+
+let test_queue_fifo () =
+  let q = Shard.Queue.create ~capacity:4 in
+  (* a consumer domain drains; the producer overfills the capacity, so
+     pushes must block and back-pressure rather than fail *)
+  let got = ref [] in
+  let consumer =
+    Domain.spawn (fun () ->
+        for _ = 1 to 100 do
+          got := Shard.Queue.pop q :: !got
+        done)
+  in
+  for i = 1 to 100 do
+    Shard.Queue.push q i
+  done;
+  Domain.join consumer;
+  check_int "all delivered" 100 (List.length !got);
+  check_bool "FIFO order" true (List.rev !got = List.init 100 (fun i -> i + 1));
+  check_int "empty after" 0 (Shard.Queue.length q)
+
+let test_queue_clear () =
+  let q = Shard.Queue.create ~capacity:8 in
+  Shard.Queue.push q 1;
+  Shard.Queue.push q 2;
+  Shard.Queue.clear q;
+  check_int "cleared" 0 (Shard.Queue.length q);
+  Shard.Queue.push q 3;
+  check_int "usable after clear" 3 (Shard.Queue.pop q)
+
+(* --- partitioning ------------------------------------------------------- *)
+
+let test_hash_partition_balances () =
+  let t, _ = ccl_fleet 4 in
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun k ->
+      let s = Shard.shard_of t k in
+      counts.(s) <- counts.(s) + 1)
+    (K.shuffled_range ~seed:3 8000);
+  Shard.shutdown t;
+  Array.iteri
+    (fun i c ->
+      check_bool (Printf.sprintf "shard %d within 20%% of fair share" i) true
+        (c > 1600 && c < 2400))
+    counts
+
+let test_range_partition_orders () =
+  let t, _ =
+    ccl_fleet
+      ~config:
+        {
+          Shard.default_config with
+          partition = Shard.Range { lo = 0L; hi = 1000L };
+        }
+      4
+  in
+  check_int "low key -> first shard" 0 (Shard.shard_of t 1L);
+  check_int "high key -> last shard" 3 (Shard.shard_of t 999L);
+  check_bool "monotone" true
+    (Shard.shard_of t 100L <= Shard.shard_of t 600L);
+  Shard.shutdown t
+
+let test_stream_partition_helpers () =
+  let shard_of k = Int64.to_int (Int64.rem k 3L) in
+  let keys = K.shuffled_range ~seed:5 300 in
+  let parts = K.partition ~shards:3 ~shard_of keys in
+  check_int "keys conserved" 300
+    (Array.fold_left (fun a p -> a + Array.length p) 0 parts);
+  Array.iteri
+    (fun s part ->
+      Array.iter (fun k -> check_int "routed home" s (shard_of k)) part)
+    parts;
+  (* relative order within a shard is the stream order *)
+  let order = Hashtbl.create 300 in
+  Array.iteri (fun i k -> Hashtbl.replace order k i) keys;
+  Array.iter
+    (fun part ->
+      let idx = Array.map (fun k -> Hashtbl.find order k) part in
+      Array.iteri
+        (fun i v -> if i > 0 then check_bool "order kept" true (idx.(i - 1) < v))
+        idx)
+    parts;
+  let ops = Y.generate Y.Insert_intensive ~seed:6 ~space:500 ~scan_len:10 200 in
+  let op_parts = Y.partition ~shards:3 ~shard_of ops in
+  check_int "ops conserved" 200
+    (Array.fold_left (fun a p -> a + Array.length p) 0 op_parts)
+
+(* --- equivalence with a single tree ------------------------------------- *)
+
+let random_ops ~seed n =
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun i ->
+      let k = Int64.of_int (1 + Random.State.int rng 700) in
+      match Random.State.int rng 10 with
+      | 0 -> `Del k
+      | _ -> `Ups (k, Int64.of_int (i + 1)))
+
+let test_equivalence_with_single_tree () =
+  let shards = 3 in
+  let t, trees = ccl_fleet shards in
+  let oracle_dev = small_dev () in
+  let oracle = T.create oracle_dev in
+  List.iter
+    (fun op ->
+      match op with
+      | `Ups (k, v) ->
+        Shard.upsert t k v;
+        T.upsert oracle k v
+      | `Del k ->
+        Shard.delete t k;
+        T.delete oracle k)
+    (random_ops ~seed:11 4000);
+  Shard.flush t;
+  (* searches agree on hits and misses *)
+  for k = 1 to 800 do
+    let k = Int64.of_int k in
+    Alcotest.(check (option int64))
+      (Printf.sprintf "search %Ld" k)
+      (T.search oracle k) (Shard.search t k)
+  done;
+  (* scatter-gather scan agrees with the single tree's scan *)
+  List.iter
+    (fun (start, n) ->
+      let a = Shard.scan t ~start n in
+      let b = T.scan oracle ~start n in
+      check_bool (Printf.sprintf "scan %Ld+%d" start n) true (a = b))
+    [ (1L, 50); (100L, 100); (350L, 17); (699L, 10); (900L, 5) ];
+  (* full merged iteration agrees *)
+  let of_iter it =
+    let acc = ref [] in
+    it (fun k v -> acc := (k, v) :: !acc);
+    List.rev !acc
+  in
+  let got = of_iter (fun f -> Shard.iter t f) in
+  let expect = of_iter (fun f -> T.iter oracle f) in
+  check_bool "iter equal" true (got = expect);
+  check_int "entries count" (List.length expect)
+    (Array.length (Shard.entries t));
+  (* per-shard trees individually satisfy the structural invariants *)
+  for i = 0 to shards - 1 do
+    T.check_invariants (tree_of trees i)
+  done;
+  Shard.shutdown t
+
+let test_run_ycsb_stream () =
+  let t, _ = ccl_fleet 3 in
+  Shard.run t
+    (Array.mapi
+       (fun i k -> Y.Insert (k, Int64.of_int (i + 1)))
+       (K.shuffled_range ~seed:13 2000));
+  Shard.flush t;
+  let ops = Y.generate Y.Scan_insert ~seed:14 ~space:2000 ~scan_len:30 500 in
+  Shard.run t ops;
+  Shard.flush t;
+  let applied = Array.fold_left ( + ) 0 (Shard.applied t) in
+  (* every routed command ran: 2000 loads, plus the mixed stream (scans
+     scatter one share per shard) *)
+  let scans =
+    Array.fold_left
+      (fun a op -> match op with Y.Scan _ -> a + 1 | _ -> a)
+      0 ops
+  in
+  check_int "applied everything" (2000 + (Array.length ops - scans) + (scans * 3))
+    applied;
+  let busy = Shard.busy_ns t in
+  Array.iteri
+    (fun i b -> check_bool (Printf.sprintf "shard %d clocked work" i) true (b > 0))
+    busy;
+  check_bool "merged stats saw traffic" true
+    ((Shard.stats t).S.media_write_bytes > 0);
+  Shard.shutdown t
+
+(* --- crash and recovery ------------------------------------------------- *)
+
+(* Run a random upsert/delete stream with a power failure armed at a
+   random fence of a random shard; crash the whole fleet; recover every
+   shard with Tree.recover; audit.
+
+   Acknowledgement contract of the shard layer: everything routed before
+   the last flush is acked, so it must read back exactly (CCL-BTree's
+   per-op durability covers acked upserts).  Operations routed after the
+   last flush may or may not have applied: those keys may read as the
+   acked value, any later submitted value, or (if never acked) absent. *)
+let crash_recover_audit ~seed =
+  let shards = 3 in
+  let t, trees = ccl_fleet shards in
+  let rng = Random.State.make [| seed |] in
+  Shard.plan_failure t
+    ~shard:(Random.State.int rng shards)
+    ~after_fences:(1 + Random.State.int rng 400);
+  (* [acked]: key -> value as of the last flush that completed before any
+     shard crashed (absence = absent or deleted).  [pending]: key -> every
+     state submitted since then, newest first ([Some v] upsert, [None]
+     delete).  After a crash, a key may legitimately hold its acked state
+     or any submitted-but-unacked state — but nothing else. *)
+  let acked = Hashtbl.create 512 in
+  let pending = Hashtbl.create 64 in
+  let submit op =
+    let k, s = match op with `Ups (k, v) -> (k, Some v) | `Del k -> (k, None) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt pending k) in
+    Hashtbl.replace pending k (s :: prev)
+  in
+  let ack_pending () =
+    Hashtbl.iter
+      (fun k states ->
+        match states with
+        | Some v :: _ -> Hashtbl.replace acked k v
+        | None :: _ -> Hashtbl.remove acked k
+        | [] -> ())
+      pending;
+    Hashtbl.reset pending
+  in
+  List.iteri
+    (fun i op ->
+      (match op with
+      | `Ups (k, v) -> Shard.upsert t k v
+      | `Del k -> Shard.delete t k);
+      submit op;
+      if (i + 1) mod 500 = 0 then begin
+        Shard.flush t;
+        if not (Array.exists Fun.id (Shard.crashed t)) then ack_pending ()
+      end)
+    (random_ops ~seed:(seed + 1) 3000);
+  Shard.crash t;
+  Shard.recover t (fun i dev ->
+      let tree = T.recover dev in
+      trees.(i) <- Some tree;
+      I.driver (module Baselines.Ccl_index) tree);
+  for i = 0 to shards - 1 do
+    T.check_invariants (tree_of trees i)
+  done;
+  let errs = ref [] in
+  let audit k =
+    let got = Shard.search t k in
+    let acked_v = Hashtbl.find_opt acked k in
+    let subs = Option.value ~default:[] (Hashtbl.find_opt pending k) in
+    if got <> acked_v && not (List.mem got subs) then
+      errs :=
+        Printf.sprintf "seed %d: key %Ld recovered to an unsubmitted state"
+          seed k
+        :: !errs
+  in
+  Hashtbl.iter (fun k _ -> audit k) acked;
+  Hashtbl.iter (fun k _ -> if not (Hashtbl.mem acked k) then audit k) pending;
+  Shard.shutdown t;
+  !errs
+
+let test_crash_recover_all_shards () =
+  let errs = List.concat_map (fun seed -> crash_recover_audit ~seed) [ 1; 2; 3; 4; 5 ] in
+  if errs <> [] then Alcotest.fail (String.concat "\n" errs)
+
+let test_clean_crash_loses_nothing () =
+  (* drain-quiesced fleet: a crash afterwards must preserve every entry *)
+  let t, trees = ccl_fleet 2 in
+  let keys = K.shuffled_range ~seed:21 1500 in
+  Array.iteri (fun i k -> Shard.upsert t k (Int64.of_int (i + 1))) keys;
+  Shard.drain t;
+  let expect = Shard.entries t in
+  Shard.crash t;
+  Shard.recover t (fun i dev ->
+      let tree = T.recover dev in
+      trees.(i) <- Some tree;
+      I.driver (module Baselines.Ccl_index) tree);
+  let got = Shard.entries t in
+  check_bool "all entries survive a post-drain crash" true (got = expect);
+  check_int "entry count" 1500 (Array.length got);
+  Shard.shutdown t
+
+(* --- clocks ------------------------------------------------------------- *)
+
+let test_clocks () =
+  let w0 = Shard.Clock.monotonic_ns () in
+  let c0 = Shard.Clock.thread_cpu_ns () in
+  (* burn a little CPU so both clocks must advance *)
+  let acc = ref 0 in
+  for i = 0 to 2_000_000 do
+    acc := !acc + i
+  done;
+  ignore !acc;
+  let w1 = Shard.Clock.monotonic_ns () in
+  let c1 = Shard.Clock.thread_cpu_ns () in
+  check_bool "monotonic advances" true (Int64.compare w1 w0 > 0);
+  check_bool "cpu clock advances" true (Int64.compare c1 c0 > 0);
+  (* CPU time never exceeds wall time for a single busy thread *)
+  check_bool "cpu <= wall (with slack)" true
+    (Int64.compare (Int64.sub c1 c0)
+       (Int64.add (Int64.sub w1 w0) 50_000_000L)
+    <= 0)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "fifo + backpressure" `Quick test_queue_fifo;
+          Alcotest.test_case "clear" `Quick test_queue_clear;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "hash balances" `Quick test_hash_partition_balances;
+          Alcotest.test_case "range orders" `Quick test_range_partition_orders;
+          Alcotest.test_case "stream helpers" `Quick
+            test_stream_partition_helpers;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "matches single tree" `Quick
+            test_equivalence_with_single_tree;
+          Alcotest.test_case "ycsb stream + counters" `Quick
+            test_run_ycsb_stream;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "random-fence failure, recover, audit" `Quick
+            test_crash_recover_all_shards;
+          Alcotest.test_case "post-drain crash lossless" `Quick
+            test_clean_crash_loses_nothing;
+        ] );
+      ("clock", [ Alcotest.test_case "advances" `Quick test_clocks ]);
+    ]
