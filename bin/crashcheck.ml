@@ -89,20 +89,32 @@ let no_minimize_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
 
+let pmsan_arg =
+  Arg.(
+    value & flag
+    & info [ "pmsan" ]
+        ~doc:
+          "Shadow-validate every model-checked execution with the \
+           $(b,Pmsan) persistency sanitizer: correctness-class findings \
+           are reported as violations of their crash point, and \
+           sweep-wide flush/fence counters are printed.")
+
 let run ops key_space wseed seeds probs stride index buckets size nbatch smoke
-    no_minimize quiet =
-  if stride < 1 then begin
-    prerr_endline "crashcheck: --stride must be >= 1";
+    no_minimize quiet pmsan =
+  let usage m =
+    Printf.eprintf "crashcheck: %s\nTry 'crashcheck --help' for usage.\n" m;
     exit 2
-  end;
-  if ops < 1 then begin
-    prerr_endline "crashcheck: --ops must be >= 1";
-    exit 2
-  end;
-  if List.exists (fun p -> p < 0.0 || p > 1.0) probs then begin
-    prerr_endline "crashcheck: --probs values must be within [0,1]";
-    exit 2
-  end;
+  in
+  if stride < 1 then usage "--stride must be >= 1";
+  if ops < 1 then usage "--ops must be >= 1";
+  if key_space < 1 then usage "--key-space must be >= 1";
+  if buckets < 1 then usage "--buckets must be >= 1";
+  if size < 1 lsl 20 then usage "--size must be at least 1 MiB";
+  if nbatch < 1 || nbatch > 12 then usage "--nbatch must be in 1..12";
+  if seeds = [] then usage "--seeds needs at least one seed";
+  if probs = [] then usage "--probs needs at least one probability";
+  if List.exists (fun p -> p < 0.0 || p > 1.0) probs then
+    usage "--probs values must be within [0,1]";
   let ops, seeds, probs, stride, size =
     if smoke then (max ops 500, [ 1; 2 ], [ 0.4 ], 1, 8 * 1024 * 1024)
     else (ops, seeds, probs, stride, size)
@@ -131,7 +143,7 @@ let run ops key_space wseed seeds probs stride index buckets size nbatch smoke
   let report =
     C.check ~cfg ~target:index ~buckets ~device_size:size ~stride
       ~persist_probs:probs ~crash_seeds:seeds ~minimize:(not no_minimize)
-      ?progress workload
+      ~sanitize:pmsan ?progress workload
   in
   let dt = Unix.gettimeofday () -. t0 in
   Fmt.pr "%a@." C.pp_report report;
@@ -145,6 +157,6 @@ let cmd =
     Term.(
       const run $ ops_arg $ key_space_arg $ wseed_arg $ seeds_arg $ probs_arg
       $ stride_arg $ index_arg $ buckets_arg $ size_arg $ nbatch_arg
-      $ smoke_arg $ no_minimize_arg $ quiet_arg)
+      $ smoke_arg $ no_minimize_arg $ quiet_arg $ pmsan_arg)
 
 let () = exit (Cmd.eval' cmd)

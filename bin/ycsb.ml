@@ -28,7 +28,11 @@ let spec_of = function
   | "flatstore" -> Harness.Runner.Flatstore
   | "lsm" -> Harness.Runner.Lsm
   | s ->
-    Printf.eprintf "unknown index %s\n" s;
+    Printf.eprintf
+      "ccl-ycsb: unknown index '%s' (expected ccl fastfair fptree lbtree \
+       utree dptree pactree flatstore lsm)\n\
+       Try 'ccl-ycsb --help' for usage.\n"
+      s;
     exit 2
 
 let mix_of = function
@@ -38,7 +42,11 @@ let mix_of = function
   | "read-only" -> Y.Read_only
   | "scan-insert" -> Y.Scan_insert
   | s ->
-    Printf.eprintf "unknown mix %s\n" s;
+    Printf.eprintf
+      "ccl-ycsb: unknown mix '%s' (expected insert-only insert-intensive \
+       read-intensive read-only scan-insert)\n\
+       Try 'ccl-ycsb --help' for usage.\n"
+      s;
     exit 2
 
 let kv fmt = Printf.printf ("%-26s " ^^ fmt ^^ "\n")
@@ -61,9 +69,40 @@ let print_modeled m model_threads =
 
 (* --- single-driver path -------------------------------------------------- *)
 
-let run_single spec mix mix_name warmup ops model_threads scan_len =
+(* Route each driver entry point through a site label so the sanitizer
+   report attributes violations and redundancy per operation kind. *)
+let sited_driver san (drv : Baselines.Index_intf.driver) =
+  {
+    drv with
+    Baselines.Index_intf.upsert =
+      (fun k v ->
+        Pmsan.set_site san "upsert";
+        drv.Baselines.Index_intf.upsert k v);
+    search =
+      (fun k ->
+        Pmsan.set_site san "search";
+        drv.Baselines.Index_intf.search k);
+    delete =
+      (fun k ->
+        Pmsan.set_site san "delete";
+        drv.Baselines.Index_intf.delete k);
+    scan =
+      (fun ~start n ->
+        Pmsan.set_site san "scan";
+        drv.Baselines.Index_intf.scan ~start n);
+    flush_all =
+      (fun () ->
+        Pmsan.set_site san "flush_all";
+        drv.Baselines.Index_intf.flush_all ());
+  }
+
+let run_single spec mix mix_name warmup ops model_threads scan_len pmsan =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
+  let san = if pmsan then Some (Pmsan.attach ~site:"create" dev) else None in
   let drv = Harness.Runner.build spec dev in
+  let drv =
+    match san with Some s -> sited_driver s drv | None -> drv
+  in
   D.set_classifier dev
     (Some (Pmalloc.Alloc.classify (drv.Baselines.Index_intf.allocator ())));
   Printf.printf "loading %d keys into %s...\n%!" warmup
@@ -77,7 +116,23 @@ let run_single spec mix mix_name warmup ops model_threads scan_len =
   kv "%s" "mix" mix_name;
   print_traffic m.Harness.Runner.delta;
   kv "%.2f Mop/s" "measured (1 thread)" (Harness.Runner.mops_measured m);
-  print_modeled m model_threads
+  print_modeled m model_threads;
+  match san with
+  | None -> 0
+  | Some san ->
+    (* settle the device so end-of-run shadow state is fully persisted *)
+    Pmsan.set_site san "drain";
+    drv.Baselines.Index_intf.flush_all ();
+    D.drain dev;
+    let correctness = Pmsan.correctness (Pmsan.violations san) in
+    Printf.printf "\npmsan per-site report\n%s\n"
+      (Fmt.str "%a" Pmsan.pp_site_table san);
+    if correctness <> [] then begin
+      Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
+        (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
+      1
+    end
+    else 0
 
 (* --- sharded (measured) path --------------------------------------------- *)
 
@@ -138,20 +193,33 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains =
 
 open Cmdliner
 
-let run index mix warmup ops model_threads scan_len domains =
-  if model_threads < 1 then begin
-    Printf.eprintf "--model-threads must be >= 1 (got %d)\n" model_threads;
-    exit 2
-  end;
-  if domains < 0 || domains > 128 then begin
-    Printf.eprintf "--domains must be in 0..128 (got %d)\n" domains;
-    exit 2
-  end;
+let run index mix warmup ops model_threads scan_len domains pmsan =
+  let usage fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "ccl-ycsb: %s\nTry 'ccl-ycsb --help' for usage.\n" m;
+        exit 2)
+      fmt
+  in
+  if model_threads < 1 then
+    usage "--model-threads must be >= 1 (got %d)" model_threads;
+  if domains < 0 || domains > 128 then
+    usage "--domains must be in 0..128 (got %d)" domains;
+  if warmup < 0 then usage "--warmup must be >= 0 (got %d)" warmup;
+  if ops < 1 then usage "--ops must be >= 1 (got %d)" ops;
+  if scan_len < 1 then usage "--scan-len must be >= 1 (got %d)" scan_len;
+  if pmsan && domains > 0 then
+    usage
+      "--pmsan only works in single-driver mode (--domains 0): shards run \
+       on their own domains, and the sanitizer hook is not thread-safe";
   let spec = spec_of index in
   let m = mix_of mix in
-  if domains = 0 then run_single spec m mix warmup ops model_threads scan_len
-  else run_sharded spec m mix warmup ops model_threads scan_len domains;
-  0
+  if domains = 0 then
+    run_single spec m mix warmup ops model_threads scan_len pmsan
+  else begin
+    run_sharded spec m mix warmup ops model_threads scan_len domains;
+    0
+  end
 
 let cmd =
   let index =
@@ -186,10 +254,20 @@ let cmd =
              Composes with $(b,--model-threads), which only labels the \
              modeled comparison columns.")
   in
+  let pmsan =
+    Arg.(
+      value & flag
+      & info [ "pmsan" ]
+          ~doc:
+            "Run the workload under the $(b,Pmsan) persistency sanitizer \
+             and print a per-site violation/redundancy report.  Exits 1 \
+             if any correctness-class violation is found.  Single-driver \
+             mode only (incompatible with $(b,--domains) > 0).")
+  in
   Cmd.v
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
       const run $ index $ mix $ warmup $ ops $ model_threads $ scan_len
-      $ domains)
+      $ domains $ pmsan)
 
 let () = exit (Cmd.eval' cmd)

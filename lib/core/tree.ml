@@ -16,11 +16,11 @@ type t = {
   alloc : Alloc.t;
   slab : Slab.t;
   extent : Extent.t;
-  mutable wal : Wal.t;
+  wal : Wal.t;
   clock : Clock.t;
   cfg : Config.t;
   index : B.t Inner_index.t;
-  mutable head : B.t;
+  head : B.t;
   mutable global_epoch : int;
   mutable gc : gc_state option;
   mutable gc_floor : int;
@@ -54,6 +54,7 @@ let create ?(cfg = Config.default) dev =
   D.store_u64 dev sb tree_magic;
   D.store_u64 dev (sb + 8) (Int64.of_int head_leaf);
   D.persist dev sb 16;
+  D.ack_durable dev ~label:"tree.format" sb 16;
   let head = B.create ~nbatch:cfg.Config.nbatch ~leaf:head_leaf ~low:Int64.min_int in
   let index = Inner_index.create () in
   Inner_index.add index Int64.min_int head;
@@ -183,6 +184,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
     let new_bm = bm land lnot !removed lor !added_bits in
     L.store_meta_word dev leaf ~bitmap:new_bm ~next:(L.next dev leaf);
     D.persist dev leaf 32;
+    D.ack_durable dev ~label:"tree.batch" leaf 32;
     t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1;
     if allow_merge && L.valid_count dev leaf < L.slots / 2 then try_merge t b
   end
@@ -228,6 +230,7 @@ and split_apply t b ~pending ~ts =
   L.store_timestamp dev new_leaf ts;
   L.store_meta_word dev new_leaf ~bitmap:!right_bits ~next:(L.next dev leaf);
   D.persist dev new_leaf L.size;
+  D.ack_durable dev ~label:"tree.split" new_leaf L.size;
   (* 2. in-place value updates for keys staying left *)
   let base = Pmem.Geometry.line_of leaf in
   let touched = ref 0 in
@@ -253,6 +256,7 @@ and split_apply t b ~pending ~ts =
   L.store_timestamp dev leaf ts;
   L.store_meta_word dev leaf ~bitmap:!keep_bits ~next:new_leaf;
   D.persist dev leaf 32;
+  D.ack_durable dev ~label:"tree.split" leaf 32;
   t.stats.Tree_stats.splits <- t.stats.Tree_stats.splits + 1;
   t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1;
   (* 4. DRAM bookkeeping: new buffer node, chain link, index entry *)
@@ -321,6 +325,7 @@ and try_merge t b =
         ~bitmap:(L.bitmap dev p.B.leaf lor !bits)
         ~next:(L.next dev b.B.leaf);
       D.persist dev p.B.leaf 32;
+      D.ack_durable dev ~label:"tree.merge" p.B.leaf 32;
       Slab.free t.slab b.B.leaf;
       p.B.next <- b.B.next;
       (match b.B.next with Some nx -> nx.B.prev <- Some p | None -> ());
@@ -761,7 +766,7 @@ let check_invariants t =
 (* Recovery (§3.3)                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let recover ?(cfg = Config.default) dev =
+let recover_body ~cfg dev =
   let alloc = Alloc.attach dev in
   let slab = Slab.attach alloc Alloc.Leaf ~obj_size:L.size in
   let extent = Extent.attach alloc in
@@ -896,3 +901,18 @@ let recover ?(cfg = Config.default) dev =
   in
   reset (Some t.head);
   t
+
+(* Recovery runs inside a Recovery_begin/End bracket so persistency
+   sanitizers can audit what it reads.  The whole rebuild is declared a
+   validating region: the chain walk reads atomically-committed meta
+   words for which either crash outcome is a legal state, and every
+   coverage decision is re-checked against the WAL — coin-dependent
+   bytes are read by design, never trusted unvalidated. *)
+let recover ?(cfg = Config.default) dev =
+  D.recovery_begin dev;
+  D.validating dev true;
+  Fun.protect
+    ~finally:(fun () ->
+      D.validating dev false;
+      D.recovery_end dev)
+    (fun () -> recover_body ~cfg dev)

@@ -1,0 +1,28 @@
+(** Operation counters of the index itself (the device-level traffic
+    counters live in {!Pmem.Stats}).
+
+    One mutable record per tree (or hash table), incremented in place on
+    the operation paths and never reset by the index; callers snapshot by
+    copying fields if they need deltas. *)
+
+type t = {
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable searches : int;
+  mutable scans : int;
+  mutable dram_hits : int;  (** Reads served from buffer nodes (Table 1). *)
+  mutable leaf_reads : int;  (** Reads that had to touch the PM leaf. *)
+  mutable log_appends : int;
+  mutable log_skips : int;  (** Trigger writes not logged (§3.3). *)
+  mutable batch_flushes : int;  (** Leaf batch-write commits. *)
+  mutable splits : int;
+  mutable merges : int;
+  mutable gc_runs : int;  (** Completed garbage-collection cycles. *)
+  mutable gc_copied : int;  (** Entries moved B-log -> I-log. *)
+  mutable gc_skipped : int;  (** Entries the GC did not need to copy. *)
+}
+
+val create : unit -> t
+(** A fresh record with every counter at zero. *)
+
+val pp : Format.formatter -> t -> unit

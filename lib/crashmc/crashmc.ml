@@ -20,6 +20,8 @@ type report = {
   points_tested : int;
   crashes_run : int;
   violations : violation list;
+  pmsan_counters : Pmsan.counters option;
+      (* aggregated over the whole sweep when sanitize was on *)
 }
 
 let key_of = function Ups (k, _) -> k | Del k -> k
@@ -73,8 +75,29 @@ type check_failure = { desc : string; key : int64 option }
    [fence]-th workload fence, then crash, recover and run the oracle.
    Returns the executed prefix length (acknowledged ops plus the
    interrupted one) and the list of failed checks. *)
-let run_point ~cfg ~target dev ck ops ~fence =
+(* [D.restore] rewinds the device but not a sanitizer's shadow state;
+   [san] carries the sanitizer and the shadow snapshot taken at the same
+   moment as the checkpoint so both rewind in lock-step. *)
+let rewind_shadow san =
+  match san with None -> () | Some (s, snap) -> Pmsan.rewind s snap
+
+(* Correctness-class sanitizer findings become check failures like any
+   oracle violation; performance-class findings only feed the counters. *)
+let drain_shadow san errs =
+  match san with
+  | None -> ()
+  | Some (s, _) ->
+    List.iter
+      (fun v ->
+        if Pmsan.severity v.Pmsan.kind = Pmsan.Correctness then
+          errs :=
+            { desc = Fmt.str "pmsan: %a" Pmsan.pp_violation v; key = None }
+            :: !errs)
+      (Pmsan.drain_violations s)
+
+let run_point ~cfg ~target ?san dev ck ops ~fence =
   D.restore dev ck;
+  rewind_shadow san;
   let h = attach ~cfg ~target dev in
   let model = Hashtbl.create 256 in
   let in_flight = ref None in
@@ -158,26 +181,30 @@ let run_point ~cfg ~target dev ck ops ~fence =
           then fail (Printf.sprintf "resurrected key %Ld" k) (Some k)
         end)
       ops);
+  drain_shadow san errs;
   (!executed, List.rev !errs)
 
 (* Count the fences the un-failed workload issues, entering through the
    same restore+attach path the failing replays use so the fence schedule
    is identical. *)
-let count_fences ~cfg ~target dev ck ops =
+let count_fences ~cfg ~target ?san dev ck ops =
   D.restore dev ck;
+  rewind_shadow san;
   let h = attach ~cfg ~target dev in
   let f0 = (D.snapshot dev).S.sfence_count in
   List.iter
     (fun op ->
       match op with Ups (k, v) -> h.upsert k v | Del k -> h.delete k)
     ops;
+  (* findings of the counting run recur identically at the crash points *)
+  (match san with Some (s, _) -> ignore (Pmsan.drain_violations s) | None -> ());
   (D.snapshot dev).S.sfence_count - f0
 
 (* Trace minimization: keep only the executed-prefix operations touching
    an implicated key, then verify the reduced trace still violates at
    some fence of its own (shorter) schedule.  Falls back to the full
    executed prefix when the reduction does not reproduce. *)
-let minimize_trace ~cfg ~target dev ck ops ~prefix_len failures =
+let minimize_trace ~cfg ~target ?san dev ck ops ~prefix_len failures =
   let prefix = List.filteri (fun i _ -> i < prefix_len) ops in
   let bad_keys =
     List.filter_map (fun f -> f.key) failures
@@ -191,11 +218,11 @@ let minimize_trace ~cfg ~target dev ck ops ~prefix_len failures =
     if candidate = [] || List.length candidate >= List.length prefix then
       prefix
     else begin
-      let total = count_fences ~cfg ~target dev ck candidate in
+      let total = count_fences ~cfg ~target ?san dev ck candidate in
       let reproduces = ref false in
       let k = ref 1 in
       while (not !reproduces) && !k <= min total 300 do
-        let _, errs = run_point ~cfg ~target dev ck candidate ~fence:!k in
+        let _, errs = run_point ~cfg ~target ?san dev ck candidate ~fence:!k in
         if errs <> [] then reproduces := true;
         incr k
       done;
@@ -206,11 +233,12 @@ let minimize_trace ~cfg ~target dev ck ops ~prefix_len failures =
 let check ?(cfg = Ccl_btree.Config.default) ?(target = Tree) ?(buckets = 16)
     ?(device_size = 16 * 1024 * 1024) ?(stride = 1)
     ?(persist_probs = [ 0.0; 0.5; 1.0 ]) ?(crash_seeds = [ 1; 2 ])
-    ?(minimize = true) ?progress ops =
+    ?(minimize = true) ?(sanitize = false) ?progress ops =
   if stride < 1 then invalid_arg "Crashmc.check: stride must be >= 1";
   let fences = ref 0 in
   let points = ref 0 and crashes = ref 0 in
   let violations = ref [] in
+  let sweep_counters = if sanitize then Some (Pmsan.counters_create ()) else None in
   let combos =
     List.concat_map
       (fun seed -> List.map (fun p -> (seed, p)) persist_probs)
@@ -230,31 +258,39 @@ let check ?(cfg = Ccl_btree.Config.default) ?(target = Tree) ?(buckets = 16)
           }
         in
         let dev = D.create ~config () in
+        (* attach before formatting so the shadow (all-clean, like the
+           fresh device) tracks every store from the first one *)
+        let san0 = if sanitize then Some (Pmsan.attach ~site:"format" dev) else None in
         (match target with
         | Tree -> ignore (T.create ~cfg dev)
         | Hash -> ignore (H.create ~cfg ~buckets dev));
         let ck = D.checkpoint dev in
-        let total = count_fences ~cfg ~target dev ck ops in
-        (seed, prob, dev, ck, total))
+        let san =
+          Option.map (fun s -> ignore (Pmsan.drain_violations s); (s, Pmsan.snapshot s)) san0
+        in
+        let total = count_fences ~cfg ~target ?san dev ck ops in
+        (seed, prob, dev, ck, san, total))
       combos
   in
   let planned =
     List.fold_left
-      (fun acc (_, _, _, _, total) -> acc + ((total + stride - 1) / stride))
+      (fun acc (_, _, _, _, _, total) -> acc + ((total + stride - 1) / stride))
       0 totals
   in
   List.iter
-    (fun (seed, prob, dev, ck, total) ->
+    (fun (seed, prob, dev, ck, san, total) ->
       fences := max !fences total;
       let fence = ref 1 in
       while !fence <= total do
-        let prefix_len, errs = run_point ~cfg ~target dev ck ops ~fence:!fence in
+        let prefix_len, errs =
+          run_point ~cfg ~target ?san dev ck ops ~fence:!fence
+        in
         incr points;
         incr crashes;
         if errs <> [] then begin
           let trace =
             if minimize then
-              minimize_trace ~cfg ~target dev ck ops ~prefix_len errs
+              minimize_trace ~cfg ~target ?san dev ck ops ~prefix_len errs
             else List.filteri (fun i _ -> i < prefix_len) ops
           in
           List.iter
@@ -274,13 +310,19 @@ let check ?(cfg = Ccl_btree.Config.default) ?(target = Tree) ?(buckets = 16)
         | Some f -> f ~tested:!points ~total:planned
         | None -> ());
         fence := !fence + stride
-      done)
+      done;
+      match (san, sweep_counters) with
+      | Some (s, _), Some acc ->
+        Pmsan.counters_add ~into:acc (Pmsan.counters s);
+        Pmsan.detach s
+      | _ -> ())
     totals;
   {
     fences = !fences;
     points_tested = !points;
     crashes_run = !crashes;
     violations = List.rev !violations;
+    pmsan_counters = sweep_counters;
   }
 
 let pp_op ppf = function
@@ -296,10 +338,14 @@ let pp_violation ppf v =
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>fences per run    %d@,crash points      %d@,crashes executed  \
-     %d@,violations        %d%a@]"
+     %d@,violations        %d%a%a@]"
     r.fences r.points_tested r.crashes_run
     (List.length r.violations)
     (fun ppf -> function
       | [] -> ()
       | vs -> Fmt.pf ppf "@,%a" (Fmt.list ~sep:Fmt.cut pp_violation) vs)
     r.violations
+    (fun ppf -> function
+      | None -> ()
+      | Some c -> Fmt.pf ppf "@,pmsan             %a" Pmsan.pp_counters c)
+    r.pmsan_counters

@@ -42,6 +42,9 @@ type report = {
   points_tested : int;  (** Distinct (fence, seed, prob) points checked. *)
   crashes_run : int;  (** Crash+recover executions performed. *)
   violations : violation list;
+  pmsan_counters : Pmsan.counters option;
+      (** Sanitizer counters aggregated over the whole sweep (including
+          the fence-counting runs); [None] unless [sanitize] was set. *)
 }
 
 val mixed_workload : seed:int -> n:int -> key_space:int -> op list
@@ -57,6 +60,7 @@ val check :
   ?persist_probs:float list ->
   ?crash_seeds:int list ->
   ?minimize:bool ->
+  ?sanitize:bool ->
   ?progress:(tested:int -> total:int -> unit) ->
   op list ->
   report
@@ -66,8 +70,15 @@ val check :
     Defaults: [target = Tree], [buckets = 16] (hash only),
     [device_size = 16 MiB], [stride = 1] (every fence),
     [persist_probs = [0.0; 0.5; 1.0]], [crash_seeds = [1; 2]],
-    [minimize = true].  [progress] is called after each crash point with
-    the running count and the total number of points planned. *)
+    [minimize = true], [sanitize = false].  [progress] is called after
+    each crash point with the running count and the total number of
+    points planned.
+
+    With [sanitize] every execution also runs under {!Pmsan}: the shadow
+    state rewinds in lock-step with every checkpoint restore,
+    correctness-class sanitizer findings are reported as violations of
+    their crash point, and the sweep-wide flush/fence counters land in
+    [pmsan_counters]. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -415,7 +415,7 @@ let check_invariants t =
 (* Recovery                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let recover ?(cfg = Config.default) dev =
+let recover_body ~cfg dev =
   let alloc = Alloc.attach dev in
   let slab = Slab.attach alloc Alloc.Leaf ~obj_size:L.size in
   let clock = Clock.create () in
@@ -491,3 +491,15 @@ let recover ?(cfg = Config.default) dev =
       D.persist dev (b.B.leaf + 8) 8)
     t.buffers;
   t
+
+(* Same sanitizer bracket as [Tree.recover]: the chain walk reads
+   atomically-committed words (either crash outcome is legal) and every
+   coverage decision is re-validated against the WAL. *)
+let recover ?(cfg = Config.default) dev =
+  D.recovery_begin dev;
+  D.validating dev true;
+  Fun.protect
+    ~finally:(fun () ->
+      D.validating dev false;
+      D.recovery_end dev)
+    (fun () -> recover_body ~cfg dev)

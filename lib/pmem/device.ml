@@ -109,6 +109,22 @@ module Ring = struct
     t.len <- 0
 end
 
+(* Event stream for persistency sanitizers (Pmsan).  Emission sites are
+   written so the disabled case is one load and one branch: the event
+   value is only allocated inside the [Some] arm, never on the fast
+   path. *)
+type event =
+  | Store of { addr : int; len : int }
+  | Load of { addr : int; len : int }
+  | Clwb of { line : int }
+  | Sfence
+  | Crash
+  | Drain
+  | Recovery_begin
+  | Recovery_end
+  | Acked of { addr : int; len : int; label : string }
+  | Validating of bool
+
 type t = {
   cfg : Config.t;
   work : Bytes.t;  (* logical (volatile) content *)
@@ -142,6 +158,8 @@ type t = {
   stats : Stats.t;
   mutable classifier : (int -> int) option;
       (* maps an XPLine address to a traffic class for attribution *)
+  mutable tracer : (event -> unit) option;
+      (* persistency-event hook; None = zero-overhead disabled state *)
   mutable fail_after_fences : int option;
       (* fault injection: power-fail at the n-th upcoming sfence *)
 }
@@ -194,10 +212,40 @@ let create ?config () =
     rng = Random.State.make [| cfg.Config.crash_seed |];
     stats = Stats.create ();
     classifier = None;
+    tracer = None;
     fail_after_fences = None;
   }
 
 let set_classifier t f = t.classifier <- f
+
+(* --- event hook ------------------------------------------------------- *)
+
+let set_tracer t f = t.tracer <- f
+let tracing t = t.tracer <> None
+
+let[@inline] trace_store t addr len =
+  match t.tracer with None -> () | Some f -> f (Store { addr; len })
+
+let[@inline] trace_load t addr len =
+  match t.tracer with None -> () | Some f -> f (Load { addr; len })
+
+let[@inline] trace_clwb t line =
+  match t.tracer with None -> () | Some f -> f (Clwb { line })
+
+(* constant constructors: no allocation even when emitted *)
+let[@inline] trace0 t ev =
+  match t.tracer with None -> () | Some f -> f ev
+
+let ack_durable t ~label addr len =
+  match t.tracer with
+  | None -> ()
+  | Some f -> f (Acked { addr; len; label })
+
+let recovery_begin t = trace0 t Recovery_begin
+let recovery_end t = trace0 t Recovery_end
+
+let validating t b =
+  match t.tracer with None -> () | Some f -> f (Validating b)
 let plan_failure t ~after_fences = t.fail_after_fences <- Some after_fences
 let cancel_failure t = t.fail_after_fences <- None
 
@@ -453,6 +501,7 @@ let mark_dirty_range t addr len =
 let store t addr b =
   let len = Bytes.length b in
   check_range t addr len;
+  trace_store t addr len;
   Bytes.blit b 0 t.work addr len;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
   mark_dirty_range t addr len
@@ -460,24 +509,28 @@ let store t addr b =
 let store_string t addr s =
   let len = String.length s in
   check_range t addr len;
+  trace_store t addr len;
   Bytes.blit_string s 0 t.work addr len;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
   mark_dirty_range t addr len
 
 let store_u64 t addr v =
   check_range t addr 8;
+  trace_store t addr 8;
   Bytes.set_int64_le t.work addr v;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 8;
   mark_dirty_range t addr 8
 
 let store_u8 t addr v =
   check_range t addr 1;
+  trace_store t addr 1;
   t.work.%[addr] <- Char.chr (v land 0xff);
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 1;
   mark_dirty t (Geometry.line_of addr)
 
 let fill t addr len c =
   check_range t addr len;
+  trace_store t addr len;
   Bytes.fill t.work addr len c;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
   mark_dirty_range t addr len
@@ -612,16 +665,19 @@ let account_load t addr len =
 
 let load t addr len =
   check_range t addr len;
+  trace_load t addr len;
   account_load t addr len;
   Bytes.sub t.work addr len
 
 let load_u64 t addr =
   check_range t addr 8;
+  trace_load t addr 8;
   account_load t addr 8;
   Bytes.get_int64_le t.work addr
 
 let load_u8 t addr =
   check_range t addr 1;
+  trace_load t addr 1;
   account_load t addr 1;
   Char.code t.work.%[addr]
 
@@ -634,6 +690,7 @@ let load_u8 t addr =
 let clwb t addr =
   if not t.cfg.Config.eadr then begin
     let line = Geometry.line_of addr in
+    trace_clwb t line;
     t.stats.Stats.clwb_count <- t.stats.Stats.clwb_count + 1;
     if dirty_mem t line then begin
       dirty_remove t line;
@@ -661,6 +718,9 @@ let sfence t =
       raise Power_failure
     | Some n -> t.fail_after_fences <- Some (n - 1)
     | None -> ());
+    (* emitted only when the fence completes: a planned Power_failure
+       leaves the staged lines unfenced, and the shadow must agree *)
+    trace0 t Sfence;
     t.stats.Stats.sfence_count <- t.stats.Stats.sfence_count + 1;
     (* staged lines reach the XPBuffer in ascending address order; the
        pending array is maintained sorted, so this is a single sweep *)
@@ -675,11 +735,20 @@ let persist t addr len =
   sfence t
 
 let drain t =
-  Ring.clear t.dirty_fifo;
-  iter_dirty_ascending t (fun line -> xpbuffer_insert t line t.work line);
-  dirty_reset t;
-  sfence t;
-  flush_xpbuffer_ordered t
+  (* one Drain event stands for the whole clean shutdown; the internal
+     sfence must not additionally be observed (it would register as an
+     empty fence in a shadow that already persisted everything) *)
+  trace0 t Drain;
+  let tr = t.tracer in
+  t.tracer <- None;
+  Fun.protect
+    ~finally:(fun () -> t.tracer <- tr)
+    (fun () ->
+      Ring.clear t.dirty_fifo;
+      iter_dirty_ascending t (fun line -> xpbuffer_insert t line t.work line);
+      dirty_reset t;
+      sfence t;
+      flush_xpbuffer_ordered t)
 
 (* --- host-file persistence --------------------------------------------- *)
 
@@ -863,6 +932,7 @@ let restore t ck =
 (* --- crash ------------------------------------------------------------ *)
 
 let crash t =
+  trace0 t Crash;
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
   (* a failure plan dies with the power: it must not fire at a fence of
      the recovery that follows *)

@@ -141,7 +141,61 @@ val peek_u8 : t -> int -> int
 val set_classifier : t -> (int -> int) option -> unit
 (** Install a map from XPLine address to traffic class (0..3); media
     writes are then also attributed per class in
-    {!Stats.media_write_bytes_by_class}. *)
+    {!Stats.media_write_bytes_by_class}.  Like the {!set_tracer} hook, the
+    classifier is device-lifetime configuration, not device state: it is
+    not captured by {!checkpoint} and therefore survives {!restore}
+    unchanged. *)
+
+(** {1 Persistency event hook}
+
+    A lightweight observation channel for persistency sanitizers
+    (the [pmsan] library).  When a tracer is
+    installed, every store, load, [clwb], completed [sfence], [crash] and
+    [drain] emits one event; [Recovery_begin]/[Recovery_end],
+    [Acked] and [Validating] are annotations emitted by recovery code,
+    durability-ack paths and validated-read regions through the helpers
+    below.  Without a tracer every emission site is a single load and
+    branch — the hot path stays allocation-free and within noise of the
+    untraced device (the [bench_check] gate pins this). *)
+
+type event =
+  | Store of { addr : int; len : int }
+  | Load of { addr : int; len : int }
+  | Clwb of { line : int }  (** line-aligned address of the flushed line *)
+  | Sfence  (** emitted only when the fence completes (not on
+                {!Power_failure}) *)
+  | Crash
+  | Drain
+  | Recovery_begin
+  | Recovery_end
+  | Acked of { addr : int; len : int; label : string }
+      (** caller declares [addr, addr+len) durably persisted *)
+  | Validating of bool
+      (** entering/leaving a region whose loads deliberately read
+          possibly-torn data and validate it (log-tail scans) *)
+
+val set_tracer : t -> (event -> unit) option -> unit
+(** Install (or remove) the event hook.  Not part of {!checkpoint} state:
+    the tracer survives {!restore}.  The callback runs synchronously on
+    the device-calling thread. *)
+
+val tracing : t -> bool
+
+val ack_durable : t -> label:string -> int -> int -> unit
+(** [ack_durable t ~label addr len] emits [Acked]: the caller is about to
+    acknowledge [addr, addr+len) as durable.  No-op without a tracer.
+    Annotation entry point for layers below the [pmsan] library; callers
+    above it should use [Pmsan.acked]. *)
+
+val recovery_begin : t -> unit
+val recovery_end : t -> unit
+(** Bracket a recovery procedure; sanitizers check loads inside the
+    bracket against what could actually have persisted. *)
+
+val validating : t -> bool -> unit
+(** [validating t true]/[false] brackets a region whose loads read
+    possibly-unpersisted bytes by design and validate them (e.g. WAL
+    tail scanning).  Nests. *)
 
 (** Growable ring of candidate eviction victims used for the CPU cache's
     dirty-line FIFO.  [pop_jittered] removes a random element among the

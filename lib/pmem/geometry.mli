@@ -1,0 +1,47 @@
+(** Address geometry of the simulated device.
+
+    The simulated DCPMM mirrors the two granularities that drive the
+    paper's analysis: the 64 B CPU cacheline (unit of [clwb]) and the
+    256 B XPLine (unit of physical media access behind the XPBuffer).
+    All addresses are plain byte offsets into the device. *)
+
+val cacheline_size : int
+(** 64 — bytes per CPU cacheline. *)
+
+val xpline_size : int
+(** 256 — bytes per XPLine. *)
+
+val lines_per_xpline : int
+(** 4 — cachelines per XPLine. *)
+
+val xpbuffer_capacity_lines : int
+(** Default XPBuffer capacity in XPLines: a 16 KB on-DIMM
+    write-combining buffer. *)
+
+val line_of : int -> int
+(** Cacheline-aligned base address of the line containing an address. *)
+
+val xpline_of : int -> int
+(** XPLine-aligned base address of the XPLine containing an address. *)
+
+val subline_of : int -> int
+(** Index (0..3) of the cacheline within its XPLine. *)
+
+val iter_lines : int -> int -> (int -> unit) -> unit
+(** [iter_lines addr len f] applies [f] to every cacheline base address
+    overlapping [addr, addr+len) in ascending order.  Allocation-free
+    equivalent of {!lines_in_range}; the device hot path (stores,
+    flushes, load accounting) is built on this.  No-op when [len <= 0]. *)
+
+val iter_xplines : int -> int -> (int -> unit) -> unit
+(** [iter_xplines addr len f] applies [f] to every XPLine base address
+    overlapping [addr, addr+len) in ascending order.  Allocation-free
+    equivalent of {!xplines_in_range}.  No-op when [len <= 0]. *)
+
+val lines_in_range : int -> int -> int list
+(** Base addresses of all cachelines overlapping [addr, addr+len),
+    ascending; empty when [len <= 0]. *)
+
+val xplines_in_range : int -> int -> int list
+(** Base addresses of all XPLines overlapping [addr, addr+len),
+    ascending; empty when [len <= 0]. *)

@@ -1,0 +1,542 @@
+(* Pmsan: a persistency-ordering sanitizer for the simulated device.
+
+   Driven by the Device event hook, it shadows every cacheline with a
+   four-state machine
+
+       clean --store--> dirty --clwb--> staged --sfence--> persisted
+
+   plus an [indeterminate] state for lines whose content became
+   coin-dependent at a crash (stored or staged, never fenced).  On top of
+   the per-line machine it reports two violation families:
+
+   - correctness: durability acks of lines that never completed
+     flush+fence; recovery-phase loads of indeterminate bytes (outside
+     declared validating regions); fences that persist a stale snapshot
+     because the line was re-stored after its clwb and never re-flushed;
+   - performance: clwb of a clean or already-staged line, fences with
+     nothing staged, duplicate flushes of one line inside a fence epoch —
+     the Bentō class of redundant persistence work.
+
+   Detection is deterministic and exhaustive over the executed trace: it
+   does not depend on which crash points a model-checking sweep samples. *)
+
+module D = Pmem.Device
+module G = Pmem.Geometry
+module I = Baselines.Index_intf
+
+(* --- violation taxonomy ----------------------------------------------- *)
+
+type severity = Correctness | Performance
+
+type kind =
+  | Acked_unpersisted
+      (* durability-acked range contains lines never flushed+fenced *)
+  | Recovery_load
+      (* recovery read bytes whose persistence a crash left undecided *)
+  | Stale_fence
+      (* line was stored after its clwb and not re-flushed: the fence
+         persisted a stale snapshot while the newest content stayed
+         volatile *)
+  | Redundant_clwb  (* clwb of a clean / persisted / indeterminate line *)
+  | Duplicate_clwb  (* re-clwb of a line already staged, content unchanged *)
+  | Empty_sfence  (* fence ordered nothing: no line staged since the last *)
+
+let severity = function
+  | Acked_unpersisted | Recovery_load | Stale_fence -> Correctness
+  | Redundant_clwb | Duplicate_clwb | Empty_sfence -> Performance
+
+let kind_name = function
+  | Acked_unpersisted -> "acked-unpersisted"
+  | Recovery_load -> "recovery-load-indeterminate"
+  | Stale_fence -> "stale-snapshot-fence"
+  | Redundant_clwb -> "redundant-clwb"
+  | Duplicate_clwb -> "duplicate-clwb"
+  | Empty_sfence -> "empty-sfence"
+
+type violation = {
+  kind : kind;
+  site : string;  (* label active when the event fired *)
+  addr : int;  (* offending line (or range start); -1 for fences *)
+  len : int;
+  detail : string;
+}
+
+(* --- counters ---------------------------------------------------------- *)
+
+type counters = {
+  mutable clwb : int;
+  mutable clwb_redundant : int;  (* Redundant_clwb *)
+  mutable clwb_duplicate : int;  (* Duplicate_clwb *)
+  mutable sfence : int;
+  mutable sfence_empty : int;
+  mutable correctness : int;  (* correctness-class violations *)
+}
+
+let counters_create () =
+  {
+    clwb = 0;
+    clwb_redundant = 0;
+    clwb_duplicate = 0;
+    sfence = 0;
+    sfence_empty = 0;
+    correctness = 0;
+  }
+
+let counters_copy c = { c with clwb = c.clwb }
+
+let counters_add ~into c =
+  into.clwb <- into.clwb + c.clwb;
+  into.clwb_redundant <- into.clwb_redundant + c.clwb_redundant;
+  into.clwb_duplicate <- into.clwb_duplicate + c.clwb_duplicate;
+  into.sfence <- into.sfence + c.sfence;
+  into.sfence_empty <- into.sfence_empty + c.sfence_empty;
+  into.correctness <- into.correctness + c.correctness
+
+let redundant_flushes c = c.clwb_redundant + c.clwb_duplicate
+
+let redundant_flush_pct c =
+  if c.clwb = 0 then 0.0
+  else 100.0 *. float_of_int (redundant_flushes c) /. float_of_int c.clwb
+
+(* --- shadow state ------------------------------------------------------ *)
+
+(* Per-line byte: state in the low 3 bits, flags above.  [stale] marks a
+   dirty line that still has a pending clwb snapshot of older content;
+   [reported] dedups recovery-load reports per line. *)
+let st_clean = 0
+let st_dirty = 1
+let st_staged = 2
+let st_persisted = 3
+let st_indet = 4
+let fl_stale = 8
+let fl_reported = 16
+
+let state_name = function
+  | 0 -> "clean"
+  | 1 -> "dirty"
+  | 2 -> "staged"
+  | 3 -> "persisted"
+  | 4 -> "indeterminate"
+  | _ -> "?"
+
+let max_recorded = 500
+
+type t = {
+  dev : D.t;
+  nlines : int;
+  shadow : Bytes.t;
+  mutable staged_lines : int array;  (* lines with a pending snapshot *)
+  mutable staged_len : int;
+  mutable recovery_depth : int;
+  mutable validate_depth : int;
+  mutable site : string;
+  mutable violations : violation list;  (* newest first *)
+  mutable recorded : int;
+  mutable dropped : int;
+  totals : counters;
+  by_site : (string, counters) Hashtbl.t;
+}
+
+let device t = t.dev
+let set_site t s = t.site <- s
+let site t = t.site
+
+let site_counters t site =
+  match Hashtbl.find_opt t.by_site site with
+  | Some c -> c
+  | None ->
+    let c = counters_create () in
+    Hashtbl.add t.by_site site c;
+    c
+
+let record t kind ~addr ~len detail =
+  (if severity kind = Correctness then begin
+     t.totals.correctness <- t.totals.correctness + 1;
+     (site_counters t t.site).correctness <-
+       (site_counters t t.site).correctness + 1
+   end);
+  if t.recorded < max_recorded then begin
+    t.recorded <- t.recorded + 1;
+    t.violations <- { kind; site = t.site; addr; len; detail } :: t.violations
+  end
+  else t.dropped <- t.dropped + 1
+
+let shadow_get t li = Char.code (Bytes.get t.shadow li)
+let shadow_set t li v = Bytes.set t.shadow li (Char.chr v)
+
+let staged_push t li =
+  if t.staged_len = Array.length t.staged_lines then begin
+    let n = Array.make (2 * t.staged_len) 0 in
+    Array.blit t.staged_lines 0 n 0 t.staged_len;
+    t.staged_lines <- n
+  end;
+  t.staged_lines.(t.staged_len) <- li;
+  t.staged_len <- t.staged_len + 1
+
+(* --- event handlers ---------------------------------------------------- *)
+
+let on_store t addr len =
+  let last = (addr + len - 1) lsr 6 in
+  for li = addr lsr 6 to last do
+    let b = shadow_get t li in
+    let st = b land 7 in
+    if st = st_staged then
+      (* still in the staged list: the device keeps the old snapshot
+         pending, so the line now carries both a stale snapshot and newer
+         volatile content *)
+      shadow_set t li (st_dirty lor fl_stale)
+    else if st <> st_dirty then shadow_set t li st_dirty
+  done
+
+let on_clwb t line =
+  let li = line lsr 6 in
+  t.totals.clwb <- t.totals.clwb + 1;
+  let sc = site_counters t t.site in
+  sc.clwb <- sc.clwb + 1;
+  let b = shadow_get t li in
+  let st = b land 7 in
+  if st = st_dirty then
+    if b land fl_stale <> 0 then
+      (* legitimate re-flush of content stored after the last clwb *)
+      shadow_set t li st_staged
+    else begin
+      shadow_set t li st_staged;
+      staged_push t li
+    end
+  else if st = st_staged then begin
+    t.totals.clwb_duplicate <- t.totals.clwb_duplicate + 1;
+    sc.clwb_duplicate <- sc.clwb_duplicate + 1;
+    record t Duplicate_clwb ~addr:line ~len:G.cacheline_size
+      "line already staged with identical content"
+  end
+  else begin
+    t.totals.clwb_redundant <- t.totals.clwb_redundant + 1;
+    sc.clwb_redundant <- sc.clwb_redundant + 1;
+    record t Redundant_clwb ~addr:line ~len:G.cacheline_size
+      (Printf.sprintf "clwb of %s line" (state_name st))
+  end
+
+let on_sfence t =
+  t.totals.sfence <- t.totals.sfence + 1;
+  let sc = site_counters t t.site in
+  sc.sfence <- sc.sfence + 1;
+  if t.staged_len = 0 then begin
+    t.totals.sfence_empty <- t.totals.sfence_empty + 1;
+    sc.sfence_empty <- sc.sfence_empty + 1;
+    record t Empty_sfence ~addr:(-1) ~len:0 "sfence with zero staged lines"
+  end
+  else begin
+    for i = 0 to t.staged_len - 1 do
+      let li = t.staged_lines.(i) in
+      let b = shadow_get t li in
+      let st = b land 7 in
+      if st = st_staged then shadow_set t li st_persisted
+      else if st = st_dirty && b land fl_stale <> 0 then begin
+        record t Stale_fence ~addr:(li lsl 6) ~len:G.cacheline_size
+          "stored after clwb and not re-flushed: fence persisted a stale \
+           snapshot";
+        shadow_set t li st_dirty
+      end
+    done;
+    t.staged_len <- 0
+  end
+
+let on_ack t addr len label =
+  if len > 0 then begin
+    let last = (addr + len - 1) lsr 6 in
+    for li = addr lsr 6 to last do
+      let st = shadow_get t li land 7 in
+      if st = st_dirty || st = st_staged || st = st_indet then
+        record t Acked_unpersisted ~addr:(li lsl 6) ~len:G.cacheline_size
+          (Printf.sprintf "%s: acked line is %s" label (state_name st))
+    done
+  end
+
+let on_recovery_load t addr len =
+  let last = (addr + len - 1) lsr 6 in
+  for li = addr lsr 6 to last do
+    let b = shadow_get t li in
+    if b land 7 = st_indet && b land fl_reported = 0 then begin
+      shadow_set t li (b lor fl_reported);
+      record t Recovery_load ~addr:(li lsl 6) ~len:G.cacheline_size
+        "recovery read of bytes whose persistence the crash left undecided"
+    end
+  done
+
+let on_crash t =
+  for li = 0 to t.nlines - 1 do
+    let b = shadow_get t li in
+    let st = b land 7 in
+    if st = st_dirty || st = st_staged then shadow_set t li st_indet
+  done;
+  t.staged_len <- 0
+
+let on_drain t =
+  for li = 0 to t.nlines - 1 do
+    if shadow_get t li land 7 <> st_clean then shadow_set t li st_persisted
+  done;
+  t.staged_len <- 0
+
+let on_event t = function
+  | D.Store { addr; len } -> if len > 0 then on_store t addr len
+  | D.Load { addr; len } ->
+    if len > 0 && t.recovery_depth > 0 && t.validate_depth = 0 then
+      on_recovery_load t addr len
+  | D.Clwb { line } -> on_clwb t line
+  | D.Sfence -> on_sfence t
+  | D.Crash -> on_crash t
+  | D.Drain -> on_drain t
+  | D.Recovery_begin -> t.recovery_depth <- t.recovery_depth + 1
+  | D.Recovery_end -> t.recovery_depth <- max 0 (t.recovery_depth - 1)
+  | D.Acked { addr; len; label } -> on_ack t addr len label
+  | D.Validating b ->
+    t.validate_depth <- max 0 (t.validate_depth + (if b then 1 else -1))
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let attach ?(site = "init") dev =
+  if (D.config dev).Pmem.Config.eadr then
+    invalid_arg
+      "Pmsan.attach: eADR device has no flush discipline to sanitize";
+  let nlines = (D.size dev + G.cacheline_size - 1) / G.cacheline_size in
+  let t =
+    {
+      dev;
+      nlines;
+      shadow = Bytes.make nlines '\000';
+      staged_lines = Array.make 256 0;
+      staged_len = 0;
+      recovery_depth = 0;
+      validate_depth = 0;
+      site;
+      violations = [];
+      recorded = 0;
+      dropped = 0;
+      totals = counters_create ();
+      by_site = Hashtbl.create 16;
+    }
+  in
+  D.set_tracer dev (Some (on_event t));
+  t
+
+let detach t = D.set_tracer t.dev None
+
+(* --- annotations (for layers above pmsan) ------------------------------ *)
+
+let acked ?(label = "ack") dev ~addr ~len = D.ack_durable dev ~label addr len
+
+let recovering dev f =
+  D.recovery_begin dev;
+  Fun.protect ~finally:(fun () -> D.recovery_end dev) f
+
+let validating dev f =
+  D.validating dev true;
+  Fun.protect ~finally:(fun () -> D.validating dev false) f
+
+(* --- results ----------------------------------------------------------- *)
+
+let violations t = List.rev t.violations
+let dropped t = t.dropped
+
+let correctness vs = List.filter (fun v -> severity v.kind = Correctness) vs
+
+let drain_violations t =
+  let vs = List.rev t.violations in
+  t.violations <- [];
+  t.recorded <- 0;
+  t.dropped <- 0;
+  vs
+
+let counters t = t.totals
+
+let by_site t =
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) t.by_site []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let line_state t addr =
+  state_name (shadow_get t (addr lsr 6) land 7)
+
+(* --- snapshot / rewind (crash-state model checker integration) --------- *)
+
+(* Shadow-state snapshot: lets Crashmc rewind the sanitizer in lock-step
+   with Device.restore.  Counters keep accumulating across rewinds (they
+   aggregate the whole sweep); the violation list is cleared so each
+   crash point reports only its own findings. *)
+type snapshot = {
+  s_shadow : Bytes.t;
+  s_staged : int array;
+  s_recovery : int;
+  s_validate : int;
+  s_site : string;
+}
+
+let snapshot t =
+  {
+    s_shadow = Bytes.copy t.shadow;
+    s_staged = Array.sub t.staged_lines 0 t.staged_len;
+    s_recovery = t.recovery_depth;
+    s_validate = t.validate_depth;
+    s_site = t.site;
+  }
+
+let rewind t s =
+  if Bytes.length s.s_shadow <> t.nlines then
+    invalid_arg "Pmsan.rewind: snapshot from a different device size";
+  Bytes.blit s.s_shadow 0 t.shadow 0 t.nlines;
+  let n = Array.length s.s_staged in
+  if n > Array.length t.staged_lines then
+    t.staged_lines <- Array.copy s.s_staged
+  else Array.blit s.s_staged 0 t.staged_lines 0 n;
+  t.staged_len <- n;
+  t.recovery_depth <- s.s_recovery;
+  t.validate_depth <- s.s_validate;
+  t.site <- s.s_site;
+  t.violations <- [];
+  t.recorded <- 0;
+  t.dropped <- 0
+
+(* --- pretty printing --------------------------------------------------- *)
+
+let pp_violation ppf v =
+  if v.addr >= 0 then
+    Fmt.pf ppf "[%s] %s @@ 0x%x+%d: %s" v.site (kind_name v.kind) v.addr
+      v.len v.detail
+  else Fmt.pf ppf "[%s] %s: %s" v.site (kind_name v.kind) v.detail
+
+let pp_counters ppf c =
+  Fmt.pf ppf
+    "clwb %d (redundant %d, duplicate %d = %.1f%%) sfence %d (empty %d) \
+     correctness %d"
+    c.clwb c.clwb_redundant c.clwb_duplicate (redundant_flush_pct c) c.sfence
+    c.sfence_empty c.correctness
+
+let pp_site_table ppf t =
+  Fmt.pf ppf "@[<v>%-14s %8s %9s %9s %8s %7s %5s@," "site" "clwb" "redundant"
+    "duplicate" "sfence" "empty" "corr";
+  List.iter
+    (fun (s, c) ->
+      Fmt.pf ppf "%-14s %8d %9d %9d %8d %7d %5d@," s c.clwb c.clwb_redundant
+        c.clwb_duplicate c.sfence c.sfence_empty c.correctness)
+    (by_site t);
+  Fmt.pf ppf "%-14s %8d %9d %9d %8d %7d %5d (redundant flushes: %.1f%%)@]"
+    "total" t.totals.clwb t.totals.clwb_redundant t.totals.clwb_duplicate
+    t.totals.sfence t.totals.sfence_empty t.totals.correctness
+    (redundant_flush_pct t.totals)
+
+(* --- index harness ------------------------------------------------------ *)
+
+(* Randomized op/recover script over any Index_intf implementation, under
+   the sanitizer.  Mutating and reading ops run with per-kind site labels;
+   after each round the device crashes and (when the index supports it)
+   recovery runs inside a Recovery_begin/End bracket; a volatile model
+   checks that every acknowledged op survived.  The final round drains the
+   device cleanly so end-of-run shadow state is fully persisted. *)
+
+type index_report = {
+  index : string;
+  ops_run : int;
+  recoveries : int;
+  totals : counters;
+  per_site : (string * counters) list;
+  report_violations : violation list;
+  report_dropped : int;
+  model_errors : string list;
+}
+
+let correctness_count r = r.totals.correctness
+
+let check_index ?(ops = 600) ?(seed = 42) ?(key_space = 400) ?(rounds = 3)
+    ?(device_mb = 16) ~name ~(create : D.t -> I.driver)
+    ?(recover : (D.t -> I.driver) option) () =
+  let dev =
+    D.create ~config:(Pmem.Config.default ~size:(device_mb * 1024 * 1024) ())
+      ()
+  in
+  let san = attach ~site:"create" dev in
+  let drv = ref (create dev) in
+  let model = Hashtbl.create 256 in
+  let rng = Random.State.make [| seed |] in
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun m -> errors := m :: !errors) fmt in
+  let recoveries = ref 0 in
+  let per_round = max 1 (ops / max 1 rounds) in
+  let ops_run = ref 0 in
+  let key () = Int64.of_int (1 + Random.State.int rng key_space) in
+  for round = 1 to rounds do
+    for i = 1 to per_round do
+      incr ops_run;
+      let k = key () in
+      match Random.State.int rng 10 with
+      | 0 | 1 ->
+        set_site san "delete";
+        !drv.I.delete k;
+        Hashtbl.remove model k
+      | 2 ->
+        set_site san "search";
+        let got = !drv.I.search k in
+        let want = Hashtbl.find_opt model k in
+        if got <> want then
+          err "round %d: search %Ld returned %a, model says %a" round k
+            Fmt.(option ~none:(any "None") int64)
+            got
+            Fmt.(option ~none:(any "None") int64)
+            want
+      | 3 ->
+        set_site san "scan";
+        ignore (!drv.I.scan ~start:k 10 : (int64 * int64) array)
+      | _ ->
+        set_site san "upsert";
+        let v = Int64.of_int (((round * per_round) + i) * 7) in
+        !drv.I.upsert k v;
+        Hashtbl.replace model k v
+    done;
+    match recover with
+    | Some recover when round < rounds ->
+      set_site san "crash";
+      D.crash dev;
+      set_site san "recover";
+      incr recoveries;
+      drv := recovering dev (fun () -> recover dev);
+      set_site san "post-recovery";
+      Hashtbl.iter
+        (fun k v ->
+          if !drv.I.search k <> Some v then
+            err "round %d: lost acked key %Ld after recovery" round k)
+        model
+    | _ ->
+      set_site san "flush_all";
+      !drv.I.flush_all ()
+  done;
+  set_site san "drain";
+  D.drain dev;
+  let report =
+    {
+      index = name;
+      ops_run = !ops_run;
+      recoveries = !recoveries;
+      totals = counters_copy san.totals;
+      per_site = List.map (fun (s, c) -> (s, counters_copy c)) (by_site san);
+      report_violations = violations san;
+      report_dropped = san.dropped;
+      model_errors = List.rev !errors;
+    }
+  in
+  detach san;
+  report
+
+let pp_index_report ppf r =
+  Fmt.pf ppf
+    "@[<v>%s: %d ops, %d recoveries@,%a@,violations recorded %d (dropped \
+     %d)%a%a@]"
+    r.index r.ops_run r.recoveries pp_counters r.totals
+    (List.length r.report_violations)
+    r.report_dropped
+    (fun ppf -> function
+      | [] -> ()
+      | vs -> Fmt.pf ppf "@,%a" (Fmt.list ~sep:Fmt.cut pp_violation) vs)
+    (correctness r.report_violations)
+    (fun ppf -> function
+      | [] -> ()
+      | es ->
+        Fmt.pf ppf "@,model errors:@,%a" (Fmt.list ~sep:Fmt.cut Fmt.string) es)
+    r.model_errors

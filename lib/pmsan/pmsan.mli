@@ -1,0 +1,192 @@
+(** Persistency-ordering sanitizer for the simulated PM device.
+
+    Pmsan consumes the {!Pmem.Device} event hook and shadows every 64 B
+    cacheline with the state machine
+
+    {v clean --store--> dirty --clwb--> staged --sfence--> persisted v}
+
+    plus an {e indeterminate} state for lines whose content became
+    coin-dependent at a crash.  On top of the per-line machine it reports
+    two violation families, each tagged with the callsite label active
+    when the event fired:
+
+    - {b correctness}: durability acks covering lines that never completed
+      flush+fence ({!Acked_unpersisted}); recovery-phase loads of
+      indeterminate bytes outside declared validating regions
+      ({!Recovery_load}); fences persisting a stale snapshot because the
+      line was re-stored after its [clwb] and never re-flushed
+      ({!Stale_fence});
+    - {b performance}: [clwb] of a clean/persisted line
+      ({!Redundant_clwb}), re-[clwb] of an already-staged line
+      ({!Duplicate_clwb}), and fences that order nothing
+      ({!Empty_sfence}) — the Bentō class of redundant persistence work.
+
+    Detection is deterministic and exhaustive over the executed trace; it
+    does not depend on which crash points a model-checking sweep happens
+    to sample. *)
+
+(** {1 Violations} *)
+
+type severity = Correctness | Performance
+
+type kind =
+  | Acked_unpersisted
+  | Recovery_load
+  | Stale_fence
+  | Redundant_clwb
+  | Duplicate_clwb
+  | Empty_sfence
+
+val severity : kind -> severity
+val kind_name : kind -> string
+
+type violation = {
+  kind : kind;
+  site : string;  (** label active when the event fired *)
+  addr : int;  (** offending line (range start); [-1] for fence events *)
+  len : int;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Counters} *)
+
+type counters = {
+  mutable clwb : int;
+  mutable clwb_redundant : int;
+  mutable clwb_duplicate : int;
+  mutable sfence : int;
+  mutable sfence_empty : int;
+  mutable correctness : int;
+}
+
+val counters_create : unit -> counters
+val counters_copy : counters -> counters
+val counters_add : into:counters -> counters -> unit
+
+val redundant_flushes : counters -> int
+(** [clwb_redundant + clwb_duplicate]. *)
+
+val redundant_flush_pct : counters -> float
+(** Redundant flushes as a percentage of all flushes (0 when no flushes). *)
+
+val pp_counters : Format.formatter -> counters -> unit
+
+(** {1 Lifecycle} *)
+
+type t
+
+val attach : ?site:string -> Pmem.Device.t -> t
+(** Install the sanitizer on a device (replaces any previous tracer).
+    The shadow starts all-clean, which matches a freshly created device.
+    @raise Invalid_argument on an eADR device — there is no flush
+    discipline to sanitize when the whole cache is in the persistence
+    domain. *)
+
+val detach : t -> unit
+(** Remove the sanitizer's tracer from the device.  Accumulated results
+    remain readable. *)
+
+val device : t -> Pmem.Device.t
+
+val set_site : t -> string -> unit
+(** Set the callsite label attached to subsequent violations and counter
+    attribution (e.g. ["upsert"], ["recover"]). *)
+
+val site : t -> string
+
+(** {1 Annotations}
+
+    Thin wrappers over the {!Pmem.Device} annotation entry points, for
+    code layered above [pmsan].  Libraries {e below} it in the dependency
+    order (walog, core) call [Device.ack_durable] etc. directly. *)
+
+val acked : ?label:string -> Pmem.Device.t -> addr:int -> len:int -> unit
+(** Declare [addr, addr+len) durability-acknowledged; the sanitizer flags
+    any covered line that never completed flush+fence. *)
+
+val recovering : Pmem.Device.t -> (unit -> 'a) -> 'a
+(** Run a recovery procedure inside a [Recovery_begin]/[Recovery_end]
+    bracket (exception-safe). *)
+
+val validating : Pmem.Device.t -> (unit -> 'a) -> 'a
+(** Run a validated-read region (loads of possibly-torn data that the
+    caller checks, e.g. log-tail scans) inside a [Validating] bracket. *)
+
+(** {1 Results} *)
+
+val violations : t -> violation list
+(** Recorded violations, oldest first.  Recording caps at 500; beyond
+    that only {!dropped} counts (exact counters keep counting). *)
+
+val dropped : t -> int
+
+val drain_violations : t -> violation list
+(** Take and clear the recorded violations (counters are untouched). *)
+
+val correctness : violation list -> violation list
+(** Filter to correctness-class violations. *)
+
+val counters : t -> counters
+(** Exact totals since [attach] (never capped). *)
+
+val by_site : t -> (string * counters) list
+(** Per-site counter breakdown, sorted by site name. *)
+
+val line_state : t -> int -> string
+(** Shadow state name of the line containing an address (for tests). *)
+
+val pp_site_table : Format.formatter -> t -> unit
+
+(** {1 Snapshot / rewind}
+
+    {!Pmem.Device.restore} rewinds the device but not the shadow; a
+    model-checking sweep ({!Crashmc}) must rewind both in lock-step. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val rewind : t -> snapshot -> unit
+(** Restore the shadow state and clear the recorded-violation list (each
+    crash point reports only its own findings); cumulative counters keep
+    accumulating across rewinds.  @raise Invalid_argument if the snapshot
+    comes from a different device size. *)
+
+(** {1 Index harness} *)
+
+type index_report = {
+  index : string;
+  ops_run : int;
+  recoveries : int;
+  totals : counters;
+  per_site : (string * counters) list;
+  report_violations : violation list;
+  report_dropped : int;
+  model_errors : string list;
+      (** volatile-model divergences: wrong search results, acked keys
+          lost across recovery *)
+}
+
+val correctness_count : index_report -> int
+
+val check_index :
+  ?ops:int ->
+  ?seed:int ->
+  ?key_space:int ->
+  ?rounds:int ->
+  ?device_mb:int ->
+  name:string ->
+  create:(Pmem.Device.t -> Baselines.Index_intf.driver) ->
+  ?recover:(Pmem.Device.t -> Baselines.Index_intf.driver) ->
+  unit ->
+  index_report
+(** Run a seeded randomized upsert/delete/search/scan script against an
+    index under the sanitizer, in [rounds] rounds.  Between rounds the
+    device crashes and, when [recover] is given, the index is rebuilt
+    inside a recovery bracket and checked against a volatile model;
+    without [recover] the index instead runs [flush_all].  The final
+    round ends with a clean {!Pmem.Device.drain}. *)
+
+val pp_index_report : Format.formatter -> index_report -> unit

@@ -387,7 +387,9 @@ let recover t rebuild =
   if t.running then invalid_arg "Shard.recover: call crash or shutdown first";
   Array.iter
     (fun w ->
-      w.drv <- rebuild w.id w.dev;
+      (* bracket per-shard rebuild for persistency sanitizers; nests
+         harmlessly with self-bracketing recovery like [Tree.recover] *)
+      w.drv <- Pmsan.recovering w.dev (fun () -> rebuild w.id w.dev);
       Atomic.set w.w_crashed false)
     t.workers;
   Array.fill t.pend_len 0 t.cfg.shards 0;

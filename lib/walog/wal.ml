@@ -52,7 +52,8 @@ let write_header t addr ~watermark ~epoch ~thread =
   D.store_u8 t.dev (addr + 16) epoch;
   D.store_u8 t.dev (addr + 17) (thread land 0xff);
   D.store_u8 t.dev (addr + 18) (thread lsr 8);
-  D.persist t.dev addr header_size
+  D.persist t.dev addr header_size;
+  D.ack_durable t.dev ~label:"wal.header" addr header_size
 
 (* Acquire a chunk for an append whose timestamp [ts] is already drawn.
    The watermark [ts-1] dominates every previously issued timestamp, so
@@ -81,7 +82,8 @@ let append t ~thread ~epoch ~key ~value ~ts =
     D.store_u64 t.dev addr key;
     D.store_u64 t.dev (addr + 8) value;
     D.store_u64 t.dev (addr + 16) ts;
-    D.persist t.dev addr entry_size
+    D.persist t.dev addr entry_size;
+    D.ack_durable t.dev ~label:"wal.append" addr entry_size
   end
   else begin
     (* Straddling entry: persist key/value before the timestamp so a torn
@@ -90,7 +92,8 @@ let append t ~thread ~epoch ~key ~value ~ts =
     D.store_u64 t.dev (addr + 8) value;
     D.persist t.dev addr 16;
     D.store_u64 t.dev (addr + 16) ts;
-    D.persist t.dev (addr + 16) 8
+    D.persist t.dev (addr + 16) 8;
+    D.ack_durable t.dev ~label:"wal.append" addr entry_size
   end;
   a.off <- a.off + entry_size;
   t.epoch_data.(epoch) <- t.epoch_data.(epoch) + entry_size;
@@ -103,6 +106,7 @@ let reclaim_epoch t ~epoch =
     (fun addr ->
       D.store_u64 t.dev (addr + 8) watermark;
       D.persist t.dev (addr + 8) 8;
+      D.ack_durable t.dev ~label:"wal.reclaim" (addr + 8) 8;
       Queue.push addr t.free)
     !(t.epoch_chunks.(epoch));
   t.epoch_chunks.(epoch) := [];
@@ -117,6 +121,10 @@ let replay alloc ~f =
   let dev = Alloc.device alloc in
   let cs = Alloc.chunk_size alloc in
   let max_ts = ref 0L in
+  (* The tail scan deliberately reads possibly-torn entries and rejects
+     them by timestamp; bracket it so sanitizers don't flag those loads. *)
+  D.validating dev true;
+  Fun.protect ~finally:(fun () -> D.validating dev false) @@ fun () ->
   Alloc.iter_chunks alloc Alloc.Log (fun base ->
       if D.load_u64 dev base = magic then begin
         let watermark = D.load_u64 dev (base + 8) in

@@ -10,7 +10,6 @@ and zipf = {
   zetan : float;
   alpha : float;
   eta : float;
-  zeta2 : float;
 }
 
 let zeta n theta =
@@ -31,8 +30,7 @@ let zipfian ~seed ~space ~theta =
     (1.0 -. Float.pow (2.0 /. float_of_int space) (1.0 -. theta))
     /. (1.0 -. (zeta2 /. zetan))
   in
-  Zipfian
-    { rng = Random.State.make [| seed |]; n = space; theta; zetan; alpha; eta; zeta2 }
+  Zipfian { rng = Random.State.make [| seed |]; n = space; theta; zetan; alpha; eta }
 
 let sequential ~space = Sequential (ref 0, space)
 

@@ -1,0 +1,126 @@
+#!/bin/sh
+# CLI contract tests for ycsb.exe and crashcheck.exe: invalid flag
+# combinations must exit 2 with a usage message on stderr, valid small
+# runs must exit 0, and `ycsb --pmsan` must print the sanitizer report.
+# Wired into `dune runtest` (see the top-level dune file).
+#
+# Usage: scripts/test_cli.sh [--ycsb PATH] [--crashcheck PATH]
+set -u
+
+ycsb=_build/default/bin/ycsb.exe
+crashcheck=_build/default/bin/crashcheck.exe
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --ycsb) ycsb=$2; shift 2 ;;
+    --crashcheck) crashcheck=$2; shift 2 ;;
+    *) echo "test_cli: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+[ -x "$ycsb" ] || { echo "test_cli: no ycsb at $ycsb" >&2; exit 2; }
+[ -x "$crashcheck" ] || { echo "test_cli: no crashcheck at $crashcheck" >&2; exit 2; }
+
+failures=0
+err=$(mktemp)
+out=$(mktemp)
+trap 'rm -f "$err" "$out"' EXIT
+
+# expect_usage NAME EXPECTED_STATUS -- cmd args...
+# Status must match exactly and stderr must mention --help.
+expect_usage() {
+  name=$1; want=$2; shift 3
+  "$@" >"$out" 2>"$err"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $name: exit $got, want $want" >&2
+    failures=$((failures + 1))
+  elif ! grep -q -- "--help" "$err"; then
+    echo "FAIL $name: no usage hint on stderr" >&2
+    sed 's/^/  stderr: /' "$err" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $name"
+  fi
+}
+
+expect_ok() { # NAME -- cmd args...
+  name=$1; shift 2
+  if "$@" >"$out" 2>"$err"; then
+    echo "ok   $name"
+  else
+    echo "FAIL $name: exit $? on a valid invocation" >&2
+    sed 's/^/  stderr: /' "$err" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# --- invalid flag combinations must exit 2 with usage ---------------------
+
+expect_usage "ycsb unknown index"         2 -- "$ycsb" --index bogus
+expect_usage "ycsb unknown mix"           2 -- "$ycsb" --mix bogus
+expect_usage "ycsb bad model-threads"     2 -- "$ycsb" --model-threads 0
+expect_usage "ycsb bad domains"           2 -- "$ycsb" --domains 999
+expect_usage "ycsb bad ops"               2 -- "$ycsb" --ops 0
+expect_usage "ycsb bad scan-len"          2 -- "$ycsb" --scan-len 0
+expect_usage "ycsb pmsan excludes shards" 2 -- "$ycsb" --pmsan --domains 2
+expect_usage "crashcheck bad ops"         2 -- "$crashcheck" --ops 0
+expect_usage "crashcheck bad stride"      2 -- "$crashcheck" --stride 0
+expect_usage "crashcheck bad key-space"   2 -- "$crashcheck" --key-space 0
+expect_usage "crashcheck bad buckets"     2 -- "$crashcheck" --buckets 0
+expect_usage "crashcheck bad prob"        2 -- "$crashcheck" --probs 1.5
+expect_usage "crashcheck empty seeds"     2 -- "$crashcheck" --seeds ""
+expect_usage "crashcheck bad nbatch"      2 -- "$crashcheck" --nbatch 0
+
+# cmdliner-level misuse (unknown option) must also be non-zero
+if "$ycsb" --no-such-flag >"$out" 2>"$err"; then
+  echo "FAIL ycsb unknown option: exited 0" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   ycsb unknown option"
+fi
+
+# --- valid invocations -----------------------------------------------------
+
+expect_ok "ycsb tiny run" -- \
+  "$ycsb" --index ccl --mix insert-only --warmup 500 --ops 500
+expect_ok "crashcheck tiny run" -- \
+  "$crashcheck" --ops 30 --key-space 15 --stride 20 --probs 0.5 --seeds 1 -q
+
+# --pmsan prints the per-site report and exits 0 on a clean index
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --pmsan >"$out" 2>"$err"; then
+  if grep -q "pmsan per-site report" "$out" \
+     && grep -q "redundant flushes" "$out"; then
+    echo "ok   ycsb --pmsan report"
+  else
+    echo "FAIL ycsb --pmsan: report missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --pmsan: exit $? (sanitizer found violations?)" >&2
+  sed 's/^/  stdout: /' "$out" >&2
+  failures=$((failures + 1))
+fi
+
+# crashcheck --pmsan prints sweep counters
+if "$crashcheck" --ops 30 --key-space 15 --stride 20 --probs 0.5 --seeds 1 \
+    -q --pmsan >"$out" 2>"$err"; then
+  if grep -q "^pmsan " "$out"; then
+    echo "ok   crashcheck --pmsan counters"
+  else
+    echo "FAIL crashcheck --pmsan: no counters in output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL crashcheck --pmsan: exit $?" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -eq 0 ]; then
+  echo "test_cli: PASS"
+  exit 0
+else
+  echo "test_cli: $failures failure(s)" >&2
+  exit 1
+fi

@@ -566,6 +566,36 @@ let test_restore_rewinds_all_layers () =
   check_int "dirty set rewound" 1 (D.dirty_lines d);
   check_int "xpbuffer rewound" 0 (D.xpbuffer_occupancy d)
 
+(* The classifier and the tracer are device-lifetime configuration, not
+   device state: both are documented to survive restore unchanged.  This
+   is load-bearing for Crashmc, which installs them once and rewinds the
+   device hundreds of times. *)
+let test_classifier_and_tracer_survive_restore () =
+  let d = device ~size:65536 () in
+  let classified = ref 0 in
+  let traced = ref 0 in
+  D.set_classifier d (Some (fun _xpline -> incr classified; 1));
+  D.set_tracer d (Some (fun _ev -> incr traced));
+  let ck = D.checkpoint d in
+  D.store_u64 d 0 1L;
+  D.persist d 0 8;
+  D.drain d;
+  let c1 = !classified and t1 = !traced in
+  check_bool "classifier consulted before restore" true (c1 > 0);
+  check_bool "tracer fired before restore" true (t1 > 0);
+  D.restore d ck;
+  check_bool "tracer still installed" true (D.tracing d);
+  D.store_u64 d 0 2L;
+  D.persist d 0 8;
+  D.drain d;
+  check_bool "classifier survives restore" true (!classified > c1);
+  check_bool "tracer survives restore" true (!traced > t1);
+  (* explicit removal still works after a restore *)
+  D.set_tracer d None;
+  let t2 = !traced in
+  D.store_u64 d 0 3L;
+  check_int "removed tracer is silent" t2 !traced
+
 let test_restore_rejects_size_mismatch () =
   let a = device ~size:65536 () in
   let b = device ~size:131072 () in
@@ -921,6 +951,8 @@ let () =
             test_checkpoint_restore_replays_identically;
           Alcotest.test_case "restore rewinds all layers" `Quick
             test_restore_rewinds_all_layers;
+          Alcotest.test_case "classifier and tracer survive restore" `Quick
+            test_classifier_and_tracer_survive_restore;
           Alcotest.test_case "restore rejects size mismatch" `Quick
             test_restore_rejects_size_mismatch;
         ] );

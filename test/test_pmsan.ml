@@ -1,0 +1,332 @@
+(* Pmsan: unit tests for the shadow state machine and every violation
+   kind, seeded fault-injection proving detection of an omitted clwb, and
+   the full-matrix run of CCL-BTree plus all eight baselines under the
+   sanitizer. *)
+
+module D = Pmem.Device
+module G = Pmem.Geometry
+module I = Baselines.Index_intf
+module T = Ccl_btree.Tree
+
+let dev_mb mb = D.create ~config:(Pmem.Config.default ~size:(mb * 1024 * 1024) ()) ()
+
+let kinds vs = List.map (fun v -> v.Pmsan.kind) vs
+
+let count k vs = List.length (List.filter (fun v -> v.Pmsan.kind = k) vs)
+
+let has k vs = count k vs > 0
+
+(* --- state machine ------------------------------------------------------ *)
+
+let test_happy_path () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  let a = 4096 in
+  Alcotest.(check string) "clean" "clean" (Pmsan.line_state san a);
+  D.store_u64 dev a 7L;
+  Alcotest.(check string) "dirty" "dirty" (Pmsan.line_state san a);
+  D.clwb dev a;
+  Alcotest.(check string) "staged" "staged" (Pmsan.line_state san a);
+  D.sfence dev;
+  Alcotest.(check string) "persisted" "persisted" (Pmsan.line_state san a);
+  Alcotest.(check (list reject)) "no violations" [] (Pmsan.violations san);
+  let c = Pmsan.counters san in
+  Alcotest.(check int) "1 clwb" 1 c.Pmsan.clwb;
+  Alcotest.(check int) "1 sfence" 1 c.Pmsan.sfence;
+  Pmsan.detach san
+
+let test_eadr_rejected () =
+  let dev =
+    D.create
+      ~config:{ (Pmem.Config.default ~size:(1 lsl 20) ()) with eadr = true }
+      ()
+  in
+  Alcotest.check_raises "eadr rejected"
+    (Invalid_argument
+       "Pmsan.attach: eADR device has no flush discipline to sanitize")
+    (fun () -> ignore (Pmsan.attach dev))
+
+(* --- performance violations -------------------------------------------- *)
+
+let test_redundant_clwb () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  D.clwb dev 4096 (* clean line *);
+  Alcotest.(check bool) "redundant flagged" true
+    (has Pmsan.Redundant_clwb (Pmsan.violations san));
+  D.store_u64 dev 8192 1L;
+  D.persist dev 8192 8;
+  D.clwb dev 8192 (* persisted line *);
+  Alcotest.(check int) "persisted re-clwb flagged" 2
+    (count Pmsan.Redundant_clwb (Pmsan.violations san));
+  Alcotest.(check int) "counter agrees" 2
+    (Pmsan.counters san).Pmsan.clwb_redundant;
+  Pmsan.detach san
+
+let test_duplicate_clwb () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  D.store_u64 dev 4096 1L;
+  D.clwb dev 4096;
+  D.clwb dev 4096 (* same content, already staged *);
+  D.sfence dev;
+  let vs = Pmsan.violations san in
+  Alcotest.(check bool) "duplicate flagged" true (has Pmsan.Duplicate_clwb vs);
+  Alcotest.(check bool) "no stale-fence" false (has Pmsan.Stale_fence vs);
+  Pmsan.detach san
+
+let test_empty_sfence () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  D.sfence dev;
+  Alcotest.(check bool) "empty fence flagged" true
+    (has Pmsan.Empty_sfence (Pmsan.violations san));
+  (* a fence that orders something is not flagged *)
+  D.store_u64 dev 4096 1L;
+  D.clwb dev 4096;
+  D.sfence dev;
+  Alcotest.(check int) "only the empty one" 1
+    (Pmsan.counters san).Pmsan.sfence_empty;
+  Pmsan.detach san
+
+(* --- correctness violations -------------------------------------------- *)
+
+let test_stale_fence () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  D.store_u64 dev 4096 1L;
+  D.clwb dev 4096;
+  D.store_u64 dev 4096 2L (* re-store between clwb and sfence *);
+  D.sfence dev;
+  Alcotest.(check bool) "stale fence flagged" true
+    (has Pmsan.Stale_fence (Pmsan.violations san));
+  (* re-flushing before the fence is the correct pattern *)
+  ignore (Pmsan.drain_violations san);
+  D.store_u64 dev 8192 1L;
+  D.clwb dev 8192;
+  D.store_u64 dev 8192 2L;
+  D.clwb dev 8192;
+  D.sfence dev;
+  Alcotest.(check (list reject)) "re-flush is clean" []
+    (Pmsan.violations san);
+  Alcotest.(check string) "persisted" "persisted" (Pmsan.line_state san 8192);
+  Pmsan.detach san
+
+let test_acked_unpersisted () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  Pmsan.set_site san "proto";
+  D.store_u64 dev 4096 1L;
+  Pmsan.acked ~label:"bad-ack" dev ~addr:4096 ~len:8;
+  let vs = Pmsan.violations san in
+  Alcotest.(check bool) "dirty ack flagged" true
+    (has Pmsan.Acked_unpersisted vs);
+  Alcotest.(check string) "site recorded" "proto" (List.hd vs).Pmsan.site;
+  ignore (Pmsan.drain_violations san);
+  (* clwb without fence is still not durable *)
+  D.clwb dev 4096;
+  Pmsan.acked dev ~addr:4096 ~len:8;
+  Alcotest.(check bool) "staged ack flagged" true
+    (has Pmsan.Acked_unpersisted (Pmsan.violations san));
+  ignore (Pmsan.drain_violations san);
+  D.sfence dev;
+  Pmsan.acked dev ~addr:4096 ~len:8;
+  Alcotest.(check (list reject)) "persisted ack clean" []
+    (Pmsan.violations san);
+  Alcotest.(check int) "correctness counted" 2
+    (Pmsan.counters san).Pmsan.correctness;
+  Pmsan.detach san
+
+let test_recovery_load () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  D.store_u64 dev 4096 1L (* never flushed *);
+  D.store_u64 dev 8192 2L;
+  D.persist dev 8192 8;
+  D.crash dev;
+  Alcotest.(check string) "indeterminate" "indeterminate"
+    (Pmsan.line_state san 4096);
+  Alcotest.(check string) "fenced line survives" "persisted"
+    (Pmsan.line_state san 8192);
+  (* loads outside a recovery bracket are not checked *)
+  ignore (D.load_u64 dev 4096);
+  Alcotest.(check (list reject)) "no bracket, no check" []
+    (Pmsan.violations san);
+  Pmsan.recovering dev (fun () ->
+      ignore (D.load_u64 dev 8192) (* persisted: fine *);
+      ignore (D.load_u64 dev 4096) (* indeterminate: violation *);
+      ignore (D.load_u64 dev 4096) (* deduped per line *);
+      Pmsan.validating dev (fun () ->
+          ignore (D.load_u64 dev 4104) (* declared validated: fine *)));
+  Alcotest.(check int) "exactly one recovery-load" 1
+    (count Pmsan.Recovery_load (Pmsan.violations san));
+  Pmsan.detach san
+
+(* --- seeded fault injection: an omitted clwb must be caught ------------- *)
+
+(* A tiny two-line commit protocol: payload line then a commit record.
+   [omit_clwb] simulates the classic bug of forgetting to flush the
+   payload before acknowledging — exactly what the sanitizer exists to
+   catch deterministically, without needing a crash to sample it. *)
+let two_line_commit dev ~omit_clwb =
+  let payload = 4096 and commit = 4096 + 64 in
+  D.store_u64 dev payload 0xdeadbeefL;
+  if not omit_clwb then D.clwb dev payload;
+  D.store_u64 dev commit 1L;
+  D.clwb dev commit;
+  D.sfence dev;
+  D.ack_durable dev ~label:"two-line-commit" payload 128
+
+let test_omitted_clwb_detected () =
+  (* correct protocol: silent *)
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  two_line_commit dev ~omit_clwb:false;
+  Alcotest.(check (list reject)) "correct protocol is silent" []
+    (Pmsan.violations san);
+  Pmsan.detach san;
+  (* buggy protocol: deterministic Acked_unpersisted *)
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  two_line_commit dev ~omit_clwb:true;
+  let vs = Pmsan.correctness (Pmsan.violations san) in
+  Alcotest.(check bool) "omitted clwb detected" true
+    (has Pmsan.Acked_unpersisted vs);
+  (match vs with
+  | v :: _ ->
+    Alcotest.(check int) "points at the unflushed payload line" 4096
+      v.Pmsan.addr
+  | [] -> Alcotest.fail "no violation recorded");
+  Pmsan.detach san
+
+(* --- snapshot / rewind -------------------------------------------------- *)
+
+let test_rewind () =
+  let dev = dev_mb 1 in
+  let san = Pmsan.attach dev in
+  D.store_u64 dev 4096 1L;
+  D.persist dev 4096 8;
+  let ck = D.checkpoint dev in
+  let snap = Pmsan.snapshot san in
+  D.store_u64 dev 8192 2L;
+  D.crash dev;
+  Alcotest.(check string) "indeterminate after crash" "indeterminate"
+    (Pmsan.line_state san 8192);
+  D.restore dev ck;
+  Pmsan.rewind san snap;
+  Alcotest.(check string) "rewound to clean" "clean"
+    (Pmsan.line_state san 8192);
+  Alcotest.(check string) "persisted line preserved" "persisted"
+    (Pmsan.line_state san 4096);
+  Alcotest.(check (list reject)) "violations cleared" []
+    (Pmsan.violations san);
+  Pmsan.detach san
+
+(* --- whole indexes under the sanitizer ---------------------------------- *)
+
+let ccl_driver t =
+  {
+    I.name = "CCL-BTree";
+    upsert = T.upsert t;
+    search = T.search t;
+    delete = T.delete t;
+    scan = (fun ~start n -> T.scan t ~start n);
+    flush_all = (fun () -> T.flush_all t);
+    dram_bytes = (fun () -> T.dram_bytes t);
+    pm_bytes = (fun () -> T.pm_bytes t);
+    allocator = (fun () -> T.allocator t);
+  }
+
+let check_report r =
+  Fmt.epr "%a@." Pmsan.pp_index_report r;
+  Alcotest.(check (list string))
+    (r.Pmsan.index ^ ": model errors")
+    [] r.Pmsan.model_errors;
+  Alcotest.(check int)
+    (r.Pmsan.index ^ ": correctness violations")
+    0 (Pmsan.correctness_count r)
+
+let test_ccl_under_sanitizer () =
+  let r =
+    Pmsan.check_index ~name:"CCL-BTree"
+      ~create:(fun dev -> ccl_driver (T.create dev))
+      ~recover:(fun dev -> ccl_driver (T.recover dev))
+      ()
+  in
+  check_report r;
+  Alcotest.(check bool) "recovered at least twice" true (r.Pmsan.recoveries >= 2)
+
+let baseline_specs =
+  [
+    Harness.Runner.Fastfair;
+    Harness.Runner.Fptree;
+    Harness.Runner.Lbtree;
+    Harness.Runner.Utree;
+    Harness.Runner.Dptree;
+    Harness.Runner.Pactree;
+    Harness.Runner.Flatstore;
+    Harness.Runner.Lsm;
+  ]
+
+let test_baselines_under_sanitizer () =
+  Alcotest.(check int) "all eight baselines" 8 (List.length baseline_specs);
+  List.iter
+    (fun spec ->
+      let name = Harness.Runner.name spec in
+      let r =
+        Pmsan.check_index ~name
+          ~create:(fun dev -> Harness.Runner.build spec dev)
+          ()
+      in
+      check_report r)
+    baseline_specs
+
+(* --- model checker integration ------------------------------------------ *)
+
+let test_crashmc_sanitized () =
+  let ops = Crashmc.mixed_workload ~seed:11 ~n:60 ~key_space:25 in
+  let r =
+    Crashmc.check ~stride:7 ~persist_probs:[ 0.5 ] ~crash_seeds:[ 3 ]
+      ~sanitize:true ops
+  in
+  Alcotest.(check int) "no violations under sanitized sweep" 0
+    (List.length r.Crashmc.violations);
+  match r.Crashmc.pmsan_counters with
+  | None -> Alcotest.fail "sanitize:true must report counters"
+  | Some c ->
+    Alcotest.(check bool) "sweep saw flushes" true (c.Pmsan.clwb > 0);
+    Alcotest.(check int) "no correctness findings" 0 c.Pmsan.correctness
+
+let () =
+  ignore kinds;
+  Alcotest.run "pmsan"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "happy path" `Quick test_happy_path;
+          Alcotest.test_case "eadr rejected" `Quick test_eadr_rejected;
+          Alcotest.test_case "rewind" `Quick test_rewind;
+        ] );
+      ( "performance",
+        [
+          Alcotest.test_case "redundant clwb" `Quick test_redundant_clwb;
+          Alcotest.test_case "duplicate clwb" `Quick test_duplicate_clwb;
+          Alcotest.test_case "empty sfence" `Quick test_empty_sfence;
+        ] );
+      ( "correctness",
+        [
+          Alcotest.test_case "stale fence" `Quick test_stale_fence;
+          Alcotest.test_case "acked unpersisted" `Quick test_acked_unpersisted;
+          Alcotest.test_case "recovery load" `Quick test_recovery_load;
+          Alcotest.test_case "omitted clwb detected" `Quick
+            test_omitted_clwb_detected;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "ccl-btree" `Quick test_ccl_under_sanitizer;
+          Alcotest.test_case "eight baselines" `Slow
+            test_baselines_under_sanitizer;
+        ] );
+      ( "crashmc",
+        [ Alcotest.test_case "sanitized sweep" `Slow test_crashmc_sanitized ] );
+    ]
