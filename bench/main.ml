@@ -151,10 +151,56 @@ let shard_scaling ?json ~scale_level () =
         output_string oc "]\n");
     Printf.printf "  [shard scaling results written to %s]\n%!" path
 
+(* Measured-latency percentiles of real op execution: the op stream runs
+   through Harness.Exp_common.run_ops with a lib/obs recorder attached, so
+   every driver call lands in an allocation-free log-bucketed histogram
+   (recording does not perturb the tail it measures).  Returns rows in the
+   same {"name","ns_per_op"} schema as the microbenchmark, so
+   scripts/bench_check.sh can track p50/p99 next to the bechamel medians.
+   [sample]/[trace]/[metrics] forward the ycsb-style observability flags. *)
+let latency_suite ~sample ~trace ~metrics ~scale_level () =
+  let scale = Harness.Scale.of_level scale_level in
+  let spec = Harness.Runner.ccl_default in
+  let dev, drv = Harness.Exp_common.warmed spec scale in
+  let rc =
+    Obs.Recorder.create ~hist:true ~sample_every:sample
+      ~trace:(trace <> None) ~now:Shard.Clock.monotonic_ns ()
+  in
+  let ow = Obs.Recorder.worker rc ~tid:0 ~name:"latency" ~dev () in
+  Obs.Recorder.install_device_tracer ow;
+  let before = Pmem.Device.snapshot dev in
+  let run ops = ignore (Harness.Exp_common.run_ops ~obs:ow dev drv spec ops) in
+  run (Harness.Exp_common.updates scale);
+  run (Harness.Exp_common.searches scale);
+  Obs.Recorder.finish rc;
+  Harness.Report.section "Latency: measured percentiles of real execution (ns)";
+  Obs.Recorder.print_hists rc;
+  (match trace with
+  | Some path ->
+    Obs.Recorder.write_trace rc path;
+    Printf.printf "  [trace written to %s]\n%!" path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+    Obs.Recorder.write_metrics rc
+      ~device:(Pmem.Stats.diff ~after:(Pmem.Device.snapshot dev) ~before)
+      path;
+    Printf.printf "  [metrics written to %s]\n%!" path
+  | None -> ());
+  List.concat_map
+    (fun (kind, h) ->
+      [
+        ( Printf.sprintf "latency/CCL-BTree/%s/p50" kind,
+          float_of_int (Obs.Histogram.percentile h 50.0) );
+        ( Printf.sprintf "latency/CCL-BTree/%s/p99" kind,
+          float_of_int (Obs.Histogram.percentile h 99.0) );
+      ])
+    (Obs.Recorder.hists rc)
+
 (* Wall-clock microbenchmark of the real code paths (one Bechamel test per
    core operation).  The simulator's modeled numbers come from the
    experiments; this measures what the OCaml implementation itself costs. *)
-let bechamel_micro ?json ?only ~quota () =
+let bechamel_micro ?only ~quota () =
   let open Bechamel in
   (* [only] restricts to tests whose name contains the substring, so the
      bench_check gate can measure just the two ops it compares instead of
@@ -274,16 +320,23 @@ let bechamel_micro ?json ?only ~quota () =
   Harness.Report.table
     ~header:[ "operation"; "ns/op (host)" ]
     (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows);
-  match json with None -> () | Some path -> write_json path rows
+  rows
 
-let run_ids ids scale_level bech json quota only =
+let run_ids ids scale_level no_bech json quota only hist sample trace metrics =
   let scale = Harness.Scale.of_level scale_level in
   (* pseudo-ids select the non-registry suites *)
   let shard = List.mem "shard" ids in
-  let ids = List.filter (fun id -> id <> "shard" && id <> "bechamel") ids in
+  let bech_named = List.mem "bechamel" ids in
+  let lat = List.mem "latency" ids || hist in
+  let ids =
+    List.filter
+      (fun id -> not (List.mem id [ "shard"; "bechamel"; "latency" ]))
+      ids
+  in
+  let bech = bech_named || ((ids = [] && not (shard || lat)) && not no_bech) in
   let selected =
     match ids with
-    | [] when shard -> []
+    | [] when shard || bech_named || lat -> []
     | [] -> Harness.Experiments.all
     | ids ->
       List.map
@@ -303,8 +356,15 @@ let run_ids ids scale_level bech json quota only =
         (Unix.gettimeofday () -. t0))
     selected;
   if shard then shard_scaling ?json ~scale_level ();
+  let rows =
+    (if bech then bechamel_micro ?only ~quota () else [])
+    @
+    if lat then latency_suite ~sample ~trace ~metrics ~scale_level () else []
+  in
   (* when the shard suite owns the --json path, don't overwrite it *)
-  if bech then bechamel_micro ?json:(if shard then None else json) ?only ~quota ()
+  match json with
+  | Some path when (not shard) && rows <> [] -> write_json path rows
+  | _ -> ()
 
 open Cmdliner
 
@@ -315,7 +375,8 @@ let ids_arg =
         ~doc:
           "Experiment ids to run (default: all).  The pseudo-id $(b,bechamel) \
            runs only the wall-clock microbenchmark; $(b,shard) runs the \
-           measured domain-parallel scaling suite.")
+           measured domain-parallel scaling suite; $(b,latency) runs the \
+           measured-latency percentile suite (lib/obs histograms).")
 
 let scale_arg =
   Arg.(
@@ -356,18 +417,54 @@ let only_arg =
           "Run only microbenchmark tests whose name contains $(docv) \
            (e.g. $(b,CCL-BTree) for the regression gate).")
 
+let hist_arg =
+  Arg.(
+    value & flag
+    & info [ "hist" ]
+        ~doc:
+          "Run the measured-latency percentile suite (alias for the \
+           $(b,latency) pseudo-id).")
+
+let sample_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sample" ] ~docv:"N"
+        ~doc:
+          "During the latency suite, snapshot device counter deltas every \
+           $(docv) ops into the metrics JSON (0 = off).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Write a Chrome trace-event JSON of the latency suite's run to \
+           $(docv) (load in Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:
+          "Write the latency suite's histograms, device counters and \
+           samples to $(docv) as JSON.")
+
 let cmd =
   let doc = "Regenerate the CCL-BTree paper's tables and figures" in
   Cmd.v
     (Cmd.info "ccl-bench" ~doc)
     Term.(
-      const (fun list ids scale no_bech json quota only ->
+      const (fun list ids scale no_bech json quota only hist sample trace
+                 metrics ->
           if list then list_experiments ()
-          else
-            run_ids ids scale
-              ((ids = [] || ids = [ "bechamel" ]) && not no_bech)
-              json quota only)
+          else if sample < 0 then (
+            Printf.eprintf "ccl-bench: --sample must be >= 0\n";
+            Stdlib.exit 2)
+          else run_ids ids scale no_bech json quota only hist sample trace metrics)
       $ list_arg $ ids_arg $ scale_arg $ no_bechamel_arg $ json_arg
-      $ quota_arg $ only_arg)
+      $ quota_arg $ only_arg $ hist_arg $ sample_arg $ trace_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

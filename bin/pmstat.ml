@@ -1,0 +1,76 @@
+(* pmstat: ipmctl-style counter reporting over metrics-JSON snapshots.
+
+     # one snapshot: print its device counter table
+     dune exec bin/pmstat.exe -- run.json
+
+     # two snapshots: diff them (after - before) into the paper's
+     # counter table, amplification ratios included
+     dune exec bin/pmstat.exe -- before.json after.json
+
+   Snapshots are the files ccl-ycsb writes with --metrics-json (their
+   "device" section), or any flat JSON object using Pmem.Stats counter
+   names. *)
+
+module S = Pmem.Stats
+
+let read_stats path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let nums = Obs.Json.scan_numbers body in
+  (* first occurrence wins: the metrics document puts the "device"
+     section before the per-sample series, which reuses counter names *)
+  S.of_assoc (List.map (fun (k, v) -> (k, int_of_float v)) nums)
+
+let class_names = [| "meta"; "leaf"; "log"; "extent" |]
+
+let print_one st =
+  Fmt.pr "%a@." S.pp st;
+  Array.iteri
+    (fun i v -> Fmt.pr "media writes [%s]  %d B@." class_names.(i) v)
+    st.S.media_write_bytes_by_class
+
+let print_diff a b =
+  let d = S.diff ~after:b ~before:a in
+  Fmt.pr "%-24s %14s %14s %14s@." "counter" "before" "after" "delta";
+  List.iter2
+    (fun (name, va) (_, vb) ->
+      Fmt.pr "%-24s %14d %14d %14d@." name va vb (vb - va))
+    (S.to_assoc a) (S.to_assoc b);
+  Fmt.pr "%-24s %44.2f@." "CLI-amplification (delta)" (S.cli_amplification d);
+  Fmt.pr "%-24s %44.2f@." "XBI-amplification (delta)" (S.xbi_amplification d)
+
+open Cmdliner
+
+let run before after =
+  let a = read_stats before in
+  match after with
+  | None ->
+    print_one a;
+    0
+  | Some after ->
+    print_diff a (read_stats after);
+    0
+
+let cmd =
+  let before =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BEFORE"
+          ~doc:"Metrics/stats JSON snapshot (printed alone if no AFTER).")
+  in
+  let after =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"AFTER"
+          ~doc:"Second snapshot; the table shows AFTER - BEFORE deltas.")
+  in
+  Cmd.v
+    (Cmd.info "pmstat"
+       ~doc:"Print or diff simulated-DCPMM counter snapshots")
+    Term.(const run $ before $ after)
+
+let () = exit (Cmd.eval' cmd)

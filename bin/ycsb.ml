@@ -51,6 +51,71 @@ let mix_of = function
 
 let kv fmt = Printf.printf ("%-26s " ^^ fmt ^^ "\n")
 
+(* --- observability options ----------------------------------------------- *)
+
+type obs_opts = {
+  hist : bool;  (* print measured-latency percentile table *)
+  sample : int;  (* device time-series period in ops; 0 = off *)
+  trace : string option;  (* Chrome trace-event JSON path *)
+  metrics : string option;  (* metrics JSON path *)
+  attribution : bool;  (* classifier/counter traffic breakdown *)
+}
+
+(* The metrics file always carries histograms (its totals are the run's
+   op count), so --metrics-json implies histogram collection. *)
+let make_recorder o =
+  Obs.Recorder.create
+    ~hist:(o.hist || o.metrics <> None)
+    ~sample_every:o.sample ~trace:(o.trace <> None)
+    ~now:Shard.Clock.monotonic_ns ()
+
+let obs_report o rc ~delta =
+  Obs.Recorder.finish rc;
+  if o.hist then Obs.Recorder.print_hists rc;
+  (match o.trace with
+  | Some path ->
+    Obs.Recorder.write_trace rc path;
+    Printf.printf "trace written to %s (load in ui.perfetto.dev)\n" path
+  | None -> ());
+  match o.metrics with
+  | Some path ->
+    (* the "device" section holds the measured-phase counter deltas: the
+       same window the histograms and sample series cover *)
+    Obs.Recorder.write_metrics rc ~device:delta path;
+    Printf.printf "metrics written to %s\n" path
+  | None -> ()
+
+(* ipmctl-style attribution table: which writes reached the media, split
+   by the allocator's chunk classes, plus index-internal counters. *)
+let print_attribution ~ops ~(delta : S.t) ~counters =
+  let per_op v = float_of_int v /. float_of_int (max 1 ops) in
+  Printf.printf "\ntraffic attribution (measured phase):\n";
+  kv "%d (%.2f/op)" "  clwb" delta.S.clwb_count (per_op delta.S.clwb_count);
+  kv "%d (%.2f/op)" "  sfence" delta.S.sfence_count
+    (per_op delta.S.sfence_count);
+  kv "%d (%.2f/op)" "  media write lines" delta.S.media_write_lines
+    (per_op delta.S.media_write_lines);
+  kv "%d (%.2f/op)" "  cpu evictions" delta.S.cpu_evictions
+    (per_op delta.S.cpu_evictions);
+  let by_class = delta.S.media_write_bytes_by_class in
+  kv "%s" "  media bytes by class"
+    (Printf.sprintf "meta %d  leaf %d  log %d  extent %d" by_class.(0)
+       by_class.(1) by_class.(2) by_class.(3));
+  if counters <> [] then begin
+    Printf.printf "index counters (measured phase):\n";
+    List.iter (fun (name, v) -> kv "%d" ("  " ^ name) v) counters
+  end
+
+(* delta of two index-counter snapshots, by name *)
+let counters_delta ~before ~after =
+  List.map
+    (fun (name, v) ->
+      let v0 =
+        match List.assoc_opt name before with Some x -> x | None -> 0
+      in
+      (name, v - v0))
+    after
+
 let print_traffic st =
   kv "%.2f" "CLI-amplification" (S.cli_amplification st);
   kv "%.2f" "XBI-amplification" (S.xbi_amplification st);
@@ -96,7 +161,7 @@ let sited_driver san (drv : Baselines.Index_intf.driver) =
         drv.Baselines.Index_intf.flush_all ());
   }
 
-let run_single spec mix mix_name warmup ops model_threads scan_len pmsan =
+let run_single spec mix mix_name warmup ops model_threads scan_len pmsan o =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
   let san = if pmsan then Some (Pmsan.attach ~site:"create" dev) else None in
   let drv = Harness.Runner.build spec dev in
@@ -108,15 +173,34 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan =
   Printf.printf "loading %d keys into %s...\n%!" warmup
     (Harness.Runner.name spec);
   Harness.Runner.warmup drv ~keys:(K.shuffled_range ~seed:1 warmup);
+  (* the recorder starts here, after warmup, so histograms / samples /
+     trace cover exactly the measured op phase; add_tracer composes with
+     a sanitizer installed at attach time, so --pmsan and --trace stack *)
+  let rc = make_recorder o in
+  let ow =
+    if Obs.Recorder.enabled rc then begin
+      let w = Obs.Recorder.worker rc ~tid:0 ~name:"main" ~dev () in
+      Obs.Recorder.install_device_tracer w;
+      Some w
+    end
+    else None
+  in
+  let counters0 = drv.Baselines.Index_intf.counters () in
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
   Printf.printf "running %d x %s ops...\n%!" ops mix_name;
-  let m = Harness.Exp_common.run_ops dev drv spec stream in
+  let m = Harness.Exp_common.run_ops ?obs:ow dev drv spec stream in
   Printf.printf "\n";
   kv "%s" "index" (Harness.Runner.name spec);
   kv "%s" "mix" mix_name;
   print_traffic m.Harness.Runner.delta;
   kv "%.2f Mop/s" "measured (1 thread)" (Harness.Runner.mops_measured m);
   print_modeled m model_threads;
+  obs_report o rc ~delta:m.Harness.Runner.delta;
+  if o.attribution then
+    print_attribution ~ops ~delta:m.Harness.Runner.delta
+      ~counters:
+        (counters_delta ~before:counters0
+           ~after:(drv.Baselines.Index_intf.counters ()));
   match san with
   | None -> 0
   | Some san ->
@@ -136,10 +220,15 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan =
 
 (* --- sharded (measured) path --------------------------------------------- *)
 
-let run_sharded spec mix mix_name warmup ops model_threads scan_len domains =
+let run_sharded spec mix mix_name warmup ops model_threads scan_len domains o =
+  let rc = make_recorder o in
+  (* workers register their lanes inside Shard.create; pause until the
+     measured phase so the load traffic stays out of the books *)
+  Obs.Recorder.pause rc;
   let t =
-    Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000)) spec
-      ~domains ()
+    Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000))
+      ?recorder:(if Obs.Recorder.enabled rc then Some rc else None)
+      spec ~domains ()
   in
   Printf.printf "loading %d keys into %d x %s shards...\n%!" warmup domains
     (Harness.Runner.name spec);
@@ -149,6 +238,7 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains =
        (K.shuffled_range ~seed:1 warmup));
   Shard.flush t;
   Shard.reset_counters t;
+  Obs.Recorder.resume rc;
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
   Printf.printf "running %d x %s ops over %d domains...\n%!" ops mix_name
     domains;
@@ -189,11 +279,14 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains =
     }
   in
   print_modeled m model_threads;
+  obs_report o rc ~delta;
+  if o.attribution then print_attribution ~ops ~delta ~counters:[];
   Shard.shutdown t
 
 open Cmdliner
 
-let run index mix warmup ops model_threads scan_len domains pmsan =
+let run index mix warmup ops model_threads scan_len domains pmsan hist sample
+    trace metrics attribution =
   let usage fmt =
     Printf.ksprintf
       (fun m ->
@@ -212,12 +305,20 @@ let run index mix warmup ops model_threads scan_len domains pmsan =
     usage
       "--pmsan only works in single-driver mode (--domains 0): shards run \
        on their own domains, and the sanitizer hook is not thread-safe";
+  if sample < 0 then usage "--sample must be >= 0 (got %d)" sample;
+  (match trace with
+  | Some "" -> usage "--trace needs a non-empty output path"
+  | _ -> ());
+  (match metrics with
+  | Some "" -> usage "--metrics-json needs a non-empty output path"
+  | _ -> ());
+  let o = { hist; sample; trace; metrics; attribution } in
   let spec = spec_of index in
   let m = mix_of mix in
   if domains = 0 then
-    run_single spec m mix warmup ops model_threads scan_len pmsan
+    run_single spec m mix warmup ops model_threads scan_len pmsan o
   else begin
-    run_sharded spec m mix warmup ops model_threads scan_len domains;
+    run_sharded spec m mix warmup ops model_threads scan_len domains o;
     0
   end
 
@@ -264,10 +365,62 @@ let cmd =
              if any correctness-class violation is found.  Single-driver \
              mode only (incompatible with $(b,--domains) > 0).")
   in
+  let hist =
+    Arg.(
+      value & flag
+      & info [ "hist" ]
+          ~doc:
+            "Record an allocation-free log-bucketed latency histogram per \
+             op kind around the measured phase and print the \
+             p50/p90/p99/p99.9/max table (per-worker histograms are \
+             merged in sharded mode).")
+  in
+  let sample =
+    Arg.(
+      value & opt int 0
+      & info [ "sample" ] ~docv:"N"
+          ~doc:
+            "Every $(docv) ops, snapshot the device counter deltas plus \
+             XPBuffer occupancy and dirty-cacheline count into the \
+             metrics time-series (0 = off; series is exported by \
+             $(b,--metrics-json)).")
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the measured phase \
+             (ops, WAL batch flushes, splits, GC runs, queue activity, \
+             worker busy periods) to $(docv); load it in \
+             ui.perfetto.dev.  Composes with $(b,--pmsan): the tracer \
+             fans out, both consumers see every device event.")
+  in
+  let metrics =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write a metrics JSON (latency histograms, measured-phase \
+             device counters with amplification ratios, and the \
+             $(b,--sample) time-series) to $(docv).  Two such files diff \
+             into the paper's counter table with $(b,pmstat.exe).")
+  in
+  let attribution =
+    Arg.(
+      value & flag
+      & info [ "attribution" ]
+          ~doc:
+            "Print the traffic-attribution table for the measured phase: \
+             flushes and media-write lines per op, media bytes split by \
+             allocator chunk class (meta/leaf/log/extent), and \
+             index-internal counters (log appends, batch flushes, \
+             splits, GC work) where the index exposes them.")
+  in
   Cmd.v
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
       const run $ index $ mix $ warmup $ ops $ model_threads $ scan_len
-      $ domains $ pmsan)
+      $ domains $ pmsan $ hist $ sample $ trace $ metrics $ attribution)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,6 +32,8 @@ let driver_with ?(name = "CCL-BTree") cfg dev =
     dram_bytes = (fun () -> Tree.dram_bytes t);
     pm_bytes = (fun () -> Tree.pm_bytes t);
     allocator = (fun () -> Tree.allocator t);
+    counters =
+      (fun () -> Ccl_btree.Tree_stats.to_assoc (Tree.stats t));
   }
 
 let base_cfg = { Config.default with Config.buffering = false }

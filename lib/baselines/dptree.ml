@@ -56,6 +56,7 @@ let log_append t key value =
 (* Merge the whole buffer into the base tree: the KVs scatter across
    random leaves in PM. *)
 let merge t =
+  D.span_begin t.dev "dptree.merge";
   let entries =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.buffer [])
   in
@@ -71,7 +72,8 @@ let merge t =
   List.iter (Alloc.free_chunk t.log_alloc) t.log_chunks;
   t.log_chunks <- [];
   t.log_off <- 0;
-  t.merges <- t.merges + 1
+  t.merges <- t.merges + 1;
+  D.span_end t.dev "dptree.merge"
 
 let upsert_raw t key value =
   D.add_user_bytes t.dev 16;

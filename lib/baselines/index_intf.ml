@@ -37,6 +37,10 @@ type driver = {
   dram_bytes : unit -> int;
   pm_bytes : unit -> int;
   allocator : unit -> Pmalloc.Alloc.t;
+  counters : unit -> (string * int) list;
+      (** Index-internal operation counters (log appends, batch flushes,
+          splits, GC work, ...) as a flat snapshot for attribution
+          reports; empty for indexes that expose none. *)
 }
 
 let driver (type a) (module M : S with type t = a) (t : a) =
@@ -50,4 +54,5 @@ let driver (type a) (module M : S with type t = a) (t : a) =
     dram_bytes = (fun () -> M.dram_bytes t);
     pm_bytes = (fun () -> M.pm_bytes t);
     allocator = (fun () -> M.allocator t);
+    counters = (fun () -> []);
   }

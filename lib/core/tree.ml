@@ -161,6 +161,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
   end
   else if List.length !added <= List.length free then begin
     (* normal batch insertion *)
+    D.span_begin dev "tree.batch_flush";
     let base = Pmem.Geometry.line_of leaf in
     let touched = ref 0 in
     List.iter
@@ -186,6 +187,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
     D.persist dev leaf 32;
     D.ack_durable dev ~label:"tree.batch" leaf 32;
     t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1;
+    D.span_end dev "tree.batch_flush";
     if allow_merge && L.valid_count dev leaf < L.slots / 2 then try_merge t b
   end
   else split_apply t b ~pending ~ts
@@ -194,6 +196,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
    through a single atomic metadata commit on the old leaf. *)
 and split_apply t b ~pending ~ts =
   let dev = t.dev in
+  D.span_begin dev "tree.split";
   let leaf = b.B.leaf in
   (* final content = existing entries with pending applied *)
   let tbl = Hashtbl.create 32 in
@@ -287,7 +290,8 @@ and split_apply t b ~pending ~ts =
         && L.find dev leaf k = None)
       pending
   in
-  if added_left <> [] then leaf_apply t b ~pending:added_left
+  if added_left <> [] then leaf_apply t b ~pending:added_left;
+  D.span_end dev "tree.split"
 
 (* Merge an underutilized leaf into its left sibling (§4.2). *)
 and try_merge t b =
@@ -300,6 +304,7 @@ and try_merge t b =
     if cnt > free_p then ()
     else begin
       B.lock p;
+      D.span_begin dev "tree.merge";
       let entries = L.entries dev b.B.leaf in
       let base = Pmem.Geometry.line_of p.B.leaf in
       let touched = ref 0 in
@@ -331,6 +336,7 @@ and try_merge t b =
       (match b.B.next with Some nx -> nx.B.prev <- Some p | None -> ());
       Inner_index.remove t.index b.B.low;
       t.stats.Tree_stats.merges <- t.stats.Tree_stats.merges + 1;
+      D.span_end dev "tree.merge";
       B.unlock p
     end
 
@@ -354,10 +360,12 @@ let gc_step t n =
       if n > 0 then begin
         match gc.cursor with
         | None ->
+          D.span_begin t.dev "tree.gc_reclaim";
           Wal.reclaim_epoch t.wal ~epoch:gc.old_epoch;
           t.gc <- None;
           t.gc_floor <- Wal.live_bytes t.wal;
-          t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1
+          t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1;
+          D.span_end t.dev "tree.gc_reclaim"
         | Some b ->
           B.lock b;
           for i = 0 to B.nbatch b - 1 do
@@ -393,6 +401,7 @@ let gc_finish t =
 (* Stop-the-world strategy (Fig 9(a)): flush every buffer node to its
    leaf — random XPLine writes — then reclaim all logs. *)
 let gc_naive t =
+  D.span_begin t.dev "tree.gc_naive";
   let rec walk = function
     | None -> ()
     | Some b ->
@@ -409,7 +418,8 @@ let gc_naive t =
   Wal.reclaim_epoch t.wal ~epoch:0;
   Wal.reclaim_epoch t.wal ~epoch:1;
   t.gc_floor <- 0;
-  t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1
+  t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1;
+  D.span_end t.dev "tree.gc_naive"
 
 let gc_trigger_reached t =
   let leaf_bytes = Slab.used_bytes t.slab in

@@ -36,6 +36,24 @@ let create () =
     gc_skipped = 0;
   }
 
+let to_assoc t =
+  [
+    ("inserts", t.inserts);
+    ("deletes", t.deletes);
+    ("searches", t.searches);
+    ("scans", t.scans);
+    ("dram_hits", t.dram_hits);
+    ("leaf_reads", t.leaf_reads);
+    ("log_appends", t.log_appends);
+    ("log_skips", t.log_skips);
+    ("batch_flushes", t.batch_flushes);
+    ("splits", t.splits);
+    ("merges", t.merges);
+    ("gc_runs", t.gc_runs);
+    ("gc_copied", t.gc_copied);
+    ("gc_skipped", t.gc_skipped);
+  ]
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>inserts %d deletes %d searches %d scans %d@,\

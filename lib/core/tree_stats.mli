@@ -25,4 +25,8 @@ type t = {
 val create : unit -> t
 (** A fresh record with every counter at zero. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as a (name, value) pair — the flat view attribution
+    reports diff and print. *)
+
 val pp : Format.formatter -> t -> unit

@@ -71,7 +71,7 @@ let scans ?(len = 100) (scale : Scale.t) =
 
 (* --- measurement ------------------------------------------------------- *)
 
-let run_ops dev (drv : I.driver) spec ops =
+let run_ops ?obs dev (drv : I.driver) spec ops =
   (* Insert with value 0 encodes a delete (tombstone convention). *)
   let mapped =
     Array.map
@@ -94,8 +94,19 @@ let run_ops dev (drv : I.driver) spec ops =
       | `Op (Y.Insert (k, value)) -> drv.I.upsert k value
       | `Op (Y.Read k) -> ignore (drv.I.search k)
       | `Op (Y.Scan (k, len)) -> ignore (drv.I.scan ~start:k len));
-      wall_ns :=
-        Int64.add !wall_ns (Int64.sub (Shard.Clock.monotonic_ns ()) t0);
+      let t1 = Shard.Clock.monotonic_ns () in
+      wall_ns := Int64.add !wall_ns (Int64.sub t1 t0);
+      (match obs with
+      | Some w ->
+        let kind =
+          match op with
+          | `Del _ -> "delete"
+          | `Op (Y.Insert _) -> "upsert"
+          | `Op (Y.Read _) -> "search"
+          | `Op (Y.Scan _) -> "scan"
+        in
+        Obs.Recorder.record w ~kind ~t0 ~t1
+      | None -> ());
       samples :=
         Runner.op_cost_ns (S.diff ~after:(D.snapshot dev) ~before:snap)
         :: !samples)

@@ -98,8 +98,8 @@ let xbi_amp m = S.xbi_amplification m.delta
 
 (* --- sharded (measured) execution --------------------------------------- *)
 
-let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256) spec
-    ~domains () =
+let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256)
+    ?recorder spec ~domains () =
   let partition =
     match partition with Some p -> p | None -> Shard.default_config.partition
   in
@@ -108,6 +108,7 @@ let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256) spec
   let shard_mb = max 16 (mb / max 1 domains) in
   Shard.create
     ~config:{ Shard.shards = domains; partition; queue_depth; batch }
+    ?recorder
     ~make:(fun _i ->
       let dev = device ~mb:shard_mb () in
       let drv = build spec dev in

@@ -68,10 +68,13 @@ val make_sharded :
   ?partition:Shard.partition ->
   ?queue_depth:int ->
   ?batch:int ->
+  ?recorder:Obs.Recorder.t ->
   spec ->
   domains:int ->
   unit ->
   Shard.t
 (** A [domains]-shard fleet of the given index spec, each shard on a
     private device of [mb/domains] MB (same aggregate capacity as the
-    single-device setup) with the traffic classifier installed. *)
+    single-device setup) with the traffic classifier installed.
+    [recorder] is forwarded to {!Shard.create} to attach per-worker
+    latency histograms, device sampling and trace lanes. *)

@@ -1,0 +1,126 @@
+(* Log-bucketed histogram: values below [sub] are exact; every octave
+   [2^p, 2^(p+1)) above that splits into [sub] equal sub-buckets, so the
+   relative bucket width is 1/sub everywhere.  With sub = 16 and 63-bit
+   ints the index space is 944 buckets — one fixed int array, no
+   allocation per record. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits
+let nbuckets = ((62 - sub_bits) * sub) + sub (* max index 943, see below *)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable vsum : int;
+  mutable vmin : int; (* max_int when empty *)
+  mutable vmax : int; (* -1 when empty *)
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; total = 0; vsum = 0; vmin = max_int; vmax = -1 }
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.total <- 0;
+  t.vsum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- -1
+
+let copy t = { t with counts = Array.copy t.counts }
+
+(* position of the highest set bit; caller guarantees v >= sub *)
+let msb v =
+  let p = ref sub_bits and x = ref (v lsr sub_bits) in
+  while !x > 1 do
+    incr p;
+    x := !x lsr 1
+  done;
+  !p
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < sub then v
+  else
+    let p = msb v in
+    ((p - sub_bits) lsl sub_bits) + (v lsr (p - sub_bits))
+
+let bounds_of_bucket i =
+  if i < sub then (i, i)
+  else
+    let shift = (i lsr sub_bits) - 1 in
+    let lo = (sub + (i land (sub - 1))) lsl shift in
+    (lo, lo + (1 lsl shift) - 1)
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.vsum <- t.vsum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.total
+let sum t = t.vsum
+let min_value t = if t.total = 0 then 0 else t.vmin
+let max_value t = if t.total = 0 then 0 else t.vmax
+let mean t = if t.total = 0 then 0.0 else float_of_int t.vsum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let target =
+      let r = int_of_float (ceil (p *. float_of_int t.total /. 100.0)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let acc = ref 0 and i = ref 0 in
+    while !acc < target && !i < nbuckets do
+      acc := !acc + t.counts.(!i);
+      incr i
+    done;
+    let hi = snd (bounds_of_bucket (!i - 1)) in
+    (* never report past the recorded maximum *)
+    if hi > t.vmax then t.vmax else hi
+  end
+
+let merge a b =
+  {
+    counts = Array.init nbuckets (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+    vsum = a.vsum + b.vsum;
+    vmin = min a.vmin b.vmin;
+    vmax = max a.vmax b.vmax;
+  }
+
+let merge_all = function [] -> create () | h :: rest -> List.fold_left merge (copy h) rest
+
+let equal a b =
+  a.total = b.total && a.vsum = b.vsum && a.vmin = b.vmin && a.vmax = b.vmax
+  && a.counts = b.counts
+
+let buckets t =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bounds_of_bucket i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let to_assoc t =
+  [
+    ("count", float_of_int t.total);
+    ("mean_ns", mean t);
+    ("p50_ns", float_of_int (percentile t 50.0));
+    ("p90_ns", float_of_int (percentile t 90.0));
+    ("p99_ns", float_of_int (percentile t 99.0));
+    ("p999_ns", float_of_int (percentile t 99.9));
+    ("max_ns", float_of_int (max_value t));
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.0fns p50=%d p90=%d p99=%d p99.9=%d max=%d" t.total (mean t)
+    (percentile t 50.0) (percentile t 90.0) (percentile t 99.0)
+    (percentile t 99.9) (max_value t)

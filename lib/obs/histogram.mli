@@ -1,0 +1,66 @@
+(** Allocation-free log-bucketed latency histogram (HDR-histogram style).
+
+    Values (nanoseconds, non-negative ints) land in buckets whose width
+    grows geometrically: values below 16 are exact, and every power-of-two
+    octave above that is split into 16 sub-buckets, so any recorded value
+    is off from its bucket bound by at most 1/16 (6.25%) — precise enough
+    for p50/p99/p99.9 tail reporting at any magnitude from 1 ns to hours.
+    The bucket array is fixed (944 slots) and {!record} touches one slot:
+    no allocation on the hot path, so per-op recording does not perturb
+    the latencies being measured.
+
+    {!merge} is a commutative, associative monoid with {!create}[ ()] as
+    the neutral element — the same contract as {!Pmem.Stats.merge} — so
+    per-worker histograms aggregate into one distribution exactly. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val copy : t -> t
+
+val record : t -> int -> unit
+(** Record one value (ns).  Negative values clamp to 0. *)
+
+val count : t -> int
+(** Total number of recorded values. *)
+
+val sum : t -> int
+(** Sum of recorded values (exact, not bucket-rounded). *)
+
+val min_value : t -> int
+(** Smallest recorded value; 0 on an empty histogram. *)
+
+val max_value : t -> int
+(** Largest recorded value; 0 on an empty histogram. *)
+
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in (0, 100]: an upper bound of the bucket
+    containing the p-th percentile value — within one bucket (≤ 6.25%)
+    of the exact order statistic.  0 on an empty histogram. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum.  Never aliases its inputs. *)
+
+val merge_all : t list -> t
+
+val equal : t -> t -> bool
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)] triples, ascending — the full
+    distribution for export. *)
+
+val bucket_of : int -> int
+(** Bucket index of a value (monotone non-decreasing); exposed so tests
+    can pin the bucketing scheme. *)
+
+val bounds_of_bucket : int -> int * int
+(** Inclusive [(lo, hi)] value range of a bucket index. *)
+
+val to_assoc : t -> (string * float) list
+(** Summary as (name, value) pairs: count, mean and the reporting
+    percentiles p50/p90/p99/p99.9/max. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    (* integral floats (and NaN -> 0) print without an exponent *)
+    Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f)
+  else if Float.is_finite f then Printf.sprintf "%.6g" f
+  else if f > 0.0 then "1e308"
+  else "-1e308"
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | Float v -> Buffer.add_string b (float_repr v)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buffer b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          to_buffer b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b
+
+let to_channel oc v = output_string oc (to_string v)
+
+(* Scan for "key" : number pairs; enough to re-read the flat metrics
+   objects this module writes. *)
+let scan_numbers s =
+  let n = String.length s in
+  let acc = ref [] in
+  let i = ref 0 in
+  let skip_ws () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+      incr i
+    done
+  in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && s.[!j] <> '"' do
+        if s.[!j] = '\\' then incr j;
+        incr j
+      done;
+      if !j < n then begin
+        let key = String.sub s start (!j - start) in
+        i := !j + 1;
+        skip_ws ();
+        if !i < n && s.[!i] = ':' then begin
+          incr i;
+          skip_ws ();
+          let start = !i in
+          while
+            !i < n
+            && (match s.[!i] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false)
+          do
+            incr i
+          done;
+          if !i > start then
+            match float_of_string_opt (String.sub s start (!i - start)) with
+            | Some v -> acc := (key, v) :: !acc
+            | None -> ()
+        end
+      end
+      else i := n
+    end
+    else incr i
+  done;
+  List.rev !acc

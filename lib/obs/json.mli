@@ -1,0 +1,28 @@
+(** Minimal hand-rolled JSON — the toolchain has no JSON library and the
+    observability exporters only need to emit flat metrics objects and
+    Chrome trace-event arrays, plus re-read the flat numeric objects they
+    wrote ({!scan_numbers} for [pmstat]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Body of a JSON string literal (no surrounding quotes): quotes and
+    backslashes get a backslash escape, control characters become
+    [\u00XX] sequences. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+val scan_numbers : string -> (string * float) list
+(** Extract every ["key" : number] pair from a JSON text, in order of
+    appearance, ignoring all structure.  Tolerant by design: it is only
+    meant to re-read flat numeric objects written by {!to_buffer} (metrics
+    snapshots), where key names are unique and unescaped. *)

@@ -1,0 +1,51 @@
+module Stats = Pmem.Stats
+
+let histogram_json h =
+  Json.Obj
+    (List.map (fun (k, v) -> (k, Json.Float v)) (Histogram.to_assoc h)
+    @ [
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lo, hi, n) ->
+                 Json.Obj
+                   [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("n", Json.Int n) ])
+               (Histogram.buckets h)) );
+      ])
+
+let device_json stats =
+  Json.Obj
+    (List.map (fun (k, v) -> (k, Json.Int v)) (Stats.to_assoc stats)
+    @ [
+        ("cli_amplification", Json.Float (Stats.cli_amplification stats));
+        ("xbi_amplification", Json.Float (Stats.xbi_amplification stats));
+      ])
+
+let document ~ops ~hists ~device ?(samples = []) ?(extra = []) () =
+  Json.Obj
+    ([ ("ops", Json.Int ops) ]
+    @ [
+        ( "histograms",
+          Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) hists) );
+      ]
+    @ [ ("device", device_json device) ]
+    @ (match samples with
+      | [] -> []
+      | _ ->
+          [
+            ( "samples",
+              Json.Obj
+                (List.map
+                   (fun (tid, s) ->
+                     (Printf.sprintf "w%d" tid, Sampler.to_json s))
+                   samples) );
+          ])
+    @ extra)
+
+let write_file path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc doc;
+      output_char oc '\n')

@@ -1,0 +1,27 @@
+(** The metrics-JSON document: measured latency histograms per op kind,
+    final device counters (with derived amplification ratios), and the
+    optional device time-series.
+
+    The ["device"] section deliberately precedes ["samples"] so that
+    {!Json.scan_numbers} + [Pmem.Stats.of_assoc] (first occurrence wins)
+    recover the final counters from the file — that is how the [pmstat]
+    tool diffs two snapshots. *)
+
+val histogram_json : Histogram.t -> Json.t
+(** Summary percentiles plus the full non-empty bucket list. *)
+
+val device_json : Pmem.Stats.t -> Json.t
+(** Flat counter object + [cli_amplification] / [xbi_amplification]. *)
+
+val document :
+  ops:int ->
+  hists:(string * Histogram.t) list ->
+  device:Pmem.Stats.t ->
+  ?samples:(int * Sampler.t) list ->
+  ?extra:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** [samples] are tagged with the worker lane id they were collected on.
+    [extra] appends caller-specific fields (workload name, config, ...). *)
+
+val write_file : string -> Json.t -> unit

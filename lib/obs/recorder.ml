@@ -1,0 +1,171 @@
+module D = Pmem.Device
+
+type t = {
+  hist : bool;
+  sample_every : int; (* <= 0 disables *)
+  tracing : bool;
+  now : unit -> int64;
+  origin_ns : int64;
+  mutable paused : bool;
+      (* written only from the coordinating thread in quiescent windows;
+         workers read a plain bool — no tearing on immediates *)
+  mutable workers : worker list; (* registration order, router-side only *)
+}
+
+and worker = {
+  rc : t;
+  tid : int;
+  hists : (string, Histogram.t) Hashtbl.t;
+  trace : Trace.t option;
+  sampler : Sampler.t option;
+  dev : D.t option;
+}
+
+let create ?(hist = false) ?(sample_every = 0) ?(trace = false) ~now () =
+  {
+    hist;
+    sample_every;
+    tracing = trace;
+    now;
+    origin_ns = now ();
+    paused = false;
+    workers = [];
+  }
+
+let enabled t = t.hist || t.tracing || t.sample_every > 0
+let trace_on t = t.tracing
+let hist_on t = t.hist
+let us_of t ns = Int64.to_float (Int64.sub ns t.origin_ns) /. 1e3
+
+let worker t ~tid ?name ?dev () =
+  let trace = if t.tracing then Some (Trace.create ()) else None in
+  (match (trace, name) with
+  | Some tr, Some n -> Trace.thread_name tr ~tid n
+  | _ -> ());
+  let sampler =
+    match dev with
+    | Some d when t.sample_every > 0 ->
+        Some (Sampler.create ~every:t.sample_every ~now:t.now d)
+    | _ -> None
+  in
+  let w = { rc = t; tid; hists = Hashtbl.create 8; trace; sampler; dev } in
+  t.workers <- w :: t.workers;
+  w
+
+let hist_for w kind =
+  match Hashtbl.find_opt w.hists kind with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add w.hists kind h;
+      h
+
+let record w ~kind ~t0 ~t1 =
+  let t = w.rc in
+  if not t.paused then begin
+    if t.hist then
+      Histogram.record (hist_for w kind) (Int64.to_int (Int64.sub t1 t0));
+    (match w.trace with
+    | Some tr ->
+        Trace.complete tr ~tid:w.tid ~name:kind ~cat:"op" ~ts_us:(us_of t t0)
+          ~dur_us:(Int64.to_float (Int64.sub t1 t0) /. 1e3)
+    | None -> ());
+    match w.sampler with Some s -> Sampler.tick s | None -> ()
+  end
+
+let span w ~name ~t0 ~t1 =
+  match w.trace with
+  | Some tr when not w.rc.paused ->
+      Trace.complete tr ~tid:w.tid ~name ~cat:"phase" ~ts_us:(us_of w.rc t0)
+        ~dur_us:(Int64.to_float (Int64.sub t1 t0) /. 1e3)
+  | _ -> ()
+
+let instant w name =
+  match w.trace with
+  | Some tr when not w.rc.paused ->
+      Trace.instant tr ~tid:w.tid ~name ~ts_us:(us_of w.rc (w.rc.now ()))
+  | _ -> ()
+
+let install_device_tracer w =
+  match (w.trace, w.dev) with
+  | Some tr, Some dev ->
+      let t = w.rc in
+      D.add_tracer dev (fun ev ->
+          if not t.paused then
+            match ev with
+            | D.Span_begin { name } ->
+                Trace.span_begin tr ~tid:w.tid ~name ~ts_us:(us_of t (t.now ()))
+            | D.Span_end _ ->
+                Trace.span_end tr ~tid:w.tid ~ts_us:(us_of t (t.now ()))
+            | _ -> ())
+  | _ -> ()
+
+let pause t = t.paused <- true
+
+let resume t =
+  List.iter
+    (fun w -> match w.sampler with Some s -> Sampler.rebase s | None -> ())
+    t.workers;
+  t.paused <- false
+
+let finish t =
+  List.iter
+    (fun w -> match w.sampler with Some s -> Sampler.finish s | None -> ())
+    t.workers
+
+let hists t =
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      Hashtbl.iter
+        (fun kind h ->
+          let merged =
+            match Hashtbl.find_opt acc kind with
+            | Some m -> Histogram.merge m h
+            | None -> Histogram.copy h
+          in
+          Hashtbl.replace acc kind merged)
+        w.hists)
+    t.workers;
+  Hashtbl.fold (fun k h l -> (k, h) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let samplers t =
+  List.filter_map
+    (fun w -> match w.sampler with Some s -> Some (w.tid, s) | None -> None)
+    (List.rev t.workers)
+
+let total_ops t =
+  List.fold_left (fun acc (_, h) -> acc + Histogram.count h) 0 (hists t)
+
+let traces t =
+  List.filter_map (fun w -> w.trace) (List.rev t.workers)
+
+let write_trace t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Trace.write_many (traces t) oc)
+
+let write_metrics ?extra t ~device path =
+  Metrics.write_file path
+    (Metrics.document ~ops:(total_ops t) ~hists:(hists t) ~device
+       ~samples:(samplers t) ?extra ())
+
+let print_hists t =
+  let hs = hists t in
+  if hs <> [] then begin
+    Printf.printf "\nmeasured latency (ns):\n";
+    Printf.printf "  %-10s %10s %10s %8s %8s %8s %8s %10s\n" "op" "count"
+      "mean" "p50" "p90" "p99" "p99.9" "max";
+    List.iter
+      (fun (kind, h) ->
+        Printf.printf "  %-10s %10d %10.0f %8d %8d %8d %8d %10d\n" kind
+          (Histogram.count h) (Histogram.mean h)
+          (Histogram.percentile h 50.0)
+          (Histogram.percentile h 90.0)
+          (Histogram.percentile h 99.0)
+          (Histogram.percentile h 99.9)
+          (Histogram.max_value h))
+      hs
+  end

@@ -1,0 +1,81 @@
+(** Glue binding the three pillars — histograms, sampler, trace — to an
+    execution: a recorder holds global switches, and each execution lane
+    (main thread, shard worker) registers a {!worker} handle it records
+    through.
+
+    Concurrency contract: register every worker from the coordinating
+    thread {e before} spawning domains; after that, each worker handle is
+    touched only by its own domain (own histogram table, own trace
+    buffer, own sampler), so recording needs no locks.  {!finish},
+    {!hists} and the writers are called after the domains join.
+
+    Everything is zero-cost when the corresponding switch is off: each
+    recording call is one branch. *)
+
+type t
+type worker
+
+val create :
+  ?hist:bool -> ?sample_every:int -> ?trace:bool -> now:(unit -> int64) -> unit -> t
+(** [now] supplies monotonic nanoseconds (e.g. [Shard.Clock.monotonic_ns]
+    — this library stays clock-agnostic to avoid a dependency cycle).
+    [sample_every <= 0] disables sampling.  All switches default off. *)
+
+val enabled : t -> bool
+(** At least one switch is on. *)
+
+val trace_on : t -> bool
+val hist_on : t -> bool
+
+val worker : t -> tid:int -> ?name:string -> ?dev:Pmem.Device.t -> unit -> worker
+(** Register lane [tid] (0 = main/router, 1..N = shard workers).  [dev]
+    enables per-lane device sampling (when [sample_every > 0]) and is the
+    target for {!install_device_tracer}. *)
+
+val record : worker -> kind:string -> t0:int64 -> t1:int64 -> unit
+(** One completed op: records [t1 - t0] ns into this lane's [kind]
+    histogram, emits a trace "X" span, ticks the lane's sampler. *)
+
+val span : worker -> name:string -> t0:int64 -> t1:int64 -> unit
+(** An explicit trace span with no histogram/sampler side effects
+    (queue batches, worker busy periods). *)
+
+val instant : worker -> string -> unit
+(** A point event on this lane's trace track. *)
+
+val pause : t -> unit
+(** Stop recording (all lanes): warmup/load phases call this so measured
+    histograms, samples and traces cover only the op phase.  Call from the
+    coordinating thread in a quiescent window. *)
+
+val resume : t -> unit
+(** Re-enable recording and rebase every lane's sampler to the device's
+    current counters, so the time-series deltas start at the measured
+    phase.  Recorders start resumed. *)
+
+val install_device_tracer : worker -> unit
+(** When tracing, hook the worker's device (via
+    [Pmem.Device.add_tracer], composing with any sanitizer already
+    attached) so [Span_begin]/[Span_end] protocol markers — WAL batch
+    flushes, splits, GC runs — become nested B/E spans on this lane. *)
+
+val finish : t -> unit
+(** Flush every lane's sampler (final partial sample). *)
+
+val hists : t -> (string * Histogram.t) list
+(** Per-kind histograms merged across lanes, sorted by kind. *)
+
+val samplers : t -> (int * Sampler.t) list
+(** Per-lane samplers, tagged with lane id. *)
+
+val total_ops : t -> int
+(** Sum of histogram counts across lanes and kinds. *)
+
+val write_trace : t -> string -> unit
+(** Write the merged Chrome trace-event document. *)
+
+val write_metrics : ?extra:(string * Json.t) list -> t -> device:Pmem.Stats.t -> string -> unit
+(** Write the metrics-JSON document ({!Metrics.document}). *)
+
+val print_hists : t -> unit
+(** Human-readable percentile table on stdout (the [--hist] flag). *)

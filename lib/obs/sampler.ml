@@ -1,0 +1,91 @@
+module D = Pmem.Device
+module Stats = Pmem.Stats
+
+type sample = {
+  at_op : int;
+  ts_ns : int64;
+  delta : Stats.t;
+  xpbuffer_occupancy : int;
+  dirty_lines : int;
+}
+
+type t = {
+  dev : D.t;
+  every : int;
+  now : unit -> int64;
+  prev : Stats.t; (* counters as of the previous sample (or creation) *)
+  mutable ops : int;
+  mutable since_edge : int;
+  mutable rev_samples : sample list;
+}
+
+let create ?(every = 1000) ~now dev =
+  {
+    dev;
+    every = max 1 every;
+    now;
+    prev = D.snapshot dev;
+    ops = 0;
+    since_edge = 0;
+    rev_samples = [];
+  }
+
+let take t =
+  let cur = D.stats t.dev in
+  let delta = Stats.diff ~after:cur ~before:t.prev in
+  Stats.blit ~src:cur ~dst:t.prev;
+  t.rev_samples <-
+    {
+      at_op = t.ops;
+      ts_ns = t.now ();
+      delta;
+      xpbuffer_occupancy = D.xpbuffer_occupancy t.dev;
+      dirty_lines = D.dirty_lines t.dev;
+    }
+    :: t.rev_samples;
+  t.since_edge <- 0
+
+let tick t =
+  t.ops <- t.ops + 1;
+  t.since_edge <- t.since_edge + 1;
+  if t.since_edge >= t.every then take t
+
+let rebase t =
+  Stats.blit ~src:(D.stats t.dev) ~dst:t.prev;
+  t.since_edge <- 0
+
+let finish t = if t.since_edge > 0 || not (Stats.equal (D.stats t.dev) t.prev) then take t
+let samples t = List.rev t.rev_samples
+let summed t = Stats.merge_all (List.map (fun s -> s.delta) (samples t))
+
+let columns =
+  [ "at_op"; "ts_ns"; "xpbuffer_occupancy"; "dirty_lines" ]
+  @ List.map fst (Stats.to_assoc (Stats.create ()))
+
+let row s =
+  [
+    ("at_op", float_of_int s.at_op);
+    ("ts_ns", Int64.to_float s.ts_ns);
+    ("xpbuffer_occupancy", float_of_int s.xpbuffer_occupancy);
+    ("dirty_lines", float_of_int s.dirty_lines);
+  ]
+  @ List.map (fun (k, v) -> (k, float_of_int v)) (Stats.to_assoc s.delta)
+
+let to_csv t buf =
+  Buffer.add_string buf (String.concat "," columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      List.iteri
+        (fun i (_, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%.0f" v))
+        (row s);
+      Buffer.add_char buf '\n')
+    (samples t)
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun s -> Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (row s)))
+       (samples t))

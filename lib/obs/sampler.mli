@@ -1,0 +1,47 @@
+(** Periodic device time-series: every N ops, snapshot the counter deltas
+    since the previous sample plus the instantaneous XPBuffer occupancy
+    and dirty-cacheline count — the paper's [ipmctl]-style polling loop,
+    but exact.
+
+    Invariant (tested): after {!finish}, [Stats.merge_all] over the sample
+    deltas equals [Stats.diff] between the device counters at {!finish}
+    and at {!create} — no traffic is lost between samples. *)
+
+type sample = {
+  at_op : int;  (** op count at which the sample was taken *)
+  ts_ns : int64;  (** caller-supplied timestamp *)
+  delta : Pmem.Stats.t;  (** counter deltas since the previous sample *)
+  xpbuffer_occupancy : int;
+  dirty_lines : int;
+}
+
+type t
+
+val create : ?every:int -> now:(unit -> int64) -> Pmem.Device.t -> t
+(** Snapshot the device counters as the baseline.  [every] defaults to
+    1000 ops; values < 1 are clamped to 1. *)
+
+val tick : t -> unit
+(** Count one op; takes a sample when the op count crosses a multiple of
+    [every].  O(1) and allocation-free off the sampling edge. *)
+
+val rebase : t -> unit
+(** Reset the delta baseline to the device's current counters without
+    emitting a sample: the next delta starts here.  Used at the start of
+    a measured phase so warmup traffic does not leak into the series. *)
+
+val finish : t -> unit
+(** Take a final partial sample covering ops since the last edge, so the
+    deltas sum to the whole run.  Idempotent only if no ops follow. *)
+
+val samples : t -> sample list
+(** Samples in chronological order. *)
+
+val summed : t -> Pmem.Stats.t
+(** [Stats.merge_all] over all sample deltas. *)
+
+val to_csv : t -> Buffer.t -> unit
+(** Header line + one row per sample (counter deltas + occupancy). *)
+
+val to_json : t -> Json.t
+(** [List] of flat objects, one per sample. *)

@@ -1,0 +1,106 @@
+type t = {
+  buf : Buffer.t;
+  mutable n : int;
+  mutable last_ts : float;
+  open_spans : (int, string list ref) Hashtbl.t; (* tid -> open B names *)
+}
+
+let create () =
+  { buf = Buffer.create 4096; n = 0; last_ts = 0.0; open_spans = Hashtbl.create 8 }
+
+let event_count t = t.n
+
+let add t fields =
+  if t.n > 0 then Buffer.add_string t.buf ",\n";
+  Json.to_buffer t.buf (Json.Obj fields);
+  t.n <- t.n + 1
+
+let base ~ph ~tid ~ts_us rest =
+  Json.
+    [
+      ("ph", Str ph);
+      ("pid", Int 1);
+      ("tid", Int tid);
+      ("ts", Float ts_us);
+    ]
+  @ rest
+
+let see_ts t ts = if ts > t.last_ts then t.last_ts <- ts
+
+let thread_name t ~tid name =
+  add t
+    Json.
+      [
+        ("ph", Str "M");
+        ("pid", Int 1);
+        ("tid", Int tid);
+        ("name", Str "thread_name");
+        ("args", Obj [ ("name", Str name) ]);
+      ]
+
+let complete t ~tid ~name ~cat ~ts_us ~dur_us =
+  see_ts t (ts_us +. dur_us);
+  add t
+    (base ~ph:"X" ~tid ~ts_us
+       Json.[ ("dur", Float dur_us); ("name", Str name); ("cat", Str cat) ])
+
+let stack t tid =
+  match Hashtbl.find_opt t.open_spans tid with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.add t.open_spans tid s;
+      s
+
+let span_begin t ~tid ~name ~ts_us =
+  see_ts t ts_us;
+  let s = stack t tid in
+  s := name :: !s;
+  add t (base ~ph:"B" ~tid ~ts_us Json.[ ("name", Str name) ])
+
+let span_end t ~tid ~ts_us =
+  let s = stack t tid in
+  match !s with
+  | [] -> () (* unmatched end: span began before tracing started *)
+  | name :: rest ->
+      s := rest;
+      see_ts t ts_us;
+      add t (base ~ph:"E" ~tid ~ts_us Json.[ ("name", Str name) ])
+
+let instant t ~tid ~name ~ts_us =
+  see_ts t ts_us;
+  add t (base ~ph:"i" ~tid ~ts_us Json.[ ("name", Str name); ("s", Str "t") ])
+
+let counter t ~name ~ts_us values =
+  see_ts t ts_us;
+  add t
+    (base ~ph:"C" ~tid:0 ~ts_us
+       Json.
+         [
+           ("name", Str name);
+           ("args", Obj (List.map (fun (k, v) -> (k, Float v)) values));
+         ])
+
+let close_open_spans t =
+  Hashtbl.iter
+    (fun tid s ->
+      while !s <> [] do
+        span_end t ~tid ~ts_us:t.last_ts
+      done)
+    t.open_spans
+
+let write_many ts oc =
+  List.iter close_open_spans ts;
+  output_string oc "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun t ->
+      if t.n > 0 then begin
+        if not !first then output_string oc ",\n";
+        first := false;
+        Buffer.output_buffer oc t.buf
+      end)
+    ts;
+  output_string oc "\n]}\n"
+
+let write t oc = write_many [ t ] oc

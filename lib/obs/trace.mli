@@ -1,0 +1,46 @@
+(** Chrome trace-event JSON writer ([chrome://tracing] / Perfetto).
+
+    Events accumulate in memory and {!write} emits a
+    [{"traceEvents": [...]}] document.  Timestamps are microseconds
+    (float); [tid] distinguishes execution lanes (0 = router/main thread,
+    1..N = shard workers).
+
+    Well-formedness is guaranteed by construction: {!span_end} with no
+    matching open {!span_begin} on that lane is dropped, and {!write}
+    auto-closes any span still open at the latest timestamp seen — so the
+    B/E events in the output always balance per lane. *)
+
+type t
+
+val create : unit -> t
+
+val event_count : t -> int
+(** Number of events buffered so far (metadata records included). *)
+
+val thread_name : t -> tid:int -> string -> unit
+(** Label a lane in the viewer (metadata record, ph "M"). *)
+
+val complete : t -> tid:int -> name:string -> cat:string -> ts_us:float -> dur_us:float -> unit
+(** A self-contained span (ph "X"): one op, one queue batch, ... *)
+
+val span_begin : t -> tid:int -> name:string -> ts_us:float -> unit
+(** Open a nested span (ph "B") on a lane. *)
+
+val span_end : t -> tid:int -> ts_us:float -> unit
+(** Close the innermost open span on a lane (ph "E"); no-op when no span
+    is open there. *)
+
+val instant : t -> tid:int -> name:string -> ts_us:float -> unit
+(** A point event (ph "i", thread scope). *)
+
+val counter : t -> name:string -> ts_us:float -> (string * float) list -> unit
+(** A counter track sample (ph "C") — e.g. XPBuffer occupancy over time. *)
+
+val write : t -> out_channel -> unit
+(** Emit the trace document; open spans are closed first. *)
+
+val write_many : t list -> out_channel -> unit
+(** Emit one trace document holding every buffer's events.  The sharded
+    runner gives each worker domain its own [t] (so recording is
+    race-free without locks) and merges them here; the trace-event format
+    does not require global timestamp order. *)

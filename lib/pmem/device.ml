@@ -124,6 +124,8 @@ type event =
   | Recovery_end
   | Acked of { addr : int; len : int; label : string }
   | Validating of bool
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
 
 type t = {
   cfg : Config.t;
@@ -223,6 +225,16 @@ let set_classifier t f = t.classifier <- f
 let set_tracer t f = t.tracer <- f
 let tracing t = t.tracer <> None
 
+let add_tracer t f =
+  match t.tracer with
+  | None -> t.tracer <- Some f
+  | Some g ->
+    t.tracer <-
+      Some
+        (fun ev ->
+          g ev;
+          f ev)
+
 let[@inline] trace_store t addr len =
   match t.tracer with None -> () | Some f -> f (Store { addr; len })
 
@@ -246,6 +258,12 @@ let recovery_end t = trace0 t Recovery_end
 
 let validating t b =
   match t.tracer with None -> () | Some f -> f (Validating b)
+
+let[@inline] span_begin t name =
+  match t.tracer with None -> () | Some f -> f (Span_begin { name })
+
+let[@inline] span_end t name =
+  match t.tracer with None -> () | Some f -> f (Span_end { name })
 let plan_failure t ~after_fences = t.fail_after_fences <- Some after_fences
 let cancel_failure t = t.fail_after_fences <- None
 

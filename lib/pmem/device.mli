@@ -173,11 +173,23 @@ type event =
   | Validating of bool
       (** entering/leaving a region whose loads deliberately read
           possibly-torn data and validate it (log-tail scans) *)
+  | Span_begin of { name : string }
+      (** a named phase of a persistence protocol opens (batch flush,
+          split, GC run, ...); consumed by trace exporters ({!Obs.Trace})
+          and ignored by the sanitizer *)
+  | Span_end of { name : string }
 
 val set_tracer : t -> (event -> unit) option -> unit
 (** Install (or remove) the event hook.  Not part of {!checkpoint} state:
     the tracer survives {!restore}.  The callback runs synchronously on
     the device-calling thread. *)
+
+val add_tracer : t -> (event -> unit) -> unit
+(** Fan-out composition: install the hook {e alongside} any tracer already
+    present (the existing one runs first).  This is how the [pmsan]
+    sanitizer and the [obs] trace exporter observe the same device
+    without clobbering each other — {!set_tracer} replaces, [add_tracer]
+    composes. *)
 
 val tracing : t -> bool
 
@@ -196,6 +208,13 @@ val validating : t -> bool -> unit
 (** [validating t true]/[false] brackets a region whose loads read
     possibly-unpersisted bytes by design and validate them (e.g. WAL
     tail scanning).  Nests. *)
+
+val span_begin : t -> string -> unit
+val span_end : t -> string -> unit
+(** Bracket a named phase of a persistence protocol ([Span_begin]/
+    [Span_end] events) for timeline trace export.  The string argument
+    should be a literal so the disabled path allocates nothing: without a
+    tracer each call is one load and one branch. *)
 
 (** Growable ring of candidate eviction victims used for the CPU cache's
     dirty-line FIFO.  [pop_jittered] removes a random element among the

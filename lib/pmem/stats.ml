@@ -157,6 +157,28 @@ let to_assoc t =
          (fun i v -> (Printf.sprintf "media_write_bytes_class%d" i, v))
          t.media_write_bytes_by_class)
 
+let of_assoc kvs =
+  let t = create () in
+  let get name = match List.assoc_opt name kvs with Some v -> v | None -> 0 in
+  t.user_bytes <- get "user_bytes";
+  t.store_bytes <- get "store_bytes";
+  t.clwb_count <- get "clwb_count";
+  t.sfence_count <- get "sfence_count";
+  t.xpbuffer_write_bytes <- get "xpbuffer_write_bytes";
+  t.xpbuffer_hits <- get "xpbuffer_hits";
+  t.xpbuffer_misses <- get "xpbuffer_misses";
+  t.media_write_bytes <- get "media_write_bytes";
+  t.media_write_lines <- get "media_write_lines";
+  t.media_read_bytes <- get "media_read_bytes";
+  t.media_read_lines <- get "media_read_lines";
+  t.cpu_evictions <- get "cpu_evictions";
+  t.crashes <- get "crashes";
+  for i = 0 to classes - 1 do
+    t.media_write_bytes_by_class.(i) <-
+      get (Printf.sprintf "media_write_bytes_class%d" i)
+  done;
+  t
+
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 let cli_amplification t = ratio t.xpbuffer_write_bytes t.user_bytes
 let xbi_amplification t = ratio t.media_write_bytes t.user_bytes

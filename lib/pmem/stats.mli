@@ -66,6 +66,12 @@ val to_assoc : t -> (string * int) list
     included.  Gives golden/regression tests one stable flat view to
     compare and print, instead of field-by-field boilerplate. *)
 
+val of_assoc : (string * int) list -> t
+(** Inverse of {!to_assoc} (missing names default to 0): rebuild a counter
+    record from its flat view.  Lets external snapshots — e.g. the
+    [pmstat] tool diffing two metrics-JSON files — round-trip through the
+    same arithmetic ({!diff}, {!merge}) as live records. *)
+
 val cli_amplification : t -> float
 (** [xpbuffer_write_bytes / user_bytes] (paper §2.1). *)
 

@@ -291,6 +291,8 @@ let on_event t = function
   | D.Acked { addr; len; label } -> on_ack t addr len label
   | D.Validating b ->
     t.validate_depth <- max 0 (t.validate_depth + (if b then 1 else -1))
+  | D.Span_begin _ | D.Span_end _ -> ()
+  (* protocol-phase markers for trace exporters; no persistency meaning *)
 
 (* --- lifecycle --------------------------------------------------------- *)
 

@@ -74,6 +74,8 @@ type worker = {
   busy_ns : int Atomic.t;
   w_crashed : bool Atomic.t;  (* hit Power_failure; discards mutations *)
   killed : bool Atomic.t;  (* hard-stop: skip queued work (crash path) *)
+  mutable obs : Obs.Recorder.worker option;
+      (* registered before spawn; touched only by this worker's domain *)
   mutable domain : unit Domain.t option;
 }
 
@@ -82,6 +84,7 @@ type t = {
   workers : worker array;
   pending : wop array array;  (* router-side per-shard batch buffers *)
   pend_len : int array;
+  obs_router : Obs.Recorder.worker option;  (* router-domain trace lane *)
   mutable running : bool;
 }
 
@@ -93,10 +96,24 @@ let exec_wop (drv : I.driver) = function
   | Read k -> ignore (drv.I.search k : int64 option)
   | Scan_share (k, n) -> ignore (drv.I.scan ~start:k n : (int64 * int64) array)
 
+let wop_kind = function
+  | Upsert _ -> "upsert"
+  | Delete _ -> "delete"
+  | Read _ -> "read"
+  | Scan_share _ -> "scan"
+
+let obs_record w ~kind ~t0 =
+  match w.obs with
+  | Some ow -> Obs.Recorder.record ow ~kind ~t0 ~t1:(Clock.monotonic_ns ())
+  | None -> ()
+
 let worker_loop w =
   let continue = ref true in
   while !continue do
     let cmd = Queue.pop w.q in
+    (match w.obs with
+    | Some ow -> Obs.Recorder.instant ow "queue.pop"
+    | None -> ());
     let t0 = Clock.thread_cpu_ns () in
     (match cmd with
     | Stop -> continue := false
@@ -116,19 +133,38 @@ let worker_loop w =
     | Batch ops ->
       if not (Atomic.get w.w_crashed) then begin
         try
-          Array.iter
-            (fun op ->
-              exec_wop w.drv op;
-              Atomic.incr w.applied)
-            ops
+          match w.obs with
+          | None ->
+            Array.iter
+              (fun op ->
+                exec_wop w.drv op;
+                Atomic.incr w.applied)
+              ops
+          | Some ow ->
+            (* the whole batch is one busy period on this worker's lane;
+               each op inside it gets its own histogram/trace record *)
+            let b0 = Clock.monotonic_ns () in
+            Array.iter
+              (fun op ->
+                let t0 = Clock.monotonic_ns () in
+                exec_wop w.drv op;
+                obs_record w ~kind:(wop_kind op) ~t0;
+                Atomic.incr w.applied)
+              ops;
+            Obs.Recorder.span ow ~name:"worker.batch" ~t0:b0
+              ~t1:(Clock.monotonic_ns ())
         with D.Power_failure -> Atomic.set w.w_crashed true
       end
     | Search (k, r) ->
+      let s0 = Clock.monotonic_ns () in
       r.found <- (if Atomic.get w.w_crashed then None else w.drv.I.search k);
+      obs_record w ~kind:"search" ~t0:s0;
       signal r
     | Scan (k, n, r) ->
+      let s0 = Clock.monotonic_ns () in
       r.found_entries <-
         (if Atomic.get w.w_crashed then [||] else w.drv.I.scan ~start:k n);
+      obs_record w ~kind:"scan" ~t0:s0;
       signal r);
     (* single-writer counter: plain read-modify-write is safe *)
     Atomic.set w.busy_ns
@@ -182,7 +218,7 @@ let stop t =
     t.running <- false
   end
 
-let create ?(config = default_config) ~make () =
+let create ?(config = default_config) ?recorder ~make () =
   if config.shards < 1 then invalid_arg "Shard.create: shards < 1";
   if config.batch < 1 then invalid_arg "Shard.create: batch < 1";
   let workers =
@@ -197,8 +233,30 @@ let create ?(config = default_config) ~make () =
           busy_ns = Atomic.make 0;
           w_crashed = Atomic.make false;
           killed = Atomic.make false;
+          obs = None;
           domain = None;
         })
+  in
+  (* observability lanes must be registered from this (router) domain
+     before the worker domains spawn; after that each handle is private
+     to its worker *)
+  (match recorder with
+  | Some rc when Obs.Recorder.enabled rc ->
+    Array.iter
+      (fun w ->
+        let ow =
+          Obs.Recorder.worker rc ~tid:(w.id + 1)
+            ~name:(Printf.sprintf "shard-%d" w.id) ~dev:w.dev ()
+        in
+        Obs.Recorder.install_device_tracer ow;
+        w.obs <- Some ow)
+      workers
+  | _ -> ());
+  let obs_router =
+    match recorder with
+    | Some rc when Obs.Recorder.trace_on rc ->
+      Some (Obs.Recorder.worker rc ~tid:0 ~name:"router" ())
+    | _ -> None
   in
   let t =
     {
@@ -206,6 +264,7 @@ let create ?(config = default_config) ~make () =
       workers;
       pending = Array.init config.shards (fun _ -> Array.make config.batch (Read 0L));
       pend_len = Array.make config.shards 0;
+      obs_router;
       running = false;
     }
   in
@@ -221,6 +280,9 @@ let flush_shard t s =
   let n = t.pend_len.(s) in
   if n > 0 then begin
     t.pend_len.(s) <- 0;
+    (match t.obs_router with
+    | Some ow -> Obs.Recorder.instant ow ("queue.push s" ^ string_of_int s)
+    | None -> ());
     Queue.push t.workers.(s).q (Batch (Array.sub t.pending.(s) 0 n))
   end
 

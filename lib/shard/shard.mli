@@ -55,12 +55,20 @@ type t
 
 val create :
   ?config:config ->
+  ?recorder:Obs.Recorder.t ->
   make:(int -> Pmem.Device.t * Baselines.Index_intf.driver) ->
   unit ->
   t
 (** [create ~make ()] builds [config.shards] shards; [make i] supplies
     shard [i]'s private device and index driver.  Worker domains start
-    immediately. *)
+    immediately.
+
+    [recorder] attaches the observability layer: each worker gets its own
+    {!Obs.Recorder.worker} lane (tid [i + 1], registered before the
+    domains spawn so recording is race-free) with per-op latency
+    histograms, a device time-series sampler, and — when tracing — B/E
+    spans from the device's protocol markers plus per-batch busy-period
+    spans; the router records queue pushes on lane 0. *)
 
 val config : t -> config
 val shards : t -> int

@@ -101,6 +101,7 @@ let append t ~thread ~epoch ~key ~value ~ts =
   if live > t.peak then t.peak <- live
 
 let reclaim_epoch t ~epoch =
+  D.span_begin t.dev "wal.reclaim";
   let watermark = Clock.peek t.clock in
   List.iter
     (fun addr ->
@@ -115,7 +116,8 @@ let reclaim_epoch t ~epoch =
     (fun a ->
       a.chunk <- 0;
       a.off <- 0)
-    t.active.(epoch)
+    t.active.(epoch);
+  D.span_end t.dev "wal.reclaim"
 
 let replay alloc ~f =
   let dev = Alloc.device alloc in

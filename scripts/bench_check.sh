@@ -6,6 +6,12 @@
 # CCL-BTree upsert or search median regresses by more than the threshold
 # against BENCH_device.json.  Wired into `dune build @bench_check`.
 #
+# Each run also records measured p50/p99 upsert/search latency (the
+# lib/obs histogram suite) into the output JSON, so the artifact tracks
+# tail latency alongside the medians.  Latency percentiles are reported
+# against the baseline but never gate: single-run tail estimates are too
+# noisy on shared hosts to fail CI on.
+#
 # Usage:
 #   scripts/bench_check.sh [--exe PATH] [--baseline PATH] [--out PATH]
 #                          [--quota SECONDS] [--threshold PCT]
@@ -39,7 +45,7 @@ done
 # code go" estimator a regression gate needs.
 i=1
 while [ "$i" -le "$runs" ]; do
-  "$exe" bechamel --only CCL-BTree --quota "$quota" --json "$out.run$i" >/dev/null
+  "$exe" bechamel latency --only CCL-BTree --quota "$quota" --json "$out.run$i" >/dev/null
   i=$((i + 1))
 done
 
@@ -90,6 +96,20 @@ for op in upsert search; do
     exit (pct > t) ? 1 : 0
   }') || { echo "bench_check: FAIL $name regressed $verdict, threshold +$threshold%" >&2; status=1; continue; }
   echo "bench_check: ok   $name $verdict"
+done
+
+# Informational: measured-latency percentiles from the last run (recorded
+# in $out; compared against the baseline when it has the rows, not gated).
+for row in upsert/p50 upsert/p99 search/p50 search/p99; do
+  name="latency/CCL-BTree/$row"
+  now=$(ns_of "$out" "$name")
+  [ -n "$now" ] || continue
+  base=$(ns_of "$baseline" "$name")
+  if [ -n "$base" ]; then
+    echo "bench_check: info $name $now ns (baseline $base ns, not gated)"
+  else
+    echo "bench_check: info $name $now ns (no baseline row, not gated)"
+  fi
 done
 
 [ $status -eq 0 ] && echo "bench_check: PASS (threshold +$threshold% vs $baseline)"

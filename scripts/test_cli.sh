@@ -71,6 +71,9 @@ expect_usage "crashcheck bad buckets"     2 -- "$crashcheck" --buckets 0
 expect_usage "crashcheck bad prob"        2 -- "$crashcheck" --probs 1.5
 expect_usage "crashcheck empty seeds"     2 -- "$crashcheck" --seeds ""
 expect_usage "crashcheck bad nbatch"      2 -- "$crashcheck" --nbatch 0
+expect_usage "ycsb bad sample"            2 -- "$ycsb" --sample=-5
+expect_usage "ycsb empty trace path"      2 -- "$ycsb" --trace ""
+expect_usage "ycsb empty metrics path"    2 -- "$ycsb" --metrics-json ""
 
 # cmdliner-level misuse (unknown option) must also be non-zero
 if "$ycsb" --no-such-flag >"$out" 2>"$err"; then
@@ -102,6 +105,55 @@ else
   sed 's/^/  stdout: /' "$out" >&2
   failures=$((failures + 1))
 fi
+
+# --- observability flags ---------------------------------------------------
+
+tracef=$(mktemp) metricsf=$(mktemp)
+trap 'rm -f "$err" "$out" "$tracef" "$metricsf"' EXIT
+
+# --hist prints the percentile table; --attribution the traffic breakdown
+if "$ycsb" --index ccl --mix read-intensive --warmup 500 --ops 500 \
+    --hist --attribution >"$out" 2>"$err"; then
+  if grep -q "measured latency" "$out" && grep -q "p99" "$out" \
+     && grep -q "attribution" "$out"; then
+    echo "ok   ycsb --hist --attribution"
+  else
+    echo "FAIL ycsb --hist --attribution: tables missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --hist --attribution: exit $?" >&2
+  failures=$((failures + 1))
+fi
+
+# --trace + --metrics-json + --sample write well-formed documents, and
+# --pmsan composes with --trace on the same run (tracer fan-out)
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --pmsan --sample 100 --trace "$tracef" --metrics-json "$metricsf" \
+    >"$out" 2>"$err"; then
+  ok=1
+  grep -q "pmsan per-site report" "$out" || { echo "FAIL ycsb obs+pmsan: pmsan report lost (tracer clobbered?)" >&2; ok=0; }
+  grep -q '"traceEvents"' "$tracef" || { echo "FAIL ycsb obs+pmsan: no traceEvents in $tracef" >&2; ok=0; }
+  b=$(grep -o '"ph":"B"' "$tracef" | wc -l)
+  e=$(grep -o '"ph":"E"' "$tracef" | wc -l)
+  [ "$b" -eq "$e" ] || { echo "FAIL ycsb obs+pmsan: unbalanced spans (B=$b E=$e)" >&2; ok=0; }
+  grep -q '"histograms"' "$metricsf" || { echo "FAIL ycsb obs+pmsan: no histograms in $metricsf" >&2; ok=0; }
+  grep -q '"samples"' "$metricsf" || { echo "FAIL ycsb obs+pmsan: no samples in $metricsf" >&2; ok=0; }
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   ycsb --pmsan --sample --trace --metrics-json"
+  else
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb obs+pmsan: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# sharded runs record through per-worker lanes
+expect_ok "ycsb sharded --hist" -- \
+  "$ycsb" --index ccl --mix read-intensive --warmup 500 --ops 500 \
+    --domains 2 --hist
 
 # crashcheck --pmsan prints sweep counters
 if "$crashcheck" --ops 30 --key-space 15 --stride 20 --probs 0.5 --seeds 1 \

@@ -1,0 +1,402 @@
+(* Tests for lib/obs: histogram bucketing/percentile laws, the sampler's
+   no-traffic-lost invariant, trace well-formedness, tracer fan-out, and
+   an end-to-end recorder run over the real CCL-BTree driver. *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module H = Obs.Histogram
+
+let cfg ?(size = 1 lsl 20) ?(xpbuffer_lines = 64) ?(cpu_cache_lines = 8192) ()
+    =
+  { (Pmem.Config.default ~size ()) with xpbuffer_lines; cpu_cache_lines }
+
+let device ?size ?xpbuffer_lines ?cpu_cache_lines () =
+  D.create ~config:(cfg ?size ?xpbuffer_lines ?cpu_cache_lines ()) ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- histogram: qcheck laws ------------------------------------------- *)
+
+(* Latency-like magnitudes: mostly small, occasionally huge. *)
+let arb_value =
+  QCheck.(
+    map
+      (fun (base, shift) -> base lsl shift)
+      (pair (int_bound 1023) (int_bound 40)))
+
+let arb_values = QCheck.(list_of_size Gen.(1 -- 200) arb_value)
+
+let hist_of vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let prop_bucket_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"bucket_of/bounds_of_bucket round-trip"
+    arb_value (fun v ->
+      let i = H.bucket_of v in
+      let lo, hi = H.bounds_of_bucket i in
+      lo <= v && v <= hi
+      && (* relative bucket width stays under 1/16 = 6.25% *)
+      (v < 16 || hi - lo + 1 <= max 1 (lo / 16)))
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~count:1000 ~name:"bucket_of monotone"
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      let a, b = (min a b, max a b) in
+      H.bucket_of a <= H.bucket_of b)
+
+(* The reference order statistic: index ceil(p/100 * n) - 1 of the sorted
+   values.  The histogram must answer from the same bucket. *)
+let reference_percentile vs p =
+  let a = Array.of_list vs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p *. float_of_int n /. 100.0)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let prop_percentile_vs_sorted =
+  QCheck.Test.make ~count:500 ~name:"percentile within one bucket of sorted"
+    arb_values (fun vs ->
+      let h = hist_of vs in
+      List.for_all
+        (fun p ->
+          let r = reference_percentile vs p in
+          let q = H.percentile h p in
+          (* same bucket as the exact order statistic, and never below it *)
+          H.bucket_of q = H.bucket_of r && q >= r)
+        [ 50.0; 90.0; 99.0; 99.9; 100.0 ])
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"merge commutative"
+    QCheck.(pair arb_values arb_values)
+    (fun (a, b) -> H.equal (H.merge (hist_of a) (hist_of b)) (H.merge (hist_of b) (hist_of a)))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"merge associative"
+    QCheck.(triple arb_values arb_values arb_values)
+    (fun (a, b, c) ->
+      let ha, hb, hc = (hist_of a, hist_of b, hist_of c) in
+      H.equal (H.merge (H.merge ha hb) hc) (H.merge ha (H.merge hb hc)))
+
+let prop_merge_neutral =
+  QCheck.Test.make ~count:200 ~name:"merge neutral element" arb_values
+    (fun a ->
+      let h = hist_of a in
+      H.equal (H.merge h (H.create ())) h && H.equal (H.merge_all [ h ]) h)
+
+(* Recording a@b into one histogram = merging separate histograms of a
+   and b: per-worker recording loses nothing vs a global histogram. *)
+let prop_record_after_merge =
+  QCheck.Test.make ~count:200 ~name:"record = merge of split recordings"
+    QCheck.(pair arb_values arb_values)
+    (fun (a, b) ->
+      H.equal (hist_of (a @ b)) (H.merge (hist_of a) (hist_of b)))
+
+let prop_summary_matches_reference =
+  QCheck.Test.make ~count:200 ~name:"count/sum/min/max exact" arb_values
+    (fun vs ->
+      let h = hist_of vs in
+      H.count h = List.length vs
+      && H.sum h = List.fold_left ( + ) 0 vs
+      && H.min_value h = List.fold_left min max_int vs
+      && H.max_value h = List.fold_left max 0 vs)
+
+(* --- sampler: no traffic lost between samples -------------------------- *)
+
+(* Deterministic pseudo-random op stream (fixed seed via the lcg state). *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 7 mod bound
+
+let now_counter () =
+  let t = ref 0L in
+  fun () ->
+    t := Int64.add !t 17L;
+    !t
+
+let run_traffic dev rand n =
+  for _ = 1 to n do
+    let addr = rand (D.size dev - 8) in
+    D.store_u8 dev addr (rand 256);
+    if rand 4 = 0 then D.persist dev addr 1
+  done
+
+let test_sampler_sums_to_total () =
+  let dev = device ~size:(1 lsl 16) ~xpbuffer_lines:8 ~cpu_cache_lines:64 () in
+  let rand = lcg 42 in
+  let sm = Obs.Sampler.create ~every:64 ~now:(now_counter ()) dev in
+  let before = D.snapshot dev in
+  for _ = 1 to 1000 do
+    run_traffic dev rand 3;
+    Obs.Sampler.tick sm
+  done;
+  Obs.Sampler.finish sm;
+  let total = S.diff ~after:(D.snapshot dev) ~before in
+  check_bool "summed deltas = device delta" true
+    (S.equal (Obs.Sampler.summed sm) total);
+  check_int "sample count" ((1000 / 64) + 1)
+    (List.length (Obs.Sampler.samples sm))
+
+let test_sampler_rebase_excludes_warmup () =
+  let dev = device ~size:(1 lsl 16) ~xpbuffer_lines:8 ~cpu_cache_lines:64 () in
+  let rand = lcg 7 in
+  let sm = Obs.Sampler.create ~every:32 ~now:(now_counter ()) dev in
+  (* warmup traffic that must not appear in the series *)
+  run_traffic dev rand 500;
+  Obs.Sampler.rebase sm;
+  let measured_from = D.snapshot dev in
+  for _ = 1 to 100 do
+    run_traffic dev rand 2;
+    Obs.Sampler.tick sm
+  done;
+  Obs.Sampler.finish sm;
+  let measured = S.diff ~after:(D.snapshot dev) ~before:measured_from in
+  check_bool "summed = measured-phase delta only" true
+    (S.equal (Obs.Sampler.summed sm) measured)
+
+(* --- trace: well-formedness ------------------------------------------- *)
+
+(* Tiny scanner over the emitted document: split the traceEvents array
+   into objects and pull one field out of each. *)
+let trace_to_string ts =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  let oc = open_out path in
+  Obs.Trace.write_many ts oc;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let events_of body =
+  (* strip {"traceEvents":[ ... ]} and split on object boundaries *)
+  let start = String.index body '[' + 1 in
+  let stop = String.rindex body ']' in
+  let inner = String.sub body start (stop - start) in
+  String.split_on_char '}' inner
+  |> List.filter_map (fun frag ->
+         if String.contains frag '{' then Some frag else None)
+
+let field ev name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  match String.index_opt ev '{' with
+  | None -> None
+  | Some _ ->
+    let rec find i =
+      if i + String.length needle > String.length ev then None
+      else if String.sub ev i (String.length needle) = needle then
+        let j = i + String.length needle in
+        let k = ref j in
+        while
+          !k < String.length ev
+          && (match ev.[!k] with ',' -> false | _ -> true)
+        do
+          incr k
+        done;
+        Some (String.trim (String.sub ev j (!k - j)))
+      else find (i + 1)
+    in
+    find 0
+
+let test_trace_balanced_and_monotone () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.thread_name t ~tid:0 "main";
+  Obs.Trace.span_end t ~tid:0 ~ts_us:0.5 (* unmatched: must be dropped *);
+  Obs.Trace.complete t ~tid:0 ~name:"op" ~cat:"op" ~ts_us:1.0 ~dur_us:2.0;
+  Obs.Trace.span_begin t ~tid:0 ~name:"outer" ~ts_us:4.0;
+  Obs.Trace.span_begin t ~tid:0 ~name:"inner" ~ts_us:5.0;
+  Obs.Trace.span_end t ~tid:0 ~ts_us:6.0;
+  Obs.Trace.instant t ~tid:0 ~name:"mark" ~ts_us:7.0;
+  Obs.Trace.span_begin t ~tid:0 ~name:"left-open" ~ts_us:8.0
+  (* never closed: write must auto-close it (and "outer") *);
+  let evs = events_of (trace_to_string [ t ]) in
+  let phs = List.filter_map (fun e -> field e "ph") evs in
+  let count p = List.length (List.filter (( = ) p) phs) in
+  check_int "B/E balanced" (count "\"B\"") (count "\"E\"");
+  check_int "three spans opened" 3 (count "\"B\"");
+  check_int "one X event" 1 (count "\"X\"");
+  check_int "one instant" 1 (count "\"i\"");
+  (* timestamps non-decreasing in buffer order (single lane) *)
+  let tss =
+    List.filter_map
+      (fun e ->
+        match (field e "ph", field e "ts") with
+        | Some "\"M\"", _ | _, None -> None
+        | _, Some ts -> Some (float_of_string ts))
+      evs
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check_bool "timestamps monotone" true (monotone tss)
+
+let test_trace_write_many_merges_lanes () =
+  let a = Obs.Trace.create () and b = Obs.Trace.create () in
+  Obs.Trace.complete a ~tid:1 ~name:"w1" ~cat:"op" ~ts_us:1.0 ~dur_us:1.0;
+  Obs.Trace.span_begin b ~tid:2 ~name:"w2" ~ts_us:0.5;
+  let evs = events_of (trace_to_string [ a; b ]) in
+  let tids = List.filter_map (fun e -> field e "tid") evs in
+  check_bool "lane 1 present" true (List.mem "1" tids);
+  check_bool "lane 2 present" true (List.mem "2" tids);
+  let phs = List.filter_map (fun e -> field e "ph") evs in
+  check_bool "open span on lane 2 closed" true (List.mem "\"E\"" phs)
+
+(* --- tracer fan-out ----------------------------------------------------
+   Regression: installing a second consumer via add_tracer must not
+   clobber the first (--pmsan and --trace compose). *)
+
+let test_add_tracer_fan_out () =
+  let dev = device ~size:(1 lsl 16) () in
+  let first = ref 0 and second = ref 0 in
+  D.set_tracer dev (Some (fun _ -> incr first));
+  D.add_tracer dev (fun _ -> incr second);
+  let rand = lcg 3 in
+  run_traffic dev rand 100;
+  check_bool "first consumer still sees events" true (!first > 0);
+  check_int "both consumers see every event" !first !second
+
+(* --- end-to-end: recorder over the real CCL-BTree driver -------------- *)
+
+let small_scale =
+  {
+    Harness.Scale.warmup = 2_000;
+    ops = 2_000;
+    device_mb = 16;
+    scan_len = 50;
+    threads = [ 1 ];
+  }
+
+let test_recorder_end_to_end () =
+  let spec = Harness.Runner.ccl_default in
+  let dev, drv = Harness.Exp_common.warmed spec small_scale in
+  let rc =
+    Obs.Recorder.create ~hist:true ~sample_every:100 ~trace:true
+      ~now:(now_counter ()) ()
+  in
+  let w = Obs.Recorder.worker rc ~tid:0 ~name:"main" ~dev () in
+  Obs.Recorder.install_device_tracer w;
+  let before = D.snapshot dev in
+  ignore
+    (Harness.Exp_common.run_ops ~obs:w dev drv spec
+       (Harness.Exp_common.updates small_scale));
+  ignore
+    (Harness.Exp_common.run_ops ~obs:w dev drv spec
+       (Harness.Exp_common.searches small_scale));
+  Obs.Recorder.finish rc;
+  let delta = S.diff ~after:(D.snapshot dev) ~before in
+  (* histogram totals = ops executed *)
+  check_int "histogram total = ops run" (2 * small_scale.Harness.Scale.ops)
+    (Obs.Recorder.total_ops rc);
+  (* sampler deltas sum to the device's own accounting *)
+  (match Obs.Recorder.samplers rc with
+  | [ (_, sm) ] ->
+    check_bool "sample deltas sum to device delta" true
+      (S.equal (Obs.Sampler.summed sm) delta)
+  | _ -> Alcotest.fail "expected exactly one sampler lane");
+  (* trace document is balanced: device spans (batch flushes, splits)
+     arrived through the fan-out hook *)
+  let path = Filename.temp_file "obs_e2e" ".json" in
+  Obs.Recorder.write_trace rc path;
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let evs = events_of body in
+  let phs = List.filter_map (fun e -> field e "ph") evs in
+  let count p = List.length (List.filter (( = ) p) phs) in
+  check_int "device spans balanced" (count "\"B\"") (count "\"E\"");
+  check_bool "device spans present" true (count "\"B\"" > 0);
+  check_int "one X per op" (2 * small_scale.Harness.Scale.ops)
+    (count "\"X\"");
+  (* metrics document round-trips through the pmstat scanner *)
+  let mpath = Filename.temp_file "obs_e2e" "_metrics.json" in
+  Obs.Recorder.write_metrics rc ~device:delta mpath;
+  let ic = open_in_bin mpath in
+  let mbody = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove mpath;
+  let recovered =
+    S.of_assoc
+      (List.map
+         (fun (k, v) -> (k, int_of_float v))
+         (Obs.Json.scan_numbers mbody))
+  in
+  check_bool "pmstat recovers the device section" true (S.equal recovered delta)
+
+(* Pausing covers the load phase: nothing recorded while paused, and
+   resume rebases the sampler to the measured phase. *)
+let test_recorder_pause_resume () =
+  let dev = device ~size:(1 lsl 16) ~xpbuffer_lines:8 ~cpu_cache_lines:64 () in
+  let now = now_counter () in
+  let rc = Obs.Recorder.create ~hist:true ~sample_every:16 ~now () in
+  let w = Obs.Recorder.worker rc ~tid:0 ~dev () in
+  let rand = lcg 11 in
+  Obs.Recorder.pause rc;
+  run_traffic dev rand 300;
+  Obs.Recorder.record w ~kind:"load" ~t0:0L ~t1:5L;
+  Obs.Recorder.resume rc;
+  let measured_from = D.snapshot dev in
+  for _ = 1 to 50 do
+    run_traffic dev rand 2;
+    let t0 = now () in
+    Obs.Recorder.record w ~kind:"upsert" ~t0 ~t1:(now ())
+  done;
+  Obs.Recorder.finish rc;
+  check_int "paused ops not recorded" 50 (Obs.Recorder.total_ops rc);
+  check_bool "paused kind absent" true
+    (not (List.mem_assoc "load" (Obs.Recorder.hists rc)));
+  match Obs.Recorder.samplers rc with
+  | [ (_, sm) ] ->
+    let measured = S.diff ~after:(D.snapshot dev) ~before:measured_from in
+    check_bool "series starts at resume" true
+      (S.equal (Obs.Sampler.summed sm) measured)
+  | _ -> Alcotest.fail "expected exactly one sampler lane"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          qt prop_bucket_roundtrip;
+          qt prop_bucket_monotone;
+          qt prop_percentile_vs_sorted;
+          qt prop_merge_commutative;
+          qt prop_merge_associative;
+          qt prop_merge_neutral;
+          qt prop_record_after_merge;
+          qt prop_summary_matches_reference;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "deltas sum to device total" `Quick
+            test_sampler_sums_to_total;
+          Alcotest.test_case "rebase excludes warmup" `Quick
+            test_sampler_rebase_excludes_warmup;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "balanced and monotone" `Quick
+            test_trace_balanced_and_monotone;
+          Alcotest.test_case "write_many merges lanes" `Quick
+            test_trace_write_many_merges_lanes;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "add_tracer fans out" `Quick
+            test_add_tracer_fan_out;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "end-to-end over CCL-BTree" `Quick
+            test_recorder_end_to_end;
+          Alcotest.test_case "pause/resume" `Quick test_recorder_pause_resume;
+        ] );
+    ]

@@ -235,6 +235,7 @@ let ccl_driver t =
     dram_bytes = (fun () -> T.dram_bytes t);
     pm_bytes = (fun () -> T.pm_bytes t);
     allocator = (fun () -> T.allocator t);
+    counters = (fun () -> []);
   }
 
 let check_report r =
