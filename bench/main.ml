@@ -290,12 +290,62 @@ let bechamel_micro ?only ~quota () =
             done );
       ]
   in
-  (match ccl_tests @ baseline_tests with
+  (* WAL append with and without epoch-batched group commit: each staged
+     call appends [batch] log records; the grouped variant shares one
+     deduplicated clwb set and tail fence per batch (lib/walog) where the
+     per-record variant pays a flush+fence for every append.  The log is
+     reclaimed whenever live bytes pass a few MB so neither variant fills
+     its device during the quota — the reclaim cost lands on both
+     equally. *)
+  let wal_tests =
+    let names = [ "WAL/append-per-record"; "WAL/append-grouped" ] in
+    if not (List.exists keep names) then []
+    else
+      let wdev =
+        Pmem.Device.create
+          ~config:(Pmem.Config.default ~size:(16 * 1024 * 1024) ())
+          ()
+      in
+      let alloc = Pmalloc.Alloc.format wdev ~chunk_size:(256 * 1024) in
+      let clock = Walog.Clock.create () in
+      let w = Walog.Wal.create alloc clock ~threads:1 in
+      let k = ref 0L in
+      let append_one () =
+        k := Int64.add !k 1L;
+        Walog.Wal.append w ~thread:0 ~epoch:0 ~key:!k ~value:1L
+          ~ts:(Walog.Clock.next clock)
+      in
+      let reclaim_if_full () =
+        if Walog.Wal.live_bytes w > 4 * 1024 * 1024 then
+          Walog.Wal.reclaim_epoch w ~epoch:0
+      in
+      List.filter_map
+        (fun (name, body) ->
+          if keep name then Some (Test.make ~name (Staged.stage body))
+          else None)
+        [
+          ( "WAL/append-per-record",
+            fun () ->
+              reclaim_if_full ();
+              for _ = 1 to batch do
+                append_one ()
+              done );
+          ( "WAL/append-grouped",
+            fun () ->
+              reclaim_if_full ();
+              Walog.Wal.with_group w (fun () ->
+                  for _ = 1 to batch do
+                    append_one ()
+                  done) );
+        ]
+  in
+  let all_tests = ccl_tests @ baseline_tests @ wal_tests in
+  (match all_tests with
   | [] ->
     Printf.eprintf "bechamel: --only matched no tests\n";
     exit 2
   | _ -> ());
-  let tests = Test.make_grouped ~name:"wall-clock" (ccl_tests @ baseline_tests) in
+  let tests = Test.make_grouped ~name:"wall-clock" all_tests in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
   in

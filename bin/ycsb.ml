@@ -161,7 +161,8 @@ let sited_driver san (drv : Baselines.Index_intf.driver) =
         drv.Baselines.Index_intf.flush_all ());
   }
 
-let run_single spec mix mix_name warmup ops model_threads scan_len pmsan o =
+let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
+    o =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
   let san = if pmsan then Some (Pmsan.attach ~site:"create" dev) else None in
   let drv = Harness.Runner.build spec dev in
@@ -211,12 +212,27 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan o =
     let correctness = Pmsan.correctness (Pmsan.violations san) in
     Printf.printf "\npmsan per-site report\n%s\n"
       (Fmt.str "%a" Pmsan.pp_site_table san);
+    let budget_rc =
+      match budget with
+      | None -> 0
+      | Some ceiling -> (
+        match Pmsan.Budget.check ceiling (Pmsan.counters san) with
+        | Ok () ->
+          Printf.printf "flush budget OK (%s)\n"
+            (Fmt.str "%a" Pmsan.Budget.pp_ceiling ceiling);
+          0
+        | Error breaches ->
+          Printf.printf "flush budget BREACHED (%s):\n"
+            (Fmt.str "%a" Pmsan.Budget.pp_ceiling ceiling);
+          List.iter (Printf.printf "  %s\n") breaches;
+          1)
+    in
     if correctness <> [] then begin
       Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
         (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
       1
     end
-    else 0
+    else budget_rc
 
 (* --- sharded (measured) path --------------------------------------------- *)
 
@@ -285,8 +301,8 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains o =
 
 open Cmdliner
 
-let run index mix warmup ops model_threads scan_len domains pmsan hist sample
-    trace metrics attribution =
+let run index mix warmup ops model_threads scan_len domains pmsan flush_budget
+    hist sample trace metrics attribution =
   let usage fmt =
     Printf.ksprintf
       (fun m ->
@@ -301,10 +317,27 @@ let run index mix warmup ops model_threads scan_len domains pmsan hist sample
   if warmup < 0 then usage "--warmup must be >= 0 (got %d)" warmup;
   if ops < 1 then usage "--ops must be >= 1 (got %d)" ops;
   if scan_len < 1 then usage "--scan-len must be >= 1 (got %d)" scan_len;
+  let pmsan = pmsan || flush_budget <> None in
   if pmsan && domains > 0 then
     usage
       "--pmsan only works in single-driver mode (--domains 0): shards run \
        on their own domains, and the sanitizer hook is not thread-safe";
+  let budget =
+    match flush_budget with
+    | None -> None
+    | Some file -> (
+      let text =
+        try
+          let ic = open_in file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error e -> usage "--flush-budget: %s" e
+      in
+      match Pmsan.Budget.of_bindings ~index (Obs.Json.scan_numbers text) with
+      | Some c -> Some c
+      | None -> usage "--flush-budget: no ceiling for index %S in %s" index file)
+  in
   if sample < 0 then usage "--sample must be >= 0 (got %d)" sample;
   (match trace with
   | Some "" -> usage "--trace needs a non-empty output path"
@@ -316,7 +349,7 @@ let run index mix warmup ops model_threads scan_len domains pmsan hist sample
   let spec = spec_of index in
   let m = mix_of mix in
   if domains = 0 then
-    run_single spec m mix warmup ops model_threads scan_len pmsan o
+    run_single spec m mix warmup ops model_threads scan_len pmsan budget o
   else begin
     run_sharded spec m mix warmup ops model_threads scan_len domains o;
     0
@@ -364,6 +397,17 @@ let cmd =
              and print a per-site violation/redundancy report.  Exits 1 \
              if any correctness-class violation is found.  Single-driver \
              mode only (incompatible with $(b,--domains) > 0).")
+  in
+  let flush_budget =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flush-budget" ] ~docv:"FILE"
+          ~doc:
+            "Check the run's pmsan counters against the per-index \
+             flush-waste ceilings in $(docv) (flat JSON, \
+             $(b,index.field) keys as in FLUSH_BUDGET.json).  Implies \
+             $(b,--pmsan); exits 1 when any ceiling is exceeded.")
   in
   let hist =
     Arg.(
@@ -421,6 +465,7 @@ let cmd =
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
       const run $ index $ mix $ warmup $ ops $ model_threads $ scan_len
-      $ domains $ pmsan $ hist $ sample $ trace $ metrics $ attribution)
+      $ domains $ pmsan $ flush_budget $ hist $ sample $ trace $ metrics
+      $ attribution)
 
 let () = exit (Cmd.eval' cmd)

@@ -79,10 +79,16 @@ let rec find_leaf t node key =
   if is_leaf t node then node else find_leaf t (child_for t node key) key
 
 let flush_entry_range t node lo hi =
-  (* flush cachelines covering entries lo..hi plus the header *)
-  if hi >= lo then
+  (* flush cachelines covering entries lo..hi plus the header — each
+     line exactly once: entries 0..2 share the header's cacheline, so
+     when the range starts there the range flush already covers the
+     header and a second clwb would just re-flush a staged line *)
+  if hi >= lo then begin
     D.flush_range t.dev (entry_addr node lo) ((hi - lo + 1) * 16);
-  D.clwb t.dev node;
+    if Pmem.Geometry.line_of (entry_addr node lo) <> Pmem.Geometry.line_of node
+    then D.clwb t.dev node
+  end
+  else D.clwb t.dev node;
   D.sfence t.dev
 
 (* FAST insert: shift entries right one by one with 8 B stores, flushing
@@ -112,7 +118,9 @@ let split_node t node =
     done;
     set_nkeys t right (n - mid);
     set_aux t right (aux t node);
-    D.persist t.dev right node_size;
+    (* [alloc_node] persisted the zero fill; only the written prefix is
+       dirty, so flushing the untouched tail would be redundant *)
+    D.persist t.dev right (16 + (16 * (n - mid)));
     set_aux t node right;
     set_nkeys t node mid;
     D.persist t.dev node 16;
@@ -127,7 +135,7 @@ let split_node t node =
     done;
     set_nkeys t right (n - mid - 1);
     set_aux t right (Int64.to_int (payload_at t node mid));
-    D.persist t.dev right node_size;
+    D.persist t.dev right (16 + (16 * (n - mid - 1)));
     set_nkeys t node mid;
     D.persist t.dev node 16;
     (key_at t node mid, right)
@@ -179,7 +187,7 @@ let upsert t key value =
     set_aux t new_root t.root;
     store_entry t new_root 0 ~key:sep ~payload:(Int64.of_int right);
     set_nkeys t new_root 1;
-    D.persist t.dev new_root node_size;
+    D.persist t.dev new_root 32;
     t.root <- new_root;
     t.height <- t.height + 1
 

@@ -62,10 +62,15 @@ let write_run t entries =
       D.store_u64 t.dev a k;
       D.store_u64 t.dev (a + 8) v)
     entries;
-  Array.iter
-    (fun c -> D.flush_range t.dev c (Alloc.chunk_size t.alloc))
+  (* flush only the bytes the run actually wrote into each chunk: the
+     memtable rarely fills a 64 KB chunk, and flushing the untouched tail
+     was the 31.6% redundant-flush rate pmsan pinned on this site *)
+  Array.iteri
+    (fun ci c ->
+      let written = min t.per_chunk (count - (ci * t.per_chunk)) in
+      D.flush_range t.dev c (written * 16))
     chunks;
-  D.sfence t.dev;
+  if count > 0 then D.sfence t.dev;
   run
 
 let free_run t run = Array.iter (Alloc.free_chunk t.alloc) run.chunks

@@ -55,7 +55,9 @@ let split_node t node key =
       bits := !bits lor (1 lsl i))
     right;
   L.store_meta_word t.dev new_node ~bitmap:!bits ~next:(L.next t.dev node);
-  D.persist t.dev new_node L.size;
+  (* persist only the written prefix: the tail of the fresh slab node was
+     never stored to, and flushing untouched lines is pure waste *)
+  D.persist t.dev new_node (32 + (16 * List.length right));
   let keep = ref 0 in
   let bm = L.bitmap t.dev node in
   for i = 0 to L.slots - 1 do

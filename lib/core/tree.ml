@@ -29,6 +29,10 @@ type t = {
          grown well past this floor would make GC spin *)
   stats : Tree_stats.t;
   mutable rr_thread : int;
+  fs : Pmem.Flushset.t;
+      (* per-commit-scope dirty-line set: one ordered clwb set and a
+         single fence per batch/split/merge scope, no fence when the
+         scope touched nothing *)
 }
 
 let device t = t.dev
@@ -73,6 +77,7 @@ let create ?(cfg = Config.default) dev =
     gc_floor = 0;
     stats = Tree_stats.create ();
     rr_thread = 0;
+    fs = Pmem.Flushset.create ();
   }
 
 let target_node t key =
@@ -94,24 +99,15 @@ let log_append t ~key ~value ~ts =
 (* Batch insertion into leaves (§4.2)                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Dirty-cacheline dedup for one batch: every touched address lies inside
-   one 256 B leaf, so a bitmask over cacheline offsets from the leaf's
-   first line replaces the hashtable (same clwb set, allocation-free). *)
-let touch touched ~base addr len =
-  let first = (Pmem.Geometry.line_of addr - base) lsr 6 in
-  let last = (Pmem.Geometry.line_of (addr + len - 1) - base) lsr 6 in
-  for j = first to last do
-    touched := !touched lor (1 lsl j)
-  done
-
-let flush_touched t ~base touched =
-  let m = ref touched and j = ref 0 in
-  while !m <> 0 do
-    if !m land 1 <> 0 then D.clwb t.dev (base + (!j lsl 6));
-    m := !m lsr 1;
-    incr j
-  done;
-  D.sfence t.dev
+(* Dirty-cacheline dedup for one commit scope, via the shared
+   {!Pmem.Flushset}: every store marks its lines, and the scope ends with
+   one address-ordered clwb set plus a single fence — or no fence at all
+   when nothing was touched, so tombstone-only batches and update-free
+   split scopes emit no empty sfence.  Unlike the old per-leaf bitmask,
+   the set spans leaves, letting a split's new-right-leaf write and the
+   left leaf's in-place updates share one fence. *)
+let touch t addr len = Pmem.Flushset.touch t.fs addr len
+let flush_touched t = Pmem.Flushset.commit t.fs t.dev
 
 let max_ts pending =
   List.fold_left
@@ -162,12 +158,10 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
   else if List.length !added <= List.length free then begin
     (* normal batch insertion *)
     D.span_begin dev "tree.batch_flush";
-    let base = Pmem.Geometry.line_of leaf in
-    let touched = ref 0 in
     List.iter
       (fun (i, v) ->
         D.store_u64 dev (L.slot_addr leaf i + 8) v;
-        touch touched ~base (L.slot_addr leaf i + 8) 8)
+        touch t (L.slot_addr leaf i + 8) 8)
       !updates;
     let added_bits = ref 0 in
     let fps = ref [] in
@@ -175,11 +169,13 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
       (fun j (k, v) ->
         let i = List.nth free j in
         L.store_slot dev leaf i ~key:k ~value:v;
-        touch touched ~base (L.slot_addr leaf i) 16;
+        touch t (L.slot_addr leaf i) 16;
         added_bits := !added_bits lor (1 lsl i);
         fps := (i, k) :: !fps)
       !added;
-    flush_touched t ~base !touched;
+    (* a tombstone-only batch touches no data line: no fence needed
+       before the metadata commit below, which fences on its own *)
+    flush_touched t;
     List.iter (fun (i, k) -> L.store_fingerprint dev leaf i k) !fps;
     L.store_timestamp dev leaf ts;
     let new_bm = bm land lnot !removed lor !added_bits in
@@ -221,7 +217,10 @@ and split_apply t b ~pending ~ts =
   let left, right = split_at left_n [] union in
   let split_key = fst (List.nth left (left_n - 1)) in
   let right_low = fst (List.hd right) in
-  (* 1. write the complete new right leaf and persist it *)
+  (* 1. write the new right leaf — only its written prefix is dirty, so
+     only those lines join the flush set (the slab may hand back a leaf
+     whose tail lines are already persisted; re-flushing them is the
+     redundant-clwb bug pmsan flagged here) *)
   let new_leaf = Slab.alloc t.slab in
   let right_bits = ref 0 in
   List.iteri
@@ -232,11 +231,13 @@ and split_apply t b ~pending ~ts =
     right;
   L.store_timestamp dev new_leaf ts;
   L.store_meta_word dev new_leaf ~bitmap:!right_bits ~next:(L.next dev leaf);
-  D.persist dev new_leaf L.size;
-  D.ack_durable dev ~label:"tree.split" new_leaf L.size;
-  (* 2. in-place value updates for keys staying left *)
-  let base = Pmem.Geometry.line_of leaf in
-  let touched = ref 0 in
+  let right_bytes = 32 + (16 * List.length right) in
+  touch t new_leaf right_bytes;
+  (* 2. in-place value updates for keys staying left.  These share one
+     fence with step 1: the new leaf is unreachable until step 3's
+     metadata commit, and the updates are idempotent and WAL-covered, so
+     no ordering between steps 1 and 2 is required — only both-before-3,
+     which the single fence below provides. *)
   let keep_bits = ref 0 in
   let bm = L.bitmap dev leaf in
   for i = 0 to L.slots - 1 do
@@ -248,13 +249,14 @@ and split_apply t b ~pending ~ts =
           keep_bits := !keep_bits lor (1 lsl i);
           if not (Int64.equal v (L.value_at dev leaf i)) then begin
             D.store_u64 dev (L.slot_addr leaf i + 8) v;
-            touch touched ~base (L.slot_addr leaf i + 8) 8
+            touch t (L.slot_addr leaf i + 8) 8
           end
         | None -> () (* deleted by a tombstone in pending *)
       end
     end
   done;
-  flush_touched t ~base !touched;
+  flush_touched t;
+  D.ack_durable dev ~label:"tree.split" new_leaf right_bytes;
   (* 3. atomic metadata commit: drop moved slots, link the new leaf *)
   L.store_timestamp dev leaf ts;
   L.store_meta_word dev leaf ~bitmap:!keep_bits ~next:new_leaf;
@@ -306,8 +308,6 @@ and try_merge t b =
       B.lock p;
       D.span_begin dev "tree.merge";
       let entries = L.entries dev b.B.leaf in
-      let base = Pmem.Geometry.line_of p.B.leaf in
-      let touched = ref 0 in
       let bits = ref 0 in
       let fps = ref [] in
       let free = L.free_slots dev p.B.leaf in
@@ -315,11 +315,13 @@ and try_merge t b =
         (fun j (k, v) ->
           let i = List.nth free j in
           L.store_slot dev p.B.leaf i ~key:k ~value:v;
-          touch touched ~base (L.slot_addr p.B.leaf i) 16;
+          touch t (L.slot_addr p.B.leaf i) 16;
           bits := !bits lor (1 lsl i);
           fps := (i, k) :: !fps)
         entries;
-      flush_touched t ~base !touched;
+      (* an empty right leaf moves no slots: no data fence, the metadata
+         commit below orders itself *)
+      flush_touched t;
       List.iter (fun (i, k) -> L.store_fingerprint dev p.B.leaf i k) !fps;
       (* Do NOT raise p's flush timestamp to b's: p may still hold
          buffered entries whose log records carry timestamps between the
@@ -368,24 +370,30 @@ let gc_step t n =
           D.span_end t.dev "tree.gc_reclaim"
         | Some b ->
           B.lock b;
-          for i = 0 to B.nbatch b - 1 do
-            let bit = 1 lsl i in
-            if b.B.unflushed land bit <> 0 then begin
-              let slot_epoch = if b.B.epoch land bit <> 0 then 1 else 0 in
-              if slot_epoch = gc.old_epoch then begin
-                let ts = Clock.next t.clock in
-                log_append t ~key:b.B.keys.(i) ~value:b.B.vals.(i) ~ts;
-                b.B.tss.(i) <- ts;
-                if t.global_epoch <> 0 then b.B.epoch <- b.B.epoch lor bit
-                else b.B.epoch <- b.B.epoch land lnot bit;
-                t.stats.Tree_stats.gc_copied <-
-                  t.stats.Tree_stats.gc_copied + 1
-              end
-              else
-                t.stats.Tree_stats.gc_skipped <-
-                  t.stats.Tree_stats.gc_skipped + 1
-            end
-          done;
+          (* One node's surviving entries form one I-log group: they
+             share a single clwb set and tail fence instead of a
+             flush+fence per record.  Crash-safe because the B-log
+             originals stay replayable until [reclaim_epoch], which only
+             runs after every group has committed. *)
+          Wal.with_group t.wal (fun () ->
+              for i = 0 to B.nbatch b - 1 do
+                let bit = 1 lsl i in
+                if b.B.unflushed land bit <> 0 then begin
+                  let slot_epoch = if b.B.epoch land bit <> 0 then 1 else 0 in
+                  if slot_epoch = gc.old_epoch then begin
+                    let ts = Clock.next t.clock in
+                    log_append t ~key:b.B.keys.(i) ~value:b.B.vals.(i) ~ts;
+                    b.B.tss.(i) <- ts;
+                    if t.global_epoch <> 0 then b.B.epoch <- b.B.epoch lor bit
+                    else b.B.epoch <- b.B.epoch land lnot bit;
+                    t.stats.Tree_stats.gc_copied <-
+                      t.stats.Tree_stats.gc_copied + 1
+                  end
+                  else
+                    t.stats.Tree_stats.gc_skipped <-
+                      t.stats.Tree_stats.gc_skipped + 1
+                end
+              done);
           B.unlock b;
           gc.cursor <- b.B.next;
           go (n - 1)
@@ -634,7 +642,11 @@ let bulk_load ?(fill = 0.8) t entries =
           invalid_arg "Tree.bulk_load: entries must be strictly sorted")
       entries;
     let ts = Clock.next t.clock in
-    let rec build i prev_node =
+    (* persist only a leaf's written prefix: the tail lines of a fresh
+       slab object were never stored to, and flushing them would be pure
+       redundant-clwb waste *)
+    let persist_prefix leaf count = D.persist dev leaf (32 + (16 * count)) in
+    let rec build i prev_node prev_count =
       if i < n then begin
         let count = min per_leaf (n - i) in
         let leaf, node =
@@ -665,13 +677,13 @@ let bulk_load ?(fill = 0.8) t entries =
           L.store_meta_word dev prev_node.B.leaf
             ~bitmap:(L.bitmap dev prev_node.B.leaf)
             ~next:leaf;
-          D.persist dev prev_node.B.leaf L.size
+          persist_prefix prev_node.B.leaf prev_count
         end;
-        build (i + count) node
+        build (i + count) node count
       end
-      else D.persist dev prev_node.B.leaf L.size
+      else persist_prefix prev_node.B.leaf prev_count
     in
-    build 0 t.head;
+    build 0 t.head 0;
     D.add_user_bytes dev (16 * n);
     t.stats.Tree_stats.inserts <- t.stats.Tree_stats.inserts + n
   end
@@ -843,6 +855,7 @@ let recover_body ~cfg dev =
       gc_floor = 0;
       stats;
       rr_thread = 0;
+      fs = Pmem.Flushset.create ();
     }
   in
   (* 2. replay both epochs' logs in timestamp order.

@@ -1,0 +1,57 @@
+(* Deduplicated, address-ordered cacheline flush set for one commit scope.
+   Callers mark every store with [touch]; [commit] emits exactly one clwb
+   per distinct dirty line plus a single trailing sfence — and nothing at
+   all when the scope turned out to touch no line, so an empty scope can
+   never produce an empty fence. *)
+
+type t = { mutable lines : int array; mutable n : int }
+
+let create ?(capacity = 16) () = { lines = Array.make (max capacity 1) 0; n = 0 }
+let reset t = t.n <- 0
+let pending t = t.n
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.lines) 0 in
+  Array.blit t.lines 0 bigger 0 t.n;
+  t.lines <- bigger
+
+let touch_line t line =
+  let seen = ref false in
+  for i = 0 to t.n - 1 do
+    if t.lines.(i) = line then seen := true
+  done;
+  if not !seen then begin
+    if t.n = Array.length t.lines then grow t;
+    t.lines.(t.n) <- line;
+    t.n <- t.n + 1
+  end
+
+let touch t addr len = Geometry.iter_lines addr len (fun line -> touch_line t line)
+
+(* In-place insertion sort: sets are a handful of lines, and the hot paths
+   must stay allocation-free. *)
+let sort_lines t =
+  for i = 1 to t.n - 1 do
+    let v = t.lines.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && t.lines.(!j) > v do
+      t.lines.(!j + 1) <- t.lines.(!j);
+      decr j
+    done;
+    t.lines.(!j + 1) <- v
+  done
+
+let flush_only t dev =
+  if t.n > 0 then begin
+    sort_lines t;
+    for i = 0 to t.n - 1 do
+      Device.clwb dev t.lines.(i)
+    done;
+    t.n <- 0
+  end
+
+let commit t dev =
+  if t.n > 0 then begin
+    flush_only t dev;
+    Device.sfence dev
+  end

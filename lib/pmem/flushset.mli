@@ -1,0 +1,34 @@
+(** Deduplicated, address-ordered cacheline flush set for one commit scope.
+
+    The flush/fence elision building block: a commit scope [touch]es the
+    byte ranges it stores and finishes with one {!commit}, which emits one
+    [clwb] per distinct touched line (ascending address order) and a
+    single [sfence] — or nothing when no line was touched, so an empty
+    scope never emits an empty fence.  Allocation-free after the set's
+    backing array has grown to the scope's working size. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh set; [capacity] sizes the initial backing array (default 16). *)
+
+val reset : t -> unit
+(** Drop any accumulated lines without flushing them. *)
+
+val touch : t -> int -> int -> unit
+(** [touch t addr len] marks every cacheline overlapping
+    [\[addr, addr+len)] as dirty in this scope.  [len <= 0] is a no-op. *)
+
+val touch_line : t -> int -> unit
+(** Mark one line by its (already line-aligned) address. *)
+
+val pending : t -> int
+(** Number of distinct lines accumulated so far. *)
+
+val commit : t -> Device.t -> unit
+(** Flush every accumulated line once, ascending, then fence; no-op when
+    the set is empty.  Leaves the set reset. *)
+
+val flush_only : t -> Device.t -> unit
+(** Like {!commit} but without the trailing fence, for callers folding
+    several scopes into one later fence.  Leaves the set reset. *)

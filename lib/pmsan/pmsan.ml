@@ -542,3 +542,62 @@ let pp_index_report ppf r =
       | es ->
         Fmt.pf ppf "@,model errors:@,%a" (Fmt.list ~sep:Fmt.cut Fmt.string) es)
     r.model_errors
+
+(* --- flush budgets ------------------------------------------------------ *)
+
+module Budget = struct
+  type ceiling = {
+    redundant_pct : float;
+    duplicate : int;
+    empty_sfence : int;
+    corr : int;
+  }
+
+  let exact = { redundant_pct = 0.0; duplicate = 0; empty_sfence = 0; corr = 0 }
+
+  let ceiling ?(redundant_pct = 0.0) ?(duplicate = 0) ?(empty_sfence = 0)
+      ?(corr = 0) () =
+    { redundant_pct; duplicate; empty_sfence; corr }
+
+  let pp_ceiling ppf c =
+    Fmt.pf ppf "redundant<=%.1f%% duplicate<=%d empty_sfence<=%d corr<=%d"
+      c.redundant_pct c.duplicate c.empty_sfence c.corr
+
+  let of_bindings ~index bindings =
+    let get field = List.assoc_opt (index ^ "." ^ field) bindings in
+    match
+      ( get "redundant_pct",
+        get "duplicate",
+        get "empty_sfence",
+        get "correctness" )
+    with
+    | None, None, None, None -> None
+    | rp, du, es, co ->
+      let f v = Option.value ~default:0.0 v in
+      let i v = int_of_float (f v) in
+      Some
+        {
+          redundant_pct = f rp;
+          duplicate = i du;
+          empty_sfence = i es;
+          corr = i co;
+        }
+
+  let check ceiling c =
+    let breaches = ref [] in
+    let breach fmt = Fmt.kstr (fun s -> breaches := s :: !breaches) fmt in
+    let pct = redundant_flush_pct c in
+    if pct > ceiling.redundant_pct +. 1e-9 then
+      breach "redundant flush rate %.2f%% exceeds ceiling %.2f%% (%d/%d clwbs)"
+        pct ceiling.redundant_pct (redundant_flushes c) c.clwb;
+    if c.clwb_duplicate > ceiling.duplicate then
+      breach "duplicate clwbs %d exceed ceiling %d" c.clwb_duplicate
+        ceiling.duplicate;
+    if c.sfence_empty > ceiling.empty_sfence then
+      breach "empty sfences %d exceed ceiling %d" c.sfence_empty
+        ceiling.empty_sfence;
+    if c.correctness > ceiling.corr then
+      breach "correctness violations %d exceed ceiling %d" c.correctness
+        ceiling.corr;
+    match List.rev !breaches with [] -> Ok () | bs -> Error bs
+end

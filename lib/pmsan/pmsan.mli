@@ -190,3 +190,44 @@ val check_index :
     round ends with a clean {!Pmem.Device.drain}. *)
 
 val pp_index_report : Format.formatter -> index_report -> unit
+
+(** {1 Flush budgets}
+
+    Committed per-index ceilings on flush/fence waste, the pmsan analogue
+    of [bench_check]'s latency gate: once an index's redundant-flush rate
+    has been driven down, its budget locks the win in CI
+    ([scripts/flush_check.sh] reads the ceilings from
+    [FLUSH_BUDGET.json]). *)
+
+module Budget : sig
+  type ceiling = {
+    redundant_pct : float;  (** max redundant flushes, % of all [clwb]s *)
+    duplicate : int;  (** max {!Duplicate_clwb} count *)
+    empty_sfence : int;  (** max {!Empty_sfence} count *)
+    corr : int;  (** max correctness violations (normally 0) *)
+  }
+
+  val exact : ceiling
+  (** The all-zero ceiling: no waste, no violations. *)
+
+  val ceiling :
+    ?redundant_pct:float ->
+    ?duplicate:int ->
+    ?empty_sfence:int ->
+    ?corr:int ->
+    unit ->
+    ceiling
+  (** Ceiling with unspecified fields at zero. *)
+
+  val pp_ceiling : Format.formatter -> ceiling -> unit
+
+  val of_bindings : index:string -> (string * float) list -> ceiling option
+  (** Extract the ceiling for [index] from flat [name.field -> number]
+      bindings (the shape {!Obs.Json.scan_numbers} yields for
+      [FLUSH_BUDGET.json]); recognized fields are [redundant_pct],
+      [duplicate], [empty_sfence] and [correctness], each defaulting to
+      0.  [None] when no field for [index] is present. *)
+
+  val check : ceiling -> counters -> (unit, string list) result
+  (** [Error breaches] when any counter exceeds its ceiling. *)
+end

@@ -10,6 +10,26 @@ type active = { mutable chunk : int; mutable off : int }
 (* chunk = 0 means no chunk acquired yet (address 0 is the allocator
    superblock, never a chunk). *)
 
+(* Epoch-batched group commit: while a group is open, appends store their
+   bytes but defer flush/fence/ack to [group_commit], which emits one
+   deduplicated clwb set and a single tail fence for the whole batch.
+   Straddling entries additionally defer the timestamp *store* itself:
+   one fence cannot order key/value before timestamp within an entry, so
+   the commit runs two phases — persist every key/value line, fence, then
+   store + persist the deferred timestamps, fence.  A crash anywhere
+   inside the group therefore leaves torn entries with invalid
+   timestamps, which replay rejects; nothing is acked until both phases
+   are durable. *)
+type group = {
+  fs : Pmem.Flushset.t;
+  mutable open_ : bool;
+  mutable ts_addr : int array;  (* deferred timestamp stores *)
+  mutable ts_val : int64 array;
+  mutable nts : int;
+  mutable ack_addr : int array;  (* per-entry ack ranges, all entry_size *)
+  mutable nack : int;
+}
+
 type t = {
   alloc : Alloc.t;
   dev : D.t;
@@ -20,6 +40,7 @@ type t = {
   free : int Queue.t;
   epoch_data : int array;  (* live log-entry bytes per epoch *)
   mutable peak : int;
+  group : group;
 }
 
 let create alloc clock ~threads =
@@ -35,6 +56,16 @@ let create alloc clock ~threads =
     free = Queue.create ();
     epoch_data = [| 0; 0 |];
     peak = 0;
+    group =
+      {
+        fs = Pmem.Flushset.create ~capacity:32 ();
+        open_ = false;
+        ts_addr = Array.make 16 0;
+        ts_val = Array.make 16 0L;
+        nts = 0;
+        ack_addr = Array.make 64 0;
+        nack = 0;
+      };
   }
 
 let live_bytes t = t.epoch_data.(0) + t.epoch_data.(1)
@@ -68,6 +99,74 @@ let acquire_chunk t ~epoch ~thread ~ts =
   t.epoch_chunks.(epoch) := addr :: !(t.epoch_chunks.(epoch));
   addr
 
+(* --- group commit ------------------------------------------------------ *)
+
+let grow_int a n = if n = Array.length a then Array.append a (Array.make n 0) else a
+
+let grow_i64 a n =
+  if n = Array.length a then Array.append a (Array.make n 0L) else a
+
+let defer_ts g addr ts =
+  g.ts_addr <- grow_int g.ts_addr g.nts;
+  g.ts_val <- grow_i64 g.ts_val g.nts;
+  g.ts_addr.(g.nts) <- addr;
+  g.ts_val.(g.nts) <- ts;
+  g.nts <- g.nts + 1
+
+let defer_ack g addr =
+  g.ack_addr <- grow_int g.ack_addr g.nack;
+  g.ack_addr.(g.nack) <- addr;
+  g.nack <- g.nack + 1
+
+let group_open t = t.group.open_
+
+let group_begin t =
+  if t.group.open_ then invalid_arg "Wal.group_begin: group already open";
+  D.span_begin t.dev "wal.group";
+  t.group.open_ <- true
+
+let group_reset g =
+  Pmem.Flushset.reset g.fs;
+  g.nts <- 0;
+  g.nack <- 0;
+  g.open_ <- false
+
+let group_commit t =
+  let g = t.group in
+  if not g.open_ then invalid_arg "Wal.group_commit: no open group";
+  (* Phase 1: one deduplicated, address-ordered clwb set over every line
+     the batch stored, then the shared tail fence.  Skipped entirely for
+     an empty group — no empty sfence. *)
+  Pmem.Flushset.commit g.fs t.dev;
+  (* Phase 2 (straddling entries only): the deferred timestamp stores,
+     ordered after their key/value lines by the phase-1 fence. *)
+  if g.nts > 0 then begin
+    for i = 0 to g.nts - 1 do
+      D.store_u64 t.dev g.ts_addr.(i) g.ts_val.(i);
+      Pmem.Flushset.touch g.fs g.ts_addr.(i) 8
+    done;
+    Pmem.Flushset.commit g.fs t.dev
+  end;
+  for i = 0 to g.nack - 1 do
+    D.ack_durable t.dev ~label:"wal.group" g.ack_addr.(i) entry_size
+  done;
+  group_reset g;
+  D.span_end t.dev "wal.group"
+
+let with_group t f =
+  group_begin t;
+  match f () with
+  | x ->
+    group_commit t;
+    x
+  | exception e ->
+    (* Abandon the batch: nothing was acked, and any partially stored
+       entries present unfenced or missing timestamps, so replay drops
+       them. *)
+    group_reset t.group;
+    D.span_end t.dev "wal.group";
+    raise e
+
 let append t ~thread ~epoch ~key ~value ~ts =
   assert (thread >= 0 && thread < t.threads && (epoch = 0 || epoch = 1));
   let a = t.active.(epoch).(thread) in
@@ -77,7 +176,27 @@ let append t ~thread ~epoch ~key ~value ~ts =
     a.off <- header_size
   end;
   let addr = a.chunk + a.off in
-  if G.line_of addr = G.line_of (addr + entry_size - 1) then begin
+  let g = t.group in
+  if g.open_ then begin
+    (* Grouped append: store now, flush/fence/ack at [group_commit]. *)
+    D.store_u64 t.dev addr key;
+    D.store_u64 t.dev (addr + 8) value;
+    if G.line_of addr = G.line_of (addr + entry_size - 1) then begin
+      (* Single-line entry: a 64 B line persists atomically, so the
+         timestamp can ride in the same line with no ordering hazard. *)
+      D.store_u64 t.dev (addr + 16) ts;
+      Pmem.Flushset.touch g.fs addr entry_size
+    end
+    else begin
+      (* Straddling entry: the timestamp store itself is deferred to the
+         commit's second phase so it can never persist before the
+         key/value bytes. *)
+      Pmem.Flushset.touch g.fs addr 16;
+      defer_ts g (addr + 16) ts
+    end;
+    defer_ack g addr
+  end
+  else if G.line_of addr = G.line_of (addr + entry_size - 1) then begin
     (* Entry fits in one cacheline: single flush+fence. *)
     D.store_u64 t.dev addr key;
     D.store_u64 t.dev (addr + 8) value;
@@ -101,6 +220,7 @@ let append t ~thread ~epoch ~key ~value ~ts =
   if live > t.peak then t.peak <- live
 
 let reclaim_epoch t ~epoch =
+  if t.group.open_ then invalid_arg "Wal.reclaim_epoch: group still open";
   D.span_begin t.dev "wal.reclaim";
   let watermark = Clock.peek t.clock in
   List.iter

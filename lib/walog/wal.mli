@@ -29,7 +29,36 @@ val entry_size : int
 
 val append :
   t -> thread:int -> epoch:int -> key:int64 -> value:int64 -> ts:int64 -> unit
-(** Persist one log entry; durable when [append] returns. *)
+(** Persist one log entry; durable when [append] returns — unless a group
+    is open (see {!group_begin}), in which case durability and the ack are
+    deferred to {!group_commit}. *)
+
+(** {1 Epoch-batched group commit}
+
+    Appends issued between {!group_begin} and {!group_commit} share a
+    single deduplicated clwb set and one tail [sfence] instead of paying a
+    flush+fence each (the §3.5 XPBuffer coalescing argument applied to
+    fences).  Entries that straddle two cachelines defer their timestamp
+    {e store} to a second commit phase — fenced after the key/value
+    lines — so a crash anywhere inside the group leaves only entries with
+    invalid timestamps, which replay rejects.  Nothing is acked durable
+    until both phases complete; a crash mid-group therefore loses only
+    unacked records. *)
+
+val group_begin : t -> unit
+(** Open a group.  Raises [Invalid_argument] if one is already open. *)
+
+val group_commit : t -> unit
+(** Flush, fence and ack every append since {!group_begin}.  An empty
+    group emits no fence at all.  Raises [Invalid_argument] if no group
+    is open. *)
+
+val with_group : t -> (unit -> 'a) -> 'a
+(** [with_group t f] brackets [f] with {!group_begin}/{!group_commit}.
+    If [f] raises, the group is abandoned un-acked and the exception is
+    re-raised. *)
+
+val group_open : t -> bool
 
 val live_bytes : t -> int
 (** Live log-entry bytes across both epochs (drives the TH_log GC

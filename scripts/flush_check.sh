@@ -1,0 +1,59 @@
+#!/bin/sh
+# Flush/fence waste regression gate, the pmsan analogue of bench_check.
+#
+# Runs every compared index through the README pmsan workload under
+# `ycsb --flush-budget`, which checks the run's sanitizer counters
+# against the committed per-index ceilings in FLUSH_BUDGET.json and
+# exits nonzero on any breach (or on any correctness-class violation).
+# The per-site pmsan reports are concatenated into --report so CI can
+# upload them as an artifact.  Wired into `dune build @flush_check`.
+#
+# Usage:
+#   scripts/flush_check.sh [--exe PATH] [--budget PATH] [--report PATH]
+#                          [--warmup N] [--ops N]
+set -eu
+
+exe=_build/default/bin/ycsb.exe
+budget=FLUSH_BUDGET.json
+report=flush_check_report.txt
+warmup=10000
+ops=10000
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --exe) exe=$2; shift 2 ;;
+    --budget) budget=$2; shift 2 ;;
+    --report) report=$2; shift 2 ;;
+    --warmup) warmup=$2; shift 2 ;;
+    --ops) ops=$2; shift 2 ;;
+    *) echo "flush_check: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+[ -x "$exe" ] || { echo "flush_check: no ycsb executable at $exe (dune build first)" >&2; exit 2; }
+[ -f "$budget" ] || { echo "flush_check: no budget at $budget" >&2; exit 2; }
+
+: > "$report"
+status=0
+for ix in ccl fastfair pactree lsm fptree lbtree utree dptree flatstore; do
+  out=$("$exe" --index "$ix" --mix insert-intensive \
+        --warmup "$warmup" --ops "$ops" --flush-budget "$budget" 2>&1) \
+    && rc=0 || rc=$?
+  {
+    echo "==== $ix (exit $rc) ===="
+    # keep the per-site table and the budget verdict, drop progress noise
+    printf '%s\n' "$out" | sed -n '/pmsan per-site report/,$p'
+    echo
+  } >> "$report"
+  if [ "$rc" -eq 0 ]; then
+    verdict=$(printf '%s\n' "$out" | grep '^flush budget' || true)
+    echo "flush_check: ok   $ix ${verdict:-"(no verdict line)"}"
+  else
+    echo "flush_check: FAIL $ix (exit $rc)" >&2
+    printf '%s\n' "$out" | grep -E '^flush budget|^  |CORRECTNESS' >&2 || true
+    status=1
+  fi
+done
+
+[ $status -eq 0 ] && echo "flush_check: PASS (ceilings from $budget, report in $report)"
+exit $status

@@ -137,6 +137,149 @@ let test_log_locality () =
     true
     (lines <= 16)
 
+(* --- epoch-batched group commit ----------------------------------------- *)
+
+let count_fences dev =
+  let n = ref 0 in
+  D.add_tracer dev (function D.Sfence -> incr n | _ -> ());
+  n
+
+(* Records appended inside one group share a single clwb set and tail
+   fence (plus one more fence for the deferred timestamps of entries that
+   straddle two cachelines) instead of a flush+fence per record. *)
+let test_group_shares_tail_fence () =
+  let dev, alloc, clock, w = setup () in
+  (* acquire the chunk (and pay its header fence) outside the group *)
+  ignore (append w clock ~thread:0 ~epoch:0 0 0);
+  let fences = count_fences dev in
+  let n = 8 in
+  Wal.with_group w (fun () ->
+      for i = 1 to n do
+        ignore (append w clock ~thread:0 ~epoch:0 i i)
+      done);
+  check_bool
+    (Printf.sprintf "%d grouped appends emit <= 2 fences (saw %d)" n !fences)
+    true (!fences <= 2);
+  let entries, _ = collect alloc in
+  check_int "all grouped entries replay after commit" (n + 1)
+    (List.length entries)
+
+let test_group_empty_emits_no_fence () =
+  let dev, _, _, w = setup () in
+  let fences = count_fences dev in
+  Wal.with_group w (fun () -> ());
+  check_int "empty group emits no fence" 0 !fences;
+  check_bool "group closed" true (not (Wal.group_open w))
+
+(* A crash before [group_commit] loses only the unacked (grouped)
+   records: every previously acked append still replays, the in-flight
+   group's entries present unfenced stores or missing timestamps and are
+   rejected. *)
+let test_crash_mid_group_loses_only_unacked () =
+  let dev, _, clock, w = setup () in
+  for i = 0 to 4 do
+    ignore (append w clock ~thread:0 ~epoch:0 i i)
+  done;
+  Wal.group_begin w;
+  for i = 5 to 9 do
+    ignore (append w clock ~thread:0 ~epoch:0 i i)
+  done;
+  D.crash dev;
+  let alloc2 = Alloc.attach dev in
+  let keys = ref [] in
+  ignore
+    (Wal.replay alloc2 ~f:(fun ~key ~value:_ ~ts:_ ->
+         keys := Int64.to_int key :: !keys));
+  let keys = List.sort compare !keys in
+  check_bool "every acked record replays" true
+    (List.filter (fun k -> k < 5) keys = [ 0; 1; 2; 3; 4 ]);
+  (* torn group entries may or may not persist per-line, but an entry
+     whose timestamp line never persisted can never replay with a torn
+     key/value: the two-phase commit orders kv before ts *)
+  check_bool "no phantom keys" true (List.for_all (fun k -> k < 10) keys)
+
+let test_group_commit_then_crash_keeps_all () =
+  let dev, _, clock, w = setup () in
+  Wal.with_group w (fun () ->
+      for i = 0 to 9 do
+        ignore (append w clock ~thread:0 ~epoch:0 i i)
+      done);
+  D.crash dev;
+  let alloc2 = Alloc.attach dev in
+  let acc = ref 0 in
+  ignore (Wal.replay alloc2 ~f:(fun ~key:_ ~value:_ ~ts:_ -> incr acc));
+  check_int "committed group survives the crash" 10 !acc
+
+let test_group_abandoned_on_exception () =
+  let _, alloc, clock, w = setup () in
+  (try
+     Wal.with_group w (fun () ->
+         ignore (append w clock ~thread:0 ~epoch:0 1 1);
+         failwith "boom")
+   with Failure _ -> ());
+  check_bool "group closed after exception" true (not (Wal.group_open w));
+  (* the log still works; only acked entries replay *)
+  Wal.with_group w (fun () -> ignore (append w clock ~thread:0 ~epoch:0 2 2));
+  let entries, _ = collect alloc in
+  check_bool "acked entry present" true
+    (List.exists (fun (k, _, _) -> k = 2) entries)
+
+(* Crash at EVERY fence inside a grouped epoch: after each crash, every
+   record acked before that fence must replay (acked durability is
+   unchanged by group batching).  Acks are observed through the device
+   event hook; the [n]-th len-24 ack corresponds to the [n]-th appended
+   key because appends and group acks both run in append order. *)
+exception Crash_now
+
+let test_crash_at_every_fence_preserves_acked () =
+  (* count the fences of one full run first *)
+  let total_fences =
+    let dev, _, clock, w = setup () in
+    let fences = count_fences dev in
+    for i = 0 to 2 do
+      ignore (append w clock ~thread:0 ~epoch:0 i i)
+    done;
+    Wal.with_group w (fun () ->
+        for i = 3 to 11 do
+          ignore (append w clock ~thread:0 ~epoch:0 i i)
+        done);
+    !fences
+  in
+  check_bool "scenario emits fences" true (total_fences > 0);
+  for crash_at = 1 to total_fences do
+    let dev, _, clock, w = setup () in
+    let fences = ref 0 in
+    let acked = ref 0 in
+    D.add_tracer dev (function
+      | D.Sfence ->
+        incr fences;
+        if !fences = crash_at then raise Crash_now
+      | D.Acked { len; _ } when len = Wal.entry_size -> incr acked
+      | _ -> ());
+    (try
+       for i = 0 to 2 do
+         ignore (append w clock ~thread:0 ~epoch:0 i i)
+       done;
+       Wal.with_group w (fun () ->
+           for i = 3 to 11 do
+             ignore (append w clock ~thread:0 ~epoch:0 i i)
+           done)
+     with Crash_now -> ());
+    D.crash dev;
+    let alloc2 = Alloc.attach dev in
+    let keys = ref [] in
+    ignore
+      (Wal.replay alloc2 ~f:(fun ~key ~value:_ ~ts:_ ->
+           keys := Int64.to_int key :: !keys));
+    for k = 0 to !acked - 1 do
+      check_bool
+        (Printf.sprintf "crash at fence %d/%d: acked key %d replays"
+           crash_at total_fences k)
+        true
+        (List.mem k !keys)
+    done
+  done
+
 (* Property: append/replay is lossless for any batch across threads and
    epochs, as long as no epoch is reclaimed. *)
 let prop_append_replay_lossless =
@@ -169,6 +312,21 @@ let () =
             test_replay_after_crash_prefix;
           Alcotest.test_case "live/peak accounting" `Quick test_live_and_peak;
           Alcotest.test_case "log locality" `Quick test_log_locality;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "shared tail fence" `Quick
+            test_group_shares_tail_fence;
+          Alcotest.test_case "empty group, no fence" `Quick
+            test_group_empty_emits_no_fence;
+          Alcotest.test_case "crash mid-group loses only unacked" `Quick
+            test_crash_mid_group_loses_only_unacked;
+          Alcotest.test_case "committed group survives crash" `Quick
+            test_group_commit_then_crash_keeps_all;
+          Alcotest.test_case "exception abandons group" `Quick
+            test_group_abandoned_on_exception;
+          Alcotest.test_case "crash at every fence keeps acked" `Quick
+            test_crash_at_every_fence_preserves_acked;
         ] );
       ("properties", [ qt prop_append_replay_lossless ]);
     ]
