@@ -161,11 +161,48 @@ let sited_driver san (drv : Baselines.Index_intf.driver) =
         drv.Baselines.Index_intf.flush_all ());
   }
 
+let no_reader_path spec =
+  Printf.eprintf
+    "ccl-ycsb: --readers: index '%s' has no concurrent read path (only ccl \
+     does)\nTry 'ccl-ycsb --help' for usage.\n"
+    (Harness.Runner.name spec);
+  exit 2
+
 let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
-    o =
+    readers o =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
   let san = if pmsan then Some (Pmsan.attach ~site:"create" dev) else None in
   let drv = Harness.Runner.build spec dev in
+  (* --readers in single-driver mode: mint N concurrent-read handles and
+     deal searches/scans to them round-robin.  One domain, so this is not
+     parallelism — it exercises the optimistic validated-read path (and
+     its private device views, invisible to --pmsan by design) under the
+     production CLI. *)
+  let reader_handles =
+    if readers = 0 then [||]
+    else
+      match drv.Baselines.Index_intf.new_reader with
+      | None -> no_reader_path spec
+      | Some mint -> Array.init readers (fun _ -> mint ())
+  in
+  let drv =
+    if readers = 0 then drv
+    else begin
+      let rr = ref 0 in
+      let next () =
+        let h = reader_handles.(!rr mod readers) in
+        incr rr;
+        h
+      in
+      {
+        drv with
+        Baselines.Index_intf.search =
+          (fun k -> (next ()).Baselines.Index_intf.r_search k);
+        scan =
+          (fun ~start n -> (next ()).Baselines.Index_intf.r_scan ~start n);
+      }
+    end
+  in
   let drv =
     match san with Some s -> sited_driver s drv | None -> drv
   in
@@ -195,6 +232,23 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
   kv "%s" "mix" mix_name;
   print_traffic m.Harness.Runner.delta;
   kv "%.2f Mop/s" "measured (1 thread)" (Harness.Runner.mops_measured m);
+  if readers > 0 then begin
+    let rretries =
+      Array.fold_left
+        (fun a h -> a + h.Baselines.Index_intf.r_retries ())
+        0 reader_handles
+    in
+    let rstats =
+      S.merge_all
+        (Array.to_list
+           (Array.map
+              (fun h -> h.Baselines.Index_intf.r_dev_stats ())
+              reader_handles))
+    in
+    kv "%d" "reader handles" readers;
+    kv "%d" "reader retries" rretries;
+    kv "%d B" "reader media reads" rstats.S.media_read_bytes
+  end;
   print_modeled m model_threads;
   obs_report o rc ~delta:m.Harness.Runner.delta;
   if o.attribution then
@@ -236,7 +290,8 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
 
 (* --- sharded (measured) path --------------------------------------------- *)
 
-let run_sharded spec mix mix_name warmup ops model_threads scan_len domains o =
+let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
+    readers o =
   let rc = make_recorder o in
   (* workers register their lanes inside Shard.create; pause until the
      measured phase so the load traffic stays out of the books *)
@@ -255,19 +310,56 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains o =
   Shard.flush t;
   Shard.reset_counters t;
   Obs.Recorder.resume rc;
+  (* --readers: a pool of read-only domains on the (single) shard's tree;
+     the mix's reads and scans run there, concurrently with the writer
+     domain applying the mutations *)
+  let pool =
+    if readers = 0 then None
+    else begin
+      match Shard.new_reader t 0 with
+      | None -> no_reader_path spec
+      | Some _ -> Some (Shard.reader_pool t ~shard:0 ~readers)
+    end
+  in
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
-  Printf.printf "running %d x %s ops over %d domains...\n%!" ops mix_name
-    domains;
+  let read_ops, write_ops =
+    match pool with
+    | None -> ([||], stream)
+    | Some _ ->
+      let is_read = function Y.Read _ | Y.Scan _ -> true | Y.Insert _ -> false in
+      ( Array.of_seq (Seq.filter is_read (Array.to_seq stream)),
+        Array.of_seq
+          (Seq.filter (fun op -> not (is_read op)) (Array.to_seq stream)) )
+  in
+  Printf.printf "running %d x %s ops over %d domains%s...\n%!" ops mix_name
+    domains
+    (match pool with
+    | Some _ -> Printf.sprintf " + %d reader domains" readers
+    | None -> "");
   let before = Shard.stats t in
   let t0 = Shard.Clock.monotonic_ns () in
-  Shard.run t stream;
+  (match pool with
+  | Some p -> Shard.Read_pool.run_async p read_ops
+  | None -> ());
+  Shard.run t write_ops;
   Shard.flush t;
+  (match pool with Some p -> Shard.Read_pool.join p | None -> ());
   let wall_ns = Int64.to_float (Int64.sub (Shard.Clock.monotonic_ns ()) t0) in
   let delta = S.diff ~after:(Shard.stats t) ~before in
   let busy = Shard.busy_ns t in
-  let max_busy = Array.fold_left max 1 busy in
+  let max_busy =
+    Array.fold_left max 1
+      (match pool with
+      | Some p -> Array.append busy (Shard.Read_pool.busy_ns p)
+      | None -> busy)
+  in
   let applied = Shard.applied t in
-  let total_applied = Array.fold_left ( + ) 0 applied in
+  let total_applied =
+    Array.fold_left ( + ) 0 applied
+    + (match pool with
+      | Some p -> Array.fold_left ( + ) 0 (Shard.Read_pool.applied p)
+      | None -> 0)
+  in
   Printf.printf "\n";
   kv "%s" "index" (Harness.Runner.name spec);
   kv "%s" "mix" mix_name;
@@ -280,6 +372,17 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains o =
   kv "%s" "per-shard applied"
     (String.concat " "
        (Array.to_list (Array.map string_of_int applied)));
+  (match pool with
+  | Some p ->
+    kv "%s" "per-reader applied"
+      (String.concat " "
+         (Array.to_list
+            (Array.map string_of_int (Shard.Read_pool.applied p))));
+    Shard.Read_pool.shutdown p;
+    kv "%d" "reader retries" (Shard.Read_pool.retries p);
+    kv "%d B" "reader media reads"
+      (Shard.Read_pool.dev_stats p).S.media_read_bytes
+  | None -> ());
   (* the analytic curve next to the measurement, for comparison *)
   let n = max 1 ops in
   let m =
@@ -301,8 +404,8 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains o =
 
 open Cmdliner
 
-let run index mix warmup ops model_threads scan_len domains pmsan flush_budget
-    hist sample trace metrics attribution =
+let run index mix warmup ops model_threads threads scan_len domains readers
+    pmsan flush_budget hist sample trace metrics attribution =
   let usage fmt =
     Printf.ksprintf
       (fun m ->
@@ -310,10 +413,36 @@ let run index mix warmup ops model_threads scan_len domains pmsan flush_budget
         exit 2)
       fmt
   in
+  (* [--threads] used to be a silent alias of [--model-threads]; accept it
+     alone (with a warning), but refuse the ambiguous combinations *)
+  (match threads with
+  | Some _ when domains > 0 ->
+    usage
+      "--threads is a deprecated alias for --model-threads (an analytic \
+       curve, not an execution) and cannot be combined with --domains, \
+       which runs real domains; use --model-threads for the modeled \
+       columns or drop it"
+  | Some _ when model_threads <> None ->
+    usage "--threads and --model-threads are the same option; give one"
+  | Some _ ->
+    Printf.eprintf
+      "ccl-ycsb: warning: --threads is deprecated, use --model-threads\n%!"
+  | None -> ());
+  let model_threads =
+    match (model_threads, threads) with
+    | Some n, _ | None, Some n -> n
+    | None, None -> 48
+  in
   if model_threads < 1 then
     usage "--model-threads must be >= 1 (got %d)" model_threads;
   if domains < 0 || domains > 128 then
     usage "--domains must be in 0..128 (got %d)" domains;
+  if readers < 0 || readers > 64 then
+    usage "--readers must be in 0..64 (got %d)" readers;
+  if readers > 0 && domains > 1 then
+    usage
+      "--readers attaches read-only domains to a single shard's index: \
+       use --domains 1 (or 0 for the single-driver round-robin mode)";
   if warmup < 0 then usage "--warmup must be >= 0 (got %d)" warmup;
   if ops < 1 then usage "--ops must be >= 1 (got %d)" ops;
   if scan_len < 1 then usage "--scan-len must be >= 1 (got %d)" scan_len;
@@ -349,9 +478,10 @@ let run index mix warmup ops model_threads scan_len domains pmsan flush_budget
   let spec = spec_of index in
   let m = mix_of mix in
   if domains = 0 then
-    run_single spec m mix warmup ops model_threads scan_len pmsan budget o
+    run_single spec m mix warmup ops model_threads scan_len pmsan budget
+      readers o
   else begin
-    run_sharded spec m mix warmup ops model_threads scan_len domains o;
+    run_sharded spec m mix warmup ops model_threads scan_len domains readers o;
     0
   end
 
@@ -366,17 +496,40 @@ let cmd =
   let ops = Arg.(value & opt int 20_000 & info [ "ops" ]) in
   let model_threads =
     Arg.(
-      value & opt int 48
-      & info
-          [ "model-threads"; "threads" ]
-          ~docv:"N"
+      value
+      & opt (some int) None
+      & info [ "model-threads" ] ~docv:"N"
           ~doc:
             "Thread count for the $(b,modeled) Perfmodel.Thread_model \
-             columns (an analytic curve, not an execution; \
-             $(b,--threads) is the deprecated alias).  For measured \
-             multicore numbers use $(b,--domains).")
+             columns (an analytic curve, not an execution; default 48).  \
+             For measured multicore numbers use $(b,--domains).")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "threads" ] ~docv:"N"
+          ~doc:
+            "Deprecated alias for $(b,--model-threads).  Rejected when \
+             combined with $(b,--domains) or $(b,--model-threads): the \
+             name suggests a measured execution, but it only labels the \
+             modeled curve — say which one you mean.")
   in
   let scan_len = Arg.(value & opt int 100 & info [ "scan-len" ]) in
+  let readers =
+    Arg.(
+      value & opt int 0
+      & info [ "readers" ] ~docv:"N"
+          ~doc:
+            "Attach $(docv) concurrent read-only handles to the index \
+             (CCL-BTree only).  With $(b,--domains 1), a real pool of \
+             $(docv) reader domains executes the mix's reads and scans \
+             concurrently with the shard's writer domain.  In \
+             single-driver mode the handles are exercised round-robin \
+             from the main domain (and compose with $(b,--pmsan): reader \
+             loads go through private device views the sanitizer does \
+             not observe).")
+  in
   let domains =
     Arg.(
       value & opt int 0
@@ -464,8 +617,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
-      const run $ index $ mix $ warmup $ ops $ model_threads $ scan_len
-      $ domains $ pmsan $ flush_budget $ hist $ sample $ trace $ metrics
-      $ attribution)
+      const run $ index $ mix $ warmup $ ops $ model_threads $ threads
+      $ scan_len $ domains $ readers $ pmsan $ flush_budget $ hist $ sample
+      $ trace $ metrics $ attribution)
 
 let () = exit (Cmd.eval' cmd)

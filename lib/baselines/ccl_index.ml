@@ -34,6 +34,20 @@ let driver_with ?(name = "CCL-BTree") cfg dev =
     allocator = (fun () -> Tree.allocator t);
     counters =
       (fun () -> Ccl_btree.Tree_stats.to_assoc (Tree.stats t));
+    new_reader =
+      Some
+        (fun () ->
+          let r = Tree.reader t in
+          {
+            Index_intf.r_search = Tree.reader_search r;
+            r_scan = (fun ~start n -> Tree.reader_scan r ~start n);
+            r_dev_stats =
+              (fun () -> Pmem.Device.stats (Tree.reader_device r));
+            r_counters =
+              (fun () ->
+                Ccl_btree.Tree_stats.to_assoc (Tree.reader_stats r));
+            r_retries = (fun () -> Tree.reader_retries r);
+          });
   }
 
 let base_cfg = { Config.default with Config.buffering = false }

@@ -25,6 +25,22 @@ module type S = sig
       accounting and for out-of-band variable-size value heaps. *)
 end
 
+(** Read-only operation handle for one concurrent reader domain.  Each
+    handle owns a private device read view and private counters; handles
+    must be created on the domain that will use them or handed over
+    before first use, and used from one domain only. *)
+type reader_ops = {
+  r_search : int64 -> int64 option;
+  r_scan : start:int64 -> int -> (int64 * int64) array;
+  r_dev_stats : unit -> Pmem.Stats.t;
+      (** Live device-counter record of the reader's view, mergeable with
+          the writer's via [Pmem.Stats.merge]. *)
+  r_counters : unit -> (string * int) list;
+      (** Reader-side index counters (searches, DRAM hits, ...). *)
+  r_retries : unit -> int;
+      (** Optimistic-validation failures so far. *)
+}
+
 (** First-class driver record, letting the harness and benches iterate over
     heterogeneous index instances uniformly. *)
 type driver = {
@@ -41,6 +57,9 @@ type driver = {
       (** Index-internal operation counters (log appends, batch flushes,
           splits, GC work, ...) as a flat snapshot for attribution
           reports; empty for indexes that expose none. *)
+  new_reader : (unit -> reader_ops) option;
+      (** Mint a concurrent read-only handle; [None] for indexes without
+          a latch-free read path (all current baselines). *)
 }
 
 let driver (type a) (module M : S with type t = a) (t : a) =
@@ -55,4 +74,5 @@ let driver (type a) (module M : S with type t = a) (t : a) =
     pm_bytes = (fun () -> M.pm_bytes t);
     allocator = (fun () -> M.allocator t);
     counters = (fun () -> []);
+    new_reader = None;
   }

@@ -1,6 +1,6 @@
 type t = {
   mutable leaf : int;
-  mutable version : int;
+  version : Sync.Vlock.t;
   mutable low : int64;
   mutable next : t option;
   mutable prev : t option;
@@ -10,12 +10,13 @@ type t = {
   mutable valid : int;
   mutable unflushed : int;
   mutable epoch : int;
+  mutable dead : bool;
 }
 
 let create ~nbatch ~leaf ~low =
   {
     leaf;
-    version = 0;
+    version = Sync.Vlock.create ();
     low;
     next = None;
     prev = None;
@@ -25,6 +26,7 @@ let create ~nbatch ~leaf ~low =
     valid = 0;
     unflushed = 0;
     epoch = 0;
+    dead = false;
   }
 
 let nbatch t = Array.length t.keys
@@ -99,15 +101,9 @@ let clear t =
   t.unflushed <- 0;
   t.epoch <- 0
 
-let lock t =
-  assert (t.version land 1 = 0);
-  t.version <- t.version + 1
-
-let unlock t =
-  assert (t.version land 1 = 1);
-  t.version <- t.version + 1
-
-let is_locked t = t.version land 1 = 1
+let lock t = Sync.Vlock.lock t.version
+let unlock t = Sync.Vlock.unlock t.version
+let is_locked t = Sync.Vlock.locked t.version
 
 let dram_bytes ~nbatch =
   (* 8 B compressed header (leaf ptr / lock / epoch bitmap / position in

@@ -4,12 +4,14 @@
     KVs: *unflushed* entries waiting to be written to the leaf in one
     XPLine write, and *cached* entries that were already flushed but are
     retained to serve reads from DRAM.  Per-slot epoch bits drive the
-    locality-aware GC; the version counter implements the optimistic
-    version-lock protocol of §4.4 (odd = write-locked). *)
+    locality-aware GC; the version word is a {!Sync.Vlock} seqlock
+    implementing the optimistic version-lock protocol of §4.4 (odd =
+    write-locked): concurrent reader domains snapshot it, read the
+    slots, and validate — see DESIGN.md §12. *)
 
 type t = {
   mutable leaf : int;  (** PM address of the backing leaf node. *)
-  mutable version : int;
+  version : Sync.Vlock.t;
   mutable low : int64;  (** Lower fence key (inclusive). *)
   mutable next : t option;  (** Leaf-order chain. *)
   mutable prev : t option;
@@ -19,6 +21,10 @@ type t = {
   mutable valid : int;  (** Bitmask: slot holds a meaningful KV. *)
   mutable unflushed : int;  (** Subset of [valid] not yet in the leaf. *)
   mutable epoch : int;  (** Per-slot epoch bits (GC, §3.4). *)
+  mutable dead : bool;
+      (** Merged away: the version stays locked forever so optimistic
+          readers bounce back to routing; writer-side walkers skip it.
+          Written and read only by the writer domain. *)
 }
 
 val create : nbatch:int -> leaf:int -> low:int64 -> t
@@ -48,7 +54,11 @@ val set_slot :
 val mark_all_flushed : t -> unit
 val clear : t -> unit
 
-(** {1 Version lock} *)
+(** {1 Version lock}
+
+    Writer-side spin acquisition of the node's {!Sync.Vlock}; optimistic
+    readers use [Sync.Vlock.read_begin]/[validate] on [version]
+    directly. *)
 
 val lock : t -> unit
 val unlock : t -> unit

@@ -33,6 +33,20 @@ type t = {
       (* per-commit-scope dirty-line set: one ordered clwb set and a
          single fence per batch/split/merge scope, no fence when the
          scope touched nothing *)
+  latch : Sync.Sx.t;
+      (* structural-modification latch (DESIGN.md §12): splits/merges run
+         under SX so optimistic readers keep going, upgrading to X only
+         for the reader-visible link-in/unlink; pessimistic fallback
+         readers hold S.  The writer must never hold a node vlock while
+         acquiring or upgrading this latch — an S-holder may be spinning
+         on that very vlock *)
+  iv : Sync.Vlock.t;
+      (* seqlock over the inner index: bumped (under X) around every
+         add/remove so an optimistic reader that raced the binary search
+         re-routes instead of trusting a torn lookup *)
+  epochs : Sync.Epoch.t;
+      (* reader epochs: merged-away leaves are retired here and freed
+         only once no reader can still hold a pre-unlink route to them *)
 }
 
 let device t = t.dev
@@ -78,12 +92,28 @@ let create ?(cfg = Config.default) dev =
     stats = Tree_stats.create ();
     rr_thread = 0;
     fs = Pmem.Flushset.create ();
+    latch = Sync.Sx.create ();
+    iv = Sync.Vlock.create ();
+    epochs = Sync.Epoch.create ();
   }
 
 let target_node t key =
   match Inner_index.find_le t.index key with
   | Some b -> b
   | None -> t.head
+
+(* Index updates happen under the X latch; bumping [iv] around them makes
+   them detectable by optimistic readers, who validate [iv] alongside the
+   node version. *)
+let index_add t low b =
+  Sync.Vlock.lock t.iv;
+  Inner_index.add t.index low b;
+  Sync.Vlock.unlock t.iv
+
+let index_remove t low =
+  Sync.Vlock.lock t.iv;
+  Inner_index.remove t.index low;
+  Sync.Vlock.unlock t.iv
 
 (* ------------------------------------------------------------------ *)
 (* Logging                                                             *)
@@ -117,7 +147,14 @@ let max_ts pending =
 (* Apply [pending] (unique keys; value 0 = tombstone) to the leaf behind
    [b], splitting when it overflows.  Persistence protocol per §4.2:
    data-region stores, flush, fence; then one metadata commit (bitmap and
-   next pointer share an atomic 8 B word), flush, fence. *)
+   next pointer share an atomic 8 B word), flush, fence.
+
+   Locking: the caller must NOT hold [b]'s version lock.  Each branch
+   takes it internally just around its reader-visible leaf mutations, so
+   the split/merge paths below are free to take the SX latch (never while
+   holding a vlock — see the field comment on [latch]).  On return [b]
+   may be dead (merged into its left sibling); callers that keep touching
+   [b] must check [b.B.dead] first. *)
 let rec leaf_apply ?(allow_merge = true) t b ~pending =
   let dev = t.dev in
   let leaf = b.B.leaf in
@@ -156,44 +193,72 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
     if adds <> [] then leaf_apply ~allow_merge t b ~pending:adds
   end
   else if List.length !added <= List.length free then begin
-    (* normal batch insertion *)
-    D.span_begin dev "tree.batch_flush";
-    List.iter
-      (fun (i, v) ->
-        D.store_u64 dev (L.slot_addr leaf i + 8) v;
-        touch t (L.slot_addr leaf i + 8) 8)
-      !updates;
-    let added_bits = ref 0 in
-    let fps = ref [] in
-    List.iteri
-      (fun j (k, v) ->
-        let i = List.nth free j in
-        L.store_slot dev leaf i ~key:k ~value:v;
-        touch t (L.slot_addr leaf i) 16;
-        added_bits := !added_bits lor (1 lsl i);
-        fps := (i, k) :: !fps)
-      !added;
-    (* a tombstone-only batch touches no data line: no fence needed
-       before the metadata commit below, which fences on its own *)
-    flush_touched t;
-    List.iter (fun (i, k) -> L.store_fingerprint dev leaf i k) !fps;
-    L.store_timestamp dev leaf ts;
-    let new_bm = bm land lnot !removed lor !added_bits in
-    L.store_meta_word dev leaf ~bitmap:new_bm ~next:(L.next dev leaf);
-    D.persist dev leaf 32;
-    D.ack_durable dev ~label:"tree.batch" leaf 32;
-    t.stats.Tree_stats.batch_flushes <- t.stats.Tree_stats.batch_flushes + 1;
-    D.span_end dev "tree.batch_flush";
+    (* normal batch insertion; the vlock covers every leaf store so a
+       concurrent optimistic reader of [b] fails validation instead of
+       returning a half-applied batch.  The handler keeps a Power_failure
+       from unwinding with the vlock held, which would strand concurrent
+       readers mid-crash-test. *)
+    B.lock b;
+    (try
+       D.span_begin dev "tree.batch_flush";
+       List.iter
+         (fun (i, v) ->
+           D.store_u64 dev (L.slot_addr leaf i + 8) v;
+           touch t (L.slot_addr leaf i + 8) 8)
+         !updates;
+       let added_bits = ref 0 in
+       let fps = ref [] in
+       List.iteri
+         (fun j (k, v) ->
+           let i = List.nth free j in
+           L.store_slot dev leaf i ~key:k ~value:v;
+           touch t (L.slot_addr leaf i) 16;
+           added_bits := !added_bits lor (1 lsl i);
+           fps := (i, k) :: !fps)
+         !added;
+       (* a tombstone-only batch touches no data line: no fence needed
+          before the metadata commit below, which fences on its own *)
+       flush_touched t;
+       List.iter (fun (i, k) -> L.store_fingerprint dev leaf i k) !fps;
+       L.store_timestamp dev leaf ts;
+       let new_bm = bm land lnot !removed lor !added_bits in
+       L.store_meta_word dev leaf ~bitmap:new_bm ~next:(L.next dev leaf);
+       D.persist dev leaf 32;
+       D.ack_durable dev ~label:"tree.batch" leaf 32;
+       t.stats.Tree_stats.batch_flushes <-
+         t.stats.Tree_stats.batch_flushes + 1;
+       D.span_end dev "tree.batch_flush"
+     with e ->
+       B.unlock b;
+       raise e);
+    B.unlock b;
     if allow_merge && L.valid_count dev leaf < L.slots / 2 then try_merge t b
   end
   else split_apply t b ~pending ~ts
 
 (* Logless split (§4.2): the fully written new right leaf becomes visible
-   through a single atomic metadata commit on the old leaf. *)
+   through a single atomic metadata commit on the old leaf.
+
+   Latch protocol (DESIGN.md §12): the expensive phase — computing the
+   union and writing the whole new right leaf — runs under SX, because
+   that leaf is unreachable until step 3 and concurrent readers can keep
+   searching.  The latch upgrades to X before any reader-visible mutation
+   (in-place left updates, metadata commit, chain/index link-in); the
+   upgrade must happen before taking [b]'s vlock, never after, or a
+   pessimistic S-reader spinning on that vlock would deadlock the
+   upgrade. *)
 and split_apply t b ~pending ~ts =
   let dev = t.dev in
-  D.span_begin dev "tree.split";
-  let leaf = b.B.leaf in
+  Sync.Sx.acquire t.latch Sync.Sx.SX;
+  (* exception path (Power_failure in a crash sweep): release whatever is
+     held so concurrent reader domains are not stranded on a latch the
+     abandoned writer will never drop *)
+  let mode = ref Sync.Sx.SX in
+  let latched = ref true in
+  let vheld = ref false in
+  try
+    D.span_begin dev "tree.split";
+    let leaf = b.B.leaf in
   (* final content = existing entries with pending applied *)
   let tbl = Hashtbl.create 32 in
   List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (L.entries dev leaf);
@@ -237,7 +302,12 @@ and split_apply t b ~pending ~ts =
      fence with step 1: the new leaf is unreachable until step 3's
      metadata commit, and the updates are idempotent and WAL-covered, so
      no ordering between steps 1 and 2 is required — only both-before-3,
-     which the single fence below provides. *)
+     which the single fence below provides.  Reader-visible from here:
+     upgrade to X, then vlock [b] (in that order). *)
+  Sync.Sx.upgrade t.latch;
+  mode := Sync.Sx.X;
+  B.lock b;
+  vheld := true;
   let keep_bits = ref 0 in
   let bm = L.bitmap dev leaf in
   for i = 0 to L.slots - 1 do
@@ -270,7 +340,7 @@ and split_apply t b ~pending ~ts =
   rb.B.prev <- Some b;
   (match b.B.next with Some nx -> nx.B.prev <- Some rb | None -> ());
   b.B.next <- Some rb;
-  Inner_index.add t.index right_low rb;
+  index_add t right_low rb;
   (* prune buffered slots whose keys moved right *)
   for i = 0 to B.nbatch b - 1 do
     if
@@ -282,6 +352,10 @@ and split_apply t b ~pending ~ts =
       b.B.epoch <- b.B.epoch land lnot (1 lsl i)
     end
   done;
+  B.unlock b;
+  vheld := false;
+  Sync.Sx.release t.latch Sync.Sx.X;
+  latched := false;
   (* 5. pending additions left of the split point go through a normal
      batch insertion (they are covered by the WAL if they were logged) *)
   let added_left =
@@ -294,8 +368,21 @@ and split_apply t b ~pending ~ts =
   in
   if added_left <> [] then leaf_apply t b ~pending:added_left;
   D.span_end dev "tree.split"
+  with e ->
+    if !vheld then B.unlock b;
+    if !latched then Sync.Sx.release t.latch !mode;
+    raise e
 
-(* Merge an underutilized leaf into its left sibling (§4.2). *)
+(* Merge an underutilized leaf into its left sibling (§4.2).
+
+   Latch protocol mirrors the split: copying [b]'s entries into [p]'s
+   free slots runs under SX — those slots are outside [p]'s bitmap, so
+   the copies are invisible and readers proceed.  The upgrade to X covers
+   the metadata commit, the chain unlink and the index removal.  [b]'s
+   vlock is taken and never released: a reader still holding a
+   pre-unlink route to [b] bounces off the odd version (bounded
+   [read_begin]) and re-routes, and its leaf is retired to the epoch
+   guard so the slab slot is only reused once no such reader remains. *)
 and try_merge t b =
   match b.B.prev with
   | None -> ()
@@ -305,7 +392,11 @@ and try_merge t b =
     let free_p = List.length (L.free_slots dev p.B.leaf) in
     if cnt > free_p then ()
     else begin
-      B.lock p;
+      Sync.Sx.acquire t.latch Sync.Sx.SX;
+      let mode = ref Sync.Sx.SX in
+      let latched = ref true in
+      let pheld = ref false in
+      try
       D.span_begin dev "tree.merge";
       let entries = L.entries dev b.B.leaf in
       let bits = ref 0 in
@@ -323,6 +414,16 @@ and try_merge t b =
          commit below orders itself *)
       flush_touched t;
       List.iter (fun (i, k) -> L.store_fingerprint dev p.B.leaf i k) !fps;
+      (* reader-visible from here: [p]'s bitmap grows, the chain and the
+         index drop [b] *)
+      Sync.Sx.upgrade t.latch;
+      mode := Sync.Sx.X;
+      B.lock p;
+      pheld := true;
+      (* [b]'s seal is permanent — on the exception path it stays locked,
+         which is exactly what dead nodes look like anyway *)
+      B.lock b;
+      b.B.dead <- true;
       (* Do NOT raise p's flush timestamp to b's: p may still hold
          buffered entries whose log records carry timestamps between the
          two, and recovery skips log entries older than the leaf
@@ -333,13 +434,21 @@ and try_merge t b =
         ~next:(L.next dev b.B.leaf);
       D.persist dev p.B.leaf 32;
       D.ack_durable dev ~label:"tree.merge" p.B.leaf 32;
-      Slab.free t.slab b.B.leaf;
       p.B.next <- b.B.next;
       (match b.B.next with Some nx -> nx.B.prev <- Some p | None -> ());
-      Inner_index.remove t.index b.B.low;
+      index_remove t b.B.low;
       t.stats.Tree_stats.merges <- t.stats.Tree_stats.merges + 1;
+      B.unlock p;
+      pheld := false;
+      (* [b] stays locked: sealed forever *)
       D.span_end dev "tree.merge";
-      B.unlock p
+      Sync.Sx.release t.latch Sync.Sx.X;
+      latched := false;
+      Sync.Epoch.retire t.epochs (fun () -> Slab.free t.slab b.B.leaf)
+      with e ->
+        if !pheld then B.unlock p;
+        if !latched then Sync.Sx.release t.latch !mode;
+        raise e
     end
 
 (* ------------------------------------------------------------------ *)
@@ -368,6 +477,11 @@ let gc_step t n =
           t.gc_floor <- Wal.live_bytes t.wal;
           t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1;
           D.span_end t.dev "tree.gc_reclaim"
+        | Some b when b.B.dead ->
+          (* the cursor can be left parked on a node a later merge killed;
+             its version is sealed, so step over it *)
+          gc.cursor <- b.B.next;
+          go n
         | Some b ->
           B.lock b;
           (* One node's surviving entries form one I-log group: they
@@ -375,7 +489,8 @@ let gc_step t n =
              flush+fence per record.  Crash-safe because the B-log
              originals stay replayable until [reclaim_epoch], which only
              runs after every group has committed. *)
-          Wal.with_group t.wal (fun () ->
+          (try
+             Wal.with_group t.wal (fun () ->
               for i = 0 to B.nbatch b - 1 do
                 let bit = 1 lsl i in
                 if b.B.unflushed land bit <> 0 then begin
@@ -393,7 +508,10 @@ let gc_step t n =
                     t.stats.Tree_stats.gc_skipped <-
                       t.stats.Tree_stats.gc_skipped + 1
                 end
-              done);
+              done)
+           with e ->
+             B.unlock b;
+             raise e);
           B.unlock b;
           gc.cursor <- b.B.next;
           go (n - 1)
@@ -415,10 +533,14 @@ let gc_naive t =
     | Some b ->
       let nx = b.B.next in
       (if b.B.unflushed <> 0 then begin
-         B.lock b;
          leaf_apply t b ~pending:(B.unflushed_entries b);
-         B.mark_all_flushed b;
-         B.unlock b
+         (* [b] may have merged away inside leaf_apply; its sealed vlock
+            must not be re-taken, and a dead node's buffer is moot *)
+         if not b.B.dead then begin
+           B.lock b;
+           B.mark_all_flushed b;
+           B.unlock b
+         end
        end);
       walk nx
   in
@@ -460,10 +582,15 @@ let oldest_slot b =
   done;
   !best
 
+(* The vlock is held only around the buffer-slot mutations (so optimistic
+   readers never see a torn key/value pair), never across [leaf_apply]:
+   the split/merge paths acquire the SX latch, and holding a vlock there
+   would deadlock against a pessimistic S-reader spinning on it.  The
+   branch decision itself needs no lock — this is the single writer
+   domain, and readers only validate. *)
 let upsert_raw t key value =
   D.add_user_bytes t.dev 16;
   let b = target_node t key in
-  B.lock b;
   let ts = Clock.next t.clock in
   (if not t.cfg.Config.buffering then
      (* Base ablation: write-through, one (random) leaf write per upsert *)
@@ -473,18 +600,24 @@ let upsert_raw t key value =
      | Some i ->
        (* in-buffer update, in place (keys stay unique per buffer node) *)
        log_append t ~key ~value ~ts;
-       B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+       B.lock b;
+       B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch;
+       B.unlock b
      | None -> (
        match B.free_slot b with
        | Some i ->
          log_append t ~key ~value ~ts;
-         B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+         B.lock b;
+         B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch;
+         B.unlock b
        | None ->
          let ci = B.cached_slot b in
          if ci >= 0 then begin
            (* evict a read-cache entry *)
            log_append t ~key ~value ~ts;
-           B.set_slot b ci ~key ~value ~ts ~epoch:t.global_epoch
+           B.lock b;
+           B.set_slot b ci ~key ~value ~ts ~epoch:t.global_epoch;
+           B.unlock b
          end
          else begin
            (* Trigger write: flush the whole buffer plus the incoming KV
@@ -501,27 +634,33 @@ let upsert_raw t key value =
            else log_append t ~key ~value ~ts;
            let pending = (key, value, ts) :: B.unflushed_entries b in
            leaf_apply t b ~pending;
-           B.mark_all_flushed b;
-           (* retain the incoming KV as a cached entry, evicting the
-              stalest slot — unless a split moved its key out of this
-              node's fence interval *)
-           let within_fence =
-             match b.B.next with
-             | Some nx -> Int64.compare key nx.B.low < 0
-             | None -> true
-           in
-           if within_fence then begin
-             let i = oldest_slot b in
-             b.B.keys.(i) <- key;
-             b.B.vals.(i) <- value;
-             b.B.tss.(i) <- ts;
-             b.B.valid <- b.B.valid lor (1 lsl i);
-             b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
-             b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+           (* Readers are consistent in the window before the buffer
+              bookkeeping below: they check the buffer before the leaf,
+              and both now hold current values for every flushed key. *)
+           if not b.B.dead then begin
+             B.lock b;
+             B.mark_all_flushed b;
+             (* retain the incoming KV as a cached entry, evicting the
+                stalest slot — unless a split moved its key out of this
+                node's fence interval *)
+             let within_fence =
+               match b.B.next with
+               | Some nx -> Int64.compare key nx.B.low < 0
+               | None -> true
+             in
+             if within_fence then begin
+               let i = oldest_slot b in
+               b.B.keys.(i) <- key;
+               b.B.vals.(i) <- value;
+               b.B.tss.(i) <- ts;
+               b.B.valid <- b.B.valid lor (1 lsl i);
+               b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+               b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+             end;
+             B.unlock b
            end
          end)
    end);
-  B.unlock b;
   maybe_gc t
 
 let upsert t key value =
@@ -553,12 +692,14 @@ let search t key =
     | None -> None)
 
 (* Entries of one node: leaf entries overridden by buffered entries
-   (buffer nodes always hold the latest versions); tombstones hide. *)
-let node_entries t b =
+   (buffer nodes always hold the latest versions); tombstones hide.
+   Parameterized over the device so concurrent readers can pass their
+   own read view. *)
+let node_entries_dev dev b =
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun (k, v) -> Hashtbl.replace tbl k v)
-    (L.entries t.dev b.B.leaf);
+    (L.entries dev b.B.leaf);
   for i = 0 to B.nbatch b - 1 do
     if b.B.valid land (1 lsl i) <> 0 then
       Hashtbl.replace tbl b.B.keys.(i) b.B.vals.(i)
@@ -569,6 +710,8 @@ let node_entries t b =
       tbl []
   in
   List.sort (fun (a, _) (b, _) -> Int64.compare a b) items
+
+let node_entries t b = node_entries_dev t.dev b
 
 let scan t ~start n =
   t.stats.Tree_stats.scans <- t.stats.Tree_stats.scans + 1;
@@ -659,7 +802,7 @@ let bulk_load ?(fill = 0.8) t entries =
             in
             node.B.prev <- Some prev_node;
             prev_node.B.next <- Some node;
-            Inner_index.add t.index node.B.low node;
+            index_add t node.B.low node;
             (leaf, node)
           end
         in
@@ -698,14 +841,18 @@ let flush_all t =
     | Some b ->
       let nx = b.B.next in
       if b.B.unflushed <> 0 then begin
-        B.lock b;
         leaf_apply t b ~pending:(B.unflushed_entries b);
-        B.mark_all_flushed b;
-        B.unlock b
+        if not b.B.dead then begin
+          B.lock b;
+          B.mark_all_flushed b;
+          B.unlock b
+        end
       end;
       walk nx
   in
-  walk (Some t.head)
+  walk (Some t.head);
+  (* run any epoch-deferred leaf frees that are ripe *)
+  Sync.Epoch.flush t.epochs
 
 let buffer_node_count t =
   let rec go n = function None -> n | Some b -> go (n + 1) b.B.next in
@@ -856,6 +1003,9 @@ let recover_body ~cfg dev =
       stats;
       rr_thread = 0;
       fs = Pmem.Flushset.create ();
+      latch = Sync.Sx.create ();
+      iv = Sync.Vlock.create ();
+      epochs = Sync.Epoch.create ();
     }
   in
   (* 2. replay both epochs' logs in timestamp order.
@@ -906,9 +1056,8 @@ let recover_body ~cfg dev =
       in
       if apply then begin
         Hashtbl.replace replayed key ();
-        B.lock b;
-        leaf_apply t b ~pending:[ (key, value, ts) ];
-        B.unlock b
+        (* leaf_apply locks internally; recovery is single-domain *)
+        leaf_apply t b ~pending:[ (key, value, ts) ]
       end)
     sorted;
   (* 3. recycle all log chunks and reset leaf timestamps *)
@@ -939,3 +1088,214 @@ let recover ?(cfg = Config.default) dev =
       D.validating dev false;
       D.recovery_end dev)
     (fun () -> recover_body ~cfg dev)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent read-only handles (DESIGN.md §12)                        *)
+(* ------------------------------------------------------------------ *)
+
+type reader = {
+  rt : t;
+  rdev : D.t;  (* private read view: domain-local caches and counters *)
+  slot : Sync.Epoch.slot;
+  rstats : Tree_stats.t;
+  mutable rretries : int;
+}
+
+let reader t =
+  {
+    rt = t;
+    rdev = D.read_view t.dev;
+    slot = Sync.Epoch.register t.epochs;
+    rstats = Tree_stats.create ();
+    rretries = 0;
+  }
+
+let reader_stats r = r.rstats
+let reader_device r = r.rdev
+let reader_retries r = r.rretries
+let deferred_frees t = Sync.Epoch.pending t.epochs
+
+(* After this many failed optimistic attempts the reader falls back to
+   the pessimistic path (S latch + per-node spin lock), which always
+   terminates: S bars structural modifications, and the single writer's
+   vlock critical sections are short and lock-free to it. *)
+let max_optimistic = 16
+
+(* One uncontended read of node [b]: buffer first (buffered entries are
+   always the newest versions), then the leaf through the given device.
+   The result is meaningful only if the caller's validation succeeds —
+   under a racing writer, every load here may be torn. *)
+let node_read rdev b key =
+  match B.find b key with
+  | Some i ->
+    let v = b.B.vals.(i) in
+    ((if Int64.equal v 0L then None else Some v), true)
+  | None -> (
+    match L.find rdev b.B.leaf key with
+    | Some i -> (Some (L.value_at rdev b.B.leaf i), false)
+    | None -> (None, false))
+
+let reader_search_pess r key =
+  let t = r.rt in
+  Sync.Sx.acquire t.latch Sync.Sx.S;
+  Fun.protect
+    ~finally:(fun () -> Sync.Sx.release t.latch Sync.Sx.S)
+    (fun () ->
+      (* under S the index and chain are frozen; the vlock orders us
+         against the writer's in-place commits on this one node *)
+      let b = target_node t key in
+      B.lock b;
+      Fun.protect
+        ~finally:(fun () -> B.unlock b)
+        (fun () -> node_read r.rdev b key))
+
+let reader_search r key =
+  r.rstats.Tree_stats.searches <- r.rstats.Tree_stats.searches + 1;
+  let t = r.rt in
+  let rec attempt tries =
+    if tries >= max_optimistic then reader_search_pess r key
+    else begin
+      let iv = Sync.Vlock.read_begin t.iv in
+      if Sync.Vlock.is_locked_v iv then retry tries
+      else begin
+        (* the routing structure may be mid-mutation: a torn binary
+           search can raise or return an arbitrary node, both of which
+           the validations below turn into a retry *)
+        let routed =
+          match Inner_index.find_le t.index key with
+          | Some b -> Some b
+          | None -> Some t.head
+          | exception Invalid_argument _ -> None
+        in
+        match routed with
+        | None -> retry tries
+        | Some b ->
+          Sync.Epoch.enter r.slot;
+          let v = Sync.Vlock.read_begin b.B.version in
+          if Sync.Vlock.is_locked_v v then begin
+            Sync.Epoch.exit r.slot;
+            retry tries
+          end
+          else begin
+            let res =
+              try Some (node_read r.rdev b key)
+              with Invalid_argument _ -> None
+            in
+            let ok =
+              Sync.Vlock.validate b.B.version v
+              && Sync.Vlock.validate t.iv iv
+            in
+            Sync.Epoch.exit r.slot;
+            match res with
+            | Some out when ok -> out
+            | _ -> retry tries
+          end
+      end
+    end
+  and retry tries =
+    r.rretries <- r.rretries + 1;
+    Domain.cpu_relax ();
+    attempt (tries + 1)
+  in
+  let value, dram = attempt 0 in
+  (if dram then
+     r.rstats.Tree_stats.dram_hits <- r.rstats.Tree_stats.dram_hits + 1
+   else r.rstats.Tree_stats.leaf_reads <- r.rstats.Tree_stats.leaf_reads + 1);
+  value
+
+(* Optimistic scan: per-node validated snapshots compose into a correct
+   range read by the B-link argument — a split moves a validated node's
+   tail into a new right sibling we then also visit (or already covered
+   via the pre-split content), and a merge seals the absorbed node's
+   version so we restart instead of double-counting. *)
+let reader_scan_opt r ~start n =
+  let t = r.rt in
+  let iv = Sync.Vlock.read_begin t.iv in
+  if Sync.Vlock.is_locked_v iv then None
+  else begin
+    let routed =
+      match Inner_index.find_le t.index start with
+      | Some b -> Some b
+      | None -> Some t.head
+      | exception Invalid_argument _ -> None
+    in
+    match routed with
+    | Some b0 when Sync.Vlock.validate t.iv iv ->
+      let acc = ref [] in
+      let count = ref 0 in
+      let rec walk b =
+        if !count >= n then true
+        else begin
+          Sync.Epoch.enter r.slot;
+          let v = Sync.Vlock.read_begin b.B.version in
+          if Sync.Vlock.is_locked_v v then begin
+            Sync.Epoch.exit r.slot;
+            false
+          end
+          else begin
+            let snap =
+              try Some (node_entries_dev r.rdev b, b.B.next)
+              with Invalid_argument _ -> None
+            in
+            let ok = Sync.Vlock.validate b.B.version v in
+            Sync.Epoch.exit r.slot;
+            match snap with
+            | Some (entries, nxt) when ok ->
+              List.iter
+                (fun (k, v) ->
+                  if !count < n && Int64.compare k start >= 0 then begin
+                    acc := (k, v) :: !acc;
+                    incr count
+                  end)
+                entries;
+              if !count >= n then true
+              else (match nxt with None -> true | Some nb -> walk nb)
+            | _ -> false
+          end
+        end
+      in
+      if walk b0 then Some (Array.of_list (List.rev !acc)) else None
+    | _ -> None
+  end
+
+let reader_scan_pess r ~start n =
+  let t = r.rt in
+  Sync.Sx.acquire t.latch Sync.Sx.S;
+  Fun.protect
+    ~finally:(fun () -> Sync.Sx.release t.latch Sync.Sx.S)
+    (fun () ->
+      let acc = ref [] in
+      let count = ref 0 in
+      let rec walk = function
+        | None -> ()
+        | Some b when !count >= n -> ignore b
+        | Some b ->
+          B.lock b;
+          let entries = node_entries_dev r.rdev b in
+          let nxt = b.B.next in
+          B.unlock b;
+          List.iter
+            (fun (k, v) ->
+              if !count < n && Int64.compare k start >= 0 then begin
+                acc := (k, v) :: !acc;
+                incr count
+              end)
+            entries;
+          if !count < n then walk nxt
+      in
+      walk (Some (target_node t start));
+      Array.of_list (List.rev !acc))
+
+let reader_scan r ~start n =
+  r.rstats.Tree_stats.scans <- r.rstats.Tree_stats.scans + 1;
+  let rec attempt tries =
+    if tries >= max_optimistic then reader_scan_pess r ~start n
+    else
+      match reader_scan_opt r ~start n with
+      | Some arr -> arr
+      | None ->
+        r.rretries <- r.rretries + 1;
+        Domain.cpu_relax ();
+        attempt (tries + 1)
+  in
+  attempt 0

@@ -40,6 +40,39 @@ val scan : t -> start:int64 -> int -> (int64 * int64) array
 val iter : t -> (int64 -> int64 -> unit) -> unit
 (** Visit every live entry in key order (latest buffered versions win). *)
 
+(** {1 Concurrent read-only handles}
+
+    A {!reader} is a per-domain handle for latch-free searches and scans
+    that run concurrently with the single writer domain (DESIGN.md §12).
+    Reads are optimistic: route through the inner index, read the node,
+    then validate the node's seqlock version and the index seqlock — a
+    racing writer forces a retry, and after a bounded number of retries
+    the reader falls back to a pessimistic [S]-latched read.  Each reader
+    owns a {!Pmem.Device.read_view} (private caches and counters, merged
+    with the writer's via [Stats.merge]) and an epoch slot that defers
+    reuse of merged-away leaves.  Creating a reader is itself safe at any
+    time; the handle must only ever be used from one domain. *)
+
+type reader
+
+val reader : t -> reader
+val reader_search : reader -> int64 -> int64 option
+val reader_scan : reader -> start:int64 -> int -> (int64 * int64) array
+
+val reader_stats : reader -> Tree_stats.t
+(** Private per-reader operation counters (searches, DRAM hits, ...). *)
+
+val reader_device : reader -> Pmem.Device.t
+(** The reader's device view; its [Stats] merge with the writer's. *)
+
+val reader_retries : reader -> int
+(** Validation failures observed (optimistic attempts that were retried
+    or demoted to the pessimistic path). *)
+
+val deferred_frees : t -> int
+(** Merged-away leaves whose slab reuse is still pinned by a reader
+    epoch. *)
+
 val bulk_load : ?fill:float -> t -> (int64 * int64) array -> unit
 (** Bottom-up load of strictly sorted entries into an empty tree: leaves
     are written sequentially at [fill] occupancy (default 0.8), one

@@ -164,6 +164,10 @@ type t = {
       (* persistency-event hook; None = zero-overhead disabled state *)
   mutable fail_after_fences : int option;
       (* fault injection: power-fail at the n-th upcoming sfence *)
+  ro : bool;
+      (* read-only view: shares [work]/[media] with its parent but owns
+         private caches and counters; stores and persistence primitives
+         refuse (see [read_view]) *)
 }
 
 exception Power_failure
@@ -216,7 +220,61 @@ let create ?config () =
     classifier = None;
     tracer = None;
     fail_after_fences = None;
+    ro = false;
   }
+
+(* A per-reader-domain view for concurrent latch-free searches: the byte
+   images are shared (so readers observe the writer's stores, possibly
+   torn — exactly what version validation is for), while the dirty set,
+   pending array, XPBuffer map, read cache, RNG, tracer and {!Stats} are
+   fresh and private.  One view per reader domain makes every load-path
+   mutation (read-cache LRU, counters) domain-local; the per-view stats
+   merge with the writer's through the {!Stats.merge} monoid.  The cost
+   model degrades gracefully: a view never sees the writer's XPBuffer or
+   dirty lines, so it attributes conservatively many media reads to
+   itself — a private read cache, the same shape FPTree gives each
+   thread. *)
+let read_view t =
+  let cfg = t.cfg in
+  let nlines = (cfg.Config.size + cl - 1) / cl in
+  let nxplines =
+    (cfg.Config.size + Geometry.xpline_size - 1) / Geometry.xpline_size
+  in
+  let pending_cap = 64 in
+  let xp_sentinel = make_xp_sentinel () in
+  let rc_sentinel = make_rc_sentinel () in
+  {
+    cfg;
+    work = t.work;
+    media = t.media;
+    dirty_bits = Bitset.create nlines;
+    dirty_count = 0;
+    dirty_fifo = Ring.create ();
+    pending_lines = Array.make pending_cap 0;
+    pending_arena = Bytes.make (pending_cap * cl) '\000';
+    pending_len = 0;
+    pending_bits = Bitset.create nlines;
+    xp_map = Array.make nxplines xp_sentinel;
+    xp_count = 0;
+    xp_sentinel;
+    xp_pool = xp_sentinel;
+    rc_map = Array.make nxplines rc_sentinel;
+    rc_count = 0;
+    rc_sentinel;
+    rc_pool = rc_sentinel;
+    lru_clock = 0;
+    rng = Random.State.make [| cfg.Config.crash_seed |];
+    stats = Stats.create ();
+    classifier = None;
+    tracer = None;
+    fail_after_fences = None;
+    ro = true;
+  }
+
+let is_read_view t = t.ro
+
+let ro_fail () =
+  invalid_arg "Device: mutation through a read-only view (read_view)"
 
 let set_classifier t f = t.classifier <- f
 
@@ -517,6 +575,7 @@ let mark_dirty_range t addr len =
   end
 
 let store t addr b =
+  if t.ro then ro_fail ();
   let len = Bytes.length b in
   check_range t addr len;
   trace_store t addr len;
@@ -525,6 +584,7 @@ let store t addr b =
   mark_dirty_range t addr len
 
 let store_string t addr s =
+  if t.ro then ro_fail ();
   let len = String.length s in
   check_range t addr len;
   trace_store t addr len;
@@ -533,6 +593,7 @@ let store_string t addr s =
   mark_dirty_range t addr len
 
 let store_u64 t addr v =
+  if t.ro then ro_fail ();
   check_range t addr 8;
   trace_store t addr 8;
   Bytes.set_int64_le t.work addr v;
@@ -540,6 +601,7 @@ let store_u64 t addr v =
   mark_dirty_range t addr 8
 
 let store_u8 t addr v =
+  if t.ro then ro_fail ();
   check_range t addr 1;
   trace_store t addr 1;
   t.work.%[addr] <- Char.chr (v land 0xff);
@@ -547,6 +609,7 @@ let store_u8 t addr v =
   mark_dirty t (Geometry.line_of addr)
 
 let fill t addr len c =
+  if t.ro then ro_fail ();
   check_range t addr len;
   trace_store t addr len;
   Bytes.fill t.work addr len c;
@@ -706,6 +769,7 @@ let load_u8 t addr =
    evictions instead of explicit flushes.  We model that by making
    clwb/sfence free no-ops in eADR mode. *)
 let clwb t addr =
+  if t.ro then ro_fail ();
   if not t.cfg.Config.eadr then begin
     let line = Geometry.line_of addr in
     trace_clwb t line;
@@ -727,6 +791,7 @@ let flush_range t addr len =
   end
 
 let sfence t =
+  if t.ro then ro_fail ();
   if not t.cfg.Config.eadr then begin
     (match t.fail_after_fences with
     | Some n when n <= 1 ->
@@ -753,6 +818,7 @@ let persist t addr len =
   sfence t
 
 let drain t =
+  if t.ro then ro_fail ();
   (* one Drain event stands for the whole clean shutdown; the internal
      sfence must not additionally be observed (it would register as an
      empty fence in a shadow that already persisted everything) *)
@@ -950,6 +1016,7 @@ let restore t ck =
 (* --- crash ------------------------------------------------------------ *)
 
 let crash t =
+  if t.ro then ro_fail ();
   trace0 t Crash;
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
   (* a failure plan dies with the power: it must not fire at a fence of

@@ -26,6 +26,22 @@ val create : ?config:Config.t -> unit -> t
 val config : t -> Config.t
 val size : t -> int
 
+val read_view : t -> t
+(** A per-reader-domain view for concurrent latch-free reads.  The view
+    shares the parent's byte images — loads observe the writer's stores,
+    possibly torn, which the caller's version-validation protocol must
+    reject — but owns private cache state and a private {!Stats} record,
+    so every load-path mutation is domain-local and per-view counters
+    merge with the writer's via {!Stats.merge}.  A view never sees the
+    parent's XPBuffer/dirty-line state, so it accounts conservatively
+    (its own read cache, media reads on every miss).  Stores,
+    persistence primitives, [drain] and [crash] through a view raise
+    [Invalid_argument].  Views have their own tracer slot (initially
+    disabled): sanitizer/observability hooks are per-domain or off under
+    concurrent readers, never shared. *)
+
+val is_read_view : t -> bool
+
 (** {1 Stores (into the CPU cache)} *)
 
 val store : t -> int -> bytes -> unit

@@ -1,0 +1,170 @@
+module Clock = Shard_clock
+module Queue = Shard_queue
+module I = Baselines.Index_intf
+module S = Pmem.Stats
+module Y = Workload.Ycsb
+
+type reply = { m : Mutex.t; c : Condition.t; mutable ready : bool }
+
+let reply () = { m = Mutex.create (); c = Condition.create (); ready = false }
+
+let signal r =
+  Mutex.lock r.m;
+  r.ready <- true;
+  Condition.signal r.c;
+  Mutex.unlock r.m
+
+let await r =
+  Mutex.lock r.m;
+  while not r.ready do
+    Condition.wait r.c r.m
+  done;
+  Mutex.unlock r.m
+
+type job = Run of Y.op array * reply | Stop
+
+type rworker = {
+  q : job Queue.t;
+  applied : int Atomic.t;
+  busy_ns : int Atomic.t;
+  (* written by the reader domain just before it exits; the router reads
+     them only after [Domain.join], which establishes happens-before *)
+  mutable fin_stats : S.t option;
+  mutable fin_counters : (string * int) list;
+  mutable fin_retries : int;
+  mutable pending : reply option;  (* router-side, one job in flight *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = { rworkers : rworker array; mutable live : bool }
+
+let exec (rops : I.reader_ops) w op =
+  match op with
+  | Y.Read k ->
+    ignore (rops.I.r_search k : int64 option);
+    Atomic.incr w.applied
+  | Y.Scan (k, len) ->
+    ignore (rops.I.r_scan ~start:k len : (int64 * int64) array);
+    Atomic.incr w.applied
+  | Y.Insert _ -> ()
+(* read-only pool: the caller routes mutations to the writer *)
+
+(* The handle is minted on this domain, so every private structure it
+   owns (device read view, counters, epoch slot) is domain-local from
+   birth. *)
+let reader_loop mint w =
+  let rops : I.reader_ops = mint () in
+  let continue = ref true in
+  while !continue do
+    match Queue.pop w.q with
+    | Stop ->
+      w.fin_stats <- Some (rops.I.r_dev_stats ());
+      w.fin_counters <- rops.I.r_counters ();
+      w.fin_retries <- rops.I.r_retries ();
+      continue := false
+    | Run (ops, r) ->
+      let t0 = Clock.thread_cpu_ns () in
+      Array.iter (exec rops w) ops;
+      Atomic.set w.busy_ns
+        (Atomic.get w.busy_ns
+        + Int64.to_int (Int64.sub (Clock.thread_cpu_ns ()) t0));
+      signal r
+  done
+
+let create mint ~readers =
+  if readers < 1 then invalid_arg "Read_pool.create: readers < 1";
+  let rworkers =
+    Array.init readers (fun _ ->
+        {
+          q = Queue.create ~capacity:4;
+          applied = Atomic.make 0;
+          busy_ns = Atomic.make 0;
+          fin_stats = None;
+          fin_counters = [];
+          fin_retries = 0;
+          pending = None;
+          domain = None;
+        })
+  in
+  Array.iter
+    (fun w -> w.domain <- Some (Domain.spawn (fun () -> reader_loop mint w)))
+    rworkers;
+  { rworkers; live = true }
+
+let readers t = Array.length t.rworkers
+
+(* Deal [ops] round-robin so every reader gets an equally mixed slice —
+   a contiguous split would give hot-range prefixes to one reader. *)
+let split ops n =
+  let total = Array.length ops in
+  List.init n (fun r ->
+      let cnt = (total - r + n - 1) / n in
+      Array.init cnt (fun j -> ops.((j * n) + r)))
+
+let run_async t ops =
+  if not t.live then invalid_arg "Read_pool.run_async: pool is shut down";
+  Array.iter
+    (fun w ->
+      if w.pending <> None then
+        invalid_arg "Read_pool.run_async: previous run not joined")
+    t.rworkers;
+  List.iteri
+    (fun rid slice ->
+      let w = t.rworkers.(rid) in
+      let r = reply () in
+      w.pending <- Some r;
+      Queue.push w.q (Run (slice, r)))
+    (split ops (readers t))
+
+let join t =
+  Array.iter
+    (fun w ->
+      match w.pending with
+      | Some r ->
+        await r;
+        w.pending <- None
+      | None -> ())
+    t.rworkers
+
+let run t ops =
+  run_async t ops;
+  join t
+
+let shutdown t =
+  if t.live then begin
+    join t;
+    Array.iter (fun w -> Queue.push w.q Stop) t.rworkers;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+          Domain.join d;
+          w.domain <- None
+        | None -> ())
+      t.rworkers;
+    t.live <- false
+  end
+
+let applied t = Array.map (fun w -> Atomic.get w.applied) t.rworkers
+let busy_ns t = Array.map (fun w -> Atomic.get w.busy_ns) t.rworkers
+
+let ensure_down name t =
+  if t.live then
+    invalid_arg (name ^ ": reader counters are only stable after shutdown")
+
+let dev_stats t =
+  ensure_down "Read_pool.dev_stats" t;
+  S.merge_all
+    (Array.to_list
+       (Array.map
+          (fun w ->
+            match w.fin_stats with Some s -> s | None -> S.create ())
+          t.rworkers))
+
+let counters t =
+  ensure_down "Read_pool.counters" t;
+  Array.to_list (Array.map (fun w -> w.fin_counters) t.rworkers)
+
+let retries t =
+  ensure_down "Read_pool.retries" t;
+  Array.fold_left (fun acc w -> acc + w.fin_retries) 0 t.rworkers

@@ -1,0 +1,58 @@
+(** Read-only domain pool over one shard's index (intra-shard read
+    parallelism, DESIGN.md §12).
+
+    A {!Shard.t} worker domain owns its tree exclusively for mutations;
+    this pool attaches [readers] extra domains to one shard, each holding
+    a private {!Baselines.Index_intf.reader_ops} handle (optimistic
+    version-validated searches/scans over a device read view).  Reads run
+    {e concurrently with the writer} — no flush or barrier is needed
+    between routing writes to the shard and running a read storm here.
+
+    Each handle is minted on its own domain, so the per-reader device
+    view, counters and epoch slot are domain-local from birth.  Counter
+    accessors that read domain-private state ({!dev_stats}, {!counters},
+    {!retries}) are only available after {!shutdown}, whose [Domain.join]
+    makes them stable; {!applied}/{!busy_ns} are atomics and can be read
+    live. *)
+
+type t
+
+val create : (unit -> Baselines.Index_intf.reader_ops) -> readers:int -> t
+(** [create mint ~readers] spawns [readers] reader domains, each minting
+    its own handle with [mint].  Use [Shard.reader_pool] to build one
+    over a shard's driver.  @raise Invalid_argument if [readers < 1]. *)
+
+val readers : t -> int
+
+val run : t -> Workload.Ycsb.op array -> unit
+(** Execute the read/scan operations of [ops], dealt round-robin across
+    the reader domains; write operations in the array are ignored (route
+    them to the shard's writer).  Returns when every reader finished its
+    slice. *)
+
+val run_async : t -> Workload.Ycsb.op array -> unit
+(** Like {!run} but returns as soon as the slices are enqueued, so the
+    caller can drive the shard's writer concurrently.  Exactly one
+    outstanding run per pool; complete it with {!join}. *)
+
+val join : t -> unit
+(** Wait for an outstanding {!run_async} (no-op without one). *)
+
+val shutdown : t -> unit
+(** Join outstanding work, stop and join every reader domain, and latch
+    their final counters. *)
+
+val applied : t -> int array
+(** Operations completed per reader (live). *)
+
+val busy_ns : t -> int array
+(** Per-reader CPU time spent executing slices (live). *)
+
+val dev_stats : t -> Pmem.Stats.t
+(** Merged device counters of all reader views (after {!shutdown}). *)
+
+val counters : t -> (string * int) list list
+(** Per-reader index counters (after {!shutdown}). *)
+
+val retries : t -> int
+(** Total optimistic-validation retries (after {!shutdown}). *)

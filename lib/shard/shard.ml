@@ -458,3 +458,18 @@ let recover t rebuild =
   start t
 
 let device t i = t.workers.(i).dev
+
+(* Reader factory of shard [i]'s driver.  The field itself is only
+   reassigned during [recover] (quiescent), so reading it from the router
+   while the worker runs is safe; each factory call mints an independent
+   read-only handle. *)
+let new_reader t i = t.workers.(i).drv.I.new_reader
+
+module Read_pool = Read_pool
+
+let reader_pool t ~shard ~readers =
+  match new_reader t shard with
+  | None ->
+    invalid_arg
+      "Shard.reader_pool: this index driver has no concurrent read path"
+  | Some mint -> Read_pool.create mint ~readers

@@ -76,6 +76,18 @@ val shards : t -> int
 val shard_of : t -> int64 -> int
 (** The shard a key routes to. *)
 
+val new_reader : t -> int -> (unit -> Baselines.Index_intf.reader_ops) option
+(** Shard [i]'s concurrent-reader factory, when its driver has one.
+    Mint handles from the domain that will use them (see {!Read_pool},
+    which does exactly that). *)
+
+module Read_pool = Read_pool
+
+val reader_pool : t -> shard:int -> readers:int -> Read_pool.t
+(** Attach [readers] read-only domains to shard [shard]'s index; reads
+    then run concurrently with that shard's writer domain.
+    @raise Invalid_argument if the driver has no concurrent read path. *)
+
 (** {1 Asynchronous operations (routed, batched)} *)
 
 val upsert : t -> int64 -> int64 -> unit

@@ -1,0 +1,60 @@
+type t = {
+  global : int Atomic.t;
+  reg : Mutex.t;  (* guards [slots] against concurrent registration *)
+  mutable slots : int Atomic.t list;
+  mutable retired : (int * (unit -> unit)) list;
+      (* (epoch at retire time, closure); writer-only *)
+}
+
+type slot = { cell : int Atomic.t; owner : t }
+
+let create () =
+  { global = Atomic.make 1; reg = Mutex.create (); slots = []; retired = [] }
+
+let register t =
+  let cell = Atomic.make 0 in
+  Mutex.lock t.reg;
+  t.slots <- cell :: t.slots;
+  Mutex.unlock t.reg;
+  { cell; owner = t }
+
+(* Store-then-recheck: publishing the pinned epoch must be visible before
+   the reader trusts it, otherwise a concurrent retire+collect can slip
+   between the read of [global] and the store of the pin. *)
+let enter s =
+  let rec go () =
+    let g = Atomic.get s.owner.global in
+    Atomic.set s.cell g;
+    if Atomic.get s.owner.global <> g then go ()
+  in
+  go ()
+
+let exit s = Atomic.set s.cell 0
+
+(* Smallest epoch any reader currently pins, or [max_int] when idle. *)
+let min_active t =
+  Mutex.lock t.reg;
+  let m =
+    List.fold_left
+      (fun acc cell ->
+        let v = Atomic.get cell in
+        if v > 0 && v < acc then v else acc)
+      max_int t.slots
+  in
+  Mutex.unlock t.reg;
+  m
+
+let collect t =
+  let m = min_active t in
+  let ripe, rest = List.partition (fun (e, _) -> e < m) t.retired in
+  t.retired <- rest;
+  List.iter (fun (_, f) -> f ()) ripe
+
+let retire t f =
+  let e = Atomic.get t.global in
+  t.retired <- (e, f) :: t.retired;
+  Atomic.set t.global (e + 1);
+  collect t
+
+let flush t = collect t
+let pending t = List.length t.retired

@@ -1,0 +1,39 @@
+(** Epoch-based deferral of node reclamation.
+
+    Optimistic readers may hold a pointer to a node that a concurrent
+    merge has just unlinked; the version validation that follows rejects
+    whatever they read from it, but the storage behind the node must not
+    be handed to a new allocation while a reader is still inside it.
+    Readers bracket each node visit with {!enter}/{!exit} on their own
+    {!slot}; the single structural writer {!retire}s a reclamation
+    closure, which runs only once every slot that was active at retire
+    time has left its critical section.
+
+    One writer, N readers.  [retire]/[flush] are writer-only;
+    [enter]/[exit] are per-reader and touch only that reader's slot. *)
+
+type t
+type slot
+
+val create : unit -> t
+
+val register : t -> slot
+(** A per-reader slot.  Callable from any domain (serialized
+    internally); each slot is then used by exactly one reader domain. *)
+
+val enter : slot -> unit
+(** Pin the current epoch for a read-side critical section. *)
+
+val exit : slot -> unit
+
+val retire : t -> (unit -> unit) -> unit
+(** Defer a reclamation to when all currently-active readers have left.
+    Runs ripe closures opportunistically (writer-side). *)
+
+val flush : t -> unit
+(** Run every deferred closure whose epoch has quiesced; with no active
+    readers this is all of them.  Writer-only, used at shutdown and in
+    single-threaded phases (recovery, tests). *)
+
+val pending : t -> int
+(** Deferred closures not yet run (introspection for tests). *)

@@ -1,0 +1,81 @@
+type mode = S | SX | X
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable readers : int;  (* S holders *)
+  mutable sx : bool;  (* one SX holder at most *)
+  mutable x : bool;  (* exclusive holder *)
+  upgrading : bool Atomic.t;
+      (* SX holder wants X: new S acquisitions stall so the upgrade
+         cannot be starved by a steady reader stream *)
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    readers = 0;
+    sx = false;
+    x = false;
+    upgrading = Atomic.make false;
+  }
+
+let acquire t mode =
+  Mutex.lock t.m;
+  (match mode with
+  | S ->
+    while t.x || Atomic.get t.upgrading do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1
+  | SX ->
+    while t.x || t.sx do
+      Condition.wait t.c t.m
+    done;
+    t.sx <- true
+  | X ->
+    while t.x || t.sx || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.x <- true);
+  Mutex.unlock t.m
+
+let release t mode =
+  Mutex.lock t.m;
+  (match mode with
+  | S ->
+    assert (t.readers > 0);
+    t.readers <- t.readers - 1
+  | SX ->
+    assert t.sx;
+    t.sx <- false
+  | X ->
+    assert t.x;
+    t.x <- false);
+  Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let upgrade t =
+  Atomic.set t.upgrading true;
+  Mutex.lock t.m;
+  assert (t.sx && not t.x);
+  while t.readers > 0 do
+    Condition.wait t.c t.m
+  done;
+  t.sx <- false;
+  t.x <- true;
+  Atomic.set t.upgrading false;
+  Mutex.unlock t.m
+
+let downgrade t =
+  Mutex.lock t.m;
+  assert (t.x && not t.sx);
+  t.x <- false;
+  t.sx <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let with_mode t mode f =
+  acquire t mode;
+  Fun.protect ~finally:(fun () -> release t mode) f

@@ -1,0 +1,45 @@
+(** SX latch: the three-mode latch FPTree-style trees use so structural
+    modifications exclude each other without stalling readers.
+
+    Compatibility matrix (SNIPPETS.md §1):
+
+    {v
+            S     SX    X
+      S     ok    ok    --
+      SX    ok    --    --
+      X     --    --    --
+    v}
+
+    - [S] (shared): pessimistic readers.  Many at once, compatible with
+      one [SX] holder.
+    - [SX] (shared-exclusive): a structural writer preparing a split or
+      merge.  Excludes other structural writers but {e not} readers — the
+      expensive phase (writing the new leaf) runs while searches proceed.
+    - [X] (exclusive): the short link-in/unlink step that republishes
+      routing state.  Excludes everyone.
+
+    An [SX] holder upgrades to [X] with {!upgrade}; the [upgrading] flag
+    (an [Atomic]) stops new [S] acquisitions immediately so the upgrade
+    cannot be starved by a stream of readers.  Built on [Mutex] +
+    [Condition]: acquisition order within a mode is whatever the runtime
+    wakes, which is fine for one writer domain and a bounded reader
+    pool. *)
+
+type t
+
+type mode = S | SX | X
+
+val create : unit -> t
+val acquire : t -> mode -> unit
+val release : t -> mode -> unit
+
+val upgrade : t -> unit
+(** [SX] → [X].  Caller must hold [SX]; blocks until all [S] holders
+    drain while barring new ones. *)
+
+val downgrade : t -> unit
+(** [X] → [SX]: readers may re-enter while the holder finishes
+    non-critical work. *)
+
+val with_mode : t -> mode -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)

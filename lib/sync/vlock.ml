@@ -1,0 +1,33 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let value t = Atomic.get t
+let is_locked_v v = v land 1 = 1
+let locked t = is_locked_v (Atomic.get t)
+
+(* Bounded: a node that is locked forever (merged away and retired) must
+   bounce its readers back to routing instead of capturing them here. *)
+let read_begin t =
+  let rec go n =
+    let v = Atomic.get t in
+    if v land 1 = 0 || n = 0 then v
+    else begin
+      Domain.cpu_relax ();
+      go (n - 1)
+    end
+  in
+  go 64
+
+let validate t v = Atomic.get t = v
+
+let rec lock t =
+  let v = Atomic.get t in
+  if v land 1 = 1 || not (Atomic.compare_and_set t v (v + 1)) then begin
+    Domain.cpu_relax ();
+    lock t
+  end
+
+let unlock t =
+  let v = Atomic.get t in
+  assert (v land 1 = 1);
+  Atomic.set t (v + 1)

@@ -1,0 +1,42 @@
+(** Seqlock-style version lock over an [Atomic.t].
+
+    Even value = unlocked, odd = a writer is inside its critical section.
+    Optimistic readers take a snapshot with {!read_begin}, read the
+    protected data (tolerating torn values), then {!validate} the
+    snapshot: validation succeeds only when the version is unchanged and
+    even, i.e. no writer ran during the read.  Writers bump the version
+    by one on {!lock} and again on {!unlock}, so every critical section
+    advances it by two and any overlap is detected.
+
+    {!lock} is a CAS loop, so it also serves as a spin mutex when a
+    pessimistic (fallback) reader needs a definitely-consistent view of
+    one node without holding a global latch. *)
+
+type t
+
+val create : unit -> t
+
+val value : t -> int
+(** Current raw version (may be odd). *)
+
+val read_begin : t -> int
+(** Snapshot for optimistic validation.  Spins briefly while a writer is
+    inside; may still return an odd value if the writer outlasts the
+    bounded spin — callers must treat an odd snapshot as a failed read
+    and retry from routing (a node locked forever, e.g. merged away,
+    must not capture a reader in an unbounded spin). *)
+
+val is_locked_v : int -> bool
+(** Whether a snapshot value is odd (writer inside). *)
+
+val validate : t -> int -> bool
+(** [validate t v] is true iff the version is still exactly [v].  Only
+    meaningful when [v] was even. *)
+
+val lock : t -> unit
+(** Acquire as a writer (version becomes odd).  Spins on contention. *)
+
+val unlock : t -> unit
+(** Release (version becomes even again, two above the pre-lock value). *)
+
+val locked : t -> bool

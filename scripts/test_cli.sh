@@ -74,6 +74,14 @@ expect_usage "crashcheck bad nbatch"      2 -- "$crashcheck" --nbatch 0
 expect_usage "ycsb bad sample"            2 -- "$ycsb" --sample=-5
 expect_usage "ycsb empty trace path"      2 -- "$ycsb" --trace ""
 expect_usage "ycsb empty metrics path"    2 -- "$ycsb" --metrics-json ""
+# --threads is only a deprecated alias for --model-threads (a modeled
+# curve): combining it with real executions or its own replacement is
+# ambiguous and must be rejected, not silently resolved
+expect_usage "ycsb threads with domains"  2 -- "$ycsb" --threads 8 --domains 2
+expect_usage "ycsb threads with model"    2 -- "$ycsb" --threads 8 --model-threads 4
+expect_usage "ycsb bad readers"           2 -- "$ycsb" --readers=-1
+expect_usage "ycsb readers need 1 shard"  2 -- "$ycsb" --readers 2 --domains 4
+expect_usage "ycsb readers no read path"  2 -- "$ycsb" --index fastfair --readers 2 --warmup 100 --ops 100
 
 # cmdliner-level misuse (unknown option) must also be non-zero
 if "$ycsb" --no-such-flag >"$out" 2>"$err"; then
@@ -154,6 +162,49 @@ fi
 expect_ok "ycsb sharded --hist" -- \
   "$ycsb" --index ccl --mix read-intensive --warmup 500 --ops 500 \
     --domains 2 --hist
+
+# --threads alone still works as the alias (with a deprecation warning)
+if "$ycsb" --index ccl --mix insert-only --warmup 300 --ops 300 \
+    --threads 8 >"$out" 2>"$err"; then
+  if grep -q "deprecated" "$err" && grep -q "modeled @8 threads" "$out"; then
+    echo "ok   ycsb --threads alias"
+  else
+    echo "FAIL ycsb --threads alias: warning or modeled column missing" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --threads alias: exit $?" >&2
+  failures=$((failures + 1))
+fi
+
+# --readers attaches a real reader pool to the single shard and reports it
+if "$ycsb" --index ccl --mix read-intensive --warmup 500 --ops 500 \
+    --domains 1 --readers 2 >"$out" 2>"$err"; then
+  if grep -q "per-reader applied" "$out" && grep -q "reader retries" "$out"; then
+    echo "ok   ycsb --domains 1 --readers"
+  else
+    echo "FAIL ycsb --readers: reader report missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --readers: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# single-driver round-robin reader handles compose with --pmsan
+if "$ycsb" --index ccl --mix read-intensive --warmup 500 --ops 500 \
+    --readers 2 --pmsan >"$out" 2>"$err"; then
+  if grep -q "reader handles" "$out" && grep -q "pmsan per-site report" "$out"; then
+    echo "ok   ycsb --readers --pmsan"
+  else
+    echo "FAIL ycsb --readers --pmsan: reader or pmsan report missing" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --readers --pmsan: exit $?" >&2
+  failures=$((failures + 1))
+fi
 
 # crashcheck --pmsan prints sweep counters
 if "$crashcheck" --ops 30 --key-space 15 --stride 20 --probs 0.5 --seeds 1 \

@@ -236,6 +236,7 @@ let ccl_driver t =
     pm_bytes = (fun () -> T.pm_bytes t);
     allocator = (fun () -> T.allocator t);
     counters = (fun () -> []);
+    new_reader = None;
   }
 
 let check_report r =

@@ -1,0 +1,226 @@
+(* Units for the lib/sync primitives: seqlock version locks, the SX
+   latch's compatibility matrix and upgrade path, and the epoch guard.
+   The threaded cases use real domains — small enough to stay fast, real
+   enough to catch a latch that admits what it should exclude. *)
+
+module V = Sync.Vlock
+module Sx = Sync.Sx
+module E = Sync.Epoch
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- version lock ------------------------------------------------------- *)
+
+let test_vlock_basics () =
+  let v = V.create () in
+  check_int "starts at 0" 0 (V.value v);
+  check_bool "unlocked" false (V.locked v);
+  let s = V.read_begin v in
+  check_bool "snapshot even" false (V.is_locked_v s);
+  check_bool "validates while untouched" true (V.validate v s);
+  V.lock v;
+  check_bool "locked (odd)" true (V.locked v);
+  check_bool "stale snapshot fails" false (V.validate v s);
+  V.unlock v;
+  check_int "advanced by two" 2 (V.value v);
+  check_bool "old snapshot still fails" false (V.validate v s)
+
+let test_vlock_read_begin_bounded () =
+  let v = V.create () in
+  V.lock v;
+  (* a sealed (never unlocked) vlock must not trap a reader: the bounded
+     spin returns the odd value and the caller re-routes *)
+  let s = V.read_begin v in
+  check_bool "odd snapshot returned" true (V.is_locked_v s)
+
+let test_vlock_spin_mutex () =
+  (* lock/unlock as a spin mutex across domains: increments of a plain
+     (non-atomic) counter under the lock must not be lost *)
+  let v = V.create () in
+  let counter = ref 0 in
+  let iters = 10_000 in
+  let worker () =
+    for _ = 1 to iters do
+      V.lock v;
+      counter := !counter + 1;
+      V.unlock v
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  check_int "no lost updates" (4 * iters) !counter
+
+(* --- SX latch ----------------------------------------------------------- *)
+
+let test_sx_s_compatible_with_sx () =
+  let l = Sx.create () in
+  Sx.acquire l Sx.SX;
+  (* an S reader must get in while SX is held *)
+  let got_s = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Sx.acquire l Sx.S;
+        Atomic.set got_s true;
+        Sx.release l Sx.S)
+  in
+  Domain.join d;
+  check_bool "S entered under SX" true (Atomic.get got_s);
+  Sx.release l Sx.SX
+
+let test_sx_x_excludes_all () =
+  let l = Sx.create () in
+  let counter = ref 0 in
+  let iters = 2_000 in
+  let worker () =
+    for _ = 1 to iters do
+      Sx.with_mode l Sx.X (fun () -> counter := !counter + 1)
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join ds;
+  check_int "X is mutual exclusion" (4 * iters) !counter
+
+let test_sx_upgrade_waits_for_readers () =
+  let l = Sx.create () in
+  let in_x = Atomic.make false in
+  let violation = Atomic.make false in
+  Sx.acquire l Sx.SX;
+  let reader =
+    Domain.spawn (fun () ->
+        Sx.acquire l Sx.S;
+        (* hold S long enough that the upgrade is surely waiting *)
+        for _ = 1 to 1_000 do
+          if Atomic.get in_x then Atomic.set violation true;
+          Domain.cpu_relax ()
+        done;
+        Sx.release l Sx.S)
+  in
+  (* give the reader time to take S, then upgrade: must block until the
+     reader drains, and no S-holder may ever observe us in X *)
+  for _ = 1 to 10_000 do
+    Domain.cpu_relax ()
+  done;
+  Sx.upgrade l;
+  Atomic.set in_x true;
+  Atomic.set in_x false;
+  Sx.release l Sx.X;
+  Domain.join reader;
+  check_bool "no S reader saw the X section" false (Atomic.get violation)
+
+let test_sx_downgrade () =
+  let l = Sx.create () in
+  Sx.acquire l Sx.SX;
+  Sx.upgrade l;
+  Sx.downgrade l;
+  (* back in SX: readers may enter again *)
+  let d =
+    Domain.spawn (fun () ->
+        Sx.acquire l Sx.S;
+        Sx.release l Sx.S)
+  in
+  Domain.join d;
+  Sx.release l Sx.SX;
+  (* latch is free again: X acquires *)
+  Sx.with_mode l Sx.X (fun () -> ())
+
+(* --- epoch guard -------------------------------------------------------- *)
+
+let test_epoch_immediate_when_idle () =
+  let e = E.create () in
+  let freed = ref false in
+  E.retire e (fun () -> freed := true);
+  check_bool "no readers: freed at retire" true !freed;
+  check_int "nothing pending" 0 (E.pending e)
+
+let test_epoch_defers_while_pinned () =
+  let e = E.create () in
+  let s = E.register e in
+  let freed = ref false in
+  E.enter s;
+  E.retire e (fun () -> freed := true);
+  check_bool "deferred while reader inside" false !freed;
+  check_int "one pending" 1 (E.pending e);
+  E.flush e;
+  check_bool "still deferred" false !freed;
+  E.exit s;
+  E.flush e;
+  check_bool "freed after reader exit" true !freed;
+  check_int "drained" 0 (E.pending e)
+
+let test_epoch_new_entries_dont_block_old_retires () =
+  let e = E.create () in
+  let s = E.register e in
+  let freed = ref false in
+  E.retire e (fun () -> freed := true);
+  check_bool "idle retire ran" true !freed;
+  let freed2 = ref false in
+  E.enter s;
+  E.retire e (fun () -> freed2 := true);
+  E.exit s;
+  (* re-entering now pins a LATER epoch than the retired one *)
+  E.enter s;
+  E.flush e;
+  check_bool "old retire ripe despite active reader" true !freed2;
+  E.exit s
+
+let test_epoch_concurrent_storm () =
+  (* readers enter/exit while the "writer" retires: every retired closure
+     must eventually run exactly once, with no crash or hang *)
+  let e = E.create () in
+  let stop = Atomic.make false in
+  let readers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let s = E.register e in
+            while not (Atomic.get stop) do
+              E.enter s;
+              Domain.cpu_relax ();
+              E.exit s
+            done))
+  in
+  let runs = Atomic.make 0 in
+  let n = 1_000 in
+  for _ = 1 to n do
+    E.retire e (fun () -> Atomic.incr runs)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  E.flush e;
+  check_int "every closure ran" n (Atomic.get runs);
+  check_int "none pending" 0 (E.pending e)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "vlock",
+        [
+          Alcotest.test_case "basics" `Quick test_vlock_basics;
+          Alcotest.test_case "bounded read_begin" `Quick
+            test_vlock_read_begin_bounded;
+          Alcotest.test_case "spin mutex across domains" `Quick
+            test_vlock_spin_mutex;
+        ] );
+      ( "sx",
+        [
+          Alcotest.test_case "S compatible with SX" `Quick
+            test_sx_s_compatible_with_sx;
+          Alcotest.test_case "X excludes all" `Quick test_sx_x_excludes_all;
+          Alcotest.test_case "upgrade waits for readers" `Quick
+            test_sx_upgrade_waits_for_readers;
+          Alcotest.test_case "downgrade" `Quick test_sx_downgrade;
+        ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "immediate when idle" `Quick
+            test_epoch_immediate_when_idle;
+          Alcotest.test_case "defers while pinned" `Quick
+            test_epoch_defers_while_pinned;
+          Alcotest.test_case "later entries don't block old retires" `Quick
+            test_epoch_new_entries_dont_block_old_retires;
+          Alcotest.test_case "concurrent storm" `Quick
+            test_epoch_concurrent_storm;
+        ] );
+    ]

@@ -120,7 +120,7 @@ let test_buffer_version_lock () =
   check_bool "locked (odd version)" true (B.is_locked b);
   B.unlock b;
   check_bool "unlocked again" true (not (B.is_locked b));
-  check_int "version advanced twice" 2 b.B.version
+  check_int "version advanced twice" 2 (Sync.Vlock.value b.B.version)
 
 (* --- inner index ------------------------------------------------------------ *)
 
