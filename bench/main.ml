@@ -154,10 +154,13 @@ let shard_scaling ~scale_level () =
        "host has %d core(s): wall-clock scaling needs real cores, svc is \
         the measured per-domain-CPU critical path"
        (Domain.recommended_domain_count ()));
+  (* readers/writers/retries make every shard-suite row share one schema
+     (the router path has no pools and no optimistic retries) *)
   List.map
     (fun (d, w, s, m, x) ->
       Printf.sprintf
         "{\"suite\": \"shard\", \"mix\": \"insert-only\", \"domains\": %d, \
+         \"readers\": 0, \"writers\": 0, \"retries\": 0, \
          \"wall_mops\": %.3f, \"svc_mops\": %.3f, \"model_mops\": %.3f, \
          \"xbi_amp\": %.2f, %s}"
         d w s m x (row_env ()))
@@ -261,9 +264,130 @@ let reader_scaling ~scale_level ~readers_max () =
     (fun (mix, r, w, s, rt) ->
       Printf.sprintf
         "{\"suite\": \"shard-readers\", \"mix\": \"%s\", \"domains\": 1, \
-         \"readers\": %d, \"wall_mops\": %.3f, \"svc_mops\": %.3f, \
-         \"retries\": %d, %s}"
+         \"readers\": %d, \"writers\": 0, \"wall_mops\": %.3f, \
+         \"svc_mops\": %.3f, \"retries\": %d, %s}"
         mix r w s rt (row_env ()))
+    rows
+
+(* Measured intra-shard write parallelism: N writer domains attached to
+   one shard's CCL-BTree via {!Shard.writer_pool} — optimistic lock
+   coupling inside the tree, one WAL lane and one device write view per
+   domain (DESIGN.md §13).  Two mixes: insert-only (fresh keys, so the
+   lanes race over splits) and YCSB-A (50% uniform updates / 50% reads,
+   the reads on one reader domain racing the writers over hot leaves).
+   svc Mop/s is writes / max per-writer thread-CPU time — the measured
+   write critical path, which must grow with the writer count even on a
+   single-core host; retries counts optimistic validation restarts. *)
+let writer_scaling ~scale_level ~writers_max () =
+  let scale = Harness.Scale.of_level scale_level in
+  let warmup = scale.Harness.Scale.warmup in
+  let ops_n = 2 * scale.Harness.Scale.ops in
+  let counts =
+    let rec up w acc =
+      if w > writers_max then List.rev acc else up (2 * w) (w :: acc)
+    in
+    up 1 []
+  in
+  Harness.Report.section
+    "Shard: write scaling, N writer domains on one shard (Mop/s)";
+  let measure (mix, read_frac) writers =
+    (* one WAL lane per writer domain *)
+    let spec =
+      Harness.Runner.Ccl
+        ( { Ccl_btree.Config.default with Ccl_btree.Config.threads = writers },
+          "CCL-BTree" )
+    in
+    let t = Harness.Runner.make_sharded ~mb:96 spec ~domains:1 () in
+    Shard.run t
+      (Array.mapi
+         (fun i k -> Workload.Ycsb.Insert (k, Int64.of_int (i + 1)))
+         (Workload.Keygen.shuffled_range ~seed:1 warmup));
+    Shard.flush t;
+    Shard.reset_counters t;
+    let wpool = Shard.writer_pool t ~shard:0 ~writers in
+    let rpool =
+      if read_frac > 0.0 then Some (Shard.reader_pool t ~shard:0 ~readers:1)
+      else None
+    in
+    let n_reads =
+      int_of_float (Float.round (float_of_int ops_n *. read_frac))
+    in
+    let rng = Random.State.make [| 5 |] in
+    let reads =
+      Array.init n_reads (fun _ ->
+          Workload.Ycsb.Read (Int64.of_int (1 + Random.State.int rng warmup)))
+    in
+    let writes =
+      match mix with
+      | "insert-only" ->
+        Array.init (ops_n - n_reads) (fun i ->
+            Workload.Ycsb.Insert
+              (Int64.of_int (warmup + i + 1), Int64.of_int (i + 1)))
+      | _ ->
+        (* ycsb-a: uniform updates over the warmed range, so the lanes
+           contend on shared leaves and the retry counter means something *)
+        Array.init (ops_n - n_reads) (fun i ->
+            Workload.Ycsb.Insert
+              (Int64.of_int (1 + Random.State.int rng warmup),
+               Int64.of_int (i + 1)))
+    in
+    let t0 = Shard.Clock.monotonic_ns () in
+    (match rpool with
+    | Some p -> Shard.Read_pool.run_async p reads
+    | None -> ());
+    Shard.Write_pool.run wpool writes;
+    (match rpool with Some p -> Shard.Read_pool.join p | None -> ());
+    let wall_ns =
+      Int64.to_float (Int64.sub (Shard.Clock.monotonic_ns ()) t0)
+    in
+    let max_busy =
+      float_of_int (Array.fold_left max 1 (Shard.Write_pool.busy_ns wpool))
+    in
+    let applied = Array.fold_left ( + ) 0 (Shard.Write_pool.applied wpool) in
+    Shard.Write_pool.shutdown wpool;
+    let retries = Shard.Write_pool.retries wpool in
+    (match rpool with Some p -> Shard.Read_pool.shutdown p | None -> ());
+    Shard.shutdown t;
+    let wall_mops = float_of_int ops_n *. 1e3 /. wall_ns in
+    let svc_mops = float_of_int applied *. 1e3 /. max_busy in
+    (mix, (match rpool with Some _ -> 1 | None -> 0), writers, wall_mops,
+     svc_mops, retries)
+  in
+  let rows =
+    List.concat_map
+      (fun mix ->
+        List.map
+          (fun writers ->
+            (* best-of-2, like the reader suite: the minimum CPU cost is
+               the robust estimator on a shared or single-core host *)
+            let a = measure mix writers and b = measure mix writers in
+            let (_, _, _, _, sa, _) = a and (_, _, _, _, sb, _) = b in
+            if sa >= sb then a else b)
+          counts)
+      [ ("insert-only", 0.0); ("ycsb-a", 0.5) ]
+  in
+  Harness.Report.table
+    ~header:[ "mix"; "writers"; "wall meas"; "svc meas"; "retries" ]
+    (List.map
+       (fun (mix, _, w, wl, s, rt) ->
+         [
+           mix;
+           string_of_int w;
+           Printf.sprintf "%.2f" wl;
+           Printf.sprintf "%.2f" s;
+           string_of_int rt;
+         ])
+       rows);
+  Harness.Report.note
+    "svc is writes / max per-writer CPU time; retries counts optimistic \
+     lock-coupling restarts (vlock validation failures and fence misses)";
+  List.map
+    (fun (mix, r, w, wl, s, rt) ->
+      Printf.sprintf
+        "{\"suite\": \"shard-writers\", \"mix\": \"%s\", \"domains\": 1, \
+         \"readers\": %d, \"writers\": %d, \"wall_mops\": %.3f, \
+         \"svc_mops\": %.3f, \"retries\": %d, %s}"
+        mix r w wl s rt (row_env ()))
     rows
 
 (* Measured-latency percentiles of real op execution: the op stream runs
@@ -488,7 +612,7 @@ let bechamel_micro ?only ~quota () =
   rows
 
 let run_ids ids scale_level no_bech json quota only hist sample trace metrics
-    readers =
+    readers writers =
   let scale = Harness.Scale.of_level scale_level in
   (* pseudo-ids select the non-registry suites *)
   let shard = List.mem "shard" ids in
@@ -527,8 +651,13 @@ let run_ids ids scale_level no_bech json quota only hist sample trace metrics
       if readers > 0 then reader_scaling ~scale_level ~readers_max:readers ()
       else []
     in
+    let writer_rows =
+      if writers > 0 then writer_scaling ~scale_level ~writers_max:writers ()
+      else []
+    in
     match json with
-    | Some path -> write_row_list path (insert_rows @ reader_rows)
+    | Some path ->
+      write_row_list path (insert_rows @ reader_rows @ writer_rows)
     | None -> ()
   end;
   let rows =
@@ -635,13 +764,22 @@ let readers_arg =
            (YCSB-B/C) suite with 1..$(docv) reader domains attached to one \
            shard (powers of two; 0 disables).")
 
+let writers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "writers" ] ~docv:"N"
+        ~doc:
+          "With the $(b,shard) pseudo-id, also run the write-scaling \
+           (insert-only / YCSB-A) suite with 1..$(docv) writer domains \
+           attached to one shard (powers of two; 0 disables).")
+
 let cmd =
   let doc = "Regenerate the CCL-BTree paper's tables and figures" in
   Cmd.v
     (Cmd.info "ccl-bench" ~doc)
     Term.(
       const (fun list ids scale no_bech json quota only hist sample trace
-                 metrics readers ->
+                 metrics readers writers ->
           if list then list_experiments ()
           else if sample < 0 then (
             Printf.eprintf "ccl-bench: --sample must be >= 0\n";
@@ -649,11 +787,14 @@ let cmd =
           else if readers < 0 then (
             Printf.eprintf "ccl-bench: --readers must be >= 0\n";
             Stdlib.exit 2)
+          else if writers < 0 then (
+            Printf.eprintf "ccl-bench: --writers must be >= 0\n";
+            Stdlib.exit 2)
           else
             run_ids ids scale no_bech json quota only hist sample trace
-              metrics readers)
+              metrics readers writers)
       $ list_arg $ ids_arg $ scale_arg $ no_bechamel_arg $ json_arg
       $ quota_arg $ only_arg $ hist_arg $ sample_arg $ trace_arg
-      $ metrics_arg $ readers_arg)
+      $ metrics_arg $ readers_arg $ writers_arg)
 
 let () = exit (Cmd.eval cmd)

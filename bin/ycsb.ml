@@ -168,8 +168,28 @@ let no_reader_path spec =
     (Harness.Runner.name spec);
   exit 2
 
+let no_writer_path spec =
+  Printf.eprintf
+    "ccl-ycsb: --writers: index '%s' has no concurrent write path (only ccl \
+     does)\nTry 'ccl-ycsb --help' for usage.\n"
+    (Harness.Runner.name spec);
+  exit 2
+
+(* Per-key sum of several index-counter snapshots (writer handles keep
+   their own counters; attribution wants the union). *)
+let sum_assoc lists =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (k, v) ->
+         if not (Hashtbl.mem tbl k) then order := k :: !order;
+         Hashtbl.replace tbl k
+           (v + try Hashtbl.find tbl k with Not_found -> 0)))
+    lists;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+
 let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
-    readers o =
+    readers writers o =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
   let san = if pmsan then Some (Pmsan.attach ~site:"create" dev) else None in
   let drv = Harness.Runner.build spec dev in
@@ -203,6 +223,9 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
       }
     end
   in
+  (match drv.Baselines.Index_intf.new_writer with
+  | None when writers > 0 -> no_writer_path spec
+  | _ -> ());
   let drv =
     match san with Some s -> sited_driver s drv | None -> drv
   in
@@ -211,6 +234,37 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
   Printf.printf "loading %d keys into %s...\n%!" warmup
     (Harness.Runner.name spec);
   Harness.Runner.warmup drv ~keys:(K.shuffled_range ~seed:1 warmup);
+  (* --writers in single-driver mode: mint N concurrent-writer handles
+     (each with a private WAL lane and device write view) and deal the
+     mix's mutations to them round-robin.  Minted after the load, so the
+     views' counters cover exactly the measured phase.  One domain, so
+     this is not parallelism — it exercises the optimistic-lock-coupling
+     write path under the production CLI (view traffic is invisible to
+     --pmsan by design, like the reader views). *)
+  let writer_handles =
+    if writers = 0 then [||]
+    else
+      match drv.Baselines.Index_intf.new_writer with
+      | None -> no_writer_path spec
+      | Some mint -> Array.init writers (fun _ -> mint ())
+  in
+  let drv =
+    if writers = 0 then drv
+    else begin
+      let wr = ref 0 in
+      let next () =
+        let h = writer_handles.(!wr mod writers) in
+        incr wr;
+        h
+      in
+      {
+        drv with
+        Baselines.Index_intf.upsert =
+          (fun k v -> (next ()).Baselines.Index_intf.w_upsert k v);
+        delete = (fun k -> (next ()).Baselines.Index_intf.w_delete k);
+      }
+    end
+  in
   (* the recorder starts here, after warmup, so histograms / samples /
      trace cover exactly the measured op phase; add_tracer composes with
      a sanitizer installed at attach time, so --pmsan and --trace stack *)
@@ -227,11 +281,36 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
   Printf.printf "running %d x %s ops...\n%!" ops mix_name;
   let m = Harness.Exp_common.run_ops ?obs:ow dev drv spec stream in
+  (* writer-handle mutations run through private device views, so their
+     traffic is not in the main device's counter delta; merge it back in
+     (the views were fresh at mint time, so their absolute counters are
+     the measured-phase delta) *)
+  let wstats =
+    S.merge_all
+      (Array.to_list
+         (Array.map
+            (fun h -> h.Baselines.Index_intf.w_dev_stats ())
+            writer_handles))
+  in
+  let delta =
+    if writers = 0 then m.Harness.Runner.delta
+    else S.merge_all [ m.Harness.Runner.delta; wstats ]
+  in
   Printf.printf "\n";
   kv "%s" "index" (Harness.Runner.name spec);
   kv "%s" "mix" mix_name;
-  print_traffic m.Harness.Runner.delta;
+  print_traffic delta;
   kv "%.2f Mop/s" "measured (1 thread)" (Harness.Runner.mops_measured m);
+  if writers > 0 then begin
+    let wretries =
+      Array.fold_left
+        (fun a h -> a + h.Baselines.Index_intf.w_retries ())
+        0 writer_handles
+    in
+    kv "%d" "writer handles" writers;
+    kv "%d" "writer retries" wretries;
+    kv "%d B" "writer media writes" wstats.S.media_write_bytes
+  end;
   if readers > 0 then begin
     let rretries =
       Array.fold_left
@@ -250,12 +329,18 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
     kv "%d B" "reader media reads" rstats.S.media_read_bytes
   end;
   print_modeled m model_threads;
-  obs_report o rc ~delta:m.Harness.Runner.delta;
+  obs_report o rc ~delta;
   if o.attribution then
-    print_attribution ~ops ~delta:m.Harness.Runner.delta
+    print_attribution ~ops ~delta
       ~counters:
         (counters_delta ~before:counters0
-           ~after:(drv.Baselines.Index_intf.counters ()));
+           ~after:
+             (sum_assoc
+                (drv.Baselines.Index_intf.counters ()
+                :: Array.to_list
+                     (Array.map
+                        (fun h -> h.Baselines.Index_intf.w_counters ())
+                        writer_handles))));
   match san with
   | None -> 0
   | Some san ->
@@ -402,10 +487,213 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
   if o.attribution then print_attribution ~ops ~delta ~counters:[];
   Shard.shutdown t
 
+(* --writers in sharded mode: every shard gets a pool of [writers]
+   writer domains (optimistic lock coupling inside the tree, one WAL
+   lane and device write view per domain), plus a pool of [readers]
+   reader domains when --readers is given.  The router never carries a
+   mutation — each shard's slice of the stream goes to its pools, the
+   write pool executing inserts/deletes and the read pool the
+   reads/scans.  Without --readers, reads fall back to the router
+   (the shard worker's lock-free search; results are discarded, so a
+   read racing a writer lane is harmless).  --pmsan attaches one
+   sanitizer per shard device before the worker domains spawn; lane
+   traffic runs through private views the sanitizer does not observe
+   (same reduced-coverage contract as reader views), so the report
+   covers the shared-device traffic: load, WAL chunk handoff, buffer
+   flushes and end-of-run drain. *)
+let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
+    domains readers writers pmsan o =
+  let rc = make_recorder o in
+  Obs.Recorder.pause rc;
+  let sans = Array.make domains None in
+  let t =
+    Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000))
+      ?recorder:(if Obs.Recorder.enabled rc then Some rc else None)
+      ?pre_shard:
+        (if pmsan then
+           Some
+             (fun i dev ->
+               sans.(i) <- Some (Pmsan.attach ~site:"shard" dev))
+         else None)
+      spec ~domains ()
+  in
+  (match Shard.new_writer t 0 with
+  | None -> no_writer_path spec
+  | Some _ -> ());
+  if readers > 0 && Shard.new_reader t 0 = None then no_reader_path spec;
+  Printf.printf "loading %d keys into %d x %s shards...\n%!" warmup domains
+    (Harness.Runner.name spec);
+  Shard.run t
+    (Array.mapi
+       (fun i k -> Y.Insert (k, Int64.of_int (i + 1)))
+       (K.shuffled_range ~seed:1 warmup));
+  Shard.flush t;
+  Shard.reset_counters t;
+  Obs.Recorder.resume rc;
+  (* pools are created after the load, so each lane's device view and
+     retry counter cover exactly the measured phase *)
+  let wpools =
+    Array.init domains (fun s -> Shard.writer_pool t ~shard:s ~writers)
+  in
+  let rpools =
+    if readers = 0 then [||]
+    else Array.init domains (fun s -> Shard.reader_pool t ~shard:s ~readers)
+  in
+  let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
+  (* partition once by owning shard; both of a shard's pools get the
+     same slice (the write pool ignores reads and vice versa) *)
+  let per_shard = Array.make domains [] in
+  for i = Array.length stream - 1 downto 0 do
+    let op = stream.(i) in
+    let key =
+      match op with Y.Insert (k, _) | Y.Read k | Y.Scan (k, _) -> k
+    in
+    let s = Shard.shard_of t key in
+    per_shard.(s) <- op :: per_shard.(s)
+  done;
+  let per_shard = Array.map Array.of_list per_shard in
+  let router_reads =
+    if readers > 0 then [||]
+    else
+      Array.of_seq
+        (Seq.filter
+           (function Y.Read _ | Y.Scan _ -> true | Y.Insert _ -> false)
+           (Array.to_seq stream))
+  in
+  Printf.printf
+    "running %d x %s ops over %d shards x %d writer domains%s...\n%!" ops
+    mix_name domains writers
+    (if readers > 0 then
+       Printf.sprintf " + %d reader domains each" readers
+     else "");
+  let before = Shard.stats t in
+  let t0 = Shard.Clock.monotonic_ns () in
+  Array.iteri
+    (fun s p -> Shard.Write_pool.run_async p per_shard.(s))
+    wpools;
+  Array.iteri (fun s p -> Shard.Read_pool.run_async p per_shard.(s)) rpools;
+  if Array.length router_reads > 0 then Shard.run t router_reads;
+  Array.iter Shard.Write_pool.join wpools;
+  Array.iter Shard.Read_pool.join rpools;
+  Shard.flush t;
+  let wall_ns = Int64.to_float (Int64.sub (Shard.Clock.monotonic_ns ()) t0) in
+  (* stop the pools to latch their domain-private counters, then fold
+     the lanes' view traffic into the fleet's counter delta (the views
+     were fresh at pool creation, so their absolute counters are the
+     measured-phase delta) *)
+  Array.iter Shard.Write_pool.shutdown wpools;
+  Array.iter Shard.Read_pool.shutdown rpools;
+  let wstats =
+    S.merge_all
+      (Array.to_list (Array.map Shard.Write_pool.dev_stats wpools))
+  in
+  let delta =
+    S.merge_all [ S.diff ~after:(Shard.stats t) ~before; wstats ]
+  in
+  let shard_busy = Shard.busy_ns t in
+  let max_busy =
+    Array.fold_left max 1
+      (Array.concat
+         (shard_busy
+          :: (Array.to_list (Array.map Shard.Write_pool.busy_ns wpools)
+             @ Array.to_list (Array.map Shard.Read_pool.busy_ns rpools))))
+  in
+  let applied = Shard.applied t in
+  let wapplied =
+    Array.concat (Array.to_list (Array.map Shard.Write_pool.applied wpools))
+  in
+  let total_applied =
+    Array.fold_left ( + ) 0 applied
+    + Array.fold_left ( + ) 0 wapplied
+    + Array.fold_left
+        (fun acc p -> acc + Array.fold_left ( + ) 0 (Shard.Read_pool.applied p))
+        0 rpools
+  in
+  Printf.printf "\n";
+  kv "%s" "index" (Harness.Runner.name spec);
+  kv "%s" "mix" mix_name;
+  kv "%d" "domains" domains;
+  kv "%d" "writers per shard" writers;
+  if readers > 0 then kv "%d" "readers per shard" readers;
+  print_traffic delta;
+  kv "%.2f Mop/s" "measured wall-clock" (float_of_int ops *. 1e3 /. wall_ns);
+  kv "%.2f Mop/s" "measured service rate"
+    (float_of_int total_applied *. 1e3 /. float_of_int max_busy);
+  kv "%s" "per-shard applied"
+    (String.concat " " (Array.to_list (Array.map string_of_int applied)));
+  kv "%s" "per-writer applied"
+    (String.concat " " (Array.to_list (Array.map string_of_int wapplied)));
+  kv "%d" "writer retries"
+    (Array.fold_left (fun a p -> a + Shard.Write_pool.retries p) 0 wpools);
+  kv "%d B" "writer media writes" wstats.S.media_write_bytes;
+  if readers > 0 then begin
+    kv "%s" "per-reader applied"
+      (String.concat " "
+         (List.concat_map
+            (fun p ->
+              Array.to_list
+                (Array.map string_of_int (Shard.Read_pool.applied p)))
+            (Array.to_list rpools)));
+    kv "%d" "reader retries"
+      (Array.fold_left (fun a p -> a + Shard.Read_pool.retries p) 0 rpools);
+    kv "%d B" "reader media reads"
+      (S.merge_all
+         (Array.to_list (Array.map Shard.Read_pool.dev_stats rpools)))
+        .S.media_read_bytes
+  end;
+  let n = max 1 ops in
+  let m =
+    {
+      Harness.Runner.ops;
+      delta;
+      avg_ns =
+        Perfmodel.Constants.base_op_ns
+        +. (Harness.Runner.events_cost_ns delta /. float_of_int n);
+      wall_ns;
+      samples = [||];
+      numa_aware = Harness.Runner.numa_aware spec;
+    }
+  in
+  print_modeled m model_threads;
+  obs_report o rc ~delta;
+  if o.attribution then print_attribution ~ops ~delta ~counters:[];
+  if not pmsan then begin
+    Shard.shutdown t;
+    0
+  end
+  else begin
+    (* settle every shard (flush_all + device drain on the worker
+       domains) so end-of-run shadow state is fully persisted, then
+       collect the per-shard reports in a quiescent window *)
+    Shard.drain t;
+    Shard.shutdown t;
+    let correctness =
+      List.concat_map
+        (function
+          | Some san -> Pmsan.correctness (Pmsan.violations san)
+          | None -> [])
+        (Array.to_list sans)
+    in
+    Array.iteri
+      (fun i san ->
+        match san with
+        | Some san ->
+          Printf.printf "\npmsan shard %d per-site report\n%s\n" i
+            (Fmt.str "%a" Pmsan.pp_site_table san)
+        | None -> ())
+      sans;
+    if correctness <> [] then begin
+      Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
+        (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
+      1
+    end
+    else 0
+  end
+
 open Cmdliner
 
 let run index mix warmup ops model_threads threads scan_len domains readers
-    pmsan flush_budget hist sample trace metrics attribution =
+    writers pmsan flush_budget hist sample trace metrics attribution =
   let usage fmt =
     Printf.ksprintf
       (fun m ->
@@ -439,18 +727,28 @@ let run index mix warmup ops model_threads threads scan_len domains readers
     usage "--domains must be in 0..128 (got %d)" domains;
   if readers < 0 || readers > 64 then
     usage "--readers must be in 0..64 (got %d)" readers;
-  if readers > 0 && domains > 1 then
+  if writers < 0 || writers > 64 then
+    usage "--writers must be in 0..64 (got %d)" writers;
+  if readers > 0 && domains > 1 && writers = 0 then
     usage
       "--readers attaches read-only domains to a single shard's index: \
-       use --domains 1 (or 0 for the single-driver round-robin mode)";
+       use --domains 1 (or 0 for the single-driver round-robin mode), or \
+       add --writers to attach per-shard pools";
+  if writers > 0 && flush_budget <> None then
+    usage
+      "--flush-budget ceilings are calibrated for the single-writer \
+       path; --writers routes mutations through per-lane device views \
+       the sanitizer does not observe, so the counters cannot be priced \
+       against them — drop one of the two";
   if warmup < 0 then usage "--warmup must be >= 0 (got %d)" warmup;
   if ops < 1 then usage "--ops must be >= 1 (got %d)" ops;
   if scan_len < 1 then usage "--scan-len must be >= 1 (got %d)" scan_len;
   let pmsan = pmsan || flush_budget <> None in
-  if pmsan && domains > 0 then
+  if pmsan && domains > 0 && writers = 0 then
     usage
       "--pmsan only works in single-driver mode (--domains 0): shards run \
-       on their own domains, and the sanitizer hook is not thread-safe";
+       on their own domains, and the sanitizer hook is not thread-safe \
+       (with --writers > 0 a sanitizer is attached per shard instead)";
   let budget =
     match flush_budget with
     | None -> None
@@ -476,10 +774,27 @@ let run index mix warmup ops model_threads threads scan_len domains readers
   | _ -> ());
   let o = { hist; sample; trace; metrics; attribution } in
   let spec = spec_of index in
+  (* one WAL lane per writer handle: the tree asserts the lane index
+     against the config's thread count, so size it up front *)
+  let spec =
+    match spec with
+    | Harness.Runner.Ccl (cfg, name) when writers > 0 ->
+      Harness.Runner.Ccl
+        ( {
+            cfg with
+            Ccl_btree.Config.threads =
+              max cfg.Ccl_btree.Config.threads writers;
+          },
+          name )
+    | s -> s
+  in
   let m = mix_of mix in
   if domains = 0 then
     run_single spec m mix warmup ops model_threads scan_len pmsan budget
-      readers o
+      readers writers o
+  else if writers > 0 then
+    run_sharded_writers spec m mix warmup ops model_threads scan_len domains
+      readers writers pmsan o
   else begin
     run_sharded spec m mix warmup ops model_threads scan_len domains readers o;
     0
@@ -529,6 +844,21 @@ let cmd =
              from the main domain (and compose with $(b,--pmsan): reader \
              loads go through private device views the sanitizer does \
              not observe).")
+  in
+  let writers =
+    Arg.(
+      value & opt int 0
+      & info [ "writers" ] ~docv:"N"
+          ~doc:
+            "Attach $(docv) concurrent writer handles to the index \
+             (CCL-BTree only; optimistic lock coupling, one WAL lane and \
+             device write view per handle).  With $(b,--domains) >= 1, \
+             each shard gets a real pool of $(docv) writer domains \
+             executing the mix's inserts and deletes concurrently \
+             (composes with $(b,--readers), which then attaches a reader \
+             pool per shard, and with $(b,--pmsan), which then attaches \
+             one sanitizer per shard device).  In single-driver mode the \
+             handles are exercised round-robin from the main domain.")
   in
   let domains =
     Arg.(
@@ -618,7 +948,7 @@ let cmd =
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
       const run $ index $ mix $ warmup $ ops $ model_threads $ threads
-      $ scan_len $ domains $ readers $ pmsan $ flush_budget $ hist $ sample
-      $ trace $ metrics $ attribution)
+      $ scan_len $ domains $ readers $ writers $ pmsan $ flush_budget $ hist
+      $ sample $ trace $ metrics $ attribution)
 
 let () = exit (Cmd.eval' cmd)

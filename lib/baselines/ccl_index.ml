@@ -48,6 +48,20 @@ let driver_with ?(name = "CCL-BTree") cfg dev =
                 Ccl_btree.Tree_stats.to_assoc (Tree.reader_stats r));
             r_retries = (fun () -> Tree.reader_retries r);
           });
+    new_writer =
+      Some
+        (fun () ->
+          let w = Tree.writer t in
+          {
+            Index_intf.w_upsert = Tree.writer_upsert w;
+            w_delete = Tree.writer_delete w;
+            w_dev_stats =
+              (fun () -> Pmem.Device.stats (Tree.writer_device w));
+            w_counters =
+              (fun () ->
+                Ccl_btree.Tree_stats.to_assoc (Tree.writer_stats w));
+            w_retries = (fun () -> Tree.writer_retries w);
+          });
   }
 
 let base_cfg = { Config.default with Config.buffering = false }

@@ -41,6 +41,22 @@ type reader_ops = {
       (** Optimistic-validation failures so far. *)
 }
 
+(** Write operation handle for one concurrent writer domain.  Each handle
+    owns a private device write view and a private WAL lane; same
+    domain-affinity rules as {!reader_ops}. *)
+type writer_ops = {
+  w_upsert : int64 -> int64 -> unit;
+  w_delete : int64 -> unit;
+  w_dev_stats : unit -> Pmem.Stats.t;
+      (** Live device-counter record of the writer's view, mergeable with
+          the parent's via [Pmem.Stats.merge]. *)
+  w_counters : unit -> (string * int) list;
+      (** Writer-side index counters (inserts, batch flushes, splits,
+          ...). *)
+  w_retries : unit -> int;
+      (** Optimistic-validation failures so far. *)
+}
+
 (** First-class driver record, letting the harness and benches iterate over
     heterogeneous index instances uniformly. *)
 type driver = {
@@ -60,6 +76,11 @@ type driver = {
   new_reader : (unit -> reader_ops) option;
       (** Mint a concurrent read-only handle; [None] for indexes without
           a latch-free read path (all current baselines). *)
+  new_writer : (unit -> writer_ops) option;
+      (** Mint a concurrent write handle; [None] for indexes without an
+          optimistic-lock-coupling write path (all current baselines).
+          While any writer handle is live, the driver's own
+          [upsert]/[delete] must not be called concurrently with it. *)
 }
 
 let driver (type a) (module M : S with type t = a) (t : a) =
@@ -75,4 +96,5 @@ let driver (type a) (module M : S with type t = a) (t : a) =
     allocator = (fun () -> M.allocator t);
     counters = (fun () -> []);
     new_reader = None;
+    new_writer = None;
   }

@@ -47,6 +47,9 @@ type t = {
   epochs : Sync.Epoch.t;
       (* reader epochs: merged-away leaves are retired here and freed
          only once no reader can still hold a pre-unlink route to them *)
+  next_lane : int Atomic.t;
+      (* WAL-lane assignment for writer handles minted without an
+         explicit [~lane]; atomic so pools can mint from their domains *)
 }
 
 let device t = t.dev
@@ -95,6 +98,7 @@ let create ?(cfg = Config.default) dev =
     latch = Sync.Sx.create ();
     iv = Sync.Vlock.create ();
     epochs = Sync.Epoch.create ();
+    next_lane = Atomic.make 0;
   }
 
 let target_node t key =
@@ -1006,6 +1010,7 @@ let recover_body ~cfg dev =
       latch = Sync.Sx.create ();
       iv = Sync.Vlock.create ();
       epochs = Sync.Epoch.create ();
+      next_lane = Atomic.make 0;
     }
   in
   (* 2. replay both epochs' logs in timestamp order.
@@ -1299,3 +1304,618 @@ let reader_scan r ~start n =
         attempt (tries + 1)
   in
   attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent writer handles (DESIGN.md §13)                           *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  wt : t;
+  wdev : D.t;
+      (* private write view: stores land in the shared image, but the
+         store→clwb→sfence pipeline, stats and fail plan are lane-local *)
+  lane : int;  (* private WAL lane: appends never share a chunk tail *)
+  wfs : Pmem.Flushset.t;
+  wstats : Tree_stats.t;
+  mutable wretries : int;
+}
+
+let writer ?lane t =
+  let lane =
+    match lane with
+    | Some l ->
+      if l < 0 || l >= t.cfg.Config.threads then
+        invalid_arg "Tree.writer: lane out of range (raise Config.threads)";
+      l
+    | None -> Atomic.fetch_and_add t.next_lane 1 mod t.cfg.Config.threads
+  in
+  {
+    wt = t;
+    wdev = D.write_view t.dev;
+    lane;
+    wfs = Pmem.Flushset.create ();
+    wstats = Tree_stats.create ();
+    wretries = 0;
+  }
+
+let writer_stats w = w.wstats
+let writer_device w = w.wdev
+let writer_retries w = w.wretries
+let writer_lane w = w.lane
+
+(* Writer lanes always log — even the trigger write that the
+   single-writer path may skip under conservative logging.  A trigger
+   whose split loses the OLC validation race restarts the whole
+   operation, and the restarted attempt may then buffer the KV; an
+   unlogged buffered entry would be unrecoverable, so the skip is only
+   sound when the trigger is guaranteed to reach the leaf. *)
+let writer_log w ~key ~value ~ts =
+  let t = w.wt in
+  Wal.append ~dev:w.wdev t.wal ~thread:w.lane ~epoch:t.global_epoch ~key
+    ~value ~ts;
+  w.wstats.Tree_stats.log_appends <- w.wstats.Tree_stats.log_appends + 1
+
+(* With [b]'s vlock held, key-range membership is stable: [b.low] never
+   changes after creation, and [b.dead], [b.next] and the successor's
+   [low] only change under [b]'s vlock (every SMO relinking around [b]
+   locks it first).  This is what makes lock-then-validate routing
+   sound. *)
+let writer_fence_ok b key =
+  (not b.B.dead)
+  && Int64.compare key b.B.low >= 0
+  &&
+  match b.B.next with
+  | None -> true
+  | Some nx -> Int64.compare key nx.B.low < 0
+
+(* [leaf_apply]'s normal and tombstone-two-phase branches, with [b]'s
+   vlock HELD by the caller and every store/flush/ack routed through the
+   writer's view.  Overflow is returned instead of splitting: the split
+   takes the SX latch, and a vlock must never be held across a latch
+   acquire. *)
+let rec writer_leaf_apply w b ~pending =
+  let dev = w.wdev in
+  let leaf = b.B.leaf in
+  let ts = max_ts pending in
+  let bm = L.bitmap dev leaf in
+  let removed = ref 0 in
+  let updates = ref [] in
+  let added = ref [] in
+  List.iter
+    (fun (k, v, _) ->
+      match L.find dev leaf k with
+      | Some i ->
+        if Int64.equal v 0L then removed := !removed lor (1 lsl i)
+        else updates := (i, v) :: !updates
+      | None -> if not (Int64.equal v 0L) then added := (k, v) :: !added)
+    pending;
+  let free = L.free_slots dev leaf in
+  let n_removed =
+    let rec pop n b = if b = 0 then n else pop (n + (b land 1)) (b lsr 1) in
+    pop 0 !removed
+  in
+  if
+    List.length !added > List.length free
+    && List.length !added <= List.length free + n_removed
+  then begin
+    let tombstones, additions =
+      List.partition (fun (_, v, _) -> Int64.equal v 0L) pending
+    in
+    let upd, adds =
+      List.partition (fun (k, _, _) -> L.find dev leaf k <> None) additions
+    in
+    (match writer_leaf_apply w b ~pending:(tombstones @ upd) with
+     | `Applied -> ()
+     | `Overflow -> assert false (* removals and updates never grow the leaf *));
+    if adds = [] then `Applied else writer_leaf_apply w b ~pending:adds
+  end
+  else if List.length !added <= List.length free then begin
+    D.span_begin dev "tree.batch_flush";
+    List.iter
+      (fun (i, v) ->
+        D.store_u64 dev (L.slot_addr leaf i + 8) v;
+        Pmem.Flushset.touch w.wfs (L.slot_addr leaf i + 8) 8)
+      !updates;
+    let added_bits = ref 0 in
+    let fps = ref [] in
+    List.iteri
+      (fun j (k, v) ->
+        let i = List.nth free j in
+        L.store_slot dev leaf i ~key:k ~value:v;
+        Pmem.Flushset.touch w.wfs (L.slot_addr leaf i) 16;
+        added_bits := !added_bits lor (1 lsl i);
+        fps := (i, k) :: !fps)
+      !added;
+    Pmem.Flushset.commit w.wfs dev;
+    List.iter (fun (i, k) -> L.store_fingerprint dev leaf i k) !fps;
+    L.store_timestamp dev leaf ts;
+    let new_bm = bm land lnot !removed lor !added_bits in
+    L.store_meta_word dev leaf ~bitmap:new_bm ~next:(L.next dev leaf);
+    D.persist dev leaf 32;
+    D.ack_durable dev ~label:"tree.batch" leaf 32;
+    w.wstats.Tree_stats.batch_flushes <-
+      w.wstats.Tree_stats.batch_flushes + 1;
+    D.span_end dev "tree.batch_flush";
+    `Applied
+  end
+  else `Overflow
+
+(* Post-split content of [b]: leaf entries with the pending set applied.
+   Unlike the single-writer [split_apply], the pending set can hold two
+   versions of one key — between the trigger decision and the split's
+   validated snapshot another lane may have buffered a newer version —
+   so conflicts resolve by timestamp.  Reads may be torn (the caller
+   holds no lock on the optimistic path); the commit-time [try_upgrade]
+   is what certifies the result, so any exception here is just a
+   restart. *)
+let split_union dev b ~key ~value ~ts =
+  match
+    let pending = (key, value, ts) :: B.unflushed_entries b in
+    let best = Hashtbl.create 16 in
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (L.entries dev b.B.leaf);
+    List.iter
+      (fun (k, v, ets) ->
+        let newer =
+          match Hashtbl.find_opt best k with
+          | Some t0 -> Int64.compare ets t0 >= 0
+          | None -> true
+        in
+        if newer then begin
+          Hashtbl.replace best k ets;
+          if Int64.equal v 0L then Hashtbl.remove tbl k
+          else Hashtbl.replace tbl k v
+        end)
+      pending;
+    ( List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []),
+      max_ts pending )
+  with
+  | res -> Some res
+  | exception _ -> None
+
+(* Write the new right leaf (unreachable until the metadata commit on
+   [b], so safe under SX or X alike).  Returns everything the commit
+   needs. *)
+let writer_split_prepare w b ~union ~ts =
+  let t = w.wt in
+  let dev = w.wdev in
+  let n = List.length union in
+  let left_n = n / 2 in
+  let rec split_at i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split_at (i - 1) (x :: acc) rest
+  in
+  let left, right = split_at left_n [] union in
+  let split_key = fst (List.nth left (left_n - 1)) in
+  let right_low = fst (List.hd right) in
+  let new_leaf = Slab.alloc t.slab in
+  let right_bits = ref 0 in
+  List.iteri
+    (fun i (k, v) ->
+      L.store_slot dev new_leaf i ~key:k ~value:v;
+      L.store_fingerprint dev new_leaf i k;
+      right_bits := !right_bits lor (1 lsl i))
+    right;
+  L.store_timestamp dev new_leaf ts;
+  L.store_meta_word dev new_leaf ~bitmap:!right_bits
+    ~next:(L.next dev b.B.leaf);
+  let right_bytes = 32 + (16 * List.length right) in
+  Pmem.Flushset.touch w.wfs new_leaf right_bytes;
+  (new_leaf, split_key, right_low, right_bytes)
+
+(* Reader-visible phase of a writer split.  Requires the X latch and
+   [b]'s vlock held, with the new right leaf fully written and its lines
+   staged in [w.wfs].  Mirrors [split_apply] steps 2–5, except that the
+   incoming KV is re-homed immediately (under the same vlock hold the
+   union was validated against) instead of through a follow-up batch —
+   there is no lockless window in which another lane could race it.
+   Leaves [b] unlocked. *)
+let writer_split_commit w b ~union ~split_key ~right_low ~new_leaf
+    ~right_bytes ~ts ~key ~value =
+  let t = w.wt in
+  let dev = w.wdev in
+  let leaf = b.B.leaf in
+  let keep_bits = ref 0 in
+  let bm = L.bitmap dev leaf in
+  for i = 0 to L.slots - 1 do
+    if bm land (1 lsl i) <> 0 then begin
+      let k = L.key_at dev leaf i in
+      if Int64.compare k split_key <= 0 then begin
+        match List.assoc_opt k union with
+        | Some v ->
+          keep_bits := !keep_bits lor (1 lsl i);
+          if not (Int64.equal v (L.value_at dev leaf i)) then begin
+            D.store_u64 dev (L.slot_addr leaf i + 8) v;
+            Pmem.Flushset.touch w.wfs (L.slot_addr leaf i + 8) 8
+          end
+        | None -> ()
+      end
+    end
+  done;
+  Pmem.Flushset.commit w.wfs dev;
+  D.ack_durable dev ~label:"tree.split" new_leaf right_bytes;
+  L.store_timestamp dev leaf ts;
+  L.store_meta_word dev leaf ~bitmap:!keep_bits ~next:new_leaf;
+  D.persist dev leaf 32;
+  D.ack_durable dev ~label:"tree.split" leaf 32;
+  w.wstats.Tree_stats.splits <- w.wstats.Tree_stats.splits + 1;
+  w.wstats.Tree_stats.batch_flushes <- w.wstats.Tree_stats.batch_flushes + 1;
+  let rb = B.create ~nbatch:t.cfg.Config.nbatch ~leaf:new_leaf ~low:right_low in
+  rb.B.next <- b.B.next;
+  rb.B.prev <- Some b;
+  (match b.B.next with Some nx -> nx.B.prev <- Some rb | None -> ());
+  b.B.next <- Some rb;
+  index_add t right_low rb;
+  (* Buffer-slot transformation: slots whose key moved right are pruned
+     (their latest version is in the new leaf); unflushed slots whose key
+     was folded into the left leaf become cached; left-side adds the leaf
+     had no room for stay buffered unflushed — they are WAL-covered, and
+     recovery re-applies any logged entry whose key is absent from its
+     leaf regardless of the leaf timestamp. *)
+  for i = 0 to B.nbatch b - 1 do
+    if b.B.valid land (1 lsl i) <> 0 then
+      if Int64.compare b.B.keys.(i) split_key > 0 then begin
+        b.B.valid <- b.B.valid land lnot (1 lsl i);
+        b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+        b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+      end
+      else if
+        b.B.unflushed land (1 lsl i) <> 0
+        && L.find dev leaf b.B.keys.(i) <> None
+      then begin
+        b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+        b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+      end
+  done;
+  (* Re-home the incoming KV if it landed in neither leaf nor buffer. *)
+  (if Int64.compare key split_key <= 0 && L.find dev leaf key = None then
+     match B.find b key with
+     | Some i ->
+       (* another lane buffered this key behind our back; keep whichever
+          version is newer *)
+       if Int64.compare ts b.B.tss.(i) >= 0 then
+         B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+     | None ->
+       if not (Int64.equal value 0L) then begin
+         let slot =
+           match B.free_slot b with
+           | Some i -> Some i
+           | None ->
+             let ci = B.cached_slot b in
+             if ci >= 0 then Some ci else None
+         in
+         match slot with
+         | Some i -> B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch
+         | None -> (
+           (* every buffer slot is a left-side unflushed add, so the left
+              leaf kept at most left_n - nbatch - 1 entries and has free
+              slots; single-entry leaf write with its own meta commit *)
+           match L.free_slots dev leaf with
+           | i :: _ ->
+             L.store_slot dev leaf i ~key ~value;
+             Pmem.Flushset.touch w.wfs (L.slot_addr leaf i) 16;
+             Pmem.Flushset.commit w.wfs dev;
+             L.store_fingerprint dev leaf i key;
+             L.store_timestamp dev leaf ts;
+             L.store_meta_word dev leaf
+               ~bitmap:(L.bitmap dev leaf lor (1 lsl i))
+               ~next:new_leaf;
+             D.persist dev leaf 32;
+             D.ack_durable dev ~label:"tree.split" leaf 32
+           | [] -> assert false)
+       end);
+  B.unlock b
+
+(* One optimistic split attempt: prepare under SX (readers and sibling
+   lanes keep going), upgrade to X, then commit only if [b] is exactly
+   as the preparation saw it — OLC's validate-and-lock on the remembered
+   version.  Returns true when the incoming op committed, false to
+   restart from routing. *)
+let writer_split w b ~key ~value ~ts =
+  let t = w.wt in
+  let dev = w.wdev in
+  Sync.Sx.acquire t.latch Sync.Sx.SX;
+  let mode = ref Sync.Sx.SX in
+  let latched = ref true in
+  let vheld = ref false in
+  try
+    let v1 = Sync.Vlock.read_begin b.B.version in
+    if b.B.dead || Sync.Vlock.is_locked_v v1 then begin
+      Sync.Sx.release t.latch Sync.Sx.SX;
+      latched := false;
+      false
+    end
+    else begin
+      D.span_begin dev "tree.split";
+      let committed =
+        match split_union dev b ~key ~value ~ts with
+        | Some (union, bts)
+          when List.length union > L.slots && List.length union <= 2 * L.slots
+          ->
+          let new_leaf, split_key, right_low, right_bytes =
+            writer_split_prepare w b ~union ~ts:bts
+          in
+          Sync.Sx.upgrade t.latch;
+          mode := Sync.Sx.X;
+          if Sync.Vlock.try_upgrade b.B.version v1 then begin
+            vheld := true;
+            writer_split_commit w b ~union ~split_key ~right_low ~new_leaf
+              ~right_bytes ~ts:bts ~key ~value;
+            vheld := false;
+            true
+          end
+          else begin
+            (* [b] changed since the snapshot: the prepared right leaf
+               reflects a stale union.  Nothing reader-visible happened —
+               the leaf was unreachable — so just give it back. *)
+            Slab.free t.slab new_leaf;
+            false
+          end
+        | _ ->
+          (* torn snapshot, or the node no longer overflows (another
+             lane's split beat us): restart from routing *)
+          false
+      in
+      D.span_end dev "tree.split";
+      Sync.Sx.release t.latch !mode;
+      latched := false;
+      committed
+    end
+  with e ->
+    if !vheld then B.unlock b;
+    if !latched then Sync.Sx.release t.latch !mode;
+    raise e
+
+(* Opportunistic merge of [b] into its left sibling: stage the copies
+   under SX holding both vlocks, release them, upgrade, then
+   validate-and-relock both via [try_upgrade].  The staged copies sit in
+   slots outside [p]'s bitmap — invisible garbage if anything changed —
+   so any validation failure simply aborts; merges are best-effort space
+   reclamation and another underflow probe will come. *)
+let writer_try_merge w b =
+  let t = w.wt in
+  let dev = w.wdev in
+  Sync.Sx.acquire t.latch Sync.Sx.SX;
+  let mode = ref Sync.Sx.SX in
+  let latched = ref true in
+  let pheld = ref None in
+  let bheld = ref false in
+  try
+    (match (b.B.dead, b.B.prev) with
+     | true, _ | _, None -> ()
+     | false, Some p ->
+       D.span_begin dev "tree.merge";
+       (* blocking vlock acquires are safe here: under SX no SMO can seal
+          either node, and plain lane holders never wait on the latch *)
+       B.lock p;
+       pheld := Some p;
+       B.lock b;
+       bheld := true;
+       let entries = L.entries dev b.B.leaf in
+       let free = L.free_slots dev p.B.leaf in
+       if List.length entries > List.length free || B.unflushed_entries b <> []
+       then begin
+         (* no room, or [b] still buffers unflushed entries whose log
+            records a merge would strand behind [p]'s fence *)
+         B.unlock b;
+         bheld := false;
+         B.unlock p;
+         pheld := None
+       end
+       else begin
+         let bits = ref 0 in
+         let fps = ref [] in
+         List.iteri
+           (fun j (k, v) ->
+             let i = List.nth free j in
+             L.store_slot dev p.B.leaf i ~key:k ~value:v;
+             Pmem.Flushset.touch w.wfs (L.slot_addr p.B.leaf i) 16;
+             bits := !bits lor (1 lsl i);
+             fps := (i, k) :: !fps)
+           entries;
+         Pmem.Flushset.commit w.wfs dev;
+         List.iter (fun (i, k) -> L.store_fingerprint dev p.B.leaf i k) !fps;
+         let merged_next = L.next dev b.B.leaf in
+         let chain_next = b.B.next in
+         B.unlock b;
+         bheld := false;
+         let vb = Sync.Vlock.value b.B.version in
+         B.unlock p;
+         pheld := None;
+         let vp = Sync.Vlock.value p.B.version in
+         Sync.Sx.upgrade t.latch;
+         mode := Sync.Sx.X;
+         if Sync.Vlock.try_upgrade p.B.version vp then
+           if Sync.Vlock.try_upgrade b.B.version vb then begin
+             (* committed; [b]'s seal is permanent (dead nodes stay
+                locked), so it is deliberately not tracked for unlock *)
+             b.B.dead <- true;
+             L.store_meta_word dev p.B.leaf
+               ~bitmap:(L.bitmap dev p.B.leaf lor !bits)
+               ~next:merged_next;
+             D.persist dev p.B.leaf 32;
+             D.ack_durable dev ~label:"tree.merge" p.B.leaf 32;
+             p.B.next <- chain_next;
+             (match chain_next with
+              | Some nx -> nx.B.prev <- Some p
+              | None -> ());
+             index_remove t b.B.low;
+             w.wstats.Tree_stats.merges <- w.wstats.Tree_stats.merges + 1;
+             B.unlock p;
+             (* retire under the X latch: the epoch list and the slab free
+                must stay serialized with SMO allocation *)
+             Sync.Epoch.retire t.epochs (fun () -> Slab.free t.slab b.B.leaf)
+           end
+           else B.unlock p
+       end;
+       D.span_end dev "tree.merge");
+    Sync.Sx.release t.latch !mode;
+    latched := false
+  with e ->
+    if !bheld then B.unlock b;
+    (match !pheld with Some p -> B.unlock p | None -> ());
+    if !latched then Sync.Sx.release t.latch !mode;
+    raise e
+
+(* The per-op buffer decision, with [b]'s vlock HELD.  Returns [`Done]
+   (absorbed by the buffer), [`Flushed] (trigger write reached the leaf;
+   the caller may probe for a merge after unlocking) or [`Overflow ts]
+   (only the WAL record happened; the caller must release the vlock and
+   split).  The timestamp is drawn inside the vlock hold, so timestamp
+   order agrees with lock order on every node. *)
+let writer_locked_apply w b key value =
+  let t = w.wt in
+  let ts = Clock.next t.clock in
+  if not t.cfg.Config.buffering then
+    match writer_leaf_apply w b ~pending:[ (key, value, ts) ] with
+    | `Applied -> `Flushed
+    | `Overflow -> `Overflow ts
+  else
+    let set i =
+      writer_log w ~key ~value ~ts;
+      B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch;
+      `Done
+    in
+    match B.find b key with
+    | Some i -> set i
+    | None -> (
+      match B.free_slot b with
+      | Some i -> set i
+      | None ->
+        let ci = B.cached_slot b in
+        if ci >= 0 then set ci
+        else begin
+          writer_log w ~key ~value ~ts;
+          let pending = (key, value, ts) :: B.unflushed_entries b in
+          match writer_leaf_apply w b ~pending with
+          | `Overflow -> `Overflow ts
+          | `Applied ->
+            B.mark_all_flushed b;
+            let within_fence =
+              match b.B.next with
+              | Some nx -> Int64.compare key nx.B.low < 0
+              | None -> true
+            in
+            if within_fence then begin
+              let i = oldest_slot b in
+              b.B.keys.(i) <- key;
+              b.B.vals.(i) <- value;
+              b.B.tss.(i) <- ts;
+              b.B.valid <- b.B.valid lor (1 lsl i);
+              b.B.unflushed <- b.B.unflushed land lnot (1 lsl i);
+              b.B.epoch <- b.B.epoch land lnot (1 lsl i)
+            end;
+            `Flushed
+        end)
+
+(* Total fallback after repeated validation failures: the whole
+   operation — including an overflow split — runs under X with [b]'s
+   vlock held, so nothing can invalidate it.  Guaranteed progress. *)
+let writer_apply_x w key value =
+  let t = w.wt in
+  let dev = w.wdev in
+  Sync.Sx.acquire t.latch Sync.Sx.X;
+  let latched = ref true in
+  let locked = ref None in
+  try
+    let b = target_node t key in
+    B.lock b;
+    locked := Some b;
+    (match writer_locked_apply w b key value with
+     | `Done | `Flushed ->
+       B.unlock b;
+       locked := None
+     | `Overflow ts -> (
+       D.span_begin dev "tree.split";
+       match split_union dev b ~key ~value ~ts with
+       | Some (union, bts) ->
+         assert (List.length union > L.slots && List.length union <= 2 * L.slots);
+         let new_leaf, split_key, right_low, right_bytes =
+           writer_split_prepare w b ~union ~ts:bts
+         in
+         writer_split_commit w b ~union ~split_key ~right_low ~new_leaf
+           ~right_bytes ~ts:bts ~key ~value;
+         locked := None;
+         D.span_end dev "tree.split"
+       | None -> assert false (* nothing can tear under X + vlock *)));
+    Sync.Sx.release t.latch Sync.Sx.X;
+    latched := false
+  with e ->
+    (match !locked with Some b -> B.unlock b | None -> ());
+    if !latched then Sync.Sx.release t.latch Sync.Sx.X;
+    raise e
+
+(* Optimistic-lock-coupling write path: route latch-free, [try_lock] the
+   target, validate its fence interval under the lock, apply.  After
+   [max_optimistic] failures fall back to routing under S (exact, but
+   still concurrent with other lanes); after twice that, to the total
+   X path above.  Writers skip [maybe_gc]: GC is a whole-tree scan that
+   belongs to the owning domain, not to a lane. *)
+let writer_upsert_raw w key value =
+  let t = w.wt in
+  D.add_user_bytes w.wdev 16;
+  let rec attempt tries =
+    if tries >= 2 * max_optimistic then writer_apply_x w key value
+    else begin
+      let use_s = tries >= max_optimistic in
+      let routed =
+        if use_s then begin
+          Sync.Sx.acquire t.latch Sync.Sx.S;
+          (* under S the index and chain are frozen: routing is exact and
+             the blocking vlock acquire is safe (no SMO can seal [b]) *)
+          let b = target_node t key in
+          B.lock b;
+          Some b
+        end
+        else
+          match Inner_index.find_le t.index key with
+          | Some b -> if Sync.Vlock.try_lock b.B.version then Some b else None
+          | None -> if Sync.Vlock.try_lock t.head.B.version then Some t.head else None
+          | exception Invalid_argument _ -> None
+      in
+      match routed with
+      | None -> retry tries
+      | Some b ->
+        if (not use_s) && not (writer_fence_ok b key) then begin
+          B.unlock b;
+          retry tries
+        end
+        else begin
+          let outcome =
+            try writer_locked_apply w b key value
+            with e ->
+              B.unlock b;
+              if use_s then Sync.Sx.release t.latch Sync.Sx.S;
+              raise e
+          in
+          B.unlock b;
+          if use_s then Sync.Sx.release t.latch Sync.Sx.S;
+          match outcome with
+          | `Done -> ()
+          | `Flushed ->
+            if
+              (not b.B.dead)
+              && L.valid_count w.wdev b.B.leaf < L.slots / 2
+            then writer_try_merge w b
+          | `Overflow ts ->
+            if not (writer_split w b ~key ~value ~ts) then retry tries
+        end
+    end
+  and retry tries =
+    w.wretries <- w.wretries + 1;
+    Domain.cpu_relax ();
+    attempt (tries + 1)
+  in
+  attempt 0
+
+let writer_upsert w key value =
+  if Int64.equal value 0L then
+    invalid_arg "Tree.writer_upsert: value 0 is reserved (tombstone)";
+  w.wstats.Tree_stats.inserts <- w.wstats.Tree_stats.inserts + 1;
+  writer_upsert_raw w key value
+
+let writer_delete w key =
+  w.wstats.Tree_stats.deletes <- w.wstats.Tree_stats.deletes + 1;
+  writer_upsert_raw w key 0L

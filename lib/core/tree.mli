@@ -73,6 +73,47 @@ val deferred_frees : t -> int
 (** Merged-away leaves whose slab reuse is still pinned by a reader
     epoch. *)
 
+(** {1 Concurrent writer handles}
+
+    A {!writer} is a per-domain handle for upserts and deletes that run
+    concurrently with other writer handles and with {!reader}s
+    (DESIGN.md §13).  Writes use optimistic lock coupling: route
+    latch-free, [try_lock] the target node's version lock, validate its
+    fence interval under the lock, apply — so disjoint working sets
+    never serialize.  Structural modifications prepare under the shared
+    [SX] latch and commit with a validate-and-lock CAS on the remembered
+    version; after bounded validation failures the op falls back to an
+    [S]-latched and finally a fully [X]-latched path, so every write
+    terminates.  Each writer owns a private WAL lane and a
+    {!Pmem.Device.write_view} (private flush pipeline and counters,
+    merged via [Stats.merge]).  A handle must only ever be used from one
+    domain; the plain {!upsert}/{!delete} entry points must not run
+    concurrently with writer handles (they are the zero-handle fast
+    path, not a peer lane), and GC stays with the owning domain. *)
+
+type writer
+
+val writer : ?lane:int -> t -> writer
+(** Mint a writer handle.  [?lane] pins the WAL lane (must be
+    [< Config.threads]); omitted, lanes are assigned round-robin.
+    Distinct concurrent writers should use distinct lanes — sharing one
+    is correct but serializes their log appends' chunk tails. *)
+
+val writer_upsert : writer -> int64 -> int64 -> unit
+val writer_delete : writer -> int64 -> unit
+
+val writer_stats : writer -> Tree_stats.t
+(** Private per-writer operation counters. *)
+
+val writer_device : writer -> Pmem.Device.t
+(** The writer's device view; its [Stats] merge with the parent's. *)
+
+val writer_retries : writer -> int
+(** Validation failures observed (optimistic attempts retried or demoted
+    to a latched path). *)
+
+val writer_lane : writer -> int
+
 val bulk_load : ?fill:float -> t -> (int64 * int64) array -> unit
 (** Bottom-up load of strictly sorted entries into an empty tree: leaves
     are written sequentially at [fill] occupancy (default 0.8), one

@@ -99,7 +99,7 @@ let xbi_amp m = S.xbi_amplification m.delta
 (* --- sharded (measured) execution --------------------------------------- *)
 
 let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256)
-    ?recorder spec ~domains () =
+    ?recorder ?pre_shard spec ~domains () =
   let partition =
     match partition with Some p -> p | None -> Shard.default_config.partition
   in
@@ -109,8 +109,9 @@ let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256)
   Shard.create
     ~config:{ Shard.shards = domains; partition; queue_depth; batch }
     ?recorder
-    ~make:(fun _i ->
+    ~make:(fun i ->
       let dev = device ~mb:shard_mb () in
+      (match pre_shard with Some f -> f i dev | None -> ());
       let drv = build spec dev in
       D.set_classifier dev
         (Some (Pmalloc.Alloc.classify (drv.Baselines.Index_intf.allocator ())));

@@ -10,6 +10,11 @@ type t = {
   num_chunks : int;
   free : int Queue.t;  (* volatile free list of chunk indexes *)
   mutable n_free : int;
+  mu : Mutex.t;
+      (* chunk grant/return can race across writer lanes (WAL chunk
+         acquisition) and the SMO path (slab refill); the tag-byte
+         persist rides inside the same critical section so the PM table
+         update is serialized with the volatile free list *)
 }
 
 let magic = 0x504d414c4c4f4331L (* "PMALLOC1" *)
@@ -41,6 +46,7 @@ let build dev ~chunk_size ~data_start ~num_chunks =
     num_chunks;
     free = Queue.create ();
     n_free = 0;
+    mu = Mutex.create ();
   }
 
 let format dev ~chunk_size =
@@ -82,20 +88,22 @@ let addr_of_index t i = t.data_start + (i * t.chunk_size)
 let index_of_addr t addr = (addr - t.data_start) / t.chunk_size
 
 let alloc_chunk t tag =
-  if Queue.is_empty t.free then raise Out_of_memory;
-  let i = Queue.pop t.free in
-  t.n_free <- t.n_free - 1;
-  D.store_u8 t.dev (t.table_addr + i) (tag_byte tag);
-  D.persist t.dev (t.table_addr + i) 1;
-  addr_of_index t i
+  Mutex.protect t.mu (fun () ->
+      if Queue.is_empty t.free then raise Out_of_memory;
+      let i = Queue.pop t.free in
+      t.n_free <- t.n_free - 1;
+      D.store_u8 t.dev (t.table_addr + i) (tag_byte tag);
+      D.persist t.dev (t.table_addr + i) 1;
+      addr_of_index t i)
 
 let free_chunk t addr =
   let i = index_of_addr t addr in
   assert (i >= 0 && i < t.num_chunks && addr = addr_of_index t i);
-  D.store_u8 t.dev (t.table_addr + i) 0;
-  D.persist t.dev (t.table_addr + i) 1;
-  Queue.push i t.free;
-  t.n_free <- t.n_free + 1
+  Mutex.protect t.mu (fun () ->
+      D.store_u8 t.dev (t.table_addr + i) 0;
+      D.persist t.dev (t.table_addr + i) 1;
+      Queue.push i t.free;
+      t.n_free <- t.n_free + 1)
 
 (* Unaccounted tag lookup usable as a Device write classifier. *)
 let classify t addr =

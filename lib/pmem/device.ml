@@ -234,7 +234,7 @@ let create ?config () =
    dirty lines, so it attributes conservatively many media reads to
    itself — a private read cache, the same shape FPTree gives each
    thread. *)
-let read_view t =
+let view t ~ro =
   let cfg = t.cfg in
   let nlines = (cfg.Config.size + cl - 1) / cl in
   let nxplines =
@@ -268,8 +268,20 @@ let read_view t =
     classifier = None;
     tracer = None;
     fail_after_fences = None;
-    ro = true;
+    ro;
   }
+
+let read_view t = view t ~ro:true
+
+(* A per-writer-domain view: same sharing/privacy split as [read_view]
+   but mutable — stores land in the shared [work] bytes (visible to every
+   other view immediately, possibly torn: vlock discipline makes that
+   safe) while the CPU-cache model (dirty set, pending array, XPBuffer),
+   stats, tracer and the [fail_after_fences] plan are lane-private.  Each
+   writer domain therefore owns its own store->clwb->sfence pipeline and
+   its own failure plan, and its traffic merges into the parent's record
+   through {!Stats.merge} exactly like reader views. *)
+let write_view t = view t ~ro:false
 
 let is_read_view t = t.ro
 
@@ -1014,6 +1026,32 @@ let restore t ck =
   t.fail_after_fences <- ck.ck_fail_after_fences
 
 (* --- crash ------------------------------------------------------------ *)
+
+(* A write view's share of a power failure: coin-flip its un-fenced
+   pending and dirty lines into its private XPBuffer and drain that to
+   the shared media image — but do NOT blit media back over [work].
+   A fleet crash spills every write view first and then runs the parent's
+   [crash] last: the parent's final blit is what loses all volatile
+   content, and running it before a sibling's spill would clobber that
+   sibling's still-unflipped dirty-line snapshots. *)
+let crash_spill t =
+  trace0 t Crash;
+  t.fail_after_fences <- None;
+  let keep () =
+    t.cfg.Config.eadr
+    || Random.State.float t.rng 1.0 < t.cfg.Config.persist_prob
+  in
+  for i = 0 to t.pending_len - 1 do
+    if keep () then
+      xpbuffer_insert t t.pending_lines.(i) t.pending_arena (i * cl)
+  done;
+  pending_clear t;
+  Ring.clear t.dirty_fifo;
+  iter_dirty_ascending t (fun line ->
+      if keep () then xpbuffer_insert t line t.work line);
+  dirty_reset t;
+  flush_xpbuffer_ordered t;
+  read_cache_clear t
 
 let crash t =
   if t.ro then ro_fail ();

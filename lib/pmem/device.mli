@@ -40,7 +40,18 @@ val read_view : t -> t
     disabled): sanitizer/observability hooks are per-domain or off under
     concurrent readers, never shared. *)
 
+val write_view : t -> t
+(** A per-writer-domain view for concurrent write lanes.  Same
+    sharing/privacy split as {!read_view} — shared byte images, private
+    cache model / stats / tracer — but mutable: stores land directly in
+    the shared work image (immediately visible to every other view,
+    possibly torn; the caller's lock discipline must make that safe),
+    and each writer lane owns a private store→clwb→sfence pipeline,
+    including its own {!plan_failure} slot, so fault injection can fire
+    at one lane's fence while others run. *)
+
 val is_read_view : t -> bool
+(** True for {!read_view}s only ({!write_view}s are mutable). *)
 
 (** {1 Stores (into the CPU cache)} *)
 
@@ -131,6 +142,15 @@ val crash : t -> unit
 (** Power failure.  After [crash] the device content is exactly what
     survived: callers must run their recovery procedure.  Any planned
     failure is disarmed — a failure plan does not outlive the power. *)
+
+val crash_spill : t -> unit
+(** A {!write_view}'s share of a power failure: coin-flips the view's
+    un-fenced pending and dirty lines into its private XPBuffer and
+    drains it to the shared media image, without the parent's final
+    media→work blit.  A multi-writer crash must [crash_spill] every
+    write view first and call {!crash} on the parent last — the parent's
+    blit is the moment volatile content is lost, and running it earlier
+    would clobber sibling lanes' not-yet-flipped dirty snapshots. *)
 
 (** {1 Accounting} *)
 

@@ -464,8 +464,10 @@ let device t i = t.workers.(i).dev
    while the worker runs is safe; each factory call mints an independent
    read-only handle. *)
 let new_reader t i = t.workers.(i).drv.I.new_reader
+let new_writer t i = t.workers.(i).drv.I.new_writer
 
 module Read_pool = Read_pool
+module Write_pool = Write_pool
 
 let reader_pool t ~shard ~readers =
   match new_reader t shard with
@@ -473,3 +475,10 @@ let reader_pool t ~shard ~readers =
     invalid_arg
       "Shard.reader_pool: this index driver has no concurrent read path"
   | Some mint -> Read_pool.create mint ~readers
+
+let writer_pool t ~shard ~writers =
+  match new_writer t shard with
+  | None ->
+    invalid_arg
+      "Shard.writer_pool: this index driver has no concurrent write path"
+  | Some mint -> Write_pool.create mint ~writers

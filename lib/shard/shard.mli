@@ -81,12 +81,25 @@ val new_reader : t -> int -> (unit -> Baselines.Index_intf.reader_ops) option
     Mint handles from the domain that will use them (see {!Read_pool},
     which does exactly that). *)
 
+val new_writer : t -> int -> (unit -> Baselines.Index_intf.writer_ops) option
+(** Shard [i]'s concurrent-writer factory, when its driver has one.
+    Mint handles from the domain that will use them (see {!Write_pool}). *)
+
 module Read_pool = Read_pool
+module Write_pool = Write_pool
 
 val reader_pool : t -> shard:int -> readers:int -> Read_pool.t
 (** Attach [readers] read-only domains to shard [shard]'s index; reads
     then run concurrently with that shard's writer domain.
     @raise Invalid_argument if the driver has no concurrent read path. *)
+
+val writer_pool : t -> shard:int -> writers:int -> Write_pool.t
+(** Attach [writers] writer domains to shard [shard]'s index (optimistic
+    lock coupling inside the tree; see DESIGN.md §13).  While the pool is
+    live, do not route mutations to that shard through the router — the
+    shard worker's in-tree write path is the zero-handle fast path, not a
+    peer lane.  Reads (router or {!Read_pool}) stay safe throughout.
+    @raise Invalid_argument if the driver has no concurrent write path. *)
 
 (** {1 Asynchronous operations (routed, batched)} *)
 

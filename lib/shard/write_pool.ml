@@ -1,0 +1,175 @@
+module Clock = Shard_clock
+module Queue = Shard_queue
+module I = Baselines.Index_intf
+module S = Pmem.Stats
+module Y = Workload.Ycsb
+
+type reply = { m : Mutex.t; c : Condition.t; mutable ready : bool }
+
+let reply () = { m = Mutex.create (); c = Condition.create (); ready = false }
+
+let signal r =
+  Mutex.lock r.m;
+  r.ready <- true;
+  Condition.signal r.c;
+  Mutex.unlock r.m
+
+let await r =
+  Mutex.lock r.m;
+  while not r.ready do
+    Condition.wait r.c r.m
+  done;
+  Mutex.unlock r.m
+
+type job = Run of Y.op array * reply | Stop
+
+type wworker = {
+  q : job Queue.t;
+  applied : int Atomic.t;
+  busy_ns : int Atomic.t;
+  crashed : bool Atomic.t;
+      (* hit Power_failure on its private view; drops further mutations *)
+  (* written by the writer domain just before it exits; the router reads
+     them only after [Domain.join], which establishes happens-before *)
+  mutable fin_stats : S.t option;
+  mutable fin_counters : (string * int) list;
+  mutable fin_retries : int;
+  mutable pending : reply option;  (* router-side, one job in flight *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = { wworkers : wworker array; mutable live : bool }
+
+let exec (wops : I.writer_ops) w op =
+  match op with
+  | Y.Insert (k, v) ->
+    if Int64.equal v 0L then wops.I.w_delete k else wops.I.w_upsert k v;
+    Atomic.incr w.applied
+  | Y.Read _ | Y.Scan _ -> ()
+(* write-only pool: the caller routes reads to a reader pool *)
+
+(* The handle is minted on this domain, so every private structure it
+   owns (device write view, WAL lane, counters) is domain-local from
+   birth. *)
+let writer_loop mint w =
+  let wops : I.writer_ops = mint () in
+  let continue = ref true in
+  while !continue do
+    match Queue.pop w.q with
+    | Stop ->
+      w.fin_stats <- Some (wops.I.w_dev_stats ());
+      w.fin_counters <- wops.I.w_counters ();
+      w.fin_retries <- wops.I.w_retries ();
+      continue := false
+    | Run (ops, r) ->
+      let t0 = Clock.thread_cpu_ns () in
+      (if not (Atomic.get w.crashed) then
+         try Array.iter (exec wops w) ops
+         with Pmem.Device.Power_failure -> Atomic.set w.crashed true);
+      Atomic.set w.busy_ns
+        (Atomic.get w.busy_ns
+        + Int64.to_int (Int64.sub (Clock.thread_cpu_ns ()) t0));
+      signal r
+  done
+
+let create mint ~writers =
+  if writers < 1 then invalid_arg "Write_pool.create: writers < 1";
+  let wworkers =
+    Array.init writers (fun _ ->
+        {
+          q = Queue.create ~capacity:4;
+          applied = Atomic.make 0;
+          busy_ns = Atomic.make 0;
+          crashed = Atomic.make false;
+          fin_stats = None;
+          fin_counters = [];
+          fin_retries = 0;
+          pending = None;
+          domain = None;
+        })
+  in
+  Array.iter
+    (fun w -> w.domain <- Some (Domain.spawn (fun () -> writer_loop mint w)))
+    wworkers;
+  { wworkers; live = true }
+
+let writers t = Array.length t.wworkers
+
+(* Deal [ops] round-robin so every writer lane gets an equally mixed
+   slice — a contiguous split would give hot-range prefixes to one
+   lane.  Per-key ordering across lanes is the tree's own OLC
+   serialization (timestamp order agrees with lock order per node). *)
+let split ops n =
+  let total = Array.length ops in
+  List.init n (fun r ->
+      let cnt = (total - r + n - 1) / n in
+      Array.init cnt (fun j -> ops.((j * n) + r)))
+
+let run_async t ops =
+  if not t.live then invalid_arg "Write_pool.run_async: pool is shut down";
+  Array.iter
+    (fun w ->
+      if w.pending <> None then
+        invalid_arg "Write_pool.run_async: previous run not joined")
+    t.wworkers;
+  List.iteri
+    (fun wid slice ->
+      let w = t.wworkers.(wid) in
+      let r = reply () in
+      w.pending <- Some r;
+      Queue.push w.q (Run (slice, r)))
+    (split ops (writers t))
+
+let join t =
+  Array.iter
+    (fun w ->
+      match w.pending with
+      | Some r ->
+        await r;
+        w.pending <- None
+      | None -> ())
+    t.wworkers
+
+let run t ops =
+  run_async t ops;
+  join t
+
+let shutdown t =
+  if t.live then begin
+    join t;
+    Array.iter (fun w -> Queue.push w.q Stop) t.wworkers;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+          Domain.join d;
+          w.domain <- None
+        | None -> ())
+      t.wworkers;
+    t.live <- false
+  end
+
+let applied t = Array.map (fun w -> Atomic.get w.applied) t.wworkers
+let busy_ns t = Array.map (fun w -> Atomic.get w.busy_ns) t.wworkers
+let crashed t = Array.map (fun w -> Atomic.get w.crashed) t.wworkers
+
+let ensure_down name t =
+  if t.live then
+    invalid_arg (name ^ ": writer counters are only stable after shutdown")
+
+let dev_stats t =
+  ensure_down "Write_pool.dev_stats" t;
+  S.merge_all
+    (Array.to_list
+       (Array.map
+          (fun w ->
+            match w.fin_stats with Some s -> s | None -> S.create ())
+          t.wworkers))
+
+let counters t =
+  ensure_down "Write_pool.counters" t;
+  Array.to_list (Array.map (fun w -> w.fin_counters) t.wworkers)
+
+let retries t =
+  ensure_down "Write_pool.retries" t;
+  Array.fold_left (fun acc w -> acc + w.fin_retries) 0 t.wworkers

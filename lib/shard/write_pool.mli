@@ -1,0 +1,65 @@
+(** Concurrent-writer domain pool over one shard's index (intra-shard
+    write parallelism, DESIGN.md §13).
+
+    Mirror image of {!Read_pool}: this pool attaches [writers] extra
+    domains to one shard, each holding a private
+    {!Baselines.Index_intf.writer_ops} handle (optimistic lock coupling
+    over a device write view and a private WAL lane).  Writes run
+    concurrently with each other {e and} with a {!Read_pool} on the same
+    shard; only the shard worker's own mutation path must stay quiet
+    while a writer pool is live (it is the zero-handle fast path, not a
+    peer lane).
+
+    Each handle is minted on its own domain, so the per-writer device
+    view, WAL lane and counters are domain-local from birth.  Counter
+    accessors that read domain-private state ({!dev_stats}, {!counters},
+    {!retries}) are only available after {!shutdown}; {!applied},
+    {!busy_ns} and {!crashed} are atomics and can be read live. *)
+
+type t
+
+val create : (unit -> Baselines.Index_intf.writer_ops) -> writers:int -> t
+(** [create mint ~writers] spawns [writers] writer domains, each minting
+    its own handle with [mint].  Use [Shard.writer_pool] to build one
+    over a shard's driver.  @raise Invalid_argument if [writers < 1]. *)
+
+val writers : t -> int
+
+val run : t -> Workload.Ycsb.op array -> unit
+(** Execute the insert/delete operations of [ops], dealt round-robin
+    across the writer domains; read/scan operations in the array are
+    ignored (route them to a reader pool).  Returns when every writer
+    finished its slice. *)
+
+val run_async : t -> Workload.Ycsb.op array -> unit
+(** Like {!run} but returns as soon as the slices are enqueued, so the
+    caller can drive a reader pool concurrently.  Exactly one
+    outstanding run per pool; complete it with {!join}. *)
+
+val join : t -> unit
+(** Wait for an outstanding {!run_async} (no-op without one). *)
+
+val shutdown : t -> unit
+(** Join outstanding work, stop and join every writer domain, and latch
+    their final counters.  Shutting down does not flush the tree's
+    buffer nodes — call the owning driver's [flush_all] afterwards for
+    end-of-run accounting. *)
+
+val applied : t -> int array
+(** Operations completed per writer (live). *)
+
+val busy_ns : t -> int array
+(** Per-writer CPU time spent executing slices (live). *)
+
+val crashed : t -> bool array
+(** Per-writer fault-injection state: true once the lane's view raised
+    [Power_failure]; the lane then drops further mutations (live). *)
+
+val dev_stats : t -> Pmem.Stats.t
+(** Merged device counters of all writer views (after {!shutdown}). *)
+
+val counters : t -> (string * int) list list
+(** Per-writer index counters (after {!shutdown}). *)
+
+val retries : t -> int
+(** Total optimistic-validation retries (after {!shutdown}). *)

@@ -20,6 +20,12 @@ let read_begin t =
 
 let validate t v = Atomic.get t = v
 
+let try_lock t =
+  let v = Atomic.get t in
+  v land 1 = 0 && Atomic.compare_and_set t v (v + 1)
+
+let try_upgrade t v = v land 1 = 0 && Atomic.compare_and_set t v (v + 1)
+
 let rec lock t =
   let v = Atomic.get t in
   if v land 1 = 1 || not (Atomic.compare_and_set t v (v + 1)) then begin

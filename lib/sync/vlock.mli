@@ -36,6 +36,18 @@ val validate : t -> int -> bool
 val lock : t -> unit
 (** Acquire as a writer (version becomes odd).  Spins on contention. *)
 
+val try_lock : t -> bool
+(** One-shot writer acquire: succeeds (version becomes odd) iff the lock
+    was free and no other writer raced the CAS.  Never spins — the
+    optimistic-lock-coupling building block for concurrent writers. *)
+
+val try_upgrade : t -> int -> bool
+(** [try_upgrade t v] atomically acquires the lock iff the version is
+    still exactly the (even) snapshot [v] — i.e. no writer ran since the
+    caller observed [v].  This is OLC's "validate and lock in one CAS":
+    on success the caller holds the lock knowing the protected data is
+    unchanged since the snapshot; on failure it must restart. *)
+
 val unlock : t -> unit
 (** Release (version becomes even again, two above the pre-lock value). *)
 

@@ -3,18 +3,27 @@
     Stands in for the paper's [rdtsc]+ORDO hardware clock (§3.3): ORDO only
     compensates cross-socket skew of the physical TSC, which a single
     logical counter does not exhibit, so ordering guarantees are
-    preserved.  Timestamp 0 is reserved as "never written". *)
+    preserved.  Timestamp 0 is reserved as "never written".
 
-type t = { mutable now : int64 }
+    Backed by an [Atomic.t] so concurrent writer lanes can draw
+    timestamps without coordination: [next] is a fetch-and-add, giving
+    each lane a unique, globally ordered value. *)
 
-let create ?(start = 1L) () = { now = start }
+type t = int64 Atomic.t
 
-let next t =
-  let v = t.now in
-  t.now <- Int64.add t.now 1L;
-  v
+let create ?(start = 1L) () = Atomic.make start
 
-let peek t = t.now
+let rec next t =
+  let v = Atomic.get t in
+  if Atomic.compare_and_set t v (Int64.add v 1L) then v
+  else begin
+    Domain.cpu_relax ();
+    next t
+  end
 
-let advance_to t ts =
-  if Int64.unsigned_compare ts t.now >= 0 then t.now <- Int64.add ts 1L
+let peek t = Atomic.get t
+
+let rec advance_to t ts =
+  let now = Atomic.get t in
+  if Int64.unsigned_compare ts now >= 0 then
+    if not (Atomic.compare_and_set t now (Int64.add ts 1L)) then advance_to t ts

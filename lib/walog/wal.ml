@@ -19,7 +19,12 @@ type active = { mutable chunk : int; mutable off : int }
    store + persist the deferred timestamps, fence.  A crash anywhere
    inside the group therefore leaves torn entries with invalid
    timestamps, which replay rejects; nothing is acked until both phases
-   are durable. *)
+   are durable.
+
+   Groups are per lane: concurrent writer threads each batch and commit
+   through their own group (and their own device view) without touching
+   each other's deferred state.  The legacy single-group API maps to
+   lane 0. *)
 type group = {
   fs : Pmem.Flushset.t;
   mutable open_ : bool;
@@ -28,6 +33,7 @@ type group = {
   mutable nts : int;
   mutable ack_addr : int array;  (* per-entry ack ranges, all entry_size *)
   mutable nack : int;
+  mutable gdev : D.t;  (* device the commit flushes/acks through *)
 }
 
 type t = {
@@ -35,18 +41,20 @@ type t = {
   dev : D.t;
   clock : Clock.t;
   threads : int;
-  active : active array array;  (* [epoch 0/1].[thread] *)
+  active : active array array;  (* [epoch 0/1].[thread], lane-private *)
   epoch_chunks : int list ref array;  (* chunks assigned to each epoch *)
   free : int Queue.t;
-  epoch_data : int array;  (* live log-entry bytes per epoch *)
-  mutable peak : int;
-  group : group;
+  epoch_data : int Atomic.t array;  (* live log-entry bytes per epoch *)
+  peak : int Atomic.t;
+  groups : group array;  (* one per lane *)
+  chunk_mu : Mutex.t;  (* guards [free] + [epoch_chunks] across lanes *)
 }
 
 let create alloc clock ~threads =
+  let dev = Alloc.device alloc in
   {
     alloc;
-    dev = Alloc.device alloc;
+    dev;
     clock;
     threads;
     active =
@@ -54,49 +62,59 @@ let create alloc clock ~threads =
           Array.init threads (fun _ -> { chunk = 0; off = 0 }));
     epoch_chunks = [| ref []; ref [] |];
     free = Queue.create ();
-    epoch_data = [| 0; 0 |];
-    peak = 0;
-    group =
-      {
-        fs = Pmem.Flushset.create ~capacity:32 ();
-        open_ = false;
-        ts_addr = Array.make 16 0;
-        ts_val = Array.make 16 0L;
-        nts = 0;
-        ack_addr = Array.make 64 0;
-        nack = 0;
-      };
+    epoch_data = [| Atomic.make 0; Atomic.make 0 |];
+    peak = Atomic.make 0;
+    groups =
+      Array.init threads (fun _ ->
+          {
+            fs = Pmem.Flushset.create ~capacity:32 ();
+            open_ = false;
+            ts_addr = Array.make 16 0;
+            ts_val = Array.make 16 0L;
+            nts = 0;
+            ack_addr = Array.make 64 0;
+            nack = 0;
+            gdev = dev;
+          });
+    chunk_mu = Mutex.create ();
   }
 
-let live_bytes t = t.epoch_data.(0) + t.epoch_data.(1)
-let peak_live_bytes t = t.peak
+let live_bytes t = Atomic.get t.epoch_data.(0) + Atomic.get t.epoch_data.(1)
+let peak_live_bytes t = Atomic.get t.peak
 
 let chunk_count t =
-  List.length !(t.epoch_chunks.(0))
-  + List.length !(t.epoch_chunks.(1))
-  + Queue.length t.free
+  Mutex.protect t.chunk_mu (fun () ->
+      List.length !(t.epoch_chunks.(0))
+      + List.length !(t.epoch_chunks.(1))
+      + Queue.length t.free)
 
 (* Header layout: magic u64, watermark u64, epoch u8, thread u16. *)
-let write_header t addr ~watermark ~epoch ~thread =
-  D.store_u64 t.dev addr magic;
-  D.store_u64 t.dev (addr + 8) watermark;
-  D.store_u8 t.dev (addr + 16) epoch;
-  D.store_u8 t.dev (addr + 17) (thread land 0xff);
-  D.store_u8 t.dev (addr + 18) (thread lsr 8);
-  D.persist t.dev addr header_size;
-  D.ack_durable t.dev ~label:"wal.header" addr header_size
+let write_header ~dev addr ~watermark ~epoch ~thread =
+  D.store_u64 dev addr magic;
+  D.store_u64 dev (addr + 8) watermark;
+  D.store_u8 dev (addr + 16) epoch;
+  D.store_u8 dev (addr + 17) (thread land 0xff);
+  D.store_u8 dev (addr + 18) (thread lsr 8);
+  D.persist dev addr header_size;
+  D.ack_durable dev ~label:"wal.header" addr header_size
 
 (* Acquire a chunk for an append whose timestamp [ts] is already drawn.
    The watermark [ts-1] dominates every previously issued timestamp, so
    stale entries of a recycled chunk can never replay, while all future
-   entries of this chunk remain valid. *)
-let acquire_chunk t ~epoch ~thread ~ts =
+   entries of this chunk remain valid.  The free list and epoch lists are
+   shared across lanes, so both are touched under [chunk_mu]; the header
+   write goes through the acquiring lane's device view. *)
+let acquire_chunk t ~dev ~epoch ~thread ~ts =
   let addr =
-    if Queue.is_empty t.free then Alloc.alloc_chunk t.alloc Alloc.Log
-    else Queue.pop t.free
+    Mutex.protect t.chunk_mu (fun () ->
+        let addr =
+          if Queue.is_empty t.free then Alloc.alloc_chunk t.alloc Alloc.Log
+          else Queue.pop t.free
+        in
+        t.epoch_chunks.(epoch) := addr :: !(t.epoch_chunks.(epoch));
+        addr)
   in
-  write_header t addr ~watermark:(Int64.pred ts) ~epoch ~thread;
-  t.epoch_chunks.(epoch) := addr :: !(t.epoch_chunks.(epoch));
+  write_header ~dev addr ~watermark:(Int64.pred ts) ~epoch ~thread;
   addr
 
 (* --- group commit ------------------------------------------------------ *)
@@ -118,12 +136,17 @@ let defer_ack g addr =
   g.ack_addr.(g.nack) <- addr;
   g.nack <- g.nack + 1
 
-let group_open t = t.group.open_
+let group_open ?thread t =
+  match thread with
+  | Some i -> t.groups.(i).open_
+  | None -> Array.exists (fun g -> g.open_) t.groups
 
-let group_begin t =
-  if t.group.open_ then invalid_arg "Wal.group_begin: group already open";
-  D.span_begin t.dev "wal.group";
-  t.group.open_ <- true
+let group_begin ?dev ?(thread = 0) t =
+  let g = t.groups.(thread) in
+  if g.open_ then invalid_arg "Wal.group_begin: group already open";
+  g.gdev <- Option.value dev ~default:t.dev;
+  D.span_begin g.gdev "wal.group";
+  g.open_ <- true
 
 let group_reset g =
   Pmem.Flushset.reset g.fs;
@@ -131,60 +154,70 @@ let group_reset g =
   g.nack <- 0;
   g.open_ <- false
 
-let group_commit t =
-  let g = t.group in
+let group_commit ?(thread = 0) t =
+  let g = t.groups.(thread) in
   if not g.open_ then invalid_arg "Wal.group_commit: no open group";
+  let dev = g.gdev in
   (* Phase 1: one deduplicated, address-ordered clwb set over every line
      the batch stored, then the shared tail fence.  Skipped entirely for
      an empty group — no empty sfence. *)
-  Pmem.Flushset.commit g.fs t.dev;
+  Pmem.Flushset.commit g.fs dev;
   (* Phase 2 (straddling entries only): the deferred timestamp stores,
      ordered after their key/value lines by the phase-1 fence. *)
   if g.nts > 0 then begin
     for i = 0 to g.nts - 1 do
-      D.store_u64 t.dev g.ts_addr.(i) g.ts_val.(i);
+      D.store_u64 dev g.ts_addr.(i) g.ts_val.(i);
       Pmem.Flushset.touch g.fs g.ts_addr.(i) 8
     done;
-    Pmem.Flushset.commit g.fs t.dev
+    Pmem.Flushset.commit g.fs dev
   end;
   for i = 0 to g.nack - 1 do
-    D.ack_durable t.dev ~label:"wal.group" g.ack_addr.(i) entry_size
+    D.ack_durable dev ~label:"wal.group" g.ack_addr.(i) entry_size
   done;
   group_reset g;
-  D.span_end t.dev "wal.group"
+  D.span_end dev "wal.group"
 
-let with_group t f =
-  group_begin t;
+let with_group ?dev ?(thread = 0) t f =
+  group_begin ?dev ~thread t;
   match f () with
   | x ->
-    group_commit t;
+    group_commit ~thread t;
     x
   | exception e ->
     (* Abandon the batch: nothing was acked, and any partially stored
        entries present unfenced or missing timestamps, so replay drops
        them. *)
-    group_reset t.group;
-    D.span_end t.dev "wal.group";
+    let g = t.groups.(thread) in
+    let gdev = g.gdev in
+    group_reset g;
+    D.span_end gdev "wal.group";
     raise e
 
-let append t ~thread ~epoch ~key ~value ~ts =
+let append ?dev t ~thread ~epoch ~key ~value ~ts =
   assert (thread >= 0 && thread < t.threads && (epoch = 0 || epoch = 1));
+  let dev = Option.value dev ~default:t.dev in
   let a = t.active.(epoch).(thread) in
   let cs = Alloc.chunk_size t.alloc in
   if a.chunk = 0 || a.off + entry_size > cs then begin
-    a.chunk <- acquire_chunk t ~epoch ~thread ~ts;
+    a.chunk <- acquire_chunk t ~dev ~epoch ~thread ~ts;
     a.off <- header_size
   end;
   let addr = a.chunk + a.off in
-  let g = t.group in
+  (* An open group on this lane captures the append; otherwise lane 0's
+     group does (the legacy single-group behaviour, where e.g. the GC
+     batches appends round-robined over all lanes under one group). *)
+  let g =
+    let gt = t.groups.(thread) in
+    if gt.open_ then gt else t.groups.(0)
+  in
   if g.open_ then begin
     (* Grouped append: store now, flush/fence/ack at [group_commit]. *)
-    D.store_u64 t.dev addr key;
-    D.store_u64 t.dev (addr + 8) value;
+    D.store_u64 dev addr key;
+    D.store_u64 dev (addr + 8) value;
     if G.line_of addr = G.line_of (addr + entry_size - 1) then begin
       (* Single-line entry: a 64 B line persists atomically, so the
          timestamp can ride in the same line with no ordering hazard. *)
-      D.store_u64 t.dev (addr + 16) ts;
+      D.store_u64 dev (addr + 16) ts;
       Pmem.Flushset.touch g.fs addr entry_size
     end
     else begin
@@ -198,40 +231,45 @@ let append t ~thread ~epoch ~key ~value ~ts =
   end
   else if G.line_of addr = G.line_of (addr + entry_size - 1) then begin
     (* Entry fits in one cacheline: single flush+fence. *)
-    D.store_u64 t.dev addr key;
-    D.store_u64 t.dev (addr + 8) value;
-    D.store_u64 t.dev (addr + 16) ts;
-    D.persist t.dev addr entry_size;
-    D.ack_durable t.dev ~label:"wal.append" addr entry_size
+    D.store_u64 dev addr key;
+    D.store_u64 dev (addr + 8) value;
+    D.store_u64 dev (addr + 16) ts;
+    D.persist dev addr entry_size;
+    D.ack_durable dev ~label:"wal.append" addr entry_size
   end
   else begin
     (* Straddling entry: persist key/value before the timestamp so a torn
        entry always presents an invalid timestamp. *)
-    D.store_u64 t.dev addr key;
-    D.store_u64 t.dev (addr + 8) value;
-    D.persist t.dev addr 16;
-    D.store_u64 t.dev (addr + 16) ts;
-    D.persist t.dev (addr + 16) 8;
-    D.ack_durable t.dev ~label:"wal.append" addr entry_size
+    D.store_u64 dev addr key;
+    D.store_u64 dev (addr + 8) value;
+    D.persist dev addr 16;
+    D.store_u64 dev (addr + 16) ts;
+    D.persist dev (addr + 16) 8;
+    D.ack_durable dev ~label:"wal.append" addr entry_size
   end;
   a.off <- a.off + entry_size;
-  t.epoch_data.(epoch) <- t.epoch_data.(epoch) + entry_size;
+  ignore (Atomic.fetch_and_add t.epoch_data.(epoch) entry_size : int);
   let live = live_bytes t in
-  if live > t.peak then t.peak <- live
+  let rec bump () =
+    let p = Atomic.get t.peak in
+    if live > p && not (Atomic.compare_and_set t.peak p live) then bump ()
+  in
+  bump ()
 
 let reclaim_epoch t ~epoch =
-  if t.group.open_ then invalid_arg "Wal.reclaim_epoch: group still open";
+  if group_open t then invalid_arg "Wal.reclaim_epoch: group still open";
   D.span_begin t.dev "wal.reclaim";
   let watermark = Clock.peek t.clock in
-  List.iter
-    (fun addr ->
-      D.store_u64 t.dev (addr + 8) watermark;
-      D.persist t.dev (addr + 8) 8;
-      D.ack_durable t.dev ~label:"wal.reclaim" (addr + 8) 8;
-      Queue.push addr t.free)
-    !(t.epoch_chunks.(epoch));
-  t.epoch_chunks.(epoch) := [];
-  t.epoch_data.(epoch) <- 0;
+  Mutex.protect t.chunk_mu (fun () ->
+      List.iter
+        (fun addr ->
+          D.store_u64 t.dev (addr + 8) watermark;
+          D.persist t.dev (addr + 8) 8;
+          D.ack_durable t.dev ~label:"wal.reclaim" (addr + 8) 8;
+          Queue.push addr t.free)
+        !(t.epoch_chunks.(epoch));
+      t.epoch_chunks.(epoch) := []);
+  Atomic.set t.epoch_data.(epoch) 0;
   Array.iter
     (fun a ->
       a.chunk <- 0;

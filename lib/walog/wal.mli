@@ -28,10 +28,22 @@ val create :
 val entry_size : int
 
 val append :
-  t -> thread:int -> epoch:int -> key:int64 -> value:int64 -> ts:int64 -> unit
+  ?dev:Pmem.Device.t ->
+  t ->
+  thread:int ->
+  epoch:int ->
+  key:int64 ->
+  value:int64 ->
+  ts:int64 ->
+  unit
 (** Persist one log entry; durable when [append] returns — unless a group
-    is open (see {!group_begin}), in which case durability and the ack are
-    deferred to {!group_commit}. *)
+    is open on this lane (see {!group_begin}), in which case durability
+    and the ack are deferred to {!group_commit}.  [?dev] routes the
+    stores/flushes/ack through a writer lane's private
+    {!Pmem.Device.write_view} (default: the log's own device); lanes are
+    append-private, so concurrent appends from distinct [~thread]s never
+    touch the same chunk — only chunk acquisition is shared, and it is
+    mutex-guarded internally. *)
 
 (** {1 Epoch-batched group commit}
 
@@ -43,22 +55,33 @@ val append :
     lines — so a crash anywhere inside the group leaves only entries with
     invalid timestamps, which replay rejects.  Nothing is acked durable
     until both phases complete; a crash mid-group therefore loses only
-    unacked records. *)
+    unacked records.
 
-val group_begin : t -> unit
-(** Open a group.  Raises [Invalid_argument] if one is already open. *)
+    Groups are {e per lane}: each WAL thread owns one, so concurrent
+    writer lanes batch and commit independently (through their own device
+    views) with no shared deferred state.  An append on lane [i] is
+    captured by lane [i]'s group when open, otherwise by lane 0's group —
+    the legacy behaviour, where a single coordinator (e.g. the GC)
+    batches appends round-robined over every lane under one group. *)
 
-val group_commit : t -> unit
-(** Flush, fence and ack every append since {!group_begin}.  An empty
-    group emits no fence at all.  Raises [Invalid_argument] if no group
-    is open. *)
+val group_begin : ?dev:Pmem.Device.t -> ?thread:int -> t -> unit
+(** Open lane [?thread]'s group (default 0).  [?dev] sets the device the
+    commit will flush/ack through (a writer lane passes its write view).
+    Raises [Invalid_argument] if that lane's group is already open. *)
 
-val with_group : t -> (unit -> 'a) -> 'a
+val group_commit : ?thread:int -> t -> unit
+(** Flush, fence and ack every append captured by lane [?thread]'s group
+    since {!group_begin}.  An empty group emits no fence at all.  Raises
+    [Invalid_argument] if that lane has no open group. *)
+
+val with_group : ?dev:Pmem.Device.t -> ?thread:int -> t -> (unit -> 'a) -> 'a
 (** [with_group t f] brackets [f] with {!group_begin}/{!group_commit}.
     If [f] raises, the group is abandoned un-acked and the exception is
     re-raised. *)
 
-val group_open : t -> bool
+val group_open : ?thread:int -> t -> bool
+(** Whether lane [?thread]'s group is open; without [?thread], whether
+    {e any} lane's group is (the {!reclaim_epoch} guard). *)
 
 val live_bytes : t -> int
 (** Live log-entry bytes across both epochs (drives the TH_log GC

@@ -19,6 +19,7 @@ set -eu
 
 exe=_build/default/bench/main.exe
 baseline=BENCH_device.json
+shard_baseline=BENCH_shard.json
 out=BENCH_check.json
 quota=2.0
 runs=3
@@ -28,6 +29,7 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --exe) exe=$2; shift 2 ;;
     --baseline) baseline=$2; shift 2 ;;
+    --shard-baseline) shard_baseline=$2; shift 2 ;;
     --out) out=$2; shift 2 ;;
     --quota) quota=$2; shift 2 ;;
     --runs) runs=$2; shift 2 ;;
@@ -111,6 +113,30 @@ for row in upsert/p50 upsert/p99 search/p50 search/p99; do
     echo "bench_check: info $name $now ns (no baseline row, not gated)"
   fi
 done
+
+# Informational: writer-scaling service-rate ratios from the committed
+# shard suite artifact.  svc_mops is writes / max per-writer thread-CPU
+# time, so the ratio tracks write-path scaling even on a 1-core host
+# where wall clock cannot.  Reported, never gated: the shard rows are a
+# regenerated artifact, not produced by this run.
+if [ -f "$shard_baseline" ]; then
+  awk '
+    /"suite": "shard-writers"/ {
+      mix = ""; w = 0; svc = 0
+      if (match($0, /"mix": "[^"]+"/))     mix = substr($0, RSTART + 8, RLENGTH - 9)
+      if (match($0, /"writers": [0-9]+/))  w   = substr($0, RSTART + 11, RLENGTH - 11) + 0
+      if (match($0, /"svc_mops": [0-9.]+/)) svc = substr($0, RSTART + 12, RLENGTH - 12) + 0
+      if (mix != "" && w > 0) {
+        if (w == 1 && !(mix in base)) base[mix] = svc
+        if (mix in base && base[mix] > 0)
+          printf "bench_check: info shard-writers/%s writers=%d svc=%.3f Mop/s (x%.2f vs 1 writer, not gated)\n", mix, w, svc, svc / base[mix]
+        else
+          printf "bench_check: info shard-writers/%s writers=%d svc=%.3f Mop/s (not gated)\n", mix, w, svc
+      }
+    }' "$shard_baseline"
+else
+  echo "bench_check: info no shard baseline at $shard_baseline (writer-scaling ratios skipped)"
+fi
 
 [ $status -eq 0 ] && echo "bench_check: PASS (threshold +$threshold% vs $baseline)"
 exit $status

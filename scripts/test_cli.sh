@@ -82,6 +82,12 @@ expect_usage "ycsb threads with model"    2 -- "$ycsb" --threads 8 --model-threa
 expect_usage "ycsb bad readers"           2 -- "$ycsb" --readers=-1
 expect_usage "ycsb readers need 1 shard"  2 -- "$ycsb" --readers 2 --domains 4
 expect_usage "ycsb readers no read path"  2 -- "$ycsb" --index fastfair --readers 2 --warmup 100 --ops 100
+expect_usage "ycsb bad writers"           2 -- "$ycsb" --writers=-1
+expect_usage "ycsb too many writers"      2 -- "$ycsb" --writers 65
+expect_usage "ycsb writers no write path" 2 -- "$ycsb" --index fastfair --writers 2 --warmup 100 --ops 100
+# the flush-budget ceilings assume the single-writer device path; the
+# rejection must fire before the budget file is even opened
+expect_usage "ycsb writers vs budget"     2 -- "$ycsb" --writers 2 --flush-budget nosuch.json
 
 # cmdliner-level misuse (unknown option) must also be non-zero
 if "$ycsb" --no-such-flag >"$out" 2>"$err"; then
@@ -203,6 +209,55 @@ if "$ycsb" --index ccl --mix read-intensive --warmup 500 --ops 500 \
   fi
 else
   echo "FAIL ycsb --readers --pmsan: exit $?" >&2
+  failures=$((failures + 1))
+fi
+
+# --writers overrides the driver's upsert/delete with round-robin writer
+# handles on the single-driver path and reports their view counters
+if "$ycsb" --index ccl --mix insert-only --warmup 500 --ops 500 \
+    --writers 2 >"$out" 2>"$err"; then
+  if grep -q "writer handles" "$out" && grep -q "writer retries" "$out"; then
+    echo "ok   ycsb --writers"
+  else
+    echo "FAIL ycsb --writers: writer report missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --writers: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# sharded writer pools compose with reader pools on the same shards
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --domains 2 --writers 2 --readers 2 >"$out" 2>"$err"; then
+  if grep -q "per-writer applied" "$out" && grep -q "writer retries" "$out" \
+     && grep -q "per-reader applied" "$out"; then
+    echo "ok   ycsb --domains 2 --writers --readers"
+  else
+    echo "FAIL ycsb sharded writers: pool report missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb sharded writers: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# with --writers a sanitizer is attached per shard (plain sharded --pmsan
+# stays rejected, see above); the run must stay violation-free
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --domains 2 --writers 2 --pmsan >"$out" 2>"$err"; then
+  if grep -q "pmsan shard 0 per-site report" "$out" \
+     && grep -q "pmsan shard 1 per-site report" "$out"; then
+    echo "ok   ycsb sharded --writers --pmsan"
+  else
+    echo "FAIL ycsb sharded --writers --pmsan: per-shard report missing" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb sharded --writers --pmsan: exit $? (violations?)" >&2
+  sed 's/^/  stdout: /' "$out" >&2
   failures=$((failures + 1))
 fi
 

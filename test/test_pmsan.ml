@@ -237,6 +237,7 @@ let ccl_driver t =
     allocator = (fun () -> T.allocator t);
     counters = (fun () -> []);
     new_reader = None;
+    new_writer = None;
   }
 
 let check_report r =

@@ -314,6 +314,7 @@ let test_read_pool_rejects_readerless_driver () =
             allocator = (fun () -> T.allocator t);
             counters = (fun () -> []);
             new_reader = None;
+            new_writer = None;
           } ))
       ()
   in

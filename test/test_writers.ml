@@ -1,0 +1,465 @@
+(* Concurrent-writer correctness: optimistic lock coupling across 2-4
+   writer domains racing each other (and optimistic readers) on one
+   tree, validated against a volatile oracle; a qcheck law pinning the
+   partitioned-writer accounting to the single-writer baseline; the
+   Write_pool plumbing over a shard; and a crash-at-every-fence sweep
+   with two writer lanes live, auditing acked durability across both
+   WAL lanes after recovery.
+
+   Value encoding as in test_readers: key [k] at generation [g] carries
+   value [g * key_space + k + 1], so any value observed for [k] must
+   decode back to [k] regardless of which generation won. *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module T = Ccl_btree.Tree
+module Stats = Ccl_btree.Tree_stats
+module Config = Ccl_btree.Config
+module I = Baselines.Index_intf
+module Y = Workload.Ycsb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let device ?(size = 8 * 1024 * 1024) ?(persist_prob = 0.5) ?(seed = 17) () =
+  D.create
+    ~config:
+      { (Pmem.Config.default ~size ()) with persist_prob; crash_seed = seed }
+    ()
+
+let key_space = 512
+let encode ~g k = Int64.of_int ((g * key_space) + k + 1)
+let decode_key v = (Int64.to_int v - 1) mod key_space
+
+(* --- single-domain writer handle sanity ---------------------------------- *)
+
+let test_writer_sequential_agreement () =
+  let dev_w = device () and dev_p = device () in
+  let cfg = { Config.default with Config.threads = 1 } in
+  let tw = T.create ~cfg dev_w and tp = T.create dev_p in
+  let w = T.writer tw in
+  for k = 0 to key_space - 1 do
+    T.writer_upsert w (Int64.of_int k) (encode ~g:0 k);
+    T.upsert tp (Int64.of_int k) (encode ~g:0 k)
+  done;
+  for k = 0 to key_space - 1 do
+    if k mod 5 = 0 then begin
+      T.writer_delete w (Int64.of_int k);
+      T.delete tp (Int64.of_int k)
+    end
+  done;
+  for k = 0 to key_space - 1 do
+    Alcotest.(check (option int64))
+      (Printf.sprintf "key %d" k)
+      (T.search tp (Int64.of_int k))
+      (T.search tw (Int64.of_int k))
+  done;
+  T.check_invariants tw;
+  check_int "no retries unopposed" 0 (T.writer_retries w);
+  check_bool "writer forced splits" true ((T.writer_stats w).Stats.splits > 0)
+
+(* --- randomized multi-writer storm vs volatile oracle -------------------- *)
+
+(* Each of the N writer domains owns the keys congruent to its lane mod
+   N, so the final image is deterministic (per-key order is per-lane
+   program order) even though the lanes race over shared leaves, splits
+   and merges.  Writers churn their keyspace keys through rising
+   generations, insert far keys to drive splits, and delete them again
+   to drive merges; concurrent readers must never observe a value that
+   decodes to the wrong key.  The quiesced tree must equal the oracle. *)
+let storm_ops ~n_writers ~gens lane =
+  let ops = ref [] in
+  let rng = Random.State.make [| 1000 + lane |] in
+  for g = 1 to gens do
+    for k = 0 to key_space - 1 do
+      if k mod n_writers = lane then
+        ops := (Int64.of_int k, encode ~g k) :: !ops
+    done;
+    (* far keys, lane-owned: inserts force splits, deletes force
+       underflow and the occasional merge *)
+    for _ = 1 to 48 do
+      let k = key_space + (n_writers * Random.State.int rng key_space) + lane in
+      ops := (Int64.of_int k, encode ~g (k mod key_space)) :: !ops
+    done;
+    for _ = 1 to 40 do
+      let k = key_space + (n_writers * Random.State.int rng key_space) + lane in
+      ops := (Int64.of_int k, 0L) :: !ops
+    done
+  done;
+  List.rev !ops
+
+let run_storm n_writers =
+  let dev = device () in
+  let cfg = { Config.default with Config.threads = n_writers } in
+  let t = T.create ~cfg dev in
+  for k = 0 to key_space - 1 do
+    T.upsert t (Int64.of_int k) (encode ~g:0 k)
+  done;
+  let writing = Atomic.make n_writers in
+  let writer_main lane =
+    let w = T.writer ~lane t in
+    List.iter
+      (fun (k, v) ->
+        if Int64.equal v 0L then T.writer_delete w k else T.writer_upsert w k v)
+      (storm_ops ~n_writers ~gens:3 lane);
+    Atomic.decr writing;
+    ((T.writer_stats w).Stats.splits, T.writer_retries w)
+  in
+  let reader_main seed =
+    let r = T.reader t in
+    let rng = Random.State.make [| seed |] in
+    let bad = ref 0 in
+    while Atomic.get writing > 0 do
+      let k = Random.State.int rng key_space in
+      (match T.reader_search r (Int64.of_int k) with
+      | Some v -> if decode_key v <> k then incr bad
+      | None ->
+        (* keyspace keys are preloaded and never deleted *)
+        incr bad);
+      Domain.cpu_relax ()
+    done;
+    !bad
+  in
+  let readers =
+    List.init 2 (fun i -> Domain.spawn (fun () -> reader_main (300 + i)))
+  in
+  let writers =
+    List.init n_writers (fun lane ->
+        Domain.spawn (fun () -> writer_main lane))
+  in
+  let wresults = List.map Domain.join writers in
+  let bad_reads = List.map Domain.join readers in
+  List.iteri
+    (fun i bad ->
+      check_int
+        (Printf.sprintf "%d writers: reader %d zero bad reads" n_writers i)
+        0 bad)
+    bad_reads;
+  check_bool
+    (Printf.sprintf "%d writers: storm forced splits" n_writers)
+    true
+    (List.fold_left (fun a (s, _) -> a + s) 0 wresults > 0);
+  (* quiesced: the tree equals the oracle built from every lane's ops *)
+  T.check_invariants t;
+  let oracle = Hashtbl.create 4096 in
+  for k = 0 to key_space - 1 do
+    Hashtbl.replace oracle (Int64.of_int k) (encode ~g:0 k)
+  done;
+  for lane = 0 to n_writers - 1 do
+    List.iter
+      (fun (k, v) ->
+        if Int64.equal v 0L then Hashtbl.remove oracle k
+        else Hashtbl.replace oracle k v)
+      (storm_ops ~n_writers ~gens:3 lane)
+  done;
+  let live = ref 0 in
+  T.iter t (fun k v ->
+      incr live;
+      match Hashtbl.find_opt oracle k with
+      | Some v' ->
+        if not (Int64.equal v v') then
+          Alcotest.failf "%d writers: key %Ld has %Ld, oracle %Ld" n_writers
+            k v v'
+      | None -> Alcotest.failf "%d writers: key %Ld not in oracle" n_writers k);
+  check_int
+    (Printf.sprintf "%d writers: oracle cardinality" n_writers)
+    (Hashtbl.length oracle) !live
+
+let test_concurrent_writer_storm () =
+  List.iter run_storm [ 2; 3; 4 ]
+
+(* --- qcheck: partitioned writers vs the single-writer baseline ----------- *)
+
+(* The same op sequence, dealt round-robin over N writer handles (still
+   executed sequentially, so per-key order is preserved), must produce
+   the same tree contents as the plain single-writer path, account the
+   same user bytes (plain path counts on the tree's device, writers on
+   their private views, merged), and the summed per-writer op counters
+   must equal the baseline's phase accounting. *)
+let writer_partition_law =
+  QCheck.Test.make ~count:15
+    ~name:"partitioned writers match single-writer accounting"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 120) (pair (int_bound 63) (int_bound 200)))
+        (int_range 2 4))
+    (fun (raw_ops, n) ->
+      let ops =
+        List.map
+          (fun (k, v) ->
+            ( Int64.of_int k,
+              if v mod 7 = 0 then 0L else Int64.of_int (v + 1) ))
+          raw_ops
+      in
+      let dev_a = device ~persist_prob:1.0 () in
+      let ta = T.create dev_a in
+      List.iter
+        (fun (k, v) ->
+          if Int64.equal v 0L then T.delete ta k else T.upsert ta k v)
+        ops;
+      let dev_b = device ~persist_prob:1.0 () in
+      let cfg = { Config.default with Config.threads = n } in
+      let tb = T.create ~cfg dev_b in
+      let handles = Array.init n (fun lane -> T.writer ~lane tb) in
+      List.iteri
+        (fun i (k, v) ->
+          let w = handles.(i mod n) in
+          if Int64.equal v 0L then T.writer_delete w k
+          else T.writer_upsert w k v)
+        ops;
+      let contents t =
+        let acc = ref [] in
+        T.iter t (fun k v -> acc := (k, v) :: !acc);
+        List.rev !acc
+      in
+      let same_contents = contents ta = contents tb in
+      let ub_a = (D.snapshot dev_a).S.user_bytes in
+      let ub_b =
+        Array.fold_left
+          (fun acc w -> acc + (D.snapshot (T.writer_device w)).S.user_bytes)
+          (D.snapshot dev_b).S.user_bytes handles
+      in
+      let n_del = List.length (List.filter (fun (_, v) -> Int64.equal v 0L) ops) in
+      let n_ins = List.length ops - n_del in
+      let sum sel =
+        Array.fold_left (fun acc w -> acc + sel (T.writer_stats w)) 0 handles
+      in
+      let sa = T.stats ta in
+      same_contents && ub_a = ub_b
+      && sum (fun s -> s.Stats.inserts) = sa.Stats.inserts
+      && sum (fun s -> s.Stats.deletes) = sa.Stats.deletes
+      && sum (fun s -> s.Stats.inserts) = n_ins
+      && sum (fun s -> s.Stats.deletes) = n_del)
+
+(* --- write pool over a shard --------------------------------------------- *)
+
+let mk_shard ~threads () =
+  Shard.create
+    ~config:{ Shard.default_config with shards = 1; batch = 16 }
+    ~make:(fun _ ->
+      let dev = device () in
+      ( dev,
+        Baselines.Ccl_index.driver_with
+          { Config.default with Config.threads } dev ))
+    ()
+
+let test_write_pool_applies_stream () =
+  let sh = mk_shard ~threads:2 () in
+  for k = 0 to key_space - 1 do
+    Shard.upsert sh (Int64.of_int k) (encode ~g:0 k)
+  done;
+  Shard.flush sh;
+  let pool = Shard.writer_pool sh ~shard:0 ~writers:2 in
+  (* mixed stream: updates, fresh inserts, deletes — plus reads the
+     write pool must skip *)
+  let ops =
+    Array.init 2_000 (fun i ->
+        match i mod 4 with
+        | 0 -> Y.Insert (Int64.of_int (i mod key_space), encode ~g:1 (i mod key_space))
+        | 1 -> Y.Insert (Int64.of_int (key_space + i), encode ~g:1 ((key_space + i) mod key_space))
+        | 2 -> Y.Insert (Int64.of_int (key_space + i - 1), 0L)
+        | _ -> Y.Read (Int64.of_int (i mod key_space)))
+  in
+  let n_mutations =
+    Array.fold_left
+      (fun acc op -> match op with Y.Insert _ -> acc + 1 | _ -> acc)
+      0 ops
+  in
+  Shard.Write_pool.run pool ops;
+  let applied = Shard.Write_pool.applied pool in
+  check_int "all mutations executed" n_mutations
+    (Array.fold_left ( + ) 0 applied);
+  Array.iteri
+    (fun i n -> check_bool (Printf.sprintf "writer %d ran" i) true (n > 0))
+    applied;
+  check_bool "no lane crashed" true
+    (Array.for_all not (Shard.Write_pool.crashed pool));
+  Shard.Write_pool.shutdown pool;
+  check_bool "writer views wrote user bytes" true
+    ((Shard.Write_pool.dev_stats pool).S.user_bytes = 16 * n_mutations);
+  check_bool "retries latched" true (Shard.Write_pool.retries pool >= 0);
+  (* pool is down: the router's own paths are safe again *)
+  Array.iter
+    (fun op ->
+      match op with
+      | Y.Insert (k, v) when not (Int64.equal v 0L) && Int64.to_int k < key_space
+        ->
+        Alcotest.(check (option int64))
+          (Printf.sprintf "key %Ld after pool" k)
+          (Some v) (Shard.search sh k)
+      | _ -> ())
+    ops;
+  Shard.shutdown sh
+
+let test_write_pool_rejects_writerless_driver () =
+  let dev0 = device () in
+  let sh =
+    Shard.create
+      ~config:{ Shard.default_config with shards = 1 }
+      ~make:(fun _ ->
+        let t = T.create dev0 in
+        ( dev0,
+          {
+            I.name = "no-writers";
+            upsert = T.upsert t;
+            search = T.search t;
+            delete = T.delete t;
+            scan = (fun ~start n -> T.scan t ~start n);
+            flush_all = (fun () -> T.flush_all t);
+            dram_bytes = (fun () -> T.dram_bytes t);
+            pm_bytes = (fun () -> T.pm_bytes t);
+            allocator = (fun () -> T.allocator t);
+            counters = (fun () -> []);
+            new_reader = None;
+            new_writer = None;
+          } ))
+      ()
+  in
+  Alcotest.check_raises "pool creation rejected"
+    (Invalid_argument
+       "Shard.writer_pool: this index driver has no concurrent write path")
+    (fun () ->
+      ignore (Shard.writer_pool sh ~shard:0 ~writers:2 : Shard.Write_pool.t));
+  Shard.shutdown sh
+
+(* --- crash at every fence with two writer lanes live --------------------- *)
+
+(* For every fence index: rewind to the post-format checkpoint, recover,
+   run two writer domains over disjoint key sets (lane 0 even slots,
+   lane 1 odd) with the failure armed on lane 0's private view.  When
+   the power fails, both lanes stop, both views spill their share of the
+   XPBuffer (always-persistent under ADR), the parent device crashes
+   last, and the tree recovers.  The audit: writer ops log through
+   {!Wal.append} with no open group, so every op is durable (acked) the
+   moment the call returns — for each key the recovered value must be
+   the lane's last acked write to it, or its one in-flight op (whose log
+   entry may or may not have reached its fence).  Both lanes' acked
+   prefixes must survive, not just the crashing lane's. *)
+let test_crash_sweep_two_writers () =
+  let cfg = { Config.default with Config.nbatch = 2; Config.threads = 2 } in
+  let dev = device ~size:(4 * 1024 * 1024) ~persist_prob:0.5 ~seed:29 () in
+  let t0 = T.create ~cfg dev in
+  ignore (t0 : T.t);
+  let ck = D.checkpoint dev in
+  let ks = 64 in
+  let n_ops = 150 in
+  let ops_for lane =
+    (* disjoint keys per lane: per-key order is per-lane program order *)
+    List.init n_ops (fun i ->
+        let k = (((i * 5) + lane) mod ks / 2 * 2) + lane in
+        let g = 1 + (i / ks) in
+        if i mod 11 = 10 then (Int64.of_int k, 0L)
+        else (Int64.of_int k, Int64.of_int ((g * ks) + k + 1)))
+  in
+  (* per-key allowed recovered values for a lane that completed [done_n]
+     ops: the last completed write, or the in-flight op if it targeted
+     the key (logged-but-unacked entries may survive the spill) *)
+  let allowed lane done_n =
+    let ops = ops_for lane in
+    let tbl = Hashtbl.create 64 in
+    List.iteri
+      (fun i (k, v) ->
+        if i < done_n then Hashtbl.replace tbl k [ v ]
+        else if i = done_n then
+          Hashtbl.replace tbl k
+            (v
+            :: (match Hashtbl.find_opt tbl k with
+               | Some l -> l
+               | None -> [ 0L ])))
+      ops;
+    tbl
+  in
+  let max_fences = 2_000 in
+  let rec sweep fence tested =
+    if fence > max_fences then Alcotest.fail "fence cap hit: sweep diverged"
+    else begin
+      D.restore dev ck;
+      let t = T.recover ~cfg dev in
+      let failed = Atomic.make false in
+      let worker lane =
+        Domain.spawn (fun () ->
+            let w = T.writer ~lane t in
+            let wdev = T.writer_device w in
+            if lane = 0 then D.plan_failure wdev ~after_fences:fence;
+            let done_n = ref 0 in
+            (try
+               List.iter
+                 (fun (k, v) ->
+                   if Atomic.get failed then raise Exit;
+                   if Int64.equal v 0L then T.writer_delete w k
+                   else T.writer_upsert w k v;
+                   incr done_n)
+                 (ops_for lane)
+             with
+            | D.Power_failure -> Atomic.set failed true
+            | Exit -> ()
+            | _ when Atomic.get failed ->
+              (* after the power instant, in-DRAM state is officially
+                 garbage; only the PM image below is audited *)
+              ());
+            (!done_n, wdev))
+      in
+      let d0 = worker 0 and d1 = worker 1 in
+      let done0, wdev0 = Domain.join d0 in
+      let done1, wdev1 = Domain.join d1 in
+      if not (Atomic.get failed) then begin
+        check_int "final run completes every op" n_ops done0;
+        tested
+      end
+      else begin
+        (* fleet power failure: every write view spills its share of the
+           XPBuffer first, the parent device crashes last *)
+        D.crash_spill wdev0;
+        D.crash_spill wdev1;
+        D.crash dev;
+        let t' = T.recover ~cfg dev in
+        T.check_invariants t';
+        let audit lane done_n =
+          let tbl = allowed lane done_n in
+          Hashtbl.iter
+            (fun k vs ->
+              let got =
+                match T.search t' k with Some v -> v | None -> 0L
+              in
+              if not (List.exists (Int64.equal got) vs) then
+                Alcotest.failf
+                  "fence %d lane %d key %Ld: recovered %Ld not in acked set \
+                   [%s] (completed %d)"
+                  fence lane k got
+                  (String.concat " " (List.map Int64.to_string vs))
+                  done_n)
+            tbl
+        in
+        audit 0 done0;
+        audit 1 done1;
+        sweep (fence + 7) (tested + 1)
+      end
+    end
+  in
+  let tested = sweep 1 0 in
+  check_bool "sweep exercised crash points" true (tested > 5)
+
+let () =
+  Alcotest.run "writers"
+    [
+      ( "writer",
+        [
+          Alcotest.test_case "sequential agreement" `Quick
+            test_writer_sequential_agreement;
+          Alcotest.test_case "concurrent writer storm" `Quick
+            test_concurrent_writer_storm;
+        ] );
+      ("law", [ QCheck_alcotest.to_alcotest writer_partition_law ]);
+      ( "write-pool",
+        [
+          Alcotest.test_case "applies a mixed stream" `Quick
+            test_write_pool_applies_stream;
+          Alcotest.test_case "rejects writerless driver" `Quick
+            test_write_pool_rejects_writerless_driver;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "sweep with two writer lanes" `Quick
+            test_crash_sweep_two_writers;
+        ] );
+    ]
