@@ -1327,7 +1327,17 @@ let writer ?lane t =
       if l < 0 || l >= t.cfg.Config.threads then
         invalid_arg "Tree.writer: lane out of range (raise Config.threads)";
       l
-    | None -> Atomic.fetch_and_add t.next_lane 1 mod t.cfg.Config.threads
+    | None ->
+      (* Never wrap: two concurrent handles sharing a lane would race on
+         the lane's unsynchronized WAL chunk cursor and corrupt the log.
+         Minting more handles than lanes is a config error, not a
+         degradation. *)
+      let l = Atomic.fetch_and_add t.next_lane 1 in
+      if l >= t.cfg.Config.threads then
+        invalid_arg
+          "Tree.writer: WAL lanes exhausted (mint at most Config.threads \
+           handles, or pin ~lane explicitly)";
+      l
   in
   {
     wt = t;
@@ -1620,6 +1630,8 @@ let writer_split w b ~key ~value ~ts =
   let mode = ref Sync.Sx.SX in
   let latched = ref true in
   let vheld = ref false in
+  let staged = ref None in
+  (* the prepared (still unreachable) right leaf, freed on abort *)
   try
     let v1 = Sync.Vlock.read_begin b.B.version in
     if b.B.dead || Sync.Vlock.is_locked_v v1 then begin
@@ -1637,6 +1649,7 @@ let writer_split w b ~key ~value ~ts =
           let new_leaf, split_key, right_low, right_bytes =
             writer_split_prepare w b ~union ~ts:bts
           in
+          staged := Some new_leaf;
           Sync.Sx.upgrade t.latch;
           mode := Sync.Sx.X;
           if Sync.Vlock.try_upgrade b.B.version v1 then begin
@@ -1644,13 +1657,18 @@ let writer_split w b ~key ~value ~ts =
             writer_split_commit w b ~union ~split_key ~right_low ~new_leaf
               ~right_bytes ~ts:bts ~key ~value;
             vheld := false;
+            staged := None;
             true
           end
           else begin
             (* [b] changed since the snapshot: the prepared right leaf
                reflects a stale union.  Nothing reader-visible happened —
-               the leaf was unreachable — so just give it back. *)
+               the leaf was unreachable — so give it back, and drop its
+               lines staged in [w.wfs]: a later commit must not clwb a
+               freed (possibly reallocated) chunk. *)
+            Pmem.Flushset.reset w.wfs;
             Slab.free t.slab new_leaf;
+            staged := None;
             false
           end
         | _ ->
@@ -1664,7 +1682,15 @@ let writer_split w b ~key ~value ~ts =
       committed
     end
   with e ->
-    if !vheld then B.unlock b;
+    if !vheld then B.unlock b
+    else begin
+      (* Aborted before anything reader-visible: drop the staged flush
+         lines and reclaim the unreachable right leaf.  (With [vheld]
+         the commit was underway and the leaf may already be linked in,
+         so neither is safe there.) *)
+      Pmem.Flushset.reset w.wfs;
+      match !staged with Some nl -> Slab.free t.slab nl | None -> ()
+    end;
     if !latched then Sync.Sx.release t.latch !mode;
     raise e
 
@@ -1719,12 +1745,19 @@ let writer_try_merge w b =
          List.iter (fun (i, k) -> L.store_fingerprint dev p.B.leaf i k) !fps;
          let merged_next = L.next dev b.B.leaf in
          let chain_next = b.B.next in
+         (* Snapshot the expected post-release versions while the locks
+            are still held: unlock is deterministic (held odd v -> v+1),
+            so these are exactly the values [try_upgrade] must see.  A
+            snapshot taken after the release could race a complete
+            try_lock/apply/unlock by another lane in the release→upgrade
+            window and let the CAS commit the stale staged copies over
+            that lane's write. *)
+         let vb = Sync.Vlock.value b.B.version + 1 in
          B.unlock b;
          bheld := false;
-         let vb = Sync.Vlock.value b.B.version in
+         let vp = Sync.Vlock.value p.B.version + 1 in
          B.unlock p;
          pheld := None;
-         let vp = Sync.Vlock.value p.B.version in
          Sync.Sx.upgrade t.latch;
          mode := Sync.Sx.X;
          if Sync.Vlock.try_upgrade p.B.version vp then
@@ -1756,6 +1789,9 @@ let writer_try_merge w b =
   with e ->
     if !bheld then B.unlock b;
     (match !pheld with Some p -> B.unlock p | None -> ());
+    (* staged-copy lines may still sit in [w.wfs] if the exception hit
+       between touch and commit; they must not leak into a later commit *)
+    Pmem.Flushset.reset w.wfs;
     if !latched then Sync.Sx.release t.latch !mode;
     raise e
 
@@ -1844,6 +1880,7 @@ let writer_apply_x w key value =
     latched := false
   with e ->
     (match !locked with Some b -> B.unlock b | None -> ());
+    Pmem.Flushset.reset w.wfs;
     if !latched then Sync.Sx.release t.latch Sync.Sx.X;
     raise e
 

@@ -95,9 +95,12 @@ type writer
 
 val writer : ?lane:int -> t -> writer
 (** Mint a writer handle.  [?lane] pins the WAL lane (must be
-    [< Config.threads]); omitted, lanes are assigned round-robin.
-    Distinct concurrent writers should use distinct lanes — sharing one
-    is correct but serializes their log appends' chunk tails. *)
+    [< Config.threads]); omitted, lanes are assigned round-robin, and
+    minting raises [Invalid_argument] once [Config.threads] handles have
+    been assigned.  Concurrent writers MUST use distinct lanes: a lane's
+    WAL chunk cursor is unsynchronized, so two live handles sharing one
+    would corrupt the log.  Pinning [?lane] may reuse a lane only across
+    handles that are never used concurrently (e.g. mint-per-phase). *)
 
 val writer_upsert : writer -> int64 -> int64 -> unit
 val writer_delete : writer -> int64 -> unit

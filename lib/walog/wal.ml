@@ -34,6 +34,10 @@ type group = {
   mutable ack_addr : int array;  (* per-entry ack ranges, all entry_size *)
   mutable nack : int;
   mutable gdev : D.t;  (* device the commit flushes/acks through *)
+  mutable owner : int;
+      (* Domain.id of the domain that opened the group: cross-lane
+         capture (an append with no group on its own lane falling back to
+         lane 0's) is only legal from this domain — see [append] *)
 }
 
 type t = {
@@ -75,6 +79,7 @@ let create alloc clock ~threads =
             ack_addr = Array.make 64 0;
             nack = 0;
             gdev = dev;
+            owner = (Domain.self () :> int);
           });
     chunk_mu = Mutex.create ();
   }
@@ -144,6 +149,7 @@ let group_open ?thread t =
 let group_begin ?dev ?(thread = 0) t =
   let g = t.groups.(thread) in
   if g.open_ then invalid_arg "Wal.group_begin: group already open";
+  g.owner <- (Domain.self () :> int);
   g.gdev <- Option.value dev ~default:t.dev;
   D.span_begin g.gdev "wal.group";
   g.open_ <- true
@@ -205,10 +211,23 @@ let append ?dev t ~thread ~epoch ~key ~value ~ts =
   let addr = a.chunk + a.off in
   (* An open group on this lane captures the append; otherwise lane 0's
      group does (the legacy single-group behaviour, where e.g. the GC
-     batches appends round-robined over all lanes under one group). *)
+     batches appends round-robined over all lanes under one group) — but
+     only when this append runs on the domain that opened it.  A writer
+     lane falling into another domain's group would mutate its
+     flushset/defer arrays unsynchronized and have its durability acked
+     through the wrong device view, so that is a contract violation
+     (owner quiet while lanes append), not a fallback. *)
   let g =
     let gt = t.groups.(thread) in
-    if gt.open_ then gt else t.groups.(0)
+    if gt.open_ then gt
+    else begin
+      let g0 = t.groups.(0) in
+      if g0.open_ && g0.owner <> (Domain.self () :> int) then
+        invalid_arg
+          "Wal.append: lane has no open group and lane 0's group belongs \
+           to another domain (cross-lane capture is owner-only)";
+      g0
+    end
   in
   if g.open_ then begin
     (* Grouped append: store now, flush/fence/ack at [group_commit]. *)

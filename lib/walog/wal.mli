@@ -43,7 +43,10 @@ val append :
     {!Pmem.Device.write_view} (default: the log's own device); lanes are
     append-private, so concurrent appends from distinct [~thread]s never
     touch the same chunk — only chunk acquisition is shared, and it is
-    mutex-guarded internally. *)
+    mutex-guarded internally.  Raises [Invalid_argument] when this lane
+    has no open group but lane 0's group is open {e and} was opened by a
+    different domain — the owner-only cross-lane capture contract (see
+    the group-commit section below). *)
 
 (** {1 Epoch-batched group commit}
 
@@ -62,7 +65,16 @@ val append :
     views) with no shared deferred state.  An append on lane [i] is
     captured by lane [i]'s group when open, otherwise by lane 0's group —
     the legacy behaviour, where a single coordinator (e.g. the GC)
-    batches appends round-robined over every lane under one group. *)
+    batches appends round-robined over every lane under one group.
+
+    The cross-lane fallback is {e owner-only}: it applies solely to
+    appends issued from the domain that called {!group_begin} on lane 0.
+    An append from any other domain while lane 0's group is open (a
+    writer lane racing a coordinator batch) raises [Invalid_argument]
+    instead of silently mutating the group's deferred state from a
+    second domain and acking durability through the wrong device view.
+    Equivalently: the owning domain must be quiet (no [with_group]
+    batches) while writer lanes append. *)
 
 val group_begin : ?dev:Pmem.Device.t -> ?thread:int -> t -> unit
 (** Open lane [?thread]'s group (default 0).  [?dev] sets the device the
