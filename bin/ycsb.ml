@@ -161,6 +161,27 @@ let sited_driver san (drv : Baselines.Index_intf.driver) =
         drv.Baselines.Index_intf.flush_all ());
   }
 
+(* --rsan: the concurrency sanitizer consumes the global Sync.Hook
+   stream, so one detector covers every domain; attach before the index
+   (and any worker domains) exist so the whole run is checked.  Device
+   watches ride add_tracer and pmsan's attach uses set_tracer, so pmsan
+   must attach to a device first — both run_single and the sharded
+   pre_shard hook keep that order. *)
+let rsan_start rsan =
+  if rsan then begin
+    let san = Rsan.create () in
+    Rsan.attach san;
+    Some san
+  end
+  else None
+
+let rsan_finish = function
+  | None -> 0
+  | Some san ->
+    Rsan.detach ();
+    Printf.printf "\nrsan report\n%s\n" (Fmt.str "%a" Rsan.pp_report san);
+    if Rsan.clean san then 0 else 1
+
 let no_reader_path spec =
   Printf.eprintf
     "ccl-ycsb: --readers: index '%s' has no concurrent read path (only ccl \
@@ -189,9 +210,12 @@ let sum_assoc lists =
   List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
 
 let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
-    readers writers o =
+    rsan readers writers o =
   let dev = Harness.Runner.device ~mb:(max 96 (warmup / 4000)) () in
   let san = if pmsan then Some (Pmsan.attach ~site:"create" dev) else None in
+  (* after pmsan: its set_tracer would evict an earlier rsan watch *)
+  let rsan = rsan_start rsan in
+  (match rsan with Some r -> Rsan.watch_device r dev | None -> ());
   let drv = Harness.Runner.build spec dev in
   (* --readers in single-driver mode: mint N concurrent-read handles and
      deal searches/scans to them round-robin.  One domain, so this is not
@@ -341,49 +365,58 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
                      (Array.map
                         (fun h -> h.Baselines.Index_intf.w_counters ())
                         writer_handles))));
-  match san with
-  | None -> 0
-  | Some san ->
-    (* settle the device so end-of-run shadow state is fully persisted *)
-    Pmsan.set_site san "drain";
-    drv.Baselines.Index_intf.flush_all ();
-    D.drain dev;
-    let correctness = Pmsan.correctness (Pmsan.violations san) in
-    Printf.printf "\npmsan per-site report\n%s\n"
-      (Fmt.str "%a" Pmsan.pp_site_table san);
-    let budget_rc =
-      match budget with
-      | None -> 0
-      | Some ceiling -> (
-        match Pmsan.Budget.check ceiling (Pmsan.counters san) with
-        | Ok () ->
-          Printf.printf "flush budget OK (%s)\n"
-            (Fmt.str "%a" Pmsan.Budget.pp_ceiling ceiling);
-          0
-        | Error breaches ->
-          Printf.printf "flush budget BREACHED (%s):\n"
-            (Fmt.str "%a" Pmsan.Budget.pp_ceiling ceiling);
-          List.iter (Printf.printf "  %s\n") breaches;
-          1)
-    in
-    if correctness <> [] then begin
-      Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
-        (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
-      1
-    end
-    else budget_rc
+  let pmsan_rc =
+    match san with
+    | None -> 0
+    | Some san ->
+      (* settle the device so end-of-run shadow state is fully persisted *)
+      Pmsan.set_site san "drain";
+      drv.Baselines.Index_intf.flush_all ();
+      D.drain dev;
+      let correctness = Pmsan.correctness (Pmsan.violations san) in
+      Printf.printf "\npmsan per-site report\n%s\n"
+        (Fmt.str "%a" Pmsan.pp_site_table san);
+      let budget_rc =
+        match budget with
+        | None -> 0
+        | Some ceiling -> (
+          match Pmsan.Budget.check ceiling (Pmsan.counters san) with
+          | Ok () ->
+            Printf.printf "flush budget OK (%s)\n"
+              (Fmt.str "%a" Pmsan.Budget.pp_ceiling ceiling);
+            0
+          | Error breaches ->
+            Printf.printf "flush budget BREACHED (%s):\n"
+              (Fmt.str "%a" Pmsan.Budget.pp_ceiling ceiling);
+            List.iter (Printf.printf "  %s\n") breaches;
+            1)
+      in
+      if correctness <> [] then begin
+        Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
+          (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
+        1
+      end
+      else budget_rc
+  in
+  max pmsan_rc (rsan_finish rsan)
 
 (* --- sharded (measured) path --------------------------------------------- *)
 
 let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
-    readers o =
+    readers rsan o =
   let rc = make_recorder o in
+  (* attach before the shard domains spawn so every hook event is seen *)
+  let rsan = rsan_start rsan in
   (* workers register their lanes inside Shard.create; pause until the
      measured phase so the load traffic stays out of the books *)
   Obs.Recorder.pause rc;
   let t =
     Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000))
       ?recorder:(if Obs.Recorder.enabled rc then Some rc else None)
+      ?pre_shard:
+        (match rsan with
+        | Some r -> Some (fun _ dev -> Rsan.watch_device r dev)
+        | None -> None)
       spec ~domains ()
   in
   Printf.printf "loading %d keys into %d x %s shards...\n%!" warmup domains
@@ -485,7 +518,8 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
   print_modeled m model_threads;
   obs_report o rc ~delta;
   if o.attribution then print_attribution ~ops ~delta ~counters:[];
-  Shard.shutdown t
+  Shard.shutdown t;
+  rsan_finish rsan
 
 (* --writers in sharded mode: every shard gets a pool of [writers]
    writer domains (optimistic lock coupling inside the tree, one WAL
@@ -502,18 +536,24 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
    covers the shared-device traffic: load, WAL chunk handoff, buffer
    flushes and end-of-run drain. *)
 let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
-    domains readers writers pmsan o =
+    domains readers writers pmsan rsan o =
   let rc = make_recorder o in
+  let rsan = rsan_start rsan in
   Obs.Recorder.pause rc;
   let sans = Array.make domains None in
   let t =
     Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000))
       ?recorder:(if Obs.Recorder.enabled rc then Some rc else None)
       ?pre_shard:
-        (if pmsan then
+        (if pmsan || rsan <> None then
            Some
              (fun i dev ->
-               sans.(i) <- Some (Pmsan.attach ~site:"shard" dev))
+               (* pmsan first: it set_tracers, rsan's watch add_tracers *)
+               if pmsan then
+                 sans.(i) <- Some (Pmsan.attach ~site:"shard" dev);
+               match rsan with
+               | Some r -> Rsan.watch_device r dev
+               | None -> ())
          else None)
       spec ~domains ()
   in
@@ -659,7 +699,7 @@ let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
   if o.attribution then print_attribution ~ops ~delta ~counters:[];
   if not pmsan then begin
     Shard.shutdown t;
-    0
+    rsan_finish rsan
   end
   else begin
     (* settle every shard (flush_all + device drain on the worker
@@ -682,18 +722,21 @@ let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
             (Fmt.str "%a" Pmsan.pp_site_table san)
         | None -> ())
       sans;
-    if correctness <> [] then begin
-      Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
-        (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
-      1
-    end
-    else 0
+    let pmsan_rc =
+      if correctness <> [] then begin
+        Printf.printf "\npmsan CORRECTNESS violations:\n%s\n"
+          (Fmt.str "%a" Fmt.(list ~sep:cut Pmsan.pp_violation) correctness);
+        1
+      end
+      else 0
+    in
+    max pmsan_rc (rsan_finish rsan)
   end
 
 open Cmdliner
 
 let run index mix warmup ops model_threads threads scan_len domains readers
-    writers pmsan flush_budget hist sample trace metrics attribution =
+    writers pmsan rsan flush_budget hist sample trace metrics attribution =
   let usage fmt =
     Printf.ksprintf
       (fun m ->
@@ -790,15 +833,14 @@ let run index mix warmup ops model_threads threads scan_len domains readers
   in
   let m = mix_of mix in
   if domains = 0 then
-    run_single spec m mix warmup ops model_threads scan_len pmsan budget
+    run_single spec m mix warmup ops model_threads scan_len pmsan budget rsan
       readers writers o
   else if writers > 0 then
     run_sharded_writers spec m mix warmup ops model_threads scan_len domains
-      readers writers pmsan o
-  else begin
-    run_sharded spec m mix warmup ops model_threads scan_len domains readers o;
-    0
-  end
+      readers writers pmsan rsan o
+  else
+    run_sharded spec m mix warmup ops model_threads scan_len domains readers
+      rsan o
 
 let cmd =
   let index =
@@ -881,6 +923,22 @@ let cmd =
              if any correctness-class violation is found.  Single-driver \
              mode only (incompatible with $(b,--domains) > 0).")
   in
+  let rsan =
+    Arg.(
+      value & flag
+      & info [ "rsan" ]
+          ~doc:
+            "Run the workload under the $(b,Rsan) concurrency sanitizer: \
+             a vector-clock race detector and lock-discipline linter over \
+             the index's vlock/SX/epoch protocol events, plus the \
+             fence→ack ordering check on every device.  Prints a per-site \
+             report and exits 1 on any detected race or protocol lint.  \
+             Works in every execution mode ($(b,--domains), \
+             $(b,--readers), $(b,--writers)) and composes with \
+             $(b,--pmsan) and $(b,--trace): rsan's device watch fans out \
+             behind them.  Indexes that do not route through lib/sync \
+             emit no events and trivially pass.")
+  in
   let flush_budget =
     Arg.(
       value
@@ -948,7 +1006,7 @@ let cmd =
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
       const run $ index $ mix $ warmup $ ops $ model_threads $ threads
-      $ scan_len $ domains $ readers $ writers $ pmsan $ flush_budget $ hist
-      $ sample $ trace $ metrics $ attribution)
+      $ scan_len $ domains $ readers $ writers $ pmsan $ rsan $ flush_budget
+      $ hist $ sample $ trace $ metrics $ attribution)
 
 let () = exit (Cmd.eval' cmd)

@@ -101,6 +101,37 @@ let create ?(cfg = Config.default) dev =
     next_lane = Atomic.make 0;
   }
 
+(* rsan annotation of a protocol-point access to the data guarded by a
+   node's vlock (one atomic load when no Sync.Hook tracer is installed).
+   The vlock id names the node in the event stream.  Two latch-free
+   probes are deliberately NOT annotated: the writer's routing reads
+   (validated by the under-lock fence check, not by a version edge) and
+   the post-unlock merge-underflow probe — both are benign by design and
+   annotating them would make every storm a false positive. *)
+let ann b ~write site =
+  Sync.Hook.access ~id:(Sync.Vlock.id b.B.version) ~write ~site
+
+let ann_iv t ~write site = Sync.Hook.access ~id:(Sync.Vlock.id t.iv) ~write ~site
+
+(* Seeded fault injection for sanitizer mutation tests: each kind
+   re-introduces one of the protocol bugs the PR-8 review caught, so the
+   tests can assert rsan detects the class.  Process-global and
+   test-only — never arm outside a sanitizer test. *)
+module Fault = struct
+  type kind = Stale_merge_cert | Skip_write_validation | Premature_reclaim
+
+  let mask = Atomic.make 0
+
+  let bit = function
+    | Stale_merge_cert -> 1
+    | Skip_write_validation -> 2
+    | Premature_reclaim -> 4
+
+  let arm k = Atomic.set mask (Atomic.get mask lor bit k)
+  let reset () = Atomic.set mask 0
+  let armed k = Atomic.get mask land bit k <> 0
+end
+
 let target_node t key =
   match Inner_index.find_le t.index key with
   | Some b -> b
@@ -111,11 +142,13 @@ let target_node t key =
    node version. *)
 let index_add t low b =
   Sync.Vlock.lock t.iv;
+  ann_iv t ~write:true "tree.index_add";
   Inner_index.add t.index low b;
   Sync.Vlock.unlock t.iv
 
 let index_remove t low =
   Sync.Vlock.lock t.iv;
+  ann_iv t ~write:true "tree.index_remove";
   Inner_index.remove t.index low;
   Sync.Vlock.unlock t.iv
 
@@ -203,6 +236,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
        from unwinding with the vlock held, which would strand concurrent
        readers mid-crash-test. *)
     B.lock b;
+    ann b ~write:true "tree.batch";
     (try
        D.span_begin dev "tree.batch_flush";
        List.iter
@@ -312,6 +346,7 @@ and split_apply t b ~pending ~ts =
   mode := Sync.Sx.X;
   B.lock b;
   vheld := true;
+  ann b ~write:true "tree.split";
   let keep_bits = ref 0 in
   let bm = L.bitmap dev leaf in
   for i = 0 to L.slots - 1 do
@@ -424,10 +459,13 @@ and try_merge t b =
       mode := Sync.Sx.X;
       B.lock p;
       pheld := true;
+      ann p ~write:true "tree.merge.parent";
       (* [b]'s seal is permanent — on the exception path it stays locked,
          which is exactly what dead nodes look like anyway *)
       B.lock b;
+      ann b ~write:true "tree.merge.victim";
       b.B.dead <- true;
+      Sync.Hook.seal ~id:(Sync.Vlock.id b.B.version);
       (* Do NOT raise p's flush timestamp to b's: p may still hold
          buffered entries whose log records carry timestamps between the
          two, and recovery skips log entries older than the leaf
@@ -448,7 +486,11 @@ and try_merge t b =
       D.span_end dev "tree.merge";
       Sync.Sx.release t.latch Sync.Sx.X;
       latched := false;
-      Sync.Epoch.retire t.epochs (fun () -> Slab.free t.slab b.B.leaf)
+      Sync.Epoch.retire
+        ~obj:(Sync.Vlock.id b.B.version)
+        t.epochs
+        (fun () -> Slab.free t.slab b.B.leaf);
+      if Fault.armed Fault.Premature_reclaim then Sync.Epoch.force t.epochs
       with e ->
         if !pheld then B.unlock p;
         if !latched then Sync.Sx.release t.latch !mode;
@@ -488,6 +530,7 @@ let gc_step t n =
           go n
         | Some b ->
           B.lock b;
+          ann b ~write:true "tree.gc";
           (* One node's surviving entries form one I-log group: they
              share a single clwb set and tail fence instead of a
              flush+fence per record.  Crash-safe because the B-log
@@ -542,6 +585,7 @@ let gc_naive t =
             must not be re-taken, and a dead node's buffer is moot *)
          if not b.B.dead then begin
            B.lock b;
+           ann b ~write:true "tree.flush_mark";
            B.mark_all_flushed b;
            B.unlock b
          end
@@ -605,6 +649,7 @@ let upsert_raw t key value =
        (* in-buffer update, in place (keys stay unique per buffer node) *)
        log_append t ~key ~value ~ts;
        B.lock b;
+       ann b ~write:true "tree.upsert_buffer";
        B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch;
        B.unlock b
      | None -> (
@@ -612,6 +657,7 @@ let upsert_raw t key value =
        | Some i ->
          log_append t ~key ~value ~ts;
          B.lock b;
+         ann b ~write:true "tree.upsert_buffer";
          B.set_slot b i ~key ~value ~ts ~epoch:t.global_epoch;
          B.unlock b
        | None ->
@@ -620,6 +666,7 @@ let upsert_raw t key value =
            (* evict a read-cache entry *)
            log_append t ~key ~value ~ts;
            B.lock b;
+           ann b ~write:true "tree.upsert_buffer";
            B.set_slot b ci ~key ~value ~ts ~epoch:t.global_epoch;
            B.unlock b
          end
@@ -643,6 +690,7 @@ let upsert_raw t key value =
               and both now hold current values for every flushed key. *)
            if not b.B.dead then begin
              B.lock b;
+             ann b ~write:true "tree.flush_mark";
              B.mark_all_flushed b;
              (* retain the incoming KV as a cached entry, evicting the
                 stalest slot — unless a split moved its key out of this
@@ -848,6 +896,7 @@ let flush_all t =
         leaf_apply t b ~pending:(B.unflushed_entries b);
         if not b.B.dead then begin
           B.lock b;
+          ann b ~write:true "tree.flush_mark";
           B.mark_all_flushed b;
           B.unlock b
         end
@@ -1150,6 +1199,7 @@ let reader_search_pess r key =
          against the writer's in-place commits on this one node *)
       let b = target_node t key in
       B.lock b;
+      ann b ~write:false "tree.reader_search_pess";
       Fun.protect
         ~finally:(fun () -> B.unlock b)
         (fun () -> node_read r.rdev b key))
@@ -1163,6 +1213,7 @@ let reader_search r key =
       let iv = Sync.Vlock.read_begin t.iv in
       if Sync.Vlock.is_locked_v iv then retry tries
       else begin
+        ann_iv t ~write:false "tree.reader_route";
         (* the routing structure may be mid-mutation: a torn binary
            search can raise or return an arbitrary node, both of which
            the validations below turn into a retry *)
@@ -1182,6 +1233,7 @@ let reader_search r key =
             retry tries
           end
           else begin
+            ann b ~write:false "tree.reader_search";
             let res =
               try Some (node_read r.rdev b key)
               with Invalid_argument _ -> None
@@ -1218,6 +1270,7 @@ let reader_scan_opt r ~start n =
   let iv = Sync.Vlock.read_begin t.iv in
   if Sync.Vlock.is_locked_v iv then None
   else begin
+    ann_iv t ~write:false "tree.reader_scan_route";
     let routed =
       match Inner_index.find_le t.index start with
       | Some b -> Some b
@@ -1238,6 +1291,7 @@ let reader_scan_opt r ~start n =
             false
           end
           else begin
+            ann b ~write:false "tree.reader_scan";
             let snap =
               try Some (node_entries_dev r.rdev b, b.B.next)
               with Invalid_argument _ -> None
@@ -1276,6 +1330,7 @@ let reader_scan_pess r ~start n =
         | Some b when !count >= n -> ignore b
         | Some b ->
           B.lock b;
+          ann b ~write:false "tree.reader_scan_pess";
           let entries = node_entries_dev r.rdev b in
           let nxt = b.B.next in
           B.unlock b;
@@ -1371,12 +1426,18 @@ let writer_log w ~key ~value ~ts =
    locks it first).  This is what makes lock-then-validate routing
    sound. *)
 let writer_fence_ok b key =
-  (not b.B.dead)
-  && Int64.compare key b.B.low >= 0
-  &&
-  match b.B.next with
-  | None -> true
-  | Some nx -> Int64.compare key nx.B.low < 0
+  let ok =
+    (not b.B.dead)
+    && Int64.compare key b.B.low >= 0
+    &&
+    match b.B.next with
+    | None -> true
+    | Some nx -> Int64.compare key nx.B.low < 0
+  in
+  if Sync.Hook.enabled () then
+    Sync.Hook.emit
+      (Sync.Hook.Fence_check { id = Sync.Vlock.id b.B.version; ok });
+  ok
 
 (* [leaf_apply]'s normal and tombstone-two-phase branches, with [b]'s
    vlock HELD by the caller and every store/flush/ack routed through the
@@ -1641,6 +1702,9 @@ let writer_split w b ~key ~value ~ts =
     end
     else begin
       D.span_begin dev "tree.split";
+      (* buffered in the [v1] optimistic bracket; certified (or dropped)
+         by the try_upgrade below *)
+      ann b ~write:false "tree.split_union";
       let committed =
         match split_union dev b ~key ~value ~ts with
         | Some (union, bts)
@@ -1654,6 +1718,7 @@ let writer_split w b ~key ~value ~ts =
           mode := Sync.Sx.X;
           if Sync.Vlock.try_upgrade b.B.version v1 then begin
             vheld := true;
+            ann b ~write:true "tree.writer_split";
             writer_split_commit w b ~union ~split_key ~right_low ~new_leaf
               ~right_bytes ~ts:bts ~key ~value;
             vheld := false;
@@ -1717,8 +1782,10 @@ let writer_try_merge w b =
           either node, and plain lane holders never wait on the latch *)
        B.lock p;
        pheld := Some p;
+       ann p ~write:true "tree.writer_merge.stage";
        B.lock b;
        bheld := true;
+       ann b ~write:false "tree.writer_merge.read";
        let entries = L.entries dev b.B.leaf in
        let free = L.free_slots dev p.B.leaf in
        if List.length entries > List.length free || B.unflushed_entries b <> []
@@ -1752,19 +1819,32 @@ let writer_try_merge w b =
             try_lock/apply/unlock by another lane in the release→upgrade
             window and let the CAS commit the stale staged copies over
             that lane's write. *)
-         let vb = Sync.Vlock.value b.B.version + 1 in
+         let stale = Fault.armed Fault.Stale_merge_cert in
+         let vb =
+           if stale then 0 else Sync.Vlock.value b.B.version + 1
+         in
          B.unlock b;
          bheld := false;
-         let vp = Sync.Vlock.value p.B.version + 1 in
+         (* Fault Stale_merge_cert: the PR-8 bug shape — certify against
+            versions snapshotted AFTER the release, where a complete
+            try_lock/apply/unlock by another lane can hide *)
+         let vb = if stale then Sync.Vlock.value b.B.version else vb in
+         let vp =
+           if stale then 0 else Sync.Vlock.value p.B.version + 1
+         in
          B.unlock p;
          pheld := None;
+         let vp = if stale then Sync.Vlock.value p.B.version else vp in
          Sync.Sx.upgrade t.latch;
          mode := Sync.Sx.X;
          if Sync.Vlock.try_upgrade p.B.version vp then
            if Sync.Vlock.try_upgrade b.B.version vb then begin
              (* committed; [b]'s seal is permanent (dead nodes stay
                 locked), so it is deliberately not tracked for unlock *)
+             ann p ~write:true "tree.writer_merge.commit";
+             ann b ~write:true "tree.writer_merge.seal";
              b.B.dead <- true;
+             Sync.Hook.seal ~id:(Sync.Vlock.id b.B.version);
              L.store_meta_word dev p.B.leaf
                ~bitmap:(L.bitmap dev p.B.leaf lor !bits)
                ~next:merged_next;
@@ -1779,7 +1859,12 @@ let writer_try_merge w b =
              B.unlock p;
              (* retire under the X latch: the epoch list and the slab free
                 must stay serialized with SMO allocation *)
-             Sync.Epoch.retire t.epochs (fun () -> Slab.free t.slab b.B.leaf)
+             Sync.Epoch.retire
+               ~obj:(Sync.Vlock.id b.B.version)
+               t.epochs
+               (fun () -> Slab.free t.slab b.B.leaf);
+             if Fault.armed Fault.Premature_reclaim then
+               Sync.Epoch.force t.epochs
            end
            else B.unlock p
        end;
@@ -1803,6 +1888,7 @@ let writer_try_merge w b =
    order agrees with lock order on every node. *)
 let writer_locked_apply w b key value =
   let t = w.wt in
+  ann b ~write:true "tree.writer_apply";
   let ts = Clock.next t.clock in
   if not t.cfg.Config.buffering then
     match writer_leaf_apply w b ~pending:[ (key, value, ts) ] with
@@ -1915,7 +2001,11 @@ let writer_upsert_raw w key value =
       match routed with
       | None -> retry tries
       | Some b ->
-        if (not use_s) && not (writer_fence_ok b key) then begin
+        if
+          (not use_s)
+          && (not (Fault.armed Fault.Skip_write_validation))
+          && not (writer_fence_ok b key)
+        then begin
           B.unlock b;
           retry tries
         end

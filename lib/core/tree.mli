@@ -159,3 +159,30 @@ val check_invariants : t -> unit
 (** Raises [Failure] when a structural invariant is violated (leaf-chain
     key order, fingerprint consistency, fence containment, index
     routing).  Test-suite hook. *)
+
+(** {1 Fault injection (sanitizer mutation tests only)}
+
+    Each kind re-introduces one of the concurrency-protocol bug classes
+    the PR-8 review caught by hand, so the rsan mutation tests can assert
+    the detector finds them (DESIGN.md §14).  The switches are
+    process-global; never arm them outside a sanitizer test. *)
+
+module Fault : sig
+  type kind =
+    | Stale_merge_cert
+        (** [writer_try_merge] certifies its commit [try_upgrade]s
+            against versions snapshotted {e after} releasing the vlocks,
+            so a complete lock/apply/unlock by another lane in the
+            release→upgrade window goes undetected. *)
+    | Skip_write_validation
+        (** the optimistic write path skips the under-lock fence-interval
+            validation, applying to a node its key may no longer belong
+            to (stale route, dead node). *)
+    | Premature_reclaim
+        (** merged-away leaves are reclaimed immediately, ignoring
+            reader epoch pins. *)
+
+  val arm : kind -> unit
+  val reset : unit -> unit
+  val armed : kind -> bool
+end

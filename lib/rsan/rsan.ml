@@ -1,0 +1,639 @@
+module H = Sync.Hook
+module D = Pmem.Device
+module I = Baselines.Index_intf
+
+(* ------------------------------------------------------------------ *)
+(* Violations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type severity = Race | Lint
+
+type kind =
+  | Write_write_race
+  | Read_write_race
+  | Unordered_ack
+  | Premature_reclaim
+  | Use_after_retire
+  | Unheld_unlock
+  | Stale_certification
+  | Unvalidated_write
+  | Sx_upgrade_readers
+  | Lock_order_inversion
+
+let severity = function
+  | Write_write_race | Read_write_race | Unordered_ack | Premature_reclaim
+  | Use_after_retire ->
+    Race
+  | Unheld_unlock | Stale_certification | Unvalidated_write
+  | Sx_upgrade_readers | Lock_order_inversion ->
+    Lint
+
+let kind_name = function
+  | Write_write_race -> "write_write_race"
+  | Read_write_race -> "read_write_race"
+  | Unordered_ack -> "unordered_ack"
+  | Premature_reclaim -> "premature_reclaim"
+  | Use_after_retire -> "use_after_retire"
+  | Unheld_unlock -> "unheld_unlock"
+  | Stale_certification -> "stale_certification"
+  | Unvalidated_write -> "unvalidated_write"
+  | Sx_upgrade_readers -> "sx_upgrade_readers"
+  | Lock_order_inversion -> "lock_order_inversion"
+
+type violation = { kind : kind; site : string; detail : string; tid : int }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s at %s (tid %d): %s"
+    (match severity v.kind with Race -> "RACE" | Lint -> "LINT")
+    (kind_name v.kind) v.site v.tid v.detail
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Vc = struct
+  type t = { mutable a : int array }
+
+  let create () = { a = [||] }
+  let get t i = if i < Array.length t.a then t.a.(i) else 0
+
+  let ensure t n =
+    if Array.length t.a < n then begin
+      let b = Array.make (max n ((2 * Array.length t.a) + 4)) 0 in
+      Array.blit t.a 0 b 0 (Array.length t.a);
+      t.a <- b
+    end
+
+  let set t i v =
+    ensure t (i + 1);
+    t.a.(i) <- v
+
+  let bump t i = set t i (get t i + 1)
+
+  let join dst src =
+    Array.iteri (fun i v -> if v > get dst i then set dst i v) src.a
+
+  let copy src = { a = Array.copy src.a }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shadow state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A vlock currently held by a domain.  [fence_checked] starts false for
+   optimistic (try_lock) acquisitions — the OLC route — and flips on the
+   first Fence_check event; an Access write before that is the
+   Unvalidated_write lint. *)
+type holding = { optimistic : bool; mutable fence_checked : bool }
+
+(* An open optimistic-read bracket: reads are buffered and only join the
+   shadow machine if the bracket validates (or is certified by a
+   successful try_upgrade against the same snapshot) — a failed
+   validation means the protocol already rejected them. *)
+type bracket = { snap : int; mutable breads : string list }
+
+type dstate = {
+  tid : int;
+  vc : Vc.t;
+  held : (int, holding) Hashtbl.t;  (* vlock id -> holding *)
+  brackets : (int, bracket) Hashtbl.t;  (* vlock id -> open bracket *)
+  sanct : (int, int) Hashtbl.t;
+      (* vlock id -> sanctioned (even) certification snapshot: the last
+         read_begin that returned even, or last value-under-the-lock + 1 *)
+  staged : (int, unit) Hashtbl.t;  (* device lines clwb'd, unfenced *)
+  mutable last_site : string;
+}
+
+(* FastTrack-style per-variable shadow; one variable per vlock (the
+   guarded node content as a unit). *)
+type var = {
+  mutable w_tid : int;  (* -1 = never written *)
+  mutable w_clk : int;
+  mutable w_site : string;
+  vreads : (int, int * string) Hashtbl.t;  (* tid -> (clk, site) *)
+}
+
+type t = {
+  mu : Mutex.t;
+  doms : (int, dstate) Hashtbl.t;  (* Domain.self -> state *)
+  mutable ntids : int;
+  locks : (int, Vc.t) Hashtbl.t;  (* vlock/sx id -> release clock *)
+  vars : (int, var) Hashtbl.t;
+  pins : (int, int * int) Hashtbl.t;  (* slot -> (epoch-domain id, epoch) *)
+  reclaimed : (int, unit) Hashtbl.t;  (* retired objs whose closure ran *)
+  sealed : (int, unit) Hashtbl.t;
+  edges : (int * int, unit) Hashtbl.t;  (* blocking lock-order edges *)
+  reported_inversions : (int * int, unit) Hashtbl.t;
+  persisted : (int, int * int) Hashtbl.t;  (* line -> (fencer tid, clk) *)
+  counts : (string * kind, int ref) Hashtbl.t;  (* (site, kind) totals *)
+  mutable violations : violation list;  (* newest first *)
+  mutable nviol : int;
+  mutable vdropped : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    doms = Hashtbl.create 8;
+    ntids = 0;
+    locks = Hashtbl.create 256;
+    vars = Hashtbl.create 256;
+    pins = Hashtbl.create 16;
+    reclaimed = Hashtbl.create 64;
+    sealed = Hashtbl.create 64;
+    edges = Hashtbl.create 256;
+    reported_inversions = Hashtbl.create 8;
+    persisted = Hashtbl.create 1024;
+    counts = Hashtbl.create 64;
+    violations = [];
+    nviol = 0;
+    vdropped = 0;
+  }
+
+let max_recorded = 500
+
+let record t ~kind ~site ~detail ~tid =
+  (let key = (site, kind) in
+   match Hashtbl.find_opt t.counts key with
+   | Some r -> incr r
+   | None -> Hashtbl.add t.counts key (ref 1));
+  if t.nviol >= max_recorded then t.vdropped <- t.vdropped + 1
+  else begin
+    t.violations <- { kind; site; detail; tid } :: t.violations;
+    t.nviol <- t.nviol + 1
+  end
+
+let dstate t =
+  let did = (Domain.self () :> int) in
+  match Hashtbl.find_opt t.doms did with
+  | Some d -> d
+  | None ->
+    let d =
+      {
+        tid = t.ntids;
+        vc = Vc.create ();
+        held = Hashtbl.create 8;
+        brackets = Hashtbl.create 8;
+        sanct = Hashtbl.create 8;
+        staged = Hashtbl.create 32;
+        last_site = "?";
+      }
+    in
+    t.ntids <- t.ntids + 1;
+    Vc.set d.vc d.tid 1;
+    Hashtbl.add t.doms did d;
+    d
+
+let lock_clock t id =
+  match Hashtbl.find_opt t.locks id with
+  | Some c -> c
+  | None ->
+    let c = Vc.create () in
+    Hashtbl.add t.locks id c;
+    c
+
+(* ------------------------------------------------------------------ *)
+(* The FastTrack core: per-variable read/write checks                  *)
+(* ------------------------------------------------------------------ *)
+
+let var t id =
+  match Hashtbl.find_opt t.vars id with
+  | Some v -> v
+  | None ->
+    let v = { w_tid = -1; w_clk = 0; w_site = "?"; vreads = Hashtbl.create 4 } in
+    Hashtbl.add t.vars id v;
+    v
+
+let check_read_vs_write t d id site =
+  let v = var t id in
+  if v.w_tid >= 0 && v.w_tid <> d.tid && v.w_clk > Vc.get d.vc v.w_tid then
+    record t ~kind:Read_write_race ~site ~tid:d.tid
+      ~detail:
+        (Printf.sprintf
+           "read of node/vlock #%d not ordered after write at %s (tid %d)" id
+           v.w_site v.w_tid)
+
+(* A read that later writers must be ordered against (pessimistic /
+   lock-held reads; validated optimistic reads are checked but NOT
+   recorded — a seqlock gives them no edge to later writers, the
+   validation protocol is what makes them safe). *)
+let record_read t d id site =
+  let v = var t id in
+  Hashtbl.replace v.vreads d.tid (Vc.get d.vc d.tid, site)
+
+let check_write t d id site =
+  let v = var t id in
+  if v.w_tid >= 0 && v.w_tid <> d.tid && v.w_clk > Vc.get d.vc v.w_tid then
+    record t ~kind:Write_write_race ~site ~tid:d.tid
+      ~detail:
+        (Printf.sprintf
+           "write to node/vlock #%d not ordered after write at %s (tid %d)" id
+           v.w_site v.w_tid);
+  Hashtbl.iter
+    (fun rt (rc, rsite) ->
+      if rt <> d.tid && rc > Vc.get d.vc rt then
+        record t ~kind:Read_write_race ~site ~tid:d.tid
+          ~detail:
+            (Printf.sprintf
+               "write to node/vlock #%d not ordered after read at %s (tid %d)"
+               id rsite rt))
+    v.vreads;
+  v.w_tid <- d.tid;
+  v.w_clk <- Vc.get d.vc d.tid;
+  v.w_site <- site;
+  Hashtbl.reset v.vreads
+
+(* Commit an optimistic bracket that validated: the reads are ordered
+   after the last release of the lock (that is exactly what a clean
+   seqlock validation certifies), so join the release clock first and
+   then check each buffered read — a write that bypassed the lock has no
+   entry in the release clock and is flagged. *)
+let commit_bracket t d id (br : bracket) =
+  Vc.join d.vc (lock_clock t id);
+  List.iter (fun site -> check_read_vs_write t d id site) br.breads
+
+(* ------------------------------------------------------------------ *)
+(* Sync.Hook event machine                                             *)
+(* ------------------------------------------------------------------ *)
+
+let on_vlock_acquire t d ~id ~optimistic =
+  if not optimistic then
+    (* blocking acquires while holding other vlocks define the lock
+       order; a pair acquired in both orders can deadlock *)
+    Hashtbl.iter
+      (fun h _ ->
+        if Hashtbl.mem t.edges (id, h) then begin
+          let pair = (min id h, max id h) in
+          if not (Hashtbl.mem t.reported_inversions pair) then begin
+            Hashtbl.add t.reported_inversions pair ();
+            record t ~kind:Lock_order_inversion ~site:d.last_site ~tid:d.tid
+              ~detail:
+                (Printf.sprintf
+                   "vlocks #%d and #%d are (blocking-)acquired in both orders"
+                   h id)
+          end
+        end;
+        Hashtbl.replace t.edges (h, id) ())
+      d.held;
+  Vc.join d.vc (lock_clock t id);
+  Hashtbl.replace d.held id { optimistic; fence_checked = not optimistic }
+
+let on_vlock_release t d ~id =
+  Hashtbl.remove d.held id;
+  Hashtbl.replace t.locks id (Vc.copy d.vc);
+  Vc.bump d.vc d.tid
+
+let handle t ev =
+  Mutex.lock t.mu;
+  (try
+     let d = dstate t in
+     (match (ev : H.event) with
+     | Vlock_acquire { id; v = _; optimistic } ->
+       on_vlock_acquire t d ~id ~optimistic
+     | Vlock_release { id; v = _ } -> on_vlock_release t d ~id
+     | Vlock_release_unheld { id; v } ->
+       record t ~kind:Unheld_unlock ~site:d.last_site ~tid:d.tid
+         ~detail:
+           (Printf.sprintf "unlock of vlock #%d at even version %d (not held)"
+              id v)
+     | Vlock_read_begin { id; v } ->
+       Hashtbl.remove d.brackets id;
+       if v land 1 = 0 then begin
+         Hashtbl.replace d.brackets id { snap = v; breads = [] };
+         Hashtbl.replace d.sanct id v
+       end
+     | Vlock_validate { id; v; ok } -> (
+       match Hashtbl.find_opt d.brackets id with
+       | Some br when br.snap = v ->
+         Hashtbl.remove d.brackets id;
+         if ok then commit_bracket t d id br
+       | _ -> ())
+     | Vlock_value { id; v } ->
+       if Hashtbl.mem d.held id then Hashtbl.replace d.sanct id (v + 1)
+       else
+         (* a raw snapshot outside the lock is not a legitimate
+            certification source; poison it *)
+         Hashtbl.remove d.sanct id
+     | Vlock_try_upgrade { id; v; ok } ->
+       (if v land 1 = 0 then
+          match Hashtbl.find_opt d.sanct id with
+          | Some s when s = v -> ()
+          | _ ->
+            record t ~kind:Stale_certification ~site:d.last_site ~tid:d.tid
+              ~detail:
+                (Printf.sprintf
+                   "try_upgrade of vlock #%d certifies version %d, which was \
+                    not snapshotted under the lock or by a read_begin"
+                   id v));
+       (match Hashtbl.find_opt d.brackets id with
+       | Some br when br.snap = v ->
+         Hashtbl.remove d.brackets id;
+         if ok then commit_bracket t d id br
+       | _ -> ());
+       if ok then begin
+         (* a successful validate-and-lock is an acquisition whose fence
+            condition is the CAS itself *)
+         Vc.join d.vc (lock_clock t id);
+         Hashtbl.replace d.held id { optimistic = false; fence_checked = true }
+       end
+     | Fence_check { id; ok = _ } -> (
+       match Hashtbl.find_opt d.held id with
+       | Some h -> h.fence_checked <- true
+       | None -> ())
+     | Sx_acquire { id; mode = _ } -> Vc.join d.vc (lock_clock t id)
+     | Sx_release { id; mode = _ } | Sx_downgrade { id } ->
+       Vc.join (lock_clock t id) d.vc;
+       Vc.bump d.vc d.tid
+     | Sx_upgrade { id; readers } ->
+       if readers > 0 then
+         record t ~kind:Sx_upgrade_readers ~site:d.last_site ~tid:d.tid
+           ~detail:
+             (Printf.sprintf "SX->X upgrade of latch #%d with %d S holder(s) \
+                              still live" id readers);
+       Vc.join d.vc (lock_clock t id)
+     | Epoch_enter { id; slot; epoch } -> Hashtbl.replace t.pins slot (id, epoch)
+     | Epoch_exit { id = _; slot } -> Hashtbl.remove t.pins slot
+     | Epoch_retire _ -> ()
+     | Epoch_reclaim { id; obj; epoch } ->
+       let live = ref 0 in
+       Hashtbl.iter
+         (fun _slot (eid, ep) -> if eid = id && ep <= epoch then incr live)
+         t.pins;
+       if !live > 0 then
+         record t ~kind:Premature_reclaim ~site:d.last_site ~tid:d.tid
+           ~detail:
+             (Printf.sprintf
+                "epoch-domain #%d reclaimed object #%d retired at epoch %d \
+                 with %d reader pin(s) still at or before that epoch"
+                id obj epoch !live);
+       if obj >= 0 then Hashtbl.replace t.reclaimed obj ()
+     | Seal { id } ->
+       Hashtbl.replace t.sealed id ();
+       (* the sealer holds the vlock forever; stop tracking it so the
+          held-set stays bounded and order edges stay meaningful *)
+       Hashtbl.remove d.held id
+     | Access { id; write; site } ->
+       d.last_site <- site;
+       if Hashtbl.mem t.reclaimed id then
+         record t ~kind:Use_after_retire ~site ~tid:d.tid
+           ~detail:
+             (Printf.sprintf
+                "access to node/vlock #%d after its epoch-deferred \
+                 reclamation ran"
+                id);
+       if write then begin
+         (match Hashtbl.find_opt d.held id with
+         | Some h ->
+           if h.optimistic && not h.fence_checked then begin
+             h.fence_checked <- true;
+             record t ~kind:Unvalidated_write ~site ~tid:d.tid
+               ~detail:
+                 (Printf.sprintf
+                    "write under optimistically acquired vlock #%d before \
+                     any fence-interval validation"
+                    id)
+           end
+         | None -> ());
+         check_write t d id site
+       end
+       else
+         match Hashtbl.find_opt d.brackets id with
+         | Some br -> br.breads <- site :: br.breads
+         | None ->
+           check_read_vs_write t d id site;
+           record_read t d id site);
+     Mutex.unlock t.mu
+   with e ->
+     Mutex.unlock t.mu;
+     raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Device-event watch: pmsan composition (happens-before of acks)      *)
+(* ------------------------------------------------------------------ *)
+
+let line_of addr = addr lsr 6
+
+let handle_dev t (ev : D.event) =
+  match ev with
+  | Clwb { line } ->
+    Mutex.lock t.mu;
+    let d = dstate t in
+    Hashtbl.replace d.staged (line_of line) ();
+    Mutex.unlock t.mu
+  | Sfence ->
+    Mutex.lock t.mu;
+    let d = dstate t in
+    Hashtbl.iter
+      (fun l () -> Hashtbl.replace t.persisted l (d.tid, Vc.get d.vc d.tid))
+      d.staged;
+    Hashtbl.reset d.staged;
+    Mutex.unlock t.mu
+  | Acked { addr; len; label } ->
+    Mutex.lock t.mu;
+    let d = dstate t in
+    let l0 = line_of addr and l1 = line_of (addr + max 1 len - 1) in
+    let flagged = ref false in
+    for l = l0 to l1 do
+      if not !flagged then
+        match Hashtbl.find_opt t.persisted l with
+        | Some (ft, fc) when ft <> d.tid && fc > Vc.get d.vc ft ->
+          flagged := true;
+          record t ~kind:Unordered_ack ~site:label ~tid:d.tid
+            ~detail:
+              (Printf.sprintf
+                 "ack_durable of line 0x%x has no happens-before edge to \
+                  the sfence that persisted it (tid %d)"
+                 (l * 64) ft)
+        | _ -> ()
+    done;
+    Mutex.unlock t.mu
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle and results                                               *)
+(* ------------------------------------------------------------------ *)
+
+let attach t = H.set_tracer (Some (handle t))
+let detach () = H.set_tracer None
+let watch_device t dev = D.add_tracer dev (handle_dev t)
+
+let violations t =
+  Mutex.lock t.mu;
+  let v = List.rev t.violations in
+  Mutex.unlock t.mu;
+  v
+
+let dropped t = t.vdropped
+let races vs = List.filter (fun v -> severity v.kind = Race) vs
+let lints vs = List.filter (fun v -> severity v.kind = Lint) vs
+let clean t = violations t = []
+
+let find ?kind t =
+  List.filter
+    (fun v -> match kind with None -> true | Some k -> v.kind = k)
+    (violations t)
+
+let by_site t =
+  Mutex.lock t.mu;
+  let rows =
+    Hashtbl.fold (fun (site, k) r acc -> (site, k, !r) :: acc) t.counts []
+  in
+  Mutex.unlock t.mu;
+  List.sort compare rows
+
+let pp_report ppf t =
+  let vs = violations t in
+  let nr = List.length (races vs) and nl = List.length (lints vs) in
+  Format.fprintf ppf "rsan: %d race(s), %d lint(s)%s@." nr nl
+    (if t.vdropped > 0 then Printf.sprintf " (+%d dropped)" t.vdropped else "");
+  List.iter
+    (fun (site, k, n) ->
+      Format.fprintf ppf "  %-28s %-22s %d@." site (kind_name k) n)
+    (by_site t);
+  let shown = ref 0 in
+  List.iter
+    (fun v ->
+      if !shown < 20 then begin
+        incr shown;
+        Format.fprintf ppf "  %a@." pp_violation v
+      end)
+    vs
+
+(* ------------------------------------------------------------------ *)
+(* Harnesses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  name : string;
+  ops_run : int;
+  report_violations : violation list;
+  report_dropped : int;
+}
+
+let report_clean r = r.report_violations = []
+
+let pp_index_report ppf r =
+  Format.fprintf ppf "rsan %s: %d ops, %d violation(s)%s@." r.name r.ops_run
+    (List.length r.report_violations)
+    (if r.report_dropped > 0 then
+       Printf.sprintf " (+%d dropped)" r.report_dropped
+     else "");
+  List.iter
+    (fun v -> Format.fprintf ppf "  %a@." pp_violation v)
+    r.report_violations
+
+let make_detector = create
+
+let finish_report san ~name ~ops_run =
+  detach ();
+  {
+    name;
+    ops_run;
+    report_violations = violations san;
+    report_dropped = dropped san;
+  }
+
+(* Sequential seeded workload over any index driver with the hook
+   attached: proves the single-domain protocol (and any vlock/SX/epoch
+   use the index makes) runs lint-free.  Baselines emit no sync events
+   at all and are trivially clean; CCL-BTree exercises the full vlock
+   discipline of its plain entry points. *)
+let check_index ?(ops = 4_000) ?(seed = 7) ?(key_space = 512)
+    ?(device_mb = 16) ~name ~(create : D.t -> I.driver) () =
+  let san = make_detector () in
+  let dev =
+    D.create
+      ~config:(Pmem.Config.default ~size:(device_mb * 1024 * 1024) ())
+      ()
+  in
+  attach san;
+  watch_device san dev;
+  Fun.protect ~finally:detach (fun () ->
+      let drv = create dev in
+      let rng = Random.State.make [| seed |] in
+      for _ = 1 to ops do
+        let k = Int64.of_int (1 + Random.State.int rng key_space) in
+        match Random.State.int rng 10 with
+        | 0 -> drv.I.delete k
+        | 1 | 2 -> ignore (drv.I.search k)
+        | 3 -> ignore (drv.I.scan ~start:k 16)
+        | _ ->
+          drv.I.upsert k (Int64.of_int (1 + Random.State.int rng 1_000_000))
+      done;
+      drv.I.flush_all ());
+  finish_report san ~name ~ops_run:ops
+
+(* Concurrent storm over the tree itself, in the mold of the
+   test_writers storm: each writer lane owns the keys congruent to its
+   lane id and also inserts-then-deletes batches of far keys so splits
+   AND merges keep firing; reader domains run validated searches
+   throughout.  [faults] arms Tree.Fault mutations for the duration (and
+   always resets them), so mutation tests can assert detection. *)
+let check_tree ?(writers = 2) ?(readers = 2) ?(ops = 3_000) ?(seed = 42)
+    ?(key_space = 512) ?(device_mb = 32) ?(faults = []) () =
+  let san = make_detector () in
+  let dev =
+    D.create
+      ~config:(Pmem.Config.default ~size:(device_mb * 1024 * 1024) ())
+      ()
+  in
+  attach san;
+  watch_device san dev;
+  List.iter Ccl_btree.Tree.Fault.arm faults;
+  Fun.protect
+    ~finally:(fun () ->
+      Ccl_btree.Tree.Fault.reset ();
+      detach ())
+    (fun () ->
+      let module T = Ccl_btree.Tree in
+      let cfg =
+        { Ccl_btree.Config.default with Ccl_btree.Config.threads = writers }
+      in
+      let tree = T.create ~cfg dev in
+      let stop = Atomic.make false in
+      let reader_doms =
+        List.init readers (fun i ->
+            Domain.spawn (fun () ->
+                let r = T.reader tree in
+                let rng = Random.State.make [| seed + 1000 + i |] in
+                while not (Atomic.get stop) do
+                  ignore
+                    (T.reader_search r
+                       (Int64.of_int (1 + Random.State.int rng key_space)))
+                done))
+      in
+      let writer_doms =
+        List.init writers (fun lane ->
+            Domain.spawn (fun () ->
+                let w = T.writer ~lane tree in
+                let rng = Random.State.make [| seed + lane |] in
+                for op = 1 to ops do
+                  let near =
+                    lane + (writers * Random.State.int rng (key_space / writers))
+                  in
+                  T.writer_upsert w
+                    (Int64.of_int (1 + near))
+                    (Int64.of_int (1 + op));
+                  (* far keys forced in and out again: splits then
+                     underflow merges *)
+                  if op mod 16 = 0 then begin
+                    let base =
+                      key_space + (Random.State.int rng 64 * writers * 8)
+                    in
+                    for j = 0 to 7 do
+                      T.writer_upsert w
+                        (Int64.of_int (base + (j * writers) + lane + 1))
+                        1L
+                    done;
+                    for j = 0 to 7 do
+                      T.writer_delete w
+                        (Int64.of_int (base + (j * writers) + lane + 1))
+                    done
+                  end
+                done))
+      in
+      List.iter Domain.join writer_doms;
+      Atomic.set stop true;
+      List.iter Domain.join reader_doms;
+      T.flush_all tree);
+  finish_report san ~name:"ccl_tree_storm" ~ops_run:(writers * ops)

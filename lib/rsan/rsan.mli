@@ -1,0 +1,155 @@
+(** Concurrency sanitizer for the vlock / SX-latch / epoch protocol.
+
+    Rsan is the happens-before counterpart of {!Pmsan}: where pmsan
+    shadows every cacheline's persistence state, rsan consumes the
+    {!Sync.Hook} event stream and drives a FastTrack-style vector-clock
+    machine per domain and per version-locked node, plus a
+    lock-discipline linter over the protocol itself (DESIGN.md §14).
+
+    {b Races} (vector-clock findings):
+    - {!Write_write_race} / {!Read_write_race}: annotated node accesses
+      with no ordering edge through a vlock release→acquire, an SX
+      transition, or a validated seqlock bracket;
+    - {!Premature_reclaim}: an epoch-deferred reclamation ran while a
+      reader pin at or before the retire epoch was still live;
+    - {!Use_after_retire}: an annotated access to a node whose
+      reclamation closure already ran;
+    - {!Unordered_ack}: composition with the device layer — an
+      [ack_durable] with no happens-before edge to the sfence that
+      persisted the acked lines (requires {!watch_device}).
+
+    {b Lints} (protocol-shape findings, meaningful even single-domain):
+    - {!Unheld_unlock}: [Vlock.unlock] of an even (unheld) version;
+    - {!Stale_certification}: a [try_upgrade] certifying a version that
+      was not snapshotted under the lock (value-while-held + 1) or by an
+      even [read_begin] — the PR-8 stale-merge-certification class;
+    - {!Unvalidated_write}: a write under an optimistically
+      ([try_lock]) acquired vlock before any fence-interval validation —
+      the missing-under-lock-validation class;
+    - {!Sx_upgrade_readers}: an SX→X upgrade completing with S holders
+      still live;
+    - {!Lock_order_inversion}: two vlocks blocking-acquired in both
+      orders (pairwise deadlock potential).
+
+    Optimistic seqlock reads are buffered per bracket and join the
+    machine only when their validation (or a certifying [try_upgrade])
+    succeeds — a failed validation is the protocol working, not a race.
+    Validated reads are checked against unlocked writes but are not
+    recorded as racing reads for later writers: a seqlock grants readers
+    no edge to subsequent writers, validation is their protection.
+
+    The detector serializes all events behind one mutex; with no
+    detector attached the instrumentation costs one atomic load per
+    protocol operation. *)
+
+(** {1 Violations} *)
+
+type severity = Race | Lint
+
+type kind =
+  | Write_write_race
+  | Read_write_race
+  | Unordered_ack
+  | Premature_reclaim
+  | Use_after_retire
+  | Unheld_unlock
+  | Stale_certification
+  | Unvalidated_write
+  | Sx_upgrade_readers
+  | Lock_order_inversion
+
+val severity : kind -> severity
+val kind_name : kind -> string
+
+type violation = {
+  kind : kind;
+  site : string;
+      (** the annotation site active when the event fired ("?" when the
+          offending domain never passed an annotated access) *)
+  detail : string;
+  tid : int;  (** dense per-detector domain index *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Lifecycle} *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> unit
+(** Install the detector as the global {!Sync.Hook} tracer (replaces any
+    previous tracer).  Attach before spawning the domains to be
+    checked. *)
+
+val detach : unit -> unit
+(** Remove the global tracer.  Accumulated results remain readable. *)
+
+val watch_device : t -> Pmem.Device.t -> unit
+(** Additionally consume the device's event stream (via
+    {!Pmem.Device.add_tracer}, so it composes with pmsan and trace
+    exporters on the same device) to check {!Unordered_ack}.  Note that
+    per-lane read/write views have private tracer slots: lane traffic is
+    not visible to a base-device watch — the same coverage contract as
+    pmsan. *)
+
+(** {1 Results} *)
+
+val violations : t -> violation list
+(** Oldest first.  Recording caps at 500; beyond that only {!dropped}
+    counts (per-site counters keep counting). *)
+
+val dropped : t -> int
+val races : violation list -> violation list
+val lints : violation list -> violation list
+val clean : t -> bool
+val find : ?kind:kind -> t -> violation list
+
+val by_site : t -> (string * kind * int) list
+(** Exact per-(site, kind) totals since [create] (never capped). *)
+
+val pp_report : Format.formatter -> t -> unit
+
+(** {1 Harnesses} *)
+
+type report = {
+  name : string;
+  ops_run : int;
+  report_violations : violation list;
+  report_dropped : int;
+}
+
+val report_clean : report -> bool
+val pp_index_report : Format.formatter -> report -> unit
+
+val check_index :
+  ?ops:int ->
+  ?seed:int ->
+  ?key_space:int ->
+  ?device_mb:int ->
+  name:string ->
+  create:(Pmem.Device.t -> Baselines.Index_intf.driver) ->
+  unit ->
+  report
+(** Run a seeded sequential upsert/delete/search/scan script over an
+    index driver with the detector attached (hook + device watch):
+    single-domain protocol discipline must come back violation-free. *)
+
+val check_tree :
+  ?writers:int ->
+  ?readers:int ->
+  ?ops:int ->
+  ?seed:int ->
+  ?key_space:int ->
+  ?device_mb:int ->
+  ?faults:Ccl_btree.Tree.Fault.kind list ->
+  unit ->
+  report
+(** Concurrent writer/reader storm over one CCL-BTree (lane-owned near
+    keys plus far-key insert+delete batches, so splits and merges keep
+    firing) with the detector attached.  [faults] arms
+    {!Ccl_btree.Tree.Fault} mutations for the run (always reset on
+    exit), letting mutation tests assert the detector finds each
+    re-introduced bug class; with no faults the storm must come back
+    clean. *)

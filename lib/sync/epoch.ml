@@ -4,32 +4,47 @@ type t = {
   mutable slots : int Atomic.t list;
   mutable retired : (int * (unit -> unit)) list;
       (* (epoch at retire time, closure); writer-only *)
+  id : int;
 }
 
-type slot = { cell : int Atomic.t; owner : t }
+type slot = { cell : int Atomic.t; owner : t; sid : int }
 
 let create () =
-  { global = Atomic.make 1; reg = Mutex.create (); slots = []; retired = [] }
+  {
+    global = Atomic.make 1;
+    reg = Mutex.create ();
+    slots = [];
+    retired = [];
+    id = Hook.fresh_id ();
+  }
 
 let register t =
   let cell = Atomic.make 0 in
   Mutex.lock t.reg;
   t.slots <- cell :: t.slots;
   Mutex.unlock t.reg;
-  { cell; owner = t }
+  { cell; owner = t; sid = Hook.fresh_id () }
 
 (* Store-then-recheck: publishing the pinned epoch must be visible before
    the reader trusts it, otherwise a concurrent retire+collect can slip
-   between the read of [global] and the store of the pin. *)
+   between the read of [global] and the store of the pin.  The enter
+   event is emitted only once the pin is published and validated, and the
+   exit event before the pin is cleared, so a tracer's view of the pin
+   window is always contained in the real one. *)
 let enter s =
   let rec go () =
     let g = Atomic.get s.owner.global in
     Atomic.set s.cell g;
-    if Atomic.get s.owner.global <> g then go ()
+    if Atomic.get s.owner.global <> g then go () else g
   in
-  go ()
+  let g = go () in
+  if Hook.enabled () then
+    Hook.emit (Epoch_enter { id = s.owner.id; slot = s.sid; epoch = g })
 
-let exit s = Atomic.set s.cell 0
+let exit s =
+  if Hook.enabled () then
+    Hook.emit (Epoch_exit { id = s.owner.id; slot = s.sid });
+  Atomic.set s.cell 0
 
 (* Smallest epoch any reader currently pins, or [max_int] when idle. *)
 let min_active t =
@@ -50,11 +65,24 @@ let collect t =
   t.retired <- rest;
   List.iter (fun (_, f) -> f ()) ripe
 
-let retire t f =
+let retire ?(obj = -1) t f =
   let e = Atomic.get t.global in
+  let f =
+    if Hook.tracer_installed () then (fun () ->
+      if Hook.enabled () then
+        Hook.emit (Epoch_reclaim { id = t.id; obj; epoch = e });
+      f ())
+    else f
+  in
+  if Hook.enabled () then Hook.emit (Epoch_retire { id = t.id; obj; epoch = e });
   t.retired <- (e, f) :: t.retired;
   Atomic.set t.global (e + 1);
   collect t
 
 let flush t = collect t
 let pending t = List.length t.retired
+
+let force t =
+  let r = t.retired in
+  t.retired <- [];
+  List.iter (fun (_, f) -> f ()) (List.rev r)

@@ -26,9 +26,11 @@ val enter : slot -> unit
 
 val exit : slot -> unit
 
-val retire : t -> (unit -> unit) -> unit
+val retire : ?obj:int -> t -> (unit -> unit) -> unit
 (** Defer a reclamation to when all currently-active readers have left.
-    Runs ripe closures opportunistically (writer-side). *)
+    Runs ripe closures opportunistically (writer-side).  [obj] names the
+    retired object in {!Hook} events (a vlock id for sealed tree nodes;
+    defaults to [-1] for anonymous closures). *)
 
 val flush : t -> unit
 (** Run every deferred closure whose epoch has quiesced; with no active
@@ -37,3 +39,9 @@ val flush : t -> unit
 
 val pending : t -> int
 (** Deferred closures not yet run (introspection for tests). *)
+
+val force : t -> unit
+(** Run {e every} deferred closure immediately, ignoring active pins.
+    This deliberately violates the reclamation contract — it exists only
+    as a fault-injection hook for sanitizer tests (rsan's premature-
+    reclaim mutation) and must never be called on a live index. *)

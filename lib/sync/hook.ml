@@ -1,0 +1,40 @@
+type sx_mode = S | SX | X
+
+type event =
+  | Vlock_acquire of { id : int; v : int; optimistic : bool }
+  | Vlock_release of { id : int; v : int }
+  | Vlock_release_unheld of { id : int; v : int }
+  | Vlock_read_begin of { id : int; v : int }
+  | Vlock_validate of { id : int; v : int; ok : bool }
+  | Vlock_value of { id : int; v : int }
+  | Vlock_try_upgrade of { id : int; v : int; ok : bool }
+  | Fence_check of { id : int; ok : bool }
+  | Sx_acquire of { id : int; mode : sx_mode }
+  | Sx_release of { id : int; mode : sx_mode }
+  | Sx_upgrade of { id : int; readers : int }
+  | Sx_downgrade of { id : int }
+  | Epoch_enter of { id : int; slot : int; epoch : int }
+  | Epoch_exit of { id : int; slot : int }
+  | Epoch_retire of { id : int; obj : int; epoch : int }
+  | Epoch_reclaim of { id : int; obj : int; epoch : int }
+  | Access of { id : int; write : bool; site : string }
+  | Seal of { id : int }
+
+let ids = Atomic.make 1
+let fresh_id () = Atomic.fetch_and_add ids 1
+
+let tracer : (event -> unit) option Atomic.t = Atomic.make None
+
+let set_tracer f = Atomic.set tracer f
+let tracer_installed () = Atomic.get tracer <> None
+let enabled () = Atomic.get tracer <> None
+
+let emit e = match Atomic.get tracer with None -> () | Some f -> f e
+
+let access ~id ~write ~site =
+  match Atomic.get tracer with
+  | None -> ()
+  | Some f -> f (Access { id; write; site })
+
+let seal ~id =
+  match Atomic.get tracer with None -> () | Some f -> f (Seal { id })

@@ -1,0 +1,85 @@
+(** Event hook for the synchronization primitives.
+
+    The concurrency analogue of {!Pmem.Device.set_tracer}: every
+    {!Vlock}, {!Sx} and {!Epoch} operation emits a protocol event when a
+    tracer is installed, and costs one load + branch when none is — the
+    hot read/write paths stay allocation- and branch-predictable with
+    the hook off.  {!Rsan} consumes this stream to drive its vector-clock
+    race detector and lock-discipline linter (DESIGN.md §14).
+
+    Events may be emitted concurrently from many domains; a tracer must
+    serialize internally.  Emission points are chosen so that the event
+    order {e per lock} is consistent with the lock's real state
+    transitions: acquisitions emit after the CAS (while the lock is
+    held, so no later acquirer can overtake), releases emit before the
+    version store, SX events emit inside the latch's mutex, and epoch
+    pin events emit inside the pin window (enter after publishing,
+    exit before clearing) so the tracer's view of pins is never wider
+    than reality. *)
+
+type sx_mode = S | SX | X
+
+type event =
+  | Vlock_acquire of { id : int; v : int; optimistic : bool }
+      (** Writer acquired the lock ([v] odd, the post-CAS version).
+          [optimistic] is true for [try_lock] — the OLC lock-then-validate
+          route, which owes a fence check before its first write. *)
+  | Vlock_release of { id : int; v : int }
+      (** Writer released ([v] even, the post-store version). *)
+  | Vlock_release_unheld of { id : int; v : int }
+      (** [unlock] called on an even (unheld) version — emitted just
+          before the [Invalid_argument] raise so a sanitizer can report
+          the site even when the exception is swallowed. *)
+  | Vlock_read_begin of { id : int; v : int }
+  | Vlock_validate of { id : int; v : int; ok : bool }
+  | Vlock_value of { id : int; v : int }
+      (** Raw version snapshot ([value]) — the certification source for
+          merge-style [try_upgrade]s, legitimate only under the lock. *)
+  | Vlock_try_upgrade of { id : int; v : int; ok : bool }
+      (** Validate-and-lock CAS against snapshot [v]. *)
+  | Fence_check of { id : int; ok : bool }
+      (** The under-lock fence-interval validation of an optimistically
+          locked node (annotated by [Tree.writer_fence_ok]). *)
+  | Sx_acquire of { id : int; mode : sx_mode }
+  | Sx_release of { id : int; mode : sx_mode }
+  | Sx_upgrade of { id : int; readers : int }
+      (** SX→X completed; [readers] is the S-holder count the latch saw
+          at that instant (0 for a correct latch). *)
+  | Sx_downgrade of { id : int }
+  | Epoch_enter of { id : int; slot : int; epoch : int }
+  | Epoch_exit of { id : int; slot : int }
+  | Epoch_retire of { id : int; obj : int; epoch : int }
+      (** A reclamation was deferred at [epoch]; [obj] is the retired
+          object's identity (a vlock id for sealed tree nodes, [-1] when
+          anonymous). *)
+  | Epoch_reclaim of { id : int; obj : int; epoch : int }
+      (** The deferred closure actually ran. *)
+  | Access of { id : int; write : bool; site : string }
+      (** An annotated protocol-point access to the data guarded by
+          vlock [id] (emitted by the tree, not by this library). *)
+  | Seal of { id : int }
+      (** The node guarded by vlock [id] was merged away: its version
+          stays odd forever and readers must bounce off it. *)
+
+val fresh_id : unit -> int
+(** Process-unique ids for locks, latches, epoch domains and slots. *)
+
+val set_tracer : (event -> unit) option -> unit
+(** Install (or remove) the global tracer.  Install before spawning the
+    domains whose events you want; the slot is a single atomic, so a
+    mid-run swap is safe but may miss in-flight emissions. *)
+
+val tracer_installed : unit -> bool
+
+val enabled : unit -> bool
+(** One atomic load; the guard instrumentation sites use before
+    constructing an event. *)
+
+val emit : event -> unit
+(** Deliver to the tracer if one is installed (no-op otherwise). *)
+
+val access : id:int -> write:bool -> site:string -> unit
+(** [emit (Access ...)] behind an {!enabled} check — the annotation
+    entry point for code layered above [sync]. *)
+
+val seal : id:int -> unit

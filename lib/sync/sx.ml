@@ -9,6 +9,7 @@ type t = {
   upgrading : bool Atomic.t;
       (* SX holder wants X: new S acquisitions stall so the upgrade
          cannot be starved by a steady reader stream *)
+  id : int;
 }
 
 let create () =
@@ -19,7 +20,14 @@ let create () =
     sx = false;
     x = false;
     upgrading = Atomic.make false;
+    id = Hook.fresh_id ();
   }
+
+let id t = t.id
+let hmode = function S -> Hook.S | SX -> Hook.SX | X -> Hook.X
+
+(* All events are emitted while [t.m] is held, so the event order per
+   latch is exactly the order of its state transitions. *)
 
 let acquire t mode =
   Mutex.lock t.m;
@@ -39,6 +47,8 @@ let acquire t mode =
       Condition.wait t.c t.m
     done;
     t.x <- true);
+  if Hook.enabled () then
+    Hook.emit (Sx_acquire { id = t.id; mode = hmode mode });
   Mutex.unlock t.m
 
 let release t mode =
@@ -53,6 +63,8 @@ let release t mode =
   | X ->
     assert t.x;
     t.x <- false);
+  if Hook.enabled () then
+    Hook.emit (Sx_release { id = t.id; mode = hmode mode });
   Condition.broadcast t.c;
   Mutex.unlock t.m
 
@@ -63,6 +75,8 @@ let upgrade t =
   while t.readers > 0 do
     Condition.wait t.c t.m
   done;
+  if Hook.enabled () then
+    Hook.emit (Sx_upgrade { id = t.id; readers = t.readers });
   t.sx <- false;
   t.x <- true;
   Atomic.set t.upgrading false;
@@ -73,6 +87,7 @@ let downgrade t =
   assert (t.x && not t.sx);
   t.x <- false;
   t.sx <- true;
+  if Hook.enabled () then Hook.emit (Sx_downgrade { id = t.id });
   Condition.broadcast t.c;
   Mutex.unlock t.m
 

@@ -30,6 +30,10 @@ type t
 type mode = S | SX | X
 
 val create : unit -> t
+
+val id : t -> int
+(** Process-unique identity ({!Hook.fresh_id}) used in event streams. *)
+
 val acquire : t -> mode -> unit
 val release : t -> mode -> unit
 

@@ -1,39 +1,68 @@
-type t = int Atomic.t
+type t = { cell : int Atomic.t; id : int }
 
-let create () = Atomic.make 0
-let value t = Atomic.get t
+let create () = { cell = Atomic.make 0; id = Hook.fresh_id () }
+let id t = t.id
+
+let value t =
+  let v = Atomic.get t.cell in
+  if Hook.enabled () then Hook.emit (Vlock_value { id = t.id; v });
+  v
+
 let is_locked_v v = v land 1 = 1
-let locked t = is_locked_v (Atomic.get t)
+let locked t = is_locked_v (Atomic.get t.cell)
 
 (* Bounded: a node that is locked forever (merged away and retired) must
    bounce its readers back to routing instead of capturing them here. *)
 let read_begin t =
   let rec go n =
-    let v = Atomic.get t in
+    let v = Atomic.get t.cell in
     if v land 1 = 0 || n = 0 then v
     else begin
       Domain.cpu_relax ();
       go (n - 1)
     end
   in
-  go 64
+  let v = go 64 in
+  if Hook.enabled () then Hook.emit (Vlock_read_begin { id = t.id; v });
+  v
 
-let validate t v = Atomic.get t = v
+let validate t v =
+  let ok = Atomic.get t.cell = v in
+  if Hook.enabled () then Hook.emit (Vlock_validate { id = t.id; v; ok });
+  ok
 
+(* Acquire events are emitted after the winning CAS: the emitter holds
+   the lock, so no competing acquire can be announced in between and the
+   per-lock event order matches the real acquisition order. *)
 let try_lock t =
-  let v = Atomic.get t in
-  v land 1 = 0 && Atomic.compare_and_set t v (v + 1)
+  let v = Atomic.get t.cell in
+  let ok = v land 1 = 0 && Atomic.compare_and_set t.cell v (v + 1) in
+  if ok && Hook.enabled () then
+    Hook.emit (Vlock_acquire { id = t.id; v = v + 1; optimistic = true });
+  ok
 
-let try_upgrade t v = v land 1 = 0 && Atomic.compare_and_set t v (v + 1)
+let try_upgrade t v =
+  let ok = v land 1 = 0 && Atomic.compare_and_set t.cell v (v + 1) in
+  if Hook.enabled () then Hook.emit (Vlock_try_upgrade { id = t.id; v; ok });
+  ok
 
 let rec lock t =
-  let v = Atomic.get t in
-  if v land 1 = 1 || not (Atomic.compare_and_set t v (v + 1)) then begin
+  let v = Atomic.get t.cell in
+  if v land 1 = 1 || not (Atomic.compare_and_set t.cell v (v + 1)) then begin
     Domain.cpu_relax ();
     lock t
   end
+  else if Hook.enabled () then
+    Hook.emit (Vlock_acquire { id = t.id; v = v + 1; optimistic = false })
 
+(* The release event is emitted before the version store, while the lock
+   is still held: it can never land after a successor's acquire event. *)
 let unlock t =
-  let v = Atomic.get t in
-  assert (v land 1 = 1);
-  Atomic.set t (v + 1)
+  let v = Atomic.get t.cell in
+  if v land 1 = 0 then begin
+    if Hook.enabled () then
+      Hook.emit (Vlock_release_unheld { id = t.id; v });
+    invalid_arg "Sync.Vlock.unlock: lock not held"
+  end;
+  if Hook.enabled () then Hook.emit (Vlock_release { id = t.id; v = v + 1 });
+  Atomic.set t.cell (v + 1)

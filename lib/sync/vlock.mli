@@ -16,6 +16,10 @@ type t
 
 val create : unit -> t
 
+val id : t -> int
+(** Process-unique identity ({!Hook.fresh_id}) — the key rsan and the
+    tree's access annotations use to name this lock in event streams. *)
+
 val value : t -> int
 (** Current raw version (may be odd). *)
 
@@ -49,6 +53,12 @@ val try_upgrade : t -> int -> bool
     unchanged since the snapshot; on failure it must restart. *)
 
 val unlock : t -> unit
-(** Release (version becomes even again, two above the pre-lock value). *)
+(** Release (version becomes even again, two above the pre-lock value).
+
+    @raise Invalid_argument if the lock is not held (even version): an
+    unbalanced unlock would otherwise silently {e lock} the node and
+    wedge every later writer.  A {!Hook.Vlock_release_unheld} event is
+    emitted before raising so rsan reports the offending site even when
+    the exception is swallowed. *)
 
 val locked : t -> bool

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# sync_lint.sh — static lint for the synchronization protocol.
+#
+# The vlock/SX/epoch protocol is only as sound as its choke point: every
+# version-word transition must go through lib/sync so that the Hook event
+# stream (and therefore rsan, DESIGN.md §14) sees it.  A raw Atomic
+# operation on a node version field elsewhere is invisible to the
+# sanitizer and unchecked by the discipline lints — this script fails the
+# build on any such access.
+#
+# Checked, outside lib/sync:
+#   1. raw Atomic ops mentioning a version field / vlock cell on the
+#      same expression line;
+#   2. reaching into a vlock's representation (.cell) at all;
+#   3. hand-rolled seqlock idioms on version words (odd-bit tests on a
+#      version via land 1) that bypass Vlock.read_begin/validate.
+#
+# Wired as `dune build @sync_lint`; part of CI.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+# Source trees to scan: everything that links against lib/sync except
+# lib/sync itself.  _build copies are excluded.
+files=$(find lib bin bench examples test \
+  -path lib/sync -prune -o -name '*.ml' -print -o -name '*.mli' -print \
+  2>/dev/null | sort)
+
+fail=0
+report() {
+  # args: rule-name, grep output
+  if [ -n "$2" ]; then
+    echo "sync_lint: $1" >&2
+    echo "$2" | sed 's/^/  /' >&2
+    fail=1
+  fi
+}
+
+# 1. Raw atomics on version fields.  Matches Atomic.<op> and a version
+#    field or vlock in the same expression; Sync.Vlock./Sync.Hook. calls
+#    don't use Atomic directly so any hit is a bypass.
+hits=$(echo "$files" | xargs grep -nE \
+  'Atomic\.(get|set|compare_and_set|exchange|fetch_and_add|incr|decr)[^=]*\b(version|vlock|\.iv\b)' \
+  2>/dev/null || true)
+report "raw Atomic op on a version word outside lib/sync (route it through Sync.Vlock)" "$hits"
+
+# 2. Vlock representation access.
+hits=$(echo "$files" | xargs grep -nE '\bVlock\.[a-z_]*\.cell|version\.cell|\.iv\.cell' \
+  2>/dev/null || true)
+report "access to a vlock's .cell representation outside lib/sync" "$hits"
+
+# 3. Hand-rolled seqlock parity checks on version snapshots.  The only
+#    sanctioned odd-bit tests live behind Vlock.is_locked_v/validate.
+hits=$(echo "$files" | xargs grep -nE \
+  '\b(version|vlock)[a-z_0-9]*\s+land\s+1\b' \
+  2>/dev/null || true)
+report "hand-rolled seqlock parity test outside lib/sync (use Vlock.is_locked_v/validate)" "$hits"
+
+if [ "$fail" -ne 0 ]; then
+  echo "sync_lint: FAILED — version-word accesses must go through lib/sync" >&2
+  exit 1
+fi
+echo "sync_lint: OK (no raw version-word atomics outside lib/sync)"

@@ -261,6 +261,60 @@ else
   failures=$((failures + 1))
 fi
 
+# --rsan prints the concurrency-sanitizer report and exits 0 on the
+# stock index (any race or discipline lint would exit 1)
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --rsan >"$out" 2>"$err"; then
+  if grep -q "rsan report" "$out" && grep -q "0 race(s), 0 lint(s)" "$out"; then
+    echo "ok   ycsb --rsan report"
+  else
+    echo "FAIL ycsb --rsan: report missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --rsan: exit $? (races on the stock index?)" >&2
+  sed 's/^/  stdout: /' "$out" >&2
+  failures=$((failures + 1))
+fi
+
+# --rsan covers the real multi-domain paths: writer + reader pools
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --domains 2 --writers 2 --readers 2 --rsan >"$out" 2>"$err"; then
+  if grep -q "rsan report" "$out" && grep -q "per-writer applied" "$out"; then
+    echo "ok   ycsb sharded --writers --readers --rsan"
+  else
+    echo "FAIL ycsb sharded --rsan: report missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb sharded --rsan: exit $? (races in the storm?)" >&2
+  sed 's/^/  stdout: /' "$out" >&2
+  failures=$((failures + 1))
+fi
+
+# the three sanitizer/observability layers stack on one run: pmsan owns
+# the device tracer slot, rsan and the trace exporter fan out behind it
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --rsan --pmsan --trace "$tracef" >"$out" 2>"$err"; then
+  ok=1
+  grep -q "pmsan per-site report" "$out" || { echo "FAIL ycsb rsan+pmsan+trace: pmsan report lost" >&2; ok=0; }
+  grep -q "rsan report" "$out" || { echo "FAIL ycsb rsan+pmsan+trace: rsan report lost" >&2; ok=0; }
+  grep -q '"traceEvents"' "$tracef" || { echo "FAIL ycsb rsan+pmsan+trace: no traceEvents in $tracef" >&2; ok=0; }
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   ycsb --rsan --pmsan --trace"
+  else
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb rsan+pmsan+trace: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# an index that never touches lib/sync emits no events: trivially clean
+expect_ok "ycsb baseline --rsan" -- \
+  "$ycsb" --index fastfair --mix insert-only --warmup 300 --ops 300 --rsan
+
 # crashcheck --pmsan prints sweep counters
 if "$crashcheck" --ops 30 --key-space 15 --stride 20 --probs 0.5 --seeds 1 \
     -q --pmsan >"$out" 2>"$err"; then

@@ -1,0 +1,262 @@
+(* Rsan: the vector-clock race detector and lock-discipline linter over
+   the vlock/SX/epoch protocol (DESIGN.md §14).
+
+   Two test families:
+   - stock discipline: sequential index runs and 2–4-lane writer/reader
+     storms must come back violation-free;
+   - mutation detection: re-introducing each of the three PR-8 bug
+     classes (stale merge certification, missing under-lock validation,
+     premature epoch reclaim) must yield an rsan violation of the
+     matching kind, plus unit-level lints driven straight through the
+     Sync primitives. *)
+
+module D = Pmem.Device
+module T = Ccl_btree.Tree
+module V = Sync.Vlock
+module E = Sync.Epoch
+module R = Rsan
+module I = Baselines.Index_intf
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let has kind vs = List.exists (fun v -> v.R.kind = kind) vs
+
+let pp_found vs =
+  List.iter (fun v -> Format.eprintf "  %a@." R.pp_violation v) vs
+
+let assert_clean name (r : R.report) =
+  if not (R.report_clean r) then pp_found r.R.report_violations;
+  check_bool name true (R.report_clean r)
+
+(* with the global hook shared across tests, every detector session must
+   end detached even on assertion failure *)
+let with_detector f =
+  let san = R.create () in
+  R.attach san;
+  Fun.protect ~finally:R.detach (fun () -> f san)
+
+(* --- stock runs are rsan-clean ------------------------------------------ *)
+
+let test_check_index_ccl () =
+  let r =
+    R.check_index ~ops:3_000 ~name:"ccl"
+      ~create:(Baselines.Ccl_index.driver_with Ccl_btree.Config.default)
+      ()
+  in
+  check_int "ops ran" 3_000 r.R.ops_run;
+  assert_clean "ccl sequential run is rsan-clean" r
+
+let test_check_index_baseline () =
+  let r =
+    R.check_index ~ops:1_500 ~name:"fptree"
+      ~create:(fun dev ->
+        I.driver (module Baselines.Fptree) (Baselines.Fptree.create dev))
+      ()
+  in
+  assert_clean "baseline (no sync events) is rsan-clean" r
+
+let test_storm_2lane_clean () =
+  let r = R.check_tree ~writers:2 ~readers:2 ~ops:1_500 () in
+  assert_clean "2-lane storm is rsan-clean" r
+
+let test_storm_4lane_clean () =
+  let r = R.check_tree ~writers:4 ~readers:2 ~ops:800 ~seed:3 () in
+  assert_clean "4-lane storm is rsan-clean" r
+
+(* --- mutation: the three PR-8 bug classes ------------------------------- *)
+
+(* Class 1: writer_try_merge certifying its commit CAS against versions
+   snapshotted after the vlocks were released.  The lint fires on the
+   certification shape itself, so one lane deterministically suffices —
+   merges just need to happen. *)
+let test_mutation_stale_merge_cert () =
+  let r =
+    R.check_tree ~writers:1 ~readers:0 ~ops:1_200
+      ~faults:[ T.Fault.Stale_merge_cert ] ()
+  in
+  check_bool "stale merge certification detected" true
+    (has R.Stale_certification r.R.report_violations)
+
+(* Class 2: the optimistic write path skipping the under-lock
+   fence-interval validation.  The very first optimistic write fires the
+   lint. *)
+let test_mutation_skip_write_validation () =
+  let r =
+    R.check_tree ~writers:1 ~readers:0 ~ops:50
+      ~faults:[ T.Fault.Skip_write_validation ] ()
+  in
+  check_bool "missing under-lock validation detected" true
+    (has R.Unvalidated_write r.R.report_violations)
+
+(* Class 3a: premature epoch reclamation, deterministic at the Sync
+   level — a pinned slot is live when the deferred closure is forced. *)
+let test_mutation_premature_reclaim_epoch () =
+  with_detector (fun san ->
+      let e = E.create () in
+      let s = E.register e in
+      E.enter s;
+      E.retire ~obj:42 e (fun () -> ());
+      E.force e;
+      E.exit s;
+      check_bool "forced reclaim under a live pin detected" true
+        (has R.Premature_reclaim (R.violations san)))
+
+(* Class 3b: the same class at the tree level — merges reclaim leaves
+   immediately while reader domains hold pins.  Readers pin on every
+   search, so across a storm's worth of merges a live pin at reclaim
+   time is (retried to be) certain. *)
+let test_mutation_premature_reclaim_tree () =
+  let rec attempt n seed =
+    let r =
+      R.check_tree ~writers:2 ~readers:2 ~ops:1_500 ~seed
+        ~faults:[ T.Fault.Premature_reclaim ] ()
+    in
+    if has R.Premature_reclaim r.R.report_violations then true
+    else if n = 0 then false
+    else attempt (n - 1) (seed + 17)
+  in
+  check_bool "premature tree reclaim detected" true (attempt 4 42)
+
+(* --- protocol lints driven straight through Sync ------------------------ *)
+
+let test_unheld_unlock_lint () =
+  with_detector (fun san ->
+      let l = V.create () in
+      (try
+         V.unlock l;
+         Alcotest.fail "unlock of an unheld vlock must raise"
+       with Invalid_argument _ -> ());
+      check_bool "unheld unlock reported" true
+        (has R.Unheld_unlock (R.violations san)))
+
+let test_stale_certification_unit () =
+  with_detector (fun san ->
+      let l = V.create () in
+      (* sanctioned: read_begin snapshot *)
+      let v = V.read_begin l in
+      check_bool "sanctioned try_upgrade succeeds" true (V.try_upgrade l v);
+      V.unlock l;
+      check_bool "no lint for a sanctioned snapshot" true
+        (not (has R.Stale_certification (R.violations san)));
+      (* sanctioned: value under the lock *)
+      check_bool "locked" true (V.try_lock l);
+      let vh = V.value l + 1 in
+      V.unlock l;
+      check_bool "under-lock value certifies" true (V.try_upgrade l vh);
+      V.unlock l;
+      check_bool "still no lint" true
+        (not (has R.Stale_certification (R.violations san)));
+      (* unsanctioned: raw value outside the lock *)
+      let bad = V.value l in
+      ignore (V.try_upgrade l bad);
+      V.unlock l;
+      check_bool "raw-value certification flagged" true
+        (has R.Stale_certification (R.violations san)))
+
+let test_lock_order_inversion_lint () =
+  with_detector (fun san ->
+      let a = V.create () and b = V.create () in
+      V.lock a;
+      V.lock b;
+      V.unlock b;
+      V.unlock a;
+      check_bool "consistent order is clean" true (R.clean san);
+      V.lock b;
+      V.lock a;
+      V.unlock a;
+      V.unlock b;
+      check_bool "reversed order flagged" true
+        (has R.Lock_order_inversion (R.violations san)))
+
+let test_race_detection_unit () =
+  (* two domains writing the same annotated variable: ordered through a
+     vlock -> clean; ordered only by Domain.spawn/join (invisible to the
+     hook) -> write-write race *)
+  let run ~locked =
+    with_detector (fun san ->
+        let l = V.create () in
+        let id = V.id l in
+        let w () =
+          if locked then V.lock l;
+          Sync.Hook.access ~id ~write:true ~site:"test.write";
+          if locked then V.unlock l
+        in
+        w ();
+        Domain.join (Domain.spawn w);
+        R.violations san)
+  in
+  check_bool "lock-ordered writes clean" true
+    (not (has R.Write_write_race (run ~locked:true)));
+  check_bool "unordered writes race" true
+    (has R.Write_write_race (run ~locked:false))
+
+(* --- pmsan composition: ack ordering across domains --------------------- *)
+
+let test_unordered_ack () =
+  let run ~via_vlock =
+    let san = R.create () in
+    let dev = D.create ~config:(Pmem.Config.default ~size:(1 lsl 20) ()) () in
+    let pm = Pmsan.attach dev in
+    R.attach san;
+    R.watch_device san dev;
+    Fun.protect ~finally:R.detach (fun () ->
+        let l = V.create () in
+        D.store_u64 dev 256 77L;
+        D.persist dev 256 8;
+        if via_vlock then begin
+          V.lock l;
+          V.unlock l
+        end;
+        Domain.join
+          (Domain.spawn (fun () ->
+               if via_vlock then begin
+                 V.lock l;
+                 V.unlock l
+               end;
+               D.ack_durable dev ~label:"test.ack" 256 8));
+        check_bool "pmsan still composed (clwbs counted)" true
+          ((Pmsan.counters pm).Pmsan.clwb > 0);
+        Pmsan.detach pm;
+        R.violations san)
+  in
+  check_bool "vlock-ordered ack is clean" true
+    (not (has R.Unordered_ack (run ~via_vlock:true)));
+  check_bool "ack without a visible edge to the fence is flagged" true
+    (has R.Unordered_ack (run ~via_vlock:false))
+
+let () =
+  Alcotest.run "rsan"
+    [
+      ( "stock-clean",
+        [
+          Alcotest.test_case "check_index ccl" `Quick test_check_index_ccl;
+          Alcotest.test_case "check_index baseline" `Quick
+            test_check_index_baseline;
+          Alcotest.test_case "storm 2 lanes" `Quick test_storm_2lane_clean;
+          Alcotest.test_case "storm 4 lanes" `Quick test_storm_4lane_clean;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "stale merge certification" `Quick
+            test_mutation_stale_merge_cert;
+          Alcotest.test_case "skip write validation" `Quick
+            test_mutation_skip_write_validation;
+          Alcotest.test_case "premature reclaim (epoch)" `Quick
+            test_mutation_premature_reclaim_epoch;
+          Alcotest.test_case "premature reclaim (tree)" `Quick
+            test_mutation_premature_reclaim_tree;
+        ] );
+      ( "lints",
+        [
+          Alcotest.test_case "unheld unlock" `Quick test_unheld_unlock_lint;
+          Alcotest.test_case "stale certification" `Quick
+            test_stale_certification_unit;
+          Alcotest.test_case "lock order inversion" `Quick
+            test_lock_order_inversion_lint;
+          Alcotest.test_case "vector-clock races" `Quick
+            test_race_detection_unit;
+        ] );
+      ( "composition",
+        [ Alcotest.test_case "unordered ack" `Quick test_unordered_ack ] );
+    ]

@@ -52,6 +52,44 @@ let test_vlock_spin_mutex () =
   List.iter Domain.join ds;
   check_int "no lost updates" (4 * iters) !counter
 
+let test_vlock_unlock_unheld_raises () =
+  (* regression: unlock used to silently bump an even version, unlocking
+     a lock nobody held and corrupting every outstanding snapshot *)
+  let v = V.create () in
+  (try
+     V.unlock v;
+     Alcotest.fail "unlock of an unheld vlock must raise"
+   with Invalid_argument _ -> ());
+  check_int "version untouched by the rejected unlock" 0 (V.value v);
+  V.lock v;
+  V.unlock v;
+  (try
+     V.unlock v;
+     Alcotest.fail "double unlock must raise"
+   with Invalid_argument _ -> ());
+  check_int "balanced cycle left value at 2" 2 (V.value v)
+
+let test_vlock_try_upgrade_cas_failure () =
+  let v = V.create () in
+  (* stale snapshot: the lock moved on, the CAS must fail and leave the
+     lock untouched *)
+  let s = V.read_begin v in
+  V.lock v;
+  V.unlock v;
+  check_bool "stale upgrade fails" false (V.try_upgrade v s);
+  check_bool "failed upgrade does not lock" false (V.locked v);
+  check_int "failed upgrade does not bump" 2 (V.value v);
+  (* held by someone else: odd cell, CAS must fail even with the "right"
+     base version *)
+  check_bool "relock" true (V.try_lock v);
+  check_bool "upgrade vs held lock fails" false (V.try_upgrade v 2);
+  V.unlock v;
+  (* fresh snapshot: succeeds and holds *)
+  let s = V.read_begin v in
+  check_bool "fresh upgrade wins" true (V.try_upgrade v s);
+  check_bool "and holds the lock" true (V.locked v);
+  V.unlock v
+
 (* --- SX latch ----------------------------------------------------------- *)
 
 let test_sx_s_compatible_with_sx () =
@@ -126,6 +164,41 @@ let test_sx_downgrade () =
   (* latch is free again: X acquires *)
   Sx.with_mode l Sx.X (fun () -> ())
 
+let test_sx_upgrade_under_contention () =
+  (* the writer ladder S -> SX -> X while a pack of S readers churn: the
+     upgrade must drain every live S holder before granting X, and the
+     X section must be exclusive against all of them *)
+  let l = Sx.create () in
+  let stop = Atomic.make false in
+  let in_x = Atomic.make false in
+  let violation = Atomic.make false in
+  let readers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Sx.acquire l Sx.S;
+              if Atomic.get in_x then Atomic.set violation true;
+              Domain.cpu_relax ();
+              Sx.release l Sx.S
+            done))
+  in
+  for _ = 1 to 200 do
+    (* start as a plain S reader, step up to SX (still reader-compatible),
+       then claim X for the critical write *)
+    Sx.acquire l Sx.S;
+    Sx.release l Sx.S;
+    Sx.acquire l Sx.SX;
+    Sx.upgrade l;
+    Atomic.set in_x true;
+    Domain.cpu_relax ();
+    Atomic.set in_x false;
+    Sx.release l Sx.X
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  check_bool "no S holder ever overlapped the X section" false
+    (Atomic.get violation)
+
 (* --- epoch guard -------------------------------------------------------- *)
 
 let test_epoch_immediate_when_idle () =
@@ -166,6 +239,27 @@ let test_epoch_new_entries_dont_block_old_retires () =
   check_bool "old retire ripe despite active reader" true !freed2;
   E.exit s
 
+let test_epoch_straggler_pin () =
+  (* one straggler slot pinned since before the retire holds back exactly
+     the retires from its epoch — not later ones, and not forever *)
+  let e = E.create () in
+  let straggler = E.register e in
+  let other = E.register e in
+  let freed = ref false in
+  E.enter straggler;
+  E.retire e (fun () -> freed := true);
+  (* the other reader cycling through does not unpin the straggler *)
+  for _ = 1 to 5 do
+    E.enter other;
+    E.exit other;
+    E.flush e
+  done;
+  check_bool "held back by the straggler alone" false !freed;
+  check_int "still pending" 1 (E.pending e);
+  E.exit straggler;
+  E.flush e;
+  check_bool "ripe once the straggler leaves" true !freed
+
 let test_epoch_concurrent_storm () =
   (* readers enter/exit while the "writer" retires: every retired closure
      must eventually run exactly once, with no crash or hang *)
@@ -202,6 +296,10 @@ let () =
             test_vlock_read_begin_bounded;
           Alcotest.test_case "spin mutex across domains" `Quick
             test_vlock_spin_mutex;
+          Alcotest.test_case "unlock of unheld raises" `Quick
+            test_vlock_unlock_unheld_raises;
+          Alcotest.test_case "try_upgrade CAS failure" `Quick
+            test_vlock_try_upgrade_cas_failure;
         ] );
       ( "sx",
         [
@@ -211,6 +309,8 @@ let () =
           Alcotest.test_case "upgrade waits for readers" `Quick
             test_sx_upgrade_waits_for_readers;
           Alcotest.test_case "downgrade" `Quick test_sx_downgrade;
+          Alcotest.test_case "upgrade ladder under contention" `Quick
+            test_sx_upgrade_under_contention;
         ] );
       ( "epoch",
         [
@@ -220,6 +320,7 @@ let () =
             test_epoch_defers_while_pinned;
           Alcotest.test_case "later entries don't block old retires" `Quick
             test_epoch_new_entries_dont_block_old_retires;
+          Alcotest.test_case "straggler pin" `Quick test_epoch_straggler_pin;
           Alcotest.test_case "concurrent storm" `Quick
             test_epoch_concurrent_storm;
         ] );
