@@ -15,33 +15,44 @@ let list_experiments () =
         e.Harness.Experiments.what)
     Harness.Experiments.all
 
+let escape_json s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
 (* Machine-readable record of the microbenchmark, one object per
    operation, so the perf trajectory is comparable across PRs:
-     [{"name": "CCL-BTree/upsert", "ns_per_op": 1234.5}, ...] *)
-let write_json path rows =
+     [{"name": "CCL-BTree/upsert", "ns_per_op": 1234.5}, ...]
+   [extra] rows (pre-rendered objects, e.g. the amp-profile suite's
+   per-site WA rows) land in the same array: bench_check's name-keyed
+   lookups skip rows whose fields it does not know, so mixed schemas in
+   one artifact are safe. *)
+let write_json ?(extra = []) path rows =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let escape s =
-        String.concat ""
-          (List.map
-             (fun c ->
-               match c with
-               | '"' -> "\\\""
-               | '\\' -> "\\\\"
-               | c -> String.make 1 c)
-             (List.init (String.length s) (String.get s)))
+      let rendered =
+        List.map
+          (fun (name, ns) ->
+            Printf.sprintf "{\"name\": \"%s\", \"ns_per_op\": %.1f}"
+              (escape_json name) ns)
+          rows
+        @ extra
       in
       output_string oc "[\n";
       List.iteri
-        (fun i (name, ns) ->
-          Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_op\": %.1f}%s\n"
-            (escape name) ns
-            (if i = List.length rows - 1 then "" else ","))
-        rows;
+        (fun i row ->
+          Printf.fprintf oc "  %s%s\n" row
+            (if i = List.length rendered - 1 then "" else ","))
+        rendered;
       output_string oc "]\n");
-  Printf.printf "  [microbenchmark results written to %s]\n%!" path
+  Printf.printf "  [benchmark results written to %s]\n%!" path
 
 (* Every shard-suite JSON row carries the host's core count and the dune
    profile that produced it: a scaling row is meaningless without knowing
@@ -436,6 +447,64 @@ let latency_suite ~sample ~trace ~metrics ~scale_level () =
       ])
     (Obs.Recorder.hists rc)
 
+(* Per-site write-amplification attribution (Obs.Prof) of an insert-only
+   run: where each index's media bytes actually come from — CCL-BTree's
+   wal-append / leaf-buffer / smo-split vs FAST&FAIR's in-place
+   ff-insert / ff-split.  The profiler attaches after the warmup, so the
+   table covers exactly the measured inserts plus their end-of-run
+   flush; each site row lands in the benchmark JSON, so BENCH_device.json
+   tracks the per-site WA trajectory across PRs alongside the wall-clock
+   medians. *)
+let amp_profile_suite ~scale_level () =
+  let scale = Harness.Scale.of_level scale_level in
+  let warmup = scale.Harness.Scale.warmup and ops_n = scale.Harness.Scale.ops in
+  Harness.Report.section
+    "Amp-profile: per-site write amplification (Obs.Prof), insert-only";
+  List.concat_map
+    (fun spec ->
+      let dev = Harness.Runner.device ~mb:96 () in
+      let drv = Harness.Runner.build spec dev in
+      Harness.Runner.warmup drv
+        ~keys:(Workload.Keygen.shuffled_range ~seed:1 warmup);
+      let p = Obs.Prof.create ~now:Shard.Clock.monotonic_ns () in
+      let ln = Obs.Prof.lane p ~tid:0 in
+      Obs.Prof.attach_device ln dev;
+      Array.iteri
+        (fun i k ->
+          drv.Baselines.Index_intf.upsert
+            (Int64.add k (Int64.of_int warmup))
+            (Int64.of_int (i + 1)))
+        (Workload.Keygen.shuffled_range ~seed:2 ops_n);
+      drv.Baselines.Index_intf.flush_all ();
+      let name = Harness.Runner.name spec in
+      Obs.Prof.print_report p ~name;
+      let tot = Obs.Prof.wa_total p in
+      List.map
+        (fun (r : Obs.Prof.wa_row) ->
+          let amp =
+            if r.Obs.Prof.store_bytes = 0 then 0.0
+            else
+              float_of_int r.Obs.Prof.media_bytes
+              /. float_of_int r.Obs.Prof.store_bytes
+          in
+          let share =
+            if tot.Obs.Prof.media_bytes = 0 then 0.0
+            else
+              100.0
+              *. float_of_int r.Obs.Prof.media_bytes
+              /. float_of_int tot.Obs.Prof.media_bytes
+          in
+          Printf.sprintf
+            "{\"suite\": \"amp-profile\", \"name\": \"amp/%s/%s\", \
+             \"store_bytes\": %d, \"media_bytes\": %d, \"amp\": %.2f, \
+             \"share_pct\": %.1f, %s}"
+            (escape_json name)
+            (escape_json r.Obs.Prof.site)
+            r.Obs.Prof.store_bytes r.Obs.Prof.media_bytes amp share
+            (row_env ()))
+        (Obs.Prof.wa_table p))
+    [ Harness.Runner.ccl_default; Harness.Runner.Fastfair ]
+
 (* Wall-clock microbenchmark of the real code paths (one Bechamel test per
    core operation).  The simulator's modeled numbers come from the
    experiments; this measures what the OCaml implementation itself costs. *)
@@ -618,15 +687,19 @@ let run_ids ids scale_level no_bech json quota only hist sample trace metrics
   let shard = List.mem "shard" ids in
   let bech_named = List.mem "bechamel" ids in
   let lat = List.mem "latency" ids || hist in
+  let amp = List.mem "amp-profile" ids in
   let ids =
     List.filter
-      (fun id -> not (List.mem id [ "shard"; "bechamel"; "latency" ]))
+      (fun id ->
+        not (List.mem id [ "shard"; "bechamel"; "latency"; "amp-profile" ]))
       ids
   in
-  let bech = bech_named || ((ids = [] && not (shard || lat)) && not no_bech) in
+  let bech =
+    bech_named || ((ids = [] && not (shard || lat || amp)) && not no_bech)
+  in
   let selected =
     match ids with
-    | [] when shard || bech_named || lat -> []
+    | [] when shard || bech_named || lat || amp -> []
     | [] -> Harness.Experiments.all
     | ids ->
       List.map
@@ -665,9 +738,11 @@ let run_ids ids scale_level no_bech json quota only hist sample trace metrics
     @
     if lat then latency_suite ~sample ~trace ~metrics ~scale_level () else []
   in
+  let amp_rows = if amp then amp_profile_suite ~scale_level () else [] in
   (* when the shard suite owns the --json path, don't overwrite it *)
   match json with
-  | Some path when (not shard) && rows <> [] -> write_json path rows
+  | Some path when (not shard) && (rows <> [] || amp_rows <> []) ->
+    write_json ~extra:amp_rows path rows
   | _ -> ()
 
 open Cmdliner
@@ -680,7 +755,10 @@ let ids_arg =
           "Experiment ids to run (default: all).  The pseudo-id $(b,bechamel) \
            runs only the wall-clock microbenchmark; $(b,shard) runs the \
            measured domain-parallel scaling suite; $(b,latency) runs the \
-           measured-latency percentile suite (lib/obs histograms).")
+           measured-latency percentile suite (lib/obs histograms); \
+           $(b,amp-profile) runs the per-site write-amplification \
+           attribution suite (Obs.Prof) over CCL-BTree and FAST&FAIR and \
+           records one JSON row per site.")
 
 let scale_arg =
   Arg.(

@@ -13,25 +13,73 @@
 
 module S = Pmem.Stats
 
-let read_stats path =
+let read_numbers path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in
   close_in ic;
-  let nums = Obs.Json.scan_numbers body in
-  (* first occurrence wins: the metrics document puts the "device"
-     section before the per-sample series, which reuses counter names *)
+  Obs.Json.scan_numbers body
+
+(* first occurrence wins: the metrics document puts the "device" section
+   before the per-sample series, which reuses counter names *)
+let stats_of nums =
   S.of_assoc (List.map (fun (k, v) -> (k, int_of_float v)) nums)
+
+(* The "profile" section ccl-ycsb --profile writes uses dotted key
+   prefixes — wa.<site>, cont.<site>, sx, queue-wait, queue-apply —
+   that collide with nothing else in the document, so the flat number
+   scan recovers it without a real JSON path walk. *)
+let profile_prefixes = [ "wa."; "cont."; "sx."; "queue-wait."; "queue-apply." ]
+
+let profile_of nums =
+  List.filter
+    (fun (k, _) ->
+      List.exists (fun p -> String.starts_with ~prefix:p k) profile_prefixes)
+    nums
+
+let pp_num v =
+  if Float.is_integer v then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
 
 let class_names = [| "meta"; "leaf"; "log"; "extent" |]
 
-let print_one st =
+let print_one nums =
+  let st = stats_of nums in
   Fmt.pr "%a@." S.pp st;
   Array.iteri
     (fun i v -> Fmt.pr "media writes [%s]  %d B@." class_names.(i) v)
-    st.S.media_write_bytes_by_class
+    st.S.media_write_bytes_by_class;
+  match profile_of nums with
+  | [] -> ()
+  | prof ->
+    Fmt.pr "@.profile:@.";
+    List.iter (fun (k, v) -> Fmt.pr "%-36s %14s@." k (pp_num v)) prof
 
-let print_diff a b =
+(* Device counters diff positionally (S.of_assoc normalizes the schema);
+   the profile section diffs as a key union — a site present in only one
+   snapshot (schema growth, a mechanism that never fired) shows as an
+   added/removed marker instead of failing the whole diff. *)
+let print_profile_diff ~before ~after =
+  match Obs.Metrics.diff_numbers ~before ~after with
+  | [] -> ()
+  | rows ->
+    Fmt.pr "@.profile (after - before):@.";
+    Fmt.pr "%-36s %14s %14s %14s@." "key" "before" "after" "delta";
+    List.iter
+      (fun (k, entry) ->
+        match entry with
+        | `Delta (vb, va) ->
+          Fmt.pr "%-36s %14s %14s %14s@." k (pp_num vb) (pp_num va)
+            (pp_num (va -. vb))
+        | `Added va ->
+          Fmt.pr "%-36s %14s %14s %14s@." k "(added)" (pp_num va) (pp_num va)
+        | `Removed vb ->
+          Fmt.pr "%-36s %14s %14s %14s@." k (pp_num vb) "(removed)"
+            (pp_num (-.vb)))
+      rows
+
+let print_diff na nb =
+  let a = stats_of na and b = stats_of nb in
   let d = S.diff ~after:b ~before:a in
   Fmt.pr "%-24s %14s %14s %14s@." "counter" "before" "after" "delta";
   List.iter2
@@ -39,18 +87,19 @@ let print_diff a b =
       Fmt.pr "%-24s %14d %14d %14d@." name va vb (vb - va))
     (S.to_assoc a) (S.to_assoc b);
   Fmt.pr "%-24s %44.2f@." "CLI-amplification (delta)" (S.cli_amplification d);
-  Fmt.pr "%-24s %44.2f@." "XBI-amplification (delta)" (S.xbi_amplification d)
+  Fmt.pr "%-24s %44.2f@." "XBI-amplification (delta)" (S.xbi_amplification d);
+  print_profile_diff ~before:(profile_of na) ~after:(profile_of nb)
 
 open Cmdliner
 
 let run before after =
-  let a = read_stats before in
+  let a = read_numbers before in
   match after with
   | None ->
     print_one a;
     0
   | Some after ->
-    print_diff a (read_stats after);
+    print_diff a (read_numbers after);
     0
 
 let cmd =

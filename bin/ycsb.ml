@@ -59,6 +59,7 @@ type obs_opts = {
   trace : string option;  (* Chrome trace-event JSON path *)
   metrics : string option;  (* metrics JSON path *)
   attribution : bool;  (* classifier/counter traffic breakdown *)
+  profile : bool;  (* Obs.Prof site-attributed WA/contention profiler *)
 }
 
 (* The metrics file always carries histograms (its totals are the run's
@@ -69,19 +70,39 @@ let make_recorder o =
     ~sample_every:o.sample ~trace:(o.trace <> None)
     ~now:Shard.Clock.monotonic_ns ()
 
-let obs_report o rc ~delta =
+(* --profile: the profiler shares the recorder's window (created after
+   warmup / resumed at the measured phase) so its per-site tables cover
+   exactly the traffic the device delta covers — that is the summation
+   invariant pmstat and the tests rely on. *)
+let make_profiler o =
+  if o.profile then
+    Some
+      (Obs.Prof.create ~trace:(o.trace <> None) ~now:Shard.Clock.monotonic_ns
+         ())
+  else None
+
+let obs_report o ?prof rc ~delta =
   Obs.Recorder.finish rc;
+  (match prof with Some p -> Obs.Prof.finish p | None -> ());
   if o.hist then Obs.Recorder.print_hists rc;
   (match o.trace with
   | Some path ->
-    Obs.Recorder.write_trace rc path;
+    let extra =
+      match prof with Some p -> Obs.Prof.trace_buffers p | None -> []
+    in
+    Obs.Recorder.write_trace ~extra rc path;
     Printf.printf "trace written to %s (load in ui.perfetto.dev)\n" path
   | None -> ());
   match o.metrics with
   | Some path ->
     (* the "device" section holds the measured-phase counter deltas: the
        same window the histograms and sample series cover *)
-    Obs.Recorder.write_metrics rc ~device:delta path;
+    let extra =
+      match prof with
+      | Some p -> [ ("profile", Obs.Prof.to_json p) ]
+      | None -> []
+    in
+    Obs.Recorder.write_metrics ~extra rc ~device:delta path;
     Printf.printf "metrics written to %s\n" path
   | None -> ()
 
@@ -301,6 +322,29 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
     end
     else None
   in
+  (* the profiler joins the same window: lanes attach here, after the
+     load, so the per-site tables cover exactly the measured phase
+     (lines stored during the load that evict later show as "(other)").
+     attach_device rides add_tracer, composing behind pmsan's set_tracer,
+     rsan's watch and the recorder's trace hook; the sync-hook consumer
+     installs after any rsan attach for the same reason. *)
+  let prof = make_profiler o in
+  (match prof with
+  | Some p ->
+    let ln = Obs.Prof.lane p ~tid:0 in
+    Obs.Prof.attach_device ln dev;
+    Array.iteri
+      (fun i h ->
+        let ln = Obs.Prof.lane p ~tid:(i + 1) in
+        Obs.Prof.attach_device ln (h.Baselines.Index_intf.w_dev ()))
+      writer_handles;
+    Array.iteri
+      (fun i h ->
+        let ln = Obs.Prof.lane p ~tid:(writers + i + 1) in
+        Obs.Prof.attach_device ln (h.Baselines.Index_intf.r_dev ()))
+      reader_handles;
+    Obs.Prof.install_sync_hook p
+  | None -> ());
   let counters0 = drv.Baselines.Index_intf.counters () in
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
   Printf.printf "running %d x %s ops...\n%!" ops mix_name;
@@ -353,7 +397,10 @@ let run_single spec mix mix_name warmup ops model_threads scan_len pmsan budget
     kv "%d B" "reader media reads" rstats.S.media_read_bytes
   end;
   print_modeled m model_threads;
-  obs_report o rc ~delta;
+  (match prof with
+  | Some p -> Obs.Prof.print_report p ~name:(Harness.Runner.name spec)
+  | None -> ());
+  obs_report o ?prof rc ~delta;
   if o.attribution then
     print_attribution ~ops ~delta
       ~counters:
@@ -408,11 +455,20 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
   (* attach before the shard domains spawn so every hook event is seen *)
   let rsan = rsan_start rsan in
   (* workers register their lanes inside Shard.create; pause until the
-     measured phase so the load traffic stays out of the books *)
+     measured phase so the load traffic stays out of the books (the
+     profiler follows the same discipline — its sync hook installs after
+     rsan's so the detector keeps seeing every event) *)
   Obs.Recorder.pause rc;
+  let prof = make_profiler o in
+  (match prof with
+  | Some p ->
+    Obs.Prof.install_sync_hook p;
+    Obs.Prof.pause p
+  | None -> ());
   let t =
     Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000))
       ?recorder:(if Obs.Recorder.enabled rc then Some rc else None)
+      ?profiler:prof
       ?pre_shard:
         (match rsan with
         | Some r -> Some (fun _ dev -> Rsan.watch_device r dev)
@@ -428,15 +484,20 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
   Shard.flush t;
   Shard.reset_counters t;
   Obs.Recorder.resume rc;
+  (match prof with Some p -> Obs.Prof.resume p | None -> ());
   (* --readers: a pool of read-only domains on the (single) shard's tree;
      the mix's reads and scans run there, concurrently with the writer
-     domain applying the mutations *)
+     domain applying the mutations.  Profiler lane tids continue past the
+     shard workers' 1..domains range. *)
   let pool =
     if readers = 0 then None
     else begin
       match Shard.new_reader t 0 with
       | None -> no_reader_path spec
-      | Some _ -> Some (Shard.reader_pool t ~shard:0 ~readers)
+      | Some _ ->
+        Some
+          (Shard.reader_pool ?profiler:prof ~tid_base:(domains + 1) t
+             ~shard:0 ~readers)
     end
   in
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
@@ -516,7 +577,10 @@ let run_sharded spec mix mix_name warmup ops model_threads scan_len domains
     }
   in
   print_modeled m model_threads;
-  obs_report o rc ~delta;
+  (match prof with
+  | Some p -> Obs.Prof.print_report p ~name:(Harness.Runner.name spec)
+  | None -> ());
+  obs_report o ?prof rc ~delta;
   if o.attribution then print_attribution ~ops ~delta ~counters:[];
   Shard.shutdown t;
   rsan_finish rsan
@@ -540,10 +604,17 @@ let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
   let rc = make_recorder o in
   let rsan = rsan_start rsan in
   Obs.Recorder.pause rc;
+  let prof = make_profiler o in
+  (match prof with
+  | Some p ->
+    Obs.Prof.install_sync_hook p;
+    Obs.Prof.pause p
+  | None -> ());
   let sans = Array.make domains None in
   let t =
     Harness.Runner.make_sharded ~mb:(max 96 (warmup / 4000))
       ?recorder:(if Obs.Recorder.enabled rc then Some rc else None)
+      ?profiler:prof
       ?pre_shard:
         (if pmsan || rsan <> None then
            Some
@@ -570,14 +641,24 @@ let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
   Shard.flush t;
   Shard.reset_counters t;
   Obs.Recorder.resume rc;
+  (match prof with Some p -> Obs.Prof.resume p | None -> ());
   (* pools are created after the load, so each lane's device view and
-     retry counter cover exactly the measured phase *)
+     retry counter cover exactly the measured phase.  Profiler lane tids:
+     shard workers take 1..domains, then writer lanes, then reader
+     lanes — disjoint ranges so per-lane trace tracks stay distinct. *)
   let wpools =
-    Array.init domains (fun s -> Shard.writer_pool t ~shard:s ~writers)
+    Array.init domains (fun s ->
+        Shard.writer_pool ?profiler:prof
+          ~tid_base:(domains + 1 + (s * writers))
+          t ~shard:s ~writers)
   in
   let rpools =
     if readers = 0 then [||]
-    else Array.init domains (fun s -> Shard.reader_pool t ~shard:s ~readers)
+    else
+      Array.init domains (fun s ->
+          Shard.reader_pool ?profiler:prof
+            ~tid_base:(domains + 1 + (domains * writers) + (s * readers))
+            t ~shard:s ~readers)
   in
   let stream = Y.generate mix ~seed:7 ~space:(2 * warmup) ~scan_len ops in
   (* partition once by owning shard; both of a shard's pools get the
@@ -695,7 +776,10 @@ let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
     }
   in
   print_modeled m model_threads;
-  obs_report o rc ~delta;
+  (match prof with
+  | Some p -> Obs.Prof.print_report p ~name:(Harness.Runner.name spec)
+  | None -> ());
+  obs_report o ?prof rc ~delta;
   if o.attribution then print_attribution ~ops ~delta ~counters:[];
   if not pmsan then begin
     Shard.shutdown t;
@@ -736,7 +820,8 @@ let run_sharded_writers spec mix mix_name warmup ops model_threads scan_len
 open Cmdliner
 
 let run index mix warmup ops model_threads threads scan_len domains readers
-    writers pmsan rsan flush_budget hist sample trace metrics attribution =
+    writers pmsan rsan flush_budget hist sample trace metrics attribution
+    profile =
   let usage fmt =
     Printf.ksprintf
       (fun m ->
@@ -815,7 +900,7 @@ let run index mix warmup ops model_threads threads scan_len domains readers
   (match metrics with
   | Some "" -> usage "--metrics-json needs a non-empty output path"
   | _ -> ());
-  let o = { hist; sample; trace; metrics; attribution } in
+  let o = { hist; sample; trace; metrics; attribution; profile } in
   let spec = spec_of index in
   (* one WAL lane per writer handle: the tree asserts the lane index
      against the config's thread count, so size it up front *)
@@ -1002,11 +1087,29 @@ let cmd =
              index-internal counters (log appends, batch flushes, \
              splits, GC work) where the index exposes them.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Run the $(b,Obs.Prof) site-attribution profiler over the \
+             measured phase and print the per-site write-amplification \
+             flame table — bytes logically stored vs bytes reaching the \
+             media, split by the mechanism that issued the store \
+             (wal-append, leaf-buffer, smo-split, smo-merge, gc, and the \
+             baselines' analogues) — plus the contention summary (vlock \
+             try failures, upgrade aborts, optimistic-read retries, SX \
+             wait percentiles, shard-queue residency).  Composes with \
+             every execution mode and with $(b,--pmsan), $(b,--rsan) and \
+             $(b,--trace) (per-site counter tracks appear in the trace \
+             document); $(b,--metrics-json) gains a $(b,profile) section \
+             that $(b,pmstat.exe) prints and diffs.")
+  in
   Cmd.v
     (Cmd.info "ccl-ycsb" ~doc:"YCSB workload runner for the compared indexes")
     Term.(
       const run $ index $ mix $ warmup $ ops $ model_threads $ threads
       $ scan_len $ domains $ readers $ writers $ pmsan $ rsan $ flush_budget
-      $ hist $ sample $ trace $ metrics $ attribution)
+      $ hist $ sample $ trace $ metrics $ attribution $ profile)
 
 let () = exit (Cmd.eval' cmd)

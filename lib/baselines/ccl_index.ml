@@ -47,6 +47,7 @@ let driver_with ?(name = "CCL-BTree") cfg dev =
               (fun () ->
                 Ccl_btree.Tree_stats.to_assoc (Tree.reader_stats r));
             r_retries = (fun () -> Tree.reader_retries r);
+            r_dev = (fun () -> Tree.reader_device r);
           });
     new_writer =
       Some
@@ -61,6 +62,7 @@ let driver_with ?(name = "CCL-BTree") cfg dev =
               (fun () ->
                 Ccl_btree.Tree_stats.to_assoc (Tree.writer_stats w));
             w_retries = (fun () -> Tree.writer_retries w);
+            w_dev = (fun () -> Tree.writer_device w);
           });
   }
 

@@ -12,6 +12,12 @@ module Alloc = Pmalloc.Alloc
 let name = "DPTree"
 let default_merge_threshold = 1024
 
+(* WA-attribution sites (Obs.Prof), per-index analogues of the CCL
+   taxonomy: the differential log is this index's "wal-append", the
+   wholesale buffer merge its "smo" traffic. *)
+let site_log = Pmem.Site.id "dpt-log"
+let site_merge = Pmem.Site.id "dpt-merge"
+
 type t = {
   dev : D.t;
   base : Fptree_core.t;
@@ -48,15 +54,18 @@ let log_append t key value =
      t.log_off <- 0
    end);
   let addr = List.hd t.log_chunks + t.log_off in
+  D.site_enter t.dev site_log;
   D.store_u64 t.dev addr key;
   D.store_u64 t.dev (addr + 8) value;
   D.persist t.dev addr 16;
+  D.site_exit t.dev;
   t.log_off <- t.log_off + 16
 
 (* Merge the whole buffer into the base tree: the KVs scatter across
    random leaves in PM. *)
 let merge t =
   D.span_begin t.dev "dptree.merge";
+  D.site_enter t.dev site_merge;
   let entries =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.buffer [])
   in
@@ -73,6 +82,7 @@ let merge t =
   t.log_chunks <- [];
   t.log_off <- 0;
   t.merges <- t.merges + 1;
+  D.site_exit t.dev;
   D.span_end t.dev "dptree.merge"
 
 let upsert_raw t key value =

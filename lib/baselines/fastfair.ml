@@ -12,6 +12,12 @@ module Slab = Pmalloc.Slab
 
 let name = "FAST&FAIR"
 let node_size = 256
+
+(* WA-attribution sites (Obs.Prof): shift-insert traffic vs node-split
+   traffic — FAST&FAIR's in-place entry shifting is what the paper's §3.2
+   charges its CLI amplification to. *)
+let site_insert = Pmem.Site.id "ff-insert"
+let site_split = Pmem.Site.id "ff-split"
 let capacity = 15 (* 16 B header + 15 x 16 B entries *)
 
 type t = {
@@ -97,19 +103,22 @@ let insert_into_node t node ~key ~payload =
   let n = nkeys t node in
   assert (n < capacity);
   let pos = lower_bound t node key in
+  D.site_enter t.dev site_insert;
   for i = n - 1 downto pos do
     store_entry t node (i + 1) ~key:(key_at t node i)
       ~payload:(payload_at t node i)
   done;
   store_entry t node pos ~key ~payload;
   set_nkeys t node (n + 1);
-  flush_entry_range t node pos n
+  flush_entry_range t node pos n;
+  D.site_exit t.dev
 
 (* split [node], returning (separator, right sibling address) *)
 let split_node t node =
   let n = nkeys t node in
   let leaf = is_leaf t node in
   let mid = n / 2 in
+  D.site_enter t.dev site_split;
   let right = alloc_node t ~leaf in
   if leaf then begin
     for i = mid to n - 1 do
@@ -124,6 +133,7 @@ let split_node t node =
     set_aux t node right;
     set_nkeys t node mid;
     D.persist t.dev node 16;
+    D.site_exit t.dev;
     (key_at t right 0, right)
   end
   else begin
@@ -138,6 +148,7 @@ let split_node t node =
     D.persist t.dev right (16 + (16 * (n - mid - 1)));
     set_nkeys t node mid;
     D.persist t.dev node 16;
+    D.site_exit t.dev;
     (key_at t node mid, right)
   end
 

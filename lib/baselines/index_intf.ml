@@ -39,6 +39,10 @@ type reader_ops = {
       (** Reader-side index counters (searches, DRAM hits, ...). *)
   r_retries : unit -> int;
       (** Optimistic-validation failures so far. *)
+  r_dev : unit -> Pmem.Device.t;
+      (** The handle's private device read view — lets observability
+          consumers (profiler lanes) attach tracers to the exact device
+          this reader drives. *)
 }
 
 (** Write operation handle for one concurrent writer domain.  Each handle
@@ -55,6 +59,10 @@ type writer_ops = {
           ...). *)
   w_retries : unit -> int;
       (** Optimistic-validation failures so far. *)
+  w_dev : unit -> Pmem.Device.t;
+      (** The handle's private device write view — lets observability
+          consumers (profiler lanes) attach tracers to the exact device
+          this writer drives. *)
 }
 
 (** First-class driver record, letting the harness and benches iterate over

@@ -12,6 +12,12 @@ module M = Map.Make (Int64)
 
 let name = "RocksDB-PM"
 let memtable_limit = 1024
+
+(* WA-attribution sites (Obs.Prof): WAL appends vs memtable flushes vs
+   compaction rewrites — the classic LSM write-amplification split. *)
+let site_wal = Pmem.Site.id "lsm-wal"
+let site_flush = Pmem.Site.id "lsm-flush"
+let site_compact = Pmem.Site.id "lsm-compact"
 let l0_limit = 4
 
 type run = { chunks : int array; count : int }
@@ -98,7 +104,9 @@ let compact t =
   let l1_entries = match t.l1 with Some r -> run_entries t r | None -> [] in
   let sources = List.map (run_entries t) t.l0 @ [ l1_entries ] in
   let merged = merge_sources sources ~drop_tombstones:true in
+  D.site_enter t.dev site_compact;
   let new_l1 = write_run t merged in
+  D.site_exit t.dev;
   List.iter (free_run t) t.l0;
   (match t.l1 with Some r -> free_run t r | None -> ());
   t.l0 <- [];
@@ -108,7 +116,10 @@ let compact t =
 let flush_memtable t =
   if not (M.is_empty t.memtable) then begin
     let entries = M.bindings t.memtable in
-    t.l0 <- write_run t entries :: t.l0;
+    D.site_enter t.dev site_flush;
+    let run = write_run t entries in
+    D.site_exit t.dev;
+    t.l0 <- run :: t.l0;
     t.memtable <- M.empty;
     List.iter (Alloc.free_chunk t.alloc) t.wal_chunks;
     t.wal_chunks <- [];
@@ -123,9 +134,11 @@ let wal_append t key value =
      t.wal_off <- 0
    end);
   let addr = List.hd t.wal_chunks + t.wal_off in
+  D.site_enter t.dev site_wal;
   D.store_u64 t.dev addr key;
   D.store_u64 t.dev (addr + 8) value;
   D.persist t.dev addr 16;
+  D.site_exit t.dev;
   t.wal_off <- t.wal_off + 16
 
 let upsert_raw t key value =

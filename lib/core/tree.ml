@@ -9,6 +9,17 @@ module L = Leaf_node
 
 let tree_magic = 0x43434C2D42545245L (* "CCL-BTRE" *)
 
+(* Write-amplification attribution sites (Obs.Prof): each bracket below
+   mirrors an existing device span, stamping every store issued inside it
+   so media write-backs — which happen long after the causal store —
+   charge to the mechanism that produced them.  Innermost site wins, so
+   WAL appends issued from GC show as ["wal-append"], not ["gc"]. *)
+let site_leaf_buffer = Pmem.Site.id "leaf-buffer"
+let site_smo_split = Pmem.Site.id "smo-split"
+let site_smo_merge = Pmem.Site.id "smo-merge"
+let site_gc = Pmem.Site.id "gc"
+let site_bulk_load = Pmem.Site.id "bulk-load"
+
 type gc_state = { mutable cursor : B.t option; old_epoch : int }
 
 type t = {
@@ -239,6 +250,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
     ann b ~write:true "tree.batch";
     (try
        D.span_begin dev "tree.batch_flush";
+       D.site_enter dev site_leaf_buffer;
        List.iter
          (fun (i, v) ->
            D.store_u64 dev (L.slot_addr leaf i + 8) v;
@@ -265,6 +277,7 @@ let rec leaf_apply ?(allow_merge = true) t b ~pending =
        D.ack_durable dev ~label:"tree.batch" leaf 32;
        t.stats.Tree_stats.batch_flushes <-
          t.stats.Tree_stats.batch_flushes + 1;
+       D.site_exit dev;
        D.span_end dev "tree.batch_flush"
      with e ->
        B.unlock b;
@@ -296,6 +309,7 @@ and split_apply t b ~pending ~ts =
   let vheld = ref false in
   try
     D.span_begin dev "tree.split";
+    D.site_enter dev site_smo_split;
     let leaf = b.B.leaf in
   (* final content = existing entries with pending applied *)
   let tbl = Hashtbl.create 32 in
@@ -405,6 +419,7 @@ and split_apply t b ~pending ~ts =
         && L.find dev leaf k = None)
       pending
   in
+  D.site_exit dev;
   if added_left <> [] then leaf_apply t b ~pending:added_left;
   D.span_end dev "tree.split"
   with e ->
@@ -437,6 +452,7 @@ and try_merge t b =
       let pheld = ref false in
       try
       D.span_begin dev "tree.merge";
+      D.site_enter dev site_smo_merge;
       let entries = L.entries dev b.B.leaf in
       let bits = ref 0 in
       let fps = ref [] in
@@ -483,6 +499,7 @@ and try_merge t b =
       B.unlock p;
       pheld := false;
       (* [b] stays locked: sealed forever *)
+      D.site_exit dev;
       D.span_end dev "tree.merge";
       Sync.Sx.release t.latch Sync.Sx.X;
       latched := false;
@@ -518,10 +535,12 @@ let gc_step t n =
         match gc.cursor with
         | None ->
           D.span_begin t.dev "tree.gc_reclaim";
+          D.site_enter t.dev site_gc;
           Wal.reclaim_epoch t.wal ~epoch:gc.old_epoch;
           t.gc <- None;
           t.gc_floor <- Wal.live_bytes t.wal;
           t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1;
+          D.site_exit t.dev;
           D.span_end t.dev "tree.gc_reclaim"
         | Some b when b.B.dead ->
           (* the cursor can be left parked on a node a later merge killed;
@@ -536,6 +555,7 @@ let gc_step t n =
              flush+fence per record.  Crash-safe because the B-log
              originals stay replayable until [reclaim_epoch], which only
              runs after every group has committed. *)
+          D.site_enter t.dev site_gc;
           (try
              Wal.with_group t.wal (fun () ->
               for i = 0 to B.nbatch b - 1 do
@@ -557,8 +577,10 @@ let gc_step t n =
                 end
               done)
            with e ->
+             D.site_exit t.dev;
              B.unlock b;
              raise e);
+          D.site_exit t.dev;
           B.unlock b;
           gc.cursor <- b.B.next;
           go (n - 1)
@@ -575,6 +597,7 @@ let gc_finish t =
    leaf — random XPLine writes — then reclaim all logs. *)
 let gc_naive t =
   D.span_begin t.dev "tree.gc_naive";
+  D.site_enter t.dev site_gc;
   let rec walk = function
     | None -> ()
     | Some b ->
@@ -597,6 +620,7 @@ let gc_naive t =
   Wal.reclaim_epoch t.wal ~epoch:1;
   t.gc_floor <- 0;
   t.stats.Tree_stats.gc_runs <- t.stats.Tree_stats.gc_runs + 1;
+  D.site_exit t.dev;
   D.span_end t.dev "tree.gc_naive"
 
 let gc_trigger_reached t =
@@ -837,6 +861,7 @@ let bulk_load ?(fill = 0.8) t entries =
           invalid_arg "Tree.bulk_load: entries must be strictly sorted")
       entries;
     let ts = Clock.next t.clock in
+    D.site_enter dev site_bulk_load;
     (* persist only a leaf's written prefix: the tail lines of a fresh
        slab object were never stored to, and flushing them would be pure
        redundant-clwb waste *)
@@ -879,6 +904,7 @@ let bulk_load ?(fill = 0.8) t entries =
       else persist_prefix prev_node.B.leaf prev_count
     in
     build 0 t.head 0;
+    D.site_exit dev;
     D.add_user_bytes dev (16 * n);
     t.stats.Tree_stats.inserts <- t.stats.Tree_stats.inserts + n
   end
@@ -1482,6 +1508,7 @@ let rec writer_leaf_apply w b ~pending =
   end
   else if List.length !added <= List.length free then begin
     D.span_begin dev "tree.batch_flush";
+    D.site_enter dev site_leaf_buffer;
     List.iter
       (fun (i, v) ->
         D.store_u64 dev (L.slot_addr leaf i + 8) v;
@@ -1506,6 +1533,7 @@ let rec writer_leaf_apply w b ~pending =
     D.ack_durable dev ~label:"tree.batch" leaf 32;
     w.wstats.Tree_stats.batch_flushes <-
       w.wstats.Tree_stats.batch_flushes + 1;
+    D.site_exit dev;
     D.span_end dev "tree.batch_flush";
     `Applied
   end
@@ -1702,6 +1730,7 @@ let writer_split w b ~key ~value ~ts =
     end
     else begin
       D.span_begin dev "tree.split";
+      D.site_enter dev site_smo_split;
       (* buffered in the [v1] optimistic bracket; certified (or dropped)
          by the try_upgrade below *)
       ann b ~write:false "tree.split_union";
@@ -1741,12 +1770,14 @@ let writer_split w b ~key ~value ~ts =
              lane's split beat us): restart from routing *)
           false
       in
+      D.site_exit dev;
       D.span_end dev "tree.split";
       Sync.Sx.release t.latch !mode;
       latched := false;
       committed
     end
   with e ->
+    D.site_exit dev;
     if !vheld then B.unlock b
     else begin
       (* Aborted before anything reader-visible: drop the staged flush
@@ -1778,6 +1809,7 @@ let writer_try_merge w b =
      | true, _ | _, None -> ()
      | false, Some p ->
        D.span_begin dev "tree.merge";
+       D.site_enter dev site_smo_merge;
        (* blocking vlock acquires are safe here: under SX no SMO can seal
           either node, and plain lane holders never wait on the latch *)
        B.lock p;
@@ -1868,10 +1900,12 @@ let writer_try_merge w b =
            end
            else B.unlock p
        end;
+       D.site_exit dev;
        D.span_end dev "tree.merge");
     Sync.Sx.release t.latch !mode;
     latched := false
   with e ->
+    D.site_exit dev;
     if !bheld then B.unlock b;
     (match !pheld with Some p -> B.unlock p | None -> ());
     (* staged-copy lines may still sit in [w.wfs] if the exception hit
@@ -1951,6 +1985,7 @@ let writer_apply_x w key value =
        locked := None
      | `Overflow ts -> (
        D.span_begin dev "tree.split";
+       D.site_enter dev site_smo_split;
        match split_union dev b ~key ~value ~ts with
        | Some (union, bts) ->
          assert (List.length union > L.slots && List.length union <= 2 * L.slots);
@@ -1960,6 +1995,7 @@ let writer_apply_x w key value =
          writer_split_commit w b ~union ~split_key ~right_low ~new_leaf
            ~right_bytes ~ts:bts ~key ~value;
          locked := None;
+         D.site_exit dev;
          D.span_end dev "tree.split"
        | None -> assert false (* nothing can tear under X + vlock *)));
     Sync.Sx.release t.latch Sync.Sx.X;

@@ -99,7 +99,7 @@ let xbi_amp m = S.xbi_amplification m.delta
 (* --- sharded (measured) execution --------------------------------------- *)
 
 let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256)
-    ?recorder ?pre_shard spec ~domains () =
+    ?recorder ?profiler ?pre_shard spec ~domains () =
   let partition =
     match partition with Some p -> p | None -> Shard.default_config.partition
   in
@@ -108,7 +108,7 @@ let make_sharded ?(mb = 96) ?partition ?(queue_depth = 64) ?(batch = 256)
   let shard_mb = max 16 (mb / max 1 domains) in
   Shard.create
     ~config:{ Shard.shards = domains; partition; queue_depth; batch }
-    ?recorder
+    ?recorder ?profiler
     ~make:(fun i ->
       let dev = device ~mb:shard_mb () in
       (match pre_shard with Some f -> f i dev | None -> ());

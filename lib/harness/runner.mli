@@ -69,6 +69,7 @@ val make_sharded :
   ?queue_depth:int ->
   ?batch:int ->
   ?recorder:Obs.Recorder.t ->
+  ?profiler:Obs.Prof.t ->
   ?pre_shard:(int -> Pmem.Device.t -> unit) ->
   spec ->
   domains:int ->
@@ -78,7 +79,9 @@ val make_sharded :
     private device of [mb/domains] MB (same aggregate capacity as the
     single-device setup) with the traffic classifier installed.
     [recorder] is forwarded to {!Shard.create} to attach per-worker
-    latency histograms, device sampling and trace lanes.  [pre_shard i
+    latency histograms, device sampling and trace lanes; [profiler]
+    likewise, to attach per-worker {!Obs.Prof} WA-attribution lanes and
+    shard-queue residency accounting.  [pre_shard i
     dev] runs on the router domain right after shard [i]'s device is
     created and before its index is built — the hook ycsb uses to
     attach a per-shard sanitizer while the device is still quiescent. *)

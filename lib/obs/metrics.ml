@@ -42,6 +42,44 @@ let document ~ops ~hists ~device ?(samples = []) ?(extra = []) () =
           ])
     @ extra)
 
+(* Union diff over two flat numeric snapshots.  Keys may appear in only
+   one snapshot (a profile section present after but not before, say):
+   those surface as [`Added]/[`Removed] instead of raising, which is what
+   lets [pmstat] diff metrics documents across schema growth.  Duplicate
+   keys (histogram bucket fields) resolve first-occurrence-wins, matching
+   [Json.scan_numbers] usage. *)
+
+type diff_entry =
+  [ `Delta of float * float | `Added of float | `Removed of float ]
+
+let diff_numbers ~before ~after : (string * diff_entry) list =
+  let dedupe l =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      l
+  in
+  let b = dedupe before and a = dedupe after in
+  let btbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace btbl k v) b;
+  let atbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace atbl k v) a;
+  List.map
+    (fun (k, va) ->
+      match Hashtbl.find_opt btbl k with
+      | Some vb -> (k, `Delta (vb, va))
+      | None -> (k, `Added va))
+    a
+  @ List.filter_map
+      (fun (k, vb) ->
+        if Hashtbl.mem atbl k then None else Some (k, `Removed vb))
+      b
+
 let write_file path doc =
   let oc = open_out path in
   Fun.protect

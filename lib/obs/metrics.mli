@@ -24,4 +24,18 @@ val document :
 (** [samples] are tagged with the worker lane id they were collected on.
     [extra] appends caller-specific fields (workload name, config, ...). *)
 
+type diff_entry =
+  [ `Delta of float * float | `Added of float | `Removed of float ]
+
+val diff_numbers :
+  before:(string * float) list ->
+  after:(string * float) list ->
+  (string * diff_entry) list
+(** Union diff over two flat numeric snapshots ({!Json.scan_numbers}
+    output).  Keys present in both yield [`Delta (before, after)] in the
+    after-snapshot's key order; keys only in [after] yield [`Added] and
+    keys only in [before] yield [`Removed] (appended last) — schema
+    growth (new profile sections) never raises.  Duplicate keys resolve
+    first-occurrence-wins, matching [scan_numbers] consumers. *)
+
 val write_file : string -> Json.t -> unit

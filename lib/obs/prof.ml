@@ -1,0 +1,448 @@
+module D = Pmem.Device
+module G = Pmem.Geometry
+module Site = Pmem.Site
+module H = Sync.Hook
+
+let nsites = Site.max_sites
+let dom_slots = 1024 (* power of two; domain ids are masked into it *)
+
+type lane = {
+  tid : int;
+  p : t;
+  mutable dev : D.t option;
+  mutable dom : int;  (* domain id bound on first observed event; -1 before *)
+  (* WA engine, indexed by site id *)
+  stores : int array;
+  store_bytes : int array;
+  clwbs : int array;
+  xp_bytes : int array;
+  evict_bytes : int array;
+  media_bytes : int array;
+  media_lines : int array;
+  fill_lines : int array;
+  (* contention engine *)
+  try_fail : int array;
+  upg_abort : int array;
+  val_fail : int array;
+  sx_wait : Histogram.t;
+  mutable sx_waits : int;
+  mutable sx_t0 : int64;
+  mutable sx_id : int;
+  q_wait : Histogram.t;
+  q_apply : Histogram.t;
+  tr : Trace.t option;
+  mutable cevents : int;  (* contention events since last counter sample *)
+}
+
+and t = {
+  now : unit -> int64;
+  origin : int64;
+  trace : bool;
+  mu : Mutex.t;
+  mutable lanes : lane list;
+  by_dom : lane option array;
+  mutable paused : bool;
+  mutable hook_installed : bool;
+}
+
+let create ?(trace = false) ~now () =
+  {
+    now;
+    origin = now ();
+    trace;
+    mu = Mutex.create ();
+    lanes = [];
+    by_dom = Array.make dom_slots None;
+    paused = false;
+    hook_installed = false;
+  }
+
+let pause t = t.paused <- true
+let resume t = t.paused <- false
+
+let lane t ~tid =
+  let l =
+    {
+      tid;
+      p = t;
+      dev = None;
+      dom = -1;
+      stores = Array.make nsites 0;
+      store_bytes = Array.make nsites 0;
+      clwbs = Array.make nsites 0;
+      xp_bytes = Array.make nsites 0;
+      evict_bytes = Array.make nsites 0;
+      media_bytes = Array.make nsites 0;
+      media_lines = Array.make nsites 0;
+      fill_lines = Array.make nsites 0;
+      try_fail = Array.make nsites 0;
+      upg_abort = Array.make nsites 0;
+      val_fail = Array.make nsites 0;
+      sx_wait = Histogram.create ();
+      sx_waits = 0;
+      sx_t0 = 0L;
+      sx_id = -1;
+      q_wait = Histogram.create ();
+      q_apply = Histogram.create ();
+      tr = (if t.trace then Some (Trace.create ()) else None);
+      cevents = 0;
+    }
+  in
+  Mutex.lock t.mu;
+  t.lanes <- l :: t.lanes;
+  Mutex.unlock t.mu;
+  l
+
+(* First event on a lane binds the calling domain, so the global sync
+   hook can route lock events back to the lane whose device the domain
+   is driving.  Slots can collide (ids are masked) or be contended when
+   one domain drives several lane devices (single-driver round-robin
+   mode): first binding wins, later lanes' sync events fall back to the
+   bound lane — attribution noise, never a race (word-sized writes). *)
+let[@inline] bind_domain l =
+  if l.dom < 0 then begin
+    let d = (Domain.self () :> int) in
+    l.dom <- d;
+    let slot = d land (dom_slots - 1) in
+    match l.p.by_dom.(slot) with
+    | None -> l.p.by_dom.(slot) <- Some l
+    | Some _ -> ()
+  end
+
+let us_of t ns = Int64.to_float (Int64.sub ns t.origin) /. 1e3
+
+(* Per-site cumulative counter sample (Perfetto "C" events).  Only
+   non-zero series are emitted, so quiet sites don't clutter tracks. *)
+let counter_series arr =
+  let acc = ref [] in
+  for s = nsites - 1 downto 0 do
+    if arr.(s) > 0 then acc := (Site.label s, float_of_int arr.(s)) :: !acc
+  done;
+  !acc
+
+let emit_counters l =
+  match l.tr with
+  | None -> ()
+  | Some tr ->
+    let ts_us = us_of l.p (l.p.now ()) in
+    let put name arr =
+      match counter_series arr with
+      | [] -> ()
+      | series ->
+        Trace.counter tr ~name:(Printf.sprintf "%s/w%d" name l.tid) ~ts_us
+          series
+    in
+    put "vlock-contended" l.try_fail;
+    put "vlock-upgrade-abort" l.upg_abort;
+    put "read-validate-fail" l.val_fail;
+    if Histogram.count l.sx_wait > 0 then
+      Trace.counter tr
+        ~name:(Printf.sprintf "sx-wait-ns/w%d" l.tid)
+        ~ts_us
+        [
+          ("p50", float_of_int (Histogram.percentile l.sx_wait 50.0));
+          ("p99", float_of_int (Histogram.percentile l.sx_wait 99.0));
+        ];
+    if Histogram.count l.q_wait > 0 then
+      Trace.counter tr
+        ~name:(Printf.sprintf "queue-wait-ns/w%d" l.tid)
+        ~ts_us
+        [ ("p99", float_of_int (Histogram.percentile l.q_wait 99.0)) ]
+
+let[@inline] tick_counters l =
+  l.cevents <- l.cevents + 1;
+  if l.cevents land 255 = 0 then emit_counters l
+
+let attach_device l dev =
+  l.dev <- Some dev;
+  D.set_site_tracking dev true;
+  let p = l.p in
+  D.add_tracer dev (fun ev ->
+      bind_domain l;
+      if not p.paused then
+        match ev with
+        | D.Store { len; _ } ->
+          let s = D.current_site dev in
+          l.stores.(s) <- l.stores.(s) + 1;
+          l.store_bytes.(s) <- l.store_bytes.(s) + len
+        | D.Clwb _ ->
+          let s = D.current_site dev in
+          l.clwbs.(s) <- l.clwbs.(s) + 1
+        | D.Xp_write { site; evict; _ } ->
+          l.xp_bytes.(site) <- l.xp_bytes.(site) + G.cacheline_size;
+          if evict then
+            l.evict_bytes.(site) <- l.evict_bytes.(site) + G.cacheline_size
+        | D.Media_write { site; fill; _ } ->
+          l.media_bytes.(site) <- l.media_bytes.(site) + G.xpline_size;
+          l.media_lines.(site) <- l.media_lines.(site) + 1;
+          if fill then l.fill_lines.(site) <- l.fill_lines.(site) + 1
+        | _ -> ())
+
+let queue_wait l ns = if not l.p.paused then Histogram.record l.q_wait ns
+let queue_apply l ns = if not l.p.paused then Histogram.record l.q_apply ns
+
+let install_sync_hook t =
+  if not t.hook_installed then begin
+    t.hook_installed <- true;
+    H.add_tracer (fun ev ->
+        if not t.paused then
+          match t.by_dom.((Domain.self () :> int) land (dom_slots - 1)) with
+          | None -> ()
+          | Some l ->
+            let site =
+              match l.dev with Some dev -> D.current_site dev | None -> 0
+            in
+            (match ev with
+            | H.Vlock_contended _ ->
+              l.try_fail.(site) <- l.try_fail.(site) + 1;
+              tick_counters l
+            | H.Vlock_try_upgrade { ok = false; _ } ->
+              l.upg_abort.(site) <- l.upg_abort.(site) + 1;
+              tick_counters l
+            | H.Vlock_validate { ok = false; _ } ->
+              l.val_fail.(site) <- l.val_fail.(site) + 1;
+              tick_counters l
+            | H.Sx_request { id; _ } ->
+              l.sx_id <- id;
+              l.sx_t0 <- t.now ()
+            | H.Sx_acquire { id; _ } | H.Sx_upgrade { id; _ } ->
+              if l.sx_id = id then begin
+                Histogram.record l.sx_wait
+                  (Int64.to_int (Int64.sub (t.now ()) l.sx_t0));
+                l.sx_waits <- l.sx_waits + 1;
+                l.sx_id <- -1;
+                tick_counters l
+              end
+            | _ -> ()))
+  end
+
+let finish t =
+  Mutex.lock t.mu;
+  let lanes = t.lanes in
+  Mutex.unlock t.mu;
+  List.iter emit_counters lanes
+
+let trace_buffers t =
+  Mutex.lock t.mu;
+  let lanes = t.lanes in
+  Mutex.unlock t.mu;
+  List.filter_map (fun l -> l.tr) (List.rev lanes)
+
+(* --- aggregation (after worker domains join) -------------------------- *)
+
+type wa_row = {
+  site : string;
+  stores : int;
+  store_bytes : int;
+  clwbs : int;
+  xp_bytes : int;
+  evict_bytes : int;
+  media_bytes : int;
+  media_lines : int;
+  fill_lines : int;
+}
+
+let sum_site t arr_of s =
+  List.fold_left (fun acc l -> acc + (arr_of l).(s)) 0 t.lanes
+
+let wa_row t s =
+  {
+    site = Site.label s;
+    stores = sum_site t (fun l -> l.stores) s;
+    store_bytes = sum_site t (fun l -> l.store_bytes) s;
+    clwbs = sum_site t (fun l -> l.clwbs) s;
+    xp_bytes = sum_site t (fun l -> l.xp_bytes) s;
+    evict_bytes = sum_site t (fun l -> l.evict_bytes) s;
+    media_bytes = sum_site t (fun l -> l.media_bytes) s;
+    media_lines = sum_site t (fun l -> l.media_lines) s;
+    fill_lines = sum_site t (fun l -> l.fill_lines) s;
+  }
+
+let row_empty r =
+  r.stores = 0 && r.clwbs = 0 && r.xp_bytes = 0 && r.media_bytes = 0
+
+let wa_table t =
+  let rows = ref [] in
+  for s = Site.count () - 1 downto 0 do
+    let r = wa_row t s in
+    if not (row_empty r) then rows := r :: !rows
+  done;
+  List.sort
+    (fun a b ->
+      if a.media_bytes <> b.media_bytes then compare b.media_bytes a.media_bytes
+      else compare b.store_bytes a.store_bytes)
+    !rows
+
+let wa_total t =
+  List.fold_left
+    (fun acc r ->
+      {
+        acc with
+        stores = acc.stores + r.stores;
+        store_bytes = acc.store_bytes + r.store_bytes;
+        clwbs = acc.clwbs + r.clwbs;
+        xp_bytes = acc.xp_bytes + r.xp_bytes;
+        evict_bytes = acc.evict_bytes + r.evict_bytes;
+        media_bytes = acc.media_bytes + r.media_bytes;
+        media_lines = acc.media_lines + r.media_lines;
+        fill_lines = acc.fill_lines + r.fill_lines;
+      })
+    {
+      site = "total";
+      stores = 0;
+      store_bytes = 0;
+      clwbs = 0;
+      xp_bytes = 0;
+      evict_bytes = 0;
+      media_bytes = 0;
+      media_lines = 0;
+      fill_lines = 0;
+    }
+    (wa_table t)
+
+type cont_row = {
+  csite : string;
+  try_fail : int;
+  upgrade_abort : int;
+  validate_fail : int;
+}
+
+let cont_table t =
+  let rows = ref [] in
+  for s = Site.count () - 1 downto 0 do
+    let r =
+      {
+        csite = Site.label s;
+        try_fail = sum_site t (fun l -> l.try_fail) s;
+        upgrade_abort = sum_site t (fun l -> l.upg_abort) s;
+        validate_fail = sum_site t (fun l -> l.val_fail) s;
+      }
+    in
+    if r.try_fail + r.upgrade_abort + r.validate_fail > 0 then
+      rows := r :: !rows
+  done;
+  List.sort
+    (fun a b ->
+      compare
+        (b.try_fail + b.upgrade_abort + b.validate_fail)
+        (a.try_fail + a.upgrade_abort + a.validate_fail))
+    !rows
+
+let sx_wait t = Histogram.merge_all (List.map (fun l -> l.sx_wait) t.lanes)
+let sx_waits t = List.fold_left (fun acc l -> acc + l.sx_waits) 0 t.lanes
+
+let queue_hists t =
+  let w = Histogram.merge_all (List.map (fun l -> l.q_wait) t.lanes) in
+  let a = Histogram.merge_all (List.map (fun l -> l.q_apply) t.lanes) in
+  (if Histogram.count w > 0 then [ ("queue-wait", w) ] else [])
+  @ if Histogram.count a > 0 then [ ("queue-apply", a) ] else []
+
+(* --- export ----------------------------------------------------------- *)
+
+let amp r =
+  if r.store_bytes = 0 then 0.0
+  else float_of_int r.media_bytes /. float_of_int r.store_bytes
+
+let to_json t =
+  let wa =
+    List.concat_map
+      (fun r ->
+        let k f = Printf.sprintf "wa.%s.%s" r.site f in
+        [
+          (k "stores", Json.Int r.stores);
+          (k "store_bytes", Json.Int r.store_bytes);
+          (k "clwbs", Json.Int r.clwbs);
+          (k "xp_bytes", Json.Int r.xp_bytes);
+          (k "evict_bytes", Json.Int r.evict_bytes);
+          (k "media_bytes", Json.Int r.media_bytes);
+          (k "fill_lines", Json.Int r.fill_lines);
+          (k "amp", Json.Float (amp r));
+        ])
+      (wa_table t)
+  in
+  let tot = wa_total t in
+  let totals =
+    [
+      ("wa.total.store_bytes", Json.Int tot.store_bytes);
+      ("wa.total.media_bytes", Json.Int tot.media_bytes);
+      ("wa.total.xp_bytes", Json.Int tot.xp_bytes);
+      ("wa.total.amp", Json.Float (amp tot));
+    ]
+  in
+  let cont =
+    List.concat_map
+      (fun r ->
+        let k f = Printf.sprintf "cont.%s.%s" r.csite f in
+        [
+          (k "vlock_contended", Json.Int r.try_fail);
+          (k "upgrade_abort", Json.Int r.upgrade_abort);
+          (k "validate_fail", Json.Int r.validate_fail);
+        ])
+      (cont_table t)
+  in
+  let sx =
+    let h = sx_wait t in
+    if Histogram.count h = 0 then []
+    else
+      [
+        ("sx.waits", Json.Int (Histogram.count h));
+        ("sx.wait_p50_ns", Json.Int (Histogram.percentile h 50.0));
+        ("sx.wait_p99_ns", Json.Int (Histogram.percentile h 99.0));
+      ]
+  in
+  let queue =
+    List.concat_map
+      (fun (name, h) ->
+        let k f = Printf.sprintf "%s.%s" name f in
+        [
+          (k "count", Json.Int (Histogram.count h));
+          (k "p50_ns", Json.Int (Histogram.percentile h 50.0));
+          (k "p99_ns", Json.Int (Histogram.percentile h 99.0));
+        ])
+      (queue_hists t)
+  in
+  Json.Obj (wa @ totals @ cont @ sx @ queue)
+
+let print_report t ~name =
+  let rows = wa_table t in
+  let tot = wa_total t in
+  Printf.printf "\nWrite amplification by site — %s\n" name;
+  Printf.printf "  %-18s %10s %10s %8s %10s %10s %7s %6s\n" "site"
+    "store_B" "xpbuf_B" "evict_B" "media_B" "fills" "amp" "share";
+  let share r =
+    if tot.media_bytes = 0 then 0.0
+    else 100.0 *. float_of_int r.media_bytes /. float_of_int tot.media_bytes
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-18s %10d %10d %8d %10d %10d %7.2f %5.1f%%\n" r.site
+        r.store_bytes r.xp_bytes r.evict_bytes r.media_bytes r.fill_lines
+        (amp r) (share r))
+    rows;
+  Printf.printf "  %-18s %10d %10d %8d %10d %10d %7.2f %5s\n" "TOTAL"
+    tot.store_bytes tot.xp_bytes tot.evict_bytes tot.media_bytes
+    tot.fill_lines (amp tot) "";
+  let cont = cont_table t in
+  let sxh = sx_wait t in
+  if cont <> [] || Histogram.count sxh > 0 || queue_hists t <> [] then begin
+    Printf.printf "\nContention by site — %s\n" name;
+    Printf.printf "  %-18s %12s %12s %12s\n" "site" "vlock-fail"
+      "upgrade-abort" "validate-fail";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-18s %12d %12d %12d\n" r.csite r.try_fail
+          r.upgrade_abort r.validate_fail)
+      cont;
+    if Histogram.count sxh > 0 then
+      Printf.printf "  sx-wait: %d waits, p50 %d ns, p99 %d ns\n"
+        (Histogram.count sxh)
+        (Histogram.percentile sxh 50.0)
+        (Histogram.percentile sxh 99.0);
+    List.iter
+      (fun (qname, h) ->
+        Printf.printf "  %s: %d batches, p50 %d ns, p99 %d ns\n" qname
+          (Histogram.count h)
+          (Histogram.percentile h 50.0)
+          (Histogram.percentile h 99.0))
+      (queue_hists t)
+  end

@@ -1,0 +1,122 @@
+(** Site-attributed write-amplification and contention profiler.
+
+    Two engines, both always compiled and zero-overhead when off:
+
+    {b WA attribution.}  Each profiled lane enables the device's site
+    tracking ({!Pmem.Device.set_site_tracking}) and consumes its tracer
+    stream: every store and clwb is charged to the lane's innermost
+    active site ({!Pmem.Device.site_enter} brackets: ["wal-append"],
+    ["leaf-buffer"], ["smo-split"], ...), and the [Xp_write] /
+    [Media_write] events — which fire at XPBuffer arrival and media
+    write-back, long after the causal store — carry the site stamped at
+    store time.  The result is a per-site breakdown of
+    bytes-written-to-media vs. bytes-logically-stored: an
+    XBI-amplification flame table per index, per lane.  Because every
+    media write-back emits exactly one sited event, the site totals sum
+    exactly to the device's global {!Pmem.Stats} media-write counters
+    over the profiled window (a tested invariant).
+
+    {b Contention.}  A {!Sync.Hook} consumer (installed with
+    {!install_sync_hook}, composing with rsan via [Hook.add_tracer])
+    counts per-site vlock [try_lock] failures, [try_upgrade] CAS aborts
+    and optimistic-read validation retries, and times SX latch wait
+    spans ([Sx_request] → [Sx_acquire]/[Sx_upgrade]) into an
+    {!Histogram}.  Shard-queue residency (enqueue→dequeue→apply) is fed
+    by the shard runtime through {!queue_wait}/{!queue_apply}.  With a
+    trace buffer attached, cumulative per-site counts are also emitted
+    as Perfetto counter tracks alongside the span tracks.
+
+    Concurrency contract: create lanes from the coordinating thread
+    ({!lane} takes a lock), then each lane is touched only by the domain
+    that drives its device — the tracer callbacks run synchronously on
+    the device-calling thread, and the sync-hook consumer routes events
+    to the calling domain's lane.  Aggregation ({!wa_table}, ...) runs
+    after the worker domains join. *)
+
+type t
+type lane
+
+val create : ?trace:bool -> now:(unit -> int64) -> unit -> t
+(** [now] supplies monotonic nanoseconds (clock-agnostic, like
+    {!Recorder.create}).  [trace] allocates a per-lane counter-track
+    buffer for every subsequently created lane (default off). *)
+
+val lane : t -> tid:int -> lane
+(** Register a profiling lane (0 = main/router, matching recorder lane
+    numbering).  Thread-safe, but create lanes before the traffic they
+    should observe. *)
+
+val attach_device : lane -> Pmem.Device.t -> unit
+(** Enable site tracking on [dev] (or a view) and hook its tracer —
+    composing, via [add_tracer], with any sanitizer or trace exporter
+    already attached.  The first event observed binds the calling domain
+    to this lane for sync-event routing. *)
+
+val install_sync_hook : t -> unit
+(** Install the contention consumer on the global {!Sync.Hook} stream
+    (idempotent).  Call after any [rsan] attach so composition preserves
+    the sanitizer. *)
+
+val pause : t -> unit
+(** Stop charging (all lanes): load/warmup phases call this so tables
+    cover only the measured window.  Profilers start resumed. *)
+
+val resume : t -> unit
+
+val queue_wait : lane -> int -> unit
+(** Record one shard-queue residency span (ns): enqueue → dequeue. *)
+
+val queue_apply : lane -> int -> unit
+(** Record one batch application span (ns): dequeue → applied. *)
+
+val finish : t -> unit
+(** Emit final counter-track samples on every traced lane. *)
+
+val trace_buffers : t -> Trace.t list
+(** Per-lane counter-track buffers (empty unless [~trace:true]); merge
+    them into the trace document with {!Trace.write_many}. *)
+
+(** {1 Results} — merged across lanes (per-lane arrays combine like the
+    {!Pmem.Stats.merge} monoid: commutative element-wise sums). *)
+
+type wa_row = {
+  site : string;
+  stores : int;
+  store_bytes : int;  (** bytes logically stored under this site *)
+  clwbs : int;
+  xp_bytes : int;  (** bytes arriving at the XPBuffer *)
+  evict_bytes : int;  (** subset of [xp_bytes] carried by capacity evictions *)
+  media_bytes : int;  (** bytes written to media (256 B per XPLine) *)
+  media_lines : int;
+  fill_lines : int;  (** media writes that cost a read-modify-write fill *)
+}
+
+val wa_table : t -> wa_row list
+(** Non-empty sites, descending [media_bytes]; id 0 shows as
+    ["(other)"]. *)
+
+val wa_total : t -> wa_row
+(** Element-wise sum over every site — equals the device-side
+    {!Pmem.Stats} deltas of the profiled window. *)
+
+type cont_row = {
+  csite : string;
+  try_fail : int;
+  upgrade_abort : int;
+  validate_fail : int;
+}
+
+val cont_table : t -> cont_row list
+val sx_wait : t -> Histogram.t
+val sx_waits : t -> int
+val queue_hists : t -> (string * Histogram.t) list
+(** [("queue-wait", h); ("queue-apply", h)] when any were recorded. *)
+
+val to_json : t -> Json.t
+(** Flat numeric object (dotted unique keys: [wa.<site>.media_bytes],
+    [cont.<site>.vlock_contended], [sx.wait_p99_ns], ...) — the
+    ["profile"] section of the metrics document, diffable by
+    [pmstat]. *)
+
+val print_report : t -> name:string -> unit
+(** Human-readable per-site WA flame table and contention summary. *)

@@ -141,11 +141,11 @@ let total_ops t =
 let traces t =
   List.filter_map (fun w -> w.trace) (List.rev t.workers)
 
-let write_trace t path =
+let write_trace ?(extra = []) t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Trace.write_many (traces t) oc)
+    (fun () -> Trace.write_many (traces t @ extra) oc)
 
 let write_metrics ?extra t ~device path =
   Metrics.write_file path

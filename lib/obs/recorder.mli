@@ -71,8 +71,10 @@ val samplers : t -> (int * Sampler.t) list
 val total_ops : t -> int
 (** Sum of histogram counts across lanes and kinds. *)
 
-val write_trace : t -> string -> unit
-(** Write the merged Chrome trace-event document. *)
+val write_trace : ?extra:Trace.t list -> t -> string -> unit
+(** Write the merged Chrome trace-event document.  [extra] buffers from
+    other producers (e.g. {!Prof.trace_buffers} counter tracks) are
+    appended to the same document. *)
 
 val write_metrics : ?extra:(string * Json.t) list -> t -> device:Pmem.Stats.t -> string -> unit
 (** Write the metrics-JSON document ({!Metrics.document}). *)

@@ -45,6 +45,7 @@ type xpslot = {
   data : Bytes.t;  (* 256 B staging area *)
   mutable valid : int;  (* bitmask over the 4 sublines *)
   mutable lru : int;
+  mutable site : int;  (* attribution site of the last-arrived subline *)
   mutable prev : xpslot;
   mutable next : xpslot;
 }
@@ -126,6 +127,15 @@ type event =
   | Validating of bool
   | Span_begin of { name : string }
   | Span_end of { name : string }
+  | Xp_write of { line : int; site : int; evict : bool }
+      (* a 64 B cacheline arrived at the XPBuffer, charged to [site];
+         [evict] when it got there by CPU-cache capacity eviction rather
+         than an explicit flush.  Emitted only while site tracking is
+         enabled (profiling runs), never during [drain]. *)
+  | Media_write of { xp : int; site : int; fill : bool }
+      (* a 256 B XPLine left the XPBuffer for the media, charged to the
+         site of its last-arrived subline; [fill] when the partial XPLine
+         needed a read-modify-write fill.  Same emission gate. *)
 
 type t = {
   cfg : Config.t;
@@ -162,6 +172,15 @@ type t = {
       (* maps an XPLine address to a traffic class for attribution *)
   mutable tracer : (event -> unit) option;
       (* persistency-event hook; None = zero-overhead disabled state *)
+  (* Site attribution (write-amplification profiler).  Off by default:
+     every hot-path touch point is one [site_on] load and branch, and the
+     stamp arrays stay unallocated until tracking is first enabled. *)
+  mutable site_on : bool;
+  site_stack : int array;  (* innermost-site scope stack *)
+  mutable site_sp : int;
+  mutable site_cur : int;  (* cached innermost site (stack top or 0) *)
+  mutable line_sites : Bytes.t;  (* per-cacheline site stamp of last store *)
+  mutable pending_sites : Bytes.t;  (* parallels [pending_lines] *)
   mutable fail_after_fences : int option;
       (* fault injection: power-fail at the n-th upcoming sfence *)
   ro : bool;
@@ -178,7 +197,15 @@ let cl = Geometry.cacheline_size
 
 let make_xp_sentinel () =
   let rec s =
-    { xp = -1; data = Bytes.create 0; valid = 0; lru = 0; prev = s; next = s }
+    {
+      xp = -1;
+      data = Bytes.create 0;
+      valid = 0;
+      lru = 0;
+      site = 0;
+      prev = s;
+      next = s;
+    }
   in
   s
 
@@ -219,6 +246,12 @@ let create ?config () =
     stats = Stats.create ();
     classifier = None;
     tracer = None;
+    site_on = false;
+    site_stack = Array.make 32 0;
+    site_sp = 0;
+    site_cur = 0;
+    line_sites = Bytes.create 0;
+    pending_sites = Bytes.create 0;
     fail_after_fences = None;
     ro = false;
   }
@@ -267,6 +300,12 @@ let view t ~ro =
     stats = Stats.create ();
     classifier = None;
     tracer = None;
+    site_on = false;
+    site_stack = Array.make 32 0;
+    site_sp = 0;
+    site_cur = 0;
+    line_sites = Bytes.create 0;
+    pending_sites = Bytes.create 0;
     fail_after_fences = None;
     ro;
   }
@@ -334,6 +373,59 @@ let[@inline] span_begin t name =
 
 let[@inline] span_end t name =
   match t.tracer with None -> () | Some f -> f (Span_end { name })
+
+(* --- site attribution (WA profiler) ----------------------------------- *)
+
+let set_site_tracking t on =
+  if on && Bytes.length t.line_sites = 0 then begin
+    let nlines = (t.cfg.Config.size + cl - 1) / cl in
+    t.line_sites <- Bytes.make nlines '\000';
+    t.pending_sites <- Bytes.make (Array.length t.pending_lines) '\000'
+  end;
+  t.site_sp <- 0;
+  t.site_cur <- 0;
+  t.site_on <- on
+
+let site_tracking t = t.site_on
+
+let[@inline] site_enter t id =
+  if t.site_on then begin
+    let sp = t.site_sp in
+    if sp < Array.length t.site_stack then begin
+      t.site_stack.(sp) <- id;
+      t.site_cur <- id
+    end;
+    (* deeper-than-capacity pushes keep charging the deepest stored site *)
+    t.site_sp <- sp + 1
+  end
+
+let[@inline] site_exit t =
+  if t.site_on && t.site_sp > 0 then begin
+    let sp = t.site_sp - 1 in
+    t.site_sp <- sp;
+    let cap = Array.length t.site_stack in
+    if sp <= cap then
+      t.site_cur <- (if sp = 0 then 0 else t.site_stack.(sp - 1))
+  end
+
+let current_site t = if t.site_on then t.site_cur else 0
+
+(* Stamp every cacheline covered by a store with the innermost site, so
+   traffic charged later (clwb staging, XPBuffer arrival, media
+   write-back) can be attributed to the code that produced the bytes
+   rather than the code that happened to trigger the eviction. *)
+let[@inline] stamp_range t addr len =
+  if t.site_on && len > 0 then begin
+    let s = Char.unsafe_chr t.site_cur in
+    let last = (addr + len - 1) lsr 6 in
+    for li = addr lsr 6 to last do
+      Bytes.unsafe_set t.line_sites li s
+    done
+  end
+
+(* [line] is a line-aligned address; only called while [site_on]. *)
+let[@inline] site_at t line = Char.code (Bytes.unsafe_get t.line_sites (line lsr 6))
+let[@inline] site_chr t line = Bytes.unsafe_get t.line_sites (line lsr 6)
 let plan_failure t ~after_fences = t.fail_after_fences <- Some after_fences
 let cancel_failure t = t.fail_after_fences <- None
 
@@ -405,6 +497,7 @@ let slot_pool_take t =
       data = Bytes.make Geometry.xpline_size '\000';
       valid = 0;
       lru = 0;
+      site = 0;
       prev = t.xp_sentinel;
       next = t.xp_sentinel;
     }
@@ -446,6 +539,11 @@ let rc_pool_put t n =
 let write_back_slot t xp slot =
   let st = t.stats in
   if slot.valid <> 0 then begin
+    (if t.site_on then
+       match t.tracer with
+       | None -> ()
+       | Some f ->
+         f (Media_write { xp; site = slot.site; fill = slot.valid <> 0b1111 }));
     if slot.valid <> 0b1111 then begin
       (* partially buffered XPLine: read-modify-write fill from media *)
       st.Stats.media_read_bytes <-
@@ -484,8 +582,13 @@ let evict_lru_xpline t =
 
 (* A 64 B cacheline (its content at [src.(srcoff..)]) arrives at the
    XPBuffer.  This is the persistence boundary: once here, the data
-   survives power failure (ADR domain). *)
-let xpbuffer_insert t line src srcoff =
+   survives power failure (ADR domain).  [site]/[evict] only feed the
+   attribution event stream; they change no modeled number. *)
+let xpbuffer_insert t ~site ~evict line src srcoff =
+  (if t.site_on then
+     match t.tracer with
+     | None -> ()
+     | Some f -> f (Xp_write { line; site; evict }));
   let st = t.stats in
   let xp = Geometry.xpline_of line in
   let sub = Geometry.subline_of line in
@@ -514,6 +617,7 @@ let xpbuffer_insert t line src srcoff =
     Geometry.cacheline_size;
   slot.valid <- slot.valid lor (1 lsl sub);
   slot.lru <- tick t;
+  slot.site <- site;
   st.Stats.xpbuffer_write_bytes <-
     st.Stats.xpbuffer_write_bytes + Geometry.cacheline_size
 
@@ -566,7 +670,8 @@ let evict_one_dirty t =
   if !line >= 0 then begin
     dirty_remove t !line;
     t.stats.Stats.cpu_evictions <- t.stats.Stats.cpu_evictions + 1;
-    xpbuffer_insert t !line t.work !line
+    let site = if t.site_on then site_at t !line else 0 in
+    xpbuffer_insert t ~site ~evict:true !line t.work !line
   end
 
 let mark_dirty t line =
@@ -593,6 +698,7 @@ let store t addr b =
   trace_store t addr len;
   Bytes.blit b 0 t.work addr len;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
+  stamp_range t addr len;
   mark_dirty_range t addr len
 
 let store_string t addr s =
@@ -602,6 +708,7 @@ let store_string t addr s =
   trace_store t addr len;
   Bytes.blit_string s 0 t.work addr len;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
+  stamp_range t addr len;
   mark_dirty_range t addr len
 
 let store_u64 t addr v =
@@ -610,6 +717,7 @@ let store_u64 t addr v =
   trace_store t addr 8;
   Bytes.set_int64_le t.work addr v;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 8;
+  stamp_range t addr 8;
   mark_dirty_range t addr 8
 
 let store_u8 t addr v =
@@ -618,6 +726,7 @@ let store_u8 t addr v =
   trace_store t addr 1;
   t.work.%[addr] <- Char.chr (v land 0xff);
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + 1;
+  stamp_range t addr 1;
   mark_dirty t (Geometry.line_of addr)
 
 let fill t addr len c =
@@ -626,6 +735,7 @@ let fill t addr len c =
   trace_store t addr len;
   Bytes.fill t.work addr len c;
   t.stats.Stats.store_bytes <- t.stats.Stats.store_bytes + len;
+  stamp_range t addr len;
   mark_dirty_range t addr len
 
 (* --- pending (clwb'd, unfenced) staging ------------------------------- *)
@@ -639,7 +749,12 @@ let pending_grow t need =
     let narena = Bytes.make (ncap * cl) '\000' in
     Bytes.blit t.pending_arena 0 narena 0 (t.pending_len * cl);
     t.pending_lines <- nlines;
-    t.pending_arena <- narena
+    t.pending_arena <- narena;
+    if t.site_on then begin
+      let nsites = Bytes.make ncap '\000' in
+      Bytes.blit t.pending_sites 0 nsites 0 t.pending_len;
+      t.pending_sites <- nsites
+    end
   end
 
 (* Stage (or re-stage) the current content of [line] for the next fence.
@@ -648,13 +763,16 @@ let pending_grow t need =
    [sfence] never has to sort. *)
 let pending_put t line =
   let len = t.pending_len in
-  if len > 0 && t.pending_lines.(len - 1) = line then
+  if len > 0 && t.pending_lines.(len - 1) = line then begin
     (* re-flush of the line staged last: refresh its snapshot *)
-    Bytes.blit t.work line t.pending_arena ((len - 1) * cl) cl
+    Bytes.blit t.work line t.pending_arena ((len - 1) * cl) cl;
+    if t.site_on then Bytes.set t.pending_sites (len - 1) (site_chr t line)
+  end
   else if len = 0 || line > t.pending_lines.(len - 1) then begin
     pending_grow t (len + 1);
     t.pending_lines.(len) <- line;
     Bytes.blit t.work line t.pending_arena (len * cl) cl;
+    if t.site_on then Bytes.set t.pending_sites len (site_chr t line);
     Bitset.set t.pending_bits (line lsr 6);
     t.pending_len <- len + 1
   end
@@ -666,8 +784,10 @@ let pending_put t line =
       if t.pending_lines.(mid) < line then lo := mid + 1 else hi := mid
     done;
     let p = !lo in
-    if p < len && t.pending_lines.(p) = line then
-      Bytes.blit t.work line t.pending_arena (p * cl) cl
+    if p < len && t.pending_lines.(p) = line then begin
+      Bytes.blit t.work line t.pending_arena (p * cl) cl;
+      if t.site_on then Bytes.set t.pending_sites p (site_chr t line)
+    end
     else begin
       pending_grow t (len + 1);
       Array.blit t.pending_lines p t.pending_lines (p + 1) (len - p);
@@ -675,6 +795,10 @@ let pending_put t line =
         ((len - p) * cl);
       t.pending_lines.(p) <- line;
       Bytes.blit t.work line t.pending_arena (p * cl) cl;
+      if t.site_on then begin
+        Bytes.blit t.pending_sites p t.pending_sites (p + 1) (len - p);
+        Bytes.set t.pending_sites p (site_chr t line)
+      end;
       Bitset.set t.pending_bits (line lsr 6);
       t.pending_len <- len + 1
     end
@@ -820,7 +944,9 @@ let sfence t =
     (* staged lines reach the XPBuffer in ascending address order; the
        pending array is maintained sorted, so this is a single sweep *)
     for i = 0 to t.pending_len - 1 do
-      xpbuffer_insert t t.pending_lines.(i) t.pending_arena (i * cl)
+      let site = if t.site_on then Char.code t.pending_sites.%[i] else 0 in
+      xpbuffer_insert t ~site ~evict:false t.pending_lines.(i) t.pending_arena
+        (i * cl)
     done;
     pending_clear t
   end
@@ -841,7 +967,9 @@ let drain t =
     ~finally:(fun () -> t.tracer <- tr)
     (fun () ->
       Ring.clear t.dirty_fifo;
-      iter_dirty_ascending t (fun line -> xpbuffer_insert t line t.work line);
+      iter_dirty_ascending t (fun line ->
+          let site = if t.site_on then site_at t line else 0 in
+          xpbuffer_insert t ~site ~evict:false line t.work line);
       dirty_reset t;
       sfence t;
       flush_xpbuffer_ordered t)
@@ -1005,6 +1133,7 @@ let restore t ck =
       slot.xp <- xp;
       slot.valid <- valid;
       slot.lru <- lru;
+      slot.site <- 0;  (* attribution is lifetime config, not device state *)
       Bytes.blit data 0 slot.data 0 Geometry.xpline_size;
       slot_append_mru t.xp_sentinel slot;
       t.xp_map.(xp lsr 8) <- slot;
@@ -1043,12 +1172,13 @@ let crash_spill t =
   in
   for i = 0 to t.pending_len - 1 do
     if keep () then
-      xpbuffer_insert t t.pending_lines.(i) t.pending_arena (i * cl)
+      xpbuffer_insert t ~site:0 ~evict:false t.pending_lines.(i)
+        t.pending_arena (i * cl)
   done;
   pending_clear t;
   Ring.clear t.dirty_fifo;
   iter_dirty_ascending t (fun line ->
-      if keep () then xpbuffer_insert t line t.work line);
+      if keep () then xpbuffer_insert t ~site:0 ~evict:false line t.work line);
   dirty_reset t;
   flush_xpbuffer_ordered t;
   read_cache_clear t
@@ -1069,12 +1199,13 @@ let crash t =
      the dirty bitset scans in address order). *)
   for i = 0 to t.pending_len - 1 do
     if keep () then
-      xpbuffer_insert t t.pending_lines.(i) t.pending_arena (i * cl)
+      xpbuffer_insert t ~site:0 ~evict:false t.pending_lines.(i)
+        t.pending_arena (i * cl)
   done;
   pending_clear t;
   Ring.clear t.dirty_fifo;
   iter_dirty_ascending t (fun line ->
-      if keep () then xpbuffer_insert t line t.work line);
+      if keep () then xpbuffer_insert t ~site:0 ~evict:false line t.work line);
   dirty_reset t;
   (* The ADR domain (WPQ + XPBuffer) always drains to media on power loss. *)
   flush_xpbuffer_ordered t;

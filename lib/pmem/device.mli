@@ -214,6 +214,18 @@ type event =
           split, GC run, ...); consumed by trace exporters ({!Obs.Trace})
           and ignored by the sanitizer *)
   | Span_end of { name : string }
+  | Xp_write of { line : int; site : int; evict : bool }
+      (** a 64 B cacheline (line-aligned address [line]) arrived at the
+          XPBuffer, charged to {!Site} id [site]; [evict] when a CPU-cache
+          capacity eviction (not an explicit flush) carried it there.
+          Emitted only while {!set_site_tracking} is on — profiling runs —
+          so sanitizer-only runs see a bit-identical event stream. *)
+  | Media_write of { xp : int; site : int; fill : bool }
+      (** a 256 B XPLine at address [xp] left the XPBuffer for the media,
+          charged to the site of its last-arrived subline; [fill] when
+          the partially-valid XPLine cost a read-modify-write fill.
+          Same emission gate as [Xp_write]; never emitted during [drain]
+          (which detaches the tracer for its internal settling). *)
 
 val set_tracer : t -> (event -> unit) option -> unit
 (** Install (or remove) the event hook.  Not part of {!checkpoint} state:
@@ -251,6 +263,41 @@ val span_end : t -> string -> unit
     [Span_end] events) for timeline trace export.  The string argument
     should be a literal so the disabled path allocates nothing: without a
     tracer each call is one load and one branch. *)
+
+(** {1 Site attribution (write-amplification profiler)}
+
+    When site tracking is enabled, the device keeps a per-lane stack of
+    {!Site} ids and stamps every stored cacheline with the innermost
+    site, so that later traffic caused by those bytes — clwb staging,
+    XPBuffer arrival, and the media write-back that may happen long after
+    the causal store — is charged to the code that produced them
+    ([Xp_write]/[Media_write] events carry the id).  Off (the default),
+    every touch point is a single flag load and branch, no stamp memory
+    is allocated, and no new event is ever emitted: sanitizer and
+    benchmark runs are bit-identical to a build without the profiler.
+    Tracking state is lifetime configuration like the tracer and
+    classifier: not captured by {!checkpoint}, reset by enable. *)
+
+val set_site_tracking : t -> bool -> unit
+(** Enable/disable attribution stamping on this device or view.  First
+    enable allocates the stamp arrays (one byte per cacheline). *)
+
+val site_tracking : t -> bool
+
+val site_enter : t -> int -> unit
+(** Push a {!Site} id: subsequent stores charge to it until the matching
+    {!site_exit}.  Nests; the innermost site wins.  No-op (one load and
+    branch) when tracking is off, so annotations are always compiled
+    in. *)
+
+val site_exit : t -> unit
+(** Pop the innermost site; no-op when tracking is off or the stack is
+    empty (crash paths may unwind past their brackets). *)
+
+val current_site : t -> int
+(** The innermost active site id, 0 when none or when tracking is off.
+    Contention profilers use it to attribute lock events observed on
+    this lane. *)
 
 (** Growable ring of candidate eviction victims used for the CPU cache's
     dirty-line FIFO.  [pop_jittered] removes a random element among the

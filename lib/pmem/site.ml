@@ -1,0 +1,29 @@
+let max_sites = 256
+
+let labels = Array.make max_sites "(other)"
+let next = ref 1
+let table : (string, int) Hashtbl.t = Hashtbl.create 32
+let mu = Mutex.create ()
+
+let id name =
+  Mutex.lock mu;
+  let i =
+    match Hashtbl.find_opt table name with
+    | Some i -> i
+    | None ->
+      if !next >= max_sites then 0
+      else begin
+        let i = !next in
+        (* write the label before publishing the id so a concurrent
+           [label i] never observes the placeholder *)
+        labels.(i) <- name;
+        incr next;
+        Hashtbl.add table name i;
+        i
+      end
+  in
+  Mutex.unlock mu;
+  i
+
+let label i = if i > 0 && i < max_sites then labels.(i) else "(other)"
+let count () = !next

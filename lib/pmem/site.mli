@@ -1,0 +1,28 @@
+(** Process-global registry of attribution *sites* — the scoped labels
+    (["wal-append"], ["leaf-buffer"], ["smo-split"], ...) that the
+    write-amplification profiler charges device traffic to.
+
+    Sites are interned once (typically at module initialisation of the
+    annotating library) into small integers so the device can stamp each
+    dirty cacheline with one byte and tracer events can carry the id
+    without allocating.  Id [0] is reserved for ["(other)"]: traffic
+    issued outside any site bracket.
+
+    The registry is append-only and mutex-protected; {!label} and
+    {!count} take no lock (the label table is written before the id that
+    indexes it is published, and ids are handed out monotonically). *)
+
+val id : string -> int
+(** Intern a label, returning its site id (idempotent).  At most
+    {!max_sites} distinct labels fit one stamp byte; beyond that every
+    new label maps to id [0] rather than raising — attribution degrades
+    to ["(other)"] instead of breaking the instrumented program. *)
+
+val label : int -> string
+(** The label interned for an id; ["(other)"] for 0 and out-of-range. *)
+
+val count : unit -> int
+(** Number of registered sites, including the reserved id 0. *)
+
+val max_sites : int
+(** Capacity of the id space (fits the device's one-byte line stamps). *)

@@ -293,6 +293,9 @@ let on_event t = function
     t.validate_depth <- max 0 (t.validate_depth + (if b then 1 else -1))
   | D.Span_begin _ | D.Span_end _ -> ()
   (* protocol-phase markers for trace exporters; no persistency meaning *)
+  | D.Xp_write _ | D.Media_write _ -> ()
+  (* attribution stream for the WA profiler (Obs.Prof); the shadow model
+     already tracks persistence at clwb/sfence granularity *)
 
 (* --- lifecycle --------------------------------------------------------- *)
 

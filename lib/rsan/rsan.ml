@@ -336,10 +336,15 @@ let handle t ev =
          Vc.join d.vc (lock_clock t id);
          Hashtbl.replace d.held id { optimistic = false; fence_checked = true }
        end
+     | Vlock_contended _ -> ()
+     (* a failed try_lock synchronizes with nothing: telemetry only *)
      | Fence_check { id; ok = _ } -> (
        match Hashtbl.find_opt d.held id with
        | Some h -> h.fence_checked <- true
        | None -> ())
+     | Sx_request _ -> ()
+     (* wait-span open marker for contention profilers; the ordering
+        edge is the Sx_acquire/Sx_upgrade that follows *)
      | Sx_acquire { id; mode = _ } -> Vc.join d.vc (lock_clock t id)
      | Sx_release { id; mode = _ } | Sx_downgrade { id } ->
        Vc.join (lock_clock t id) d.vc;

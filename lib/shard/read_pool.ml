@@ -51,9 +51,13 @@ let exec (rops : I.reader_ops) w op =
 
 (* The handle is minted on this domain, so every private structure it
    owns (device read view, counters, epoch slot) is domain-local from
-   birth. *)
-let reader_loop mint w =
+   birth.  Profiler lanes attach here, after mint, from their owning
+   domain (see {!Write_pool.writer_loop}). *)
+let reader_loop ?prof mint w =
   let rops : I.reader_ops = mint () in
+  (match prof with
+  | Some ln -> Obs.Prof.attach_device ln (rops.I.r_dev ())
+  | None -> ());
   let continue = ref true in
   while !continue do
     match Queue.pop w.q with
@@ -71,7 +75,7 @@ let reader_loop mint w =
       signal r
   done
 
-let create mint ~readers =
+let create ?profiler ?(tid_base = 1) mint ~readers =
   if readers < 1 then invalid_arg "Read_pool.create: readers < 1";
   let rworkers =
     Array.init readers (fun _ ->
@@ -86,8 +90,12 @@ let create mint ~readers =
           domain = None;
         })
   in
-  Array.iter
-    (fun w -> w.domain <- Some (Domain.spawn (fun () -> reader_loop mint w)))
+  Array.iteri
+    (fun i w ->
+      let prof =
+        Option.map (fun p -> Obs.Prof.lane p ~tid:(tid_base + i)) profiler
+      in
+      w.domain <- Some (Domain.spawn (fun () -> reader_loop ?prof mint w)))
     rworkers;
   { rworkers; live = true }
 

@@ -17,10 +17,18 @@
 
 type t
 
-val create : (unit -> Baselines.Index_intf.reader_ops) -> readers:int -> t
+val create :
+  ?profiler:Obs.Prof.t ->
+  ?tid_base:int ->
+  (unit -> Baselines.Index_intf.reader_ops) ->
+  readers:int ->
+  t
 (** [create mint ~readers] spawns [readers] reader domains, each minting
     its own handle with [mint].  Use [Shard.reader_pool] to build one
-    over a shard's driver.  @raise Invalid_argument if [readers < 1]. *)
+    over a shard's driver.  [profiler] registers an {!Obs.Prof} lane per
+    reader (tid [tid_base + i], default base 1), attached to each
+    handle's private device view on its worker domain after mint.
+    @raise Invalid_argument if [readers < 1]. *)
 
 val readers : t -> int
 

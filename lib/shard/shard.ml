@@ -57,7 +57,9 @@ type wop =
   | Scan_share of int64 * int  (* this shard's share of a scattered scan *)
 
 type cmd =
-  | Batch of wop array
+  | Batch of wop array * int64
+      (* enqueue timestamp (monotonic ns) for profiler queue-residency
+         accounting; 0L when no profiler is attached (clock not read) *)
   | Search of int64 * reply
   | Scan of int64 * int * reply
   | Barrier of reply
@@ -76,6 +78,8 @@ type worker = {
   killed : bool Atomic.t;  (* hard-stop: skip queued work (crash path) *)
   mutable obs : Obs.Recorder.worker option;
       (* registered before spawn; touched only by this worker's domain *)
+  mutable prof : Obs.Prof.lane option;
+      (* profiler lane, same registration discipline as [obs] *)
   mutable domain : unit Domain.t option;
 }
 
@@ -85,6 +89,7 @@ type t = {
   pending : wop array array;  (* router-side per-shard batch buffers *)
   pend_len : int array;
   obs_router : Obs.Recorder.worker option;  (* router-domain trace lane *)
+  profiled : bool;  (* gate: enqueue timestamps only when profiling *)
   mutable running : bool;
 }
 
@@ -130,30 +135,43 @@ let worker_loop w =
         with D.Power_failure -> Atomic.set w.w_crashed true
       end;
       signal r
-    | Batch ops ->
+    | Batch (ops, enq) ->
+      (match w.prof with
+      | Some ln when not (Int64.equal enq 0L) ->
+        Obs.Prof.queue_wait ln
+          (Int64.to_int (Int64.sub (Clock.monotonic_ns ()) enq))
+      | _ -> ());
       if not (Atomic.get w.w_crashed) then begin
-        try
-          match w.obs with
-          | None ->
-            Array.iter
-              (fun op ->
-                exec_wop w.drv op;
-                Atomic.incr w.applied)
-              ops
-          | Some ow ->
-            (* the whole batch is one busy period on this worker's lane;
-               each op inside it gets its own histogram/trace record *)
-            let b0 = Clock.monotonic_ns () in
-            Array.iter
-              (fun op ->
-                let t0 = Clock.monotonic_ns () in
-                exec_wop w.drv op;
-                obs_record w ~kind:(wop_kind op) ~t0;
-                Atomic.incr w.applied)
-              ops;
-            Obs.Recorder.span ow ~name:"worker.batch" ~t0:b0
-              ~t1:(Clock.monotonic_ns ())
-        with D.Power_failure -> Atomic.set w.w_crashed true
+        let a0 =
+          match w.prof with Some _ -> Clock.monotonic_ns () | None -> 0L
+        in
+        (try
+           match w.obs with
+           | None ->
+             Array.iter
+               (fun op ->
+                 exec_wop w.drv op;
+                 Atomic.incr w.applied)
+               ops
+           | Some ow ->
+             (* the whole batch is one busy period on this worker's lane;
+                each op inside it gets its own histogram/trace record *)
+             let b0 = Clock.monotonic_ns () in
+             Array.iter
+               (fun op ->
+                 let t0 = Clock.monotonic_ns () in
+                 exec_wop w.drv op;
+                 obs_record w ~kind:(wop_kind op) ~t0;
+                 Atomic.incr w.applied)
+               ops;
+             Obs.Recorder.span ow ~name:"worker.batch" ~t0:b0
+               ~t1:(Clock.monotonic_ns ())
+         with D.Power_failure -> Atomic.set w.w_crashed true);
+        match w.prof with
+        | Some ln ->
+          Obs.Prof.queue_apply ln
+            (Int64.to_int (Int64.sub (Clock.monotonic_ns ()) a0))
+        | None -> ()
       end
     | Search (k, r) ->
       let s0 = Clock.monotonic_ns () in
@@ -218,7 +236,7 @@ let stop t =
     t.running <- false
   end
 
-let create ?(config = default_config) ?recorder ~make () =
+let create ?(config = default_config) ?recorder ?profiler ~make () =
   if config.shards < 1 then invalid_arg "Shard.create: shards < 1";
   if config.batch < 1 then invalid_arg "Shard.create: batch < 1";
   let workers =
@@ -234,6 +252,7 @@ let create ?(config = default_config) ?recorder ~make () =
           w_crashed = Atomic.make false;
           killed = Atomic.make false;
           obs = None;
+          prof = None;
           domain = None;
         })
   in
@@ -252,6 +271,17 @@ let create ?(config = default_config) ?recorder ~make () =
         w.obs <- Some ow)
       workers
   | _ -> ());
+  (* profiler lanes compose with the recorder's device tracer (add_tracer),
+     so they are attached after it, still from the router domain *)
+  (match profiler with
+  | Some p ->
+    Array.iter
+      (fun w ->
+        let ln = Obs.Prof.lane p ~tid:(w.id + 1) in
+        Obs.Prof.attach_device ln w.dev;
+        w.prof <- Some ln)
+      workers
+  | None -> ());
   let obs_router =
     match recorder with
     | Some rc when Obs.Recorder.trace_on rc ->
@@ -265,6 +295,7 @@ let create ?(config = default_config) ?recorder ~make () =
       pending = Array.init config.shards (fun _ -> Array.make config.batch (Read 0L));
       pend_len = Array.make config.shards 0;
       obs_router;
+      profiled = profiler <> None;
       running = false;
     }
   in
@@ -283,7 +314,8 @@ let flush_shard t s =
     (match t.obs_router with
     | Some ow -> Obs.Recorder.instant ow ("queue.push s" ^ string_of_int s)
     | None -> ());
-    Queue.push t.workers.(s).q (Batch (Array.sub t.pending.(s) 0 n))
+    let enq = if t.profiled then Clock.monotonic_ns () else 0L in
+    Queue.push t.workers.(s).q (Batch (Array.sub t.pending.(s) 0 n, enq))
   end
 
 let enqueue t s op =
@@ -469,16 +501,16 @@ let new_writer t i = t.workers.(i).drv.I.new_writer
 module Read_pool = Read_pool
 module Write_pool = Write_pool
 
-let reader_pool t ~shard ~readers =
+let reader_pool ?profiler ?tid_base t ~shard ~readers =
   match new_reader t shard with
   | None ->
     invalid_arg
       "Shard.reader_pool: this index driver has no concurrent read path"
-  | Some mint -> Read_pool.create mint ~readers
+  | Some mint -> Read_pool.create ?profiler ?tid_base mint ~readers
 
-let writer_pool t ~shard ~writers =
+let writer_pool ?profiler ?tid_base t ~shard ~writers =
   match new_writer t shard with
   | None ->
     invalid_arg
       "Shard.writer_pool: this index driver has no concurrent write path"
-  | Some mint -> Write_pool.create mint ~writers
+  | Some mint -> Write_pool.create ?profiler ?tid_base mint ~writers

@@ -56,6 +56,7 @@ type t
 val create :
   ?config:config ->
   ?recorder:Obs.Recorder.t ->
+  ?profiler:Obs.Prof.t ->
   make:(int -> Pmem.Device.t * Baselines.Index_intf.driver) ->
   unit ->
   t
@@ -68,7 +69,13 @@ val create :
     domains spawn so recording is race-free) with per-op latency
     histograms, a device time-series sampler, and — when tracing — B/E
     spans from the device's protocol markers plus per-batch busy-period
-    spans; the router records queue pushes on lane 0. *)
+    spans; the router records queue pushes on lane 0.
+
+    [profiler] attaches an {!Obs.Prof} lane per worker (tid [i + 1],
+    composing with the recorder's device tracer): per-site WA attribution
+    on each shard device, plus shard-queue residency (enqueue → dequeue →
+    applied) — the router stamps each batch at enqueue only when a
+    profiler is present, so the unprofiled hot path reads no clock. *)
 
 val config : t -> config
 val shards : t -> int
@@ -88,12 +95,24 @@ val new_writer : t -> int -> (unit -> Baselines.Index_intf.writer_ops) option
 module Read_pool = Read_pool
 module Write_pool = Write_pool
 
-val reader_pool : t -> shard:int -> readers:int -> Read_pool.t
+val reader_pool :
+  ?profiler:Obs.Prof.t ->
+  ?tid_base:int ->
+  t ->
+  shard:int ->
+  readers:int ->
+  Read_pool.t
 (** Attach [readers] read-only domains to shard [shard]'s index; reads
     then run concurrently with that shard's writer domain.
     @raise Invalid_argument if the driver has no concurrent read path. *)
 
-val writer_pool : t -> shard:int -> writers:int -> Write_pool.t
+val writer_pool :
+  ?profiler:Obs.Prof.t ->
+  ?tid_base:int ->
+  t ->
+  shard:int ->
+  writers:int ->
+  Write_pool.t
 (** Attach [writers] writer domains to shard [shard]'s index (optimistic
     lock coupling inside the tree; see DESIGN.md §13).  While the pool is
     live, do not route mutations to that shard through the router — the

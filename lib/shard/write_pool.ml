@@ -50,9 +50,15 @@ let exec (wops : I.writer_ops) w op =
 
 (* The handle is minted on this domain, so every private structure it
    owns (device write view, WAL lane, counters) is domain-local from
-   birth. *)
-let writer_loop mint w =
+   birth.  The profiler lane (created on the router, before spawn)
+   attaches here too: the handle's private device view only exists after
+   [mint], and attaching from its owning domain binds sync-event routing
+   to it. *)
+let writer_loop ?prof mint w =
   let wops : I.writer_ops = mint () in
+  (match prof with
+  | Some ln -> Obs.Prof.attach_device ln (wops.I.w_dev ())
+  | None -> ());
   let continue = ref true in
   while !continue do
     match Queue.pop w.q with
@@ -72,7 +78,7 @@ let writer_loop mint w =
       signal r
   done
 
-let create mint ~writers =
+let create ?profiler ?(tid_base = 1) mint ~writers =
   if writers < 1 then invalid_arg "Write_pool.create: writers < 1";
   let wworkers =
     Array.init writers (fun _ ->
@@ -88,8 +94,13 @@ let create mint ~writers =
           domain = None;
         })
   in
-  Array.iter
-    (fun w -> w.domain <- Some (Domain.spawn (fun () -> writer_loop mint w)))
+  Array.iteri
+    (fun i w ->
+      (* lane registered on this (router) domain, before the spawn *)
+      let prof =
+        Option.map (fun p -> Obs.Prof.lane p ~tid:(tid_base + i)) profiler
+      in
+      w.domain <- Some (Domain.spawn (fun () -> writer_loop ?prof mint w)))
     wworkers;
   { wworkers; live = true }
 

@@ -18,10 +18,19 @@
 
 type t
 
-val create : (unit -> Baselines.Index_intf.writer_ops) -> writers:int -> t
+val create :
+  ?profiler:Obs.Prof.t ->
+  ?tid_base:int ->
+  (unit -> Baselines.Index_intf.writer_ops) ->
+  writers:int ->
+  t
 (** [create mint ~writers] spawns [writers] writer domains, each minting
     its own handle with [mint].  Use [Shard.writer_pool] to build one
-    over a shard's driver.  @raise Invalid_argument if [writers < 1]. *)
+    over a shard's driver.  [profiler] registers an {!Obs.Prof} lane per
+    writer (tid [tid_base + i], default base 1; lanes are created on the
+    calling domain, attached to each handle's private device view on its
+    worker domain after mint).  @raise Invalid_argument if
+    [writers < 1]. *)
 
 val writers : t -> int
 

@@ -8,7 +8,9 @@ type event =
   | Vlock_validate of { id : int; v : int; ok : bool }
   | Vlock_value of { id : int; v : int }
   | Vlock_try_upgrade of { id : int; v : int; ok : bool }
+  | Vlock_contended of { id : int; v : int }
   | Fence_check of { id : int; ok : bool }
+  | Sx_request of { id : int; mode : sx_mode }
   | Sx_acquire of { id : int; mode : sx_mode }
   | Sx_release of { id : int; mode : sx_mode }
   | Sx_upgrade of { id : int; readers : int }
@@ -26,6 +28,17 @@ let fresh_id () = Atomic.fetch_and_add ids 1
 let tracer : (event -> unit) option Atomic.t = Atomic.make None
 
 let set_tracer f = Atomic.set tracer f
+
+let add_tracer f =
+  match Atomic.get tracer with
+  | None -> Atomic.set tracer (Some f)
+  | Some g ->
+    Atomic.set tracer
+      (Some
+         (fun ev ->
+           g ev;
+           f ev))
+
 let tracer_installed () = Atomic.get tracer <> None
 let enabled () = Atomic.get tracer <> None
 

@@ -37,9 +37,19 @@ type event =
           merge-style [try_upgrade]s, legitimate only under the lock. *)
   | Vlock_try_upgrade of { id : int; v : int; ok : bool }
       (** Validate-and-lock CAS against snapshot [v]. *)
+  | Vlock_contended of { id : int; v : int }
+      (** [try_lock] failed — the observed version [v] was odd (someone
+          holds the lock) or the CAS lost a race.  Pure contention
+          telemetry for profilers; creates no ordering edge. *)
   | Fence_check of { id : int; ok : bool }
       (** The under-lock fence-interval validation of an optimistically
           locked node (annotated by [Tree.writer_fence_ok]). *)
+  | Sx_request of { id : int; mode : sx_mode }
+      (** An acquirer entered the latch mutex and is about to wait for
+          [mode]; paired with the [Sx_acquire] (or [Sx_upgrade]) that
+          follows on the same domain, it bounds the wait span for
+          contention profilers.  Emitted under the latch mutex, so the
+          per-latch order request→acquire is exact. *)
   | Sx_acquire of { id : int; mode : sx_mode }
   | Sx_release of { id : int; mode : sx_mode }
   | Sx_upgrade of { id : int; readers : int }
@@ -68,6 +78,14 @@ val set_tracer : (event -> unit) option -> unit
 (** Install (or remove) the global tracer.  Install before spawning the
     domains whose events you want; the slot is a single atomic, so a
     mid-run swap is safe but may miss in-flight emissions. *)
+
+val add_tracer : (event -> unit) -> unit
+(** Fan-out composition, the analogue of {!Pmem.Device.add_tracer}: run
+    [f] {e after} any tracer already installed.  This is how the
+    contention profiler observes the same stream as [rsan] without
+    clobbering it.  Not atomic with respect to a concurrent
+    [set_tracer]; compose from the orchestrating thread before the
+    traffic of interest. *)
 
 val tracer_installed : unit -> bool
 

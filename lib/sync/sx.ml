@@ -31,6 +31,8 @@ let hmode = function S -> Hook.S | SX -> Hook.SX | X -> Hook.X
 
 let acquire t mode =
   Mutex.lock t.m;
+  if Hook.enabled () then
+    Hook.emit (Sx_request { id = t.id; mode = hmode mode });
   (match mode with
   | S ->
     while t.x || Atomic.get t.upgrading do
@@ -72,6 +74,7 @@ let upgrade t =
   Atomic.set t.upgrading true;
   Mutex.lock t.m;
   assert (t.sx && not t.x);
+  if Hook.enabled () then Hook.emit (Sx_request { id = t.id; mode = Hook.X });
   while t.readers > 0 do
     Condition.wait t.c t.m
   done;

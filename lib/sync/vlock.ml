@@ -37,8 +37,10 @@ let validate t v =
 let try_lock t =
   let v = Atomic.get t.cell in
   let ok = v land 1 = 0 && Atomic.compare_and_set t.cell v (v + 1) in
-  if ok && Hook.enabled () then
-    Hook.emit (Vlock_acquire { id = t.id; v = v + 1; optimistic = true });
+  if Hook.enabled () then
+    if ok then
+      Hook.emit (Vlock_acquire { id = t.id; v = v + 1; optimistic = true })
+    else Hook.emit (Vlock_contended { id = t.id; v });
   ok
 
 let try_upgrade t v =

@@ -6,6 +6,13 @@ let entry_size = 24
 let header_size = 32
 let magic = 0x57414C4F47314243L (* "WALOG1BC" *)
 
+(* WA-attribution sites (Obs.Prof): [append] and [group_commit] bracket
+   their stores/flushes as ["wal-append"], [reclaim_epoch] as
+   ["wal-reclaim"], so log traffic separates from leaf/SMO traffic in the
+   per-site flame table.  No-ops unless the device has site tracking on. *)
+let site_wal_append = Pmem.Site.id "wal-append"
+let site_wal_reclaim = Pmem.Site.id "wal-reclaim"
+
 type active = { mutable chunk : int; mutable off : int }
 (* chunk = 0 means no chunk acquired yet (address 0 is the allocator
    superblock, never a chunk). *)
@@ -164,6 +171,7 @@ let group_commit ?(thread = 0) t =
   let g = t.groups.(thread) in
   if not g.open_ then invalid_arg "Wal.group_commit: no open group";
   let dev = g.gdev in
+  D.site_enter dev site_wal_append;
   (* Phase 1: one deduplicated, address-ordered clwb set over every line
      the batch stored, then the shared tail fence.  Skipped entirely for
      an empty group — no empty sfence. *)
@@ -181,6 +189,7 @@ let group_commit ?(thread = 0) t =
     D.ack_durable dev ~label:"wal.group" g.ack_addr.(i) entry_size
   done;
   group_reset g;
+  D.site_exit dev;
   D.span_end dev "wal.group"
 
 let with_group ?dev ?(thread = 0) t f =
@@ -202,6 +211,7 @@ let with_group ?dev ?(thread = 0) t f =
 let append ?dev t ~thread ~epoch ~key ~value ~ts =
   assert (thread >= 0 && thread < t.threads && (epoch = 0 || epoch = 1));
   let dev = Option.value dev ~default:t.dev in
+  D.site_enter dev site_wal_append;
   let a = t.active.(epoch).(thread) in
   let cs = Alloc.chunk_size t.alloc in
   if a.chunk = 0 || a.off + entry_size > cs then begin
@@ -222,10 +232,12 @@ let append ?dev t ~thread ~epoch ~key ~value ~ts =
     if gt.open_ then gt
     else begin
       let g0 = t.groups.(0) in
-      if g0.open_ && g0.owner <> (Domain.self () :> int) then
+      if g0.open_ && g0.owner <> (Domain.self () :> int) then begin
+        D.site_exit dev;
         invalid_arg
           "Wal.append: lane has no open group and lane 0's group belongs \
-           to another domain (cross-lane capture is owner-only)";
+           to another domain (cross-lane capture is owner-only)"
+      end;
       g0
     end
   in
@@ -267,6 +279,7 @@ let append ?dev t ~thread ~epoch ~key ~value ~ts =
     D.ack_durable dev ~label:"wal.append" addr entry_size
   end;
   a.off <- a.off + entry_size;
+  D.site_exit dev;
   ignore (Atomic.fetch_and_add t.epoch_data.(epoch) entry_size : int);
   let live = live_bytes t in
   let rec bump () =
@@ -278,6 +291,7 @@ let append ?dev t ~thread ~epoch ~key ~value ~ts =
 let reclaim_epoch t ~epoch =
   if group_open t then invalid_arg "Wal.reclaim_epoch: group still open";
   D.span_begin t.dev "wal.reclaim";
+  D.site_enter t.dev site_wal_reclaim;
   let watermark = Clock.peek t.clock in
   Mutex.protect t.chunk_mu (fun () ->
       List.iter
@@ -294,6 +308,7 @@ let reclaim_epoch t ~epoch =
       a.chunk <- 0;
       a.off <- 0)
     t.active.(epoch);
+  D.site_exit t.dev;
   D.span_end t.dev "wal.reclaim"
 
 let replay alloc ~f =

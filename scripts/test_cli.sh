@@ -315,6 +315,58 @@ fi
 expect_ok "ycsb baseline --rsan" -- \
   "$ycsb" --index fastfair --mix insert-only --warmup 300 --ops 300 --rsan
 
+# --- profiler flags --------------------------------------------------------
+
+# --profile alone prints the per-site WA flame table with its TOTAL row
+# (the summation invariant against the device counters is asserted in
+# test/test_prof.ml; here we pin the CLI surface)
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --profile >"$out" 2>"$err"; then
+  if grep -q "Write amplification by site" "$out" && grep -q "TOTAL" "$out"; then
+    echo "ok   ycsb --profile table"
+  else
+    echo "FAIL ycsb --profile: WA table missing from output" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb --profile: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# --profile works on the baselines too (their code paths carry their own
+# site labels, so the comparison tables are like-for-like)
+expect_ok "ycsb baseline --profile" -- \
+  "$ycsb" --index fastfair --mix insert-only --warmup 300 --ops 300 --profile
+
+# the full stack on the sharded writer/reader path: profiler + both
+# sanitizers + metrics on one run; the metrics document must carry the
+# pmstat-diffable "profile" section with the dotted wa.* keys
+if "$ycsb" --index ccl --mix insert-intensive --warmup 500 --ops 500 \
+    --domains 2 --writers 2 --readers 2 --profile --pmsan --rsan \
+    --metrics-json "$metricsf" >"$out" 2>"$err"; then
+  ok=1
+  grep -q "Write amplification by site" "$out" || { echo "FAIL ycsb profile stack: WA table lost" >&2; ok=0; }
+  grep -q "pmsan shard 0 per-site report" "$out" || { echo "FAIL ycsb profile stack: pmsan report lost" >&2; ok=0; }
+  grep -q "rsan report" "$out" || { echo "FAIL ycsb profile stack: rsan report lost" >&2; ok=0; }
+  grep -q '"profile"' "$metricsf" || { echo "FAIL ycsb profile stack: no profile section in $metricsf" >&2; ok=0; }
+  grep -q '"wa.total.media_bytes"' "$metricsf" || { echo "FAIL ycsb profile stack: no wa.total keys in $metricsf" >&2; ok=0; }
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   ycsb sharded --profile --pmsan --rsan --metrics-json"
+  else
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL ycsb profile stack: exit $?" >&2
+  sed 's/^/  stderr: /' "$err" >&2
+  failures=$((failures + 1))
+fi
+
+# --profile does not relax the existing rejections: plain sharded --pmsan
+# (no writer pools) stays invalid with the profiler attached
+expect_usage "ycsb profile keeps pmsan rule" 2 -- \
+  "$ycsb" --profile --pmsan --domains 2
+
 # crashcheck --pmsan prints sweep counters
 if "$crashcheck" --ops 30 --key-space 15 --stride 20 --probs 0.5 --seeds 1 \
     -q --pmsan >"$out" 2>"$err"; then

@@ -1,0 +1,270 @@
+(* Tests for Obs.Prof, the site-attributed WA/contention profiler:
+   - the summation invariant: per-site media/XPBuffer byte totals equal
+     the device's global Stats deltas over the profiled window, on the
+     sequential path and under real multi-writer domains;
+   - the zero-overhead-off contract: an unprofiled run's device counters
+     are bit-identical to a profiled run's, and the unhooked store/persist
+     hot path allocates nothing;
+   - histogram boundary behaviour under cross-lane merge (qcheck);
+   - Metrics.diff_numbers union semantics (added/removed markers). *)
+
+module D = Pmem.Device
+module S = Pmem.Stats
+module H = Obs.Histogram
+module I = Baselines.Index_intf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec threads =
+  Harness.Runner.Ccl
+    ( { Ccl_btree.Config.default with Ccl_btree.Config.threads },
+      "CCL-BTree" )
+
+let fresh_driver ?(threads = 1) () =
+  let dev = Harness.Runner.device ~mb:96 () in
+  (dev, Harness.Runner.build (spec threads) dev)
+
+let insert_range (drv : I.driver) ~from n =
+  for i = 1 to n do
+    drv.I.upsert (Int64.of_int (from + i)) (Int64.of_int i)
+  done
+
+(* --- WA summation invariant, sequential ------------------------------- *)
+
+let test_invariant_sequential () =
+  let dev, drv = fresh_driver () in
+  insert_range drv ~from:0 3_000;
+  let p = Obs.Prof.create ~now:Shard.Clock.monotonic_ns () in
+  let ln = Obs.Prof.lane p ~tid:0 in
+  Obs.Prof.attach_device ln dev;
+  let before = D.snapshot dev in
+  insert_range drv ~from:3_000 3_000;
+  drv.I.flush_all ();
+  let delta = S.diff ~after:(D.snapshot dev) ~before in
+  let tot = Obs.Prof.wa_total p in
+  check_int "media bytes attributed" delta.S.media_write_bytes
+    tot.Obs.Prof.media_bytes;
+  check_int "media lines attributed" delta.S.media_write_lines
+    tot.Obs.Prof.media_lines;
+  check_int "xpbuffer bytes attributed" delta.S.xpbuffer_write_bytes
+    tot.Obs.Prof.xp_bytes;
+  (* the table rows are a partition of the total *)
+  let rows = Obs.Prof.wa_table p in
+  check_int "rows sum to total"
+    tot.Obs.Prof.media_bytes
+    (List.fold_left (fun a r -> a + r.Obs.Prof.media_bytes) 0 rows);
+  (* the interesting mechanisms actually got charged *)
+  let site name = List.exists (fun r -> r.Obs.Prof.site = name) rows in
+  check_bool "wal-append charged" true (site "wal-append");
+  check_bool "leaf-buffer charged" true (site "leaf-buffer")
+
+(* --- WA summation invariant, multi-writer domains ---------------------- *)
+
+let test_invariant_multi_writer () =
+  let writers = 2 in
+  let dev, drv = fresh_driver ~threads:writers () in
+  insert_range drv ~from:0 2_000;
+  let p = Obs.Prof.create ~now:Shard.Clock.monotonic_ns () in
+  let main_ln = Obs.Prof.lane p ~tid:0 in
+  Obs.Prof.attach_device main_ln dev;
+  let mint = Option.get drv.I.new_writer in
+  (* lanes are created on the coordinating domain (Prof.lane locks), the
+     device views attach on the worker domains after mint — the same
+     lifecycle Shard.Write_pool uses *)
+  let lanes = Array.init writers (fun i -> Obs.Prof.lane p ~tid:(i + 1)) in
+  let before = D.snapshot dev in
+  let doms =
+    Array.init writers (fun i ->
+        Domain.spawn (fun () ->
+            let w = mint () in
+            Obs.Prof.attach_device lanes.(i) (w.I.w_dev ());
+            for k = 1 to 2_000 do
+              w.I.w_upsert
+                (Int64.of_int (2_000 + (k * writers) + i))
+                (Int64.of_int k)
+            done;
+            w.I.w_dev_stats ()))
+  in
+  let wstats = Array.to_list (Array.map Domain.join doms) in
+  drv.I.flush_all ();
+  let delta =
+    S.merge_all (S.diff ~after:(D.snapshot dev) ~before :: wstats)
+  in
+  let tot = Obs.Prof.wa_total p in
+  check_int "media bytes attributed (multi-writer)" delta.S.media_write_bytes
+    tot.Obs.Prof.media_bytes;
+  check_int "media lines attributed (multi-writer)" delta.S.media_write_lines
+    tot.Obs.Prof.media_lines;
+  check_int "xpbuffer bytes attributed (multi-writer)"
+    delta.S.xpbuffer_write_bytes tot.Obs.Prof.xp_bytes
+
+(* --- zero-overhead-off contract ---------------------------------------- *)
+
+(* Profiling must not perturb what it measures: the same op stream on a
+   fresh device produces bit-identical counters with and without a
+   profiler attached. *)
+let test_off_state_stats_identical () =
+  let run profiled =
+    let dev, drv = fresh_driver () in
+    (if profiled then begin
+       let p = Obs.Prof.create ~now:Shard.Clock.monotonic_ns () in
+       Obs.Prof.attach_device (Obs.Prof.lane p ~tid:0) dev
+     end);
+    insert_range drv ~from:0 4_000;
+    drv.I.flush_all ();
+    D.snapshot dev
+  in
+  check_bool "stats bit-identical with and without profiler" true
+    (S.equal (run false) (run true))
+
+(* The unhooked hot path — store, clwb, sfence on a device with no tracer
+   and no site tracking — allocates nothing: every profiler touch must
+   stay one flag load behind the off switch. *)
+let test_off_state_zero_alloc () =
+  let dev = D.create ~config:(Pmem.Config.default ~size:(1 lsl 20) ()) () in
+  let buf = Bytes.make 64 'x' in
+  let loop () =
+    for i = 0 to 999 do
+      let off = (i mod 64) * 64 in
+      D.store dev off buf;
+      D.clwb dev off;
+      D.sfence dev
+    done
+  in
+  loop ();
+  (* warmed: any one-time lazy setup is done *)
+  let w0 = Gc.minor_words () in
+  loop ();
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check (float 0.0)) "unhooked store/persist loop allocates 0 words"
+    0.0 dw
+
+(* --- histogram boundaries under cross-lane merge (qcheck) --------------- *)
+
+(* Values pinned to bucket edges (lo and hi of log-buckets) are the
+   adversarial inputs for a bucketed percentile; recording them split
+   across two lanes and merging must keep every percentile within one
+   bucket of the exact order statistic, same as single-lane recording. *)
+let arb_edge_value =
+  QCheck.(
+    map
+      (fun (bucket, hi_edge) ->
+        let lo, hi = H.bounds_of_bucket (bucket mod 128) in
+        if hi_edge then hi else lo)
+      (pair (int_bound 127) bool))
+
+let arb_edge_values = QCheck.(list_of_size Gen.(1 -- 200) arb_edge_value)
+
+let reference_percentile vs p =
+  let a = Array.of_list vs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p *. float_of_int n /. 100.0)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let prop_edge_merge_percentile =
+  QCheck.Test.make ~count:500
+    ~name:"bucket-edge values: cross-lane merge keeps percentile in-bucket"
+    QCheck.(pair arb_edge_values (list_of_size Gen.(0 -- 200) bool))
+    (fun (vs, split) ->
+      (* deal values to two lanes by the boolean stream (cycled) *)
+      let a = H.create () and b = H.create () in
+      List.iteri
+        (fun i v ->
+          let left =
+            match List.nth_opt split (i mod max 1 (List.length split)) with
+            | Some s -> s
+            | None -> true
+          in
+          H.record (if left then a else b) v)
+        vs;
+      let merged = H.merge a b in
+      List.for_all
+        (fun p ->
+          let r = reference_percentile vs p in
+          let q = H.percentile merged p in
+          H.bucket_of q = H.bucket_of r && q >= r)
+        [ 50.0; 90.0; 99.0; 99.9; 100.0 ])
+
+(* --- Metrics.diff_numbers union semantics ------------------------------- *)
+
+let test_diff_numbers () =
+  let before =
+    [ ("a", 1.0); ("b", 2.0); ("gone", 7.0); ("a", 99.0) (* dup: ignored *) ]
+  in
+  let after = [ ("b", 5.0); ("new", 3.0); ("a", 4.0) ] in
+  let d = Obs.Metrics.diff_numbers ~before ~after in
+  (* after-order for delta/added rows, removed rows appended last *)
+  Alcotest.(check (list string))
+    "key order" [ "b"; "new"; "a"; "gone" ]
+    (List.map fst d);
+  let entry k = List.assoc k d in
+  check_bool "delta b" true (entry "b" = `Delta (2.0, 5.0));
+  check_bool "added new" true (entry "new" = `Added 3.0);
+  check_bool "delta a first-occurrence-wins" true (entry "a" = `Delta (1.0, 4.0));
+  check_bool "removed gone" true (entry "gone" = `Removed 7.0);
+  check_bool "empty diff" true (Obs.Metrics.diff_numbers ~before:[] ~after:[] = [])
+
+(* --- contention + trace counter tracks ---------------------------------- *)
+
+(* The queue-residency histograms and the Perfetto counter tracks ride the
+   same lanes; with [~trace:true] the finish pass must leave counter ("C")
+   events in the buffers write_many serializes. *)
+let test_counter_tracks () =
+  let p =
+    Obs.Prof.create ~trace:true ~now:Shard.Clock.monotonic_ns ()
+  in
+  let ln = Obs.Prof.lane p ~tid:3 in
+  for i = 1 to 300 do
+    Obs.Prof.queue_wait ln (100 * i);
+    Obs.Prof.queue_apply ln (10 * i)
+  done;
+  Obs.Prof.finish p;
+  (match Obs.Prof.queue_hists p with
+  | [ ("queue-wait", hw); ("queue-apply", ha) ] ->
+    check_int "queue-wait count" 300 (H.count hw);
+    check_int "queue-apply count" 300 (H.count ha)
+  | other ->
+    Alcotest.failf "unexpected queue_hists arity: %d" (List.length other));
+  let bufs = Obs.Prof.trace_buffers p in
+  check_bool "trace buffers present" true (bufs <> []);
+  let path = Filename.temp_file "prof_tracks" ".json" in
+  let oc = open_out path in
+  Obs.Trace.write_many bufs oc;
+  close_out oc;
+  let ic = open_in path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let contains sub =
+    let nl = String.length body and sl = String.length sub in
+    let rec at i = i + sl <= nl && (String.sub body i sl = sub || at (i + 1)) in
+    at 0
+  in
+  check_bool "counter phase events emitted" true
+    (contains "\"ph\": \"C\"" || contains "\"ph\":\"C\"");
+  check_bool "queue-wait track named" true (contains "queue-wait-ns/w3")
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "wa-invariant",
+        [
+          Alcotest.test_case "sequential" `Quick test_invariant_sequential;
+          Alcotest.test_case "multi-writer" `Quick test_invariant_multi_writer;
+        ] );
+      ( "off-state",
+        [
+          Alcotest.test_case "stats bit-identical" `Quick
+            test_off_state_stats_identical;
+          Alcotest.test_case "zero allocation" `Quick
+            test_off_state_zero_alloc;
+        ] );
+      ( "histogram-edges",
+        [ QCheck_alcotest.to_alcotest prop_edge_merge_percentile ] );
+      ( "metrics-diff",
+        [ Alcotest.test_case "union diff" `Quick test_diff_numbers ] );
+      ( "trace",
+        [ Alcotest.test_case "counter tracks" `Quick test_counter_tracks ] );
+    ]
